@@ -1,0 +1,67 @@
+//! The simulator-wide error type.
+
+use std::fmt;
+
+use crate::ids::{ThreadId, TileId};
+
+/// Errors surfaced by the public API of the Graphite-rs crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is invalid or inconsistent with another.
+    InvalidConfig(String),
+    /// The application asked to spawn more threads than target tiles exist
+    /// (paper §3.5: "the maximum number of threads at any time may not exceed
+    /// the total number of cores in the chip").
+    NoFreeTile,
+    /// A guest memory access fell outside every mapped segment.
+    AddressFault { addr: u64, tile: TileId },
+    /// An operation referenced a thread that does not exist or has exited.
+    UnknownThread(ThreadId),
+    /// A transport endpoint has been shut down or its peer disappeared.
+    TransportClosed(String),
+    /// A guest system-call emulation failed.
+    Syscall(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::NoFreeTile => {
+                write!(f, "thread spawn failed: all target tiles are occupied")
+            }
+            SimError::AddressFault { addr, tile } => {
+                write!(f, "address fault at {addr:#x} on {tile}")
+            }
+            SimError::UnknownThread(tid) => write!(f, "unknown thread {tid}"),
+            SimError::TransportClosed(what) => write!(f, "transport closed: {what}"),
+            SimError::Syscall(msg) => write!(f, "system call emulation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::InvalidConfig("tiles=0".into()).to_string(),
+            "invalid configuration: tiles=0"
+        );
+        assert!(SimError::NoFreeTile.to_string().contains("occupied"));
+        let e = SimError::AddressFault { addr: 0x10, tile: TileId(2) };
+        assert!(e.to_string().contains("0x10"));
+        assert!(e.to_string().contains("tile2"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

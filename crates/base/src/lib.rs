@@ -1,0 +1,41 @@
+//! Foundational types for the Graphite-rs multicore simulator.
+//!
+//! This crate holds the vocabulary shared by every other crate in the
+//! workspace: strongly-typed identifiers ([`TileId`], [`ProcId`], …), the
+//! simulated time type [`Cycles`], the per-tile atomic [`Clock`] that lax
+//! synchronization revolves around, the windowed [`GlobalProgress`] estimator
+//! used by queue models (paper §3.6.1), statistics helpers, and a small
+//! deterministic RNG.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphite_base::{Clock, Cycles, TileId};
+//!
+//! let clock = Clock::new();
+//! clock.advance(Cycles(100));
+//! // A message stamped at cycle 250 arrives: forward the clock.
+//! clock.forward_to(Cycles(250));
+//! assert_eq!(clock.now(), Cycles(250));
+//! // A stale message from the past does not rewind it.
+//! clock.forward_to(Cycles(10));
+//! assert_eq!(clock.now(), Cycles(250));
+//! let t = TileId(3);
+//! assert_eq!(t.to_string(), "tile3");
+//! ```
+
+pub mod error;
+pub mod ids;
+pub mod progress;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use error::SimError;
+pub use ids::{MachineId, ProcId, ThreadId, TileId};
+pub use progress::GlobalProgress;
+pub use queue::LaxQueue;
+pub use rng::SimRng;
+pub use stats::{Counter, RunStats};
+pub use time::{Clock, Cycles};

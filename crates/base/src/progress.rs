@@ -1,0 +1,185 @@
+//! Windowed global-progress estimation (paper §3.6.1).
+//!
+//! Under lax synchronization there is no global cycle count, yet queue models
+//! (DRAM controllers, network switches) need a notion of "now" — especially
+//! on tiles with no active thread, whose local clocks never advance. Graphite
+//! approximates global progress by keeping *a window of the most
+//! recently-seen timestamps, on the order of the number of tiles*, and using
+//! their average. Messages are generated frequently (every cache miss), so
+//! the window stays fresh; its size suppresses outliers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::time::Cycles;
+
+/// A concurrent ring of recent message timestamps whose average approximates
+/// the global simulated time.
+///
+/// Writers call [`GlobalProgress::observe`] with the timestamp of every
+/// message they see; readers call [`GlobalProgress::estimate`]. Both are
+/// lock-free: the ring slots and a running sum are atomics, and the estimate
+/// tolerates torn reads (it is an approximation by construction).
+///
+/// # Examples
+///
+/// ```
+/// use graphite_base::{Cycles, GlobalProgress};
+/// let gp = GlobalProgress::new(4);
+/// for t in [100u64, 200, 300, 400] {
+///     gp.observe(Cycles(t));
+/// }
+/// assert_eq!(gp.estimate(), Cycles(250));
+/// // One outlier far in the future moves the average only 1/window of the way.
+/// gp.observe(Cycles(100_000));
+/// assert!(gp.estimate() < Cycles(26_000));
+/// ```
+#[derive(Debug)]
+pub struct GlobalProgress {
+    slots: Vec<AtomicU64>,
+    /// Running sum of all slots; updated with the delta on each replace.
+    sum: AtomicU64,
+    /// Next slot to replace (monotone counter, wraps modulo window).
+    cursor: AtomicU64,
+    /// Number of observations so far, saturating at the window size.
+    filled: AtomicU64,
+    /// High-water mark of the window average. Global progress is monotone:
+    /// simulated time never runs backwards, so neither may its estimate.
+    /// Without this, a far-ahead tile's burst briefly raises the average
+    /// (and every lax queue clock with it), and when lagging tiles' lower
+    /// timestamps pull the average back down, the difference is charged to
+    /// them as phantom queueing delay.
+    high_water: AtomicU64,
+}
+
+impl GlobalProgress {
+    /// Creates an estimator with the given window size.
+    ///
+    /// The paper recommends a window on the order of the number of target
+    /// tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "progress window must be non-empty");
+        GlobalProgress {
+            slots: (0..window).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            cursor: AtomicU64::new(0),
+            filled: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records a message timestamp.
+    pub fn observe(&self, t: Cycles) {
+        let n = self.slots.len() as u64;
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let old = self.slots[at as usize].swap(t.0, Ordering::Relaxed);
+        // sum += new - old, done as two atomics; transient inconsistency only
+        // perturbs the approximation, never memory safety.
+        self.sum.fetch_add(t.0, Ordering::Relaxed);
+        self.sum.fetch_sub(old, Ordering::Relaxed);
+        let filled = self.filled.load(Ordering::Relaxed);
+        if filled < n {
+            self.filled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current estimate of global progress: the running maximum of the
+    /// window average (monotone — see the `high_water` field), or zero
+    /// before any observation.
+    pub fn estimate(&self) -> Cycles {
+        let filled = self.filled.load(Ordering::Relaxed).min(self.slots.len() as u64);
+        if filled == 0 {
+            return Cycles::ZERO;
+        }
+        let avg = self.sum.load(Ordering::Relaxed) / filled;
+        let mut hw = self.high_water.load(Ordering::Relaxed);
+        while avg > hw {
+            match self.high_water.compare_exchange_weak(
+                hw,
+                avg,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Cycles(avg),
+                Err(seen) => hw = seen,
+            }
+        }
+        Cycles(hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_window_rejected() {
+        let _ = GlobalProgress::new(0);
+    }
+
+    #[test]
+    fn empty_estimate_is_zero() {
+        let gp = GlobalProgress::new(8);
+        assert_eq!(gp.estimate(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn partial_fill_averages_observed_only() {
+        let gp = GlobalProgress::new(8);
+        gp.observe(Cycles(100));
+        gp.observe(Cycles(300));
+        assert_eq!(gp.estimate(), Cycles(200));
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let gp = GlobalProgress::new(2);
+        gp.observe(Cycles(10));
+        gp.observe(Cycles(20));
+        gp.observe(Cycles(30)); // evicts 10
+        assert_eq!(gp.estimate(), Cycles(25));
+    }
+
+    #[test]
+    fn outlier_is_damped_by_window() {
+        let gp = GlobalProgress::new(100);
+        for _ in 0..100 {
+            gp.observe(Cycles(1_000));
+        }
+        gp.observe(Cycles(1_000_000));
+        let est = gp.estimate().0;
+        assert!(est < 12_000, "outlier over-influenced estimate: {est}");
+    }
+
+    #[test]
+    fn concurrent_observers_keep_estimate_in_range() {
+        let gp = Arc::new(GlobalProgress::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let gp = Arc::clone(&gp);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        gp.observe(Cycles(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let est = gp.estimate().0;
+        // All recent observations are near 10_000; the estimate must be in range.
+        assert!(est <= 10_000, "estimate {est} out of range");
+        assert!(est >= 9_000, "estimate {est} too stale");
+    }
+}

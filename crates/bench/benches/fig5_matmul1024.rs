@@ -1,0 +1,101 @@
+//! Regenerates **Figure 5**: run-time of a 1024-thread `matrix-multiply`
+//! on a 1024-tile target across 1..10 host machines.
+//!
+//! The paper ran 320×320 matrices (102,400 elements); we scale the matrix
+//! down (EXPERIMENTS.md records the size) but keep the full 1024 application
+//! threads on 1024 target tiles, with the kernel's barrier phases and
+//! neighbour ring messages. One real simulation measures the events; the
+//! host model projects wall-clock per machine count, including the
+//! sequential per-process initialization that bounds scaling.
+
+use std::sync::Arc;
+
+use graphite::SimConfig;
+use graphite_bench::{f2, print_table, run_workload};
+use graphite_hostmodel::{project, ClusterSpec, HostCostParams, HostEvents};
+use graphite_workloads::{MatMul, Workload};
+
+fn main() {
+    const TILES: u32 = 1024;
+    const THREADS: u32 = 1024;
+    let w: Arc<dyn Workload> = Arc::new(MatMul::fig5(96));
+    let cfg = SimConfig::builder()
+        .tiles(TILES)
+        .processes(10)
+        .machines(10)
+        .build()
+        .expect("bench config");
+    println!("running 1024-thread matrix-multiply on a 1024-tile target ...");
+    let start = std::time::Instant::now();
+    let report = run_workload(cfg, THREADS, w, |b| b);
+    println!(
+        "simulation done in {:.1}s wall; {} simulated cycles, {} threads spawned",
+        start.elapsed().as_secs_f64(),
+        report.simulated_cycles.0,
+        report.ctrl.spawns
+    );
+    // Extrapolate the measured event mix from our 96×96 run to the paper's
+    // 320×320 (102,400-element) kernel: compute (and the accesses feeding
+    // it) grows as n³, the coherence footprint as n² (same method as the
+    // fig4 bench; see DESIGN.md).
+    let k_compute = (320.0f64 / 96.0).powi(3);
+    let k_footprint = (320.0f64 / 96.0).powi(2);
+    let raw = HostEvents::from_report(&report);
+    // Tile 0 (the main thread) also runs the O(n²) serial input-generation
+    // and verification phases; those scale with the footprint, not the
+    // compute. Split its counts into a parallel share (≈ a typical worker's)
+    // and a serial remainder, and scale each accordingly.
+    let split_scale = |v: &[u64]| -> Vec<u64> {
+        let mut sorted: Vec<u64> = v[1..].to_vec();
+        sorted.sort_unstable();
+        let worker_median = sorted[sorted.len() / 2] as f64;
+        v.iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                if i == 0 {
+                    let parallel = (x as f64).min(worker_median);
+                    let serial = x as f64 - parallel;
+                    (parallel * k_compute + serial * k_footprint) as u64
+                } else {
+                    (x as f64 * k_compute) as u64
+                }
+            })
+            .collect()
+    };
+    let events = HostEvents {
+        instructions: split_scale(&raw.instructions),
+        accesses: split_scale(&raw.accesses),
+        transactions: raw
+            .transactions
+            .iter()
+            .map(|&x| (x as f64 * k_footprint) as u64)
+            .collect(),
+        control_ops: raw.control_ops,
+        user_msgs: raw.user_msgs,
+        barrier_releases: raw.barrier_releases,
+        p2p_checks: raw.p2p_checks,
+        p2p_sleeps: raw.p2p_sleeps,
+        simulated_cycles: (raw.simulated_cycles as f64 * k_compute) as u64,
+    };
+    let costs = HostCostParams::default();
+
+    let base = project(&events, &ClusterSpec::paper(1), &costs).wall_seconds;
+    let mut rows = Vec::new();
+    for machines in 1..=10u32 {
+        let p = project(&events, &ClusterSpec::paper(machines), &costs);
+        rows.push(vec![
+            machines.to_string(),
+            f2(p.wall_seconds),
+            f2(base / p.wall_seconds),
+            f2(p.init_seconds),
+            f2(p.comm_seconds),
+        ]);
+    }
+    print_table(
+        "Figure 5: 1024-tile matrix-multiply vs host machines (modeled cluster)",
+        &["machines", "wall (s)", "speedup", "init (s)", "comm (s)"],
+        &rows,
+    );
+    let ten = project(&events, &ClusterSpec::paper(10), &costs);
+    println!("\nspeedup at 10 machines: {:.2}x (paper: 3.85x)", base / ten.wall_seconds);
+}

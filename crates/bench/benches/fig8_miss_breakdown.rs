@@ -1,0 +1,56 @@
+//! Regenerates **Figure 8**: breakdown of cache misses by type (cold /
+//! capacity / true-sharing / false-sharing) as the line size varies.
+//!
+//! Per the paper's methodology (§4.4): L1 caches disabled, every access
+//! redirected to a 1 MB 4-way set-associative L2; line sizes swept from 8
+//! to 256 bytes. Expected trends: lu_contig and fft drop ~linearly (perfect
+//! spatial locality); radix's false sharing blows up once the line exceeds
+//! the permute interleaving granularity; water_spatial and barnes trade
+//! true-sharing for false-sharing as lines grow.
+
+use std::sync::Arc;
+
+use graphite::SimConfig;
+use graphite_bench::{print_table, run_workload};
+use graphite_config::presets;
+use graphite_workloads::{Barnes, Fft, Lu, Ocean, Radix, WaterSpatial, Workload};
+
+fn main() {
+    const TILES: u32 = 8;
+    const THREADS: u32 = 8;
+    let line_sizes = [8u32, 16, 32, 64, 128, 256];
+    let workloads: Vec<Arc<dyn Workload>> = vec![
+        Arc::new(Lu { n: 40, contiguous: true, seed: 3 }),
+        Arc::new(WaterSpatial { n: 96, cells: 4, seed: 37 }),
+        Arc::new(Radix::paper()),
+        Arc::new(Barnes { n: 96, depth: 3, theta: 0.6, seed: 41 }),
+        Arc::new(Fft { n: 256, seed: 17 }),
+        Arc::new(Ocean { n: 34, iters: 3, contiguous: true, seed: 29 }),
+    ];
+
+    for w in workloads {
+        let mut rows = Vec::new();
+        for &ls in &line_sizes {
+            let mut cfg = presets::fig8_miss_characterization(TILES, ls);
+            cfg.num_processes = 1;
+            let _ = SimConfig::builder(); // (config built via preset)
+            let r = run_workload(cfg, THREADS, Arc::clone(&w), |b| b.classify_misses(true));
+            let acc = r.mem.accesses() as f64;
+            let pct = |x: u64| format!("{:.3}", 100.0 * x as f64 / acc);
+            rows.push(vec![
+                format!("{ls}B"),
+                format!("{:.3}", 100.0 * r.mem.miss_rate()),
+                pct(r.mem.miss_cold),
+                pct(r.mem.miss_capacity),
+                pct(r.mem.miss_true_sharing),
+                pct(r.mem.miss_false_sharing),
+                r.mem.upgrades.to_string(),
+            ]);
+        }
+        print_table(
+            &format!("Figure 8 ({}): miss-rate breakdown vs line size (% of accesses)", w.name()),
+            &["line", "miss %", "cold %", "capacity %", "true-sh %", "false-sh %", "upgrades"],
+            &rows,
+        );
+    }
+}

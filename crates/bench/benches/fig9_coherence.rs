@@ -1,0 +1,55 @@
+//! Regenerates **Figure 9**: `blackscholes` speedup (simulated cycles,
+//! relative to single-tile execution) as the target tile count scales, for
+//! four cache-coherence schemes: Dir4NB, Dir16NB, full-map directory, and
+//! LimitLESS(4).
+//!
+//! Expected shapes (paper §4.4): full-map ≈ LimitLESS scale near-perfectly
+//! to ~32 tiles before parallelization overhead and shrinking per-controller
+//! DRAM bandwidth bite; Dir4NB stops scaling past 4 tiles and Dir16NB past
+//! 16, because the heavily-shared read-only data keeps getting its sharers
+//! evicted, serializing memory references.
+
+use std::sync::Arc;
+
+use graphite_bench::{f2, print_table, run_workload};
+use graphite_config::{presets, CoherenceScheme};
+use graphite_workloads::{BlackScholes, Workload};
+
+fn main() {
+    let schemes = [
+        CoherenceScheme::DirNB { sharers: 4 },
+        CoherenceScheme::DirNB { sharers: 16 },
+        CoherenceScheme::FullMap,
+        CoherenceScheme::Limitless { sharers: 4, trap_cycles: 100 },
+    ];
+    let tile_counts = [1u32, 2, 4, 8, 16, 32, 64, 128, 256];
+    let mut rows = Vec::new();
+    for scheme in schemes {
+        let mut row = vec![scheme.label()];
+        let mut base_cycles = None;
+        let mut evictions = 0u64;
+        for &tiles in &tile_counts {
+            let w = Arc::new(BlackScholes::paper());
+            let w2: Arc<dyn Workload> = Arc::clone(&w) as Arc<dyn Workload>;
+            let cfg = presets::fig9_coherence_study(tiles, scheme);
+            let r = run_workload(cfg, tiles, w2, |b| b);
+            // Speedup over the PARSEC-style parallel region of interest
+            // (serial input generation and verification excluded).
+            let cycles = w.roi_cycles().expect("blackscholes measures an ROI") as f64;
+            let base = *base_cycles.get_or_insert(cycles);
+            evictions = r.mem.forced_evictions;
+            row.push(f2(base / cycles));
+        }
+        row.push(evictions.to_string());
+        rows.push(row);
+    }
+    let mut headers = vec!["scheme"];
+    let labels: Vec<String> = tile_counts.iter().map(|t| format!("{t}t")).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    headers.push("forced evict (256t)");
+    print_table(
+        "Figure 9: blackscholes speedup vs target tiles by coherence scheme",
+        &headers,
+        &rows,
+    );
+}

@@ -1,0 +1,104 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Each `benches/figN_*.rs` target regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` for the index and `EXPERIMENTS.md`
+//! for recorded results). This library holds the pieces they share: a
+//! simulation runner and fixed-width table printing.
+
+use std::sync::Arc;
+
+use graphite::{SimConfig, SimReport, Simulator, SimulatorBuilder};
+use graphite_workloads::Workload;
+
+/// Runs `workload` with `threads` application threads on a simulator built
+/// from `cfg` (after applying `tweak` to the builder), returning the report.
+pub fn run_workload(
+    cfg: SimConfig,
+    threads: u32,
+    workload: Arc<dyn Workload>,
+    tweak: impl FnOnce(SimulatorBuilder) -> SimulatorBuilder,
+) -> SimReport {
+    let sim = tweak(Simulator::builder(cfg)).build().expect("valid bench config");
+    sim.run(move |ctx| workload.run(ctx, threads))
+}
+
+/// Prints a fixed-width table with a title, header row and data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Median of a slice (not required to be sorted).
+pub fn median(xs: &[f64]) -> f64 {
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    let mid = v.len() / 2;
+    if v.len() % 2 == 0 {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_workloads::workload_by_name;
+
+    #[test]
+    fn runner_executes_a_workload() {
+        let cfg = SimConfig::builder().tiles(2).build().unwrap();
+        let r = run_workload(cfg, 2, workload_by_name("radix").unwrap(), |b| b);
+        assert!(r.mem.accesses() > 0);
+    }
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2344), "1.234");
+    }
+}

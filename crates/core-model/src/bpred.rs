@@ -1,0 +1,98 @@
+//! A classic 2-bit saturating-counter branch predictor.
+//!
+//! The paper lists branch prediction among the modeled, configurable parts
+//! of the core performance model (§3.1). Branch *outcomes* are dynamic
+//! information supplied by the front end; the predictor only contributes
+//! timing (mispredict penalties).
+
+/// Per-branch 2-bit saturating counters in a direct-mapped table.
+///
+/// Counter values: 0–1 predict not-taken, 2–3 predict taken.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_core_model::TwoBitPredictor;
+/// let mut p = TwoBitPredictor::new(16);
+/// // Cold counters start weakly not-taken.
+/// assert!(!p.predict_and_update(0x10, true)); // mispredict, learns
+/// assert!(p.predict_and_update(0x10, true)); // now predicted correctly
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoBitPredictor {
+    counters: Vec<u8>,
+}
+
+impl TwoBitPredictor {
+    /// Creates a predictor with `entries` counters (rounded up to a power of
+    /// two, minimum 1), initialized weakly not-taken.
+    pub fn new(entries: usize) -> Self {
+        let n = entries.max(1).next_power_of_two();
+        TwoBitPredictor { counters: vec![1u8; n] }
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        // Mix the pc so nearby branches spread across the table.
+        let h = pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h as usize) & (self.counters.len() - 1)
+    }
+
+    /// Returns whether the branch direction was predicted correctly and
+    /// trains the counter with the actual outcome.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let i = self.index(pc);
+        let predicted_taken = self.counters[i] >= 2;
+        if taken {
+            self.counters[i] = (self.counters[i] + 1).min(3);
+        } else {
+            self.counters[i] = self.counters[i].saturating_sub(1);
+        }
+        predicted_taken == taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_rounds_to_power_of_two() {
+        assert_eq!(TwoBitPredictor::new(1000).entries(), 1024);
+        assert_eq!(TwoBitPredictor::new(0).entries(), 1);
+    }
+
+    #[test]
+    fn saturates_and_tolerates_one_off_outcome() {
+        let mut p = TwoBitPredictor::new(4);
+        for _ in 0..10 {
+            p.predict_and_update(0x4, true);
+        }
+        // One not-taken outcome: mispredicted but the counter only drops to
+        // weakly-taken, so the next taken is still predicted.
+        assert!(!p.predict_and_update(0x4, false));
+        assert!(p.predict_and_update(0x4, true));
+    }
+
+    #[test]
+    fn learns_not_taken_too() {
+        let mut p = TwoBitPredictor::new(4);
+        p.predict_and_update(0x8, false); // cold weakly-NT: correct
+        assert!(p.predict_and_update(0x8, false));
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = TwoBitPredictor::new(64);
+        for _ in 0..4 {
+            p.predict_and_update(0x10, true);
+            p.predict_and_update(0x18, false);
+        }
+        assert!(p.predict_and_update(0x10, true));
+        assert!(p.predict_and_update(0x18, false));
+    }
+}

@@ -1,0 +1,475 @@
+//! The core performance model (paper §3.1).
+//!
+//! "The core performance model is a purely modeled component of the system
+//! that manages the simulated clock local to each tile. It follows a
+//! producer-consumer design: it consumes instructions and other dynamic
+//! information produced by the rest of the system."
+//!
+//! Instructions come from the front end (in this reproduction, the guest
+//! execution API plays the dynamic binary translator's role); *dynamic
+//! information* — memory latencies and branch outcomes — arrives through the
+//! same interface, keeping the functional and modeling halves asynchronous.
+//! Pseudo-instructions ([`Instruction::Recv`], [`Instruction::Spawn`]) update
+//! the clock on unusual events exactly as the paper describes.
+//!
+//! The provided model is the paper's default: an in-order core with an
+//! out-of-order memory system — store buffers hide store latency, a load
+//! unit optionally overlaps loads, branches run through a 2-bit predictor,
+//! and every instruction class has a configurable cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphite_base::Cycles;
+//! use graphite_core_model::{CoreParams, InOrderCore, Instruction};
+//!
+//! let mut core = InOrderCore::new(CoreParams::default());
+//! let mut clock = Cycles::ZERO;
+//! clock += core.issue(clock, &Instruction::IntAlu { count: 10 });
+//! clock += core.issue(clock, &Instruction::Load { latency: Cycles(50) });
+//! assert!(clock >= Cycles(60));
+//! assert_eq!(core.stats().instructions.get(), 11);
+//! ```
+
+use std::collections::VecDeque;
+
+use graphite_base::{Counter, Cycles};
+
+pub mod bpred;
+pub mod ooo;
+
+pub use bpred::TwoBitPredictor;
+pub use ooo::{OooCore, OooParams};
+
+/// A swappable core performance model (paper §3.1): consumes the dynamic
+/// instruction stream plus dynamic information and produces clock advances.
+/// Object-safe so the simulator can hold any implementation.
+pub trait CoreModel: Send {
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Consumes one instruction at local time `now`; returns the cycles the
+    /// tile clock must advance.
+    fn issue(&mut self, now: Cycles, instr: &Instruction) -> Cycles;
+
+    /// Statistics so far.
+    fn stats(&self) -> &CoreStats;
+}
+
+/// One dynamic instruction (or batch of identical ones) consumed by the
+/// model. Latencies of memory operations are *dynamic information* supplied
+/// by the memory system; branch outcomes by the front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// Integer ALU operations (add, logic, shifts).
+    IntAlu {
+        /// Number of back-to-back operations.
+        count: u32,
+    },
+    /// Integer multiplies.
+    IntMul {
+        /// Number of operations.
+        count: u32,
+    },
+    /// Integer divides.
+    IntDiv {
+        /// Number of operations.
+        count: u32,
+    },
+    /// Floating-point adds/subtracts.
+    FpAdd {
+        /// Number of operations.
+        count: u32,
+    },
+    /// Floating-point multiplies.
+    FpMul {
+        /// Number of operations.
+        count: u32,
+    },
+    /// Floating-point divides/sqrts.
+    FpDiv {
+        /// Number of operations.
+        count: u32,
+    },
+    /// A conditional branch with its resolved direction.
+    Branch {
+        /// Identifies the static branch (program counter surrogate).
+        pc: u64,
+        /// Whether the branch was taken.
+        taken: bool,
+    },
+    /// A load whose latency the memory system reported.
+    Load {
+        /// Round-trip latency from the memory model.
+        latency: Cycles,
+    },
+    /// A store whose latency the memory system reported (absorbed by the
+    /// store buffer unless it is full).
+    Store {
+        /// Round-trip latency from the memory model.
+        latency: Cycles,
+    },
+    /// Any other instruction with an explicit cost.
+    Generic {
+        /// Cost in cycles.
+        cost: Cycles,
+    },
+    /// Pseudo-instruction: a user-level message was received after `wait`
+    /// cycles of blocking (paper: "message receive pseudo-instruction").
+    Recv {
+        /// Cycles the core waited for the message.
+        wait: Cycles,
+    },
+    /// Pseudo-instruction: a thread was spawned on this core.
+    Spawn,
+}
+
+/// Configurable cost table and structural parameters of [`InOrderCore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreParams {
+    /// Cost of one integer ALU op.
+    pub int_alu: Cycles,
+    /// Cost of one integer multiply.
+    pub int_mul: Cycles,
+    /// Cost of one integer divide.
+    pub int_div: Cycles,
+    /// Cost of one FP add.
+    pub fp_add: Cycles,
+    /// Cost of one FP multiply.
+    pub fp_mul: Cycles,
+    /// Cost of one FP divide.
+    pub fp_div: Cycles,
+    /// Base cost of a branch (correctly predicted).
+    pub branch: Cycles,
+    /// Extra cycles on a mispredicted branch.
+    pub mispredict_penalty: Cycles,
+    /// Store buffer entries; stores stall only when it is full.
+    pub store_buffer_entries: usize,
+    /// Cost of the spawn pseudo-instruction (thread start-up work).
+    pub spawn_cost: Cycles,
+    /// Branch predictor table size (entries, power of two).
+    pub bpred_entries: usize,
+}
+
+impl Default for CoreParams {
+    /// A simple single-issue in-order core at the paper's 1 GHz target.
+    fn default() -> Self {
+        CoreParams {
+            int_alu: Cycles(1),
+            int_mul: Cycles(3),
+            int_div: Cycles(18),
+            fp_add: Cycles(3),
+            fp_mul: Cycles(5),
+            fp_div: Cycles(20),
+            branch: Cycles(1),
+            mispredict_penalty: Cycles(10),
+            store_buffer_entries: 8,
+            spawn_cost: Cycles(1_000),
+            bpred_entries: 1024,
+        }
+    }
+}
+
+/// Statistics kept by the core model.
+#[derive(Debug, Default)]
+pub struct CoreStats {
+    /// Instructions retired (batch members counted individually).
+    pub instructions: Counter,
+    /// Branches retired.
+    pub branches: Counter,
+    /// Mispredicted branches.
+    pub mispredicts: Counter,
+    /// Loads retired.
+    pub loads: Counter,
+    /// Stores retired.
+    pub stores: Counter,
+    /// Cycles spent stalled on a full store buffer.
+    pub store_stall_cycles: Counter,
+    /// Cycles spent waiting for loads.
+    pub load_cycles: Counter,
+    /// Cycles spent blocked on message receive.
+    pub recv_wait_cycles: Counter,
+    /// Total cycles accumulated by this core.
+    pub cycles: Counter,
+}
+
+impl CoreStats {
+    /// Instructions per cycle so far (0 when no cycles have elapsed).
+    pub fn ipc(&self) -> f64 {
+        let c = self.cycles.get();
+        if c == 0 {
+            0.0
+        } else {
+            self.instructions.get() as f64 / c as f64
+        }
+    }
+
+    /// Misprediction rate over retired branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        let b = self.branches.get();
+        if b == 0 {
+            0.0
+        } else {
+            self.mispredicts.get() as f64 / b as f64
+        }
+    }
+}
+
+/// The store buffer: a bounded FIFO of store completion times. Stores retire
+/// in one cycle while a slot is free; a full buffer stalls the core until
+/// the oldest store completes (out-of-order memory behind an in-order core).
+#[derive(Debug)]
+struct StoreBuffer {
+    completions: VecDeque<Cycles>,
+    capacity: usize,
+}
+
+impl StoreBuffer {
+    fn new(capacity: usize) -> Self {
+        StoreBuffer { completions: VecDeque::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Issues a store at `now` with the given memory latency; returns the
+    /// stall the core observes (zero unless the buffer is full).
+    fn push(&mut self, now: Cycles, latency: Cycles) -> Cycles {
+        while self.completions.front().is_some_and(|&c| c <= now) {
+            self.completions.pop_front();
+        }
+        let stall = if self.completions.len() >= self.capacity {
+            let head = self.completions.pop_front().expect("full buffer has a head");
+            head.saturating_sub(now)
+        } else {
+            Cycles::ZERO
+        };
+        let issue_at = now + stall;
+        // Stores drain in order: each begins after its predecessor finishes.
+        let start = self.completions.back().copied().unwrap_or(issue_at).max(issue_at);
+        self.completions.push_back(start + latency);
+        stall
+    }
+
+    fn occupancy(&self) -> usize {
+        self.completions.len()
+    }
+}
+
+/// The default core performance model: in-order issue, out-of-order memory.
+///
+/// The model is deliberately decoupled from the functional simulator: it
+/// consumes an instruction stream plus dynamic info and produces clock
+/// advances, so alternative models (e.g. out-of-order) can replace it behind
+/// the same `issue` interface — the paper's argument for core-model
+/// flexibility.
+#[derive(Debug)]
+pub struct InOrderCore {
+    params: CoreParams,
+    bpred: TwoBitPredictor,
+    store_buffer: StoreBuffer,
+    stats: CoreStats,
+}
+
+impl InOrderCore {
+    /// Creates a core model with the given parameters.
+    pub fn new(params: CoreParams) -> Self {
+        InOrderCore {
+            bpred: TwoBitPredictor::new(params.bpred_entries),
+            store_buffer: StoreBuffer::new(params.store_buffer_entries),
+            stats: CoreStats::default(),
+            params,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &CoreParams {
+        &self.params
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Current store-buffer occupancy (for tests).
+    pub fn store_buffer_occupancy(&self) -> usize {
+        self.store_buffer.occupancy()
+    }
+
+    /// Consumes one instruction at local time `now` and returns the cycles
+    /// the tile clock must advance.
+    pub fn issue(&mut self, now: Cycles, instr: &Instruction) -> Cycles {
+        let cost = match *instr {
+            Instruction::IntAlu { count } => self.batch(count, self.params.int_alu),
+            Instruction::IntMul { count } => self.batch(count, self.params.int_mul),
+            Instruction::IntDiv { count } => self.batch(count, self.params.int_div),
+            Instruction::FpAdd { count } => self.batch(count, self.params.fp_add),
+            Instruction::FpMul { count } => self.batch(count, self.params.fp_mul),
+            Instruction::FpDiv { count } => self.batch(count, self.params.fp_div),
+            Instruction::Branch { pc, taken } => {
+                self.stats.instructions.incr();
+                self.stats.branches.incr();
+                let predicted = self.bpred.predict_and_update(pc, taken);
+                if predicted {
+                    self.params.branch
+                } else {
+                    self.stats.mispredicts.incr();
+                    self.params.branch + self.params.mispredict_penalty
+                }
+            }
+            Instruction::Load { latency } => {
+                self.stats.instructions.incr();
+                self.stats.loads.incr();
+                self.stats.load_cycles.add(latency.0);
+                latency.max(Cycles(1))
+            }
+            Instruction::Store { latency } => {
+                self.stats.instructions.incr();
+                self.stats.stores.incr();
+                let stall = self.store_buffer.push(now, latency);
+                self.stats.store_stall_cycles.add(stall.0);
+                Cycles(1) + stall
+            }
+            Instruction::Generic { cost } => {
+                self.stats.instructions.incr();
+                cost
+            }
+            Instruction::Recv { wait } => {
+                self.stats.instructions.incr();
+                self.stats.recv_wait_cycles.add(wait.0);
+                Cycles(1) + wait
+            }
+            Instruction::Spawn => {
+                self.stats.instructions.incr();
+                self.params.spawn_cost
+            }
+        };
+        self.stats.cycles.add(cost.0);
+        cost
+    }
+
+    fn batch(&self, count: u32, each: Cycles) -> Cycles {
+        self.stats.instructions.add(count as u64);
+        Cycles(count as u64 * each.0)
+    }
+}
+
+impl CoreModel for InOrderCore {
+    fn name(&self) -> &'static str {
+        "in-order"
+    }
+
+    fn issue(&mut self, now: Cycles, instr: &Instruction) -> Cycles {
+        InOrderCore::issue(self, now, instr)
+    }
+
+    fn stats(&self) -> &CoreStats {
+        InOrderCore::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> InOrderCore {
+        InOrderCore::new(CoreParams::default())
+    }
+
+    #[test]
+    fn alu_batches_scale_linearly() {
+        let mut c = core();
+        assert_eq!(c.issue(Cycles(0), &Instruction::IntAlu { count: 7 }), Cycles(7));
+        assert_eq!(c.issue(Cycles(0), &Instruction::FpMul { count: 2 }), Cycles(10));
+        assert_eq!(c.stats().instructions.get(), 9);
+    }
+
+    #[test]
+    fn loads_charge_memory_latency() {
+        let mut c = core();
+        assert_eq!(c.issue(Cycles(0), &Instruction::Load { latency: Cycles(55) }), Cycles(55));
+        assert_eq!(c.issue(Cycles(0), &Instruction::Load { latency: Cycles(0) }), Cycles(1));
+        assert_eq!(c.stats().loads.get(), 2);
+    }
+
+    #[test]
+    fn stores_hide_behind_buffer_until_full() {
+        let mut c = core();
+        let mut now = Cycles::ZERO;
+        // 8 buffered stores of 100 cycles each: all cost 1 cycle.
+        for _ in 0..8 {
+            let cost = c.issue(now, &Instruction::Store { latency: Cycles(100) });
+            assert_eq!(cost, Cycles(1));
+            now += cost;
+        }
+        assert_eq!(c.store_buffer_occupancy(), 8);
+        // The 9th store stalls until the oldest completes (at ~cycle 100).
+        let cost = c.issue(now, &Instruction::Store { latency: Cycles(100) });
+        assert!(cost > Cycles(50), "store should stall, got {cost}");
+        assert!(c.stats().store_stall_cycles.get() > 0);
+    }
+
+    #[test]
+    fn store_buffer_drains_over_time() {
+        let mut c = core();
+        for _ in 0..8 {
+            c.issue(Cycles(0), &Instruction::Store { latency: Cycles(10) });
+        }
+        // Far in the future everything has drained: no stall.
+        let cost = c.issue(Cycles(10_000), &Instruction::Store { latency: Cycles(10) });
+        assert_eq!(cost, Cycles(1));
+    }
+
+    #[test]
+    fn branch_predictor_learns_biased_branches() {
+        let mut c = core();
+        let mut total = Cycles::ZERO;
+        for _ in 0..100 {
+            total += c.issue(Cycles(0), &Instruction::Branch { pc: 0x40, taken: true });
+        }
+        // After warm-up every prediction is correct: ~1 cycle each.
+        assert!(c.stats().mispredict_rate() < 0.05, "rate {}", c.stats().mispredict_rate());
+        assert!(total < Cycles(200));
+    }
+
+    #[test]
+    fn alternating_branch_is_mispredicted_often() {
+        let mut c = core();
+        for i in 0..100 {
+            c.issue(Cycles(0), &Instruction::Branch { pc: 0x80, taken: i % 2 == 0 });
+        }
+        assert!(c.stats().mispredict_rate() > 0.4);
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        let mut c = core();
+        assert_eq!(c.issue(Cycles(0), &Instruction::Recv { wait: Cycles(500) }), Cycles(501));
+        assert_eq!(c.issue(Cycles(0), &Instruction::Spawn), Cycles(1_000));
+        assert_eq!(c.stats().recv_wait_cycles.get(), 500);
+    }
+
+    #[test]
+    fn ipc_reflects_mix() {
+        let mut c = core();
+        c.issue(Cycles(0), &Instruction::IntAlu { count: 100 });
+        assert!((c.stats().ipc() - 1.0).abs() < 1e-9);
+        c.issue(Cycles(0), &Instruction::Load { latency: Cycles(100) });
+        assert!(c.stats().ipc() < 1.0);
+    }
+
+    #[test]
+    fn generic_cost_passthrough() {
+        let mut c = core();
+        assert_eq!(c.issue(Cycles(0), &Instruction::Generic { cost: Cycles(42) }), Cycles(42));
+    }
+
+    #[test]
+    fn zero_capacity_store_buffer_degenerates_to_blocking() {
+        let mut params = CoreParams::default();
+        params.store_buffer_entries = 0; // clamped to 1 internally
+        let mut c = InOrderCore::new(params);
+        let a = c.issue(Cycles(0), &Instruction::Store { latency: Cycles(100) });
+        assert_eq!(a, Cycles(1), "first store buffers");
+        let b = c.issue(Cycles(1), &Instruction::Store { latency: Cycles(100) });
+        assert!(b >= Cycles(99), "second store waits for the first");
+    }
+}

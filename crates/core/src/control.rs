@@ -1,0 +1,430 @@
+//! The simulation control plane: MCP and LCP (paper §2.2, §3.4, §3.5).
+//!
+//! "Graphite spawns additional threads called the Master Control Program
+//! (MCP) and the Local Control Program (LCP). There is one LCP per process
+//! but only one MCP for the entire simulation. The MCP and LCP ensure the
+//! functional correctness of the simulation by providing services for
+//! synchronization, system call execution and thread management."
+//!
+//! The MCP here is a single service thread processing request messages in
+//! arrival order — which is also what makes its futex emulation atomic. It
+//! owns the thread-to-tile mapping (tiles striped across processes), the
+//! futex wait queues, the dynamic memory manager for the heap and mmap
+//! segments (paper §3.2.1), and the virtual file system backing the
+//! consistent-OS-interface syscalls (paper §3.4: file descriptors must mean
+//! the same thing in every process, so file I/O funnels through the MCP).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use graphite_base::{Counter, Cycles, SimError, ThreadId, TileId};
+use graphite_core_model::Instruction;
+use graphite_memory::addr::layout;
+use graphite_memory::{Addr, SegmentAllocator};
+use graphite_transport::Mailbox;
+
+use crate::ctx::{Ctx, GuestEntry};
+use crate::vfs::Vfs;
+use crate::SimInner;
+
+/// Counters for control-plane activity, consumed by reports and the host
+/// performance model.
+#[derive(Debug, Default)]
+pub struct ControlStats {
+    /// Threads spawned.
+    pub spawns: Counter,
+    /// Joins completed.
+    pub joins: Counter,
+    /// Futex waits that actually blocked.
+    pub futex_waits: Counter,
+    /// Futex wake calls.
+    pub futex_wakes: Counter,
+    /// System calls serviced by the MCP (file I/O, memory management).
+    pub syscalls: Counter,
+}
+
+/// Result of a futex wait request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FutexWaitOutcome {
+    /// The thread blocked and was woken by a waker at the given time.
+    Woken {
+        /// The waker's simulated time, for clock forwarding.
+        waker_time: Cycles,
+    },
+    /// The futex word no longer held the expected value; no blocking.
+    ValueMismatch,
+}
+
+/// File-system syscalls forwarded to the MCP.
+#[derive(Debug)]
+pub enum FileReq {
+    /// Opens (creating if needed) a file in the simulation-private VFS.
+    Open {
+        /// Path within the virtual file system.
+        path: String,
+        /// Receives the new file descriptor.
+        reply: Sender<i32>,
+    },
+    /// Closes a descriptor; replies 0 on success, −1 otherwise.
+    Close {
+        /// Descriptor to close.
+        fd: i32,
+        /// Receives the result code.
+        reply: Sender<i32>,
+    },
+    /// Reads up to `max` bytes at the descriptor's offset.
+    Read {
+        /// Descriptor to read.
+        fd: i32,
+        /// Maximum bytes.
+        max: usize,
+        /// Receives the data (possibly shorter than `max`).
+        reply: Sender<Vec<u8>>,
+    },
+    /// Writes bytes at the descriptor's offset; replies bytes written.
+    Write {
+        /// Descriptor to write.
+        fd: i32,
+        /// The data.
+        data: Vec<u8>,
+        /// Receives the count.
+        reply: Sender<usize>,
+    },
+    /// Repositions a descriptor; replies the new offset or −1.
+    Seek {
+        /// Descriptor.
+        fd: i32,
+        /// Absolute offset.
+        pos: u64,
+        /// Receives the new offset.
+        reply: Sender<i64>,
+    },
+}
+
+/// Requests serviced by the MCP.
+pub enum McpRequest {
+    /// Spawn a guest thread on a free tile (paper §3.5: "the spawn calls are
+    /// forwarded to the MCP to ensure a consistent view of the
+    /// thread-to-tile mapping").
+    Spawn {
+        /// Guest entry function.
+        entry: GuestEntry,
+        /// Argument passed to the entry.
+        arg: u64,
+        /// Spawner's clock; the child's clock starts here.
+        parent_time: Cycles,
+        /// Receives the new thread id, or [`SimError::NoFreeTile`].
+        reply: Sender<Result<ThreadId, SimError>>,
+    },
+    /// Wait for a thread to exit; replies with its exit time.
+    Join {
+        /// Thread to join.
+        thread: ThreadId,
+        /// Receives the exit time.
+        reply: Sender<Cycles>,
+    },
+    /// A guest thread finished.
+    ThreadExit {
+        /// The exiting thread.
+        thread: ThreadId,
+        /// Its tile, returned to the free pool.
+        tile: TileId,
+        /// Its final clock.
+        time: Cycles,
+    },
+    /// Emulated `futex(FUTEX_WAIT)` (paper §3.4).
+    FutexWait {
+        /// Futex word address in the simulated address space.
+        addr: Addr,
+        /// Value the caller saw; mismatches fail immediately.
+        expected: u32,
+        /// Receives the outcome.
+        reply: Sender<FutexWaitOutcome>,
+    },
+    /// Emulated `futex(FUTEX_WAKE)`.
+    FutexWake {
+        /// Futex word address.
+        addr: Addr,
+        /// Maximum waiters to wake.
+        max: u32,
+        /// The waker's clock (propagated to woken threads).
+        time: Cycles,
+        /// Receives the number woken.
+        reply: Sender<u32>,
+    },
+    /// Heap allocation (intercepted `brk`-style allocation, §3.2.1).
+    Malloc {
+        /// Requested bytes.
+        size: u64,
+        /// Receives the address.
+        reply: Sender<Result<Addr, SimError>>,
+    },
+    /// Frees a heap allocation.
+    Free {
+        /// Block start address.
+        addr: Addr,
+        /// Receives success or an error for invalid frees.
+        reply: Sender<Result<(), SimError>>,
+    },
+    /// Allocation from the mmap segment (intercepted `mmap`).
+    Mmap {
+        /// Requested bytes.
+        size: u64,
+        /// Receives the address.
+        reply: Sender<Result<Addr, SimError>>,
+    },
+    /// Releases an mmap region (intercepted `munmap`).
+    Munmap {
+        /// Region start.
+        addr: Addr,
+        /// Receives success or an error.
+        reply: Sender<Result<(), SimError>>,
+    },
+    /// File-system syscalls.
+    File(FileReq),
+    /// Ends the control plane (sent once by [`crate::Simulator::run`]).
+    Shutdown,
+}
+
+/// Commands from the MCP to a process's LCP.
+pub enum LcpCmd {
+    /// Start a guest thread on a tile owned by this process.
+    Spawn {
+        /// Target tile.
+        tile: TileId,
+        /// Thread id assigned by the MCP.
+        thread: ThreadId,
+        /// Entry function.
+        entry: GuestEntry,
+        /// Entry argument.
+        arg: u64,
+        /// Starting clock (the spawner's time).
+        start_time: Cycles,
+    },
+    /// Join all worker threads and exit.
+    Shutdown,
+}
+
+#[derive(Debug)]
+enum ThreadState {
+    Running,
+    Exited(Cycles),
+}
+
+struct ThreadRecord {
+    state: ThreadState,
+    joiners: Vec<Sender<Cycles>>,
+}
+
+/// The MCP service loop. Runs on its own host thread; single-threaded
+/// processing makes futex and thread-table updates atomic.
+pub(crate) fn mcp_main(
+    inner: Arc<SimInner>,
+    rx: Receiver<McpRequest>,
+    lcp_txs: Vec<Sender<LcpCmd>>,
+) {
+    let mut free_tiles: BTreeSet<u32> = (1..inner.cfg.target.num_tiles).collect();
+    let mut threads: Vec<ThreadRecord> =
+        vec![ThreadRecord { state: ThreadState::Running, joiners: Vec::new() }];
+    let mut futexes: HashMap<u64, VecDeque<Sender<FutexWaitOutcome>>> = HashMap::new();
+    let mut heap = SegmentAllocator::new(layout::HEAP_BASE, layout::HEAP_LIMIT.0 - layout::HEAP_BASE.0);
+    let mut mmap = SegmentAllocator::new(layout::MMAP_BASE, layout::MMAP_LIMIT.0 - layout::MMAP_BASE.0);
+    let mut vfs = Vfs::new();
+
+    while let Ok(req) = rx.recv() {
+        match req {
+            McpRequest::Spawn { entry, arg, parent_time, reply } => {
+                let Some(tile) = free_tiles.pop_first() else {
+                    let _ = reply.send(Err(SimError::NoFreeTile));
+                    continue;
+                };
+                let thread = ThreadId(threads.len() as u32);
+                threads.push(ThreadRecord { state: ThreadState::Running, joiners: Vec::new() });
+                inner.ctrl_stats.spawns.incr();
+                let proc = inner.cfg.process_of_tile(tile) as usize;
+                let _ = lcp_txs[proc].send(LcpCmd::Spawn {
+                    tile: TileId(tile),
+                    thread,
+                    entry,
+                    arg,
+                    start_time: parent_time,
+                });
+                let _ = reply.send(Ok(thread));
+            }
+            McpRequest::Join { thread, reply } => {
+                inner.ctrl_stats.joins.incr();
+                match threads.get_mut(thread.index()) {
+                    Some(rec) => match rec.state {
+                        ThreadState::Exited(t) => {
+                            let _ = reply.send(t);
+                        }
+                        ThreadState::Running => rec.joiners.push(reply),
+                    },
+                    None => {
+                        // Unknown thread: reply immediately so the caller is
+                        // not stranded (join of a never-spawned id).
+                        let _ = reply.send(Cycles::ZERO);
+                    }
+                }
+            }
+            McpRequest::ThreadExit { thread, tile, time } => {
+                if let Some(rec) = threads.get_mut(thread.index()) {
+                    rec.state = ThreadState::Exited(time);
+                    for j in rec.joiners.drain(..) {
+                        let _ = j.send(time);
+                    }
+                }
+                if tile.0 != 0 {
+                    free_tiles.insert(tile.0);
+                }
+            }
+            McpRequest::FutexWait { addr, expected, reply } => {
+                let mut cur = [0u8; 4];
+                inner.mem.peek_bytes(addr, &mut cur);
+                if u32::from_le_bytes(cur) != expected {
+                    let _ = reply.send(FutexWaitOutcome::ValueMismatch);
+                } else {
+                    inner.ctrl_stats.futex_waits.incr();
+                    futexes.entry(addr.0).or_default().push_back(reply);
+                }
+            }
+            McpRequest::FutexWake { addr, max, time, reply } => {
+                inner.ctrl_stats.futex_wakes.incr();
+                let mut woken = 0u32;
+                if let Some(q) = futexes.get_mut(&addr.0) {
+                    while woken < max {
+                        let Some(waiter) = q.pop_front() else { break };
+                        let _ = waiter.send(FutexWaitOutcome::Woken { waker_time: time });
+                        woken += 1;
+                    }
+                    if q.is_empty() {
+                        futexes.remove(&addr.0);
+                    }
+                }
+                let _ = reply.send(woken);
+            }
+            McpRequest::Malloc { size, reply } => {
+                inner.ctrl_stats.syscalls.incr();
+                let _ = reply.send(heap.alloc(size));
+            }
+            McpRequest::Free { addr, reply } => {
+                inner.ctrl_stats.syscalls.incr();
+                let _ = reply.send(heap.free(addr));
+            }
+            McpRequest::Mmap { size, reply } => {
+                inner.ctrl_stats.syscalls.incr();
+                let _ = reply.send(mmap.alloc(size));
+            }
+            McpRequest::Munmap { addr, reply } => {
+                inner.ctrl_stats.syscalls.incr();
+                let _ = reply.send(mmap.free(addr));
+            }
+            McpRequest::File(f) => {
+                inner.ctrl_stats.syscalls.incr();
+                match f {
+                    FileReq::Open { path, reply } => {
+                        let _ = reply.send(vfs.open(&path));
+                    }
+                    FileReq::Close { fd, reply } => {
+                        let _ = reply.send(vfs.close(fd));
+                    }
+                    FileReq::Read { fd, max, reply } => {
+                        let _ = reply.send(vfs.read(fd, max));
+                    }
+                    FileReq::Write { fd, data, reply } => {
+                        if fd == 1 || fd == 2 {
+                            inner.stdout.lock().extend_from_slice(&data);
+                            let _ = reply.send(data.len());
+                        } else {
+                            let _ = reply.send(vfs.write(fd, &data));
+                        }
+                    }
+                    FileReq::Seek { fd, pos, reply } => {
+                        let _ = reply.send(vfs.seek(fd, pos));
+                    }
+                }
+            }
+            McpRequest::Shutdown => break,
+        }
+    }
+    // Wake anything still parked so worker threads can exit, then stop LCPs.
+    for (_, q) in futexes.drain() {
+        for w in q {
+            let _ = w.send(FutexWaitOutcome::ValueMismatch);
+        }
+    }
+    for tx in &lcp_txs {
+        let _ = tx.send(LcpCmd::Shutdown);
+    }
+}
+
+/// The LCP service loop: spawns this process's guest threads (paper §3.5:
+/// "the MCP forwards the spawn request to the LCP on the machine that holds
+/// the chosen tile") and reaps them at shutdown.
+pub(crate) fn lcp_main(inner: Arc<SimInner>, rx: Receiver<LcpCmd>) {
+    let mut workers = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            LcpCmd::Spawn { tile, thread, entry, arg, start_time } => {
+                let inner2 = Arc::clone(&inner);
+                let handle = std::thread::Builder::new()
+                    .name(format!("graphite-{tile}"))
+                    .spawn(move || guest_thread_main(inner2, tile, thread, entry, arg, start_time))
+                    .expect("spawn guest thread");
+                workers.push(handle);
+            }
+            LcpCmd::Shutdown => break,
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Body of every spawned guest thread.
+fn guest_thread_main(
+    inner: Arc<SimInner>,
+    tile: TileId,
+    thread: ThreadId,
+    entry: GuestEntry,
+    arg: u64,
+    start_time: Cycles,
+) {
+    // Thread creation is a true synchronization event: the child's clock
+    // starts at the spawner's time (§3.6.1), then pays the spawn cost via
+    // the spawn pseudo-instruction (§3.1).
+    inner.clocks[tile.index()].reset_to(start_time);
+    inner.sync.activate(tile);
+    // Even if the guest panics, the thread must exit through the MCP —
+    // otherwise joiners and barrier peers deadlock and the whole simulation
+    // hangs instead of reporting the failure.
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut ctx = Ctx::new(Arc::clone(&inner), tile, thread);
+        ctx.execute(Instruction::Spawn);
+        entry(&mut ctx, arg);
+    }))
+    .err();
+    let end = inner.clocks[tile.index()].now();
+    inner.sync.deactivate(tile);
+    let _ = inner.mcp_tx.send(McpRequest::ThreadExit { thread, tile, time: end });
+    if let Some(p) = panic {
+        inner.guest_panicked.store(true, std::sync::atomic::Ordering::Relaxed);
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Per-tile inbox for the user-level messaging API: the transport mailbox
+/// plus a stash for messages received while waiting for a specific sender.
+#[derive(Debug)]
+pub struct UserInbox {
+    pub(crate) mailbox: Mailbox,
+    pub(crate) stash: VecDeque<(TileId, Cycles, Vec<u8>)>,
+}
+
+impl UserInbox {
+    /// Wraps a registered transport mailbox.
+    pub fn new(mailbox: Mailbox) -> Self {
+        UserInbox { mailbox, stash: VecDeque::new() }
+    }
+}

@@ -1,0 +1,452 @@
+//! The guest execution context — this reproduction's front end (paper §2).
+//!
+//! In the original Graphite, Pin rewrites an unmodified x86 binary so that
+//! memory references, system calls, synchronization routines and user-level
+//! messages trap into the simulator back end, while an instruction stream
+//! feeds the core model. Here the workload is a Rust function handed a
+//! [`Ctx`]; every `Ctx` method produces exactly the event the DBT would have
+//! produced:
+//!
+//! | Pin would intercept…      | `Ctx` equivalent                          |
+//! |---------------------------|-------------------------------------------|
+//! | memory reference          | [`Ctx::load_u64`], [`Ctx::store_u64`], …  |
+//! | instruction stream        | [`Ctx::execute`], [`Ctx::alu`], …         |
+//! | `pthread_create`/`join`   | [`Ctx::spawn`], [`Ctx::join`]             |
+//! | `futex` syscall           | [`Ctx::futex_wait`], [`Ctx::futex_wake`]  |
+//! | `brk`/`mmap`/`munmap`     | [`Ctx::malloc`], [`Ctx::mmap`], …         |
+//! | file-I/O syscalls         | [`Ctx::sys_open`], [`Ctx::sys_read`], …   |
+//! | messaging API             | [`Ctx::send_msg`], [`Ctx::recv_msg`]      |
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+use graphite_base::{Cycles, SimError, ThreadId, TileId};
+use graphite_core_model::Instruction;
+use graphite_memory::Addr;
+use graphite_network::{Packet, TrafficClass};
+use graphite_transport::{Endpoint, MsgClass};
+
+use crate::control::{FileReq, FutexWaitOutcome, McpRequest};
+use crate::{SimInner, FUTEX_WAKE_LATENCY, SYSCALL_COST};
+
+/// A guest thread's entry point: receives its context and a `u64` argument
+/// (by convention a simulated-memory address), mirroring
+/// `pthread_create(..., void *arg)`.
+pub type GuestEntry = Arc<dyn Fn(&mut Ctx, u64) + Send + Sync + 'static>;
+
+/// The execution context of one guest thread, bound to one target tile for
+/// the thread's lifetime (paper §3.5: threads are long-living).
+pub struct Ctx {
+    sim: Arc<SimInner>,
+    tile: TileId,
+    thread: ThreadId,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("tile", &self.tile).field("thread", &self.thread).finish()
+    }
+}
+
+impl Ctx {
+    pub(crate) fn new(sim: Arc<SimInner>, tile: TileId, thread: ThreadId) -> Self {
+        Ctx { sim, tile, thread }
+    }
+
+    /// The tile this thread runs on.
+    pub fn tile(&self) -> TileId {
+        self.tile
+    }
+
+    /// This thread's id (0 is the main thread).
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Number of target tiles in the simulation.
+    pub fn num_tiles(&self) -> u32 {
+        self.sim.cfg.target.num_tiles
+    }
+
+    /// The tile's local simulated time.
+    pub fn now(&self) -> Cycles {
+        self.sim.clocks[self.tile.index()].now()
+    }
+
+    /// Forwards this tile's clock to `t` if `t` is in the future — the
+    /// paper's synchronization-event rule (§3.6.1). Used by guest
+    /// synchronization primitives to propagate a releaser's timestamp to
+    /// participants that did not block in the futex.
+    pub fn forward_time(&mut self, t: Cycles) {
+        self.sim.clocks[self.tile.index()].forward_to(t);
+        self.sim.sync.on_progress(self.tile);
+    }
+
+    // ---- instruction stream -------------------------------------------
+
+    /// Feeds one instruction (or batch) to this tile's core model and
+    /// advances the local clock by its cost.
+    pub fn execute(&mut self, instr: Instruction) {
+        let clock = &self.sim.clocks[self.tile.index()];
+        let cost = self.sim.cores[self.tile.index()].lock().issue(clock.now(), &instr);
+        clock.advance(cost);
+        self.sim.sync.on_progress(self.tile);
+    }
+
+    /// Convenience: `n` integer ALU instructions.
+    pub fn alu(&mut self, n: u32) {
+        self.execute(Instruction::IntAlu { count: n });
+    }
+
+    /// Convenience: `n` floating-point multiply instructions.
+    pub fn fp(&mut self, n: u32) {
+        self.execute(Instruction::FpMul { count: n });
+    }
+
+    /// Convenience: a conditional branch with its outcome.
+    pub fn branch(&mut self, pc: u64, taken: bool) {
+        self.execute(Instruction::Branch { pc, taken });
+    }
+
+    // ---- memory references --------------------------------------------
+
+    /// Reads raw bytes from the simulated address space (modeled).
+    pub fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        let now = self.now();
+        let lat = self.sim.mem.read(self.tile, now, addr, buf);
+        self.execute(Instruction::Load { latency: lat });
+    }
+
+    /// Writes raw bytes to the simulated address space (modeled).
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        let now = self.now();
+        let lat = self.sim.mem.write(self.tile, now, addr, bytes);
+        self.execute(Instruction::Store { latency: lat });
+    }
+
+    /// Loads a little-endian `u64`.
+    pub fn load_u64(&mut self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Stores a little-endian `u64`.
+    pub fn store_u64(&mut self, addr: Addr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Loads a little-endian `u32`.
+    pub fn load_u32(&mut self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Stores a little-endian `u32`.
+    pub fn store_u32(&mut self, addr: Addr, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Loads an `f64`.
+    pub fn load_f64(&mut self, addr: Addr) -> f64 {
+        f64::from_bits(self.load_u64(addr))
+    }
+
+    /// Stores an `f64`.
+    pub fn store_f64(&mut self, addr: Addr, v: f64) {
+        self.store_u64(addr, v.to_bits());
+    }
+
+    /// Atomic read-modify-write of a `u32` (a locked instruction); returns
+    /// the previous value.
+    pub fn fetch_update_u32<F: FnMut(u32) -> u32>(&mut self, addr: Addr, f: F) -> u32 {
+        let now = self.now();
+        let (old, lat) = self.sim.mem.fetch_update_u32(self.tile, now, addr, f);
+        self.execute(Instruction::Generic { cost: lat.max(Cycles(1)) });
+        old
+    }
+
+    /// Atomic read-modify-write of a `u64`; returns the previous value.
+    pub fn fetch_update_u64<F: FnMut(u64) -> u64>(&mut self, addr: Addr, f: F) -> u64 {
+        let now = self.now();
+        let (old, lat) = self.sim.mem.fetch_update_u64(self.tile, now, addr, f);
+        self.execute(Instruction::Generic { cost: lat.max(Cycles(1)) });
+        old
+    }
+
+    /// Functional (unmodeled) read of simulated memory — a debugger-style
+    /// peek that charges no simulated time and perturbs no model state.
+    /// Useful for out-of-band verification of results.
+    pub fn peek_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        self.sim.mem.peek_bytes(addr, buf);
+    }
+
+    /// Functional (unmodeled) peek of an `f64`.
+    pub fn peek_f64(&self, addr: Addr) -> f64 {
+        let mut b = [0u8; 8];
+        self.peek_bytes(addr, &mut b);
+        f64::from_bits(u64::from_le_bytes(b))
+    }
+
+    /// Functional (unmodeled) write of simulated memory, kept coherent with
+    /// every cached copy.
+    pub fn poke_bytes(&self, addr: Addr, bytes: &[u8]) {
+        self.sim.mem.poke_bytes(addr, bytes);
+    }
+
+    /// Models an instruction fetch at `pc` through the L1I.
+    pub fn ifetch(&mut self, pc: Addr) {
+        let now = self.now();
+        let lat = self.sim.mem.ifetch(self.tile, now, pc);
+        self.execute(Instruction::Generic { cost: lat });
+    }
+
+    // ---- dynamic memory (intercepted brk/mmap, §3.2.1) ------------------
+
+    /// Allocates simulated heap memory via the MCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] when the heap is exhausted.
+    pub fn malloc(&mut self, size: u64) -> Result<Addr, SimError> {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::Malloc { size, reply: tx });
+        rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
+    }
+
+    /// Frees simulated heap memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] for invalid frees.
+    pub fn free(&mut self, addr: Addr) -> Result<(), SimError> {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::Free { addr, reply: tx });
+        rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
+    }
+
+    /// Allocates from the mmap segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] when the segment is exhausted.
+    pub fn mmap(&mut self, size: u64) -> Result<Addr, SimError> {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::Mmap { size, reply: tx });
+        rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
+    }
+
+    /// Releases an mmap region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] for invalid regions.
+    pub fn munmap(&mut self, addr: Addr) -> Result<(), SimError> {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::Munmap { addr, reply: tx });
+        rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
+    }
+
+    // ---- threading (intercepted pthread spawn/join, §3.5) ---------------
+
+    /// Spawns a guest thread on a free tile chosen by the MCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoFreeTile`] when every tile already runs a
+    /// thread (the paper's limit: threads ≤ tiles).
+    pub fn spawn(&mut self, entry: GuestEntry, arg: u64) -> Result<ThreadId, SimError> {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::Spawn { entry, arg, parent_time: self.now(), reply: tx });
+        rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
+    }
+
+    /// Blocks until `thread` exits, then forwards this tile's clock to the
+    /// exit time (thread join is a true synchronization event, §3.6.1).
+    pub fn join(&mut self, thread: ThreadId) {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::Join { thread, reply: tx });
+        self.sim.sync.deactivate(self.tile);
+        let exit_time = rx.recv().unwrap_or(Cycles::ZERO);
+        self.sim.sync.activate(self.tile);
+        self.sim.clocks[self.tile.index()].forward_to(exit_time);
+        self.execute(Instruction::Generic { cost: Cycles(1) });
+    }
+
+    // ---- futex emulation (intercepted futex syscall, §3.4) --------------
+
+    /// Emulated `futex(FUTEX_WAIT)`: blocks while the word at `addr` equals
+    /// `expected`. On wake, the clock forwards to the waker's time.
+    pub fn futex_wait(&mut self, addr: Addr, expected: u32) {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::FutexWait { addr, expected, reply: tx });
+        self.sim.sync.deactivate(self.tile);
+        let outcome = rx.recv().unwrap_or(FutexWaitOutcome::ValueMismatch);
+        self.sim.sync.activate(self.tile);
+        if let FutexWaitOutcome::Woken { waker_time } = outcome {
+            self.sim.clocks[self.tile.index()].forward_to(waker_time + FUTEX_WAKE_LATENCY);
+            self.execute(Instruction::Generic { cost: Cycles(1) });
+        }
+    }
+
+    /// Emulated `futex(FUTEX_WAKE)`: wakes up to `max` waiters; returns the
+    /// number woken.
+    pub fn futex_wake(&mut self, addr: Addr, max: u32) -> u32 {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::FutexWake { addr, max, time: self.now(), reply: tx });
+        rx.recv().unwrap_or(0)
+    }
+
+    // ---- user-level messaging API (§3.3) --------------------------------
+
+    /// Sends an application message to another tile through the user network
+    /// model and the transport layer.
+    pub fn send_msg(&mut self, to: TileId, payload: &[u8]) {
+        let now = self.now();
+        // Price the message on the user network model; the timestamp it
+        // carries is its modeled arrival time.
+        let delivery = self.sim.network.route(
+            TrafficClass::User,
+            &Packet {
+                src: self.tile,
+                dst: to,
+                size_bytes: payload.len() as u32 + 8,
+                send_time: now,
+            },
+        );
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        framed.extend_from_slice(&delivery.arrival.0.to_le_bytes());
+        framed.extend_from_slice(payload);
+        self.sim
+            .transport
+            .send(Endpoint::Tile(self.tile), Endpoint::Tile(to), MsgClass::User, framed)
+            .expect("user message to a live simulation");
+        self.sim.user_msgs.incr();
+        self.execute(Instruction::Generic { cost: Cycles(10) });
+    }
+
+    /// Receives the next application message (blocking); returns the sender
+    /// and payload. Produces the "message receive pseudo-instruction" and
+    /// forwards the clock to the message timestamp (§3.1, §3.6.1).
+    pub fn recv_msg(&mut self) -> (TileId, Vec<u8>) {
+        self.recv_filtered(None)
+    }
+
+    /// Receives the next message from a specific sender, stashing others.
+    pub fn recv_msg_from(&mut self, from: TileId) -> Vec<u8> {
+        self.recv_filtered(Some(from)).1
+    }
+
+    fn recv_filtered(&mut self, want: Option<TileId>) -> (TileId, Vec<u8>) {
+        let (src, arrival, payload) = {
+            let mut inbox = self.sim.inboxes[self.tile.index()].lock();
+            if let Some(pos) = inbox
+                .stash
+                .iter()
+                .position(|(s, _, _)| want.map_or(true, |w| *s == w))
+            {
+                inbox.stash.remove(pos).expect("position just found")
+            } else {
+                loop {
+                    self.sim.sync.deactivate(self.tile);
+                    let msg = inbox.mailbox.recv().expect("transport alive");
+                    self.sim.sync.activate(self.tile);
+                    let Endpoint::Tile(src) = msg.src else {
+                        continue; // control endpoints never send user messages
+                    };
+                    let arrival = Cycles(u64::from_le_bytes(
+                        msg.payload[..8].try_into().expect("8-byte timestamp header"),
+                    ));
+                    let data = msg.payload[8..].to_vec();
+                    if want.map_or(true, |w| src == w) {
+                        break (src, arrival, data);
+                    }
+                    inbox.stash.push_back((src, arrival, data));
+                }
+            }
+        };
+        // The receive pseudo-instruction advances the clock by the blocking
+        // wait, landing it at the message's arrival timestamp (§3.1, §3.6.1).
+        // Stale timestamps (arrival in the past) wait zero cycles.
+        let now = self.now();
+        let wait = arrival.saturating_sub(now);
+        self.execute(Instruction::Recv { wait });
+        (src, payload)
+    }
+
+    // ---- consistent OS interface: file I/O via the MCP (§3.4) -----------
+
+    /// Opens a file in the simulation-wide virtual file system; returns a
+    /// descriptor valid from any thread in any process.
+    pub fn sys_open(&mut self, path: &str) -> i32 {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::File(FileReq::Open { path: path.to_owned(), reply: tx }));
+        rx.recv().unwrap_or(-1)
+    }
+
+    /// Writes `len` bytes from simulated memory at `addr` to `fd`; returns
+    /// bytes written. The data is fetched from the single shared address
+    /// space and shipped to the MCP, like the paper's argument-marshalling
+    /// for syscalls with memory operands.
+    pub fn sys_write(&mut self, fd: i32, addr: Addr, len: usize) -> usize {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST + Cycles(len as u64 / 8) });
+        let mut data = vec![0u8; len];
+        self.sim.mem.peek_bytes(addr, &mut data);
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::File(FileReq::Write { fd, data, reply: tx }));
+        rx.recv().unwrap_or(0)
+    }
+
+    /// Reads up to `len` bytes from `fd` into simulated memory at `addr`;
+    /// returns bytes read.
+    pub fn sys_read(&mut self, fd: i32, addr: Addr, len: usize) -> usize {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST + Cycles(len as u64 / 8) });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::File(FileReq::Read { fd, max: len, reply: tx }));
+        let data = rx.recv().unwrap_or_default();
+        self.sim.mem.poke_bytes(addr, &data);
+        data.len()
+    }
+
+    /// Seeks `fd` to an absolute offset; returns the new offset or −1.
+    pub fn sys_seek(&mut self, fd: i32, pos: u64) -> i64 {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::File(FileReq::Seek { fd, pos, reply: tx }));
+        rx.recv().unwrap_or(-1)
+    }
+
+    /// Closes a descriptor.
+    pub fn sys_close(&mut self, fd: i32) -> i32 {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::File(FileReq::Close { fd, reply: tx }));
+        rx.recv().unwrap_or(-1)
+    }
+
+    /// Writes text to the simulation's captured stdout (fd 1).
+    pub fn print(&mut self, text: &str) {
+        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::File(FileReq::Write {
+            fd: 1,
+            data: text.as_bytes().to_vec(),
+            reply: tx,
+        }));
+        let _ = rx.recv();
+    }
+
+    fn send_mcp(&self, req: McpRequest) {
+        self.sim.mcp_tx.send(req).expect("MCP alive for the simulation's duration");
+    }
+}

@@ -1,0 +1,542 @@
+//! # Graphite-rs
+//!
+//! A from-scratch Rust reproduction of **Graphite**, MIT's distributed
+//! parallel simulator for multicores (Miller et al., HPCA 2010). Graphite
+//! simulates tiled multicore targets with dozens to thousands of cores by
+//! running each application thread on its own tile with its own local clock,
+//! keeping clocks only *laxly* synchronized, and modeling cores, networks
+//! and a fully coherent distributed memory system analytically.
+//!
+//! ## What a simulation looks like
+//!
+//! ```
+//! use graphite::{Simulator, SimConfig};
+//! use graphite_memory::Addr;
+//!
+//! let cfg = SimConfig::builder().tiles(4).processes(2).build().unwrap();
+//! let sim = Simulator::new(cfg).unwrap();
+//! let report = sim.run(|ctx| {
+//!     // Guest code: allocate simulated memory, spawn a thread on another
+//!     // tile, exchange data through the coherent shared address space.
+//!     let buf = ctx.malloc(64).unwrap();
+//!     ctx.store_u64(buf, 41);
+//!     let child = ctx.spawn(
+//!         std::sync::Arc::new(move |ctx: &mut graphite::Ctx, arg| {
+//!             let a = Addr(arg);
+//!             let v = ctx.load_u64(a);
+//!             ctx.store_u64(a, v + 1);
+//!         }),
+//!         buf.0,
+//!     ).unwrap();
+//!     ctx.join(child);
+//!     assert_eq!(ctx.load_u64(buf), 42);
+//! });
+//! assert!(report.simulated_cycles.0 > 0);
+//! ```
+//!
+//! ## Architecture (paper §2–3)
+//!
+//! * every target **tile** = compute core model + network switch + memory
+//!   node; one application thread per tile, striped across simulated host
+//!   processes;
+//! * the **MCP** (Master Control Program) provides thread management, futex
+//!   emulation, dynamic memory management and a consistent OS interface; one
+//!   **LCP** per process spawns that process's threads;
+//! * the **memory system** is functional *and* modeled: caches hold real
+//!   bytes and a directory-MSI protocol moves them (crate
+//!   [`graphite_memory`]);
+//! * **synchronization models** (Lax / LaxBarrier / LaxP2P) bound clock skew
+//!   (crate [`graphite_sync`]);
+//! * guest code reaches all of this through [`Ctx`] — the stand-in for the
+//!   paper's Pin-based dynamic binary translation front end: it emits the
+//!   same event stream (instructions, memory references, sync events,
+//!   messages, syscalls) into the same back end.
+
+pub mod control;
+pub mod ctx;
+pub mod guest_sync;
+pub mod report;
+pub mod vfs;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Sender};
+use graphite_base::{Clock, Counter, Cycles, GlobalProgress, SimError, ThreadId, TileId};
+pub use graphite_config::SimConfig;
+use graphite_core_model::{CoreModel, CoreParams, InOrderCore, OooCore, OooParams};
+use graphite_memory::MemorySystem;
+use graphite_network::Network;
+use graphite_sync::{build_synchronizer, Synchronizer};
+use graphite_transport::{Endpoint, LocalTransport, Transport};
+use parking_lot::Mutex;
+
+pub use ctx::{Ctx, GuestEntry};
+pub use guest_sync::{GBarrier, GCondvar, GMutex};
+pub use report::SimReport;
+
+use control::{lcp_main, mcp_main, ControlStats, LcpCmd, McpRequest, UserInbox};
+
+/// Cycles charged for a system call intercepted and forwarded to the MCP.
+pub(crate) const SYSCALL_COST: Cycles = Cycles(300);
+/// Cycles of latency from a futex wake to the waiter resuming.
+pub(crate) const FUTEX_WAKE_LATENCY: Cycles = Cycles(100);
+
+/// Everything shared between guest threads, the MCP and the LCPs.
+pub(crate) struct SimInner {
+    pub cfg: SimConfig,
+    pub clocks: Arc<Vec<Arc<Clock>>>,
+    pub cores: Vec<Mutex<Box<dyn CoreModel>>>,
+    pub mem: Arc<MemorySystem>,
+    pub network: Arc<Network>,
+    pub sync: Arc<dyn Synchronizer>,
+    pub transport: Arc<dyn Transport>,
+    pub inboxes: Vec<Mutex<UserInbox>>,
+    pub mcp_tx: Sender<McpRequest>,
+    pub ctrl_stats: ControlStats,
+    pub user_msgs: Counter,
+    pub stdout: Mutex<Vec<u8>>,
+    pub started: Instant,
+    /// Set when any guest thread panicked; surfaced by [`Simulator::run`].
+    pub guest_panicked: std::sync::atomic::AtomicBool,
+}
+
+/// Which core performance model every tile runs (paper §3.1: swappable).
+#[derive(Debug, Clone)]
+pub enum CoreKind {
+    /// The paper's default: in-order issue, out-of-order memory.
+    InOrder(CoreParams),
+    /// An out-of-order window model (see [`graphite_core_model::OooCore`]).
+    OutOfOrder(OooParams),
+}
+
+/// Builder for a [`Simulator`] with non-default options.
+#[derive(Debug)]
+pub struct SimulatorBuilder {
+    cfg: SimConfig,
+    classify_misses: bool,
+    core_kind: CoreKind,
+    tcp_transport: bool,
+}
+
+impl SimulatorBuilder {
+    /// Starts from a configuration (validated at [`SimulatorBuilder::build`]).
+    pub fn new(cfg: SimConfig) -> Self {
+        SimulatorBuilder {
+            cfg,
+            classify_misses: false,
+            core_kind: CoreKind::InOrder(CoreParams::default()),
+            tcp_transport: false,
+        }
+    }
+
+    /// Enables cache-miss classification (Figure 8 study).
+    pub fn classify_misses(mut self, on: bool) -> Self {
+        self.classify_misses = on;
+        self
+    }
+
+    /// Overrides the (in-order) core performance model parameters.
+    pub fn core_params(mut self, p: CoreParams) -> Self {
+        self.core_kind = CoreKind::InOrder(p);
+        self
+    }
+
+    /// Selects the core performance model (paper §3.1: core models are
+    /// swappable without touching the functional simulator).
+    pub fn core_model(mut self, kind: CoreKind) -> Self {
+        self.core_kind = kind;
+        self
+    }
+
+    /// Uses real TCP loopback sockets for inter-process user messaging
+    /// instead of in-memory channels.
+    pub fn tcp_transport(mut self, on: bool) -> Self {
+        self.tcp_transport = on;
+        self
+    }
+
+    /// Builds the simulator, spawning the MCP and LCP service threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for inconsistent configurations,
+    /// or a transport error if the TCP backend cannot bind.
+    pub fn build(self) -> Result<Simulator, SimError> {
+        self.cfg.validate()?;
+        let cfg = self.cfg;
+        let n = cfg.target.num_tiles as usize;
+        let clocks: Arc<Vec<Arc<Clock>>> =
+            Arc::new((0..n).map(|_| Arc::new(Clock::new())).collect());
+        let progress = Arc::new(GlobalProgress::new(cfg.progress_window as usize));
+        let network = Arc::new(Network::new(&cfg, Arc::clone(&progress)));
+        let mem = Arc::new(MemorySystem::new(&cfg, Arc::clone(&network), self.classify_misses));
+        let sync = build_synchronizer(cfg.sync, Arc::clone(&clocks), cfg.seed);
+        let transport: Arc<dyn Transport> = if self.tcp_transport {
+            Arc::new(graphite_transport::tcp::TcpTransport::new(&cfg)?)
+        } else {
+            Arc::new(LocalTransport::new(&cfg))
+        };
+        let inboxes = (0..n)
+            .map(|i| {
+                Mutex::new(UserInbox::new(transport.register(Endpoint::Tile(TileId(i as u32)))))
+            })
+            .collect();
+        let cores = (0..n)
+            .map(|_| {
+                let model: Box<dyn CoreModel> = match &self.core_kind {
+                    CoreKind::InOrder(p) => Box::new(InOrderCore::new(p.clone())),
+                    CoreKind::OutOfOrder(p) => Box::new(OooCore::new(p.clone())),
+                };
+                Mutex::new(model)
+            })
+            .collect();
+
+        let (mcp_tx, mcp_rx) = channel::unbounded();
+        let inner = Arc::new(SimInner {
+            clocks,
+            cores,
+            mem,
+            network,
+            sync,
+            transport,
+            inboxes,
+            mcp_tx: mcp_tx.clone(),
+            ctrl_stats: ControlStats::default(),
+            user_msgs: Counter::new(),
+            stdout: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            guest_panicked: std::sync::atomic::AtomicBool::new(false),
+            cfg,
+        });
+
+        // One LCP per simulated host process, plus the MCP in "process 0".
+        let mut lcp_txs = Vec::new();
+        let mut lcp_handles = Vec::new();
+        for p in 0..inner.cfg.num_processes {
+            let (tx, rx) = channel::unbounded::<LcpCmd>();
+            lcp_txs.push(tx);
+            let inner2 = Arc::clone(&inner);
+            lcp_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("graphite-lcp{p}"))
+                    .spawn(move || lcp_main(inner2, rx))
+                    .expect("spawn LCP"),
+            );
+        }
+        let inner2 = Arc::clone(&inner);
+        let mcp_handle = std::thread::Builder::new()
+            .name("graphite-mcp".into())
+            .spawn(move || mcp_main(inner2, mcp_rx, lcp_txs))
+            .expect("spawn MCP");
+
+        Ok(Simulator { inner, mcp_handle: Some(mcp_handle), lcp_handles })
+    }
+}
+
+/// A ready-to-run Graphite simulation.
+///
+/// Create one with [`Simulator::new`] (defaults) or [`Simulator::builder`],
+/// then call [`Simulator::run`] with the guest `main` function. See the
+/// crate-level example.
+pub struct Simulator {
+    inner: Arc<SimInner>,
+    mcp_handle: Option<std::thread::JoinHandle<()>>,
+    lcp_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("tiles", &self.inner.cfg.target.num_tiles)
+            .field("processes", &self.inner.cfg.num_processes)
+            .field("sync", &self.inner.sync.name())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimulatorBuilder::build`].
+    pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
+        SimulatorBuilder::new(cfg).build()
+    }
+
+    /// Starts a builder for non-default options.
+    pub fn builder(cfg: SimConfig) -> SimulatorBuilder {
+        SimulatorBuilder::new(cfg)
+    }
+
+    /// Handles to every tile's clock, for external instrumentation such as
+    /// the Figure 7 clock-skew sampler. The clocks may be read concurrently
+    /// while the simulation runs.
+    pub fn clock_handles(&self) -> Arc<Vec<Arc<Clock>>> {
+        Arc::clone(&self.inner.clocks)
+    }
+
+    /// Runs the guest `main` on tile 0 / thread 0 and returns the report.
+    ///
+    /// The guest may spawn up to `tiles − 1` further threads; like a real
+    /// pthread application it must join them before returning (the paper's
+    /// model: threads are long-living and run to completion).
+    pub fn run<F>(mut self, main_fn: F) -> SimReport
+    where
+        F: FnOnce(&mut Ctx),
+    {
+        let inner = Arc::clone(&self.inner);
+        inner.sync.activate(TileId(0));
+        let mut ctx = Ctx::new(Arc::clone(&inner), TileId(0), ThreadId(0));
+        main_fn(&mut ctx);
+        let end_time = inner.clocks[0].now();
+        inner.sync.deactivate(TileId(0));
+        let _ = inner.mcp_tx.send(McpRequest::ThreadExit {
+            thread: ThreadId(0),
+            tile: TileId(0),
+            time: end_time,
+        });
+        let _ = inner.mcp_tx.send(McpRequest::Shutdown);
+        if let Some(h) = self.mcp_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.lcp_handles.drain(..) {
+            let _ = h.join();
+        }
+        assert!(
+            !inner.guest_panicked.load(std::sync::atomic::Ordering::Relaxed),
+            "a guest thread panicked during the simulation"
+        );
+        report::build_report(&inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_memory::Addr;
+
+    fn cfg(tiles: u32, procs: u32) -> SimConfig {
+        SimConfig::builder().tiles(tiles).processes(procs).build().unwrap()
+    }
+
+    #[test]
+    fn empty_main_produces_report() {
+        let r = Simulator::new(cfg(2, 1)).unwrap().run(|_ctx| {});
+        assert_eq!(r.per_tile_cycles.len(), 2);
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        let r = Simulator::new(cfg(1, 1)).unwrap().run(|ctx| {
+            ctx.alu(1_000);
+        });
+        assert!(r.simulated_cycles >= Cycles(1_000));
+        assert_eq!(r.total_instructions, 1_000);
+    }
+
+    #[test]
+    fn memory_roundtrip_through_guest() {
+        let r = Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+            let a = ctx.malloc(128).unwrap();
+            ctx.store_u64(a, 0xABCD);
+            assert_eq!(ctx.load_u64(a), 0xABCD);
+            ctx.store_f64(a.offset(8), 3.5);
+            assert_eq!(ctx.load_f64(a.offset(8)), 3.5);
+            ctx.free(a).unwrap();
+        });
+        assert!(r.mem.loads >= 2);
+        assert!(r.mem.stores >= 2);
+    }
+
+    #[test]
+    fn spawn_join_across_processes() {
+        let r = Simulator::new(cfg(4, 2)).unwrap().run(|ctx| {
+            let a = ctx.malloc(256).unwrap();
+            // Each spawn gets its own slot address as argument (tiles may be
+            // reused if an earlier thread exits before a later spawn).
+            let entry: GuestEntry = Arc::new(move |ctx, arg| {
+                let slot = Addr(arg);
+                let me = ctx.tile().0 as u64;
+                ctx.store_u64(slot, me + 100);
+            });
+            let mut tids = Vec::new();
+            for i in 0..3u64 {
+                tids.push(ctx.spawn(Arc::clone(&entry), a.offset(i * 8).0).unwrap());
+            }
+            for t in tids {
+                ctx.join(t);
+            }
+            // Every spawned thread wrote a tile id in 1..4 into its slot.
+            for i in 0..3u64 {
+                let v = ctx.load_u64(a.offset(i * 8));
+                assert!((101..=103).contains(&v), "slot {i} holds {v}");
+            }
+        });
+        assert_eq!(r.ctrl.spawns, 3);
+        assert_eq!(r.ctrl.joins, 3);
+    }
+
+    #[test]
+    fn spawn_exhaustion_reports_error() {
+        Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+            let entry: GuestEntry = Arc::new(|ctx, _| {
+                // Occupy the tile until told to stop.
+                ctx.futex_wait(Addr(0x9000), 0);
+            });
+            let t1 = ctx.spawn(Arc::clone(&entry), 0).unwrap();
+            // Only 2 tiles: the second spawn must fail.
+            assert!(matches!(ctx.spawn(Arc::clone(&entry), 0), Err(SimError::NoFreeTile)));
+            ctx.store_u32(Addr(0x9000), 1);
+            ctx.futex_wake(Addr(0x9000), u32::MAX);
+            ctx.join(t1);
+        });
+    }
+
+    #[test]
+    fn child_clock_starts_at_parent_time() {
+        let r = Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+            ctx.alu(50_000); // parent advances before spawning
+            let entry: GuestEntry = Arc::new(|_ctx, _| {});
+            let t = ctx.spawn(entry, 0).unwrap();
+            ctx.join(t);
+        });
+        // The child tile's clock must be at least the parent's pre-spawn time.
+        assert!(r.per_tile_cycles[1] >= Cycles(50_000), "{:?}", r.per_tile_cycles);
+    }
+
+    #[test]
+    fn futex_wake_forwards_waiter_clock() {
+        let r = Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+            let f = ctx.malloc(64).unwrap();
+            let entry: GuestEntry = Arc::new(move |ctx, arg| {
+                let f = Addr(arg);
+                ctx.futex_wait(f, 0); // blocks until main wakes it
+            });
+            let t = ctx.spawn(entry, f.0).unwrap();
+            // Give the child wall-clock time to park in the futex so the
+            // wake (not a value mismatch) delivers the timestamp.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            ctx.alu(200_000); // main runs far ahead in simulated time
+            ctx.store_u32(f, 1);
+            ctx.futex_wake(f, 1);
+            ctx.join(t);
+        });
+        // The woken child was forwarded to (at least near) the waker's time.
+        assert!(
+            r.per_tile_cycles[1] >= Cycles(200_000),
+            "woken thread clock {} not forwarded",
+            r.per_tile_cycles[1]
+        );
+        assert_eq!(r.ctrl.futex_waits, 1);
+        assert!(r.ctrl.futex_wakes >= 1);
+    }
+
+    #[test]
+    fn user_messaging_roundtrip() {
+        let r = Simulator::new(cfg(2, 2)).unwrap().run(|ctx| {
+            let entry: GuestEntry = Arc::new(|ctx, _| {
+                let (from, data) = ctx.recv_msg();
+                assert_eq!(from, TileId(0));
+                assert_eq!(data, b"ping");
+                ctx.send_msg(from, b"pong");
+            });
+            let t = ctx.spawn(entry, 0).unwrap();
+            ctx.send_msg(TileId(1), b"ping");
+            let (from, data) = ctx.recv_msg();
+            assert_eq!(from, TileId(1));
+            assert_eq!(data, b"pong");
+            ctx.join(t);
+        });
+        assert_eq!(r.user_msgs, 2);
+    }
+
+    #[test]
+    fn message_timestamps_forward_receiver_clock() {
+        let r = Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+            let entry: GuestEntry = Arc::new(|ctx, _| {
+                let _ = ctx.recv_msg(); // child waits at cycle ~0
+            });
+            let t = ctx.spawn(entry, 0).unwrap();
+            ctx.alu(500_000);
+            ctx.send_msg(TileId(1), b"late");
+            ctx.join(t);
+        });
+        assert!(r.per_tile_cycles[1] >= Cycles(500_000));
+    }
+
+    #[test]
+    fn file_io_through_mcp() {
+        let r = Simulator::new(cfg(2, 2)).unwrap().run(|ctx| {
+            let buf = ctx.malloc(64).unwrap();
+            ctx.store_u64(buf, 0x1122334455667788);
+            let fd = ctx.sys_open("shared.dat");
+            assert!(fd >= 3);
+            assert_eq!(ctx.sys_write(fd, buf, 8), 8);
+            ctx.sys_close(fd);
+            // Another thread (possibly another process) reads it back.
+            let entry: GuestEntry = Arc::new(move |ctx, arg| {
+                let out = Addr(arg).offset(16);
+                let fd = ctx.sys_open("shared.dat");
+                assert_eq!(ctx.sys_read(fd, out, 8), 8);
+                ctx.sys_close(fd);
+            });
+            let t = ctx.spawn(entry, buf.0).unwrap();
+            ctx.join(t);
+            assert_eq!(ctx.load_u64(buf.offset(16)), 0x1122334455667788);
+        });
+        assert!(r.ctrl.syscalls >= 6);
+    }
+
+    #[test]
+    fn guest_println_captured() {
+        let r = Simulator::new(cfg(1, 1)).unwrap().run(|ctx| {
+            ctx.print("hello from the guest\n");
+        });
+        assert_eq!(String::from_utf8_lossy(&r.stdout), "hello from the guest\n");
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let r = Simulator::new(cfg(4, 2)).unwrap().run(|ctx| {
+            let a = ctx.malloc(4096).unwrap();
+            for i in 0..64u64 {
+                ctx.store_u64(a.offset(i * 8), i);
+            }
+            let mut sum = 0u64;
+            for i in 0..64u64 {
+                sum += ctx.load_u64(a.offset(i * 8));
+            }
+            assert_eq!(sum, (0..64).sum());
+        });
+        assert_eq!(r.mem.loads, 64);
+        assert_eq!(r.mem.stores, 64);
+        assert!(r.mem.l1d_hits > 0);
+        assert!(r.mem.misses > 0);
+        assert!(r.wall.as_nanos() > 0);
+        assert_eq!(r.per_tile_instructions.iter().sum::<u64>(), r.total_instructions);
+    }
+
+    #[test]
+    fn atomic_rmw_from_many_guests() {
+        let r = Simulator::new(cfg(8, 2)).unwrap().run(|ctx| {
+            let a = ctx.malloc(64).unwrap();
+            let entry: GuestEntry = Arc::new(move |ctx, arg| {
+                for _ in 0..500 {
+                    ctx.fetch_update_u32(Addr(arg), |v| v + 1);
+                }
+            });
+            let tids: Vec<_> =
+                (0..7).map(|_| ctx.spawn(Arc::clone(&entry), a.0).unwrap()).collect();
+            for _ in 0..500 {
+                ctx.fetch_update_u32(a, |v| v + 1);
+            }
+            for t in tids {
+                ctx.join(t);
+            }
+            assert_eq!(ctx.load_u32(a), 4_000);
+        });
+        assert!(r.simulated_cycles > Cycles::ZERO);
+    }
+}

@@ -1,0 +1,326 @@
+//! The end-of-simulation report: every statistic the evaluation harness and
+//! the host performance model consume.
+
+use std::fmt;
+use std::time::Duration;
+
+use graphite_base::Cycles;
+use graphite_network::TrafficClass;
+
+use crate::SimInner;
+
+/// Snapshot of the memory system counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemReport {
+    /// Load accesses.
+    pub loads: u64,
+    /// Store accesses.
+    pub stores: u64,
+    /// L1D hits.
+    pub l1d_hits: u64,
+    /// Coherence-cache hits.
+    pub l2_hits: u64,
+    /// Misses (directory transactions with data transfer).
+    pub misses: u64,
+    /// Write-permission upgrades.
+    pub upgrades: u64,
+    /// Invalidations delivered to sharers.
+    pub invalidations: u64,
+    /// Dirty writebacks.
+    pub writebacks: u64,
+    /// DRAM reads.
+    pub dram_reads: u64,
+    /// Cold misses (when classification is enabled).
+    pub miss_cold: u64,
+    /// Capacity misses.
+    pub miss_capacity: u64,
+    /// True-sharing misses.
+    pub miss_true_sharing: u64,
+    /// False-sharing misses.
+    pub miss_false_sharing: u64,
+    /// Sharer evictions forced by a limited directory.
+    pub forced_evictions: u64,
+    /// LimitLESS software traps.
+    pub limitless_traps: u64,
+    /// Sum of modeled memory latencies (cycles).
+    pub latency_sum: u64,
+    /// Largest single access latency (cycles).
+    pub max_latency: u64,
+}
+
+impl MemReport {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Miss rate over all accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Mean modeled memory latency per access, in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Snapshot of one network traffic class.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetReport {
+    /// Packets routed.
+    pub packets: u64,
+    /// Total hops.
+    pub hops: u64,
+    /// Mean modeled latency (cycles).
+    pub mean_latency: f64,
+    /// Total contention delay (cycles).
+    pub contention_sum: u64,
+}
+
+/// Snapshot of control-plane counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CtrlReport {
+    /// Threads spawned.
+    pub spawns: u64,
+    /// Joins completed.
+    pub joins: u64,
+    /// Futex waits that blocked.
+    pub futex_waits: u64,
+    /// Futex wake calls.
+    pub futex_wakes: u64,
+    /// Syscalls serviced by the MCP.
+    pub syscalls: u64,
+}
+
+/// Snapshot of transport-layer locality counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportReport {
+    /// Messages within one simulated process.
+    pub intra_process: u64,
+    /// Messages across processes on one machine.
+    pub inter_process: u64,
+    /// Messages across machines.
+    pub inter_machine: u64,
+}
+
+/// Snapshot of synchronization-model counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Barrier releases (LaxBarrier).
+    pub barrier_releases: u64,
+    /// Waits at the barrier.
+    pub barrier_waits: u64,
+    /// P2P partner checks.
+    pub p2p_checks: u64,
+    /// P2P sleeps taken.
+    pub p2p_sleeps: u64,
+    /// Total microseconds slept by P2P.
+    pub p2p_sleep_us: u64,
+}
+
+/// Per-tile counters for the host performance model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TileReport {
+    /// Instructions retired on this tile.
+    pub instructions: u64,
+    /// Memory accesses issued by this tile.
+    pub mem_accesses: u64,
+    /// Directory transactions by this tile.
+    pub mem_transactions: u64,
+    /// Transactions whose home lives in another simulated process.
+    pub remote_home_transactions: u64,
+    /// Modeled memory latency charged to this tile (cycles).
+    pub mem_latency_sum: u64,
+    /// Total cycles the core model itself advanced this tile's clock
+    /// (instruction costs including memory latencies and waits); the
+    /// difference between the final clock and this is time injected by
+    /// synchronization-event forwarding.
+    pub core_cycles: u64,
+}
+
+/// Everything a finished simulation reports.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// The simulated run-time: the maximum tile clock at the end (the
+    /// quantity whose error/CoV Table 3 studies).
+    pub simulated_cycles: Cycles,
+    /// The main thread's final clock.
+    pub main_cycles: Cycles,
+    /// Host wall-clock time of the run.
+    pub wall: Duration,
+    /// Final clock of every tile.
+    pub per_tile_cycles: Vec<Cycles>,
+    /// Instructions retired per tile.
+    pub per_tile_instructions: Vec<u64>,
+    /// Per-tile detail for the host performance model.
+    pub per_tile: Vec<TileReport>,
+    /// Total instructions.
+    pub total_instructions: u64,
+    /// Memory-system snapshot.
+    pub mem: MemReport,
+    /// Memory-traffic network snapshot.
+    pub net_memory: NetReport,
+    /// User-traffic network snapshot.
+    pub net_user: NetReport,
+    /// Control-plane snapshot.
+    pub ctrl: CtrlReport,
+    /// Transport locality snapshot.
+    pub transport: TransportReport,
+    /// Synchronization-model snapshot.
+    pub sync: SyncReport,
+    /// User-level messages sent.
+    pub user_msgs: u64,
+    /// Captured guest stdout.
+    pub stdout: Vec<u8>,
+    /// Number of target tiles.
+    pub num_tiles: u32,
+    /// Number of simulated host processes.
+    pub num_processes: u32,
+    /// The synchronization model's name.
+    pub sync_model: String,
+}
+
+impl SimReport {
+    /// Simulated seconds at the target clock frequency.
+    pub fn simulated_seconds(&self, clock_ghz: f64) -> f64 {
+        self.simulated_cycles.as_secs(clock_ghz)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Graphite simulation report ===")?;
+        writeln!(
+            f,
+            "target: {} tiles across {} process(es), sync = {}",
+            self.num_tiles, self.num_processes, self.sync_model
+        )?;
+        writeln!(
+            f,
+            "simulated time: {} cycles; wall time {:.3}s",
+            self.simulated_cycles.0,
+            self.wall.as_secs_f64()
+        )?;
+        writeln!(f, "instructions: {}", self.total_instructions)?;
+        writeln!(
+            f,
+            "memory: {} accesses, {:.2}% miss rate, mean latency {:.1} cy",
+            self.mem.accesses(),
+            self.mem.miss_rate() * 100.0,
+            self.mem.mean_latency()
+        )?;
+        writeln!(
+            f,
+            "network(mem): {} packets, mean latency {:.1} cy",
+            self.net_memory.packets, self.net_memory.mean_latency
+        )?;
+        writeln!(
+            f,
+            "control: {} spawns, {} joins, {} futex waits, {} syscalls",
+            self.ctrl.spawns, self.ctrl.joins, self.ctrl.futex_waits, self.ctrl.syscalls
+        )?;
+        write!(
+            f,
+            "transport: {} intra-process, {} inter-process, {} inter-machine",
+            self.transport.intra_process, self.transport.inter_process, self.transport.inter_machine
+        )
+    }
+}
+
+/// Assembles the report from a finished simulation's shared state.
+pub(crate) fn build_report(inner: &SimInner) -> SimReport {
+    let mem_stats = inner.mem.stats();
+    let per_tile_cycles: Vec<Cycles> = inner.clocks.iter().map(|c| c.now()).collect();
+    let per_tile_instructions: Vec<u64> =
+        inner.cores.iter().map(|c| c.lock().stats().instructions.get()).collect();
+    let per_tile_core_cycles: Vec<u64> =
+        inner.cores.iter().map(|c| c.lock().stats().cycles.get()).collect();
+    let per_tile: Vec<TileReport> = inner
+        .mem
+        .per_tile_counters()
+        .iter()
+        .zip(per_tile_instructions.iter().zip(&per_tile_core_cycles))
+        .map(|(m, (&ins, &cyc))| TileReport {
+            instructions: ins,
+            mem_accesses: m.accesses.get(),
+            mem_transactions: m.transactions.get(),
+            remote_home_transactions: m.remote_home_transactions.get(),
+            mem_latency_sum: m.latency_sum.get(),
+            core_cycles: cyc,
+        })
+        .collect();
+    let net = |class: TrafficClass| {
+        let s = inner.network.stats(class);
+        NetReport {
+            packets: s.packets.get(),
+            hops: s.hops.get(),
+            mean_latency: s.mean_latency(),
+            contention_sum: s.contention_sum.get(),
+        }
+    };
+    let sync_stats = inner.sync.stats();
+    let t = inner.transport.stats();
+    SimReport {
+        simulated_cycles: per_tile_cycles.iter().copied().max().unwrap_or(Cycles::ZERO),
+        main_cycles: per_tile_cycles.first().copied().unwrap_or(Cycles::ZERO),
+        wall: inner.started.elapsed(),
+        total_instructions: per_tile_instructions.iter().sum(),
+        per_tile_cycles,
+        per_tile_instructions,
+        per_tile,
+        mem: MemReport {
+            loads: mem_stats.loads.get(),
+            stores: mem_stats.stores.get(),
+            l1d_hits: mem_stats.l1d_hits.get(),
+            l2_hits: mem_stats.l2_hits.get(),
+            misses: mem_stats.misses.get(),
+            upgrades: mem_stats.upgrades.get(),
+            invalidations: mem_stats.invalidations.get(),
+            writebacks: mem_stats.writebacks.get(),
+            dram_reads: mem_stats.dram_reads.get(),
+            miss_cold: mem_stats.miss_cold.get(),
+            miss_capacity: mem_stats.miss_capacity.get(),
+            miss_true_sharing: mem_stats.miss_true_sharing.get(),
+            miss_false_sharing: mem_stats.miss_false_sharing.get(),
+            forced_evictions: mem_stats.forced_evictions.get(),
+            limitless_traps: mem_stats.limitless_traps.get(),
+            latency_sum: mem_stats.latency_sum.get(),
+            max_latency: mem_stats.max_latency.get(),
+        },
+        net_memory: net(TrafficClass::Memory),
+        net_user: net(TrafficClass::User),
+        ctrl: CtrlReport {
+            spawns: inner.ctrl_stats.spawns.get(),
+            joins: inner.ctrl_stats.joins.get(),
+            futex_waits: inner.ctrl_stats.futex_waits.get(),
+            futex_wakes: inner.ctrl_stats.futex_wakes.get(),
+            syscalls: inner.ctrl_stats.syscalls.get(),
+        },
+        transport: TransportReport {
+            intra_process: t.intra_process.get(),
+            inter_process: t.inter_process.get(),
+            inter_machine: t.inter_machine.get(),
+        },
+        sync: SyncReport {
+            barrier_releases: sync_stats.barrier_releases.get(),
+            barrier_waits: sync_stats.barrier_waits.get(),
+            p2p_checks: sync_stats.p2p_checks.get(),
+            p2p_sleeps: sync_stats.p2p_sleeps.get(),
+            p2p_sleep_us: sync_stats.p2p_sleep_us.get(),
+        },
+        user_msgs: inner.user_msgs.get(),
+        stdout: inner.stdout.lock().clone(),
+        num_tiles: inner.cfg.target.num_tiles,
+        num_processes: inner.cfg.num_processes,
+        sync_model: inner.sync.name().to_owned(),
+    }
+}

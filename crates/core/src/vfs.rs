@@ -1,0 +1,161 @@
+//! The virtual file system behind the consistent OS interface (paper §3.4).
+//!
+//! "In a multi-threaded application, threads might communicate via files...
+//! In a Graphite simulation, these threads might be in different host
+//! processes, and thus a file descriptor in one process need not point to
+//! the same file as in the other. Instead, Graphite handles these system
+//! calls by intercepting and forwarding them along with their arguments to
+//! the MCP, where they are executed."
+//!
+//! All descriptors live here, inside the MCP, so every thread in every
+//! simulated process sees one file namespace and one descriptor table.
+//! Files are held in memory; the simulation never touches the host file
+//! system.
+
+use std::collections::HashMap;
+
+/// The MCP-resident file system: named in-memory files plus a global
+/// descriptor table.
+///
+/// Descriptors 0–2 are reserved (stdin/stdout/stderr); real descriptors
+/// start at 3, matching POSIX conventions.
+///
+/// # Examples
+///
+/// ```
+/// use graphite::vfs::Vfs;
+/// let mut vfs = Vfs::new();
+/// let fd = vfs.open("a.txt");
+/// assert_eq!(fd, 3);
+/// assert_eq!(vfs.write(fd, b"hello"), 5);
+/// vfs.seek(fd, 0);
+/// assert_eq!(vfs.read(fd, 16), b"hello");
+/// assert_eq!(vfs.close(fd), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Vfs {
+    files: HashMap<String, Vec<u8>>,
+    /// fd → (file name, offset)
+    descriptors: HashMap<i32, (String, u64)>,
+    next_fd: i32,
+}
+
+impl Vfs {
+    /// Creates an empty file system.
+    pub fn new() -> Self {
+        Vfs { files: HashMap::new(), descriptors: HashMap::new(), next_fd: 3 }
+    }
+
+    /// Opens `path`, creating it empty if missing; returns a descriptor.
+    pub fn open(&mut self, path: &str) -> i32 {
+        self.files.entry(path.to_owned()).or_default();
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.descriptors.insert(fd, (path.to_owned(), 0));
+        fd
+    }
+
+    /// Closes a descriptor; 0 on success, −1 for unknown descriptors.
+    pub fn close(&mut self, fd: i32) -> i32 {
+        if self.descriptors.remove(&fd).is_some() {
+            0
+        } else {
+            -1
+        }
+    }
+
+    /// Reads up to `max` bytes at the descriptor's offset, advancing it.
+    /// Unknown descriptors read nothing.
+    pub fn read(&mut self, fd: i32, max: usize) -> Vec<u8> {
+        let Some((name, offset)) = self.descriptors.get_mut(&fd) else {
+            return Vec::new();
+        };
+        let Some(data) = self.files.get(name.as_str()) else {
+            return Vec::new();
+        };
+        let start = (*offset as usize).min(data.len());
+        let end = (start + max).min(data.len());
+        *offset = end as u64;
+        data[start..end].to_vec()
+    }
+
+    /// Writes at the descriptor's offset (extending the file), advancing it.
+    /// Returns bytes written (0 for unknown descriptors).
+    pub fn write(&mut self, fd: i32, bytes: &[u8]) -> usize {
+        let Some((name, offset)) = self.descriptors.get_mut(&fd) else {
+            return 0;
+        };
+        let Some(data) = self.files.get_mut(name.as_str()) else {
+            return 0;
+        };
+        let start = *offset as usize;
+        if data.len() < start + bytes.len() {
+            data.resize(start + bytes.len(), 0);
+        }
+        data[start..start + bytes.len()].copy_from_slice(bytes);
+        *offset += bytes.len() as u64;
+        bytes.len()
+    }
+
+    /// Moves a descriptor to an absolute offset; returns it, or −1.
+    pub fn seek(&mut self, fd: i32, pos: u64) -> i64 {
+        match self.descriptors.get_mut(&fd) {
+            Some((_, offset)) => {
+                *offset = pos;
+                pos as i64
+            }
+            None => -1,
+        }
+    }
+
+    /// The current size of a file, if it exists.
+    pub fn file_size(&self, path: &str) -> Option<usize> {
+        self.files.get(path).map(Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_share_one_namespace() {
+        let mut v = Vfs::new();
+        let w = v.open("f");
+        v.write(w, b"abcdef");
+        // A second descriptor to the same file has its own offset.
+        let r = v.open("f");
+        assert_eq!(v.read(r, 3), b"abc");
+        assert_eq!(v.read(r, 10), b"def");
+        assert_eq!(v.read(r, 10), b"");
+        assert_eq!(v.file_size("f"), Some(6));
+    }
+
+    #[test]
+    fn sparse_write_extends_with_zeros() {
+        let mut v = Vfs::new();
+        let fd = v.open("s");
+        v.seek(fd, 4);
+        v.write(fd, b"xy");
+        v.seek(fd, 0);
+        assert_eq!(v.read(fd, 10), vec![0, 0, 0, 0, b'x', b'y']);
+    }
+
+    #[test]
+    fn unknown_descriptors_fail_gracefully() {
+        let mut v = Vfs::new();
+        assert_eq!(v.close(99), -1);
+        assert_eq!(v.read(99, 4), Vec::<u8>::new());
+        assert_eq!(v.write(99, b"x"), 0);
+        assert_eq!(v.seek(99, 0), -1);
+    }
+
+    #[test]
+    fn close_invalidates_descriptor() {
+        let mut v = Vfs::new();
+        let fd = v.open("f");
+        assert_eq!(v.close(fd), 0);
+        assert_eq!(v.write(fd, b"x"), 0);
+        assert_eq!(v.close(fd), -1);
+    }
+}

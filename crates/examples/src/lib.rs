@@ -1,0 +1,3 @@
+//! Host package for the workspace-level `examples/` directory; see the
+//! `[[example]]` entries in this crate's manifest. Build and run one with
+//! `cargo run -p graphite-examples --example quickstart`.

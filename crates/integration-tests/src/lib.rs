@@ -1,0 +1,2 @@
+//! Host package for the workspace-level `tests/` directory; see the
+//! `[[test]]` entries in this crate's manifest.

@@ -1,0 +1,330 @@
+//! The simulated application address space (paper §3.2.1, Figure 3).
+//!
+//! Graphite presents every application thread — wherever it runs — a single
+//! address space partitioned into segments: code, static data, program heap,
+//! dynamically allocated segments, and per-thread stacks. The simulator
+//! itself implements the memory-management services an OS would normally
+//! provide: it intercepts `brk`/`mmap`/`munmap` and serves dynamic memory
+//! from designated parts of the space.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use graphite_base::SimError;
+
+/// An address in the *simulated* (target) address space.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_memory::Addr;
+/// let a = Addr(0x1000);
+/// assert_eq!(a.offset(8), Addr(0x1008));
+/// assert_eq!(a.line(64), 0x1000 / 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// This address plus a byte offset.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// The cache-line index containing this address.
+    #[inline]
+    pub fn line(self, line_size: u32) -> u64 {
+        self.0 / line_size as u64
+    }
+
+    /// The first address of this address's cache line.
+    #[inline]
+    pub fn line_base(self, line_size: u32) -> Addr {
+        Addr(self.0 - self.0 % line_size as u64)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// Segment boundaries of the simulated address space (Figure 3).
+pub mod layout {
+    use super::Addr;
+
+    /// Base of the (reserved) code segment.
+    pub const CODE_BASE: Addr = Addr(0x0000_1000);
+    /// Base of static data.
+    pub const STATIC_BASE: Addr = Addr(0x0010_0000);
+    /// Size reserved for static data (16 MiB).
+    pub const STATIC_SIZE: u64 = 16 << 20;
+    /// Base of the program heap (`brk`-managed).
+    pub const HEAP_BASE: Addr = Addr(0x1000_0000);
+    /// Heap limit (768 MiB of heap).
+    pub const HEAP_LIMIT: Addr = Addr(0x4000_0000);
+    /// Base of dynamically allocated (`mmap`) segments.
+    pub const MMAP_BASE: Addr = Addr(0x4000_0000);
+    /// Limit of the mmap region.
+    pub const MMAP_LIMIT: Addr = Addr(0x7000_0000);
+    /// Base of the stack segment; thread `i`'s stack starts at
+    /// `STACK_BASE + i * STACK_SIZE`.
+    pub const STACK_BASE: Addr = Addr(0x7000_0000);
+    /// Per-thread stack size (256 KiB).
+    pub const STACK_SIZE: u64 = 256 << 10;
+    /// First address of the kernel-reserved space.
+    pub const KERNEL_BASE: Addr = Addr(0xF000_0000);
+
+    /// The stack segment allotted to thread `i`.
+    pub fn thread_stack(i: u32) -> (Addr, u64) {
+        (Addr(STACK_BASE.0 + i as u64 * STACK_SIZE), STACK_SIZE)
+    }
+}
+
+/// A first-fit free-list allocator managing one segment of the simulated
+/// address space — the "dynamic memory manager that services requests for
+/// dynamic memory from the application" (paper §3.2.1).
+///
+/// Allocations are cache-line (64-byte) aligned so that independent
+/// allocations never share a coherence unit — like a real `malloc` serving
+/// a multiprocessor, this prevents accidental false sharing between
+/// unrelated objects (distinct from the *intra-array* false sharing the
+/// Figure 8 study measures, which is a property of application layouts).
+///
+/// Freed blocks coalesce with free neighbours.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_memory::{Addr, SegmentAllocator};
+/// let mut heap = SegmentAllocator::new(Addr(0x1000), 0x1000);
+/// let a = heap.alloc(100).unwrap();
+/// let b = heap.alloc(100).unwrap();
+/// assert!(b.0 >= a.0 + 100);
+/// heap.free(a).unwrap();
+/// heap.free(b).unwrap();
+/// assert_eq!(heap.bytes_in_use(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentAllocator {
+    base: Addr,
+    size: u64,
+    /// Free blocks: start → length. Invariant: non-overlapping, no two
+    /// adjacent blocks (they coalesce).
+    free: BTreeMap<u64, u64>,
+    /// Live allocations: start → length.
+    live: BTreeMap<u64, u64>,
+    align: u64,
+}
+
+impl SegmentAllocator {
+    /// Creates an allocator over `[base, base + size)` with cache-line
+    /// (64-byte) alignment.
+    ///
+    /// The base itself should be 64-byte aligned (all [`layout`] segment
+    /// bases are).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(base: Addr, size: u64) -> Self {
+        assert!(size > 0, "segment must be non-empty");
+        let mut free = BTreeMap::new();
+        free.insert(base.0, size);
+        SegmentAllocator { base, size, free, live: BTreeMap::new(), align: 64 }
+    }
+
+    /// Segment base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Total segment size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes currently allocated.
+    pub fn bytes_in_use(&self) -> u64 {
+        self.live.values().sum()
+    }
+
+    /// Allocates `size` bytes (rounded up to the alignment), first-fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] when no free block is large enough or
+    /// `size` is zero.
+    pub fn alloc(&mut self, size: u64) -> Result<Addr, SimError> {
+        if size == 0 {
+            return Err(SimError::Syscall("allocation of zero bytes".into()));
+        }
+        let size = size.div_ceil(self.align) * self.align;
+        let found = self.free.iter().find(|(_, &len)| len >= size).map(|(&s, &l)| (s, l));
+        let (start, len) = found.ok_or_else(|| {
+            SimError::Syscall(format!("out of simulated memory: {size} bytes requested"))
+        })?;
+        self.free.remove(&start);
+        if len > size {
+            self.free.insert(start + size, len - size);
+        }
+        self.live.insert(start, size);
+        Ok(Addr(start))
+    }
+
+    /// Frees a previously allocated block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] if `addr` is not a live allocation.
+    pub fn free(&mut self, addr: Addr) -> Result<(), SimError> {
+        let size = self
+            .live
+            .remove(&addr.0)
+            .ok_or_else(|| SimError::Syscall(format!("free of unallocated address {addr}")))?;
+        let mut start = addr.0;
+        let mut len = size;
+        // Coalesce with the next free block.
+        if let Some(&next_len) = self.free.get(&(start + len)) {
+            self.free.remove(&(start + len));
+            len += next_len;
+        }
+        // Coalesce with the previous free block.
+        if let Some((&prev_start, &prev_len)) = self.free.range(..start).next_back() {
+            if prev_start + prev_len == start {
+                self.free.remove(&prev_start);
+                start = prev_start;
+                len += prev_len;
+            }
+        }
+        self.free.insert(start, len);
+        Ok(())
+    }
+
+    /// The size of the live allocation at `addr`, if any.
+    pub fn allocation_size(&self, addr: Addr) -> Option<u64> {
+        self.live.get(&addr.0).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn addr_helpers() {
+        let a = Addr(130);
+        assert_eq!(a.line(64), 2);
+        assert_eq!(a.line_base(64), Addr(128));
+        assert_eq!(a.offset(6), Addr(136));
+        assert_eq!(Addr(0x20).to_string(), "0x20");
+    }
+
+    #[test]
+    fn layout_thread_stacks_disjoint() {
+        let (a0, s0) = layout::thread_stack(0);
+        let (a1, _) = layout::thread_stack(1);
+        assert_eq!(a1.0, a0.0 + s0);
+        // A large thread count still fits below kernel space.
+        let (a1023, s) = layout::thread_stack(1023);
+        assert!(a1023.0 + s <= layout::KERNEL_BASE.0);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_and_reuse() {
+        let mut a = SegmentAllocator::new(Addr(0), 1024);
+        let x = a.alloc(64).unwrap();
+        assert_eq!(a.allocation_size(x), Some(64));
+        a.free(x).unwrap();
+        let y = a.alloc(64).unwrap();
+        assert_eq!(x, y, "first-fit reuses the freed block");
+    }
+
+    #[test]
+    fn alloc_rounds_to_cache_line_alignment() {
+        let mut a = SegmentAllocator::new(Addr(0), 1024);
+        let x = a.alloc(3).unwrap();
+        let y = a.alloc(3).unwrap();
+        assert_eq!(y.0 - x.0, 64, "independent allocations get their own line");
+        assert_eq!(x.0 % 64, 0);
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut a = SegmentAllocator::new(Addr(0), 64);
+        a.alloc(64).unwrap();
+        assert!(a.alloc(8).is_err());
+    }
+
+    #[test]
+    fn small_allocations_round_up_to_a_line() {
+        let mut a = SegmentAllocator::new(Addr(0), 128);
+        let x = a.alloc(1).unwrap();
+        assert_eq!(a.allocation_size(x), Some(64));
+    }
+
+    #[test]
+    fn zero_alloc_rejected() {
+        let mut a = SegmentAllocator::new(Addr(0), 64);
+        assert!(a.alloc(0).is_err());
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = SegmentAllocator::new(Addr(0), 64);
+        let x = a.alloc(8).unwrap();
+        a.free(x).unwrap();
+        assert!(a.free(x).is_err());
+    }
+
+    #[test]
+    fn coalescing_restores_full_block() {
+        let mut a = SegmentAllocator::new(Addr(0), 256);
+        let xs: Vec<_> = (0..4).map(|_| a.alloc(64).unwrap()).collect();
+        // Free out of order to exercise both coalescing directions.
+        a.free(xs[1]).unwrap();
+        a.free(xs[3]).unwrap();
+        a.free(xs[0]).unwrap();
+        a.free(xs[2]).unwrap();
+        assert_eq!(a.bytes_in_use(), 0);
+        // The whole segment is one free block again: a max-size alloc works.
+        assert!(a.alloc(256).is_ok());
+    }
+
+    proptest! {
+        /// Live allocations never overlap and always stay in the segment.
+        #[test]
+        fn allocations_never_overlap(ops in proptest::collection::vec((0u8..2, 1u64..200), 1..60)) {
+            let mut a = SegmentAllocator::new(Addr(0x1000), 8192);
+            let mut live: Vec<(Addr, u64)> = Vec::new();
+            for (op, size) in ops {
+                if op == 0 || live.is_empty() {
+                    if let Ok(addr) = a.alloc(size) {
+                        let rounded = size.div_ceil(64) * 64;
+                        prop_assert!(addr.0 >= 0x1000);
+                        prop_assert!(addr.0 + rounded <= 0x1000 + 8192);
+                        for &(other, osz) in &live {
+                            let disjoint = addr.0 + rounded <= other.0 || other.0 + osz <= addr.0;
+                            prop_assert!(disjoint, "overlap: {addr} vs {other}");
+                        }
+                        live.push((addr, rounded));
+                    }
+                } else {
+                    let (addr, _) = live.swap_remove(size as usize % live.len());
+                    a.free(addr).unwrap();
+                }
+            }
+            let expect: u64 = live.iter().map(|&(_, s)| s).sum();
+            prop_assert_eq!(a.bytes_in_use(), expect);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Set-associative cache model with LRU replacement and MSI line states.
+//!
+//! Caches in Graphite are *functional*: lines hold the application's real
+//! bytes, so protocol correctness is a precondition of the simulation
+//! completing (paper §3.2 — "this strategy automatically helps verify the
+//! correctness of complex hierarchies and protocols").
+
+use graphite_base::Cycles;
+use graphite_config::CacheConfig;
+
+use crate::addr::Addr;
+
+/// Coherence state of a cached line (MSI, plus Exclusive under MESI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Read-only copy; other caches may also hold it.
+    Shared,
+    /// Clean sole copy (MESI only): may be written without a directory
+    /// transaction, silently becoming Modified.
+    Exclusive,
+    /// Exclusive dirty copy; no other cache holds the line.
+    Modified,
+}
+
+impl LineState {
+    /// True when a write may proceed without a directory transaction.
+    pub fn writable(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+}
+
+/// A resident cache line.
+#[derive(Debug, Clone)]
+pub struct CacheLine {
+    /// Line index (address / line size).
+    pub line: u64,
+    /// MSI state.
+    pub state: LineState,
+    /// The line's bytes; `None` for tag-only caches (L1I).
+    pub data: Option<Box<[u8]>>,
+    /// LRU stamp (monotone per cache).
+    stamp: u64,
+}
+
+/// A line pushed out by [`Cache::insert`].
+#[derive(Debug, Clone)]
+pub struct Evicted {
+    /// Line index of the victim.
+    pub line: u64,
+    /// State it was held in (Modified ⇒ needs writeback).
+    pub state: LineState,
+    /// Victim data for writeback, if the cache stores data.
+    pub data: Option<Box<[u8]>>,
+}
+
+/// One set-associative, LRU, write-back cache level.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_base::Cycles;
+/// use graphite_config::CacheConfig;
+/// use graphite_memory::cache::{Cache, LineState};
+///
+/// let cfg = CacheConfig {
+///     size_bytes: 1024,
+///     associativity: 2,
+///     line_size: 64,
+///     access_latency: Cycles(1),
+/// };
+/// let mut c = Cache::new(&cfg, true);
+/// assert!(c.lookup(3).is_none());
+/// c.insert(3, LineState::Shared, Some(vec![0u8; 64].into()));
+/// assert!(c.lookup(3).is_some());
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    sets: Vec<Vec<CacheLine>>,
+    assoc: usize,
+    line_size: u32,
+    access_latency: Cycles,
+    stores_data: bool,
+    next_stamp: u64,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration. `stores_data` selects between
+    /// a functional cache (L1D/L2) and a tag-only timing cache (L1I).
+    pub fn new(cfg: &CacheConfig, stores_data: bool) -> Self {
+        let num_sets = cfg.num_sets() as usize;
+        Cache {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(cfg.associativity as usize)).collect(),
+            assoc: cfg.associativity as usize,
+            line_size: cfg.line_size,
+            access_latency: cfg.access_latency,
+            stores_data,
+            next_stamp: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u32 {
+        self.line_size
+    }
+
+    /// Hit latency.
+    pub fn access_latency(&self) -> Cycles {
+        self.access_latency
+    }
+
+    /// Number of resident lines (for tests and capacity invariants).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Maximum lines the cache can hold.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Looks a line up, refreshing its LRU stamp on hit.
+    pub fn lookup(&mut self, line: u64) -> Option<&mut CacheLine> {
+        let stamp = {
+            self.next_stamp += 1;
+            self.next_stamp
+        };
+        let set = self.set_of(line);
+        let entry = self.sets[set].iter_mut().find(|l| l.line == line)?;
+        entry.stamp = stamp;
+        Some(entry)
+    }
+
+    /// Looks a line up without touching LRU (for coherence probes by other
+    /// tiles, which must not perturb the victim's replacement behaviour).
+    pub fn peek(&self, line: u64) -> Option<&CacheLine> {
+        let set = self.set_of(line);
+        self.sets[set].iter().find(|l| l.line == line)
+    }
+
+    /// Mutable peek without LRU update.
+    pub fn peek_mut(&mut self, line: u64) -> Option<&mut CacheLine> {
+        let set = self.set_of(line);
+        self.sets[set].iter_mut().find(|l| l.line == line)
+    }
+
+    /// Whether inserting `line` would evict a victim, and which one.
+    /// Used for the two-phase fill: evictions run as their own directory
+    /// transaction before the fill.
+    pub fn pending_victim(&self, line: u64) -> Option<&CacheLine> {
+        let set = self.set_of(line);
+        if self.sets[set].iter().any(|l| l.line == line) {
+            return None; // already resident, no eviction
+        }
+        if self.sets[set].len() < self.assoc {
+            return None;
+        }
+        self.sets[set].iter().min_by_key(|l| l.stamp)
+    }
+
+    /// Inserts a line, returning the LRU victim if the set was full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident (callers must use
+    /// [`Cache::lookup`]/[`Cache::peek_mut`] to update a resident line).
+    pub fn insert(&mut self, line: u64, state: LineState, data: Option<Box<[u8]>>) -> Option<Evicted> {
+        debug_assert!(
+            data.is_some() == self.stores_data,
+            "data presence must match cache kind"
+        );
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        let set = self.set_of(line);
+        assert!(
+            !self.sets[set].iter().any(|l| l.line == line),
+            "insert of already-resident line {line}"
+        );
+        let evicted = if self.sets[set].len() == self.assoc {
+            let victim_idx = self
+                .sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .map(|(i, _)| i)
+                .expect("full set has a victim");
+            let v = self.sets[set].swap_remove(victim_idx);
+            Some(Evicted { line: v.line, state: v.state, data: v.data })
+        } else {
+            None
+        };
+        self.sets[set].push(CacheLine { line, state, data, stamp });
+        evicted
+    }
+
+    /// Removes a line (invalidation or inclusion enforcement), returning it.
+    pub fn remove(&mut self, line: u64) -> Option<CacheLine> {
+        let set = self.set_of(line);
+        let idx = self.sets[set].iter().position(|l| l.line == line)?;
+        Some(self.sets[set].swap_remove(idx))
+    }
+
+    /// Reads `buf.len()` bytes at `addr` from a resident line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is absent, the cache is tag-only, or the access
+    /// crosses the line boundary.
+    pub fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        let ls = self.line_size;
+        let line = addr.line(ls);
+        let off = (addr.0 % ls as u64) as usize;
+        assert!(off + buf.len() <= ls as usize, "access crosses line boundary");
+        let entry = self.lookup(line).expect("read_bytes on absent line");
+        let data = entry.data.as_ref().expect("read_bytes on tag-only cache");
+        buf.copy_from_slice(&data[off..off + buf.len()]);
+    }
+
+    /// Writes bytes at `addr` into a resident line and marks it Modified.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Cache::read_bytes`].
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        let ls = self.line_size;
+        let line = addr.line(ls);
+        let off = (addr.0 % ls as u64) as usize;
+        assert!(off + bytes.len() <= ls as usize, "access crosses line boundary");
+        let entry = self.lookup(line).expect("write_bytes on absent line");
+        entry.state = LineState::Modified;
+        let data = entry.data.as_mut().expect("write_bytes on tag-only cache");
+        data[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cache(size: u64, assoc: u32, line: u32) -> Cache {
+        Cache::new(
+            &CacheConfig {
+                size_bytes: size,
+                associativity: assoc,
+                line_size: line,
+                access_latency: Cycles(1),
+            },
+            true,
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache(1024, 2, 64);
+        assert!(c.lookup(5).is_none());
+        c.insert(5, LineState::Shared, Some(vec![7u8; 64].into()));
+        let l = c.lookup(5).unwrap();
+        assert_eq!(l.state, LineState::Shared);
+        assert_eq!(l.data.as_ref().unwrap()[0], 7);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2 sets x 2 ways; lines 0,2,4 share set 0.
+        let mut c = cache(256, 2, 64);
+        c.insert(0, LineState::Shared, Some(vec![0; 64].into()));
+        c.insert(2, LineState::Shared, Some(vec![0; 64].into()));
+        c.lookup(0); // 0 is now MRU; 2 is LRU
+        let ev = c.insert(4, LineState::Shared, Some(vec![0; 64].into())).unwrap();
+        assert_eq!(ev.line, 2);
+        assert!(c.peek(0).is_some());
+        assert!(c.peek(2).is_none());
+    }
+
+    #[test]
+    fn pending_victim_predicts_eviction() {
+        let mut c = cache(256, 2, 64);
+        assert!(c.pending_victim(0).is_none(), "empty set");
+        c.insert(0, LineState::Shared, Some(vec![0; 64].into()));
+        c.insert(2, LineState::Modified, Some(vec![0; 64].into()));
+        assert!(c.pending_victim(0).is_none(), "already resident");
+        let victim = c.pending_victim(4).unwrap();
+        assert_eq!(victim.line, 0);
+        let ev = c.insert(4, LineState::Shared, Some(vec![0; 64].into())).unwrap();
+        assert_eq!(ev.line, 0);
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = cache(256, 2, 64);
+        c.insert(0, LineState::Shared, Some(vec![0; 64].into()));
+        c.insert(2, LineState::Shared, Some(vec![0; 64].into()));
+        let _ = c.peek(0); // must NOT refresh line 0
+        let ev = c.insert(4, LineState::Shared, Some(vec![0; 64].into())).unwrap();
+        assert_eq!(ev.line, 0, "peek must not refresh LRU");
+    }
+
+    #[test]
+    fn remove_clears_residency() {
+        let mut c = cache(256, 2, 64);
+        c.insert(0, LineState::Modified, Some(vec![9; 64].into()));
+        let removed = c.remove(0).unwrap();
+        assert_eq!(removed.state, LineState::Modified);
+        assert!(c.lookup(0).is_none());
+        assert!(c.remove(0).is_none());
+    }
+
+    #[test]
+    fn read_write_bytes_roundtrip() {
+        let mut c = cache(256, 2, 64);
+        c.insert(1, LineState::Shared, Some(vec![0; 64].into()));
+        c.write_bytes(Addr(64 + 8), &42u64.to_le_bytes());
+        assert_eq!(c.peek(1).unwrap().state, LineState::Modified);
+        let mut buf = [0u8; 8];
+        c.read_bytes(Addr(64 + 8), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses line boundary")]
+    fn cross_line_access_panics() {
+        let mut c = cache(256, 2, 64);
+        c.insert(0, LineState::Shared, Some(vec![0; 64].into()));
+        let mut buf = [0u8; 8];
+        c.read_bytes(Addr(60), &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-resident")]
+    fn double_insert_panics() {
+        let mut c = cache(256, 2, 64);
+        c.insert(0, LineState::Shared, Some(vec![0; 64].into()));
+        c.insert(0, LineState::Shared, Some(vec![0; 64].into()));
+    }
+
+    #[test]
+    fn tag_only_cache_for_l1i() {
+        let mut c = Cache::new(
+            &CacheConfig {
+                size_bytes: 1024,
+                associativity: 4,
+                line_size: 64,
+                access_latency: Cycles(1),
+            },
+            false,
+        );
+        c.insert(7, LineState::Shared, None);
+        assert!(c.lookup(7).is_some());
+        assert!(c.lookup(7).unwrap().data.is_none());
+    }
+
+    proptest! {
+        /// The cache never exceeds capacity and matches a reference LRU model.
+        #[test]
+        fn matches_reference_lru(accesses in proptest::collection::vec(0u64..32, 1..300)) {
+            // 4 sets x 2 ways, 64B lines.
+            let mut c = cache(512, 2, 64);
+            // Reference: per-set ordered list of lines, most recent last.
+            let mut reference: Vec<Vec<u64>> = vec![Vec::new(); 4];
+            for line in accesses {
+                let set = (line % 4) as usize;
+                if c.lookup(line).is_none() {
+                    c.insert(line, LineState::Shared, Some(vec![0; 64].into()));
+                }
+                // Update reference model.
+                reference[set].retain(|&l| l != line);
+                reference[set].push(line);
+                if reference[set].len() > 2 {
+                    reference[set].remove(0);
+                }
+                prop_assert!(c.resident_lines() <= c.capacity_lines());
+            }
+            // Residency must match the reference exactly.
+            for (set, lines) in reference.iter().enumerate() {
+                for &l in lines {
+                    prop_assert!(c.peek(l).is_some(), "line {l} missing from set {set}");
+                }
+            }
+            let expected: usize = reference.iter().map(Vec::len).sum();
+            prop_assert_eq!(c.resident_lines(), expected);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Directory state for the distributed cache-coherence engine (paper §3.2).
+//!
+//! The directory is uniformly distributed across all tiles: the *home* of a
+//! cache line is `line mod num_tiles`. Each entry records the MSI directory
+//! state, the sharer set, and — because Graphite's memory system is
+//! functional — the line's actual bytes (the DRAM copy).
+//!
+//! All three coherence schemes of the paper's Figure 9 study share this one
+//! entry type; they differ only in how many sharers the "hardware" tracks
+//! and what overflowing costs ([`graphite_config::CoherenceScheme`]).
+
+use graphite_base::TileId;
+
+/// A set of sharer tiles, stored as a bitset sized for the target.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_base::TileId;
+/// use graphite_memory::directory::SharerSet;
+/// let mut s = SharerSet::new(64);
+/// s.insert(TileId(3));
+/// s.insert(TileId(40));
+/// assert_eq!(s.count(), 2);
+/// assert!(s.contains(TileId(3)));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![TileId(3), TileId(40)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharerSet {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl SharerSet {
+    /// An empty set able to hold tiles `0..tiles`.
+    pub fn new(tiles: u32) -> Self {
+        SharerSet { words: vec![0; tiles.div_ceil(64) as usize], count: 0 }
+    }
+
+    /// Adds a tile; returns true if it was newly inserted.
+    pub fn insert(&mut self, t: TileId) -> bool {
+        let (w, b) = (t.index() / 64, t.index() % 64);
+        let bit = 1u64 << b;
+        if self.words[w] & bit == 0 {
+            self.words[w] |= bit;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a tile; returns true if it was present.
+    pub fn remove(&mut self, t: TileId) -> bool {
+        let (w, b) = (t.index() / 64, t.index() % 64);
+        let bit = 1u64 << b;
+        if self.words[w] & bit != 0 {
+            self.words[w] &= !bit;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: TileId) -> bool {
+        let (w, b) = (t.index() / 64, t.index() % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of sharers.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True when no tile shares the line.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates sharers in ascending tile order.
+    pub fn iter(&self) -> impl Iterator<Item = TileId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(TileId((wi * 64 + b) as u32))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// The lowest-numbered sharer, if any.
+    pub fn first(&self) -> Option<TileId> {
+        self.iter().next()
+    }
+
+    /// Removes every sharer.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+}
+
+/// MSI directory state of one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the line; the directory's data copy is current.
+    Uncached,
+    /// One or more caches hold read-only copies; the data copy is current.
+    Shared,
+    /// Exactly one cache holds the line with write permission (Modified, or
+    /// Exclusive under MESI). The data copy is stale if the owner's copy is
+    /// dirty.
+    Owned(TileId),
+}
+
+/// One directory entry: protocol state plus the functional memory copy.
+#[derive(Debug, Clone)]
+pub struct DirEntry {
+    /// MSI state.
+    pub state: DirState,
+    /// Sharers (meaningful in `Shared`; kept empty otherwise).
+    pub sharers: SharerSet,
+    /// The DRAM copy of the line. Stale while `Modified`.
+    pub data: Box<[u8]>,
+}
+
+impl DirEntry {
+    /// A fresh, zero-filled, uncached entry.
+    pub fn new(tiles: u32, line_size: u32) -> Self {
+        DirEntry {
+            state: DirState::Uncached,
+            sharers: SharerSet::new(tiles),
+            data: vec![0u8; line_size as usize].into(),
+        }
+    }
+
+    /// Checks the MSI invariants; used by tests and debug assertions.
+    ///
+    /// * `Uncached` ⇒ no sharers;
+    /// * `Modified` ⇒ no sharers tracked (owner held separately);
+    /// * `Shared` ⇒ at least one sharer.
+    pub fn invariants_hold(&self) -> bool {
+        match self.state {
+            DirState::Uncached => self.sharers.is_empty(),
+            DirState::Owned(_) => self.sharers.is_empty(),
+            DirState::Shared => !self.sharers.is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sharer_set_basics() {
+        let mut s = SharerSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(TileId(0)));
+        assert!(s.insert(TileId(129)));
+        assert!(!s.insert(TileId(0)), "double insert reports false");
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(TileId(129)));
+        assert_eq!(s.first(), Some(TileId(0)));
+        assert!(s.remove(TileId(0)));
+        assert!(!s.remove(TileId(0)));
+        assert_eq!(s.first(), Some(TileId(129)));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn entry_invariants() {
+        let mut e = DirEntry::new(8, 64);
+        assert!(e.invariants_hold());
+        assert_eq!(e.data.len(), 64);
+        e.state = DirState::Shared;
+        assert!(!e.invariants_hold(), "shared with no sharers is invalid");
+        e.sharers.insert(TileId(2));
+        assert!(e.invariants_hold());
+        e.state = DirState::Owned(TileId(2));
+        assert!(!e.invariants_hold(), "owned must track no sharers");
+        e.sharers.clear();
+        assert!(e.invariants_hold());
+    }
+
+    proptest! {
+        /// SharerSet agrees with a reference HashSet under arbitrary ops.
+        #[test]
+        fn sharer_set_matches_reference(ops in proptest::collection::vec((0u8..2, 0u32..200), 1..200)) {
+            let mut s = SharerSet::new(200);
+            let mut reference = std::collections::BTreeSet::new();
+            for (op, t) in ops {
+                if op == 0 {
+                    prop_assert_eq!(s.insert(TileId(t)), reference.insert(t));
+                } else {
+                    prop_assert_eq!(s.remove(TileId(t)), reference.remove(&t));
+                }
+                prop_assert_eq!(s.count() as usize, reference.len());
+            }
+            let got: Vec<u32> = s.iter().map(|t| t.0).collect();
+            let want: Vec<u32> = reference.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Cache-miss classification (paper §4.4, Figure 8).
+//!
+//! The Figure 8 study breaks misses down by type as the line size varies:
+//! *cold* (first reference by this tile), *capacity* (the tile itself evicted
+//! the line), *true sharing* (the line was invalidated by another tile's
+//! write and the missing access touches a word actually written remotely),
+//! and *false sharing* (invalidated, but the missing access touches only
+//! words nobody else wrote — pure line-granularity interference).
+//!
+//! Classification follows the standard Dubois/Torrellas approach at word
+//! (4-byte) granularity: when a tile loses a line we record *why* (eviction
+//! vs invalidation); while it is gone we accumulate the mask of words other
+//! tiles write; at the next miss the accessed words are compared against the
+//! mask.
+
+use std::collections::HashMap;
+
+use graphite_base::TileId;
+use parking_lot::Mutex;
+
+/// Why a miss happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissKind {
+    /// First access to the line by this tile.
+    Cold,
+    /// The tile evicted the line itself (capacity/conflict).
+    Capacity,
+    /// Invalidated remotely; the missing access reads truly-communicated
+    /// data.
+    TrueSharing,
+    /// Invalidated remotely; the missing access touches only words the
+    /// remote writer did not write.
+    FalseSharing,
+}
+
+impl MissKind {
+    /// All kinds, in report order.
+    pub const ALL: [MissKind; 4] =
+        [MissKind::Cold, MissKind::Capacity, MissKind::TrueSharing, MissKind::FalseSharing];
+
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissKind::Cold => "cold",
+            MissKind::Capacity => "capacity",
+            MissKind::TrueSharing => "true-sharing",
+            MissKind::FalseSharing => "false-sharing",
+        }
+    }
+}
+
+/// Word size used for true/false sharing discrimination.
+const WORD: u64 = 4;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Departed {
+    invalidated: bool,
+    /// Words written by other tiles since this tile lost the line
+    /// (bit i ⇔ word i). 64 bits cover lines up to 256 bytes.
+    written_mask: u64,
+}
+
+#[derive(Debug, Default)]
+struct LineHistory {
+    /// Tiles that have ever cached the line (for cold classification).
+    touched: Vec<TileId>,
+    /// Per departed tile: why it lost the line and what was written since.
+    departed: HashMap<TileId, Departed>,
+}
+
+/// Tracks per-line access history and classifies every miss.
+///
+/// Disabled by default (zero overhead besides a branch); the Figure 8 bench
+/// enables it.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_base::TileId;
+/// use graphite_memory::missclass::{MissClassifier, MissKind};
+///
+/// let mc = MissClassifier::new(true, 64);
+/// // Tile 0's first touch of line 5 is a cold miss.
+/// assert_eq!(mc.classify_fill(TileId(0), 5, 0, 4), Some(MissKind::Cold));
+/// // Tile 1 writes word 0, invalidating tile 0 ...
+/// mc.on_departure(TileId(0), 5, true);
+/// mc.on_write(TileId(1), 5, 0, 4);
+/// // ... so tile 0's re-read of word 0 is a true-sharing miss,
+/// assert_eq!(mc.classify_fill(TileId(0), 5, 0, 4), Some(MissKind::TrueSharing));
+/// ```
+#[derive(Debug)]
+pub struct MissClassifier {
+    enabled: bool,
+    line_size: u32,
+    lines: Mutex<HashMap<u64, LineHistory>>,
+}
+
+impl MissClassifier {
+    /// Creates a classifier. When `enabled` is false all hooks are no-ops
+    /// and [`MissClassifier::classify_fill`] returns `None`.
+    pub fn new(enabled: bool, line_size: u32) -> Self {
+        MissClassifier { enabled, line_size, lines: Mutex::new(HashMap::new()) }
+    }
+
+    /// Whether classification is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn word_mask(&self, offset: u64, len: u64) -> u64 {
+        let first = offset / WORD;
+        let last = (offset + len.max(1) - 1) / WORD;
+        let last = last.min(self.line_size as u64 / WORD).min(63);
+        let mut mask = 0u64;
+        for w in first..=last {
+            mask |= 1 << w;
+        }
+        mask
+    }
+
+    /// Records that `tile` lost `line` — `invalidated` distinguishes remote
+    /// invalidation from self-eviction.
+    pub fn on_departure(&self, tile: TileId, line: u64, invalidated: bool) {
+        if !self.enabled {
+            return;
+        }
+        let mut lines = self.lines.lock();
+        let hist = lines.entry(line).or_default();
+        hist.departed.insert(tile, Departed { invalidated, written_mask: 0 });
+    }
+
+    /// Records a write by `tile` covering `len` bytes at `offset` within
+    /// `line`; accumulates into every *other* departed tile's written mask.
+    pub fn on_write(&self, tile: TileId, line: u64, offset: u64, len: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mask = self.word_mask(offset, len);
+        let mut lines = self.lines.lock();
+        if let Some(hist) = lines.get_mut(&line) {
+            for (t, d) in hist.departed.iter_mut() {
+                if *t != tile {
+                    d.written_mask |= mask;
+                }
+            }
+        }
+    }
+
+    /// Classifies a fill of `line` by `tile` whose triggering access covers
+    /// `len` bytes at `offset`. Returns `None` when disabled.
+    pub fn classify_fill(&self, tile: TileId, line: u64, offset: u64, len: u64) -> Option<MissKind> {
+        if !self.enabled {
+            return None;
+        }
+        let mask = self.word_mask(offset, len);
+        let mut lines = self.lines.lock();
+        let hist = lines.entry(line).or_default();
+        if !hist.touched.contains(&tile) {
+            hist.touched.push(tile);
+            hist.departed.remove(&tile);
+            return Some(MissKind::Cold);
+        }
+        let kind = match hist.departed.remove(&tile) {
+            Some(d) if d.invalidated => {
+                if d.written_mask & mask != 0 {
+                    MissKind::TrueSharing
+                } else {
+                    MissKind::FalseSharing
+                }
+            }
+            _ => MissKind::Capacity,
+        };
+        Some(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MissClassifier {
+        MissClassifier::new(true, 64)
+    }
+
+    #[test]
+    fn disabled_is_noop() {
+        let m = MissClassifier::new(false, 64);
+        assert!(!m.enabled());
+        assert_eq!(m.classify_fill(TileId(0), 1, 0, 4), None);
+    }
+
+    #[test]
+    fn first_touch_is_cold_per_tile() {
+        let m = mc();
+        assert_eq!(m.classify_fill(TileId(0), 9, 0, 4), Some(MissKind::Cold));
+        assert_eq!(m.classify_fill(TileId(1), 9, 0, 4), Some(MissKind::Cold));
+    }
+
+    #[test]
+    fn self_eviction_is_capacity() {
+        let m = mc();
+        m.classify_fill(TileId(0), 9, 0, 4);
+        m.on_departure(TileId(0), 9, false);
+        assert_eq!(m.classify_fill(TileId(0), 9, 0, 4), Some(MissKind::Capacity));
+    }
+
+    #[test]
+    fn invalidation_with_overlap_is_true_sharing() {
+        let m = mc();
+        m.classify_fill(TileId(0), 9, 8, 4); // tile0 reads word 2
+        m.on_departure(TileId(0), 9, true); // tile1's write invalidates it
+        m.on_write(TileId(1), 9, 8, 4); // tile1 writes word 2
+        assert_eq!(m.classify_fill(TileId(0), 9, 8, 4), Some(MissKind::TrueSharing));
+    }
+
+    #[test]
+    fn invalidation_without_overlap_is_false_sharing() {
+        let m = mc();
+        m.classify_fill(TileId(0), 9, 0, 4); // tile0 uses word 0
+        m.on_departure(TileId(0), 9, true);
+        m.on_write(TileId(1), 9, 32, 4); // tile1 writes word 8
+        assert_eq!(m.classify_fill(TileId(0), 9, 0, 4), Some(MissKind::FalseSharing));
+    }
+
+    #[test]
+    fn writers_own_mask_not_counted() {
+        let m = mc();
+        m.classify_fill(TileId(0), 9, 0, 4);
+        m.on_departure(TileId(0), 9, true);
+        // Tile 0's own (hypothetical) write must not mark its own mask.
+        m.on_write(TileId(0), 9, 0, 4);
+        assert_eq!(m.classify_fill(TileId(0), 9, 0, 4), Some(MissKind::FalseSharing));
+    }
+
+    #[test]
+    fn multi_word_access_masks() {
+        let m = mc();
+        m.classify_fill(TileId(0), 9, 0, 4);
+        m.on_departure(TileId(0), 9, true);
+        m.on_write(TileId(1), 9, 4, 8); // words 1..2
+        // Re-access spanning words 0..3 overlaps the written words.
+        assert_eq!(m.classify_fill(TileId(0), 9, 0, 16), Some(MissKind::TrueSharing));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MissKind::Cold.label(), "cold");
+        assert_eq!(MissKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,1570 @@
+//! The distributed shared-memory system (paper §3.2).
+//!
+//! This is where Graphite's central trick lives: the data structures that
+//! keep the application's memory *functionally correct* across tiles are the
+//! same ones that model the target memory architecture. Caches hold the
+//! application's real bytes; a miss runs a real directory-MSI transaction
+//! that moves those bytes, while every protocol hop is priced through the
+//! network model and every DRAM access through a lax-queue controller model.
+//!
+//! ## Concurrency design
+//!
+//! Guest threads perform transactions directly against shared protocol state
+//! ("remote access with modeled message timing"). Lock ordering is strict
+//! and deadlock-free:
+//!
+//! 1. at most one **directory shard** lock is held at a time;
+//! 2. **tile cache** locks are only acquired while holding a shard lock (or
+//!    alone, for the local hit fast path), always in ascending tile order;
+//! 3. evictions run as *separate* transactions before a fill, so a fill
+//!    never needs two shard locks.
+//!
+//! A tile's cache only ever gains lines through its own thread; remote
+//! transactions can only remove or downgrade lines. This makes the
+//! pre-eviction + fill sequence race-free without holding locks across both.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use graphite_base::{Counter, Cycles, SimRng, TileId};
+use graphite_config::{CacheProtocol, CoherenceScheme, SimConfig};
+use graphite_network::{Network, Packet, TrafficClass};
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::addr::Addr;
+use crate::cache::{Cache, LineState};
+use crate::directory::{DirEntry, DirState};
+use crate::dram::DramController;
+use crate::missclass::{MissClassifier, MissKind};
+
+/// Directory processing latency per request (cycles).
+const DIR_LATENCY: Cycles = Cycles(10);
+/// Size in bytes of a control packet (request/ack/invalidate).
+const CTRL_MSG_BYTES: u32 = 8;
+/// Header bytes added to a data-carrying packet.
+const DATA_HDR_BYTES: u32 = 8;
+/// Number of directory lock shards.
+const NUM_SHARDS: usize = 256;
+
+/// Per-tile cache hierarchy.
+#[derive(Debug)]
+struct TileMem {
+    l1i: Option<Cache>,
+    l1d: Option<Cache>,
+    l2: Option<Cache>,
+}
+
+impl TileMem {
+    /// The coherence-level cache: L2 when present, else L1D.
+    fn coh(&mut self) -> &mut Cache {
+        self.l2.as_mut().or(self.l1d.as_mut()).expect("validated: some cache level exists")
+    }
+
+    fn coh_ref(&self) -> &Cache {
+        self.l2.as_ref().or(self.l1d.as_ref()).expect("validated: some cache level exists")
+    }
+
+    /// True when L1D filters in front of a coherent L2.
+    fn has_l1_filter(&self) -> bool {
+        self.l1d.is_some() && self.l2.is_some()
+    }
+
+    /// Removes a line from every level, returning the coherence-level line
+    /// state and data if it was resident.
+    fn purge(&mut self, line: u64) -> Option<(LineState, Option<Box<[u8]>>)> {
+        if self.has_l1_filter() {
+            self.l1d.as_mut().unwrap().remove(line);
+        }
+        self.coh().remove(line).map(|l| (l.state, l.data))
+    }
+}
+
+/// Aggregate memory-system statistics.
+#[derive(Debug, Default)]
+pub struct MemStats {
+    /// Load accesses (per line segment).
+    pub loads: Counter,
+    /// Store accesses (per line segment).
+    pub stores: Counter,
+    /// Hits in the L1D filter.
+    pub l1d_hits: Counter,
+    /// Hits in the coherence-level cache (L2, or L1D when it is the only
+    /// level).
+    pub l2_hits: Counter,
+    /// Misses requiring a directory transaction with data transfer.
+    pub misses: Counter,
+    /// Write-permission upgrades (line present Shared, no data transfer).
+    pub upgrades: Counter,
+    /// Invalidation messages sent to sharers.
+    pub invalidations: Counter,
+    /// Dirty writebacks (evictions and downgrades of Modified lines).
+    pub writebacks: Counter,
+    /// DRAM data reads.
+    pub dram_reads: Counter,
+    /// Misses by classified kind (only populated when classification is on).
+    pub miss_cold: Counter,
+    /// See [`MemStats::miss_cold`].
+    pub miss_capacity: Counter,
+    /// See [`MemStats::miss_cold`].
+    pub miss_true_sharing: Counter,
+    /// See [`MemStats::miss_cold`].
+    pub miss_false_sharing: Counter,
+    /// Sharer evictions forced by a full limited directory (DirNB).
+    pub forced_evictions: Counter,
+    /// LimitLESS software traps taken at directories.
+    pub limitless_traps: Counter,
+    /// Fills served cache-to-cache from a Modified owner.
+    pub remote_fills: Counter,
+    /// Total memory-access latency accumulated (cycles).
+    pub latency_sum: Counter,
+    /// Instruction fetch accesses.
+    pub ifetches: Counter,
+    /// Instruction fetch misses.
+    pub ifetch_misses: Counter,
+    /// Largest single access latency seen (cycles; diagnostic).
+    pub max_latency: Counter,
+    /// Exclusive-state grants on read misses (MESI only).
+    pub exclusive_grants: Counter,
+    /// Writes satisfied by a silent Exclusive→Modified upgrade (MESI only):
+    /// no directory transaction needed.
+    pub silent_upgrades: Counter,
+}
+
+impl MemStats {
+    /// Total data accesses.
+    pub fn accesses(&self) -> u64 {
+        self.loads.get() + self.stores.get()
+    }
+
+    /// Overall miss rate (misses / accesses), in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses.get() as f64 / a as f64
+        }
+    }
+
+    /// Mean memory-access latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.latency_sum.get() as f64 / a as f64
+        }
+    }
+
+    /// Miss count for one classified kind.
+    pub fn miss_count(&self, kind: MissKind) -> u64 {
+        match kind {
+            MissKind::Cold => self.miss_cold.get(),
+            MissKind::Capacity => self.miss_capacity.get(),
+            MissKind::TrueSharing => self.miss_true_sharing.get(),
+            MissKind::FalseSharing => self.miss_false_sharing.get(),
+        }
+    }
+
+    fn record_kind(&self, kind: MissKind) {
+        match kind {
+            MissKind::Cold => self.miss_cold.incr(),
+            MissKind::Capacity => self.miss_capacity.incr(),
+            MissKind::TrueSharing => self.miss_true_sharing.incr(),
+            MissKind::FalseSharing => self.miss_false_sharing.incr(),
+        }
+    }
+}
+
+enum LineOp<'a> {
+    Read(&'a mut [u8]),
+    Write(&'a [u8]),
+    /// Atomic read-modify-write: `old` receives the previous bytes, then `f`
+    /// rewrites the window in place. Applied while the line is held with
+    /// write permission under the protocol locks, so it is atomic with
+    /// respect to every other tile.
+    Rmw {
+        old: &'a mut [u8],
+        f: &'a mut dyn FnMut(&mut [u8]),
+    },
+}
+
+impl LineOp<'_> {
+    fn is_write(&self) -> bool {
+        !matches!(self, LineOp::Read(_))
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            LineOp::Read(b) => b.len(),
+            LineOp::Write(b) => b.len(),
+            LineOp::Rmw { old, .. } => old.len(),
+        }
+    }
+}
+
+fn apply_rmw(data: &mut [u8], off: usize, old: &mut [u8], f: &mut dyn FnMut(&mut [u8])) {
+    let window = &mut data[off..off + old.len()];
+    old.copy_from_slice(window);
+    f(window);
+}
+
+/// Per-requesting-tile counters consumed by the host performance model.
+#[derive(Debug, Default)]
+pub struct PerTileMemCounters {
+    /// Line-segment accesses issued by this tile.
+    pub accesses: Counter,
+    /// Directory transactions (misses + upgrades) by this tile.
+    pub transactions: Counter,
+    /// Transactions whose home tile lives in a different simulated host
+    /// process (these cross process boundaries on a real cluster).
+    pub remote_home_transactions: Counter,
+    /// Total modeled memory latency charged to this tile (cycles).
+    pub latency_sum: Counter,
+}
+
+/// The memory subsystem: per-tile cache hierarchies, the distributed
+/// directory, DRAM controllers, and the functional backing store.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use graphite_base::{Cycles, GlobalProgress, TileId};
+/// use graphite_memory::{Addr, MemorySystem};
+/// use graphite_network::Network;
+///
+/// let cfg = graphite_config::presets::paper_default(4);
+/// let net = Arc::new(Network::new(&cfg, Arc::new(GlobalProgress::new(4))));
+/// let mem = MemorySystem::new(&cfg, net, false);
+///
+/// let lat = mem.write(TileId(0), Cycles(0), Addr(0x1000), &42u64.to_le_bytes());
+/// assert!(lat > Cycles::ZERO);
+/// let mut buf = [0u8; 8];
+/// mem.read(TileId(1), Cycles(0), Addr(0x1000), &mut buf);
+/// assert_eq!(u64::from_le_bytes(buf), 42);
+/// ```
+pub struct MemorySystem {
+    line_size: u32,
+    num_tiles: u32,
+    tiles: Vec<Mutex<TileMem>>,
+    shards: Vec<Mutex<HashMap<u64, DirEntry>>>,
+    dram: Vec<DramController>,
+    per_tile_dram: bool,
+    network: Arc<Network>,
+    scheme: CoherenceScheme,
+    protocol: CacheProtocol,
+    /// Miss classifier (enabled for the Figure 8 study).
+    pub classifier: MissClassifier,
+    stats: MemStats,
+    per_tile: Vec<PerTileMemCounters>,
+    /// Simulated host process of each tile, for locality classification.
+    proc_of_tile: Vec<u32>,
+}
+
+impl std::fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("tiles", &self.num_tiles)
+            .field("line_size", &self.line_size)
+            .field("scheme", &self.scheme)
+            .finish()
+    }
+}
+
+impl MemorySystem {
+    /// Builds the memory system for a validated configuration.
+    pub fn new(cfg: &SimConfig, network: Arc<Network>, classify_misses: bool) -> Self {
+        let line_size = cfg.target.coherence_line_size();
+        let tiles = (0..cfg.target.num_tiles)
+            .map(|_| {
+                Mutex::new(TileMem {
+                    l1i: cfg.target.l1i.as_ref().map(|c| Cache::new(c, false)),
+                    l1d: cfg.target.l1d.as_ref().map(|c| Cache::new(c, true)),
+                    l2: cfg.target.l2.as_ref().map(|c| Cache::new(c, true)),
+                })
+            })
+            .collect();
+        let ncontrollers =
+            if cfg.target.dram.per_tile_controllers { cfg.target.num_tiles } else { 1 };
+        let bytes_per_cycle =
+            cfg.target.dram.total_bandwidth_gbps / cfg.target.clock_ghz / ncontrollers as f64;
+        let dram = (0..ncontrollers)
+            .map(|_| DramController::new(bytes_per_cycle, cfg.target.dram.access_latency))
+            .collect();
+        MemorySystem {
+            line_size,
+            num_tiles: cfg.target.num_tiles,
+            tiles,
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            dram,
+            per_tile_dram: cfg.target.dram.per_tile_controllers,
+            network,
+            scheme: cfg.target.coherence,
+            protocol: cfg.target.protocol,
+            classifier: MissClassifier::new(classify_misses, line_size),
+            stats: MemStats::default(),
+            per_tile: (0..cfg.target.num_tiles).map(|_| PerTileMemCounters::default()).collect(),
+            proc_of_tile: (0..cfg.target.num_tiles).map(|t| cfg.process_of_tile(t)).collect(),
+        }
+    }
+
+    /// Per-tile counters for the host performance model.
+    pub fn per_tile_counters(&self) -> &[PerTileMemCounters] {
+        &self.per_tile
+    }
+
+    /// Coherence line size in bytes.
+    pub fn line_size(&self) -> u32 {
+        self.line_size
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// The DRAM controllers (one per tile, or a single one).
+    pub fn dram_controllers(&self) -> &[DramController] {
+        &self.dram
+    }
+
+    fn home_of(&self, line: u64) -> TileId {
+        // The directory is uniformly distributed across all tiles (§3.2).
+        TileId((line % self.num_tiles as u64) as u32)
+    }
+
+    fn controller_of(&self, home: TileId) -> &DramController {
+        if self.per_tile_dram {
+            &self.dram[home.index()]
+        } else {
+            &self.dram[0]
+        }
+    }
+
+    fn shard_of(&self, line: u64) -> &Mutex<HashMap<u64, DirEntry>> {
+        &self.shards[(line % NUM_SHARDS as u64) as usize]
+    }
+
+    /// Routes a protocol leg stamped with a tile's real clock (requests,
+    /// writebacks); feeds the global-progress window.
+    fn route(&self, src: TileId, dst: TileId, bytes: u32, t: Cycles) -> Cycles {
+        self.network
+            .route(TrafficClass::Memory, &Packet { src, dst, size_bytes: bytes, send_time: t })
+            .arrival
+    }
+
+    /// Routes a protocol leg stamped with a derived model time (forwards,
+    /// invalidations, acks, responses); must not feed the progress window.
+    fn route_derived(&self, src: TileId, dst: TileId, bytes: u32, t: Cycles) -> Cycles {
+        self.network
+            .route_unobserved(
+                TrafficClass::Memory,
+                &Packet { src, dst, size_bytes: bytes, send_time: t },
+            )
+            .arrival
+    }
+
+    /// Reads `buf.len()` bytes at `addr` on behalf of `tile`, returning the
+    /// modeled latency. Splits accesses that span cache lines.
+    pub fn read(&self, tile: TileId, now: Cycles, addr: Addr, buf: &mut [u8]) -> Cycles {
+        let mut total = Cycles::ZERO;
+        let ls = self.line_size as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr.offset(done as u64);
+            let in_line = (ls - a.0 % ls) as usize;
+            let n = in_line.min(buf.len() - done);
+            total += self.access_line(tile, now + total, a, LineOp::Read(&mut buf[done..done + n]));
+            done += n;
+        }
+        total
+    }
+
+    /// Writes `bytes` at `addr` on behalf of `tile`, returning the modeled
+    /// latency. Splits accesses that span cache lines.
+    pub fn write(&self, tile: TileId, now: Cycles, addr: Addr, bytes: &[u8]) -> Cycles {
+        let mut total = Cycles::ZERO;
+        let ls = self.line_size as u64;
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let a = addr.offset(done as u64);
+            let in_line = (ls - a.0 % ls) as usize;
+            let n = in_line.min(bytes.len() - done);
+            total += self.access_line(tile, now + total, a, LineOp::Write(&bytes[done..done + n]));
+            done += n;
+        }
+        total
+    }
+
+    /// Models an instruction fetch through the (tag-only) L1I; misses charge
+    /// the L2 hit latency, assuming code is resident on chip.
+    pub fn ifetch(&self, tile: TileId, _now: Cycles, addr: Addr) -> Cycles {
+        self.stats.ifetches.incr();
+        let mut tm = self.tiles[tile.index()].lock();
+        let Some(l1i) = tm.l1i.as_mut() else {
+            return Cycles(1);
+        };
+        let l1i_lat = l1i.access_latency();
+        let line = addr.line(l1i.line_size());
+        if l1i.lookup(line).is_some() {
+            return l1i_lat;
+        }
+        self.stats.ifetch_misses.incr();
+        l1i.insert(line, LineState::Shared, None);
+        let l2_lat = tm.l2.as_ref().map(|c| c.access_latency()).unwrap_or(Cycles(8));
+        l1i_lat + l2_lat
+    }
+
+    fn access_line(&self, tile: TileId, now: Cycles, addr: Addr, mut op: LineOp) -> Cycles {
+        let line = addr.line(self.line_size);
+        let off = (addr.0 % self.line_size as u64) as usize;
+        let is_write = op.is_write();
+        if is_write {
+            self.stats.stores.incr();
+        } else {
+            self.stats.loads.incr();
+        }
+        self.per_tile[tile.index()].accesses.incr();
+        // Fast path: local hit with sufficient permission.
+        if let Some(lat) = self.try_local_hit(tile, line, off, &mut op) {
+            if is_write && self.classifier.enabled() {
+                self.classifier.on_write(tile, line, off as u64, op.len() as u64);
+            }
+            self.stats.latency_sum.add(lat.0);
+            return lat;
+        }
+        let lat = self.miss_transaction(tile, now, line, off, &mut op);
+        if is_write && self.classifier.enabled() {
+            self.classifier.on_write(tile, line, off as u64, op.len() as u64);
+        }
+        self.stats.latency_sum.add(lat.0);
+        self.per_tile[tile.index()].latency_sum.add(lat.0);
+        if lat.0 > self.stats.max_latency.get() {
+            self.stats.max_latency.add(lat.0 - self.stats.max_latency.get());
+        }
+        lat
+    }
+
+    /// Attempts to satisfy the access from the tile's own hierarchy.
+    fn try_local_hit(
+        &self,
+        tile: TileId,
+        line: u64,
+        off: usize,
+        op: &mut LineOp,
+    ) -> Option<Cycles> {
+        let mut tm = self.tiles[tile.index()].lock();
+        let is_write = op.is_write();
+        if tm.has_l1_filter() {
+            let l1_lat = tm.l1d.as_ref().unwrap().access_latency();
+            let l2_lat = tm.l2.as_ref().unwrap().access_latency();
+            let l1_state = tm.l1d.as_mut().unwrap().lookup(line).map(|l| l.state);
+            if let Some(state) = l1_state {
+                if !is_write || state.writable() {
+                    if is_write && state == LineState::Exclusive {
+                        self.stats.silent_upgrades.incr();
+                    }
+                    Self::apply_op_l1_writethrough(&mut tm, line, off, op);
+                    self.stats.l1d_hits.incr();
+                    return Some(l1_lat);
+                }
+                return None; // upgrade required
+            }
+            let l2_state = tm.l2.as_mut().unwrap().lookup(line).map(|l| l.state);
+            if let Some(state) = l2_state {
+                if !is_write || state.writable() {
+                    if is_write && state == LineState::Exclusive {
+                        self.stats.silent_upgrades.incr();
+                    }
+                    // Refill L1 from L2 (clean copy; write-through keeps L2
+                    // current, so L1 evictions are silent).
+                    let data = tm.l2.as_mut().unwrap().peek_mut(line).unwrap().data.clone();
+                    let l1 = tm.l1d.as_mut().unwrap();
+                    if l1.peek(line).is_none() {
+                        l1.insert(line, state, data);
+                    }
+                    Self::apply_op_l1_writethrough(&mut tm, line, off, op);
+                    self.stats.l2_hits.incr();
+                    return Some(l1_lat + l2_lat);
+                }
+                return None;
+            }
+            None
+        } else {
+            let coh = tm.coh();
+            let lat = coh.access_latency();
+            let state = coh.lookup(line).map(|l| l.state);
+            match state {
+                Some(s) if !is_write || s.writable() => {
+                    if is_write && s == LineState::Exclusive {
+                        self.stats.silent_upgrades.incr();
+                    }
+                    Self::apply_op_single(tm.coh(), line, off, op);
+                    self.stats.l2_hits.incr();
+                    Some(lat)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    /// Applies the data operation to both L1D and L2 copies (write-through):
+    /// the L2 copy is authoritative; writes propagate the resulting window
+    /// into the L1 copy.
+    fn apply_op_l1_writethrough(tm: &mut TileMem, line: u64, off: usize, op: &mut LineOp) {
+        if let LineOp::Read(buf) = op {
+            let l1 = tm.l1d.as_mut().unwrap().peek_mut(line).unwrap();
+            let data = l1.data.as_ref().unwrap();
+            buf.copy_from_slice(&data[off..off + buf.len()]);
+            return;
+        }
+        let n = op.len();
+        let mut result = vec![0u8; n];
+        {
+            let l2 = tm.l2.as_mut().unwrap().peek_mut(line).expect("inclusion: L1 ⊆ L2");
+            debug_assert!(l2.state.writable(), "write-through needs write permission");
+            l2.state = LineState::Modified;
+            let data = l2.data.as_mut().unwrap();
+            match op {
+                LineOp::Write(bytes) => data[off..off + n].copy_from_slice(bytes),
+                LineOp::Rmw { old, f } => apply_rmw(data, off, old, *f),
+                LineOp::Read(_) => unreachable!("handled above"),
+            }
+            result.copy_from_slice(&data[off..off + n]);
+        }
+        let l1 = tm.l1d.as_mut().unwrap().peek_mut(line).unwrap();
+        l1.state = LineState::Modified;
+        l1.data.as_mut().unwrap()[off..off + n].copy_from_slice(&result);
+    }
+
+    fn apply_op_single(cache: &mut Cache, line: u64, off: usize, op: &mut LineOp) {
+        let entry = cache.peek_mut(line).expect("resident");
+        match op {
+            LineOp::Read(buf) => {
+                let data = entry.data.as_ref().unwrap();
+                buf.copy_from_slice(&data[off..off + buf.len()]);
+            }
+            LineOp::Write(bytes) => {
+                entry.state = LineState::Modified;
+                entry.data.as_mut().unwrap()[off..off + bytes.len()].copy_from_slice(bytes);
+            }
+            LineOp::Rmw { old, f } => {
+                entry.state = LineState::Modified;
+                apply_rmw(entry.data.as_mut().unwrap(), off, old, *f);
+            }
+        }
+    }
+
+    /// The slow path: evictions, then one directory transaction.
+    fn miss_transaction(
+        &self,
+        tile: TileId,
+        now: Cycles,
+        line: u64,
+        off: usize,
+        op: &mut LineOp,
+    ) -> Cycles {
+        // Phase 1: make room in the coherence cache. Only this tile's thread
+        // adds lines to its cache, so freed ways stay free.
+        loop {
+            let victim = {
+                let mut tm = self.tiles[tile.index()].lock();
+                tm.coh().pending_victim(line).map(|l| l.line)
+            };
+            match victim {
+                None => break,
+                Some(vline) => self.evict_line(tile, now, vline),
+            }
+        }
+        // Phase 2: the directory transaction.
+        let home = self.home_of(line);
+        let is_write = op.is_write();
+        self.per_tile[tile.index()].transactions.incr();
+        if self.proc_of_tile[tile.index()] != self.proc_of_tile[home.index()] {
+            self.per_tile[tile.index()].remote_home_transactions.incr();
+        }
+        let lookup_lat = {
+            let tm = self.tiles[tile.index()].lock();
+            let mut l = tm.coh_ref().access_latency();
+            if tm.has_l1_filter() {
+                l += tm.l1d.as_ref().unwrap().access_latency();
+            }
+            l
+        };
+        let t0 = now + lookup_lat;
+
+        let mut shard = self.shard_of(line).lock();
+        let entry = shard
+            .entry(line)
+            .or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
+        debug_assert!(entry.invariants_hold());
+
+        // Request travels tile -> home.
+        let t_req = self.route(tile, home, CTRL_MSG_BYTES, t0);
+        let mut t_home = t_req + DIR_LATENCY;
+
+        // LimitLESS: overflowing the hardware pointers traps to software.
+        if let CoherenceScheme::Limitless { sharers: hw, trap_cycles } = self.scheme {
+            let overflowed = match entry.state {
+                DirState::Shared => entry.sharers.count() >= hw,
+                _ => false,
+            };
+            if overflowed {
+                self.stats.limitless_traps.incr();
+                t_home += Cycles(trap_cycles);
+            }
+        }
+
+        // Queue models are referenced against the *global-progress estimate*,
+        // not this requester's own (possibly far-skewed) timestamp — the
+        // paper's queue-modeling rule (§3.6.1). Using the requester's clock
+        // would convert clock skew into phantom queueing delay.
+        let est_now = self.network.progress().estimate();
+        let mut data_ready = t_home;
+        let mut fill_state = if is_write { LineState::Modified } else { LineState::Shared };
+        let mut fill_data: Option<Box<[u8]>> = None;
+        let mut resp_bytes = self.line_size + DATA_HDR_BYTES;
+        let mut counted_upgrade = false;
+
+        match (entry.state, is_write) {
+            (DirState::Uncached, _) => {
+                let dram_lat = self.controller_of(home).access(est_now, self.line_size);
+                self.stats.dram_reads.incr();
+                data_ready = t_home + dram_lat;
+                fill_data = Some(entry.data.clone());
+                entry.state = if is_write {
+                    DirState::Owned(tile)
+                } else if self.protocol == CacheProtocol::Mesi {
+                    // MESI: the sole reader takes the line Exclusive and may
+                    // later write it without another directory transaction.
+                    self.stats.exclusive_grants.incr();
+                    fill_state = LineState::Exclusive;
+                    DirState::Owned(tile)
+                } else {
+                    entry.sharers.insert(tile);
+                    DirState::Shared
+                };
+            }
+            (DirState::Shared, false) => {
+                // DirNB: a full pointer set forces eviction of one sharer.
+                // The victim is chosen in ring order after the requester so
+                // victimization spreads over tiles (a fixed choice would
+                // thrash one tile and leave the rest permanently cached,
+                // hiding the protocol's serialization).
+                if let CoherenceScheme::DirNB { sharers: limit } = self.scheme {
+                    if !entry.sharers.contains(tile) && entry.sharers.count() >= limit {
+                        let victim = entry
+                            .sharers
+                            .iter()
+                            .find(|&s| s > tile)
+                            .or_else(|| entry.sharers.iter().find(|&s| s != tile))
+                            .expect("non-empty");
+                        entry.sharers.remove(victim);
+                        self.stats.forced_evictions.incr();
+                        self.stats.invalidations.incr();
+                        let mut vt = self.lock_tile(victim);
+                        vt.purge(line);
+                        self.classifier.on_departure(victim, line, true);
+                        let t_inv = self.route_derived(home, victim, CTRL_MSG_BYTES, t_home);
+                        let t_ack = self.route_derived(victim, home, CTRL_MSG_BYTES, t_inv + Cycles(1));
+                        data_ready = data_ready.max(t_ack);
+                    }
+                }
+                let dram_lat = self.controller_of(home).access(est_now, self.line_size);
+                self.stats.dram_reads.incr();
+                data_ready = data_ready.max(t_home + dram_lat);
+                fill_data = Some(entry.data.clone());
+                entry.sharers.insert(tile);
+            }
+            (DirState::Shared, true) => {
+                let was_sharer = entry.sharers.contains(tile);
+                // Invalidate every other sharer; latency is the slowest ack.
+                let others: Vec<TileId> = entry.sharers.iter().filter(|&s| s != tile).collect();
+                let mut t_inv_done = t_home;
+                for s in &others {
+                    self.stats.invalidations.incr();
+                    let mut st = self.lock_tile(*s);
+                    st.purge(line);
+                    self.classifier.on_departure(*s, line, true);
+                    let t_inv = self.route_derived(home, *s, CTRL_MSG_BYTES, t_home);
+                    let t_ack = self.route_derived(*s, home, CTRL_MSG_BYTES, t_inv + Cycles(1));
+                    t_inv_done = t_inv_done.max(t_ack);
+                }
+                entry.sharers.clear();
+                entry.state = DirState::Owned(tile);
+                if was_sharer {
+                    // Upgrade: data already resident, permission-only reply.
+                    self.stats.upgrades.incr();
+                    counted_upgrade = true;
+                    resp_bytes = CTRL_MSG_BYTES;
+                    data_ready = t_inv_done;
+                } else {
+                    let dram_lat = self.controller_of(home).access(est_now, self.line_size);
+                    self.stats.dram_reads.incr();
+                    data_ready = t_inv_done.max(t_home + dram_lat);
+                    fill_data = Some(entry.data.clone());
+                }
+            }
+            (DirState::Owned(owner), _) => {
+                assert_ne!(owner, tile, "owner must not miss on its own line");
+                // Forward to owner; owner supplies data (if dirty) and is
+                // downgraded (read) or invalidated (write); home memory is
+                // updated on a dirty transfer.
+                self.stats.remote_fills.incr();
+                let (data, was_dirty) = {
+                    let mut ot = self.lock_tile(owner);
+                    if is_write {
+                        self.stats.invalidations.incr();
+                        let (st, data) = ot.purge(line).expect("owner holds the line");
+                        self.classifier.on_departure(owner, line, true);
+                        (data.expect("coherence cache stores data"), st == LineState::Modified)
+                    } else {
+                        // Downgrade owner to Shared at every level.
+                        let coh = ot.coh();
+                        let l = coh.peek_mut(line).expect("owner holds the line");
+                        let was_dirty = l.state == LineState::Modified;
+                        l.state = LineState::Shared;
+                        let data = l.data.clone().expect("coherence cache stores data");
+                        if ot.has_l1_filter() {
+                            if let Some(l1) = ot.l1d.as_mut().unwrap().peek_mut(line) {
+                                l1.state = LineState::Shared;
+                            }
+                        }
+                        (data, was_dirty)
+                    }
+                };
+                if was_dirty {
+                    self.stats.writebacks.incr();
+                    entry.data = data.clone();
+                    // Home memory is updated in parallel with the response;
+                    // the write occupies the controller off the critical path.
+                    let _ = self.controller_of(home).access(est_now, self.line_size);
+                }
+                let t_fwd = self.route_derived(home, owner, CTRL_MSG_BYTES, t_home);
+                let xfer = if was_dirty { self.line_size + DATA_HDR_BYTES } else { CTRL_MSG_BYTES };
+                let t_data = self.route_derived(owner, home, xfer, t_fwd + Cycles(2));
+                data_ready = t_data + DIR_LATENCY;
+                fill_data = Some(data);
+                if is_write {
+                    entry.state = DirState::Owned(tile);
+                } else {
+                    entry.state = DirState::Shared;
+                    entry.sharers.insert(owner);
+                    entry.sharers.insert(tile);
+                    fill_state = LineState::Shared;
+                }
+            }
+        }
+        debug_assert!(entry.invariants_hold());
+
+        // Response travels home -> tile; fill and apply the operation.
+        let t_resp = self.route_derived(home, tile, resp_bytes, data_ready);
+        {
+            let mut tm = self.tiles[tile.index()].lock();
+            if counted_upgrade {
+                // Permission upgrade: set Modified at every level.
+                let coh = tm.coh();
+                if let Some(l) = coh.peek_mut(line) {
+                    l.state = LineState::Modified;
+                } else {
+                    // Raced with an invalidation after the directory decided;
+                    // cannot happen because we hold the shard lock from the
+                    // decision to here.
+                    unreachable!("upgraded line vanished while shard lock held");
+                }
+                if tm.has_l1_filter() {
+                    if let Some(l1) = tm.l1d.as_mut().unwrap().peek_mut(line) {
+                        l1.state = LineState::Modified;
+                    }
+                }
+                Self::apply_write_everywhere(&mut tm, line, off, op);
+            } else {
+                self.stats.misses.incr();
+                if let Some(kind) =
+                    self.classifier.classify_fill(tile, line, off as u64, op.len() as u64)
+                {
+                    self.stats.record_kind(kind);
+                }
+                let mut data = fill_data.expect("miss path always has data");
+                match op {
+                    LineOp::Write(bytes) => {
+                        data[off..off + bytes.len()].copy_from_slice(bytes);
+                    }
+                    LineOp::Rmw { old, f } => apply_rmw(&mut data, off, old, *f),
+                    LineOp::Read(_) => {}
+                }
+                let has_filter = tm.has_l1_filter();
+                let coh = tm.coh();
+                debug_assert!(coh.peek(line).is_none(), "pre-eviction guaranteed room");
+                let evicted = coh.insert(line, fill_state, Some(data.clone()));
+                debug_assert!(evicted.is_none(), "pre-eviction guaranteed room");
+                if has_filter {
+                    let l1 = tm.l1d.as_mut().unwrap();
+                    if l1.peek(line).is_none() {
+                        // L1 victim needs no writeback (write-through).
+                        l1.insert(line, fill_state, Some(data.clone()));
+                    }
+                }
+                if let LineOp::Read(buf) = op {
+                    buf.copy_from_slice(&data[off..off + buf.len()]);
+                }
+            }
+        }
+        drop(shard);
+        t_resp.saturating_sub(now).max(lookup_lat)
+    }
+
+    fn apply_write_everywhere(tm: &mut TileMem, line: u64, off: usize, op: &mut LineOp) {
+        let n = op.len();
+        let mut result = vec![0u8; n];
+        {
+            let coh = tm.coh();
+            let l = coh.peek_mut(line).expect("upgrade target resident");
+            let data = l.data.as_mut().unwrap();
+            match op {
+                LineOp::Write(bytes) => data[off..off + n].copy_from_slice(bytes),
+                LineOp::Rmw { old, f } => apply_rmw(data, off, old, *f),
+                LineOp::Read(_) => unreachable!("upgrade is always a write"),
+            }
+            result.copy_from_slice(&data[off..off + n]);
+        }
+        if tm.has_l1_filter() {
+            if let Some(l1) = tm.l1d.as_mut().unwrap().peek_mut(line) {
+                l1.state = LineState::Modified;
+                l1.data.as_mut().unwrap()[off..off + n].copy_from_slice(&result);
+            }
+        }
+    }
+
+    fn lock_tile(&self, t: TileId) -> MutexGuard<'_, TileMem> {
+        self.tiles[t.index()].lock()
+    }
+
+    /// Evicts `vline` from `tile`'s hierarchy as its own directory
+    /// transaction (writeback if dirty, sharer removal otherwise).
+    fn evict_line(&self, tile: TileId, now: Cycles, vline: u64) {
+        let home = self.home_of(vline);
+        let mut shard = self.shard_of(vline).lock();
+        let mut tm = self.tiles[tile.index()].lock();
+        let Some((state, data)) = tm.purge(vline) else {
+            return; // invalidated concurrently before we got here
+        };
+        drop(tm);
+        self.classifier.on_departure(tile, vline, false);
+        let entry = shard
+            .entry(vline)
+            .or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
+        match state {
+            LineState::Modified => {
+                debug_assert_eq!(entry.state, DirState::Owned(tile));
+                entry.data = data.expect("coherence cache stores data");
+                entry.state = DirState::Uncached;
+                self.stats.writebacks.incr();
+                // Writeback traffic: data to home, then a DRAM write. Off the
+                // requester's critical path, but it loads the network links
+                // and the controller queue.
+                let _ = self.route(tile, home, self.line_size + DATA_HDR_BYTES, now);
+                let est = self.network.progress().estimate();
+                let _ = self.controller_of(home).access(est, self.line_size);
+            }
+            LineState::Exclusive => {
+                // Clean sole copy: notify the directory, no data transfer.
+                debug_assert_eq!(entry.state, DirState::Owned(tile));
+                entry.state = DirState::Uncached;
+                let _ = self.route(tile, home, CTRL_MSG_BYTES, now);
+            }
+            LineState::Shared => {
+                // Notify the directory so the sharer set stays exact.
+                entry.sharers.remove(tile);
+                if entry.sharers.is_empty() && entry.state == DirState::Shared {
+                    entry.state = DirState::Uncached;
+                }
+                let _ = self.route(tile, home, CTRL_MSG_BYTES, now);
+            }
+        }
+        debug_assert!(entry.invariants_hold());
+    }
+
+    /// Atomically reads a little-endian `u32` at `addr` and replaces it with
+    /// `f(old)`, holding the line with write permission for the whole
+    /// operation — the simulated equivalent of a locked RMW instruction.
+    /// Returns the previous value and the modeled latency.
+    ///
+    /// Used by the futex emulation and the guest synchronization primitives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a cache-line boundary.
+    pub fn fetch_update_u32<F>(
+        &self,
+        tile: TileId,
+        now: Cycles,
+        addr: Addr,
+        mut f: F,
+    ) -> (u32, Cycles)
+    where
+        F: FnMut(u32) -> u32,
+    {
+        assert!(
+            addr.0 % self.line_size as u64 + 4 <= self.line_size as u64,
+            "atomic access must not cross a line boundary"
+        );
+        let mut old = [0u8; 4];
+        let mut apply = |window: &mut [u8]| {
+            let cur = u32::from_le_bytes(window.try_into().expect("4-byte window"));
+            window.copy_from_slice(&f(cur).to_le_bytes());
+        };
+        let lat = self.access_line(
+            tile,
+            now,
+            addr,
+            LineOp::Rmw { old: &mut old, f: &mut apply },
+        );
+        (u32::from_le_bytes(old), lat)
+    }
+
+    /// 64-bit variant of [`MemorySystem::fetch_update_u32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a cache-line boundary.
+    pub fn fetch_update_u64<F>(
+        &self,
+        tile: TileId,
+        now: Cycles,
+        addr: Addr,
+        mut f: F,
+    ) -> (u64, Cycles)
+    where
+        F: FnMut(u64) -> u64,
+    {
+        assert!(
+            addr.0 % self.line_size as u64 + 8 <= self.line_size as u64,
+            "atomic access must not cross a line boundary"
+        );
+        let mut old = [0u8; 8];
+        let mut apply = |window: &mut [u8]| {
+            let cur = u64::from_le_bytes(window.try_into().expect("8-byte window"));
+            window.copy_from_slice(&f(cur).to_le_bytes());
+        };
+        let lat =
+            self.access_line(tile, now, addr, LineOp::Rmw { old: &mut old, f: &mut apply });
+        (u64::from_le_bytes(old), lat)
+    }
+
+    /// Functional read bypassing all timing (used by the MCP for syscall
+    /// emulation and by tests). Returns zeros for untouched memory.
+    pub fn peek_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        let ls = self.line_size as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr.offset(done as u64);
+            let line = a.line(self.line_size);
+            let off = (a.0 % ls) as usize;
+            let n = ((ls as usize) - off).min(buf.len() - done);
+            let shard = self.shard_of(line).lock();
+            match shard.get(&line) {
+                Some(entry) => match entry.state {
+                    DirState::Owned(owner) => {
+                        let mut ot = self.lock_tile(owner);
+                        let l = ot.coh().peek_mut(line).expect("owner holds line");
+                        let data = l.data.as_ref().unwrap();
+                        buf[done..done + n].copy_from_slice(&data[off..off + n]);
+                    }
+                    _ => buf[done..done + n].copy_from_slice(&entry.data[off..off + n]),
+                },
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Functional write bypassing all timing; keeps every cached copy
+    /// coherent by updating sharers in place.
+    pub fn poke_bytes(&self, addr: Addr, bytes: &[u8]) {
+        let ls = self.line_size as u64;
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let a = addr.offset(done as u64);
+            let line = a.line(self.line_size);
+            let off = (a.0 % ls) as usize;
+            let n = ((ls as usize) - off).min(bytes.len() - done);
+            let mut shard = self.shard_of(line).lock();
+            let entry = shard
+                .entry(line)
+                .or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
+            match entry.state {
+                DirState::Owned(owner) => {
+                    let mut ot = self.lock_tile(owner);
+                    let has_filter = ot.has_l1_filter();
+                    if has_filter {
+                        if let Some(l1) = ot.l1d.as_mut().unwrap().peek_mut(line) {
+                            l1.data.as_mut().unwrap()[off..off + n]
+                                .copy_from_slice(&bytes[done..done + n]);
+                        }
+                    }
+                    let l = ot.coh().peek_mut(line).expect("owner holds line");
+                    l.data.as_mut().unwrap()[off..off + n].copy_from_slice(&bytes[done..done + n]);
+                    // Keep the home copy current too: an Exclusive owner
+                    // evicts silently without a writeback.
+                    entry.data[off..off + n].copy_from_slice(&bytes[done..done + n]);
+                }
+                DirState::Shared => {
+                    entry.data[off..off + n].copy_from_slice(&bytes[done..done + n]);
+                    for s in entry.sharers.iter().collect::<Vec<_>>() {
+                        let mut st = self.lock_tile(s);
+                        let has_filter = st.has_l1_filter();
+                        if has_filter {
+                            if let Some(l1) = st.l1d.as_mut().unwrap().peek_mut(line) {
+                                l1.data.as_mut().unwrap()[off..off + n]
+                                    .copy_from_slice(&bytes[done..done + n]);
+                            }
+                        }
+                        if let Some(l) = st.coh().peek_mut(line) {
+                            l.data.as_mut().unwrap()[off..off + n]
+                                .copy_from_slice(&bytes[done..done + n]);
+                        }
+                    }
+                }
+                DirState::Uncached => {
+                    entry.data[off..off + n].copy_from_slice(&bytes[done..done + n]);
+                }
+            }
+            done += n;
+        }
+    }
+
+    /// Walks every directory entry and checks that directory state and cache
+    /// contents agree exactly (the MSI invariant set). Intended for tests
+    /// while the system is quiescent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_coherence_invariants(&self) -> Result<(), String> {
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (&line, entry) in shard.iter() {
+                if !entry.invariants_hold() {
+                    return Err(format!("line {line}: directory invariants violated"));
+                }
+                match entry.state {
+                    DirState::Owned(owner) => {
+                        for t in 0..self.num_tiles {
+                            let mut tm = self.tiles[t as usize].lock();
+                            let held = tm.coh().peek(line).map(|l| l.state);
+                            if TileId(t) == owner {
+                                let ok = match self.protocol {
+                                    CacheProtocol::Msi => held == Some(LineState::Modified),
+                                    CacheProtocol::Mesi => {
+                                        matches!(
+                                            held,
+                                            Some(LineState::Modified | LineState::Exclusive)
+                                        )
+                                    }
+                                };
+                                if !ok {
+                                    return Err(format!(
+                                        "line {line}: owner tile{t} holds {held:?}, want M/E"
+                                    ));
+                                }
+                            } else if held.is_some() {
+                                return Err(format!(
+                                    "line {line}: tile{t} holds copy while Owned elsewhere"
+                                ));
+                            }
+                        }
+                    }
+                    DirState::Shared => {
+                        for t in 0..self.num_tiles {
+                            let mut tm = self.tiles[t as usize].lock();
+                            let held = tm.coh().peek(line).map(|l| l.state);
+                            let is_sharer = entry.sharers.contains(TileId(t));
+                            match (is_sharer, held) {
+                                (true, Some(LineState::Shared)) => {}
+                                (false, None) => {}
+                                // MSI never leaves E copies; guard it.
+                                other => {
+                                    return Err(format!(
+                                        "line {line}: tile{t} sharer={is_sharer} holds {other:?}"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    DirState::Uncached => {
+                        for t in 0..self.num_tiles {
+                            let mut tm = self.tiles[t as usize].lock();
+                            if tm.coh().peek(line).is_some() {
+                                return Err(format!(
+                                    "line {line}: tile{t} holds copy of Uncached line"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Test/bench helper: performs `n` random single-word accesses from one
+    /// tile and returns total latency. Exercises the full protocol.
+    pub fn random_access_storm(&self, tile: TileId, seed: u64, span: u64, n: u64) -> Cycles {
+        let mut rng = SimRng::new(seed);
+        let mut now = Cycles::ZERO;
+        let mut buf = [0u8; 8];
+        for _ in 0..n {
+            let addr = Addr(rng.gen_range(span) & !7);
+            if rng.gen_bool(0.3) {
+                now += self.write(tile, now, addr, &buf);
+            } else {
+                now += self.read(tile, now, addr, &mut buf);
+            }
+        }
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_base::GlobalProgress;
+    use graphite_config::presets;
+
+    fn system(tiles: u32) -> MemorySystem {
+        let cfg = presets::paper_default(tiles);
+        let net = Arc::new(Network::new(&cfg, Arc::new(GlobalProgress::new(tiles as usize))));
+        MemorySystem::new(&cfg, net, false)
+    }
+
+    fn system_with(cfg: &SimConfig, classify: bool) -> MemorySystem {
+        let net = Arc::new(Network::new(
+            cfg,
+            Arc::new(GlobalProgress::new(cfg.target.num_tiles as usize)),
+        ));
+        MemorySystem::new(cfg, net, classify)
+    }
+
+    #[test]
+    fn write_then_read_same_tile() {
+        let m = system(4);
+        let lat_w = m.write(TileId(0), Cycles(0), Addr(0x100), &7u64.to_le_bytes());
+        assert!(lat_w > Cycles::ZERO);
+        let mut buf = [0u8; 8];
+        let lat_r = m.read(TileId(0), Cycles(lat_w.0), Addr(0x100), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 7);
+        // Second access is an L1 hit: 1 cycle.
+        assert_eq!(lat_r, Cycles(1));
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn cross_tile_read_sees_write() {
+        let m = system(4);
+        m.write(TileId(0), Cycles(0), Addr(0x40), &0xDEADu64.to_le_bytes());
+        let mut buf = [0u8; 8];
+        m.read(TileId(3), Cycles(0), Addr(0x40), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 0xDEAD);
+        // Reader pulled the line out of the writer's cache.
+        assert_eq!(m.stats().remote_fills.get(), 1);
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_invalidates_readers() {
+        let m = system(4);
+        let a = Addr(0x80);
+        m.write(TileId(0), Cycles(0), a, &1u64.to_le_bytes());
+        let mut buf = [0u8; 8];
+        for t in 1..4 {
+            m.read(TileId(t), Cycles(0), a, &mut buf);
+        }
+        // Now tile 1 writes: tiles 0, 2, 3 must be invalidated.
+        let inv_before = m.stats().invalidations.get();
+        m.write(TileId(1), Cycles(0), a, &2u64.to_le_bytes());
+        assert_eq!(m.stats().invalidations.get() - inv_before, 3);
+        m.read(TileId(2), Cycles(0), a, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 2);
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn upgrade_from_shared_has_no_data_transfer() {
+        let m = system(4);
+        let a = Addr(0xC0);
+        let mut buf = [0u8; 8];
+        m.read(TileId(0), Cycles(0), a, &mut buf); // S in tile0
+        let misses_before = m.stats().misses.get();
+        m.write(TileId(0), Cycles(0), a, &5u64.to_le_bytes()); // upgrade
+        assert_eq!(m.stats().upgrades.get(), 1);
+        assert_eq!(m.stats().misses.get(), misses_before, "upgrade is not a miss");
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_data() {
+        // Tiny L2-only cache: 4 lines, direct-ish (assoc 2), to force
+        // evictions quickly.
+        let mut cfg = presets::paper_default(2);
+        cfg.target.l1i = None;
+        cfg.target.l1d = None;
+        cfg.target.l2 = Some(graphite_config::CacheConfig {
+            size_bytes: 256,
+            associativity: 2,
+            line_size: 64,
+            access_latency: Cycles(2),
+        });
+        let m = system_with(&cfg, false);
+        // Write 8 distinct lines mapping over 2 sets; victims must write back.
+        for i in 0..8u64 {
+            m.write(TileId(0), Cycles(0), Addr(i * 64), &i.to_le_bytes());
+        }
+        assert!(m.stats().writebacks.get() >= 4);
+        // All values still readable (from DRAM after writeback).
+        let mut buf = [0u8; 8];
+        for i in 0..8u64 {
+            m.read(TileId(0), Cycles(0), Addr(i * 64), &mut buf);
+            assert_eq!(u64::from_le_bytes(buf), i, "line {i} lost after eviction");
+        }
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn cross_line_access_is_split() {
+        let m = system(2);
+        // 16 bytes starting 8 before a line boundary.
+        let addr = Addr(64 - 8);
+        let data: Vec<u8> = (0..16).collect();
+        m.write(TileId(0), Cycles(0), addr, &data);
+        let mut buf = [0u8; 16];
+        m.read(TileId(1), Cycles(0), addr, &mut buf);
+        assert_eq!(&buf[..], &data[..]);
+        // Two line segments => two stores recorded.
+        assert_eq!(m.stats().stores.get(), 2);
+    }
+
+    #[test]
+    fn peek_poke_bypass_timing_but_stay_coherent() {
+        let m = system(4);
+        // Poke untouched memory, then read through the cache path.
+        m.poke_bytes(Addr(0x200), &9u64.to_le_bytes());
+        let mut buf = [0u8; 8];
+        let loads_before = m.stats().loads.get();
+        m.peek_bytes(Addr(0x200), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 9);
+        assert_eq!(m.stats().loads.get(), loads_before, "peek is not a modeled access");
+        m.read(TileId(0), Cycles(0), Addr(0x200), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 9);
+        // Now the line is Modified-in-cache after a write; poke must update
+        // the cached copy, and peek must read it.
+        m.write(TileId(0), Cycles(0), Addr(0x200), &10u64.to_le_bytes());
+        m.poke_bytes(Addr(0x200), &11u64.to_le_bytes());
+        m.peek_bytes(Addr(0x200), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 11);
+        m.read(TileId(0), Cycles(0), Addr(0x200), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 11);
+        // Shared case: another tile reads, then poke updates both copies.
+        m.read(TileId(1), Cycles(0), Addr(0x200), &mut buf);
+        m.poke_bytes(Addr(0x200), &12u64.to_le_bytes());
+        m.read(TileId(1), Cycles(0), Addr(0x200), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 12);
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn remote_miss_is_slower_than_local_hit() {
+        let m = system(16);
+        let a = Addr(0x1000);
+        m.write(TileId(0), Cycles(0), a, &1u64.to_le_bytes());
+        let mut buf = [0u8; 8];
+        let remote = m.read(TileId(15), Cycles(0), a, &mut buf);
+        let local = m.read(TileId(15), Cycles(0), a, &mut buf);
+        assert!(remote.0 > local.0 * 5);
+        assert!(remote.0 > 50, "remote fill should cost network + dir + dram: {remote}");
+        assert_eq!(local, Cycles(1));
+    }
+
+    #[test]
+    fn dirnb_forces_sharer_eviction() {
+        let mut cfg = presets::paper_default(8);
+        cfg.target.coherence = CoherenceScheme::DirNB { sharers: 2 };
+        let m = system_with(&cfg, false);
+        let a = Addr(0x40);
+        let mut buf = [0u8; 8];
+        for t in 0..4 {
+            m.read(TileId(t), Cycles(0), a, &mut buf);
+        }
+        // Sharers capped at 2: reads 3 and 4 each forced an eviction.
+        assert_eq!(m.stats().forced_evictions.get(), 2);
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn full_map_never_forces_evictions() {
+        let m = system(32);
+        let a = Addr(0x40);
+        let mut buf = [0u8; 8];
+        for t in 0..32 {
+            m.read(TileId(t), Cycles(0), a, &mut buf);
+        }
+        assert_eq!(m.stats().forced_evictions.get(), 0);
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn limitless_traps_beyond_hw_pointers() {
+        let mut cfg = presets::paper_default(8);
+        cfg.target.coherence = CoherenceScheme::Limitless { sharers: 2, trap_cycles: 100 };
+        let m = system_with(&cfg, false);
+        let a = Addr(0x40);
+        let mut buf = [0u8; 8];
+        let mut lat_under = Cycles::ZERO;
+        let mut lat_over = Cycles::ZERO;
+        for t in 0..6 {
+            let l = m.read(TileId(t), Cycles(0), a, &mut buf);
+            if t < 2 {
+                lat_under = l;
+            } else {
+                lat_over = l;
+            }
+        }
+        assert_eq!(m.stats().limitless_traps.get(), 4, "reads 3..6 overflow 2 pointers");
+        assert!(lat_over > lat_under, "trap adds latency");
+        assert_eq!(m.stats().forced_evictions.get(), 0, "LimitLESS keeps all sharers");
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn miss_classification_end_to_end() {
+        let cfg = presets::fig8_miss_characterization(2, 64);
+        let m = system_with(&cfg, true);
+        let a = Addr(0x40);
+        let mut buf = [0u8; 8];
+        m.read(TileId(0), Cycles(0), a, &mut buf); // cold
+        m.write(TileId(1), Cycles(0), a, &1u64.to_le_bytes()); // cold (t1) + invalidate t0
+        m.read(TileId(0), Cycles(0), a, &mut buf); // true sharing: word 0 written
+        m.write(TileId(1), Cycles(0), Addr(0x40 + 32), &2u64.to_le_bytes()); // upgrade? no: t1 lost it.. it was invalidated? no: t1 had M, t0's read downgraded to S; so this is an upgrade writing word 8
+        m.read(TileId(0), Cycles(0), a, &mut buf); // invalidated again; accessed word 0, written word 8 -> false sharing
+        assert_eq!(m.stats().miss_cold.get(), 2);
+        assert_eq!(m.stats().miss_true_sharing.get(), 1);
+        assert_eq!(m.stats().miss_false_sharing.get(), 1);
+    }
+
+    #[test]
+    fn ifetch_hits_after_first_access() {
+        let m = system(2);
+        let a = Addr(0x4000);
+        let miss = m.ifetch(TileId(0), Cycles(0), a);
+        let hit = m.ifetch(TileId(0), Cycles(0), a);
+        assert!(miss > hit);
+        assert_eq!(m.stats().ifetches.get(), 2);
+        assert_eq!(m.stats().ifetch_misses.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_hammering_stays_coherent() {
+        let m = Arc::new(system(8));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    // All tiles fight over 32 lines.
+                    m.random_access_storm(TileId(t), t as u64 + 1, 32 * 64, 2_000);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        m.verify_coherence_invariants().unwrap();
+        assert_eq!(m.stats().accesses(), 8 * 2_000);
+    }
+
+    #[test]
+    fn sequential_consistency_single_location() {
+        // Two tiles increment a shared counter with a crude retry loop; the
+        // final value must reflect all increments when accesses are serial.
+        let m = system(2);
+        let a = Addr(0x800);
+        let mut buf = [0u8; 8];
+        for i in 0..100u64 {
+            let t = TileId((i % 2) as u32);
+            m.read(t, Cycles(0), a, &mut buf);
+            let v = u64::from_le_bytes(buf) + 1;
+            m.write(t, Cycles(0), a, &v.to_le_bytes());
+        }
+        m.read(TileId(0), Cycles(0), a, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 100);
+    }
+
+    #[test]
+    fn l2_only_hierarchy_works() {
+        let cfg = presets::fig8_miss_characterization(4, 64);
+        let m = system_with(&cfg, false);
+        m.write(TileId(0), Cycles(0), Addr(0), &3u64.to_le_bytes());
+        let mut buf = [0u8; 8];
+        m.read(TileId(3), Cycles(0), Addr(0), &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 3);
+        assert_eq!(m.stats().l1d_hits.get(), 0, "no L1 exists");
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn fetch_update_is_atomic_across_tiles() {
+        let m = Arc::new(system(4));
+        let a = Addr(0x400);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        m.fetch_update_u32(TileId(t), Cycles(0), a, |v| v + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut buf = [0u8; 4];
+        m.peek_bytes(a, &mut buf);
+        assert_eq!(u32::from_le_bytes(buf), 4_000, "increments must not be lost");
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn fetch_update_returns_old_value_and_latency() {
+        let m = system(2);
+        let a = Addr(0x80);
+        m.write(TileId(0), Cycles(0), a, &7u32.to_le_bytes());
+        let (old, lat) = m.fetch_update_u32(TileId(0), Cycles(0), a, |v| v * 2);
+        assert_eq!(old, 7);
+        assert_eq!(lat, Cycles(1), "local Modified hit");
+        let mut buf = [0u8; 4];
+        m.peek_bytes(a, &mut buf);
+        assert_eq!(u32::from_le_bytes(buf), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross a line boundary")]
+    fn fetch_update_rejects_straddling_access() {
+        let m = system(2);
+        m.fetch_update_u32(TileId(0), Cycles(0), Addr(62), |v| v);
+    }
+
+    #[test]
+    fn per_tile_counters_track_requesters() {
+        let m = system(4);
+        let mut buf = [0u8; 8];
+        // Tile 1 makes two accesses; one is a miss (directory transaction).
+        m.read(TileId(1), Cycles(0), Addr(0x40), &mut buf);
+        m.read(TileId(1), Cycles(0), Addr(0x40), &mut buf);
+        let pt = &m.per_tile_counters()[1];
+        assert_eq!(pt.accesses.get(), 2);
+        assert_eq!(pt.transactions.get(), 1);
+        assert_eq!(m.per_tile_counters()[0].accesses.get(), 0);
+    }
+
+    #[test]
+    fn mesi_grants_exclusive_and_upgrades_silently() {
+        let mut cfg = presets::paper_default(4);
+        cfg.target.protocol = CacheProtocol::Mesi;
+        let m = system_with(&cfg, false);
+        let a = Addr(0x40);
+        let mut buf = [0u8; 8];
+        // Sole reader takes the line Exclusive...
+        m.read(TileId(0), Cycles(0), a, &mut buf);
+        assert_eq!(m.stats().exclusive_grants.get(), 1);
+        // ...and writes it without any directory transaction.
+        let miss_before = m.stats().misses.get();
+        let upgr_before = m.stats().upgrades.get();
+        m.write(TileId(0), Cycles(0), a, &1u64.to_le_bytes());
+        assert_eq!(m.stats().misses.get(), miss_before);
+        assert_eq!(m.stats().upgrades.get(), upgr_before, "no upgrade transaction");
+        assert_eq!(m.stats().silent_upgrades.get(), 1);
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn mesi_second_reader_downgrades_exclusive() {
+        let mut cfg = presets::paper_default(4);
+        cfg.target.protocol = CacheProtocol::Mesi;
+        let m = system_with(&cfg, false);
+        let a = Addr(0x40);
+        let mut buf = [0u8; 8];
+        m.read(TileId(0), Cycles(0), a, &mut buf); // E at tile0
+        m.read(TileId(1), Cycles(0), a, &mut buf); // downgrade both to S
+        m.verify_coherence_invariants().unwrap();
+        // A write by tile0 is now an upgrade transaction, not silent.
+        m.write(TileId(0), Cycles(0), a, &2u64.to_le_bytes());
+        assert_eq!(m.stats().upgrades.get(), 1);
+        assert_eq!(m.stats().silent_upgrades.get(), 0);
+        m.read(TileId(1), Cycles(0), a, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 2);
+    }
+
+    #[test]
+    fn mesi_clean_exclusive_eviction_needs_no_writeback() {
+        let mut cfg = presets::paper_default(2);
+        cfg.target.protocol = CacheProtocol::Mesi;
+        cfg.target.l1i = None;
+        cfg.target.l1d = None;
+        cfg.target.l2 = Some(graphite_config::CacheConfig {
+            size_bytes: 256,
+            associativity: 2,
+            line_size: 64,
+            access_latency: Cycles(2),
+        });
+        let m = system_with(&cfg, false);
+        let mut buf = [0u8; 8];
+        // Read 8 distinct lines (clean, Exclusive): evictions must not
+        // count as writebacks.
+        for i in 0..8u64 {
+            m.read(TileId(0), Cycles(0), Addr(i * 64), &mut buf);
+        }
+        assert_eq!(m.stats().writebacks.get(), 0, "clean E evictions are silent");
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn mesi_concurrent_storm_stays_coherent() {
+        let mut cfg = presets::paper_default(4);
+        cfg.target.protocol = CacheProtocol::Mesi;
+        let m = Arc::new(system_with(&cfg, false));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    m.random_access_storm(TileId(t), t as u64 + 3, 32 * 64, 2_000);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn msi_never_grants_exclusive() {
+        let m = system(4);
+        let mut buf = [0u8; 8];
+        m.read(TileId(0), Cycles(0), Addr(0x40), &mut buf);
+        assert_eq!(m.stats().exclusive_grants.get(), 0);
+        m.write(TileId(0), Cycles(0), Addr(0x40), &1u64.to_le_bytes());
+        assert_eq!(m.stats().silent_upgrades.get(), 0);
+        assert_eq!(m.stats().upgrades.get(), 1, "MSI pays the upgrade");
+    }
+
+    #[test]
+    fn stats_mean_latency_and_miss_rate() {
+        let m = system(4);
+        let mut buf = [0u8; 8];
+        m.read(TileId(0), Cycles(0), Addr(0), &mut buf); // miss
+        m.read(TileId(0), Cycles(0), Addr(0), &mut buf); // hit
+        assert_eq!(m.stats().miss_rate(), 0.5);
+        assert!(m.stats().mean_latency() > 1.0);
+    }
+}

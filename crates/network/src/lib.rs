@@ -1,0 +1,293 @@
+//! On-chip network modeling (paper §3.3).
+//!
+//! The network component routes packets between target tiles and accounts
+//! for latency, serialization and contention. Following the paper:
+//!
+//! * several **network models** coexist, selected by message type — system
+//!   traffic rides a zero-latency [`BasicModel`] so it never perturbs
+//!   results, while application and memory traffic each get their own
+//!   instance of the configured model;
+//! * models share a common [`NetworkModel`] interface and are swappable;
+//! * "regardless of the time-stamp of a packet, the network forwards
+//!   messages immediately and delivers them in the order they are received" —
+//!   models only compute *timestamps*; actual delivery order is whatever the
+//!   transport produced.
+//!
+//! Three models are provided, mirroring §3.3: [`BasicModel`] (no delay),
+//! [`MeshModel`] (hop count × per-hop latency + serialization), and
+//! [`MeshContentionModel`] (adds per-link lax-queue contention driven by the
+//! global-progress estimate).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use graphite_base::{Cycles, GlobalProgress, TileId};
+//! use graphite_network::{Network, Packet, TrafficClass};
+//!
+//! let cfg = graphite_config::presets::paper_default(16);
+//! let progress = Arc::new(GlobalProgress::new(16));
+//! let net = Network::new(&cfg, progress);
+//! let p = Packet { src: TileId(0), dst: TileId(15), size_bytes: 64, send_time: Cycles(100) };
+//! let d = net.route(TrafficClass::Memory, &p);
+//! assert!(d.arrival > p.send_time);
+//! assert_eq!(d.hops, 6); // 4x4 mesh: 3 hops east + 3 hops south
+//! ```
+
+pub mod models;
+pub mod topology;
+
+use std::sync::Arc;
+
+use graphite_base::{Counter, Cycles, GlobalProgress, TileId};
+use graphite_config::{NetworkKind, SimConfig};
+
+pub use models::{BasicModel, MeshContentionModel, MeshModel, NetworkModel, RingModel};
+pub use topology::MeshTopology;
+
+/// A packet presented to a network model for timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Source tile.
+    pub src: TileId,
+    /// Destination tile.
+    pub dst: TileId,
+    /// Payload size in bytes (drives serialization delay).
+    pub size_bytes: u32,
+    /// The sender's local clock when the packet was injected; every message
+    /// carries this timestamp (paper §3.6.1).
+    pub send_time: Cycles,
+}
+
+/// The result of routing one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Simulated arrival time at the destination (`send_time + latency`).
+    pub arrival: Cycles,
+    /// Total modeled latency.
+    pub latency: Cycles,
+    /// Portion of the latency due to contention (zero for contention-free
+    /// models).
+    pub contention: Cycles,
+    /// Network hops traversed.
+    pub hops: u32,
+}
+
+/// Traffic classes, each served by its own model instance (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Simulator-internal traffic; must not affect simulation results.
+    System,
+    /// Application messages (user messaging API).
+    User,
+    /// Memory-subsystem coherence traffic.
+    Memory,
+}
+
+/// Per-class traffic statistics.
+#[derive(Debug, Default)]
+pub struct ClassStats {
+    /// Packets routed.
+    pub packets: Counter,
+    /// Sum of hop counts.
+    pub hops: Counter,
+    /// Sum of modeled latencies (cycles).
+    pub latency_sum: Counter,
+    /// Sum of contention delays (cycles).
+    pub contention_sum: Counter,
+    /// Sum of payload bytes.
+    pub bytes: Counter,
+}
+
+impl ClassStats {
+    /// Mean end-to-end latency in cycles, or 0 with no traffic.
+    pub fn mean_latency(&self) -> f64 {
+        let n = self.packets.get();
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_sum.get() as f64 / n as f64
+        }
+    }
+
+    fn record(&self, p: &Packet, d: &Delivery) {
+        self.packets.incr();
+        self.hops.add(d.hops as u64);
+        self.latency_sum.add(d.latency.0);
+        self.contention_sum.add(d.contention.0);
+        self.bytes.add(p.size_bytes as u64);
+    }
+}
+
+/// The per-simulation network component: three models (system / user /
+/// memory) plus shared global-progress observation.
+///
+/// Every routed packet's timestamp feeds the [`GlobalProgress`] estimator —
+/// the paper's source of the approximate global clock ("messages are
+/// generated frequently, e.g. on every cache miss, so this window gives an
+/// up-to-date representation of global progress").
+pub struct Network {
+    system: Box<dyn NetworkModel>,
+    user: Box<dyn NetworkModel>,
+    memory: Box<dyn NetworkModel>,
+    progress: Arc<GlobalProgress>,
+    system_stats: ClassStats,
+    user_stats: ClassStats,
+    memory_stats: ClassStats,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("system", &self.system.name())
+            .field("user", &self.user.name())
+            .field("memory", &self.memory.name())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Builds the model set for a configuration: system traffic always uses
+    /// [`BasicModel`]; user and memory traffic use the configured kind, each
+    /// with an *independent* model instance (paper: "the default simulator
+    /// configuration also uses separate models for application and memory
+    /// traffic").
+    pub fn new(cfg: &SimConfig, progress: Arc<GlobalProgress>) -> Self {
+        let make = |kind: NetworkKind| -> Box<dyn NetworkModel> {
+            match kind {
+                NetworkKind::Basic => Box::new(BasicModel::new()),
+                NetworkKind::Mesh => {
+                    Box::new(MeshModel::new(cfg.target.num_tiles, cfg.target.mesh.clone()))
+                }
+                NetworkKind::Ring => {
+                    Box::new(RingModel::new(cfg.target.num_tiles, cfg.target.mesh.clone()))
+                }
+                NetworkKind::MeshContention => Box::new(MeshContentionModel::new(
+                    cfg.target.num_tiles,
+                    cfg.target.mesh.clone(),
+                    Arc::clone(&progress),
+                )),
+            }
+        };
+        Network {
+            system: Box::new(BasicModel::new()),
+            user: make(cfg.target.network),
+            memory: make(cfg.target.network),
+            progress,
+            system_stats: ClassStats::default(),
+            user_stats: ClassStats::default(),
+            memory_stats: ClassStats::default(),
+        }
+    }
+
+    /// Routes a packet on the model for its class, returning its delivery
+    /// timing and updating statistics and the global-progress window.
+    ///
+    /// Only call this for packets whose `send_time` is a *tile's actual
+    /// clock* (requests, writebacks, user messages): those timestamps feed
+    /// the global-progress estimator. Protocol legs stamped with derived
+    /// future times (forwards, acks, responses) must use
+    /// [`Network::route_unobserved`] — otherwise queue-delay-inflated
+    /// timestamps feed back into the progress estimate that queue delays
+    /// are computed against, and the estimate ratchets away from real
+    /// progress.
+    pub fn route(&self, class: TrafficClass, p: &Packet) -> Delivery {
+        // System traffic must not influence results, so it also skips the
+        // progress window.
+        if class != TrafficClass::System {
+            self.progress.observe(p.send_time);
+        }
+        self.route_unobserved(class, p)
+    }
+
+    /// Routes a packet without feeding the global-progress window; for
+    /// protocol legs whose timestamps are derived model times rather than
+    /// tile clocks. Contention state and statistics still update.
+    pub fn route_unobserved(&self, class: TrafficClass, p: &Packet) -> Delivery {
+        let (model, stats) = match class {
+            TrafficClass::System => (&self.system, &self.system_stats),
+            TrafficClass::User => (&self.user, &self.user_stats),
+            TrafficClass::Memory => (&self.memory, &self.memory_stats),
+        };
+        let d = model.route(p);
+        stats.record(p, &d);
+        d
+    }
+
+    /// Statistics for one traffic class.
+    pub fn stats(&self, class: TrafficClass) -> &ClassStats {
+        match class {
+            TrafficClass::System => &self.system_stats,
+            TrafficClass::User => &self.user_stats,
+            TrafficClass::Memory => &self.memory_stats,
+        }
+    }
+
+    /// The shared global-progress estimator.
+    pub fn progress(&self) -> &Arc<GlobalProgress> {
+        &self.progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_config::presets::paper_default;
+
+    fn net(tiles: u32, kind: NetworkKind) -> Network {
+        let mut cfg = paper_default(tiles);
+        cfg.target.network = kind;
+        Network::new(&cfg, Arc::new(GlobalProgress::new(tiles as usize)))
+    }
+
+    #[test]
+    fn system_traffic_is_free_and_invisible() {
+        let n = net(16, NetworkKind::Mesh);
+        let p = Packet { src: TileId(0), dst: TileId(15), size_bytes: 512, send_time: Cycles(5) };
+        let d = n.route(TrafficClass::System, &p);
+        assert_eq!(d.latency, Cycles::ZERO);
+        assert_eq!(d.arrival, Cycles(5));
+        // System traffic does not move the progress estimate.
+        assert_eq!(n.progress().estimate(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn memory_traffic_feeds_progress() {
+        let n = net(16, NetworkKind::Mesh);
+        let p =
+            Packet { src: TileId(0), dst: TileId(1), size_bytes: 64, send_time: Cycles(1000) };
+        n.route(TrafficClass::Memory, &p);
+        assert_eq!(n.progress().estimate(), Cycles(1000));
+    }
+
+    #[test]
+    fn stats_accumulate_per_class() {
+        let n = net(16, NetworkKind::Mesh);
+        let p = Packet { src: TileId(0), dst: TileId(3), size_bytes: 8, send_time: Cycles(0) };
+        n.route(TrafficClass::User, &p);
+        n.route(TrafficClass::User, &p);
+        assert_eq!(n.stats(TrafficClass::User).packets.get(), 2);
+        assert_eq!(n.stats(TrafficClass::User).hops.get(), 6);
+        assert_eq!(n.stats(TrafficClass::Memory).packets.get(), 0);
+        assert!(n.stats(TrafficClass::User).mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn user_and_memory_models_are_independent() {
+        // With the contention model, hammering the memory network must not
+        // slow down the user network.
+        let n = net(4, NetworkKind::MeshContention);
+        let p = Packet { src: TileId(0), dst: TileId(3), size_bytes: 64, send_time: Cycles(0) };
+        for _ in 0..100 {
+            n.route(TrafficClass::Memory, &p);
+        }
+        let d = n.route(TrafficClass::User, &p);
+        assert_eq!(d.contention, Cycles::ZERO, "user network unaffected by memory load");
+    }
+
+    #[test]
+    fn mean_latency_zero_when_idle() {
+        let n = net(4, NetworkKind::Mesh);
+        assert_eq!(n.stats(TrafficClass::User).mean_latency(), 0.0);
+    }
+}

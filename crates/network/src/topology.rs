@@ -1,0 +1,268 @@
+//! 2-D mesh topology and dimension-ordered (XY) routing.
+//!
+//! The paper's target (Table 1) interconnects tiles with a mesh. Tiles are
+//! laid out row-major on a near-square grid; packets route all the way in X
+//! first, then in Y — deadlock-free and deterministic, matching the routing
+//! used by Raw and the Tile processor the paper cites.
+
+use graphite_base::TileId;
+
+/// A directed link leaving a tile in one of four directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// The tile the link leaves from.
+    pub from: TileId,
+    /// Direction of travel.
+    pub dir: Direction,
+}
+
+/// Mesh link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward larger x.
+    East,
+    /// Toward smaller x.
+    West,
+    /// Toward larger y.
+    South,
+    /// Toward smaller y.
+    North,
+}
+
+impl Direction {
+    fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::South => 2,
+            Direction::North => 3,
+        }
+    }
+}
+
+/// A near-square 2-D mesh arranging `n` tiles row-major.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_base::TileId;
+/// use graphite_network::MeshTopology;
+///
+/// let mesh = MeshTopology::new(16); // 4x4
+/// assert_eq!(mesh.width(), 4);
+/// assert_eq!(mesh.coords(TileId(5)), (1, 1));
+/// assert_eq!(mesh.hops(TileId(0), TileId(15)), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshTopology {
+    width: u32,
+    tiles: u32,
+}
+
+impl MeshTopology {
+    /// Lays out `tiles` tiles on a near-square grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is zero.
+    pub fn new(tiles: u32) -> Self {
+        assert!(tiles > 0, "mesh needs at least one tile");
+        let width = (tiles as f64).sqrt().ceil() as u32;
+        MeshTopology { width, tiles }
+    }
+
+    /// Grid width (tiles per row).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> u32 {
+        self.tiles
+    }
+
+    /// (x, y) coordinates of a tile.
+    pub fn coords(&self, t: TileId) -> (u32, u32) {
+        (t.0 % self.width, t.0 / self.width)
+    }
+
+    /// Manhattan distance between two tiles — the hop count of XY routing.
+    pub fn hops(&self, a: TileId, b: TileId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The sequence of directed links an XY-routed packet traverses.
+    pub fn xy_route(&self, src: TileId, dst: TileId) -> Vec<Link> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut links = Vec::with_capacity(self.hops(src, dst) as usize);
+        let (mut x, mut y) = (sx, sy);
+        while x != dx {
+            let dir = if dx > x { Direction::East } else { Direction::West };
+            links.push(Link { from: self.tile_at(x, y), dir });
+            if dx > x {
+                x += 1;
+            } else {
+                x -= 1;
+            }
+        }
+        while y != dy {
+            let dir = if dy > y { Direction::South } else { Direction::North };
+            links.push(Link { from: self.tile_at(x, y), dir });
+            if dy > y {
+                y += 1;
+            } else {
+                y -= 1;
+            }
+        }
+        links
+    }
+
+    /// Grid height (rows). The last row may be partially populated with
+    /// tiles, but its switches exist and routes may traverse them.
+    pub fn height(&self) -> u32 {
+        self.tiles.div_ceil(self.width)
+    }
+
+    /// Dense index of a directed link, for per-link state arrays.
+    pub fn link_index(&self, link: Link) -> usize {
+        link.from.index() * 4 + link.dir.index()
+    }
+
+    /// Total number of directed link slots: four per *switch position* on
+    /// the full `width × height` grid. With a non-square tile count, XY
+    /// routes legitimately pass through switch positions beyond the last
+    /// tile id, so slots must cover the whole rectangle.
+    pub fn num_link_slots(&self) -> usize {
+        (self.width * self.height()) as usize * 4
+    }
+
+    fn tile_at(&self, x: u32, y: u32) -> TileId {
+        TileId(y * self.width + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn square_layouts() {
+        assert_eq!(MeshTopology::new(1).width(), 1);
+        assert_eq!(MeshTopology::new(4).width(), 2);
+        assert_eq!(MeshTopology::new(16).width(), 4);
+        assert_eq!(MeshTopology::new(1024).width(), 32);
+        // Non-square counts round the width up.
+        assert_eq!(MeshTopology::new(10).width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_tiles_panics() {
+        let _ = MeshTopology::new(0);
+    }
+
+    #[test]
+    fn coords_row_major() {
+        let m = MeshTopology::new(16);
+        assert_eq!(m.coords(TileId(0)), (0, 0));
+        assert_eq!(m.coords(TileId(3)), (3, 0));
+        assert_eq!(m.coords(TileId(4)), (0, 1));
+        assert_eq!(m.coords(TileId(15)), (3, 3));
+    }
+
+    #[test]
+    fn hops_to_self_is_zero() {
+        let m = MeshTopology::new(64);
+        assert_eq!(m.hops(TileId(17), TileId(17)), 0);
+        assert!(m.xy_route(TileId(17), TileId(17)).is_empty());
+    }
+
+    #[test]
+    fn route_goes_x_then_y() {
+        let m = MeshTopology::new(16);
+        let route = m.xy_route(TileId(0), TileId(10)); // (0,0) -> (2,2)
+        assert_eq!(route.len(), 4);
+        assert_eq!(route[0].dir, Direction::East);
+        assert_eq!(route[1].dir, Direction::East);
+        assert_eq!(route[2].dir, Direction::South);
+        assert_eq!(route[3].dir, Direction::South);
+        // Westward + northward route.
+        let back = m.xy_route(TileId(10), TileId(0));
+        assert_eq!(back[0].dir, Direction::West);
+        assert_eq!(back[3].dir, Direction::North);
+    }
+
+    #[test]
+    fn link_indices_are_unique_and_dense() {
+        let m = MeshTopology::new(9);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..9 {
+            for dir in [Direction::East, Direction::West, Direction::South, Direction::North] {
+                let idx = m.link_index(Link { from: TileId(t), dir });
+                assert!(idx < m.num_link_slots());
+                assert!(seen.insert(idx), "duplicate link index {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_routes_stay_within_link_slots() {
+        // 8 tiles on a 3-wide grid: routes may traverse the empty (2,2)
+        // switch position; every link index must stay in range.
+        let m = MeshTopology::new(8);
+        assert_eq!(m.height(), 3);
+        for a in 0..8 {
+            for b in 0..8 {
+                for link in m.xy_route(TileId(a), TileId(b)) {
+                    assert!(
+                        m.link_index(link) < m.num_link_slots(),
+                        "route {a}->{b} overflows at {link:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn route_length_equals_manhattan_distance(
+            tiles in 1u32..600,
+            a in 0u32..600,
+            b in 0u32..600,
+        ) {
+            let a = a % tiles;
+            let b = b % tiles;
+            let m = MeshTopology::new(tiles);
+            let route = m.xy_route(TileId(a), TileId(b));
+            prop_assert_eq!(route.len() as u32, m.hops(TileId(a), TileId(b)));
+        }
+
+        #[test]
+        fn route_terminates_at_destination(
+            tiles in 1u32..600,
+            a in 0u32..600,
+            b in 0u32..600,
+        ) {
+            let a = a % tiles;
+            let b = b % tiles;
+            let m = MeshTopology::new(tiles);
+            // Walk the route and confirm we land on b.
+            let (mut x, mut y) = m.coords(TileId(a));
+            for link in m.xy_route(TileId(a), TileId(b)) {
+                let (lx, ly) = m.coords(link.from);
+                prop_assert_eq!((lx, ly), (x, y), "route must be contiguous");
+                match link.dir {
+                    Direction::East => x += 1,
+                    Direction::West => x -= 1,
+                    Direction::South => y += 1,
+                    Direction::North => y -= 1,
+                }
+            }
+            prop_assert_eq!((x, y), m.coords(TileId(b)));
+        }
+    }
+}

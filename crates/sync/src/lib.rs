@@ -1,0 +1,518 @@
+//! Synchronization models (paper §3.6).
+//!
+//! To meet its performance goals Graphite lets tile clocks run almost
+//! independently — it is *not* cycle-accurate — and offers three models
+//! trading accuracy for speed:
+//!
+//! * [`LaxSync`] — clocks meet only at application events (baseline,
+//!   fastest, largest skew, §3.6.1);
+//! * [`BarrierSync`] — all *active* threads rendezvous every quantum of
+//!   simulated cycles; small quanta closely approximate cycle-accuracy
+//!   (§3.6.2, used as the accuracy baseline in Table 3);
+//! * [`P2PSync`] — the paper's novel distributed scheme: each tile
+//!   periodically compares clocks with a random partner and, when ahead by
+//!   more than the configured *slack*, sleeps for `s = c / r` wall-clock
+//!   seconds, where `c` is the clock difference and `r` the measured
+//!   simulation progress rate (§3.6.3).
+//!
+//! All models implement [`Synchronizer`]; the simulator invokes
+//! [`Synchronizer::on_progress`] as tile clocks advance, and brackets any
+//! blocking guest operation with [`Synchronizer::deactivate`] /
+//! [`Synchronizer::activate`] so a barrier never waits on a blocked thread.
+
+pub mod skew;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphite_base::{Clock, Counter, SimRng, TileId};
+use graphite_config::SyncModel;
+use parking_lot::{Condvar, Mutex};
+
+pub use skew::{SkewSample, SkewSampler};
+
+/// Statistics common to all synchronization models.
+#[derive(Debug, Default)]
+pub struct SyncStats {
+    /// Barrier episodes completed (BarrierSync).
+    pub barrier_releases: Counter,
+    /// Times a thread waited at the barrier.
+    pub barrier_waits: Counter,
+    /// P2P random-partner checks performed.
+    pub p2p_checks: Counter,
+    /// P2P checks that resulted in a sleep.
+    pub p2p_sleeps: Counter,
+    /// Total wall-clock microseconds slept by P2P.
+    pub p2p_sleep_us: Counter,
+}
+
+/// A synchronization model. Object-safe; the simulator holds a
+/// `Arc<dyn Synchronizer>`.
+pub trait Synchronizer: Send + Sync {
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Invoked by a tile's thread after local progress; may block (barrier)
+    /// or sleep (P2P).
+    fn on_progress(&self, tile: TileId);
+
+    /// Marks a tile's thread as participating (spawned / resumed from a
+    /// blocking operation).
+    fn activate(&self, tile: TileId);
+
+    /// Marks a tile's thread as not participating (blocked or exited).
+    fn deactivate(&self, tile: TileId);
+
+    /// Statistics so far.
+    fn stats(&self) -> &SyncStats;
+}
+
+/// Builds the configured synchronization model over the simulation's tile
+/// clocks.
+pub fn build_synchronizer(
+    model: SyncModel,
+    clocks: Arc<Vec<Arc<Clock>>>,
+    seed: u64,
+) -> Arc<dyn Synchronizer> {
+    match model {
+        SyncModel::Lax => Arc::new(LaxSync::new()),
+        SyncModel::LaxBarrier { quantum } => Arc::new(BarrierSync::new(quantum, clocks)),
+        SyncModel::LaxP2P { slack, check_interval } => {
+            Arc::new(P2PSync::new(slack, check_interval, clocks, seed))
+        }
+    }
+}
+
+/// Plain lax synchronization: a no-op scheduler hook. Clocks are reconciled
+/// only by message timestamps at true application events, handled elsewhere.
+#[derive(Debug, Default)]
+pub struct LaxSync {
+    stats: SyncStats,
+}
+
+impl LaxSync {
+    /// Creates the model.
+    pub fn new() -> Self {
+        LaxSync { stats: SyncStats::default() }
+    }
+}
+
+impl Synchronizer for LaxSync {
+    fn name(&self) -> &'static str {
+        "Lax"
+    }
+
+    fn on_progress(&self, _tile: TileId) {}
+
+    fn activate(&self, _tile: TileId) {}
+
+    fn deactivate(&self, _tile: TileId) {}
+
+    fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    /// Threads currently participating.
+    active: usize,
+    /// Threads waiting at the current quantum boundary.
+    arrived: usize,
+    /// The boundary (in cycles) every active thread must reach.
+    target: u64,
+    /// Release generation; waiting threads watch for it to change.
+    generation: u64,
+}
+
+/// Quanta-based barrier synchronization (LaxBarrier, §3.6.2): "all active
+/// threads wait on a barrier after a configurable number of cycles".
+pub struct BarrierSync {
+    quantum: u64,
+    clocks: Arc<Vec<Arc<Clock>>>,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    stats: SyncStats,
+}
+
+impl std::fmt::Debug for BarrierSync {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("BarrierSync")
+            .field("quantum", &self.quantum)
+            .field("active", &s.active)
+            .field("target", &s.target)
+            .finish()
+    }
+}
+
+impl BarrierSync {
+    /// Creates a barrier with the given quantum (cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn new(quantum: u64, clocks: Arc<Vec<Arc<Clock>>>) -> Self {
+        assert!(quantum > 0, "barrier quantum must be positive");
+        BarrierSync {
+            quantum,
+            clocks,
+            state: Mutex::new(BarrierState {
+                active: 0,
+                arrived: 0,
+                target: quantum,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+            stats: SyncStats::default(),
+        }
+    }
+
+    fn release_locked(&self, s: &mut BarrierState) {
+        s.generation += 1;
+        s.arrived = 0;
+        s.target += self.quantum;
+        self.stats.barrier_releases.incr();
+        self.cv.notify_all();
+    }
+}
+
+impl Synchronizer for BarrierSync {
+    fn name(&self) -> &'static str {
+        "LaxBarrier"
+    }
+
+    fn on_progress(&self, tile: TileId) {
+        let clock = &self.clocks[tile.index()];
+        let mut s = self.state.lock();
+        // A long memory stall can cross several quanta in one advance; wait
+        // out each boundary in turn.
+        loop {
+            if clock.now().0 < s.target || s.active <= 1 {
+                // Alone (or under the boundary): advance the target lazily so
+                // a solo thread never self-blocks.
+                while s.active <= 1 && clock.now().0 >= s.target {
+                    self.release_locked(&mut s);
+                }
+                return;
+            }
+            s.arrived += 1;
+            if s.arrived >= s.active {
+                self.release_locked(&mut s);
+            } else {
+                self.stats.barrier_waits.incr();
+                let gen = s.generation;
+                while s.generation == gen {
+                    self.cv.wait(&mut s);
+                }
+            }
+        }
+    }
+
+    fn activate(&self, _tile: TileId) {
+        let mut s = self.state.lock();
+        s.active += 1;
+    }
+
+    fn deactivate(&self, _tile: TileId) {
+        let mut s = self.state.lock();
+        debug_assert!(s.active > 0, "deactivate without activate");
+        s.active = s.active.saturating_sub(1);
+        if s.active > 0 && s.arrived >= s.active {
+            self.release_locked(&mut s);
+        }
+    }
+
+    fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+}
+
+/// The paper's point-to-point scheme (LaxP2P, §3.6.3): random pairwise clock
+/// checks with slack-bounded sleeping. Completely distributed — no global
+/// structures are consulted on the hot path.
+pub struct P2PSync {
+    slack: u64,
+    check_interval: u64,
+    clocks: Arc<Vec<Arc<Clock>>>,
+    active: Vec<AtomicBool>,
+    /// Per-tile clock value at the last check.
+    last_check: Vec<AtomicU64>,
+    rng: Mutex<SimRng>,
+    start: Instant,
+    stats: SyncStats,
+    /// Cap on a single sleep to bound the damage of a bad rate estimate.
+    max_sleep: Duration,
+}
+
+impl std::fmt::Debug for P2PSync {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("P2PSync")
+            .field("slack", &self.slack)
+            .field("check_interval", &self.check_interval)
+            .field("tiles", &self.clocks.len())
+            .finish()
+    }
+}
+
+impl P2PSync {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_interval` is zero.
+    pub fn new(slack: u64, check_interval: u64, clocks: Arc<Vec<Arc<Clock>>>, seed: u64) -> Self {
+        assert!(check_interval > 0, "check interval must be positive");
+        let n = clocks.len();
+        P2PSync {
+            slack,
+            check_interval,
+            clocks,
+            active: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            last_check: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            rng: Mutex::new(SimRng::new(seed)),
+            start: Instant::now(),
+            stats: SyncStats::default(),
+            max_sleep: Duration::from_millis(20),
+        }
+    }
+
+    /// The measured progress rate `r` in simulated cycles per wall second:
+    /// total simulated progress over total wall-clock time (paper §3.6.3).
+    fn progress_rate(&self, my_clock: u64) -> f64 {
+        let elapsed = self.start.elapsed().as_secs_f64().max(1e-6);
+        // Total progress approximated by the fastest clock we know — our own
+        // (we are ahead, that is why we are sleeping).
+        (my_clock as f64 / elapsed).max(1.0)
+    }
+}
+
+impl Synchronizer for P2PSync {
+    fn name(&self) -> &'static str {
+        "LaxP2P"
+    }
+
+    fn on_progress(&self, tile: TileId) {
+        let me = tile.index();
+        let now = self.clocks[me].now().0;
+        let last = self.last_check[me].load(Ordering::Relaxed);
+        if now.saturating_sub(last) < self.check_interval {
+            return;
+        }
+        self.last_check[me].store(now, Ordering::Relaxed);
+        // Choose a random *other* active tile.
+        let n = self.clocks.len();
+        if n <= 1 {
+            return;
+        }
+        let partner = {
+            let mut rng = self.rng.lock();
+            let mut p = rng.gen_range(n as u64 - 1) as usize;
+            if p >= me {
+                p += 1;
+            }
+            p
+        };
+        if !self.active[partner].load(Ordering::Relaxed) {
+            return;
+        }
+        self.stats.p2p_checks.incr();
+        let theirs = self.clocks[partner].now().0;
+        let c = now.saturating_sub(theirs);
+        if c <= self.slack {
+            return;
+        }
+        // We are ahead by c cycles: sleep s = c / r so the partner catches up.
+        let r = self.progress_rate(now);
+        let s = Duration::from_secs_f64(c as f64 / r).min(self.max_sleep);
+        self.stats.p2p_sleeps.incr();
+        self.stats.p2p_sleep_us.add(s.as_micros() as u64);
+        std::thread::sleep(s);
+    }
+
+    fn activate(&self, tile: TileId) {
+        self.active[tile.index()].store(true, Ordering::Relaxed);
+    }
+
+    fn deactivate(&self, tile: TileId) {
+        self.active[tile.index()].store(false, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use graphite_base::Cycles;
+    use super::*;
+
+    fn clocks(n: usize) -> Arc<Vec<Arc<Clock>>> {
+        Arc::new((0..n).map(|_| Arc::new(Clock::new())).collect())
+    }
+
+    #[test]
+    fn builder_selects_model() {
+        let c = clocks(2);
+        assert_eq!(build_synchronizer(SyncModel::Lax, Arc::clone(&c), 0).name(), "Lax");
+        assert_eq!(
+            build_synchronizer(SyncModel::LaxBarrier { quantum: 10 }, Arc::clone(&c), 0).name(),
+            "LaxBarrier"
+        );
+        assert_eq!(
+            build_synchronizer(SyncModel::LaxP2P { slack: 1, check_interval: 1 }, c, 0).name(),
+            "LaxP2P"
+        );
+    }
+
+    #[test]
+    fn lax_never_blocks() {
+        let s = LaxSync::new();
+        s.activate(TileId(0));
+        s.on_progress(TileId(0));
+        s.deactivate(TileId(0));
+        assert_eq!(s.stats().barrier_waits.get(), 0);
+    }
+
+    #[test]
+    fn solo_thread_never_blocks_at_barrier() {
+        let c = clocks(1);
+        let b = BarrierSync::new(100, Arc::clone(&c));
+        b.activate(TileId(0));
+        c[0].advance(Cycles(10_000));
+        b.on_progress(TileId(0)); // must return promptly
+        assert!(b.stats().barrier_releases.get() >= 100);
+        b.deactivate(TileId(0));
+    }
+
+    #[test]
+    fn barrier_keeps_two_threads_within_quantum() {
+        let c = clocks(2);
+        let b = Arc::new(BarrierSync::new(1_000, Arc::clone(&c)));
+        b.activate(TileId(0));
+        b.activate(TileId(1));
+        let max_skew = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                let c = Arc::clone(&c);
+                let max_skew = Arc::clone(&max_skew);
+                std::thread::spawn(move || {
+                    // Thread 1 takes 10x larger steps but both cover the same
+                    // total simulated distance (200k cycles).
+                    let (iters, step) = if t == 0 { (2_000, 100) } else { (200, 1_000) };
+                    for _ in 0..iters {
+                        c[t].advance(Cycles(step));
+                        b.on_progress(TileId(t as u32));
+                        let skew = c[0].now().0.abs_diff(c[1].now().0);
+                        max_skew.fetch_max(skew, Ordering::Relaxed);
+                    }
+                    b.deactivate(TileId(t as u32));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // With a 1000-cycle quantum, observed skew stays within ~2 quanta
+        // (one step can overshoot the boundary by its own length).
+        assert!(
+            max_skew.load(Ordering::Relaxed) <= 2_000 + 1_000,
+            "skew {} exceeds barrier bound",
+            max_skew.load(Ordering::Relaxed)
+        );
+        assert!(b.stats().barrier_waits.get() > 0);
+    }
+
+    #[test]
+    fn barrier_deactivation_releases_waiters() {
+        let c = clocks(2);
+        let b = Arc::new(BarrierSync::new(100, Arc::clone(&c)));
+        b.activate(TileId(0));
+        b.activate(TileId(1));
+        // Thread 0 reaches the boundary and waits.
+        c[0].advance(Cycles(150));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || {
+            b2.on_progress(TileId(0));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // Thread 1 blocks on I/O instead of reaching the barrier: it
+        // deactivates, which must release thread 0.
+        b.deactivate(TileId(1));
+        waiter.join().expect("waiter must be released");
+    }
+
+    #[test]
+    fn p2p_sleeps_when_ahead() {
+        let c = clocks(2);
+        let p = P2PSync::new(1_000, 1, Arc::clone(&c), 42);
+        p.activate(TileId(0));
+        p.activate(TileId(1));
+        // Tile 0 races far ahead.
+        c[0].advance(Cycles(1_000_000));
+        std::thread::sleep(Duration::from_millis(2)); // non-zero wall time
+        p.on_progress(TileId(0));
+        assert_eq!(p.stats().p2p_sleeps.get(), 1);
+        assert!(p.stats().p2p_sleep_us.get() > 0);
+    }
+
+    #[test]
+    fn p2p_within_slack_does_not_sleep() {
+        let c = clocks(2);
+        let p = P2PSync::new(100_000, 1, Arc::clone(&c), 42);
+        p.activate(TileId(0));
+        p.activate(TileId(1));
+        c[0].advance(Cycles(50_000));
+        p.on_progress(TileId(0));
+        assert_eq!(p.stats().p2p_sleeps.get(), 0);
+        assert!(p.stats().p2p_checks.get() > 0);
+    }
+
+    #[test]
+    fn p2p_ignores_inactive_partners() {
+        let c = clocks(2);
+        let p = P2PSync::new(10, 1, Arc::clone(&c), 7);
+        p.activate(TileId(0));
+        // Partner inactive: no check recorded, no sleep.
+        c[0].advance(Cycles(1_000_000));
+        p.on_progress(TileId(0));
+        assert_eq!(p.stats().p2p_checks.get(), 0);
+    }
+
+    #[test]
+    fn p2p_check_interval_throttles() {
+        let c = clocks(2);
+        let p = P2PSync::new(u64::MAX, 10_000, Arc::clone(&c), 7);
+        p.activate(TileId(0));
+        p.activate(TileId(1));
+        for _ in 0..100 {
+            c[0].advance(Cycles(1));
+            p.on_progress(TileId(0));
+        }
+        assert_eq!(p.stats().p2p_checks.get(), 0, "under the interval: no checks");
+        c[0].advance(Cycles(20_000));
+        p.on_progress(TileId(0));
+        assert_eq!(p.stats().p2p_checks.get(), 1);
+    }
+
+    #[test]
+    fn p2p_behind_thread_never_sleeps() {
+        let c = clocks(2);
+        let p = P2PSync::new(100, 1, Arc::clone(&c), 9);
+        p.activate(TileId(0));
+        p.activate(TileId(1));
+        c[1].advance(Cycles(1_000_000)); // partner is ahead; we are behind
+        c[0].advance(Cycles(10));
+        p.on_progress(TileId(0));
+        assert_eq!(p.stats().p2p_sleeps.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn barrier_zero_quantum_panics() {
+        let _ = BarrierSync::new(0, clocks(1));
+    }
+}

@@ -1,0 +1,221 @@
+//! Clock-skew measurement (paper §4.3, Figure 7).
+//!
+//! The paper visualizes skew by sampling per-tile clocks during execution,
+//! computing an approximate global cycle count, and plotting the max/min
+//! deviation from it per interval. [`SkewSampler`] reproduces that
+//! instrument: a background thread samples all clocks at a fixed wall-clock
+//! period; each sample records the spread around the mean.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use graphite_base::Clock;
+use parking_lot::Mutex;
+
+/// One skew observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewSample {
+    /// Wall-clock milliseconds since sampling began.
+    pub wall_ms: u64,
+    /// Mean of all sampled clocks ("approximate global cycle count").
+    pub mean: f64,
+    /// Largest positive deviation from the mean (cycles).
+    pub max_above: f64,
+    /// Largest negative deviation from the mean (cycles, non-negative
+    /// magnitude).
+    pub max_below: f64,
+    /// True when every clock advanced since the previous sample — i.e. all
+    /// tiles were executing. Samples taken during serial program phases
+    /// (only the main thread running) or after workers exit report skew
+    /// against frozen clocks, which says nothing about the synchronization
+    /// model; filter on this flag for model comparisons.
+    pub all_moving: bool,
+}
+
+impl SkewSample {
+    /// Total spread (max above + max below).
+    pub fn spread(&self) -> f64 {
+        self.max_above + self.max_below
+    }
+}
+
+/// Samples a set of tile clocks and records skew over time.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use graphite_base::{Clock, Cycles};
+/// use graphite_sync::SkewSampler;
+///
+/// let clocks: Arc<Vec<Arc<Clock>>> =
+///     Arc::new((0..4).map(|_| Arc::new(Clock::new())).collect());
+/// clocks[0].advance(Cycles(1_000));
+/// let sampler = SkewSampler::new(Arc::clone(&clocks));
+/// sampler.sample();
+/// let samples = sampler.samples();
+/// assert_eq!(samples.len(), 1);
+/// assert!(samples[0].max_above > 0.0);
+/// ```
+pub struct SkewSampler {
+    clocks: Arc<Vec<Arc<Clock>>>,
+    samples: Mutex<Vec<SkewSample>>,
+    last_values: Mutex<Vec<f64>>,
+    started: std::time::Instant,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for SkewSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkewSampler")
+            .field("tiles", &self.clocks.len())
+            .field("samples", &self.samples.lock().len())
+            .finish()
+    }
+}
+
+impl SkewSampler {
+    /// Creates a sampler over the given clocks.
+    pub fn new(clocks: Arc<Vec<Arc<Clock>>>) -> Self {
+        SkewSampler {
+            clocks,
+            samples: Mutex::new(Vec::new()),
+            last_values: Mutex::new(Vec::new()),
+            started: std::time::Instant::now(),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Takes one sample now.
+    pub fn sample(&self) {
+        let values: Vec<f64> = self.clocks.iter().map(|c| c.now().0 as f64).collect();
+        if values.is_empty() {
+            return;
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let max_above = values.iter().map(|v| v - mean).fold(0.0f64, f64::max);
+        let max_below = values.iter().map(|v| mean - v).fold(0.0f64, f64::max);
+        let all_moving = {
+            let mut last = self.last_values.lock();
+            let moving = last.len() == values.len()
+                && last.iter().zip(&values).all(|(a, b)| b > a);
+            *last = values.clone();
+            moving
+        };
+        self.samples.lock().push(SkewSample {
+            wall_ms: self.started.elapsed().as_millis() as u64,
+            mean,
+            max_above,
+            max_below,
+            all_moving,
+        });
+    }
+
+    /// All samples so far.
+    pub fn samples(&self) -> Vec<SkewSample> {
+        self.samples.lock().clone()
+    }
+
+    /// The maximum spread seen across all samples.
+    pub fn max_spread(&self) -> f64 {
+        self.samples.lock().iter().map(SkewSample::spread).fold(0.0, f64::max)
+    }
+
+    /// The maximum spread over samples where every tile was executing —
+    /// the number to compare synchronization models with (Figure 7).
+    pub fn max_spread_all_moving(&self) -> f64 {
+        self.samples
+            .lock()
+            .iter()
+            .filter(|s| s.all_moving)
+            .map(SkewSample::spread)
+            .fold(0.0, f64::max)
+    }
+
+    /// Starts a background thread sampling every `period` until
+    /// [`SkewSampler::stop`] is called. The sampler must be in an `Arc`.
+    pub fn spawn_periodic(self: &Arc<Self>, period: Duration) -> JoinHandle<()> {
+        let me = Arc::clone(self);
+        let stop = Arc::clone(&self.stop);
+        std::thread::Builder::new()
+            .name("graphite-skew-sampler".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    me.sample();
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn skew sampler")
+    }
+
+    /// Stops a periodic sampler.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_base::Cycles;
+
+    fn clocks(n: usize) -> Arc<Vec<Arc<Clock>>> {
+        Arc::new((0..n).map(|_| Arc::new(Clock::new())).collect())
+    }
+
+    #[test]
+    fn equal_clocks_have_zero_spread() {
+        let c = clocks(4);
+        for cl in c.iter() {
+            cl.advance(Cycles(500));
+        }
+        let s = SkewSampler::new(c);
+        s.sample();
+        assert_eq!(s.samples()[0].spread(), 0.0);
+        assert_eq!(s.samples()[0].mean, 500.0);
+    }
+
+    #[test]
+    fn skewed_clocks_measured() {
+        let c = clocks(2);
+        c[0].advance(Cycles(1_000));
+        // mean = 500; above = 500; below = 500.
+        let s = SkewSampler::new(c);
+        s.sample();
+        let sample = &s.samples()[0];
+        assert_eq!(sample.max_above, 500.0);
+        assert_eq!(sample.max_below, 500.0);
+        assert_eq!(sample.spread(), 1_000.0);
+        assert_eq!(s.max_spread(), 1_000.0);
+    }
+
+    #[test]
+    fn all_moving_flag_tracks_advancement() {
+        let c = clocks(2);
+        let s = SkewSampler::new(Arc::clone(&c));
+        s.sample(); // first sample: nothing to compare against
+        c[0].advance(Cycles(10));
+        c[1].advance(Cycles(10));
+        s.sample(); // both moved
+        c[0].advance(Cycles(10));
+        s.sample(); // clock 1 frozen
+        let samples = s.samples();
+        assert!(!samples[0].all_moving);
+        assert!(samples[1].all_moving);
+        assert!(!samples[2].all_moving);
+        assert_eq!(s.max_spread_all_moving(), samples[1].spread());
+    }
+
+    #[test]
+    fn periodic_sampler_collects_and_stops() {
+        let c = clocks(2);
+        let s = Arc::new(SkewSampler::new(Arc::clone(&c)));
+        let h = s.spawn_periodic(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(20));
+        s.stop();
+        h.join().unwrap();
+        assert!(s.samples().len() >= 2);
+    }
+}

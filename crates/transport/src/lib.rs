@@ -1,0 +1,419 @@
+//! The physical transport layer (paper §3.3.1).
+//!
+//! "The transport layer provides an abstraction for generic communication
+//! between tiles. All inter-core communication as well as inter-process
+//! communication required for distributed support goes through this
+//! communication channel."
+//!
+//! Endpoints are the addressable entities of a simulation: every target tile,
+//! the MCP (Master Control Program) and each process's LCP (Local Control
+//! Program). A [`TransportHub`] routes framed messages between endpoints.
+//! Two backends implement the same [`Transport`] trait:
+//!
+//! * [`LocalTransport`] — lock-free in-memory channels (the common case:
+//!   simulated host processes share one OS process);
+//! * [`tcp::TcpTransport`] — real length-prefixed TCP sockets over loopback,
+//!   exercising the paper's actual wire path ("the current transport layer
+//!   uses TCP/IP sockets").
+//!
+//! The hub counts intra-process, inter-process and inter-machine traffic;
+//! the host performance model consumes those counters.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphite_base::TileId;
+//! use graphite_transport::{Endpoint, LocalTransport, MsgClass, Transport};
+//!
+//! let cfg = graphite_config::presets::paper_default(4);
+//! let hub = LocalTransport::new(&cfg);
+//! let mailbox = hub.register(Endpoint::Tile(TileId(1)));
+//! hub.send(
+//!     Endpoint::Tile(TileId(0)),
+//!     Endpoint::Tile(TileId(1)),
+//!     MsgClass::User,
+//!     b"hello".to_vec(),
+//! )
+//! .unwrap();
+//! let msg = mailbox.recv().unwrap();
+//! assert_eq!(msg.payload.as_ref(), b"hello");
+//! assert_eq!(msg.src, Endpoint::Tile(TileId(0)));
+//! ```
+
+pub mod tcp;
+
+use std::fmt;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use graphite_base::{Counter, ProcId, SimError, TileId};
+use graphite_config::SimConfig;
+use parking_lot::RwLock;
+
+/// An addressable entity on the transport fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// A target tile.
+    Tile(TileId),
+    /// The simulation-wide Master Control Program (lives in process 0).
+    Mcp,
+    /// The Local Control Program of one simulated host process.
+    Lcp(ProcId),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tile(t) => write!(f, "{t}"),
+            Endpoint::Mcp => write!(f, "mcp"),
+            Endpoint::Lcp(p) => write!(f, "lcp@{p}"),
+        }
+    }
+}
+
+/// Traffic class of a message; higher layers multiplex different protocols
+/// over one endpoint mailbox (paper §3.3: the network model used by a message
+/// is determined by its type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Simulator-internal control traffic (spawn, syscalls, futex) — carried
+    /// by the zero-latency system network model.
+    System,
+    /// Application-level messages sent through the user messaging API.
+    User,
+    /// Memory-subsystem coherence traffic.
+    Memory,
+}
+
+/// A framed transport message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending endpoint.
+    pub src: Endpoint,
+    /// Receiving endpoint.
+    pub dst: Endpoint,
+    /// Traffic class.
+    pub class: MsgClass,
+    /// Opaque payload owned by the higher layer.
+    pub payload: Bytes,
+}
+
+/// Traffic counters kept by every transport backend.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Messages whose source and destination live in the same simulated
+    /// process.
+    pub intra_process: Counter,
+    /// Messages crossing processes on the same machine.
+    pub inter_process: Counter,
+    /// Messages crossing machine boundaries.
+    pub inter_machine: Counter,
+    /// Total payload bytes moved.
+    pub bytes: Counter,
+}
+
+impl TransportStats {
+    /// Total messages regardless of locality.
+    pub fn total_messages(&self) -> u64 {
+        self.intra_process.get() + self.inter_process.get() + self.inter_machine.get()
+    }
+}
+
+/// A receiving endpoint's FIFO mailbox.
+#[derive(Debug)]
+pub struct Mailbox {
+    endpoint: Endpoint,
+    rx: Receiver<Msg>,
+}
+
+impl Mailbox {
+    /// The endpoint this mailbox belongs to.
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] when every sender has shut down.
+    pub fn recv(&self) -> Result<Msg, SimError> {
+        self.rx.recv().map_err(|_| SimError::TransportClosed(self.endpoint.to_string()))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Msg> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] when every sender has shut down.
+    pub fn recv_timeout(&self, dur: Duration) -> Result<Option<Msg>, SimError> {
+        match self.rx.recv_timeout(dur) {
+            Ok(m) => Ok(Some(m)),
+            Err(channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                Err(SimError::TransportClosed(self.endpoint.to_string()))
+            }
+        }
+    }
+
+    /// Number of queued messages (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+/// A transport backend: endpoint registration plus fire-and-forget sends.
+///
+/// This trait is object-safe; the simulator holds a `dyn Transport`.
+pub trait Transport: Send + Sync {
+    /// Creates (or replaces) the mailbox for `endpoint` and returns the
+    /// receiving half.
+    fn register(&self, endpoint: Endpoint) -> Mailbox;
+
+    /// Sends a message from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] if `dst` was never registered or
+    /// its mailbox has been dropped.
+    fn send(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        class: MsgClass,
+        payload: Vec<u8>,
+    ) -> Result<(), SimError>;
+
+    /// Traffic counters.
+    fn stats(&self) -> &TransportStats;
+}
+
+/// Where an endpoint physically lives, for traffic classification.
+fn locality(cfg: &SimConfig, a: Endpoint, b: Endpoint) -> Locality {
+    let proc_of = |e: Endpoint| -> u32 {
+        match e {
+            Endpoint::Tile(t) => cfg.process_of_tile(t.0),
+            Endpoint::Mcp => 0,
+            Endpoint::Lcp(p) => p.0,
+        }
+    };
+    let (pa, pb) = (proc_of(a), proc_of(b));
+    if pa == pb {
+        Locality::IntraProcess
+    } else if cfg.machine_of_process(pa) == cfg.machine_of_process(pb) {
+        Locality::InterProcess
+    } else {
+        Locality::InterMachine
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Locality {
+    IntraProcess,
+    InterProcess,
+    InterMachine,
+}
+
+/// In-memory channel transport: every endpoint gets an unbounded MPSC
+/// channel. This is the default backend.
+pub struct LocalTransport {
+    cfg: SimConfig,
+    senders: RwLock<std::collections::HashMap<Endpoint, Sender<Msg>>>,
+    stats: TransportStats,
+}
+
+impl fmt::Debug for LocalTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalTransport")
+            .field("endpoints", &self.senders.read().len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LocalTransport {
+    /// Creates an empty hub for the given simulation configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        LocalTransport {
+            cfg: cfg.clone(),
+            senders: RwLock::new(std::collections::HashMap::new()),
+            stats: TransportStats::default(),
+        }
+    }
+}
+
+impl Transport for LocalTransport {
+    fn register(&self, endpoint: Endpoint) -> Mailbox {
+        let (tx, rx) = channel::unbounded();
+        self.senders.write().insert(endpoint, tx);
+        Mailbox { endpoint, rx }
+    }
+
+    fn send(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        class: MsgClass,
+        payload: Vec<u8>,
+    ) -> Result<(), SimError> {
+        let tx = {
+            let map = self.senders.read();
+            map.get(&dst).cloned().ok_or_else(|| SimError::TransportClosed(dst.to_string()))?
+        };
+        match locality(&self.cfg, src, dst) {
+            Locality::IntraProcess => self.stats.intra_process.incr(),
+            Locality::InterProcess => self.stats.inter_process.incr(),
+            Locality::InterMachine => self.stats.inter_machine.incr(),
+        }
+        self.stats.bytes.add(payload.len() as u64);
+        let msg = Msg { src, dst, class, payload: Bytes::from(payload) };
+        tx.send(msg).map_err(|_| SimError::TransportClosed(dst.to_string()))
+    }
+
+    fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+}
+
+/// A generic alias used by the simulator: any transport behind an `Arc`.
+pub type DynTransport = std::sync::Arc<dyn Transport>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn cfg(tiles: u32, procs: u32, machines: u32) -> SimConfig {
+        let mut c = graphite_config::presets::paper_default(tiles);
+        c.num_processes = procs;
+        c.host.num_machines = machines;
+        c
+    }
+
+    #[test]
+    fn send_and_recv_roundtrip() {
+        let hub = LocalTransport::new(&cfg(4, 1, 1));
+        let mb = hub.register(Endpoint::Tile(TileId(2)));
+        hub.send(Endpoint::Mcp, Endpoint::Tile(TileId(2)), MsgClass::System, vec![1, 2, 3])
+            .unwrap();
+        let m = mb.recv().unwrap();
+        assert_eq!(m.src, Endpoint::Mcp);
+        assert_eq!(m.class, MsgClass::System);
+        assert_eq!(m.payload.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn send_to_unregistered_fails() {
+        let hub = LocalTransport::new(&cfg(4, 1, 1));
+        let err = hub
+            .send(Endpoint::Mcp, Endpoint::Tile(TileId(0)), MsgClass::System, vec![])
+            .unwrap_err();
+        assert!(matches!(err, SimError::TransportClosed(_)));
+    }
+
+    #[test]
+    fn fifo_order_per_endpoint() {
+        let hub = LocalTransport::new(&cfg(2, 1, 1));
+        let mb = hub.register(Endpoint::Tile(TileId(0)));
+        for i in 0..10u8 {
+            hub.send(Endpoint::Mcp, Endpoint::Tile(TileId(0)), MsgClass::User, vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(mb.recv().unwrap().payload.as_ref(), &[i]);
+        }
+    }
+
+    #[test]
+    fn locality_classification() {
+        // 4 tiles striped over 2 processes on 2 machines.
+        let hub = LocalTransport::new(&cfg(4, 2, 2));
+        let _mb0 = hub.register(Endpoint::Tile(TileId(0)));
+        let _mb1 = hub.register(Endpoint::Tile(TileId(1)));
+        let _mb2 = hub.register(Endpoint::Tile(TileId(2)));
+        // tile0 (proc0/m0) -> tile2 (proc0/m0): intra-process.
+        hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(2)), MsgClass::User, vec![])
+            .unwrap();
+        // tile0 (proc0/m0) -> tile1 (proc1/m1): inter-machine.
+        hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(1)), MsgClass::User, vec![])
+            .unwrap();
+        assert_eq!(hub.stats().intra_process.get(), 1);
+        assert_eq!(hub.stats().inter_machine.get(), 1);
+        assert_eq!(hub.stats().inter_process.get(), 0);
+
+        // Same processes, one machine: the cross-process hop is inter-process.
+        let hub1 = LocalTransport::new(&cfg(4, 2, 1));
+        let _mb = hub1.register(Endpoint::Tile(TileId(1)));
+        hub1.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(1)), MsgClass::User, vec![])
+            .unwrap();
+        assert_eq!(hub1.stats().inter_process.get(), 1);
+    }
+
+    #[test]
+    fn bytes_counted() {
+        let hub = LocalTransport::new(&cfg(2, 1, 1));
+        let _mb = hub.register(Endpoint::Lcp(ProcId(0)));
+        hub.send(Endpoint::Mcp, Endpoint::Lcp(ProcId(0)), MsgClass::System, vec![0; 42]).unwrap();
+        assert_eq!(hub.stats().bytes.get(), 42);
+        assert_eq!(hub.stats().total_messages(), 1);
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let hub = LocalTransport::new(&cfg(2, 1, 1));
+        let mb = hub.register(Endpoint::Mcp);
+        assert!(mb.try_recv().is_none());
+        assert!(mb.is_empty());
+        assert_eq!(mb.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+        hub.send(Endpoint::Tile(TileId(0)), Endpoint::Mcp, MsgClass::System, vec![9]).unwrap();
+        assert_eq!(mb.len(), 1);
+        assert!(mb.try_recv().is_some());
+    }
+
+    #[test]
+    fn concurrent_senders_all_delivered() {
+        let hub = Arc::new(LocalTransport::new(&cfg(8, 1, 1)));
+        let mb = hub.register(Endpoint::Mcp);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        hub.send(
+                            Endpoint::Tile(TileId(t)),
+                            Endpoint::Mcp,
+                            MsgClass::User,
+                            vec![t as u8],
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut n = 0;
+        while mb.try_recv().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2000);
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(Endpoint::Tile(TileId(3)).to_string(), "tile3");
+        assert_eq!(Endpoint::Mcp.to_string(), "mcp");
+        assert_eq!(Endpoint::Lcp(ProcId(1)).to_string(), "lcp@proc1");
+    }
+}

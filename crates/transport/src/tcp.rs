@@ -1,0 +1,337 @@
+//! TCP socket backend for the transport layer.
+//!
+//! The paper's transport uses TCP/IP sockets between host processes
+//! (§3.3.1). This backend reproduces that wire path: each simulated host
+//! process owns a loopback TCP listener; messages whose source and
+//! destination live in different processes are framed, written to a real
+//! socket, read back by the destination process's reader thread, and only
+//! then delivered to the endpoint mailbox. Intra-process traffic short-cuts
+//! through memory, exactly as shared-memory delivery does in Graphite.
+//!
+//! The framing is a length-prefixed binary header:
+//! `len:u32 | src:(tag u8, id u32) | dst:(tag u8, id u32) | class:u8 | payload`.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Sender};
+use graphite_base::{ProcId, SimError, TileId};
+use graphite_config::SimConfig;
+use parking_lot::{Mutex, RwLock};
+
+use crate::{Endpoint, Mailbox, Msg, MsgClass, Transport, TransportStats};
+
+fn encode(src: Endpoint, dst: Endpoint, class: MsgClass, payload: &[u8]) -> Vec<u8> {
+    fn put_ep(buf: &mut Vec<u8>, e: Endpoint) {
+        match e {
+            Endpoint::Tile(TileId(i)) => {
+                buf.push(0);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Endpoint::Mcp => {
+                buf.push(1);
+                buf.extend_from_slice(&0u32.to_le_bytes());
+            }
+            Endpoint::Lcp(ProcId(p)) => {
+                buf.push(2);
+                buf.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+    }
+    let body_len = 5 + 5 + 1 + payload.len();
+    let mut buf = Vec::with_capacity(4 + body_len);
+    buf.extend_from_slice(&(body_len as u32).to_le_bytes());
+    put_ep(&mut buf, src);
+    put_ep(&mut buf, dst);
+    buf.push(match class {
+        MsgClass::System => 0,
+        MsgClass::User => 1,
+        MsgClass::Memory => 2,
+    });
+    buf.extend_from_slice(payload);
+    buf
+}
+
+fn decode(body: &[u8]) -> Option<Msg> {
+    fn get_ep(b: &[u8]) -> Option<Endpoint> {
+        let id = u32::from_le_bytes(b[1..5].try_into().ok()?);
+        Some(match b[0] {
+            0 => Endpoint::Tile(TileId(id)),
+            1 => Endpoint::Mcp,
+            2 => Endpoint::Lcp(ProcId(id)),
+            _ => return None,
+        })
+    }
+    if body.len() < 11 {
+        return None;
+    }
+    let src = get_ep(&body[0..5])?;
+    let dst = get_ep(&body[5..10])?;
+    let class = match body[10] {
+        0 => MsgClass::System,
+        1 => MsgClass::User,
+        2 => MsgClass::Memory,
+        _ => return None,
+    };
+    Some(Msg { src, dst, class, payload: Bytes::copy_from_slice(&body[11..]) })
+}
+
+/// A transport whose inter-process hops travel over real loopback TCP
+/// sockets, one listener per simulated host process.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_base::TileId;
+/// use graphite_transport::{tcp::TcpTransport, Endpoint, MsgClass, Transport};
+///
+/// let mut cfg = graphite_config::presets::paper_default(4);
+/// cfg.num_processes = 2;
+/// let hub = TcpTransport::new(&cfg).unwrap();
+/// let mb = hub.register(Endpoint::Tile(TileId(1))); // tile1 lives in process 1
+/// // tile0 lives in process 0, so this send crosses a real socket.
+/// hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(1)), MsgClass::User, vec![7])
+///     .unwrap();
+/// assert_eq!(hub.stats().inter_process.get() + hub.stats().inter_machine.get(), 1);
+/// assert_eq!(mb.recv().unwrap().payload.as_ref(), &[7]);
+/// ```
+pub struct TcpTransport {
+    cfg: SimConfig,
+    senders: Arc<RwLock<HashMap<Endpoint, Sender<Msg>>>>,
+    /// One lazily-connected outbound stream per destination process.
+    outbound: Vec<Mutex<Option<TcpStream>>>,
+    addrs: Vec<SocketAddr>,
+    stats: TransportStats,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("processes", &self.addrs.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Binds one loopback listener per simulated process and starts their
+    /// acceptor threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] if a listener cannot be bound.
+    pub fn new(cfg: &SimConfig) -> Result<Self, SimError> {
+        let senders: Arc<RwLock<HashMap<Endpoint, Sender<Msg>>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut addrs = Vec::new();
+        for _ in 0..cfg.num_processes {
+            let listener = TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| SimError::TransportClosed(format!("bind: {e}")))?;
+            addrs.push(listener.local_addr().unwrap());
+            let senders = Arc::clone(&senders);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("graphite-tcp-accept".into())
+                .spawn(move || acceptor_loop(listener, senders, shutdown))
+                .expect("spawn acceptor");
+        }
+        Ok(TcpTransport {
+            cfg: cfg.clone(),
+            senders,
+            outbound: (0..cfg.num_processes).map(|_| Mutex::new(None)).collect(),
+            addrs,
+            stats: TransportStats::default(),
+            shutdown,
+        })
+    }
+
+    fn proc_of(&self, e: Endpoint) -> u32 {
+        match e {
+            Endpoint::Tile(t) => self.cfg.process_of_tile(t.0),
+            Endpoint::Mcp => 0,
+            Endpoint::Lcp(p) => p.0,
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    senders: Arc<RwLock<HashMap<Endpoint, Sender<Msg>>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    while let Ok((stream, _)) = listener.accept() {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let senders = Arc::clone(&senders);
+        std::thread::Builder::new()
+            .name("graphite-tcp-read".into())
+            .spawn(move || reader_loop(stream, senders))
+            .expect("spawn reader");
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, senders: Arc<RwLock<HashMap<Endpoint, Sender<Msg>>>>) {
+    let mut len_buf = [0u8; 4];
+    loop {
+        if stream.read_exact(&mut len_buf).is_err() {
+            return; // peer closed
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut body = vec![0u8; len];
+        if stream.read_exact(&mut body).is_err() {
+            return;
+        }
+        if let Some(msg) = decode(&body) {
+            let tx = senders.read().get(&msg.dst).cloned();
+            if let Some(tx) = tx {
+                let _ = tx.send(msg);
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn register(&self, endpoint: Endpoint) -> Mailbox {
+        let (tx, rx) = channel::unbounded();
+        self.senders.write().insert(endpoint, tx);
+        Mailbox { endpoint, rx }
+    }
+
+    fn send(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        class: MsgClass,
+        payload: Vec<u8>,
+    ) -> Result<(), SimError> {
+        let (sp, dp) = (self.proc_of(src), self.proc_of(dst));
+        self.stats.bytes.add(payload.len() as u64);
+        if sp == dp {
+            // Intra-process: deliver through memory, like Graphite's
+            // same-process shortcut.
+            self.stats.intra_process.incr();
+            let tx = self
+                .senders
+                .read()
+                .get(&dst)
+                .cloned()
+                .ok_or_else(|| SimError::TransportClosed(dst.to_string()))?;
+            let msg = Msg { src, dst, class, payload: Bytes::from(payload) };
+            return tx.send(msg).map_err(|_| SimError::TransportClosed(dst.to_string()));
+        }
+        if self.cfg.machine_of_process(sp) == self.cfg.machine_of_process(dp) {
+            self.stats.inter_process.incr();
+        } else {
+            self.stats.inter_machine.incr();
+        }
+        let frame = encode(src, dst, class, &payload);
+        let mut guard = self.outbound[dp as usize].lock();
+        if guard.is_none() {
+            let stream = TcpStream::connect(self.addrs[dp as usize])
+                .map_err(|e| SimError::TransportClosed(format!("connect {dst}: {e}")))?;
+            stream.set_nodelay(true).ok();
+            *guard = Some(stream);
+        }
+        let stream = guard.as_mut().expect("stream just connected");
+        stream
+            .write_all(&frame)
+            .map_err(|e| SimError::TransportClosed(format!("write {dst}: {e}")))
+    }
+
+    fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock each acceptor with a dummy connection.
+        for addr in &self.addrs {
+            let _ = TcpStream::connect(*addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cfg(tiles: u32, procs: u32, machines: u32) -> SimConfig {
+        let mut c = graphite_config::presets::paper_default(tiles);
+        c.num_processes = procs;
+        c.host.num_machines = machines;
+        c
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for (src, dst) in [
+            (Endpoint::Tile(TileId(5)), Endpoint::Mcp),
+            (Endpoint::Mcp, Endpoint::Lcp(ProcId(3))),
+            (Endpoint::Lcp(ProcId(0)), Endpoint::Tile(TileId(1000))),
+        ] {
+            for class in [MsgClass::System, MsgClass::User, MsgClass::Memory] {
+                let frame = encode(src, dst, class, b"payload!");
+                let body = &frame[4..];
+                let msg = decode(body).unwrap();
+                assert_eq!(msg.src, src);
+                assert_eq!(msg.dst, dst);
+                assert_eq!(msg.class, class);
+                assert_eq!(msg.payload.as_ref(), b"payload!");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[]).is_none());
+        assert!(decode(&[9; 11]).is_none());
+    }
+
+    #[test]
+    fn cross_process_message_travels_socket() {
+        let hub = TcpTransport::new(&cfg(4, 2, 1)).unwrap();
+        let mb = hub.register(Endpoint::Tile(TileId(1)));
+        hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(1)), MsgClass::Memory, vec![42])
+            .unwrap();
+        let msg = mb.recv_timeout(Duration::from_secs(5)).unwrap().expect("delivered");
+        assert_eq!(msg.payload.as_ref(), &[42]);
+        assert_eq!(hub.stats().inter_process.get(), 1);
+    }
+
+    #[test]
+    fn intra_process_shortcuts_memory() {
+        let hub = TcpTransport::new(&cfg(4, 2, 1)).unwrap();
+        let mb = hub.register(Endpoint::Tile(TileId(2)));
+        // tiles 0 and 2 both map to process 0.
+        hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(2)), MsgClass::User, vec![1])
+            .unwrap();
+        assert!(mb.try_recv().is_some());
+        assert_eq!(hub.stats().intra_process.get(), 1);
+        assert_eq!(hub.stats().inter_process.get(), 0);
+    }
+
+    #[test]
+    fn many_messages_in_order_across_socket() {
+        let hub = TcpTransport::new(&cfg(2, 2, 2)).unwrap();
+        let mb = hub.register(Endpoint::Tile(TileId(1)));
+        for i in 0..100u8 {
+            hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(1)), MsgClass::User, vec![i])
+                .unwrap();
+        }
+        for i in 0..100u8 {
+            let m = mb.recv_timeout(Duration::from_secs(5)).unwrap().expect("msg");
+            assert_eq!(m.payload.as_ref(), &[i]);
+        }
+        assert_eq!(hub.stats().inter_machine.get(), 100);
+    }
+}

@@ -1,0 +1,418 @@
+//! Dense linear algebra kernels: `matrix-multiply` (Figure 5), `lu_cont` /
+//! `lu_non_cont` and `cholesky` (Figure 4, Table 2, Figure 8).
+//!
+//! The SPLASH-2 LU variants differ in data placement: the *contiguous*
+//! version allocates each processor's data contiguously (perfect spatial
+//! locality — the paper's Figure 8 expectation "miss rates should drop
+//! linearly as the cache line size increases"), while the *non-contiguous*
+//! version interleaves ownership through one global array. We reproduce
+//! that distinction with banded vs round-robin row ownership.
+
+use graphite::{Ctx, GBarrier};
+use graphite_core_model::Instruction;
+
+use crate::{fork_join, input_f64, GuestF64s, Workload};
+
+/// Row range owned by a worker under banded partitioning.
+fn band(n: u64, threads: u32, id: u32) -> (u64, u64) {
+    let t = threads as u64;
+    let per = n.div_ceil(t);
+    let lo = (id as u64 * per).min(n);
+    let hi = (lo + per).min(n);
+    (lo, hi)
+}
+
+/// The paper's 1024-thread scaling kernel (Figure 5): dense
+/// `C = A × B` with row-banded ownership, barrier phases, and ring messages
+/// to neighbours ("it scales well to large numbers of threads, while still
+/// having frequent synchronization via messages with neighbors").
+#[derive(Debug, Clone)]
+pub struct MatMul {
+    /// Matrix dimension.
+    pub n: u64,
+    /// Input seed.
+    pub seed: u64,
+    /// Element-granularity partitioning: each thread computes a contiguous
+    /// range of C's elements instead of whole rows. Required when threads
+    /// outnumber rows (the paper's 1024-thread Figure 5 kernel: 102,400
+    /// elements over 1024 threads is 100 elements each).
+    pub fine_grained: bool,
+}
+
+impl MatMul {
+    /// Test-scale instance.
+    pub fn small() -> Self {
+        MatMul { n: 24, seed: 11, fine_grained: false }
+    }
+
+    /// Bench-scale instance.
+    pub fn paper() -> Self {
+        MatMul { n: 96, seed: 11, fine_grained: false }
+    }
+
+    /// Custom dimension, row-banded.
+    pub fn with_n(n: u64) -> Self {
+        MatMul { n, seed: 11, fine_grained: false }
+    }
+
+    /// The Figure 5 kernel: element-partitioned so all `threads` (up to
+    /// n × n) participate.
+    pub fn fig5(n: u64) -> Self {
+        MatMul { n, seed: 11, fine_grained: true }
+    }
+}
+
+impl Workload for MatMul {
+    fn name(&self) -> &'static str {
+        "matrix-multiply"
+    }
+
+    fn run(&self, ctx: &mut Ctx, threads: u32) {
+        let n = self.n;
+        let a = GuestF64s::alloc(ctx, n * n);
+        let b = GuestF64s::alloc(ctx, n * n);
+        let c = GuestF64s::alloc(ctx, n * n);
+        // Host-side reference inputs; every worker stores its own slice of
+        // the operands (parallel initialization, like the paper's kernel —
+        // "most of the time was spent in the parallel region").
+        let host_a: Vec<f64> = (0..n * n).map(|i| input_f64(self.seed, i)).collect();
+        let host_b: Vec<f64> = (0..n * n).map(|i| input_f64(self.seed + 1, i)).collect();
+        let seed = self.seed;
+        let bar = GBarrier::create(ctx, threads);
+        let n_ = n;
+        let fine = self.fine_grained;
+        fork_join(ctx, threads, move |ctx, id| {
+            let n = n_;
+            let (ilo, ihi) = band(n * n, threads, id);
+            for e in ilo..ihi {
+                a.set(ctx, e, input_f64(seed, e));
+                b.set(ctx, e, input_f64(seed + 1, e));
+            }
+            bar.wait(ctx); // inputs ready
+            if fine {
+                // Contiguous element range per thread (Figure 5 kernel).
+                let (lo, hi) = band(n * n, threads, id);
+                for e in lo..hi {
+                    let (i, j) = (e / n, e % n);
+                    let mut sum = 0.0;
+                    for k in 0..n {
+                        sum += a.get(ctx, i * n + k) * b.get(ctx, k * n + j);
+                    }
+                    ctx.execute(Instruction::FpMul { count: n as u32 });
+                    ctx.execute(Instruction::FpAdd { count: n as u32 });
+                    c.set(ctx, e, sum);
+                }
+            } else {
+                let (lo, hi) = band(n, threads, id);
+                let mut row = vec![0.0f64; n as usize];
+                for i in lo..hi {
+                    row.fill(0.0);
+                    for k in 0..n {
+                        let aik = a.get(ctx, i * n + k);
+                        for j in 0..n {
+                            row[j as usize] += aik * b.get(ctx, k * n + j);
+                        }
+                        // 2 flops per element of the row.
+                        ctx.execute(Instruction::FpMul { count: n as u32 });
+                        ctx.execute(Instruction::FpAdd { count: n as u32 });
+                    }
+                    for j in 0..n {
+                        c.set(ctx, i * n + j, row[j as usize]);
+                    }
+                }
+            }
+            // Ring synchronization with neighbours, as in the paper's kernel.
+            if threads > 1 {
+                let right = graphite_base::TileId((ctx.tile().0 + 1) % threads);
+                ctx.send_msg(right, &id.to_le_bytes());
+                let _ = ctx.recv_msg();
+            }
+            bar.wait(ctx);
+        });
+        // Verify every element against the host reference product. The reads
+        // use the functional (unmodeled) peek path: verification is a
+        // checker outside the simulation, not part of the kernel.
+        for i in 0..n {
+            for j in 0..n {
+                let mut want = 0.0;
+                for k in 0..n {
+                    want += host_a[(i * n + k) as usize] * host_b[(k * n + j) as usize];
+                }
+                let got = ctx.peek_f64(c.idx(i * n + j));
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "C[{i},{j}] = {got}, want {want}"
+                );
+            }
+        }
+    }
+}
+
+/// Row ownership pattern for [`Lu`] and [`Cholesky`].
+fn owner(contiguous: bool, n: u64, threads: u32, row: u64) -> u32 {
+    if contiguous {
+        let per = n.div_ceil(threads as u64);
+        (row / per) as u32
+    } else {
+        (row % threads as u64) as u32
+    }
+}
+
+/// SPLASH-2-style dense LU factorization without pivoting, row-partitioned
+/// with per-step barrier phases.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Matrix dimension.
+    pub n: u64,
+    /// Contiguous (banded) vs interleaved row ownership.
+    pub contiguous: bool,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Lu {
+    /// Test-scale instance.
+    pub fn small(contiguous: bool) -> Self {
+        Lu { n: 24, contiguous, seed: 3 }
+    }
+
+    /// Bench-scale instance.
+    pub fn paper(contiguous: bool) -> Self {
+        Lu { n: 64, contiguous, seed: 3 }
+    }
+}
+
+impl Workload for Lu {
+    fn name(&self) -> &'static str {
+        if self.contiguous {
+            "lu_cont"
+        } else {
+            "lu_non_cont"
+        }
+    }
+
+    fn run(&self, ctx: &mut Ctx, threads: u32) {
+        let n = self.n;
+        let a = GuestF64s::alloc(ctx, n * n);
+        // Diagonally dominant input: LU without pivoting is stable.
+        let mut host = vec![0.0f64; (n * n) as usize];
+        for i in 0..n {
+            for j in 0..n {
+                let v = input_f64(self.seed, i * n + j) + if i == j { n as f64 } else { 0.0 };
+                host[(i * n + j) as usize] = v;
+                a.set(ctx, i * n + j, v);
+            }
+        }
+        let bar = GBarrier::create(ctx, threads);
+        let contiguous = self.contiguous;
+        fork_join(ctx, threads, move |ctx, id| {
+            bar.wait(ctx);
+            for k in 0..n {
+                // The pivot row's owner scales the pivot column below k.
+                if owner(contiguous, n, threads, k) == id {
+                    let pivot = a.get(ctx, k * n + k);
+                    for i in k + 1..n {
+                        let v = a.get(ctx, i * n + k) / pivot;
+                        a.set(ctx, i * n + k, v);
+                        ctx.execute(Instruction::FpDiv { count: 1 });
+                    }
+                }
+                bar.wait(ctx);
+                // Everyone updates the trailing rows they own, reading the
+                // shared pivot row (true sharing).
+                for i in k + 1..n {
+                    if owner(contiguous, n, threads, i) != id {
+                        continue;
+                    }
+                    let lik = a.get(ctx, i * n + k);
+                    for j in k + 1..n {
+                        let v = a.get(ctx, i * n + j) - lik * a.get(ctx, k * n + j);
+                        a.set(ctx, i * n + j, v);
+                    }
+                    let cnt = (n - k - 1) as u32;
+                    ctx.execute(Instruction::FpMul { count: cnt });
+                    ctx.execute(Instruction::FpAdd { count: cnt });
+                }
+                bar.wait(ctx);
+            }
+        });
+        // Verify: (L·U)[i][j] must reproduce the input matrix, where
+        // L[i][k] lives below the diagonal (unit diagonal) and U[k][j] on
+        // and above it, both packed into `a`.
+        for i in 0..n {
+            for j in 0..n {
+                let mut want = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { a.get(ctx, i * n + k) };
+                    let u = a.get(ctx, k * n + j);
+                    want += l * u;
+                }
+                let orig = host[(i * n + j) as usize];
+                assert!(
+                    (want - orig).abs() <= 1e-6 * orig.abs().max(1.0),
+                    "LU[{i},{j}] = {want}, want {orig}"
+                );
+            }
+        }
+    }
+}
+
+/// SPLASH-2-style Cholesky factorization of a symmetric positive-definite
+/// matrix (lower triangle, row-partitioned). The triangular iteration space
+/// gives the load imbalance the paper's Table 2 reflects (cholesky scales
+/// worst of the suite after fft).
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Matrix dimension.
+    pub n: u64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Cholesky {
+    /// Test-scale instance.
+    pub fn small() -> Self {
+        Cholesky { n: 20, seed: 5 }
+    }
+
+    /// Bench-scale instance.
+    pub fn paper() -> Self {
+        Cholesky { n: 56, seed: 5 }
+    }
+}
+
+impl Workload for Cholesky {
+    fn name(&self) -> &'static str {
+        "cholesky"
+    }
+
+    fn run(&self, ctx: &mut Ctx, threads: u32) {
+        let n = self.n;
+        let a = GuestF64s::alloc(ctx, n * n);
+        // SPD input: random M, A = M·Mᵀ + n·I (host-side), lower triangle
+        // stored through simulated memory.
+        let m: Vec<f64> = (0..n * n).map(|i| input_f64(self.seed, i) - 0.5).collect();
+        let mut host = vec![0.0f64; (n * n) as usize];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut v = 0.0;
+                for k in 0..n {
+                    v += m[(i * n + k) as usize] * m[(j * n + k) as usize];
+                }
+                if i == j {
+                    v += n as f64;
+                }
+                host[(i * n + j) as usize] = v;
+                a.set(ctx, i * n + j, v);
+            }
+        }
+        let bar = GBarrier::create(ctx, threads);
+        fork_join(ctx, threads, move |ctx, id| {
+            bar.wait(ctx);
+            for k in 0..n {
+                if owner(true, n, threads, k) == id {
+                    let d = a.get(ctx, k * n + k).sqrt();
+                    a.set(ctx, k * n + k, d);
+                    ctx.execute(Instruction::FpDiv { count: 1 });
+                    for i in k + 1..n {
+                        let v = a.get(ctx, i * n + k) / d;
+                        a.set(ctx, i * n + k, v);
+                        ctx.execute(Instruction::FpDiv { count: 1 });
+                    }
+                }
+                bar.wait(ctx);
+                for i in k + 1..n {
+                    if owner(true, n, threads, i) != id {
+                        continue;
+                    }
+                    let lik = a.get(ctx, i * n + k);
+                    for j in k + 1..=i {
+                        let v = a.get(ctx, i * n + j) - lik * a.get(ctx, j * n + k);
+                        a.set(ctx, i * n + j, v);
+                    }
+                    let cnt = (i - k) as u32;
+                    ctx.execute(Instruction::FpMul { count: cnt });
+                    ctx.execute(Instruction::FpAdd { count: cnt });
+                }
+                bar.wait(ctx);
+            }
+        });
+        // Verify: (L·Lᵀ)[i][j] == A[i][j] on the lower triangle.
+        for i in 0..n {
+            for j in 0..=i {
+                let mut want = 0.0;
+                for k in 0..=j {
+                    want += a.get(ctx, i * n + k) * a.get(ctx, j * n + k);
+                }
+                let orig = host[(i * n + j) as usize];
+                assert!(
+                    (want - orig).abs() <= 1e-6 * orig.abs().max(1.0),
+                    "LLt[{i},{j}] = {want}, want {orig}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite::{SimConfig, Simulator};
+
+    fn run(w: &dyn Workload, tiles: u32, threads: u32) -> graphite::SimReport {
+        let cfg = SimConfig::builder().tiles(tiles).build().unwrap();
+        Simulator::new(cfg).unwrap().run(|ctx| w.run(ctx, threads))
+    }
+
+    #[test]
+    fn matmul_verifies_on_one_thread() {
+        let r = run(&MatMul::small(), 2, 1);
+        assert!(r.mem.accesses() > 1000);
+    }
+
+    #[test]
+    fn matmul_verifies_on_four_threads() {
+        let r = run(&MatMul::small(), 4, 4);
+        assert!(r.user_msgs >= 4, "ring messages expected");
+        assert!(r.ctrl.spawns == 3);
+    }
+
+    #[test]
+    fn lu_cont_verifies() {
+        run(&Lu::small(true), 4, 4);
+    }
+
+    #[test]
+    fn lu_non_cont_verifies() {
+        run(&Lu::small(false), 4, 4);
+    }
+
+    #[test]
+    fn cholesky_verifies() {
+        run(&Cholesky::small(), 4, 4);
+    }
+
+    #[test]
+    fn band_partition_covers_everything() {
+        for threads in [1u32, 3, 4, 7] {
+            let mut covered = vec![false; 25];
+            for id in 0..threads {
+                let (lo, hi) = band(25, threads, id);
+                for r in lo..hi {
+                    assert!(!covered[r as usize], "row {r} double-owned");
+                    covered[r as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "gap for {threads} threads");
+        }
+    }
+
+    #[test]
+    fn owner_patterns_differ() {
+        // Banded: first rows all owner 0; interleaved: alternating.
+        assert_eq!(owner(true, 8, 4, 0), 0);
+        assert_eq!(owner(true, 8, 4, 1), 0);
+        assert_eq!(owner(false, 8, 4, 0), 0);
+        assert_eq!(owner(false, 8, 4, 1), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! SPLASH-2-style 1-D complex FFT.
+//!
+//! Radix-2 decimation-in-time over a contiguous complex array, with a
+//! barrier between butterfly stages. Early stages are thread-local; the
+//! high stages cross partition boundaries, producing the all-to-all
+//! communication that makes fft the *worst-scaling* benchmark of the
+//! paper's Figure 4 and its largest Table 2 slowdown (3930×): a low
+//! computation-to-communication ratio. Data is perfectly contiguous, so the
+//! Figure 8 expectation holds: miss rate drops linearly with line size.
+
+use graphite::{Ctx, GBarrier};
+use graphite_core_model::Instruction;
+
+use crate::{fork_join, input_f64, GuestF64s, Workload};
+
+/// The fft workload.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    /// Number of complex points (power of two).
+    pub n: u64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Fft {
+    /// Test-scale instance.
+    pub fn small() -> Self {
+        Fft { n: 64, seed: 17 }
+    }
+
+    /// Bench-scale instance.
+    pub fn paper() -> Self {
+        Fft { n: 1024, seed: 17 }
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn run(&self, ctx: &mut Ctx, threads: u32) {
+        let n = self.n;
+        assert!(n.is_power_of_two(), "fft size must be a power of two");
+        // Interleaved [re, im] pairs.
+        let data = GuestF64s::alloc(ctx, n * 2);
+        let host_re: Vec<f64> = (0..n).map(|i| input_f64(self.seed, i) - 0.5).collect();
+        let host_im: Vec<f64> = (0..n).map(|i| input_f64(self.seed + 1, i) - 0.5).collect();
+        // Store bit-reversed so the in-place DIT passes run in order.
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let r = (i as u64).reverse_bits() >> (64 - bits);
+            data.set(ctx, r * 2, host_re[i as usize]);
+            data.set(ctx, r * 2 + 1, host_im[i as usize]);
+        }
+        let bar = GBarrier::create(ctx, threads);
+        fork_join(ctx, threads, move |ctx, id| {
+            bar.wait(ctx);
+            let t = threads as u64;
+            let mut len = 2u64;
+            while len <= n {
+                let half = len / 2;
+                // Butterfly groups are distributed round-robin over threads;
+                // once `len` exceeds the partition size, a group's reads and
+                // writes span data produced by other threads (all-to-all).
+                let groups = n / len;
+                for g in 0..groups {
+                    if g % t != id as u64 {
+                        continue;
+                    }
+                    let base = g * len;
+                    for k in 0..half {
+                        let ang = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                        let (wr, wi) = (ang.cos(), ang.sin());
+                        let i0 = (base + k) * 2;
+                        let i1 = (base + k + half) * 2;
+                        let xr = data.get(ctx, i0);
+                        let xi = data.get(ctx, i0 + 1);
+                        let yr = data.get(ctx, i1);
+                        let yi = data.get(ctx, i1 + 1);
+                        let tr = wr * yr - wi * yi;
+                        let ti = wr * yi + wi * yr;
+                        data.set(ctx, i0, xr + tr);
+                        data.set(ctx, i0 + 1, xi + ti);
+                        data.set(ctx, i1, xr - tr);
+                        data.set(ctx, i1 + 1, xi - ti);
+                        ctx.execute(Instruction::FpMul { count: 4 });
+                        ctx.execute(Instruction::FpAdd { count: 6 });
+                    }
+                }
+                bar.wait(ctx);
+                len *= 2;
+            }
+        });
+        // Verify against a host-side O(n²) DFT of the original input.
+        let samples = n.min(16);
+        for s in 0..samples {
+            let k = s * (n / samples);
+            let mut want_r = 0.0;
+            let mut want_i = 0.0;
+            for j in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64;
+                let (c, s_) = (ang.cos(), ang.sin());
+                want_r += host_re[j as usize] * c - host_im[j as usize] * s_;
+                want_i += host_re[j as usize] * s_ + host_im[j as usize] * c;
+            }
+            let got_r = data.get(ctx, k * 2);
+            let got_i = data.get(ctx, k * 2 + 1);
+            let tol = 1e-6 * (n as f64);
+            assert!(
+                (got_r - want_r).abs() < tol && (got_i - want_i).abs() < tol,
+                "X[{k}] = ({got_r}, {got_i}), want ({want_r}, {want_i})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite::{SimConfig, Simulator};
+
+    #[test]
+    fn fft_verifies_single_thread() {
+        let cfg = SimConfig::builder().tiles(2).build().unwrap();
+        Simulator::new(cfg).unwrap().run(|ctx| Fft::small().run(ctx, 1));
+    }
+
+    #[test]
+    fn fft_verifies_parallel() {
+        let cfg = SimConfig::builder().tiles(4).processes(2).build().unwrap();
+        let r = Simulator::new(cfg).unwrap().run(|ctx| Fft::small().run(ctx, 4));
+        // Stage barriers: log2(64) = 6 stages plus the start barrier.
+        assert!(r.ctrl.futex_wakes > 0);
+        assert!(r.mem.invalidations > 0, "cross-thread butterflies share lines");
+    }
+}

@@ -1,0 +1,313 @@
+//! Workload kernels for Graphite-rs.
+//!
+//! The paper evaluates Graphite on SPLASH-2 applications, a PARSEC
+//! application (`blackscholes`) and a `matrix-multiply` kernel. This crate
+//! re-implements those workloads against the guest execution API
+//! ([`graphite::Ctx`]) with the same algorithmic structure, data layout,
+//! sharing pattern and synchronization as the originals — the properties
+//! that the paper's evaluation sections measure. (See `DESIGN.md` for the
+//! substitution rationale: there is no Pin for Rust, so workloads emit their
+//! event streams by construction instead of by binary translation.)
+//!
+//! Like the real applications under Graphite, *arithmetic executes natively*
+//! on the host (with instruction costs charged to the core model) while
+//! *every memory reference* goes through the simulated coherent shared
+//! address space — so each kernel can, and does, verify its numerical result
+//! at the end: functional correctness of the full distributed memory system
+//! is a precondition of every run.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphite::{SimConfig, Simulator};
+//! use graphite_workloads::{workload_by_name, Workload};
+//!
+//! let w = workload_by_name("radix").unwrap();
+//! let cfg = SimConfig::builder().tiles(4).build().unwrap();
+//! let report = Simulator::new(cfg).unwrap().run(|ctx| w.run(ctx, 4));
+//! assert!(report.mem.accesses() > 0);
+//! ```
+
+pub mod blackscholes;
+pub mod dense;
+pub mod fft;
+pub mod nbody;
+pub mod ocean;
+pub mod radix;
+pub mod trace;
+
+use std::sync::Arc;
+
+use graphite::{Ctx, GuestEntry};
+use graphite_memory::Addr;
+
+pub use blackscholes::BlackScholes;
+pub use dense::{Cholesky, Lu, MatMul};
+pub use fft::Fft;
+pub use nbody::{Barnes, Fmm, WaterNSquared, WaterSpatial};
+pub use ocean::Ocean;
+pub use radix::Radix;
+pub use trace::{TraceOp, TraceProgram};
+
+/// A runnable guest workload.
+pub trait Workload: Send + Sync {
+    /// The benchmark's name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the workload on the guest main thread with `threads` total
+    /// application threads (the main thread participates as worker 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the computed result fails verification — a failure of the
+    /// simulated memory system, not of the workload.
+    fn run(&self, ctx: &mut Ctx, threads: u32);
+
+    /// Simulated cycles of the last run's *region of interest* — the
+    /// parallel phase, excluding serial input generation and verification —
+    /// when the workload measures one (PARSEC-style ROI; the Figure 9
+    /// speedups are over this region).
+    fn roi_cycles(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Looks a workload up by its paper name, at test scale.
+pub fn workload_by_name(name: &str) -> Option<Arc<dyn Workload>> {
+    Some(match name {
+        "cholesky" => Arc::new(Cholesky::small()),
+        "fft" => Arc::new(Fft::small()),
+        "fmm" => Arc::new(Fmm::small()),
+        "lu_cont" => Arc::new(Lu::small(true)),
+        "lu_non_cont" => Arc::new(Lu::small(false)),
+        "ocean_cont" => Arc::new(Ocean::small(true)),
+        "ocean_non_cont" => Arc::new(Ocean::small(false)),
+        "radix" => Arc::new(Radix::small()),
+        "water_nsquared" => Arc::new(WaterNSquared::small()),
+        "water_spatial" => Arc::new(WaterSpatial::small()),
+        "barnes" => Arc::new(Barnes::small()),
+        "matrix-multiply" => Arc::new(MatMul::small()),
+        "blackscholes" => Arc::new(BlackScholes::small()),
+        _ => return None,
+    })
+}
+
+/// The ten SPLASH benchmarks of the paper's Figure 4 / Table 2, test scale.
+pub fn splash_suite() -> Vec<Arc<dyn Workload>> {
+    [
+        "cholesky",
+        "fft",
+        "fmm",
+        "lu_cont",
+        "lu_non_cont",
+        "ocean_cont",
+        "ocean_non_cont",
+        "radix",
+        "water_nsquared",
+        "water_spatial",
+    ]
+    .iter()
+    .map(|n| workload_by_name(n).expect("known name"))
+    .collect()
+}
+
+/// Spawns `threads − 1` guest workers and runs worker 0 on the calling
+/// (main) thread, SPLASH-style; joins everyone before returning.
+///
+/// # Panics
+///
+/// Panics if the target has fewer tiles than `threads`.
+pub fn fork_join<F>(ctx: &mut Ctx, threads: u32, work: F)
+where
+    F: Fn(&mut Ctx, u32) + Send + Sync + 'static,
+{
+    let work = Arc::new(work);
+    let mut tids = Vec::with_capacity(threads.saturating_sub(1) as usize);
+    for i in 1..threads {
+        let w = Arc::clone(&work);
+        let entry: GuestEntry = Arc::new(move |ctx, _| w(ctx, i));
+        tids.push(ctx.spawn(entry, 0).expect("threads must not exceed tiles"));
+    }
+    work(ctx, 0);
+    for t in tids {
+        ctx.join(t);
+    }
+}
+
+/// A typed view of an `f64` array in simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestF64s {
+    base: Addr,
+    len: u64,
+}
+
+impl GuestF64s {
+    /// Allocates `len` zeroed elements on the simulated heap.
+    pub fn alloc(ctx: &mut Ctx, len: u64) -> Self {
+        let base = ctx.malloc(len * 8).expect("simulated heap");
+        GuestF64s { base, len }
+    }
+
+    /// Wraps an existing allocation.
+    pub fn at(base: Addr, len: u64) -> Self {
+        GuestF64s { base, len }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address.
+    pub fn addr(&self) -> Addr {
+        self.base
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices (debug builds).
+    pub fn idx(&self, i: u64) -> Addr {
+        debug_assert!(i < self.len, "index {i} out of {}", self.len);
+        self.base.offset(i * 8)
+    }
+
+    /// Loads element `i` (modeled access).
+    pub fn get(&self, ctx: &mut Ctx, i: u64) -> f64 {
+        ctx.load_f64(self.idx(i))
+    }
+
+    /// Stores element `i` (modeled access).
+    pub fn set(&self, ctx: &mut Ctx, i: u64, v: f64) {
+        ctx.store_f64(self.idx(i), v);
+    }
+}
+
+/// A typed view of a `u32` array in simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestU32s {
+    base: Addr,
+    len: u64,
+}
+
+impl GuestU32s {
+    /// Allocates `len` zeroed elements on the simulated heap.
+    pub fn alloc(ctx: &mut Ctx, len: u64) -> Self {
+        let base = ctx.malloc(len * 4).expect("simulated heap");
+        GuestU32s { base, len }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address.
+    pub fn addr(&self) -> Addr {
+        self.base
+    }
+
+    /// Address of element `i`.
+    pub fn idx(&self, i: u64) -> Addr {
+        debug_assert!(i < self.len, "index {i} out of {}", self.len);
+        self.base.offset(i * 4)
+    }
+
+    /// Loads element `i`.
+    pub fn get(&self, ctx: &mut Ctx, i: u64) -> u32 {
+        ctx.load_u32(self.idx(i))
+    }
+
+    /// Stores element `i`.
+    pub fn set(&self, ctx: &mut Ctx, i: u64, v: u32) {
+        ctx.store_u32(self.idx(i), v);
+    }
+}
+
+/// Deterministic pseudo-random f64 in [0, 1) for workload input generation
+/// (host-side; inputs are then stored through the simulated memory system).
+pub(crate) fn input_f64(seed: u64, i: u64) -> f64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite::{SimConfig, Simulator};
+
+    #[test]
+    fn registry_knows_all_names() {
+        for n in [
+            "cholesky",
+            "fft",
+            "fmm",
+            "lu_cont",
+            "lu_non_cont",
+            "ocean_cont",
+            "ocean_non_cont",
+            "radix",
+            "water_nsquared",
+            "water_spatial",
+            "barnes",
+            "matrix-multiply",
+            "blackscholes",
+        ] {
+            assert!(workload_by_name(n).is_some(), "missing workload {n}");
+        }
+        assert!(workload_by_name("doom").is_none());
+        assert_eq!(splash_suite().len(), 10);
+    }
+
+    #[test]
+    fn fork_join_runs_all_workers() {
+        let cfg = SimConfig::builder().tiles(4).build().unwrap();
+        Simulator::new(cfg).unwrap().run(|ctx| {
+            let flags = GuestU32s::alloc(ctx, 4);
+            fork_join(ctx, 4, move |ctx, id| {
+                flags.set(ctx, id as u64, id + 1);
+            });
+            for i in 0..4 {
+                assert_eq!(flags.get(ctx, i), i as u32 + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn guest_arrays_round_trip() {
+        let cfg = SimConfig::builder().tiles(2).build().unwrap();
+        Simulator::new(cfg).unwrap().run(|ctx| {
+            let a = GuestF64s::alloc(ctx, 16);
+            assert_eq!(a.len(), 16);
+            assert!(!a.is_empty());
+            a.set(ctx, 3, 2.25);
+            assert_eq!(a.get(ctx, 3), 2.25);
+            let u = GuestU32s::alloc(ctx, 8);
+            u.set(ctx, 7, 99);
+            assert_eq!(u.get(ctx, 7), 99);
+        });
+    }
+
+    #[test]
+    fn input_generator_is_deterministic_and_uniformish() {
+        let a = input_f64(1, 42);
+        assert_eq!(a, input_f64(1, 42));
+        assert_ne!(a, input_f64(2, 42));
+        let mean: f64 = (0..1000).map(|i| input_f64(7, i)).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05);
+    }
+}

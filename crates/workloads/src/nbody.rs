@@ -1,0 +1,737 @@
+//! N-body-style kernels: `water_nsquared`, `water_spatial`, `barnes`
+//! and `fmm`.
+//!
+//! All four share the SPLASH data-ownership idiom the paper's Figure 8
+//! discussion highlights: "different threads are allocated their own
+//! independent set of records... Each thread can write any record it owns
+//! but can only read from certain fields of other records." Records are 32
+//! bytes, so growing the cache line packs more unrelated records per line —
+//! true-sharing misses fall while false-sharing misses rise, the Figure 8
+//! trend for water_spatial and barnes.
+
+use graphite::{Ctx, GBarrier, GMutex};
+use graphite_base::TileId;
+use graphite_core_model::Instruction;
+use graphite_memory::Addr;
+
+use crate::{fork_join, input_f64, Workload};
+
+/// Particle records in simulated memory: `[x, y, fx, fy]` per particle
+/// (32 bytes, record-major).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Particles {
+    base: Addr,
+    n: u64,
+}
+
+impl Particles {
+    fn alloc(ctx: &mut Ctx, n: u64) -> Self {
+        let base = ctx.malloc(n * 32).expect("simulated heap");
+        Particles { base, n }
+    }
+
+    fn field(&self, i: u64, f: u64) -> Addr {
+        debug_assert!(i < self.n && f < 4);
+        self.base.offset(i * 32 + f * 8)
+    }
+
+    fn x(&self, ctx: &mut Ctx, i: u64) -> f64 {
+        ctx.load_f64(self.field(i, 0))
+    }
+
+    fn y(&self, ctx: &mut Ctx, i: u64) -> f64 {
+        ctx.load_f64(self.field(i, 1))
+    }
+
+    fn set_pos(&self, ctx: &mut Ctx, i: u64, x: f64, y: f64) {
+        ctx.store_f64(self.field(i, 0), x);
+        ctx.store_f64(self.field(i, 1), y);
+    }
+
+    fn set_force(&self, ctx: &mut Ctx, i: u64, fx: f64, fy: f64) {
+        ctx.store_f64(self.field(i, 2), fx);
+        ctx.store_f64(self.field(i, 3), fy);
+    }
+
+    fn force(&self, ctx: &mut Ctx, i: u64) -> (f64, f64) {
+        (ctx.load_f64(self.field(i, 2)), ctx.load_f64(self.field(i, 3)))
+    }
+}
+
+/// Softened inverse-square pair force (host arithmetic; identical on the
+/// verification path).
+fn pair_force(xi: f64, yi: f64, xj: f64, yj: f64) -> (f64, f64) {
+    let dx = xj - xi;
+    let dy = yj - yi;
+    let d2 = dx * dx + dy * dy + 1e-4;
+    let inv = 1.0 / (d2 * d2.sqrt());
+    (dx * inv, dy * inv)
+}
+
+fn gen_positions(seed: u64, n: u64) -> Vec<(f64, f64)> {
+    (0..n).map(|i| (input_f64(seed, i), input_f64(seed + 1, i))).collect()
+}
+
+fn band(n: u64, threads: u32, id: u32) -> (u64, u64) {
+    let per = n.div_ceil(threads as u64);
+    let lo = (id as u64 * per).min(n);
+    (lo, (lo + per).min(n))
+}
+
+/// `water_nsquared`: all-pairs forces over banded particle ownership, plus a
+/// mutex-protected global potential-energy reduction (the lock traffic of
+/// the original's global accumulations).
+#[derive(Debug, Clone)]
+pub struct WaterNSquared {
+    /// Number of molecules.
+    pub n: u64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl WaterNSquared {
+    /// Test-scale instance.
+    pub fn small() -> Self {
+        WaterNSquared { n: 48, seed: 31 }
+    }
+
+    /// Bench-scale instance.
+    pub fn paper() -> Self {
+        WaterNSquared { n: 144, seed: 31 }
+    }
+}
+
+impl Workload for WaterNSquared {
+    fn name(&self) -> &'static str {
+        "water_nsquared"
+    }
+
+    fn run(&self, ctx: &mut Ctx, threads: u32) {
+        let n = self.n;
+        let parts = Particles::alloc(ctx, n);
+        let host = gen_positions(self.seed, n);
+        for (i, &(x, y)) in host.iter().enumerate() {
+            parts.set_pos(ctx, i as u64, x, y);
+        }
+        let energy = ctx.malloc(64).expect("heap");
+        ctx.store_f64(energy, 0.0);
+        let lock = GMutex::create(ctx);
+        let bar = GBarrier::create(ctx, threads);
+        fork_join(ctx, threads, move |ctx, id| {
+            bar.wait(ctx);
+            let (lo, hi) = band(n, threads, id);
+            let mut local_e = 0.0;
+            for i in lo..hi {
+                let xi = parts.x(ctx, i);
+                let yi = parts.y(ctx, i);
+                let mut fx = 0.0;
+                let mut fy = 0.0;
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let xj = parts.x(ctx, j);
+                    let yj = parts.y(ctx, j);
+                    let (px, py) = pair_force(xi, yi, xj, yj);
+                    fx += px;
+                    fy += py;
+                    local_e += px * px + py * py;
+                }
+                ctx.execute(Instruction::FpMul { count: 8 * (n as u32 - 1) });
+                parts.set_force(ctx, i, fx, fy);
+            }
+            // Global reduction under the application mutex.
+            lock.lock(ctx);
+            let e = ctx.load_f64(energy);
+            ctx.store_f64(energy, e + local_e);
+            lock.unlock(ctx);
+            bar.wait(ctx);
+        });
+        // Verify forces and the reduced energy against a host reference.
+        let mut want_e = 0.0;
+        for i in 0..n {
+            let (xi, yi) = host[i as usize];
+            let mut fx = 0.0;
+            let mut fy = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let (xj, yj) = host[j as usize];
+                let (px, py) = pair_force(xi, yi, xj, yj);
+                fx += px;
+                fy += py;
+                want_e += px * px + py * py;
+            }
+            let (gx, gy) = parts.force(ctx, i);
+            assert!(
+                (gx - fx).abs() <= 1e-9 * fx.abs().max(1.0)
+                    && (gy - fy).abs() <= 1e-9 * fy.abs().max(1.0),
+                "force[{i}] = ({gx}, {gy}), want ({fx}, {fy})"
+            );
+        }
+        let got_e = ctx.load_f64(energy);
+        assert!(
+            (got_e - want_e).abs() <= 1e-6 * want_e.abs().max(1.0),
+            "energy {got_e}, want {want_e}"
+        );
+    }
+}
+
+/// `water_spatial`: the same physics restricted to a uniform cell grid —
+/// threads own bands of cell rows and read only neighbouring cells'
+/// records.
+#[derive(Debug, Clone)]
+pub struct WaterSpatial {
+    /// Number of molecules.
+    pub n: u64,
+    /// Cells per axis.
+    pub cells: u64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl WaterSpatial {
+    /// Test-scale instance.
+    pub fn small() -> Self {
+        WaterSpatial { n: 48, cells: 4, seed: 37 }
+    }
+
+    /// Bench-scale instance.
+    pub fn paper() -> Self {
+        WaterSpatial { n: 256, cells: 8, seed: 37 }
+    }
+}
+
+impl Workload for WaterSpatial {
+    fn name(&self) -> &'static str {
+        "water_spatial"
+    }
+
+    fn run(&self, ctx: &mut Ctx, threads: u32) {
+        let n = self.n;
+        let g = self.cells;
+        let host = gen_positions(self.seed, n);
+        // Bin molecules into cells host-side; store records cell-major so a
+        // cell's molecules are contiguous (the SPLASH layout).
+        let cell_of = |x: f64, y: f64| -> u64 {
+            let cx = ((x * g as f64) as u64).min(g - 1);
+            let cy = ((y * g as f64) as u64).min(g - 1);
+            cy * g + cx
+        };
+        let mut order: Vec<u64> = (0..n).collect();
+        order.sort_by_key(|&i| cell_of(host[i as usize].0, host[i as usize].1));
+        // CSR cell index.
+        let mut starts = vec![0u64; (g * g + 1) as usize];
+        for &i in &order {
+            starts[cell_of(host[i as usize].0, host[i as usize].1) as usize + 1] += 1;
+        }
+        for c in 0..(g * g) as usize {
+            starts[c + 1] += starts[c];
+        }
+        let parts = Particles::alloc(ctx, n);
+        let sorted_pos: Vec<(f64, f64)> = order.iter().map(|&i| host[i as usize]).collect();
+        for (slot, &(x, y)) in sorted_pos.iter().enumerate() {
+            parts.set_pos(ctx, slot as u64, x, y);
+        }
+        let starts_arr = crate::GuestU32s::alloc(ctx, g * g + 1);
+        for (c, &s) in starts.iter().enumerate() {
+            starts_arr.set(ctx, c as u64, s as u32);
+        }
+        let bar = GBarrier::create(ctx, threads);
+        fork_join(ctx, threads, move |ctx, id| {
+            bar.wait(ctx);
+            // Threads own bands of cell rows.
+            let (rlo, rhi) = band(g, threads, id);
+            for cy in rlo..rhi {
+                for cx in 0..g {
+                    let c = cy * g + cx;
+                    let my_lo = starts_arr.get(ctx, c) as u64;
+                    let my_hi = starts_arr.get(ctx, c + 1) as u64;
+                    for i in my_lo..my_hi {
+                        let xi = parts.x(ctx, i);
+                        let yi = parts.y(ctx, i);
+                        let mut fx = 0.0;
+                        let mut fy = 0.0;
+                        // Neighbour cells (3x3 box, clipped).
+                        for ny in cy.saturating_sub(1)..(cy + 2).min(g) {
+                            for nx in cx.saturating_sub(1)..(cx + 2).min(g) {
+                                let nc = ny * g + nx;
+                                let lo = starts_arr.get(ctx, nc) as u64;
+                                let hi = starts_arr.get(ctx, nc + 1) as u64;
+                                for j in lo..hi {
+                                    if j == i {
+                                        continue;
+                                    }
+                                    let xj = parts.x(ctx, j);
+                                    let yj = parts.y(ctx, j);
+                                    let (px, py) = pair_force(xi, yi, xj, yj);
+                                    fx += px;
+                                    fy += py;
+                                }
+                            }
+                        }
+                        ctx.execute(Instruction::FpMul { count: 32 });
+                        parts.set_force(ctx, i, fx, fy);
+                    }
+                }
+            }
+            bar.wait(ctx);
+        });
+        // Host reference over the same binned layout.
+        for c in 0..g * g {
+            let (cy, cx) = (c / g, c % g);
+            for i in starts[c as usize] as u64..starts[c as usize + 1] as u64 {
+                let (xi, yi) = sorted_pos[i as usize];
+                let mut fx = 0.0;
+                let mut fy = 0.0;
+                for ny in cy.saturating_sub(1)..(cy + 2).min(g) {
+                    for nx in cx.saturating_sub(1)..(cx + 2).min(g) {
+                        let nc = (ny * g + nx) as usize;
+                        for j in starts[nc] as u64..starts[nc + 1] as u64 {
+                            if j == i {
+                                continue;
+                            }
+                            let (xj, yj) = sorted_pos[j as usize];
+                            let (px, py) = pair_force(xi, yi, xj, yj);
+                            fx += px;
+                            fy += py;
+                        }
+                    }
+                }
+                let (gx, gy) = parts.force(ctx, i);
+                assert!(
+                    (gx - fx).abs() <= 1e-9 * fx.abs().max(1.0)
+                        && (gy - fy).abs() <= 1e-9 * fy.abs().max(1.0),
+                    "spatial force[{i}] = ({gx}, {gy}), want ({fx}, {fy})"
+                );
+            }
+        }
+    }
+}
+
+/// `barnes`: Barnes–Hut-style force computation over a fixed-depth quadtree
+/// whose nodes live in simulated memory (heavily read-shared), with each
+/// thread writing only its own particle records.
+#[derive(Debug, Clone)]
+pub struct Barnes {
+    /// Number of bodies.
+    pub n: u64,
+    /// Quadtree depth (levels below the root).
+    pub depth: u32,
+    /// Opening angle θ.
+    pub theta: f64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Barnes {
+    /// Test-scale instance.
+    pub fn small() -> Self {
+        Barnes { n: 48, depth: 3, theta: 0.6, seed: 41 }
+    }
+
+    /// Bench-scale instance.
+    pub fn paper() -> Self {
+        Barnes { n: 256, depth: 4, theta: 0.6, seed: 41 }
+    }
+}
+
+/// Quadtree node fields in simulated memory: `[cx, cy, mass, halfsize]`.
+struct Tree {
+    base: Addr,
+}
+
+impl Tree {
+    fn level_offset(l: u32) -> u64 {
+        // Nodes above level l: (4^l - 1) / 3.
+        ((4u64.pow(l)) - 1) / 3
+    }
+
+    fn node_index(l: u32, ix: u64, iy: u64) -> u64 {
+        Self::level_offset(l) + iy * (1 << l) + ix
+    }
+
+    fn field(&self, node: u64, f: u64) -> Addr {
+        self.base.offset(node * 32 + f * 8)
+    }
+}
+
+impl Workload for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn run(&self, ctx: &mut Ctx, threads: u32) {
+        let n = self.n;
+        let depth = self.depth;
+        let theta = self.theta;
+        let host = gen_positions(self.seed, n);
+        let parts = Particles::alloc(ctx, n);
+        for (i, &(x, y)) in host.iter().enumerate() {
+            parts.set_pos(ctx, i as u64, x, y);
+        }
+        // Build the tree host-side (centres of mass per level), then store
+        // it in simulated memory; the traversal reads it through the caches.
+        let total_nodes = Tree::level_offset(depth + 1);
+        let tree = Tree { base: ctx.malloc(total_nodes * 32).expect("heap") };
+        let mut host_tree = vec![(0.0f64, 0.0f64, 0.0f64); total_nodes as usize];
+        for l in 0..=depth {
+            let side = 1u64 << l;
+            for &(x, y) in &host {
+                let ix = ((x * side as f64) as u64).min(side - 1);
+                let iy = ((y * side as f64) as u64).min(side - 1);
+                let idx = Tree::node_index(l, ix, iy) as usize;
+                let (cx, cy, m) = host_tree[idx];
+                host_tree[idx] = (cx + x, cy + y, m + 1.0);
+            }
+        }
+        for (idx, &(sx, sy, m)) in host_tree.iter().enumerate() {
+            let (cx, cy) = if m > 0.0 { (sx / m, sy / m) } else { (0.0, 0.0) };
+            ctx.store_f64(tree.field(idx as u64, 0), cx);
+            ctx.store_f64(tree.field(idx as u64, 1), cy);
+            ctx.store_f64(tree.field(idx as u64, 2), m);
+        }
+        let bar = GBarrier::create(ctx, threads);
+        fork_join(ctx, threads, move |ctx, id| {
+            bar.wait(ctx);
+            let (lo, hi) = band(n, threads, id);
+            for i in lo..hi {
+                let xi = parts.x(ctx, i);
+                let yi = parts.y(ctx, i);
+                let (fx, fy) = bh_force(ctx, &tree, depth, theta, xi, yi, 0, 0, 0);
+                parts.set_force(ctx, i, fx, fy);
+                ctx.execute(Instruction::FpMul { count: 64 });
+            }
+            bar.wait(ctx);
+        });
+        // Verify against an identical host-side traversal.
+        for i in 0..n {
+            let (xi, yi) = host[i as usize];
+            let (fx, fy) = bh_force_host(&host_tree, depth, theta, xi, yi, 0, 0, 0);
+            let (gx, gy) = parts.force(ctx, i);
+            assert!(
+                (gx - fx).abs() <= 1e-9 * fx.abs().max(1.0)
+                    && (gy - fy).abs() <= 1e-9 * fy.abs().max(1.0),
+                "bh force[{i}] = ({gx}, {gy}), want ({fx}, {fy})"
+            );
+        }
+    }
+}
+
+fn bh_force(
+    ctx: &mut Ctx,
+    tree: &Tree,
+    depth: u32,
+    theta: f64,
+    x: f64,
+    y: f64,
+    l: u32,
+    ix: u64,
+    iy: u64,
+) -> (f64, f64) {
+    let node = Tree::node_index(l, ix, iy);
+    let m = ctx.load_f64(tree.field(node, 2));
+    if m == 0.0 {
+        return (0.0, 0.0);
+    }
+    let cx = ctx.load_f64(tree.field(node, 0));
+    let cy = ctx.load_f64(tree.field(node, 1));
+    let size = 1.0 / (1u64 << l) as f64;
+    let dx = cx - x;
+    let dy = cy - y;
+    let d = (dx * dx + dy * dy).sqrt().max(1e-6);
+    if l == depth || size / d < theta {
+        let (px, py) = pair_force(x, y, cx, cy);
+        return (px * m, py * m);
+    }
+    let mut fx = 0.0;
+    let mut fy = 0.0;
+    for sub in 0..4u64 {
+        let (qx, qy) = (ix * 2 + (sub & 1), iy * 2 + (sub >> 1));
+        let (px, py) = bh_force(ctx, tree, depth, theta, x, y, l + 1, qx, qy);
+        fx += px;
+        fy += py;
+    }
+    (fx, fy)
+}
+
+fn bh_force_host(
+    tree: &[(f64, f64, f64)],
+    depth: u32,
+    theta: f64,
+    x: f64,
+    y: f64,
+    l: u32,
+    ix: u64,
+    iy: u64,
+) -> (f64, f64) {
+    let node = Tree::node_index(l, ix, iy) as usize;
+    let (sx, sy, m) = tree[node];
+    if m == 0.0 {
+        return (0.0, 0.0);
+    }
+    let (cx, cy) = (sx / m, sy / m);
+    let size = 1.0 / (1u64 << l) as f64;
+    let dx = cx - x;
+    let dy = cy - y;
+    let d = (dx * dx + dy * dy).sqrt().max(1e-6);
+    if l == depth || size / d < theta {
+        let (px, py) = pair_force(x, y, cx, cy);
+        return (px * m, py * m);
+    }
+    let mut fx = 0.0;
+    let mut fy = 0.0;
+    for sub in 0..4u64 {
+        let (qx, qy) = (ix * 2 + (sub & 1), iy * 2 + (sub >> 1));
+        let (px, py) = bh_force_host(tree, depth, theta, x, y, l + 1, qx, qy);
+        fx += px;
+        fy += py;
+    }
+    (fx, fy)
+}
+
+/// `fmm`: a two-phase multipole-style kernel — cell summaries computed by
+/// their owners, then near-field (direct) plus far-field (summary) forces,
+/// with user-level messages between neighbouring threads each phase. Its
+/// high computation-to-communication ratio makes it the paper's
+/// best-scaling benchmark (41× slowdown on 8 machines), and the Figure 7
+/// clock-skew study runs it.
+#[derive(Debug, Clone)]
+pub struct Fmm {
+    /// Number of bodies.
+    pub n: u64,
+    /// Cells per axis.
+    pub cells: u64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Fmm {
+    /// Test-scale instance.
+    pub fn small() -> Self {
+        Fmm { n: 48, cells: 4, seed: 43 }
+    }
+
+    /// Bench-scale instance.
+    pub fn paper() -> Self {
+        Fmm { n: 256, cells: 8, seed: 43 }
+    }
+}
+
+impl Workload for Fmm {
+    fn name(&self) -> &'static str {
+        "fmm"
+    }
+
+    fn run(&self, ctx: &mut Ctx, threads: u32) {
+        let n = self.n;
+        let g = self.cells;
+        let host = gen_positions(self.seed, n);
+        let cell_of = |x: f64, y: f64| -> u64 {
+            let cx = ((x * g as f64) as u64).min(g - 1);
+            let cy = ((y * g as f64) as u64).min(g - 1);
+            cy * g + cx
+        };
+        let mut order: Vec<u64> = (0..n).collect();
+        order.sort_by_key(|&i| cell_of(host[i as usize].0, host[i as usize].1));
+        let sorted_pos: Vec<(f64, f64)> = order.iter().map(|&i| host[i as usize]).collect();
+        let mut starts = vec![0u64; (g * g + 1) as usize];
+        for &(x, y) in &sorted_pos {
+            starts[cell_of(x, y) as usize + 1] += 1;
+        }
+        for c in 0..(g * g) as usize {
+            starts[c + 1] += starts[c];
+        }
+        let parts = Particles::alloc(ctx, n);
+        for (slot, &(x, y)) in sorted_pos.iter().enumerate() {
+            parts.set_pos(ctx, slot as u64, x, y);
+        }
+        let starts_arr = crate::GuestU32s::alloc(ctx, g * g + 1);
+        for (c, &s) in starts.iter().enumerate() {
+            starts_arr.set(ctx, c as u64, s as u32);
+        }
+        // Cell summaries `[cx, cy, mass, pad]` in simulated memory.
+        let cells_mem = ctx.malloc(g * g * 32).expect("heap");
+        let bar = GBarrier::create(ctx, threads);
+        let starts_host = starts.clone();
+        let sorted_host = sorted_pos.clone();
+        fork_join(ctx, threads, move |ctx, id| {
+            bar.wait(ctx);
+            let (rlo, rhi) = band(g, threads, id);
+            // Phase 1: owners compute their cells' centres of mass.
+            for cy in rlo..rhi {
+                for cx in 0..g {
+                    let c = cy * g + cx;
+                    let lo = starts_arr.get(ctx, c) as u64;
+                    let hi = starts_arr.get(ctx, c + 1) as u64;
+                    let mut sx = 0.0;
+                    let mut sy = 0.0;
+                    let mut m = 0.0;
+                    for i in lo..hi {
+                        sx += parts.x(ctx, i);
+                        sy += parts.y(ctx, i);
+                        m += 1.0;
+                    }
+                    let (ox, oy) = if m > 0.0 { (sx / m, sy / m) } else { (0.0, 0.0) };
+                    ctx.store_f64(cells_mem.offset(c * 32), ox);
+                    ctx.store_f64(cells_mem.offset(c * 32 + 8), oy);
+                    ctx.store_f64(cells_mem.offset(c * 32 + 16), m);
+                    ctx.execute(Instruction::FpAdd { count: (hi - lo) as u32 * 2 });
+                }
+            }
+            // Neighbour handshake: tell the next thread our summaries exist.
+            if threads > 1 {
+                let right = TileId((ctx.tile().0 + 1) % threads);
+                ctx.send_msg(right, b"m");
+                let _ = ctx.recv_msg();
+            }
+            bar.wait(ctx);
+            // Phase 2: near-field direct + far-field from summaries.
+            for cy in rlo..rhi {
+                for cx in 0..g {
+                    let c = cy * g + cx;
+                    let my_lo = starts_arr.get(ctx, c) as u64;
+                    let my_hi = starts_arr.get(ctx, c + 1) as u64;
+                    for i in my_lo..my_hi {
+                        let xi = parts.x(ctx, i);
+                        let yi = parts.y(ctx, i);
+                        let mut fx = 0.0;
+                        let mut fy = 0.0;
+                        for oy in 0..g {
+                            for ox in 0..g {
+                                let oc = oy * g + ox;
+                                let near = ox.abs_diff(cx) <= 1 && oy.abs_diff(cy) <= 1;
+                                if near {
+                                    let lo = starts_arr.get(ctx, oc) as u64;
+                                    let hi = starts_arr.get(ctx, oc + 1) as u64;
+                                    for j in lo..hi {
+                                        if j == i {
+                                            continue;
+                                        }
+                                        let xj = parts.x(ctx, j);
+                                        let yj = parts.y(ctx, j);
+                                        let (px, py) = pair_force(xi, yi, xj, yj);
+                                        fx += px;
+                                        fy += py;
+                                    }
+                                } else {
+                                    let ox_ = ctx.load_f64(cells_mem.offset(oc * 32));
+                                    let oy_ = ctx.load_f64(cells_mem.offset(oc * 32 + 8));
+                                    let m = ctx.load_f64(cells_mem.offset(oc * 32 + 16));
+                                    if m > 0.0 {
+                                        let (px, py) = pair_force(xi, yi, ox_, oy_);
+                                        fx += px * m;
+                                        fy += py * m;
+                                    }
+                                }
+                            }
+                        }
+                        parts.set_force(ctx, i, fx, fy);
+                        ctx.execute(Instruction::FpMul { count: (g * g) as u32 });
+                    }
+                }
+            }
+            bar.wait(ctx);
+        });
+        // Host reference with the identical decomposition.
+        let mut summaries = vec![(0.0f64, 0.0f64, 0.0f64); (g * g) as usize];
+        for c in 0..(g * g) as usize {
+            let (lo, hi) = (starts_host[c], starts_host[c + 1]);
+            let mut sx = 0.0;
+            let mut sy = 0.0;
+            let mut m = 0.0;
+            for i in lo..hi {
+                sx += sorted_host[i as usize].0;
+                sy += sorted_host[i as usize].1;
+                m += 1.0;
+            }
+            summaries[c] = if m > 0.0 { (sx / m, sy / m, m) } else { (0.0, 0.0, 0.0) };
+        }
+        for c in 0..g * g {
+            let (cy, cx) = (c / g, c % g);
+            for i in starts_host[c as usize]..starts_host[c as usize + 1] {
+                let (xi, yi) = sorted_host[i as usize];
+                let mut fx = 0.0;
+                let mut fy = 0.0;
+                for oy in 0..g {
+                    for ox in 0..g {
+                        let oc = oy * g + ox;
+                        if ox.abs_diff(cx) <= 1 && oy.abs_diff(cy) <= 1 {
+                            for j in starts_host[oc as usize]..starts_host[oc as usize + 1] {
+                                if j == i {
+                                    continue;
+                                }
+                                let (xj, yj) = sorted_host[j as usize];
+                                let (px, py) = pair_force(xi, yi, xj, yj);
+                                fx += px;
+                                fy += py;
+                            }
+                        } else {
+                            let (ox_, oy_, m) = summaries[oc as usize];
+                            if m > 0.0 {
+                                let (px, py) = pair_force(xi, yi, ox_, oy_);
+                                fx += px * m;
+                                fy += py * m;
+                            }
+                        }
+                    }
+                }
+                let (gx, gy) = parts.force(ctx, i);
+                assert!(
+                    (gx - fx).abs() <= 1e-9 * fx.abs().max(1.0)
+                        && (gy - fy).abs() <= 1e-9 * fy.abs().max(1.0),
+                    "fmm force[{i}] = ({gx}, {gy}), want ({fx}, {fy})"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite::{SimConfig, Simulator};
+
+    fn run(w: &dyn Workload, tiles: u32, threads: u32) -> graphite::SimReport {
+        let cfg = SimConfig::builder().tiles(tiles).processes(2.min(tiles)).build().unwrap();
+        Simulator::new(cfg).unwrap().run(|ctx| w.run(ctx, threads))
+    }
+
+    #[test]
+    fn water_nsquared_verifies() {
+        let r = run(&WaterNSquared::small(), 4, 4);
+        assert!(r.ctrl.futex_wakes > 0, "mutex + barrier traffic expected");
+    }
+
+    #[test]
+    fn water_spatial_verifies() {
+        run(&WaterSpatial::small(), 4, 4);
+    }
+
+    #[test]
+    fn barnes_verifies() {
+        run(&Barnes::small(), 4, 4);
+    }
+
+    #[test]
+    fn fmm_verifies_with_messages() {
+        let r = run(&Fmm::small(), 4, 4);
+        assert!(r.user_msgs >= 4, "neighbour handshakes expected");
+    }
+
+    #[test]
+    fn single_thread_variants() {
+        run(&WaterNSquared::small(), 2, 1);
+        run(&Barnes::small(), 2, 1);
+    }
+
+    #[test]
+    fn tree_indexing_is_dense_per_level() {
+        assert_eq!(Tree::level_offset(0), 0);
+        assert_eq!(Tree::level_offset(1), 1);
+        assert_eq!(Tree::level_offset(2), 5);
+        assert_eq!(Tree::node_index(1, 1, 1), 1 + 3);
+        assert_eq!(Tree::node_index(2, 3, 3), 5 + 15);
+    }
+}

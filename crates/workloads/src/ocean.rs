@@ -1,0 +1,163 @@
+//! SPLASH-2-style ocean: iterative red-black Gauss–Seidel relaxation on a
+//! 2-D grid, row-partitioned.
+//!
+//! Threads own horizontal bands and read their neighbours' boundary rows
+//! each sweep (true sharing at partition boundaries). The *contiguous*
+//! variant assigns banded rows (each partition a contiguous blob, like
+//! SPLASH's 4-D arrays); the *non-contiguous* variant interleaves row
+//! ownership round-robin through one global array, multiplying boundary
+//! traffic — the reason `ocean_non_cont` trails `ocean_cont` in the paper's
+//! Table 2.
+
+use graphite::{Ctx, GBarrier};
+use graphite_core_model::Instruction;
+
+use crate::{fork_join, input_f64, GuestF64s, Workload};
+
+/// The ocean workload.
+#[derive(Debug, Clone)]
+pub struct Ocean {
+    /// Grid dimension (rows = cols = n).
+    pub n: u64,
+    /// Relaxation sweeps.
+    pub iters: u32,
+    /// Contiguous (banded) vs interleaved row ownership.
+    pub contiguous: bool,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Ocean {
+    /// Test-scale instance.
+    pub fn small(contiguous: bool) -> Self {
+        Ocean { n: 18, iters: 4, contiguous, seed: 29 }
+    }
+
+    /// Bench-scale instance.
+    pub fn paper(contiguous: bool) -> Self {
+        Ocean { n: 66, iters: 6, contiguous, seed: 29 }
+    }
+
+    fn owner(&self, threads: u32, row: u64, n: u64) -> u32 {
+        let interior = n - 2; // boundary rows are fixed
+        let r = row - 1;
+        if self.contiguous {
+            let per = interior.div_ceil(threads as u64);
+            (r / per) as u32
+        } else {
+            (r % threads as u64) as u32
+        }
+    }
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> &'static str {
+        if self.contiguous {
+            "ocean_cont"
+        } else {
+            "ocean_non_cont"
+        }
+    }
+
+    fn run(&self, ctx: &mut Ctx, threads: u32) {
+        let n = self.n;
+        let grid = GuestF64s::alloc(ctx, n * n);
+        let mut host = vec![0.0f64; (n * n) as usize];
+        for i in 0..n * n {
+            let v = input_f64(self.seed, i);
+            host[i as usize] = v;
+            grid.set(ctx, i, v);
+        }
+        let bar = GBarrier::create(ctx, threads);
+        let iters = self.iters;
+        let this = self.clone();
+        fork_join(ctx, threads, move |ctx, id| {
+            bar.wait(ctx);
+            for _ in 0..iters {
+                // Red then black checkerboard sweeps, barrier between.
+                for colour in 0..2u64 {
+                    for i in 1..n - 1 {
+                        if this.owner(threads, i, n) != id {
+                            continue;
+                        }
+                        for j in 1..n - 1 {
+                            if (i + j) % 2 != colour {
+                                continue;
+                            }
+                            let up = grid.get(ctx, (i - 1) * n + j);
+                            let down = grid.get(ctx, (i + 1) * n + j);
+                            let left = grid.get(ctx, i * n + j - 1);
+                            let right = grid.get(ctx, i * n + j + 1);
+                            grid.set(ctx, i * n + j, 0.25 * (up + down + left + right));
+                        }
+                        ctx.execute(Instruction::FpAdd { count: (n as u32 - 2) * 2 });
+                        ctx.execute(Instruction::FpMul { count: (n as u32 - 2) / 2 });
+                    }
+                    bar.wait(ctx);
+                }
+            }
+        });
+        // Verify against the identical host-side relaxation.
+        for _ in 0..iters {
+            for colour in 0..2u64 {
+                for i in 1..n - 1 {
+                    for j in 1..n - 1 {
+                        if (i + j) % 2 != colour {
+                            continue;
+                        }
+                        let v = 0.25
+                            * (host[((i - 1) * n + j) as usize]
+                                + host[((i + 1) * n + j) as usize]
+                                + host[(i * n + j - 1) as usize]
+                                + host[(i * n + j + 1) as usize]);
+                        host[(i * n + j) as usize] = v;
+                    }
+                }
+            }
+        }
+        for i in 0..n * n {
+            let got = grid.get(ctx, i);
+            let want = host[i as usize];
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "grid[{i}] = {got}, want {want}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite::{SimConfig, Simulator};
+
+    #[test]
+    fn ocean_cont_verifies() {
+        let cfg = SimConfig::builder().tiles(4).build().unwrap();
+        Simulator::new(cfg).unwrap().run(|ctx| Ocean::small(true).run(ctx, 4));
+    }
+
+    #[test]
+    fn ocean_non_cont_verifies() {
+        let cfg = SimConfig::builder().tiles(4).processes(2).build().unwrap();
+        Simulator::new(cfg).unwrap().run(|ctx| Ocean::small(false).run(ctx, 4));
+    }
+
+    #[test]
+    fn interleaved_ownership_shares_more_lines() {
+        // The non-contiguous layout must produce strictly more invalidation
+        // traffic than the contiguous one (more partition boundaries).
+        let run = |contig: bool| {
+            let cfg = SimConfig::builder().tiles(4).build().unwrap();
+            Simulator::new(cfg).unwrap().run(move |ctx| Ocean::small(contig).run(ctx, 4))
+        };
+        let cont = run(true);
+        let non = run(false);
+        assert!(
+            non.mem.invalidations > cont.mem.invalidations,
+            "non-contiguous {} should exceed contiguous {}",
+            non.mem.invalidations,
+            cont.mem.invalidations
+        );
+    }
+}

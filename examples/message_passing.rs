@@ -1,0 +1,68 @@
+//! The user-level messaging API (paper §3.3): a token ring.
+//!
+//! ```text
+//! cargo run --release -p graphite-examples --example message_passing
+//! ```
+//!
+//! Graphite exposes a direct core-to-core messaging interface alongside
+//! shared memory. This example passes an incrementing token around a ring
+//! of tiles several times; each hop is priced by the user-traffic mesh
+//! network model and carries a timestamp that forwards the receiver's clock
+//! (a true synchronization event under lax synchronization).
+
+use std::sync::Arc;
+
+use graphite::{GuestEntry, SimConfig, Simulator};
+use graphite_base::TileId;
+
+const RING: u32 = 8;
+const LAPS: u64 = 5;
+
+fn main() {
+    let cfg = SimConfig::builder()
+        .tiles(RING)
+        .processes(2)
+        .build()
+        .expect("valid configuration");
+    let sim = Simulator::new(cfg).expect("simulator");
+
+    let report = sim.run(|ctx| {
+        // Workers: receive token, increment, forward.
+        let entry: GuestEntry = Arc::new(|ctx, _| {
+            let me = ctx.tile().0;
+            let next = TileId((me + 1) % RING);
+            for _ in 0..LAPS {
+                let (_, data) = ctx.recv_msg();
+                let token = u64::from_le_bytes(data.try_into().expect("8-byte token"));
+                ctx.send_msg(next, &(token + 1).to_le_bytes());
+            }
+        });
+        let tids: Vec<_> = (1..RING).map(|_| ctx.spawn(Arc::clone(&entry), 0).unwrap()).collect();
+
+        // Main (tile 0) injects the token and completes each lap.
+        let next = TileId(1);
+        let mut token = 0u64;
+        for lap in 0..LAPS {
+            ctx.send_msg(next, &token.to_le_bytes());
+            let (_, data) = ctx.recv_msg();
+            token = u64::from_le_bytes(data.try_into().expect("8-byte token")) + 1;
+            ctx.print(&format!("lap {lap}: token = {token}\n"));
+        }
+        assert_eq!(token, LAPS * RING as u64, "one increment per hop");
+        for t in tids {
+            ctx.join(t);
+        }
+    });
+
+    print!("{}", String::from_utf8_lossy(&report.stdout));
+    println!(
+        "\n{} user messages; mean network latency {:.1} cycles over {} hops/packet avg",
+        report.user_msgs,
+        report.net_user.mean_latency,
+        report.net_user.hops as f64 / report.net_user.packets.max(1) as f64,
+    );
+    println!(
+        "final clocks stayed reconciled by message timestamps: {:?}",
+        report.per_tile_cycles.iter().map(|c| c.0).collect::<Vec<_>>()
+    );
+}

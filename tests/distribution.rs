@@ -1,0 +1,78 @@
+//! Distribution integration: the same guest program behaves identically
+//! whether the simulation occupies one simulated host process or many
+//! (paper §2.2's functional challenges), including over the real TCP
+//! loopback transport; traffic is classified by locality; the packed
+//! tile-mapping ablation changes only locality, never results.
+
+use std::sync::Arc;
+
+use graphite::{SimConfig, Simulator};
+use graphite_config::TileMapping;
+use graphite_workloads::{workload_by_name, Fmm, Workload};
+
+#[test]
+fn process_count_is_functionally_transparent() {
+    // fmm verifies its forces internally; run it at 1, 2 and 4 processes.
+    for procs in [1u32, 2, 4] {
+        let w = workload_by_name("fmm").expect("known");
+        let cfg = SimConfig::builder().tiles(4).processes(procs).build().expect("config");
+        let r = Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 4));
+        assert!(r.mem.accesses() > 0, "procs={procs}");
+    }
+}
+
+#[test]
+fn tcp_transport_carries_user_messages() {
+    let w: Arc<dyn Workload> = Arc::new(Fmm::small());
+    let cfg =
+        SimConfig::builder().tiles(4).processes(4).machines(2).build().expect("config");
+    let r = Simulator::builder(cfg)
+        .tcp_transport(true)
+        .build()
+        .expect("simulator")
+        .run(move |ctx| w.run(ctx, 4));
+    assert!(r.user_msgs >= 4, "fmm exchanges neighbour messages");
+    let crossings = r.transport.inter_process + r.transport.inter_machine;
+    assert!(crossings > 0, "4 tiles / 4 processes: ring messages must cross sockets");
+}
+
+#[test]
+fn transport_locality_depends_on_mapping() {
+    let run = |mapping: TileMapping| {
+        let w: Arc<dyn Workload> = Arc::new(Fmm::small());
+        let cfg = SimConfig::builder()
+            .tiles(8)
+            .processes(2)
+            .tile_mapping(mapping)
+            .build()
+            .expect("config");
+        Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 8))
+    };
+    // fmm's ring messages go tile i -> i+1. Striped mapping puts ring
+    // neighbours in different processes (every hop crosses); packed keeps
+    // most hops inside one process.
+    let striped = run(TileMapping::Striped);
+    let packed = run(TileMapping::Packed);
+    assert!(
+        striped.transport.inter_process > packed.transport.inter_process,
+        "striped {} should cross processes more than packed {}",
+        striped.transport.inter_process,
+        packed.transport.inter_process
+    );
+}
+
+#[test]
+fn remote_home_fraction_grows_with_processes() {
+    let run = |procs: u32| {
+        let w = workload_by_name("ocean_cont").expect("known");
+        let cfg = SimConfig::builder().tiles(8).processes(procs).build().expect("config");
+        Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 8))
+    };
+    let one = run(1);
+    let four = run(4);
+    let remote = |r: &graphite::SimReport| -> u64 {
+        r.per_tile.iter().map(|t| t.remote_home_transactions).sum()
+    };
+    assert_eq!(remote(&one), 0, "single process has no remote homes");
+    assert!(remote(&four) > 0, "distributed directory homes cross processes");
+}

@@ -1,0 +1,100 @@
+//! Whole-system integration: every workload of the paper's evaluation runs
+//! end-to-end on a multi-process simulation and verifies its numerical
+//! result through the simulated coherent memory (each workload asserts its
+//! own answer — a failed coherence protocol fails the test).
+
+use std::sync::Arc;
+
+use graphite::{SimConfig, Simulator};
+use graphite_workloads::{splash_suite, workload_by_name, Workload};
+
+fn run(w: Arc<dyn Workload>, tiles: u32, procs: u32, threads: u32) -> graphite::SimReport {
+    let cfg = SimConfig::builder().tiles(tiles).processes(procs).build().expect("config");
+    Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, threads))
+}
+
+#[test]
+fn every_splash_benchmark_verifies_distributed() {
+    for w in splash_suite() {
+        let name = w.name();
+        let r = run(w, 4, 2, 4);
+        assert!(r.mem.accesses() > 100, "{name}: suspiciously few memory accesses");
+        assert!(r.simulated_cycles.0 > 0, "{name}: no simulated time elapsed");
+        assert!(r.ctrl.spawns == 3, "{name}: expected 3 spawned workers");
+    }
+}
+
+#[test]
+fn blackscholes_and_barnes_and_matmul_verify() {
+    for name in ["blackscholes", "barnes", "matrix-multiply"] {
+        let w = workload_by_name(name).expect("known");
+        let r = run(w, 4, 2, 4);
+        assert!(r.mem.accesses() > 100, "{name}");
+    }
+}
+
+#[test]
+fn single_threaded_run_matches_parallel_functionally() {
+    // Workloads verify against host references internally, so passing at
+    // both thread counts proves functional equivalence of the memory system
+    // under both interleavings.
+    let w = workload_by_name("lu_cont").expect("known");
+    run(Arc::clone(&w), 2, 1, 1);
+    let w2 = workload_by_name("lu_cont").expect("known");
+    run(w2, 8, 4, 8);
+}
+
+#[test]
+fn report_totals_are_internally_consistent() {
+    let w = workload_by_name("ocean_cont").expect("known");
+    let r = run(w, 4, 2, 4);
+    assert_eq!(
+        r.per_tile_instructions.iter().sum::<u64>(),
+        r.total_instructions,
+        "per-tile instruction counts must sum to the total"
+    );
+    let max = r.per_tile_cycles.iter().max().expect("tiles");
+    assert_eq!(r.simulated_cycles, *max, "simulated time is the max tile clock");
+    assert_eq!(r.mem.loads + r.mem.stores, r.mem.accesses());
+    let per_tile_txn: u64 = r.per_tile.iter().map(|t| t.mem_transactions).sum();
+    assert_eq!(per_tile_txn, r.mem.misses + r.mem.upgrades, "transaction accounting");
+    let classified = r.mem.miss_cold
+        + r.mem.miss_capacity
+        + r.mem.miss_true_sharing
+        + r.mem.miss_false_sharing;
+    assert_eq!(classified, 0, "classification disabled by default");
+}
+
+#[test]
+fn miss_classification_covers_every_miss_when_enabled() {
+    let w = workload_by_name("radix").expect("known");
+    let cfg = graphite_config::presets::fig8_miss_characterization(4, 64);
+    let r = Simulator::builder(cfg)
+        .classify_misses(true)
+        .build()
+        .expect("simulator")
+        .run(move |ctx| w.run(ctx, 4));
+    let classified = r.mem.miss_cold
+        + r.mem.miss_capacity
+        + r.mem.miss_true_sharing
+        + r.mem.miss_false_sharing;
+    assert_eq!(classified, r.mem.misses, "every miss must receive a class");
+    assert!(r.mem.miss_cold > 0);
+}
+
+#[test]
+fn guest_stdout_and_file_io_work_under_load() {
+    let cfg = SimConfig::builder().tiles(2).processes(2).build().expect("config");
+    let r = Simulator::new(cfg).expect("simulator").run(|ctx| {
+        let fd = ctx.sys_open("results.txt");
+        let buf = ctx.malloc(64).unwrap();
+        ctx.store_u64(buf, 7);
+        ctx.sys_write(fd, buf, 8);
+        ctx.sys_seek(fd, 0);
+        ctx.sys_read(fd, buf.offset(8), 8);
+        assert_eq!(ctx.load_u64(buf.offset(8)), 7);
+        ctx.sys_close(fd);
+        ctx.print("done\n");
+    });
+    assert_eq!(String::from_utf8_lossy(&r.stdout), "done\n");
+}

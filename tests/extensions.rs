@@ -1,0 +1,84 @@
+//! End-to-end tests of the extension features beyond the paper's defaults:
+//! the out-of-order core model (paper §3.1 names it as the canonical
+//! swappable alternative), the MESI protocol variant, and the ring topology.
+
+use std::sync::Arc;
+
+use graphite::{CoreKind, SimConfig, Simulator};
+use graphite_config::{CacheProtocol, NetworkKind};
+use graphite_core_model::OooParams;
+use graphite_workloads::{workload_by_name, Workload};
+
+fn run_lu(tweak: impl FnOnce(graphite::SimulatorBuilder) -> graphite::SimulatorBuilder,
+          cfg: SimConfig) -> graphite::SimReport {
+    let w = workload_by_name("lu_cont").expect("known");
+    tweak(Simulator::builder(cfg)).build().expect("simulator").run(move |ctx| w.run(ctx, 4))
+}
+
+#[test]
+fn out_of_order_core_runs_the_whole_stack_faster() {
+    // Same functional program (LU verifies itself) under both core models;
+    // the OoO model must overlap latencies and finish in fewer simulated
+    // cycles — "models throughout the system reflect the new core type".
+    let cfg = SimConfig::builder().tiles(4).build().expect("config");
+    let inorder = run_lu(|b| b, cfg.clone());
+    let ooo = run_lu(
+        |b| b.core_model(CoreKind::OutOfOrder(OooParams::default())),
+        cfg,
+    );
+    assert!(
+        ooo.simulated_cycles < inorder.simulated_cycles,
+        "ooo {} should beat in-order {}",
+        ooo.simulated_cycles,
+        inorder.simulated_cycles
+    );
+    assert_eq!(ooo.mem.loads, inorder.mem.loads, "functional behaviour unchanged");
+}
+
+#[test]
+fn mesi_runs_every_workload_correctly() {
+    // MESI is a functional change to the coherence engine: run the whole
+    // SPLASH suite (small) under it; every kernel self-verifies.
+    for name in ["lu_cont", "radix", "ocean_cont", "water_nsquared", "fmm"] {
+        let w = workload_by_name(name).expect("known");
+        let cfg = SimConfig::builder()
+            .tiles(4)
+            .processes(2)
+            .protocol(CacheProtocol::Mesi)
+            .build()
+            .expect("config");
+        let r = Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 4));
+        assert!(r.mem.accesses() > 0, "{name}");
+    }
+}
+
+#[test]
+fn ring_network_is_functionally_transparent() {
+    let w: Arc<dyn Workload> = workload_by_name("fft").expect("known");
+    let cfg = SimConfig::builder()
+        .tiles(4)
+        .network(NetworkKind::Ring)
+        .build()
+        .expect("config");
+    let r = Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 4));
+    assert!(r.net_memory.packets > 0);
+}
+
+#[test]
+fn ooo_plus_mesi_plus_ring_compose() {
+    // All three extensions at once — swappable modules must compose.
+    let w = workload_by_name("barnes").expect("known");
+    let cfg = SimConfig::builder()
+        .tiles(4)
+        .processes(2)
+        .protocol(CacheProtocol::Mesi)
+        .network(NetworkKind::Ring)
+        .build()
+        .expect("config");
+    let r = Simulator::builder(cfg)
+        .core_model(CoreKind::OutOfOrder(OooParams::default()))
+        .build()
+        .expect("simulator")
+        .run(move |ctx| w.run(ctx, 4));
+    assert!(r.simulated_cycles.0 > 0);
+}
