@@ -54,12 +54,8 @@ impl LaxQueue {
         loop {
             let start = cur.max(now.0);
             let next = start + service.0;
-            match self.clock.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self.clock.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return Cycles(cur.saturating_sub(now.0)),
                 Err(seen) => cur = seen,
             }
@@ -115,7 +111,7 @@ mod tests {
     fn queue_drains_when_time_passes() {
         let q = LaxQueue::new();
         q.submit(Cycles(100), Cycles(50)); // clock -> 150
-        // Much later, the queue is idle again.
+                                           // Much later, the queue is idle again.
         assert_eq!(q.submit(Cycles(1000), Cycles(50)), Cycles::ZERO);
         assert_eq!(q.clock(), Cycles(1050));
     }
@@ -132,7 +128,7 @@ mod tests {
         reordered.submit(Cycles(0), Cycles(10));
         assert_eq!(in_order.clock(), Cycles(110));
         assert_eq!(reordered.clock(), Cycles(120)); // bounded error, not loss
-        // Both clocks are within one service time of each other.
+                                                    // Both clocks are within one service time of each other.
         assert!(reordered.clock().0 - in_order.clock().0 <= 10);
     }
 

@@ -168,12 +168,7 @@ impl Clock {
     pub fn forward_to(&self, t: Cycles) -> Cycles {
         let mut cur = self.now.load(Ordering::Relaxed);
         while t.0 > cur {
-            match self.now.compare_exchange_weak(
-                cur,
-                t.0,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self.now.compare_exchange_weak(cur, t.0, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return t,
                 Err(seen) => cur = seen,
             }

@@ -21,11 +21,7 @@ fn progress_window_ablation() {
     let mut rows = Vec::new();
     for window in [1u32, 8, 64, 1024] {
         let w: Arc<dyn Workload> = Arc::new(Radix { n: 1024, digit_bits: 4, seed: 23 });
-        let cfg = SimConfig::builder()
-            .tiles(8)
-            .progress_window(window)
-            .build()
-            .expect("config");
+        let cfg = SimConfig::builder().tiles(8).progress_window(window).build().expect("config");
         let r = run_workload(cfg, 8, w, |b| b);
         rows.push(vec![
             window.to_string(),
@@ -46,14 +42,13 @@ fn p2p_slack_ablation() {
     let runs = 3;
     let run_with = |sync: SyncModel, seed: u64| {
         let w: Arc<dyn Workload> = Arc::new(Cholesky { n: 40, seed: 5 });
-        let cfg =
-            SimConfig::builder().tiles(8).sync(sync).seed(seed).build().expect("config");
+        let cfg = SimConfig::builder().tiles(8).sync(sync).seed(seed).build().expect("config");
         run_workload(cfg, 8, w, |b| b)
     };
     let mut baseline = RunStats::new();
     for s in 0..runs {
-        baseline.push(run_with(SyncModel::LaxBarrier { quantum: 1_000 }, s).simulated_cycles.0
-            as f64);
+        baseline
+            .push(run_with(SyncModel::LaxBarrier { quantum: 1_000 }, s).simulated_cycles.0 as f64);
     }
     let mut rows = Vec::new();
     for slack in [1_000u64, 10_000, 100_000] {
@@ -68,7 +63,7 @@ fn p2p_slack_ablation() {
             slack.to_string(),
             f2(cycles.error_percent(baseline.mean())),
             f2(cycles.cov_percent()),
-            (sleeps / runs as u64).to_string(),
+            (sleeps / { runs }).to_string(),
         ]);
     }
     print_table(
@@ -146,7 +141,7 @@ fn protocol_ablation() {
     let mut rows = Vec::new();
     for (label, proto) in [("MSI", CacheProtocol::Msi), ("MESI", CacheProtocol::Mesi)] {
         let cfg = SimConfig::builder().tiles(8).protocol(proto).build().expect("config");
-        let sim = graphite::Simulator::new(cfg).expect("simulator");
+        let sim = graphite::Sim::builder(cfg).build().expect("simulator");
         let r = sim.run(|ctx| {
             const PER: u64 = 512; // u64 elements per thread (64 lines)
             let base = ctx.malloc(8 * PER * 8).expect("heap");
@@ -156,8 +151,8 @@ fn protocol_ablation() {
             graphite_workloads::fork_join(ctx, 8, move |ctx, id| {
                 let lo = id as u64 * PER;
                 for i in lo..lo + PER {
-                    let v = ctx.load_u64(base.offset(i * 8));
-                    ctx.store_u64(base.offset(i * 8), v + 1);
+                    let v = ctx.load::<u64>(base.offset(i * 8));
+                    ctx.store::<u64>(base.offset(i * 8), v + 1);
                 }
             });
             for i in 0..8 * PER {
@@ -225,8 +220,7 @@ fn barrier_quantum_ablation() {
             .expect("config");
         let start = std::time::Instant::now();
         let r = run_workload(cfg, 8, w(quantum), |b| b);
-        let err = 100.0
-            * (r.simulated_cycles.0 as f64 - tight.simulated_cycles.0 as f64).abs()
+        let err = 100.0 * (r.simulated_cycles.0 as f64 - tight.simulated_cycles.0 as f64).abs()
             / tight.simulated_cycles.0 as f64;
         rows.push(vec![
             quantum.to_string(),

@@ -68,7 +68,8 @@ fn scale_events(e: &HostEvents, cluster: &ClusterSpec, native_s: f64, exp: f64) 
     let k = (native_accesses / measured_acc).max(1.0);
     let kf = k.powf(exp);
     let k_instr = native_instr / e.total_instructions().max(1) as f64;
-    let mul = |v: &[u64], k: f64| -> Vec<u64> { v.iter().map(|&x| (x as f64 * k) as u64).collect() };
+    let mul =
+        |v: &[u64], k: f64| -> Vec<u64> { v.iter().map(|&x| (x as f64 * k) as u64).collect() };
     HostEvents {
         instructions: mul(&e.instructions, k_instr),
         accesses: mul(&e.accesses, k),

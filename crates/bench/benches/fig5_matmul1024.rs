@@ -19,12 +19,8 @@ fn main() {
     const TILES: u32 = 1024;
     const THREADS: u32 = 1024;
     let w: Arc<dyn Workload> = Arc::new(MatMul::fig5(96));
-    let cfg = SimConfig::builder()
-        .tiles(TILES)
-        .processes(10)
-        .machines(10)
-        .build()
-        .expect("bench config");
+    let cfg =
+        SimConfig::builder().tiles(TILES).processes(10).machines(10).build().expect("bench config");
     println!("running 1024-thread matrix-multiply on a 1024-tile target ...");
     let start = std::time::Instant::now();
     let report = run_workload(cfg, THREADS, w, |b| b);
@@ -65,11 +61,7 @@ fn main() {
     let events = HostEvents {
         instructions: split_scale(&raw.instructions),
         accesses: split_scale(&raw.accesses),
-        transactions: raw
-            .transactions
-            .iter()
-            .map(|&x| (x as f64 * k_footprint) as u64)
-            .collect(),
+        transactions: raw.transactions.iter().map(|&x| (x as f64 * k_footprint) as u64).collect(),
         control_ops: raw.control_ops,
         user_msgs: raw.user_msgs,
         barrier_releases: raw.barrier_releases,

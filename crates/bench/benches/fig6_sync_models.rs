@@ -74,8 +74,7 @@ fn main() {
                     wall.push(start.elapsed().as_secs_f64());
                     cycles.push(r.simulated_cycles.0 as f64);
                     let ev = HostEvents::from_report(&r);
-                    modeled_sum +=
-                        project(&ev, &ClusterSpec::paper(mc), &costs).wall_seconds;
+                    modeled_sum += project(&ev, &ClusterSpec::paper(mc), &costs).wall_seconds;
                 }
                 row.push(Cell { cycles, wall, modeled: modeled_sum / RUNS as f64 });
             }
@@ -136,11 +135,11 @@ fn main() {
             cov.push(row[5].parse::<f64>().expect("formatted above"));
         }
         let _ = mi;
-        summary.push(vec![
-            name.to_string(),
-            f2(err.mean()),
-            f2(cov.mean()),
-        ]);
+        summary.push(vec![name.to_string(), f2(err.mean()), f2(cov.mean())]);
     }
-    print_table("Table 3 summary: mean error and CoV by model", &["model", "error %", "CoV %"], &summary);
+    print_table(
+        "Table 3 summary: mean error and CoV by model",
+        &["model", "error %", "CoV %"],
+        &summary,
+    );
 }

@@ -10,8 +10,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use graphite::{SimConfig, Simulator};
-use graphite_bench::print_table;
+use graphite::{Sim, SimConfig};
+use graphite_bench::{apply_obs_env, export_observability, print_table};
 use graphite_config::SyncModel;
 use graphite_sync::SkewSampler;
 use graphite_workloads::{Fmm, Workload};
@@ -26,22 +26,22 @@ fn main() {
     let mut summary = Vec::new();
     for (name, model) in models {
         let w = Fmm { n: 768, cells: 6, seed: 43 };
-        let cfg = SimConfig::builder()
-            .tiles(8)
-            .processes(2)
-            .sync(model)
-            .build()
-            .expect("bench config");
-        let sim = Simulator::new(cfg).expect("simulator");
+        let cfg =
+            SimConfig::builder().tiles(8).processes(2).sync(model).build().expect("bench config");
+        let sim = apply_obs_env(Sim::builder(cfg)).build().expect("simulator");
         let sampler = Arc::new(SkewSampler::new(sim.clock_handles()));
         let handle = sampler.spawn_periodic(Duration::from_micros(500));
         let report = sim.run(move |ctx| w.run(ctx, 8));
         sampler.stop();
         handle.join().expect("sampler thread");
+        export_observability(&format!("fig7_{name}"), &report);
 
         let samples = sampler.samples();
         println!("\n== Figure 7 ({name}): skew trace over {} samples ==", samples.len());
-        println!("{:>8}  {:>14}  {:>12}  {:>12}", "t (ms)", "mean cycles", "max above", "max below");
+        println!(
+            "{:>8}  {:>14}  {:>12}  {:>12}",
+            "t (ms)", "mean cycles", "max above", "max below"
+        );
         // Print up to 20 evenly spaced intervals.
         let step = (samples.len() / 20).max(1);
         for s in samples.iter().step_by(step) {
@@ -77,7 +77,13 @@ fn main() {
     }
     print_table(
         "Figure 7 summary: maximum clock skew by synchronization model",
-        &["model", "max spread, parallel region (cy)", "sim cycles", "p2p sleeps", "barrier releases"],
+        &[
+            "model",
+            "max spread, parallel region (cy)",
+            "sim cycles",
+            "p2p sleeps",
+            "barrier releases",
+        ],
         &summary,
     );
 }

@@ -3,23 +3,84 @@
 //! Each `benches/figN_*.rs` target regenerates one table or figure of the
 //! paper's evaluation (see `DESIGN.md` for the index and `EXPERIMENTS.md`
 //! for recorded results). This library holds the pieces they share: a
-//! simulation runner and fixed-width table printing.
+//! simulation runner, observability export, and fixed-width table printing.
+//!
+//! ## Observability export
+//!
+//! Every harness that goes through [`run_workload`] (or calls
+//! [`apply_obs_env`] + [`export_observability`] itself) honours two
+//! environment variables:
+//!
+//! * `GRAPHITE_OBS_DIR=<dir>` — after each simulation, write
+//!   `<dir>/<NNN>_<label>.metrics.json` (the full metrics registry,
+//!   schema `graphite.metrics.v1`) and, when tracing captured anything,
+//!   `<dir>/<NNN>_<label>.trace.jsonl` (one structured event per line).
+//! * `GRAPHITE_TRACE=1` — switch on per-tile event tracing for the run
+//!   (`GRAPHITE_TRACE_CAPACITY=<n>` overrides the per-tile ring size).
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use graphite::{SimConfig, SimReport, Simulator, SimulatorBuilder};
+use graphite::{Sim, SimBuilder, SimConfig, SimReport};
 use graphite_workloads::Workload;
+
+/// Applies the `GRAPHITE_TRACE` / `GRAPHITE_TRACE_CAPACITY` environment
+/// switches to a builder. A no-op when the variables are unset.
+pub fn apply_obs_env(mut b: SimBuilder) -> SimBuilder {
+    if std::env::var("GRAPHITE_TRACE").is_ok_and(|v| v == "1") {
+        b = b.tracing(true);
+    }
+    if let Some(cap) =
+        std::env::var("GRAPHITE_TRACE_CAPACITY").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        b = b.trace_capacity(cap);
+    }
+    b
+}
+
+/// Sequence number so repeated runs of the same workload in one harness get
+/// distinct artifact names.
+static EXPORT_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// Writes `label`'s `metrics.json` (and `trace.jsonl` when events were
+/// captured) under `$GRAPHITE_OBS_DIR`; a no-op when the variable is unset.
+/// Non-alphanumeric label characters are folded to `_`.
+pub fn export_observability(label: &str, report: &SimReport) {
+    let Ok(dir) = std::env::var("GRAPHITE_OBS_DIR") else { return };
+    if dir.is_empty() {
+        return;
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let clean: String =
+        label.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    let seq = EXPORT_SEQ.fetch_add(1, Ordering::Relaxed);
+    let stem = format!("{seq:03}_{clean}");
+    let metrics_path = format!("{dir}/{stem}.metrics.json");
+    if let Err(e) = std::fs::write(&metrics_path, report.metrics_json()) {
+        eprintln!("warning: could not write {metrics_path}: {e}");
+    }
+    if !report.trace_events.is_empty() {
+        let trace_path = format!("{dir}/{stem}.trace.jsonl");
+        if let Err(e) = std::fs::write(&trace_path, report.trace_jsonl()) {
+            eprintln!("warning: could not write {trace_path}: {e}");
+        }
+    }
+}
 
 /// Runs `workload` with `threads` application threads on a simulator built
 /// from `cfg` (after applying `tweak` to the builder), returning the report.
+/// Honours the observability environment switches (see the module docs).
 pub fn run_workload(
     cfg: SimConfig,
     threads: u32,
     workload: Arc<dyn Workload>,
-    tweak: impl FnOnce(SimulatorBuilder) -> SimulatorBuilder,
+    tweak: impl FnOnce(SimBuilder) -> SimBuilder,
 ) -> SimReport {
-    let sim = tweak(Simulator::builder(cfg)).build().expect("valid bench config");
-    sim.run(move |ctx| workload.run(ctx, threads))
+    let name = workload.name();
+    let sim = tweak(apply_obs_env(Sim::builder(cfg))).build().expect("valid bench config");
+    let report = sim.run(move |ctx| workload.run(ctx, threads));
+    export_observability(name, &report);
+    report
 }
 
 /// Prints a fixed-width table with a title, header row and data rows.
@@ -65,7 +126,7 @@ pub fn median(xs: &[f64]) -> f64 {
         return f64::NAN;
     }
     let mid = v.len() / 2;
-    if v.len() % 2 == 0 {
+    if v.len().is_multiple_of(2) {
         (v[mid - 1] + v[mid]) / 2.0
     } else {
         v[mid]
@@ -82,6 +143,38 @@ mod tests {
         let cfg = SimConfig::builder().tiles(2).build().unwrap();
         let r = run_workload(cfg, 2, workload_by_name("radix").unwrap(), |b| b);
         assert!(r.mem.accesses() > 0);
+    }
+
+    #[test]
+    fn observability_export_writes_parseable_artifacts() {
+        let dir = std::env::temp_dir().join(format!("graphite-obs-{}", std::process::id()));
+        std::env::set_var("GRAPHITE_OBS_DIR", &dir);
+        std::env::set_var("GRAPHITE_TRACE", "1");
+        let cfg = SimConfig::builder().tiles(2).build().unwrap();
+        let r = run_workload(cfg, 2, workload_by_name("radix").unwrap(), |b| b);
+        std::env::remove_var("GRAPHITE_OBS_DIR");
+        std::env::remove_var("GRAPHITE_TRACE");
+        assert!(!r.trace_events.is_empty(), "GRAPHITE_TRACE=1 must capture events");
+        let mut metrics = 0;
+        let mut traces = 0;
+        for entry in std::fs::read_dir(&dir).expect("obs dir created") {
+            let path = entry.unwrap().path();
+            let body = std::fs::read_to_string(&path).unwrap();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.ends_with(".metrics.json") {
+                graphite_trace::json::validate(&body).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert!(body.contains("graphite.metrics.v1"));
+                metrics += 1;
+            } else if name.ends_with(".trace.jsonl") {
+                for line in body.lines() {
+                    graphite_trace::json::validate(line).unwrap_or_else(|e| panic!("{name}: {e}"));
+                }
+                traces += 1;
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(metrics >= 1, "metrics.json written");
+        assert!(traces >= 1, "trace.jsonl written");
     }
 
     #[test]

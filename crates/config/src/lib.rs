@@ -71,13 +71,13 @@ impl CacheConfig {
         if self.associativity == 0 {
             return Err(SimError::InvalidConfig(format!("{what}: associativity must be > 0")));
         }
-        if self.size_bytes == 0 || self.size_bytes % (self.line_size as u64) != 0 {
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.line_size as u64) {
             return Err(SimError::InvalidConfig(format!(
                 "{what}: size {} not a multiple of line size {}",
                 self.size_bytes, self.line_size
             )));
         }
-        if self.num_lines() % self.associativity as u64 != 0 {
+        if !self.num_lines().is_multiple_of(self.associativity as u64) {
             return Err(SimError::InvalidConfig(format!(
                 "{what}: {} lines not divisible into {}-way sets",
                 self.num_lines(),
@@ -393,10 +393,10 @@ impl SimConfig {
             CoherenceScheme::FullMap => {}
         }
         match self.sync {
-            SyncModel::LaxBarrier { quantum } if quantum == 0 => {
+            SyncModel::LaxBarrier { quantum: 0 } => {
                 return Err(SimError::InvalidConfig("barrier quantum must be > 0".into()));
             }
-            SyncModel::LaxP2P { slack: _, check_interval } if check_interval == 0 => {
+            SyncModel::LaxP2P { slack: _, check_interval: 0 } => {
                 return Err(SimError::InvalidConfig("P2P check interval must be > 0".into()));
             }
             _ => {}
@@ -661,7 +661,10 @@ mod tests {
 
     #[test]
     fn limited_directory_needs_pointers() {
-        assert!(SimConfig::builder().coherence(CoherenceScheme::DirNB { sharers: 0 }).build().is_err());
+        assert!(SimConfig::builder()
+            .coherence(CoherenceScheme::DirNB { sharers: 0 })
+            .build()
+            .is_err());
     }
 
     #[test]

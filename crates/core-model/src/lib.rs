@@ -464,8 +464,8 @@ mod tests {
 
     #[test]
     fn zero_capacity_store_buffer_degenerates_to_blocking() {
-        let mut params = CoreParams::default();
-        params.store_buffer_entries = 0; // clamped to 1 internally
+        // Entry count of 0 is clamped to 1 internally.
+        let params = CoreParams { store_buffer_entries: 0, ..CoreParams::default() };
         let mut c = InOrderCore::new(params);
         let a = c.issue(Cycles(0), &Instruction::Store { latency: Cycles(100) });
         assert_eq!(a, Cycles(1), "first store buffers");

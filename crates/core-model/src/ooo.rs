@@ -221,11 +221,8 @@ mod tests {
 
     #[test]
     fn full_window_stalls() {
-        let mut c = OooCore::new(OooParams {
-            base: CoreParams::default(),
-            window: 4,
-            issue_width: 4,
-        });
+        let mut c =
+            OooCore::new(OooParams { base: CoreParams::default(), window: 4, issue_width: 4 });
         let mut now = Cycles::ZERO;
         for _ in 0..16 {
             now += c.issue(now, &Instruction::Load { latency: Cycles(100) });
@@ -269,10 +266,7 @@ mod tests {
         };
         let inorder = run(Box::new(InOrderCore::new(CoreParams::default())));
         let ooo = run(Box::new(OooCore::new(OooParams::default())));
-        assert!(
-            ooo.0 * 3 < inorder.0,
-            "OoO should be ≥3x faster on this mix: {ooo} vs {inorder}"
-        );
+        assert!(ooo.0 * 3 < inorder.0, "OoO should be ≥3x faster on this mix: {ooo} vs {inorder}");
     }
 
     #[test]

@@ -18,10 +18,11 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
-use graphite_base::{Counter, Cycles, SimError, ThreadId, TileId};
+use graphite_base::{Cycles, SimError, ThreadId, TileId};
 use graphite_core_model::Instruction;
 use graphite_memory::addr::layout;
 use graphite_memory::{Addr, SegmentAllocator};
+use graphite_trace::{Metric, MetricsRegistry, TraceEventKind};
 use graphite_transport::Mailbox;
 
 use crate::ctx::{Ctx, GuestEntry};
@@ -33,15 +34,28 @@ use crate::SimInner;
 #[derive(Debug, Default)]
 pub struct ControlStats {
     /// Threads spawned.
-    pub spawns: Counter,
+    pub spawns: Metric,
     /// Joins completed.
-    pub joins: Counter,
+    pub joins: Metric,
     /// Futex waits that actually blocked.
-    pub futex_waits: Counter,
+    pub futex_waits: Metric,
     /// Futex wake calls.
-    pub futex_wakes: Counter,
+    pub futex_wakes: Metric,
     /// System calls serviced by the MCP (file I/O, memory management).
-    pub syscalls: Counter,
+    pub syscalls: Metric,
+}
+
+impl ControlStats {
+    /// Counters bound to the metrics registry under `ctrl.*`.
+    pub fn registered(metrics: &MetricsRegistry) -> Self {
+        ControlStats {
+            spawns: metrics.counter("ctrl.spawns"),
+            joins: metrics.counter("ctrl.joins"),
+            futex_waits: metrics.counter("ctrl.futex_waits"),
+            futex_wakes: metrics.counter("ctrl.futex_wakes"),
+            syscalls: metrics.counter("ctrl.syscalls"),
+        }
+    }
 }
 
 /// Result of a futex wait request.
@@ -228,8 +242,10 @@ pub(crate) fn mcp_main(
     let mut threads: Vec<ThreadRecord> =
         vec![ThreadRecord { state: ThreadState::Running, joiners: Vec::new() }];
     let mut futexes: HashMap<u64, VecDeque<Sender<FutexWaitOutcome>>> = HashMap::new();
-    let mut heap = SegmentAllocator::new(layout::HEAP_BASE, layout::HEAP_LIMIT.0 - layout::HEAP_BASE.0);
-    let mut mmap = SegmentAllocator::new(layout::MMAP_BASE, layout::MMAP_LIMIT.0 - layout::MMAP_BASE.0);
+    let mut heap =
+        SegmentAllocator::new(layout::HEAP_BASE, layout::HEAP_LIMIT.0 - layout::HEAP_BASE.0);
+    let mut mmap =
+        SegmentAllocator::new(layout::MMAP_BASE, layout::MMAP_LIMIT.0 - layout::MMAP_BASE.0);
     let mut vfs = Vfs::new();
 
     while let Ok(req) = rx.recv() {
@@ -242,6 +258,9 @@ pub(crate) fn mcp_main(
                 let thread = ThreadId(threads.len() as u32);
                 threads.push(ThreadRecord { state: ThreadState::Running, joiners: Vec::new() });
                 inner.ctrl_stats.spawns.incr();
+                inner.obs.tracer.emit(TileId(tile), parent_time, || TraceEventKind::ThreadSpawn {
+                    thread: thread.0,
+                });
                 let proc = inner.cfg.process_of_tile(tile) as usize;
                 let _ = lcp_txs[proc].send(LcpCmd::Spawn {
                     tile: TileId(tile),
@@ -269,6 +288,10 @@ pub(crate) fn mcp_main(
                 }
             }
             McpRequest::ThreadExit { thread, tile, time } => {
+                inner
+                    .obs
+                    .tracer
+                    .emit(tile, time, || TraceEventKind::ThreadExit { thread: thread.0 });
                 if let Some(rec) = threads.get_mut(thread.index()) {
                     rec.state = ThreadState::Exited(time);
                     for j in rec.joiners.drain(..) {

@@ -9,13 +9,43 @@
 //!
 //! | Pin would intercept…      | `Ctx` equivalent                          |
 //! |---------------------------|-------------------------------------------|
-//! | memory reference          | [`Ctx::load_u64`], [`Ctx::store_u64`], …  |
+//! | memory reference          | [`Ctx::load`], [`Ctx::store`], …          |
 //! | instruction stream        | [`Ctx::execute`], [`Ctx::alu`], …         |
 //! | `pthread_create`/`join`   | [`Ctx::spawn`], [`Ctx::join`]             |
 //! | `futex` syscall           | [`Ctx::futex_wait`], [`Ctx::futex_wake`]  |
 //! | `brk`/`mmap`/`munmap`     | [`Ctx::malloc`], [`Ctx::mmap`], …         |
 //! | file-I/O syscalls         | [`Ctx::sys_open`], [`Ctx::sys_read`], …   |
 //! | messaging API             | [`Ctx::send_msg`], [`Ctx::recv_msg`]      |
+//!
+//! Typed guest memory access goes through the generic [`Ctx::load`] /
+//! [`Ctx::store`] pair, parameterized over the sealed [`GuestValue`] trait
+//! (the plain-old-data types `u8`, `u16`, `u32`, `u64`, `i64`, `f32`, `f64`
+//! with a fixed little-endian guest representation). The older
+//! `load_u64`-style accessors remain as deprecated forwarders.
+//!
+//! ## Panics versus errors
+//!
+//! `Ctx` methods follow one contract, documented here once:
+//!
+//! * **Conditions the guest program can meaningfully react to return
+//!   `Result<_, SimError>`**: resource exhaustion and I/O — allocation
+//!   ([`Ctx::malloc`], [`Ctx::mmap`], and their release counterparts),
+//!   thread spawning ([`Ctx::spawn`], which fails with
+//!   [`SimError::NoFreeTile`]), file I/O ([`Ctx::sys_open`],
+//!   [`Ctx::sys_read`], [`Ctx::sys_write`], [`Ctx::sys_seek`],
+//!   [`Ctx::sys_close`]) and user-level messaging ([`Ctx::send_msg`],
+//!   [`Ctx::recv_msg`], [`Ctx::recv_msg_from`]). A torn-down control plane
+//!   surfaces as [`SimError::TransportClosed`]; an emulation failure (bad
+//!   descriptor, invalid free) as [`SimError::Syscall`].
+//! * **Guest bugs panic**, exactly as the corresponding native program would
+//!   crash: a memory reference outside every mapped segment is an address
+//!   fault (the memory system panics with the faulting address and tile),
+//!   mirroring a segfault under the real Pin front end. The panic is caught
+//!   at the guest-thread boundary and re-surfaced by the simulation driver,
+//!   so a buggy guest fails the run instead of hanging it.
+//! * **Pure model bookkeeping never fails**: [`Ctx::execute`], [`Ctx::alu`],
+//!   clock reads and [`Ctx::forward_time`] have no failure mode. Best-effort
+//!   conveniences ([`Ctx::print`]) swallow late-shutdown errors.
 
 use std::sync::Arc;
 
@@ -24,6 +54,7 @@ use graphite_base::{Cycles, SimError, ThreadId, TileId};
 use graphite_core_model::Instruction;
 use graphite_memory::Addr;
 use graphite_network::{Packet, TrafficClass};
+use graphite_trace::TraceEventKind;
 use graphite_transport::{Endpoint, MsgClass};
 
 use crate::control::{FileReq, FutexWaitOutcome, McpRequest};
@@ -33,6 +64,50 @@ use crate::{SimInner, FUTEX_WAKE_LATENCY, SYSCALL_COST};
 /// (by convention a simulated-memory address), mirroring
 /// `pthread_create(..., void *arg)`.
 pub type GuestEntry = Arc<dyn Fn(&mut Ctx, u64) + Send + Sync + 'static>;
+
+mod sealed {
+    /// Seals [`super::GuestValue`]: the set of guest-representable types is
+    /// part of the simulator ABI and cannot be extended downstream.
+    pub trait Sealed {}
+}
+
+/// A plain-old-data value with a fixed little-endian representation in the
+/// simulated address space. Implemented for `u8`, `u16`, `u32`, `u64`,
+/// `i64`, `f32` and `f64`; sealed so the guest ABI stays closed.
+///
+/// Used by the generic [`Ctx::load`] / [`Ctx::store`] accessors:
+///
+/// ```ignore
+/// let x: u32 = ctx.load(addr);
+/// ctx.store(addr, 3.5f64);
+/// ```
+pub trait GuestValue: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// Size of the value in guest memory, in bytes.
+    const SIZE: usize;
+    /// Encodes into little-endian guest bytes; `buf.len()` must be `SIZE`.
+    fn write_le(self, buf: &mut [u8]);
+    /// Decodes from little-endian guest bytes; `buf.len()` must be `SIZE`.
+    fn read_le(buf: &[u8]) -> Self;
+}
+
+macro_rules! guest_value {
+    ($($t:ty),* $(,)?) => {$(
+        impl sealed::Sealed for $t {}
+        impl GuestValue for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(self, buf: &mut [u8]) {
+                buf.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf.try_into().expect("GuestValue::SIZE bytes"))
+            }
+        }
+    )*};
+}
+
+guest_value!(u8, u16, u32, u64, i64, f32, f64);
 
 /// The execution context of one guest thread, bound to one target tile for
 /// the thread's lifetime (paper §3.5: threads are long-living).
@@ -82,6 +157,16 @@ impl Ctx {
         self.sim.sync.on_progress(self.tile);
     }
 
+    /// Emits a trace event stamped with this tile's current time. Compiles
+    /// to a single branch when tracing is disabled.
+    #[inline]
+    fn trace(&self, build: impl FnOnce() -> TraceEventKind) {
+        let tracer = &self.sim.obs.tracer;
+        if tracer.is_enabled() {
+            tracer.emit(self.tile, self.sim.clocks[self.tile.index()].now(), build);
+        }
+    }
+
     // ---- instruction stream -------------------------------------------
 
     /// Feeds one instruction (or batch) to this tile's core model and
@@ -124,38 +209,57 @@ impl Ctx {
         self.execute(Instruction::Store { latency: lat });
     }
 
-    /// Loads a little-endian `u64`.
-    pub fn load_u64(&mut self, addr: Addr) -> u64 {
+    /// Loads a typed value from the simulated address space (modeled).
+    ///
+    /// `T` is any [`GuestValue`] — a sealed set of plain-old-data types with
+    /// a fixed little-endian guest representation.
+    pub fn load<T: GuestValue>(&mut self, addr: Addr) -> T {
         let mut b = [0u8; 8];
-        self.read_bytes(addr, &mut b);
-        u64::from_le_bytes(b)
+        self.read_bytes(addr, &mut b[..T::SIZE]);
+        T::read_le(&b[..T::SIZE])
+    }
+
+    /// Stores a typed value to the simulated address space (modeled).
+    pub fn store<T: GuestValue>(&mut self, addr: Addr, v: T) {
+        let mut b = [0u8; 8];
+        v.write_le(&mut b[..T::SIZE]);
+        self.write_bytes(addr, &b[..T::SIZE]);
+    }
+
+    /// Loads a little-endian `u64`.
+    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::load::<u64>` instead")]
+    pub fn load_u64(&mut self, addr: Addr) -> u64 {
+        self.load(addr)
     }
 
     /// Stores a little-endian `u64`.
+    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::store::<u64>` instead")]
     pub fn store_u64(&mut self, addr: Addr, v: u64) {
-        self.write_bytes(addr, &v.to_le_bytes());
+        self.store(addr, v);
     }
 
     /// Loads a little-endian `u32`.
+    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::load::<u32>` instead")]
     pub fn load_u32(&mut self, addr: Addr) -> u32 {
-        let mut b = [0u8; 4];
-        self.read_bytes(addr, &mut b);
-        u32::from_le_bytes(b)
+        self.load(addr)
     }
 
     /// Stores a little-endian `u32`.
+    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::store::<u32>` instead")]
     pub fn store_u32(&mut self, addr: Addr, v: u32) {
-        self.write_bytes(addr, &v.to_le_bytes());
+        self.store(addr, v);
     }
 
     /// Loads an `f64`.
+    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::load::<f64>` instead")]
     pub fn load_f64(&mut self, addr: Addr) -> f64 {
-        f64::from_bits(self.load_u64(addr))
+        self.load(addr)
     }
 
     /// Stores an `f64`.
+    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::store::<f64>` instead")]
     pub fn store_f64(&mut self, addr: Addr, v: f64) {
-        self.store_u64(addr, v.to_bits());
+        self.store(addr, v);
     }
 
     /// Atomic read-modify-write of a `u32` (a locked instruction); returns
@@ -211,6 +315,7 @@ impl Ctx {
     /// Returns [`SimError::Syscall`] when the heap is exhausted.
     pub fn malloc(&mut self, size: u64) -> Result<Addr, SimError> {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.trace(|| TraceEventKind::Syscall { name: "malloc" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Malloc { size, reply: tx });
         rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
@@ -223,6 +328,7 @@ impl Ctx {
     /// Returns [`SimError::Syscall`] for invalid frees.
     pub fn free(&mut self, addr: Addr) -> Result<(), SimError> {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.trace(|| TraceEventKind::Syscall { name: "free" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Free { addr, reply: tx });
         rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
@@ -235,6 +341,7 @@ impl Ctx {
     /// Returns [`SimError::Syscall`] when the segment is exhausted.
     pub fn mmap(&mut self, size: u64) -> Result<Addr, SimError> {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.trace(|| TraceEventKind::Syscall { name: "mmap" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Mmap { size, reply: tx });
         rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
@@ -247,6 +354,7 @@ impl Ctx {
     /// Returns [`SimError::Syscall`] for invalid regions.
     pub fn munmap(&mut self, addr: Addr) -> Result<(), SimError> {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.trace(|| TraceEventKind::Syscall { name: "munmap" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Munmap { addr, reply: tx });
         rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
@@ -286,6 +394,7 @@ impl Ctx {
     /// `expected`. On wake, the clock forwards to the waker's time.
     pub fn futex_wait(&mut self, addr: Addr, expected: u32) {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.trace(|| TraceEventKind::FutexWait { addr: addr.0 });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::FutexWait { addr, expected, reply: tx });
         self.sim.sync.deactivate(self.tile);
@@ -303,14 +412,21 @@ impl Ctx {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::FutexWake { addr, max, time: self.now(), reply: tx });
-        rx.recv().unwrap_or(0)
+        let woken = rx.recv().unwrap_or(0);
+        self.trace(|| TraceEventKind::FutexWake { addr: addr.0, woken: woken as u64 });
+        woken
     }
 
     // ---- user-level messaging API (§3.3) --------------------------------
 
     /// Sends an application message to another tile through the user network
     /// model and the transport layer.
-    pub fn send_msg(&mut self, to: TileId, payload: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] if the transport backing the
+    /// destination tile has shut down.
+    pub fn send_msg(&mut self, to: TileId, payload: &[u8]) -> Result<(), SimError> {
         let now = self.now();
         // Price the message on the user network model; the timestamp it
         // carries is its modeled arrival time.
@@ -329,37 +445,48 @@ impl Ctx {
         self.sim
             .transport
             .send(Endpoint::Tile(self.tile), Endpoint::Tile(to), MsgClass::User, framed)
-            .expect("user message to a live simulation");
+            .map_err(|_| SimError::TransportClosed(format!("user message to {to}")))?;
         self.sim.user_msgs.incr();
+        self.trace(|| TraceEventKind::UserMsgSend { dst: to.0, bytes: payload.len() as u64 });
         self.execute(Instruction::Generic { cost: Cycles(10) });
+        Ok(())
     }
 
     /// Receives the next application message (blocking); returns the sender
     /// and payload. Produces the "message receive pseudo-instruction" and
     /// forwards the clock to the message timestamp (§3.1, §3.6.1).
-    pub fn recv_msg(&mut self) -> (TileId, Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] if the transport shuts down
+    /// while waiting.
+    pub fn recv_msg(&mut self) -> Result<(TileId, Vec<u8>), SimError> {
         self.recv_filtered(None)
     }
 
     /// Receives the next message from a specific sender, stashing others.
-    pub fn recv_msg_from(&mut self, from: TileId) -> Vec<u8> {
-        self.recv_filtered(Some(from)).1
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] if the transport shuts down
+    /// while waiting.
+    pub fn recv_msg_from(&mut self, from: TileId) -> Result<Vec<u8>, SimError> {
+        Ok(self.recv_filtered(Some(from))?.1)
     }
 
-    fn recv_filtered(&mut self, want: Option<TileId>) -> (TileId, Vec<u8>) {
+    fn recv_filtered(&mut self, want: Option<TileId>) -> Result<(TileId, Vec<u8>), SimError> {
         let (src, arrival, payload) = {
             let mut inbox = self.sim.inboxes[self.tile.index()].lock();
-            if let Some(pos) = inbox
-                .stash
-                .iter()
-                .position(|(s, _, _)| want.map_or(true, |w| *s == w))
+            if let Some(pos) = inbox.stash.iter().position(|(s, _, _)| want.is_none_or(|w| *s == w))
             {
                 inbox.stash.remove(pos).expect("position just found")
             } else {
                 loop {
                     self.sim.sync.deactivate(self.tile);
-                    let msg = inbox.mailbox.recv().expect("transport alive");
+                    let msg = inbox.mailbox.recv();
                     self.sim.sync.activate(self.tile);
+                    let msg =
+                        msg.map_err(|_| SimError::TransportClosed("user message receive".into()))?;
                     let Endpoint::Tile(src) = msg.src else {
                         continue; // control endpoints never send user messages
                     };
@@ -367,7 +494,7 @@ impl Ctx {
                         msg.payload[..8].try_into().expect("8-byte timestamp header"),
                     ));
                     let data = msg.payload[8..].to_vec();
-                    if want.map_or(true, |w| src == w) {
+                    if want.is_none_or(|w| src == w) {
                         break (src, arrival, data);
                     }
                     inbox.stash.push_back((src, arrival, data));
@@ -380,63 +507,111 @@ impl Ctx {
         let now = self.now();
         let wait = arrival.saturating_sub(now);
         self.execute(Instruction::Recv { wait });
-        (src, payload)
+        self.trace(|| TraceEventKind::UserMsgRecv { src: src.0, bytes: payload.len() as u64 });
+        Ok((src, payload))
     }
 
     // ---- consistent OS interface: file I/O via the MCP (§3.4) -----------
 
     /// Opens a file in the simulation-wide virtual file system; returns a
     /// descriptor valid from any thread in any process.
-    pub fn sys_open(&mut self, path: &str) -> i32 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] if the VFS rejects the open, or
+    /// [`SimError::TransportClosed`] if the MCP is gone.
+    pub fn sys_open(&mut self, path: &str) -> Result<i32, SimError> {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.trace(|| TraceEventKind::Syscall { name: "open" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Open { path: path.to_owned(), reply: tx }));
-        rx.recv().unwrap_or(-1)
+        let fd = rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?;
+        if fd < 0 {
+            return Err(SimError::Syscall(format!("open({path:?}) failed")));
+        }
+        Ok(fd)
     }
 
     /// Writes `len` bytes from simulated memory at `addr` to `fd`; returns
     /// bytes written. The data is fetched from the single shared address
     /// space and shipped to the MCP, like the paper's argument-marshalling
     /// for syscalls with memory operands.
-    pub fn sys_write(&mut self, fd: i32, addr: Addr, len: usize) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] for a bad descriptor, or
+    /// [`SimError::TransportClosed`] if the MCP is gone.
+    pub fn sys_write(&mut self, fd: i32, addr: Addr, len: usize) -> Result<usize, SimError> {
         self.execute(Instruction::Generic { cost: SYSCALL_COST + Cycles(len as u64 / 8) });
+        self.trace(|| TraceEventKind::Syscall { name: "write" });
         let mut data = vec![0u8; len];
         self.sim.mem.peek_bytes(addr, &mut data);
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Write { fd, data, reply: tx }));
-        rx.recv().unwrap_or(0)
+        let written = rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?;
+        if written == 0 && len > 0 {
+            return Err(SimError::Syscall(format!("write(fd={fd}) wrote nothing")));
+        }
+        Ok(written)
     }
 
     /// Reads up to `len` bytes from `fd` into simulated memory at `addr`;
-    /// returns bytes read.
-    pub fn sys_read(&mut self, fd: i32, addr: Addr, len: usize) -> usize {
+    /// returns bytes read (possibly 0 at end-of-file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] if the MCP is gone.
+    pub fn sys_read(&mut self, fd: i32, addr: Addr, len: usize) -> Result<usize, SimError> {
         self.execute(Instruction::Generic { cost: SYSCALL_COST + Cycles(len as u64 / 8) });
+        self.trace(|| TraceEventKind::Syscall { name: "read" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Read { fd, max: len, reply: tx }));
-        let data = rx.recv().unwrap_or_default();
+        let data = rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?;
         self.sim.mem.poke_bytes(addr, &data);
-        data.len()
+        Ok(data.len())
     }
 
-    /// Seeks `fd` to an absolute offset; returns the new offset or −1.
-    pub fn sys_seek(&mut self, fd: i32, pos: u64) -> i64 {
+    /// Seeks `fd` to an absolute offset; returns the new offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] for a bad descriptor, or
+    /// [`SimError::TransportClosed`] if the MCP is gone.
+    pub fn sys_seek(&mut self, fd: i32, pos: u64) -> Result<u64, SimError> {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.trace(|| TraceEventKind::Syscall { name: "seek" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Seek { fd, pos, reply: tx }));
-        rx.recv().unwrap_or(-1)
+        let off = rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?;
+        if off < 0 {
+            return Err(SimError::Syscall(format!("seek(fd={fd}) failed")));
+        }
+        Ok(off as u64)
     }
 
     /// Closes a descriptor.
-    pub fn sys_close(&mut self, fd: i32) -> i32 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Syscall`] for a bad descriptor, or
+    /// [`SimError::TransportClosed`] if the MCP is gone.
+    pub fn sys_close(&mut self, fd: i32) -> Result<(), SimError> {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.trace(|| TraceEventKind::Syscall { name: "close" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Close { fd, reply: tx }));
-        rx.recv().unwrap_or(-1)
+        let rc = rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?;
+        if rc != 0 {
+            return Err(SimError::Syscall(format!("close(fd={fd}) failed")));
+        }
+        Ok(())
     }
 
-    /// Writes text to the simulation's captured stdout (fd 1).
+    /// Writes text to the simulation's captured stdout (fd 1). Best-effort:
+    /// output during control-plane shutdown is silently dropped.
     pub fn print(&mut self, text: &str) {
         self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.trace(|| TraceEventKind::Syscall { name: "print" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Write {
             fd: 1,

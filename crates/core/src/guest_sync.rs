@@ -41,7 +41,7 @@ impl GMutex {
     /// false sharing with neighbours).
     pub fn create(ctx: &mut Ctx) -> Self {
         let addr = ctx.malloc(64).expect("simulated heap");
-        ctx.store_u32(addr, 0);
+        ctx.store::<u32>(addr, 0);
         GMutex { addr }
     }
 
@@ -64,7 +64,7 @@ impl GMutex {
         }
         loop {
             // Mark contended (2) unless it became free meanwhile.
-            let old = ctx.fetch_update_u32(self.addr, |v| if v == 0 { 2 } else { 2 });
+            let old = ctx.fetch_update_u32(self.addr, |_| 2);
             if old == 0 {
                 return; // we took it (value now 2; unlock handles both)
             }
@@ -103,10 +103,10 @@ impl GMutex {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use graphite::{GBarrier, GuestEntry, SimConfig, Simulator};
+/// use graphite::{GBarrier, GuestEntry, Sim, SimConfig};
 ///
 /// let cfg = SimConfig::builder().tiles(4).build().unwrap();
-/// let report = Simulator::new(cfg).unwrap().run(|ctx| {
+/// let report = Sim::builder(cfg).build().unwrap().run(|ctx| {
 ///     let bar = GBarrier::create(ctx, 4);
 ///     let entry: GuestEntry = Arc::new(move |ctx, _| {
 ///         bar.wait(ctx); // all four threads meet here
@@ -134,8 +134,8 @@ impl GBarrier {
     pub fn create(ctx: &mut Ctx, parties: u32) -> Self {
         assert!(parties > 0, "barrier needs at least one party");
         let base = ctx.malloc(64).expect("simulated heap");
-        ctx.store_u32(base, 0); // count
-        ctx.store_u32(base.offset(4), 0); // generation
+        ctx.store::<u32>(base, 0); // count
+        ctx.store::<u32>(base.offset(4), 0); // generation
         GBarrier { base, parties }
     }
 
@@ -149,7 +149,7 @@ impl GBarrier {
     /// application synchronization events (§3.6.1).
     pub fn wait(&self, ctx: &mut Ctx) {
         let gen_addr = self.base.offset(4);
-        let gen = ctx.load_u32(gen_addr);
+        let gen = ctx.load::<u32>(gen_addr);
         let time_addr = self.base.offset(8 + 8 * (gen as u64 % 2));
         // Publish this thread's arrival time: the barrier resolves at the
         // maximum over this round's participants.
@@ -157,17 +157,17 @@ impl GBarrier {
         ctx.fetch_update_u64(time_addr, |t| t.max(me));
         let arrived = ctx.fetch_update_u32(self.base, |v| v + 1) + 1;
         if arrived == self.parties {
-            ctx.store_u32(self.base, 0);
+            ctx.store::<u32>(self.base, 0);
             // Clear the *other* slot for the next round. Safe: round k+1
             // arrivals write that slot only after this release (gen bump),
             // and this round's waiters read only this round's slot.
-            ctx.store_u64(self.base.offset(8 + 8 * ((gen as u64 + 1) % 2)), 0);
+            ctx.store::<u64>(self.base.offset(8 + 8 * ((gen as u64 + 1) % 2)), 0);
             ctx.fetch_update_u32(gen_addr, |g| g.wrapping_add(1));
             ctx.futex_wake(gen_addr, u32::MAX);
         } else {
             loop {
                 ctx.futex_wait(gen_addr, gen);
-                if ctx.load_u32(gen_addr) != gen {
+                if ctx.load::<u32>(gen_addr) != gen {
                     break;
                 }
             }
@@ -175,7 +175,7 @@ impl GBarrier {
         // Synchronization event (§3.6.1): every participant — releaser
         // included, it may not be this round's latest arrival — forwards its
         // clock to the barrier resolution time.
-        let release_time = ctx.load_u64(time_addr);
+        let release_time = ctx.load::<u64>(time_addr);
         ctx.forward_time(graphite_base::Cycles(release_time));
     }
 }
@@ -191,13 +191,13 @@ impl GCondvar {
     /// Allocates a condition variable in simulated memory.
     pub fn create(ctx: &mut Ctx) -> Self {
         let seq = ctx.malloc(64).expect("simulated heap");
-        ctx.store_u32(seq, 0);
+        ctx.store::<u32>(seq, 0);
         GCondvar { seq }
     }
 
     /// Atomically releases `mutex` and waits for a signal, then reacquires.
     pub fn wait(&self, ctx: &mut Ctx, mutex: &GMutex) {
-        let seq = ctx.load_u32(self.seq);
+        let seq = ctx.load::<u32>(self.seq);
         mutex.unlock(ctx);
         ctx.futex_wait(self.seq, seq);
         mutex.lock(ctx);
@@ -225,7 +225,7 @@ mod tests {
     use graphite_memory::Addr;
 
     use super::*;
-    use crate::{GuestEntry, Simulator};
+    use crate::{GuestEntry, Sim};
 
     fn cfg(tiles: u32, procs: u32) -> SimConfig {
         SimConfig::builder().tiles(tiles).processes(procs).build().unwrap()
@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn mutex_protects_critical_section() {
-        Simulator::new(cfg(4, 2)).unwrap().run(|ctx| {
+        Sim::builder(cfg(4, 2)).build().unwrap().run(|ctx| {
             let m = GMutex::create(ctx);
             let counter = ctx.malloc(64).unwrap();
             let entry: GuestEntry = Arc::new(move |ctx, arg| {
@@ -241,8 +241,8 @@ mod tests {
                 for _ in 0..200 {
                     m.lock(ctx);
                     // Non-atomic read-modify-write: only safe under the lock.
-                    let v = ctx.load_u64(counter);
-                    ctx.store_u64(counter, v + 1);
+                    let v = ctx.load::<u64>(counter);
+                    ctx.store::<u64>(counter, v + 1);
                     m.unlock(ctx);
                 }
             });
@@ -250,31 +250,31 @@ mod tests {
                 (0..3).map(|_| ctx.spawn(Arc::clone(&entry), counter.0).unwrap()).collect();
             for _ in 0..200 {
                 m.lock(ctx);
-                let v = ctx.load_u64(counter);
-                ctx.store_u64(counter, v + 1);
+                let v = ctx.load::<u64>(counter);
+                ctx.store::<u64>(counter, v + 1);
                 m.unlock(ctx);
             }
             for t in tids {
                 ctx.join(t);
             }
-            assert_eq!(ctx.load_u64(counter), 800);
+            assert_eq!(ctx.load::<u64>(counter), 800);
         });
     }
 
     #[test]
     fn barrier_rounds_separate_phases() {
-        Simulator::new(cfg(4, 2)).unwrap().run(|ctx| {
+        Sim::builder(cfg(4, 2)).build().unwrap().run(|ctx| {
             let bar = GBarrier::create(ctx, 4);
             let flags = ctx.malloc(4 * 8).unwrap();
             let entry: GuestEntry = Arc::new(move |ctx, arg| {
                 let flags = Addr(arg);
                 let me = ctx.tile().0 as u64;
                 for round in 1..=3u64 {
-                    ctx.store_u64(flags.offset(me * 8), round);
+                    ctx.store::<u64>(flags.offset(me * 8), round);
                     bar.wait(ctx);
                     // After the barrier, every thread must be in `round`.
                     for t in 0..4u64 {
-                        let v = ctx.load_u64(flags.offset(t * 8));
+                        let v = ctx.load::<u64>(flags.offset(t * 8));
                         assert!(v >= round, "tile {t} behind: {v} < {round}");
                     }
                     bar.wait(ctx);
@@ -291,7 +291,7 @@ mod tests {
 
     #[test]
     fn barrier_synchronizes_clocks() {
-        let r = Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+        let r = Sim::builder(cfg(2, 1)).build().unwrap().run(|ctx| {
             let bar = GBarrier::create(ctx, 2);
             let entry: GuestEntry = Arc::new(move |ctx, _| {
                 bar.wait(ctx); // child arrives almost immediately
@@ -312,21 +312,21 @@ mod tests {
 
     #[test]
     fn condvar_signal_wakes_waiter() {
-        Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+        Sim::builder(cfg(2, 1)).build().unwrap().run(|ctx| {
             let m = GMutex::create(ctx);
             let cv = GCondvar::create(ctx);
             let ready = ctx.malloc(64).unwrap();
             let entry: GuestEntry = Arc::new(move |ctx, arg| {
                 let ready = Addr(arg);
                 m.lock(ctx);
-                while ctx.load_u32(ready) == 0 {
+                while ctx.load::<u32>(ready) == 0 {
                     cv.wait(ctx, &m);
                 }
                 m.unlock(ctx);
             });
             let t = ctx.spawn(entry, ready.0).unwrap();
             m.lock(ctx);
-            ctx.store_u32(ready, 1);
+            ctx.store::<u32>(ready, 1);
             cv.broadcast(ctx);
             m.unlock(ctx);
             ctx.join(t);
@@ -335,9 +335,9 @@ mod tests {
 
     #[test]
     fn mutex_at_adopts_address() {
-        Simulator::new(cfg(1, 1)).unwrap().run(|ctx| {
+        Sim::builder(cfg(1, 1)).build().unwrap().run(|ctx| {
             let word = ctx.malloc(64).unwrap();
-            ctx.store_u32(word, 0);
+            ctx.store::<u32>(word, 0);
             let m = GMutex::at(word);
             assert_eq!(m.addr(), word);
             m.lock(ctx);

@@ -10,28 +10,50 @@
 //! ## What a simulation looks like
 //!
 //! ```
-//! use graphite::{Simulator, SimConfig};
+//! use graphite::{Sim, SimConfig};
 //! use graphite_memory::Addr;
 //!
 //! let cfg = SimConfig::builder().tiles(4).processes(2).build().unwrap();
-//! let sim = Simulator::new(cfg).unwrap();
+//! let sim = Sim::builder(cfg).build().unwrap();
 //! let report = sim.run(|ctx| {
 //!     // Guest code: allocate simulated memory, spawn a thread on another
 //!     // tile, exchange data through the coherent shared address space.
 //!     let buf = ctx.malloc(64).unwrap();
-//!     ctx.store_u64(buf, 41);
+//!     ctx.store(buf, 41u64);
 //!     let child = ctx.spawn(
 //!         std::sync::Arc::new(move |ctx: &mut graphite::Ctx, arg| {
 //!             let a = Addr(arg);
-//!             let v = ctx.load_u64(a);
-//!             ctx.store_u64(a, v + 1);
+//!             let v: u64 = ctx.load(a);
+//!             ctx.store(a, v + 1);
 //!         }),
 //!         buf.0,
 //!     ).unwrap();
 //!     ctx.join(child);
-//!     assert_eq!(ctx.load_u64(buf), 42);
+//!     assert_eq!(ctx.load::<u64>(buf), 42);
 //! });
 //! assert!(report.simulated_cycles.0 > 0);
+//! ```
+//!
+//! [`Sim::builder`] is the single construction path; it also switches on the
+//! observability layer:
+//!
+//! ```
+//! use graphite::{Sim, SimConfig};
+//!
+//! let cfg = SimConfig::builder().tiles(2).build().unwrap();
+//! let report = Sim::builder(cfg)
+//!     .tracing(true)          // per-tile ring-buffer event tracing
+//!     .trace_capacity(8192)   // events retained per tile
+//!     .build()
+//!     .unwrap()
+//!     .run(|ctx| {
+//!         let a = ctx.malloc(8).unwrap();
+//!         ctx.store(a, 1u64);
+//!     });
+//! let metrics_json = report.metrics_json(); // machine-readable metrics
+//! let trace_jsonl = report.trace_jsonl();   // one JSON event per line
+//! assert!(metrics_json.contains("graphite.metrics.v1"));
+//! assert!(!trace_jsonl.is_empty());
 //! ```
 //!
 //! ## Architecture (paper §2–3)
@@ -47,6 +69,10 @@
 //!   [`graphite_memory`]);
 //! * **synchronization models** (Lax / LaxBarrier / LaxP2P) bound clock skew
 //!   (crate [`graphite_sync`]);
+//! * an **observability layer** (crate [`graphite_trace`]) backs every
+//!   subsystem's counters with one per-simulation metrics registry and
+//!   records structured events into per-tile ring buffers when tracing is
+//!   enabled; [`SimReport`] is a view over that registry;
 //! * guest code reaches all of this through [`Ctx`] — the stand-in for the
 //!   paper's Pin-based dynamic binary translation front end: it emits the
 //!   same event stream (instructions, memory references, sync events,
@@ -62,16 +88,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{self, Sender};
-use graphite_base::{Clock, Counter, Cycles, GlobalProgress, SimError, ThreadId, TileId};
-pub use graphite_config::SimConfig;
+use graphite_base::{Clock, Cycles, GlobalProgress, SimError, ThreadId, TileId};
+pub use graphite_config::{SimConfig, SyncModel};
 use graphite_core_model::{CoreModel, CoreParams, InOrderCore, OooCore, OooParams};
 use graphite_memory::MemorySystem;
 use graphite_network::Network;
-use graphite_sync::{build_synchronizer, Synchronizer};
+use graphite_sync::{build_synchronizer_obs, Synchronizer};
+use graphite_trace::{Metric, Obs, TraceOptions};
+pub use graphite_trace::{MetricsSnapshot, TraceEvent, TraceEventKind};
 use graphite_transport::{Endpoint, LocalTransport, Transport};
 use parking_lot::Mutex;
 
-pub use ctx::{Ctx, GuestEntry};
+pub use ctx::{Ctx, GuestEntry, GuestValue};
 pub use guest_sync::{GBarrier, GCondvar, GMutex};
 pub use report::SimReport;
 
@@ -94,10 +122,12 @@ pub(crate) struct SimInner {
     pub inboxes: Vec<Mutex<UserInbox>>,
     pub mcp_tx: Sender<McpRequest>,
     pub ctrl_stats: ControlStats,
-    pub user_msgs: Counter,
+    pub user_msgs: Metric,
+    /// The simulation's observability spine: metrics registry + tracer.
+    pub obs: Obs,
     pub stdout: Mutex<Vec<u8>>,
     pub started: Instant,
-    /// Set when any guest thread panicked; surfaced by [`Simulator::run`].
+    /// Set when any guest thread panicked; surfaced by [`Sim::run`].
     pub guest_panicked: std::sync::atomic::AtomicBool,
 }
 
@@ -110,24 +140,46 @@ pub enum CoreKind {
     OutOfOrder(OooParams),
 }
 
-/// Builder for a [`Simulator`] with non-default options.
+/// Fluent builder for a [`Sim`] — the single public construction path.
+///
+/// The fluent order mirrors how a simulation is specified: configuration
+/// ([`SimBuilder::new`]), synchronization model ([`SimBuilder::sync_model`]),
+/// then observability options ([`SimBuilder::tracing`],
+/// [`SimBuilder::trace_capacity`]), finishing with [`SimBuilder::build`].
 #[derive(Debug)]
-pub struct SimulatorBuilder {
+pub struct SimBuilder {
     cfg: SimConfig,
     classify_misses: bool,
     core_kind: CoreKind,
     tcp_transport: bool,
+    trace: TraceOptions,
 }
 
-impl SimulatorBuilder {
-    /// Starts from a configuration (validated at [`SimulatorBuilder::build`]).
+/// Former name of [`SimBuilder`].
+#[deprecated(since = "0.2.0", note = "renamed to `SimBuilder`")]
+pub type SimulatorBuilder = SimBuilder;
+
+/// Former name of [`Sim`].
+#[deprecated(since = "0.2.0", note = "renamed to `Sim`; construct via `Sim::builder`")]
+pub type Simulator = Sim;
+
+impl SimBuilder {
+    /// Starts from a configuration (validated at [`SimBuilder::build`]).
     pub fn new(cfg: SimConfig) -> Self {
-        SimulatorBuilder {
+        SimBuilder {
             cfg,
             classify_misses: false,
             core_kind: CoreKind::InOrder(CoreParams::default()),
             tcp_transport: false,
+            trace: TraceOptions::default(),
         }
+    }
+
+    /// Overrides the configuration's synchronization model (Lax /
+    /// LaxBarrier / LaxP2P, paper §3.6).
+    pub fn sync_model(mut self, model: SyncModel) -> Self {
+        self.cfg.sync = model;
+        self
     }
 
     /// Enables cache-miss classification (Figure 8 study).
@@ -156,26 +208,46 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Switches structured event tracing on or off (off by default). When
+    /// off, every trace site is a single predictable branch.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.trace.enabled = on;
+        self
+    }
+
+    /// Sets the per-tile trace ring capacity in events (default 4096).
+    /// When a ring fills, the oldest events are dropped and counted.
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace.capacity = events;
+        self
+    }
+
     /// Builds the simulator, spawning the MCP and LCP service threads.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for inconsistent configurations,
     /// or a transport error if the TCP backend cannot bind.
-    pub fn build(self) -> Result<Simulator, SimError> {
+    pub fn build(self) -> Result<Sim, SimError> {
         self.cfg.validate()?;
         let cfg = self.cfg;
         let n = cfg.target.num_tiles as usize;
+        let obs = Obs::new(n, self.trace);
         let clocks: Arc<Vec<Arc<Clock>>> =
             Arc::new((0..n).map(|_| Arc::new(Clock::new())).collect());
         let progress = Arc::new(GlobalProgress::new(cfg.progress_window as usize));
-        let network = Arc::new(Network::new(&cfg, Arc::clone(&progress)));
-        let mem = Arc::new(MemorySystem::new(&cfg, Arc::clone(&network), self.classify_misses));
-        let sync = build_synchronizer(cfg.sync, Arc::clone(&clocks), cfg.seed);
+        let network = Arc::new(Network::with_obs(&cfg, Arc::clone(&progress), &obs));
+        let mem = Arc::new(MemorySystem::with_obs(
+            &cfg,
+            Arc::clone(&network),
+            self.classify_misses,
+            &obs,
+        ));
+        let sync = build_synchronizer_obs(cfg.sync, Arc::clone(&clocks), cfg.seed, &obs);
         let transport: Arc<dyn Transport> = if self.tcp_transport {
-            Arc::new(graphite_transport::tcp::TcpTransport::new(&cfg)?)
+            Arc::new(graphite_transport::tcp::TcpTransport::with_obs(&cfg, &obs)?)
         } else {
-            Arc::new(LocalTransport::new(&cfg))
+            Arc::new(LocalTransport::with_obs(&cfg, &obs))
         };
         let inboxes = (0..n)
             .map(|i| {
@@ -202,8 +274,9 @@ impl SimulatorBuilder {
             transport,
             inboxes,
             mcp_tx: mcp_tx.clone(),
-            ctrl_stats: ControlStats::default(),
-            user_msgs: Counter::new(),
+            ctrl_stats: ControlStats::registered(&obs.metrics),
+            user_msgs: obs.metrics.counter("ctrl.user_msgs"),
+            obs,
             stdout: Mutex::new(Vec::new()),
             started: Instant::now(),
             guest_panicked: std::sync::atomic::AtomicBool::new(false),
@@ -230,24 +303,24 @@ impl SimulatorBuilder {
             .spawn(move || mcp_main(inner2, mcp_rx, lcp_txs))
             .expect("spawn MCP");
 
-        Ok(Simulator { inner, mcp_handle: Some(mcp_handle), lcp_handles })
+        Ok(Sim { inner, mcp_handle: Some(mcp_handle), lcp_handles })
     }
 }
 
 /// A ready-to-run Graphite simulation.
 ///
-/// Create one with [`Simulator::new`] (defaults) or [`Simulator::builder`],
-/// then call [`Simulator::run`] with the guest `main` function. See the
+/// Create one with [`Sim::builder`] — the only public construction path —
+/// then call [`Sim::run`] with the guest `main` function. See the
 /// crate-level example.
-pub struct Simulator {
+pub struct Sim {
     inner: Arc<SimInner>,
     mcp_handle: Option<std::thread::JoinHandle<()>>,
     lcp_handles: Vec<std::thread::JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for Simulator {
+impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Simulator")
+        f.debug_struct("Sim")
             .field("tiles", &self.inner.cfg.target.num_tiles)
             .field("processes", &self.inner.cfg.num_processes)
             .field("sync", &self.inner.sync.name())
@@ -255,19 +328,10 @@ impl std::fmt::Debug for Simulator {
     }
 }
 
-impl Simulator {
-    /// Creates a simulator with default options.
-    ///
-    /// # Errors
-    ///
-    /// See [`SimulatorBuilder::build`].
-    pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
-        SimulatorBuilder::new(cfg).build()
-    }
-
-    /// Starts a builder for non-default options.
-    pub fn builder(cfg: SimConfig) -> SimulatorBuilder {
-        SimulatorBuilder::new(cfg)
+impl Sim {
+    /// Starts the fluent builder — the single public construction path.
+    pub fn builder(cfg: SimConfig) -> SimBuilder {
+        SimBuilder::new(cfg)
     }
 
     /// Handles to every tile's clock, for external instrumentation such as
@@ -275,6 +339,13 @@ impl Simulator {
     /// while the simulation runs.
     pub fn clock_handles(&self) -> Arc<Vec<Arc<Clock>>> {
         Arc::clone(&self.inner.clocks)
+    }
+
+    /// A live snapshot of the metrics registry. May be called concurrently
+    /// with a running simulation (counters are relaxed atomics); the final,
+    /// consistent snapshot is [`SimReport::metrics`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.obs.metrics.snapshot()
     }
 
     /// Runs the guest `main` on tile 0 / thread 0 and returns the report.
@@ -321,15 +392,19 @@ mod tests {
         SimConfig::builder().tiles(tiles).processes(procs).build().unwrap()
     }
 
+    fn sim(tiles: u32, procs: u32) -> Sim {
+        Sim::builder(cfg(tiles, procs)).build().unwrap()
+    }
+
     #[test]
     fn empty_main_produces_report() {
-        let r = Simulator::new(cfg(2, 1)).unwrap().run(|_ctx| {});
+        let r = sim(2, 1).run(|_ctx| {});
         assert_eq!(r.per_tile_cycles.len(), 2);
     }
 
     #[test]
     fn compute_advances_clock() {
-        let r = Simulator::new(cfg(1, 1)).unwrap().run(|ctx| {
+        let r = sim(1, 1).run(|ctx| {
             ctx.alu(1_000);
         });
         assert!(r.simulated_cycles >= Cycles(1_000));
@@ -338,12 +413,12 @@ mod tests {
 
     #[test]
     fn memory_roundtrip_through_guest() {
-        let r = Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+        let r = sim(2, 1).run(|ctx| {
             let a = ctx.malloc(128).unwrap();
-            ctx.store_u64(a, 0xABCD);
-            assert_eq!(ctx.load_u64(a), 0xABCD);
-            ctx.store_f64(a.offset(8), 3.5);
-            assert_eq!(ctx.load_f64(a.offset(8)), 3.5);
+            ctx.store(a, 0xABCDu64);
+            assert_eq!(ctx.load::<u64>(a), 0xABCD);
+            ctx.store(a.offset(8), 3.5f64);
+            assert_eq!(ctx.load::<f64>(a.offset(8)), 3.5);
             ctx.free(a).unwrap();
         });
         assert!(r.mem.loads >= 2);
@@ -351,15 +426,50 @@ mod tests {
     }
 
     #[test]
+    fn every_guest_value_width_roundtrips() {
+        sim(1, 1).run(|ctx| {
+            let a = ctx.malloc(64).unwrap();
+            ctx.store(a, 0xA5u8);
+            assert_eq!(ctx.load::<u8>(a), 0xA5);
+            ctx.store(a.offset(2), 0xBEEFu16);
+            assert_eq!(ctx.load::<u16>(a.offset(2)), 0xBEEF);
+            ctx.store(a.offset(4), 0xDEAD_BEEFu32);
+            assert_eq!(ctx.load::<u32>(a.offset(4)), 0xDEAD_BEEF);
+            ctx.store(a.offset(8), u64::MAX - 1);
+            assert_eq!(ctx.load::<u64>(a.offset(8)), u64::MAX - 1);
+            ctx.store(a.offset(16), -123_456_789_i64);
+            assert_eq!(ctx.load::<i64>(a.offset(16)), -123_456_789);
+            ctx.store(a.offset(24), 2.5f32);
+            assert_eq!(ctx.load::<f32>(a.offset(24)), 2.5);
+            ctx.store(a.offset(32), -0.125f64);
+            assert_eq!(ctx.load::<f64>(a.offset(32)), -0.125);
+        });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_still_work() {
+        sim(1, 1).run(|ctx| {
+            let a = ctx.malloc(32).unwrap();
+            ctx.store_u64(a, 7);
+            assert_eq!(ctx.load_u64(a), 7);
+            ctx.store_u32(a.offset(8), 9);
+            assert_eq!(ctx.load_u32(a.offset(8)), 9);
+            ctx.store_f64(a.offset(16), 1.5);
+            assert_eq!(ctx.load_f64(a.offset(16)), 1.5);
+        });
+    }
+
+    #[test]
     fn spawn_join_across_processes() {
-        let r = Simulator::new(cfg(4, 2)).unwrap().run(|ctx| {
+        let r = sim(4, 2).run(|ctx| {
             let a = ctx.malloc(256).unwrap();
             // Each spawn gets its own slot address as argument (tiles may be
             // reused if an earlier thread exits before a later spawn).
             let entry: GuestEntry = Arc::new(move |ctx, arg| {
                 let slot = Addr(arg);
                 let me = ctx.tile().0 as u64;
-                ctx.store_u64(slot, me + 100);
+                ctx.store(slot, me + 100);
             });
             let mut tids = Vec::new();
             for i in 0..3u64 {
@@ -370,7 +480,7 @@ mod tests {
             }
             // Every spawned thread wrote a tile id in 1..4 into its slot.
             for i in 0..3u64 {
-                let v = ctx.load_u64(a.offset(i * 8));
+                let v = ctx.load::<u64>(a.offset(i * 8));
                 assert!((101..=103).contains(&v), "slot {i} holds {v}");
             }
         });
@@ -380,7 +490,7 @@ mod tests {
 
     #[test]
     fn spawn_exhaustion_reports_error() {
-        Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+        sim(2, 1).run(|ctx| {
             let entry: GuestEntry = Arc::new(|ctx, _| {
                 // Occupy the tile until told to stop.
                 ctx.futex_wait(Addr(0x9000), 0);
@@ -388,7 +498,7 @@ mod tests {
             let t1 = ctx.spawn(Arc::clone(&entry), 0).unwrap();
             // Only 2 tiles: the second spawn must fail.
             assert!(matches!(ctx.spawn(Arc::clone(&entry), 0), Err(SimError::NoFreeTile)));
-            ctx.store_u32(Addr(0x9000), 1);
+            ctx.store(Addr(0x9000), 1u32);
             ctx.futex_wake(Addr(0x9000), u32::MAX);
             ctx.join(t1);
         });
@@ -396,7 +506,7 @@ mod tests {
 
     #[test]
     fn child_clock_starts_at_parent_time() {
-        let r = Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+        let r = sim(2, 1).run(|ctx| {
             ctx.alu(50_000); // parent advances before spawning
             let entry: GuestEntry = Arc::new(|_ctx, _| {});
             let t = ctx.spawn(entry, 0).unwrap();
@@ -408,7 +518,7 @@ mod tests {
 
     #[test]
     fn futex_wake_forwards_waiter_clock() {
-        let r = Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+        let r = sim(2, 1).run(|ctx| {
             let f = ctx.malloc(64).unwrap();
             let entry: GuestEntry = Arc::new(move |ctx, arg| {
                 let f = Addr(arg);
@@ -419,7 +529,7 @@ mod tests {
             // wake (not a value mismatch) delivers the timestamp.
             std::thread::sleep(std::time::Duration::from_millis(50));
             ctx.alu(200_000); // main runs far ahead in simulated time
-            ctx.store_u32(f, 1);
+            ctx.store(f, 1u32);
             ctx.futex_wake(f, 1);
             ctx.join(t);
         });
@@ -435,16 +545,16 @@ mod tests {
 
     #[test]
     fn user_messaging_roundtrip() {
-        let r = Simulator::new(cfg(2, 2)).unwrap().run(|ctx| {
+        let r = sim(2, 2).run(|ctx| {
             let entry: GuestEntry = Arc::new(|ctx, _| {
-                let (from, data) = ctx.recv_msg();
+                let (from, data) = ctx.recv_msg().unwrap();
                 assert_eq!(from, TileId(0));
                 assert_eq!(data, b"ping");
-                ctx.send_msg(from, b"pong");
+                ctx.send_msg(from, b"pong").unwrap();
             });
             let t = ctx.spawn(entry, 0).unwrap();
-            ctx.send_msg(TileId(1), b"ping");
-            let (from, data) = ctx.recv_msg();
+            ctx.send_msg(TileId(1), b"ping").unwrap();
+            let (from, data) = ctx.recv_msg().unwrap();
             assert_eq!(from, TileId(1));
             assert_eq!(data, b"pong");
             ctx.join(t);
@@ -454,13 +564,13 @@ mod tests {
 
     #[test]
     fn message_timestamps_forward_receiver_clock() {
-        let r = Simulator::new(cfg(2, 1)).unwrap().run(|ctx| {
+        let r = sim(2, 1).run(|ctx| {
             let entry: GuestEntry = Arc::new(|ctx, _| {
-                let _ = ctx.recv_msg(); // child waits at cycle ~0
+                let _ = ctx.recv_msg().unwrap(); // child waits at cycle ~0
             });
             let t = ctx.spawn(entry, 0).unwrap();
             ctx.alu(500_000);
-            ctx.send_msg(TileId(1), b"late");
+            ctx.send_msg(TileId(1), b"late").unwrap();
             ctx.join(t);
         });
         assert!(r.per_tile_cycles[1] >= Cycles(500_000));
@@ -468,30 +578,39 @@ mod tests {
 
     #[test]
     fn file_io_through_mcp() {
-        let r = Simulator::new(cfg(2, 2)).unwrap().run(|ctx| {
+        let r = sim(2, 2).run(|ctx| {
             let buf = ctx.malloc(64).unwrap();
-            ctx.store_u64(buf, 0x1122334455667788);
-            let fd = ctx.sys_open("shared.dat");
+            ctx.store(buf, 0x1122334455667788u64);
+            let fd = ctx.sys_open("shared.dat").unwrap();
             assert!(fd >= 3);
-            assert_eq!(ctx.sys_write(fd, buf, 8), 8);
-            ctx.sys_close(fd);
+            assert_eq!(ctx.sys_write(fd, buf, 8).unwrap(), 8);
+            ctx.sys_close(fd).unwrap();
             // Another thread (possibly another process) reads it back.
             let entry: GuestEntry = Arc::new(move |ctx, arg| {
                 let out = Addr(arg).offset(16);
-                let fd = ctx.sys_open("shared.dat");
-                assert_eq!(ctx.sys_read(fd, out, 8), 8);
-                ctx.sys_close(fd);
+                let fd = ctx.sys_open("shared.dat").unwrap();
+                assert_eq!(ctx.sys_read(fd, out, 8).unwrap(), 8);
+                ctx.sys_close(fd).unwrap();
             });
             let t = ctx.spawn(entry, buf.0).unwrap();
             ctx.join(t);
-            assert_eq!(ctx.load_u64(buf.offset(16)), 0x1122334455667788);
+            assert_eq!(ctx.load::<u64>(buf.offset(16)), 0x1122334455667788);
         });
         assert!(r.ctrl.syscalls >= 6);
     }
 
     #[test]
+    fn bad_descriptor_surfaces_as_syscall_error() {
+        sim(1, 1).run(|ctx| {
+            assert!(matches!(ctx.sys_close(99), Err(SimError::Syscall(_))));
+            let a = ctx.malloc(8).unwrap();
+            assert!(matches!(ctx.sys_write(99, a, 8), Err(SimError::Syscall(_))));
+        });
+    }
+
+    #[test]
     fn guest_println_captured() {
-        let r = Simulator::new(cfg(1, 1)).unwrap().run(|ctx| {
+        let r = sim(1, 1).run(|ctx| {
             ctx.print("hello from the guest\n");
         });
         assert_eq!(String::from_utf8_lossy(&r.stdout), "hello from the guest\n");
@@ -499,14 +618,14 @@ mod tests {
 
     #[test]
     fn report_counts_are_consistent() {
-        let r = Simulator::new(cfg(4, 2)).unwrap().run(|ctx| {
+        let r = sim(4, 2).run(|ctx| {
             let a = ctx.malloc(4096).unwrap();
             for i in 0..64u64 {
-                ctx.store_u64(a.offset(i * 8), i);
+                ctx.store(a.offset(i * 8), i);
             }
             let mut sum = 0u64;
             for i in 0..64u64 {
-                sum += ctx.load_u64(a.offset(i * 8));
+                sum += ctx.load::<u64>(a.offset(i * 8));
             }
             assert_eq!(sum, (0..64).sum());
         });
@@ -519,8 +638,78 @@ mod tests {
     }
 
     #[test]
+    fn report_is_a_view_over_the_metrics_registry() {
+        let r = sim(2, 1).run(|ctx| {
+            let a = ctx.malloc(256).unwrap();
+            for i in 0..16u64 {
+                ctx.store(a.offset(i * 8), i);
+            }
+            for i in 0..16u64 {
+                let _ = ctx.load::<u64>(a.offset(i * 8));
+            }
+        });
+        let m = &r.metrics;
+        assert_eq!(r.mem.loads, m.counters["mem.loads"]);
+        assert_eq!(r.mem.stores, m.counters["mem.stores"]);
+        assert_eq!(r.mem.misses, m.counters["mem.misses"]);
+        assert_eq!(r.ctrl.syscalls, m.counters["ctrl.syscalls"]);
+        assert_eq!(r.user_msgs, m.counters["ctrl.user_msgs"]);
+        assert_eq!(r.total_instructions, m.per_tile["core.tile.instructions"].iter().sum::<u64>());
+        let lanes = &m.per_tile["mem.tile.accesses"];
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes.iter().sum::<u64>(), r.mem.accesses());
+    }
+
+    #[test]
+    fn tracing_enabled_exports_parseable_artifacts() {
+        let s = Sim::builder(cfg(2, 1)).tracing(true).trace_capacity(4096).build().unwrap();
+        let r = s.run(|ctx| {
+            let a = ctx.malloc(64).unwrap();
+            ctx.store(a, 7u64);
+            assert_eq!(ctx.load::<u64>(a), 7);
+            let entry: GuestEntry = Arc::new(|ctx, _| {
+                let (_, data) = ctx.recv_msg().unwrap();
+                assert_eq!(data, b"hi");
+            });
+            let t = ctx.spawn(entry, 0).unwrap();
+            ctx.send_msg(TileId(1), b"hi").unwrap();
+            ctx.join(t);
+        });
+        assert!(!r.trace_events.is_empty(), "tracing on must capture events");
+        // Spawn, exit, syscall, memory and messaging events all show up.
+        let names: Vec<&str> = r.trace_events.iter().map(|e| e.kind.name()).collect();
+        for expected in ["thread_spawn", "thread_exit", "syscall", "mem_op_done", "user_msg_send"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        // Every artifact must be machine-parseable.
+        for line in r.trace_jsonl().lines() {
+            graphite_trace::json::validate(line).unwrap_or_else(|e| panic!("bad JSONL: {e}"));
+        }
+        graphite_trace::json::validate(&r.metrics_json())
+            .unwrap_or_else(|e| panic!("bad metrics.json: {e}"));
+    }
+
+    #[test]
+    fn tracing_disabled_captures_nothing() {
+        let r = sim(2, 1).run(|ctx| {
+            let a = ctx.malloc(64).unwrap();
+            ctx.store(a, 1u64);
+        });
+        assert!(r.trace_events.is_empty());
+    }
+
+    #[test]
+    fn live_metrics_snapshot_is_available_before_run() {
+        let s = sim(2, 1);
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.num_tiles, 2);
+        assert_eq!(snap.counters["mem.loads"], 0);
+        s.run(|_| {});
+    }
+
+    #[test]
     fn atomic_rmw_from_many_guests() {
-        let r = Simulator::new(cfg(8, 2)).unwrap().run(|ctx| {
+        let r = sim(8, 2).run(|ctx| {
             let a = ctx.malloc(64).unwrap();
             let entry: GuestEntry = Arc::new(move |ctx, arg| {
                 for _ in 0..500 {
@@ -535,7 +724,7 @@ mod tests {
             for t in tids {
                 ctx.join(t);
             }
-            assert_eq!(ctx.load_u32(a), 4_000);
+            assert_eq!(ctx.load::<u32>(a), 4_000);
         });
         assert!(r.simulated_cycles > Cycles::ZERO);
     }

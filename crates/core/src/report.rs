@@ -5,7 +5,7 @@ use std::fmt;
 use std::time::Duration;
 
 use graphite_base::Cycles;
-use graphite_network::TrafficClass;
+use graphite_trace::{export_jsonl, MetricsSnapshot, TraceEvent};
 
 use crate::SimInner;
 
@@ -187,12 +187,30 @@ pub struct SimReport {
     pub num_processes: u32,
     /// The synchronization model's name.
     pub sync_model: String,
+    /// The full metrics-registry snapshot the typed fields above are views
+    /// of; serialize with [`SimReport::metrics_json`].
+    pub metrics: MetricsSnapshot,
+    /// Structured trace events drained from the per-tile rings (empty when
+    /// tracing was disabled); serialize with [`SimReport::trace_jsonl`].
+    pub trace_events: Vec<TraceEvent>,
 }
 
 impl SimReport {
     /// Simulated seconds at the target clock frequency.
     pub fn simulated_seconds(&self, clock_ghz: f64) -> f64 {
         self.simulated_cycles.as_secs(clock_ghz)
+    }
+
+    /// The machine-readable `metrics.json` document
+    /// (schema `graphite.metrics.v1`).
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json()
+    }
+
+    /// The structured event trace as JSON Lines, one event per line in
+    /// global sequence order.
+    pub fn trace_jsonl(&self) -> String {
+        export_jsonl(&self.trace_events)
     }
 }
 
@@ -231,44 +249,68 @@ impl fmt::Display for SimReport {
         write!(
             f,
             "transport: {} intra-process, {} inter-process, {} inter-machine",
-            self.transport.intra_process, self.transport.inter_process, self.transport.inter_machine
+            self.transport.intra_process,
+            self.transport.inter_process,
+            self.transport.inter_machine
         )
     }
 }
 
 /// Assembles the report from a finished simulation's shared state.
+///
+/// Every counter is read out of the one metrics registry, so the typed
+/// report is by construction consistent with [`SimReport::metrics`] (and
+/// with the exported `metrics.json`).
 pub(crate) fn build_report(inner: &SimInner) -> SimReport {
-    let mem_stats = inner.mem.stats();
+    // The core models keep their own counters (they are per-tile objects
+    // behind locks, not shared atomics); mirror them into registry lanes so
+    // the snapshot covers the whole simulation. `take` first so rebuilding
+    // is idempotent.
+    let instr_lanes = inner.obs.metrics.per_tile("core.tile.instructions");
+    let cycle_lanes = inner.obs.metrics.per_tile("core.tile.cycles");
+    for (i, core) in inner.cores.iter().enumerate() {
+        let core = core.lock();
+        let s = core.stats();
+        instr_lanes[i].take();
+        instr_lanes[i].add(s.instructions.get());
+        cycle_lanes[i].take();
+        cycle_lanes[i].add(s.cycles.get());
+    }
+
+    let snap = inner.obs.metrics.snapshot();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let lanes =
+        |name: &str| snap.per_tile.get(name).cloned().unwrap_or_else(|| vec![0; snap.num_tiles]);
+
     let per_tile_cycles: Vec<Cycles> = inner.clocks.iter().map(|c| c.now()).collect();
-    let per_tile_instructions: Vec<u64> =
-        inner.cores.iter().map(|c| c.lock().stats().instructions.get()).collect();
-    let per_tile_core_cycles: Vec<u64> =
-        inner.cores.iter().map(|c| c.lock().stats().cycles.get()).collect();
-    let per_tile: Vec<TileReport> = inner
-        .mem
-        .per_tile_counters()
-        .iter()
-        .zip(per_tile_instructions.iter().zip(&per_tile_core_cycles))
-        .map(|(m, (&ins, &cyc))| TileReport {
-            instructions: ins,
-            mem_accesses: m.accesses.get(),
-            mem_transactions: m.transactions.get(),
-            remote_home_transactions: m.remote_home_transactions.get(),
-            mem_latency_sum: m.latency_sum.get(),
-            core_cycles: cyc,
+    let per_tile_instructions = lanes("core.tile.instructions");
+    let per_tile_core_cycles = lanes("core.tile.cycles");
+    let mem_accesses = lanes("mem.tile.accesses");
+    let mem_transactions = lanes("mem.tile.transactions");
+    let remote_home = lanes("mem.tile.remote_home_transactions");
+    let mem_latency = lanes("mem.tile.latency_sum");
+    let per_tile: Vec<TileReport> = (0..snap.num_tiles)
+        .map(|i| TileReport {
+            instructions: per_tile_instructions[i],
+            mem_accesses: mem_accesses[i],
+            mem_transactions: mem_transactions[i],
+            remote_home_transactions: remote_home[i],
+            mem_latency_sum: mem_latency[i],
+            core_cycles: per_tile_core_cycles[i],
         })
         .collect();
-    let net = |class: TrafficClass| {
-        let s = inner.network.stats(class);
+
+    let net = |class: &str| {
+        let packets = c(&format!("net.{class}.packets"));
+        let latency_sum = c(&format!("net.{class}.latency_sum"));
         NetReport {
-            packets: s.packets.get(),
-            hops: s.hops.get(),
-            mean_latency: s.mean_latency(),
-            contention_sum: s.contention_sum.get(),
+            packets,
+            hops: c(&format!("net.{class}.hops")),
+            mean_latency: if packets == 0 { 0.0 } else { latency_sum as f64 / packets as f64 },
+            contention_sum: c(&format!("net.{class}.contention_sum")),
         }
     };
-    let sync_stats = inner.sync.stats();
-    let t = inner.transport.stats();
+
     SimReport {
         simulated_cycles: per_tile_cycles.iter().copied().max().unwrap_or(Cycles::ZERO),
         main_cycles: per_tile_cycles.first().copied().unwrap_or(Cycles::ZERO),
@@ -278,49 +320,51 @@ pub(crate) fn build_report(inner: &SimInner) -> SimReport {
         per_tile_instructions,
         per_tile,
         mem: MemReport {
-            loads: mem_stats.loads.get(),
-            stores: mem_stats.stores.get(),
-            l1d_hits: mem_stats.l1d_hits.get(),
-            l2_hits: mem_stats.l2_hits.get(),
-            misses: mem_stats.misses.get(),
-            upgrades: mem_stats.upgrades.get(),
-            invalidations: mem_stats.invalidations.get(),
-            writebacks: mem_stats.writebacks.get(),
-            dram_reads: mem_stats.dram_reads.get(),
-            miss_cold: mem_stats.miss_cold.get(),
-            miss_capacity: mem_stats.miss_capacity.get(),
-            miss_true_sharing: mem_stats.miss_true_sharing.get(),
-            miss_false_sharing: mem_stats.miss_false_sharing.get(),
-            forced_evictions: mem_stats.forced_evictions.get(),
-            limitless_traps: mem_stats.limitless_traps.get(),
-            latency_sum: mem_stats.latency_sum.get(),
-            max_latency: mem_stats.max_latency.get(),
+            loads: c("mem.loads"),
+            stores: c("mem.stores"),
+            l1d_hits: c("mem.l1d_hits"),
+            l2_hits: c("mem.l2_hits"),
+            misses: c("mem.misses"),
+            upgrades: c("mem.upgrades"),
+            invalidations: c("mem.invalidations"),
+            writebacks: c("mem.writebacks"),
+            dram_reads: c("mem.dram_reads"),
+            miss_cold: c("mem.miss_cold"),
+            miss_capacity: c("mem.miss_capacity"),
+            miss_true_sharing: c("mem.miss_true_sharing"),
+            miss_false_sharing: c("mem.miss_false_sharing"),
+            forced_evictions: c("mem.forced_evictions"),
+            limitless_traps: c("mem.limitless_traps"),
+            latency_sum: c("mem.latency_sum"),
+            max_latency: c("mem.max_latency"),
         },
-        net_memory: net(TrafficClass::Memory),
-        net_user: net(TrafficClass::User),
+        net_memory: net("memory"),
+        net_user: net("user"),
         ctrl: CtrlReport {
-            spawns: inner.ctrl_stats.spawns.get(),
-            joins: inner.ctrl_stats.joins.get(),
-            futex_waits: inner.ctrl_stats.futex_waits.get(),
-            futex_wakes: inner.ctrl_stats.futex_wakes.get(),
-            syscalls: inner.ctrl_stats.syscalls.get(),
+            spawns: c("ctrl.spawns"),
+            joins: c("ctrl.joins"),
+            futex_waits: c("ctrl.futex_waits"),
+            futex_wakes: c("ctrl.futex_wakes"),
+            syscalls: c("ctrl.syscalls"),
         },
         transport: TransportReport {
-            intra_process: t.intra_process.get(),
-            inter_process: t.inter_process.get(),
-            inter_machine: t.inter_machine.get(),
+            intra_process: c("transport.intra_process"),
+            inter_process: c("transport.inter_process"),
+            inter_machine: c("transport.inter_machine"),
         },
         sync: SyncReport {
-            barrier_releases: sync_stats.barrier_releases.get(),
-            barrier_waits: sync_stats.barrier_waits.get(),
-            p2p_checks: sync_stats.p2p_checks.get(),
-            p2p_sleeps: sync_stats.p2p_sleeps.get(),
-            p2p_sleep_us: sync_stats.p2p_sleep_us.get(),
+            barrier_releases: c("sync.barrier_releases"),
+            barrier_waits: c("sync.barrier_waits"),
+            p2p_checks: c("sync.p2p_checks"),
+            p2p_sleeps: c("sync.p2p_sleeps"),
+            p2p_sleep_us: c("sync.p2p_sleep_us"),
         },
-        user_msgs: inner.user_msgs.get(),
+        user_msgs: c("ctrl.user_msgs"),
         stdout: inner.stdout.lock().clone(),
         num_tiles: inner.cfg.target.num_tiles,
         num_processes: inner.cfg.num_processes,
         sync_model: inner.sync.name().to_owned(),
+        trace_events: inner.obs.tracer.drain(),
+        metrics: snap,
     }
 }

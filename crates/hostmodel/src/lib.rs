@@ -64,7 +64,9 @@ impl HostEvents {
             instructions: r.per_tile.iter().map(|t| t.instructions).collect(),
             accesses: r.per_tile.iter().map(|t| t.mem_accesses).collect(),
             transactions: r.per_tile.iter().map(|t| t.mem_transactions).collect(),
-            control_ops: r.ctrl.futex_waits + r.ctrl.futex_wakes + r.ctrl.syscalls
+            control_ops: r.ctrl.futex_waits
+                + r.ctrl.futex_wakes
+                + r.ctrl.syscalls
                 + r.ctrl.spawns
                 + r.ctrl.joins,
             user_msgs: r.user_msgs,
@@ -193,7 +195,11 @@ pub struct HostProjection {
 }
 
 /// Projects the wall-clock time of running `events` on `cluster`.
-pub fn project(events: &HostEvents, cluster: &ClusterSpec, costs: &HostCostParams) -> HostProjection {
+pub fn project(
+    events: &HostEvents,
+    cluster: &ClusterSpec,
+    costs: &HostCostParams,
+) -> HostProjection {
     let n = events.instructions.len().max(1);
     let p = cluster.processes.max(1) as f64;
     let remote_frac = (p - 1.0) / p;
@@ -238,8 +244,8 @@ pub fn project(events: &HostEvents, cluster: &ClusterSpec, costs: &HostCostParam
     // round trip (blocked, not busy).
     let active: usize = cpu.iter().filter(|&&b| b > 0.0).count().max(1);
     let ctrl_cpu = events.control_ops as f64 * costs.ctrl_ns * 1e-9 / active as f64;
-    let ctrl_wire = events.control_ops as f64 * wire_seconds_per_remote * remote_frac
-        / active as f64;
+    let ctrl_wire =
+        events.control_ops as f64 * wire_seconds_per_remote * remote_frac / active as f64;
     comm += ctrl_wire * active as f64;
     // LaxP2P hot-path costs live on each thread; sleeps are idle time.
     let p2p_cpu = events.p2p_checks as f64 * costs.p2p_check_ns * 1e-9 / active as f64;
@@ -382,10 +388,7 @@ mod tests {
         let e = comm_heavy(32);
         let s8 = speedup(&e, 8);
         let s16 = speedup(&e, 16);
-        assert!(
-            s16 < s8,
-            "comm-heavy should dip at the multi-machine transition: {s8} -> {s16}"
-        );
+        assert!(s16 < s8, "comm-heavy should dip at the multi-machine transition: {s8} -> {s16}");
     }
 
     #[test]

@@ -167,11 +167,13 @@ impl Cache {
     ///
     /// Panics if the line is already resident (callers must use
     /// [`Cache::lookup`]/[`Cache::peek_mut`] to update a resident line).
-    pub fn insert(&mut self, line: u64, state: LineState, data: Option<Box<[u8]>>) -> Option<Evicted> {
-        debug_assert!(
-            data.is_some() == self.stores_data,
-            "data presence must match cache kind"
-        );
+    pub fn insert(
+        &mut self,
+        line: u64,
+        state: LineState,
+        data: Option<Box<[u8]>>,
+    ) -> Option<Evicted> {
+        debug_assert!(data.is_some() == self.stores_data, "data presence must match cache kind");
         self.next_stamp += 1;
         let stamp = self.next_stamp;
         let set = self.set_of(line);
@@ -180,8 +182,7 @@ impl Cache {
             "insert of already-resident line {line}"
         );
         let evicted = if self.sets[set].len() == self.assoc {
-            let victim_idx = self
-                .sets[set]
+            let victim_idx = self.sets[set]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.stamp)

@@ -148,7 +148,13 @@ impl MissClassifier {
 
     /// Classifies a fill of `line` by `tile` whose triggering access covers
     /// `len` bytes at `offset`. Returns `None` when disabled.
-    pub fn classify_fill(&self, tile: TileId, line: u64, offset: u64, len: u64) -> Option<MissKind> {
+    pub fn classify_fill(
+        &self,
+        tile: TileId,
+        line: u64,
+        offset: u64,
+        len: u64,
+    ) -> Option<MissKind> {
         if !self.enabled {
             return None;
         }
@@ -238,7 +244,7 @@ mod tests {
         m.classify_fill(TileId(0), 9, 0, 4);
         m.on_departure(TileId(0), 9, true);
         m.on_write(TileId(1), 9, 4, 8); // words 1..2
-        // Re-access spanning words 0..3 overlaps the written words.
+                                        // Re-access spanning words 0..3 overlaps the written words.
         assert_eq!(m.classify_fill(TileId(0), 9, 0, 16), Some(MissKind::TrueSharing));
     }
 

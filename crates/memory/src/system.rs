@@ -26,9 +26,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use graphite_base::{Counter, Cycles, SimRng, TileId};
+use graphite_base::{Cycles, SimRng, TileId};
 use graphite_config::{CacheProtocol, CoherenceScheme, SimConfig};
 use graphite_network::{Network, Packet, TrafficClass};
+use graphite_trace::{Histogram, Metric, MetricsRegistry, Obs, TraceEventKind, Tracer};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::addr::Addr;
@@ -83,54 +84,83 @@ impl TileMem {
 #[derive(Debug, Default)]
 pub struct MemStats {
     /// Load accesses (per line segment).
-    pub loads: Counter,
+    pub loads: Metric,
     /// Store accesses (per line segment).
-    pub stores: Counter,
+    pub stores: Metric,
     /// Hits in the L1D filter.
-    pub l1d_hits: Counter,
+    pub l1d_hits: Metric,
     /// Hits in the coherence-level cache (L2, or L1D when it is the only
     /// level).
-    pub l2_hits: Counter,
+    pub l2_hits: Metric,
     /// Misses requiring a directory transaction with data transfer.
-    pub misses: Counter,
+    pub misses: Metric,
     /// Write-permission upgrades (line present Shared, no data transfer).
-    pub upgrades: Counter,
+    pub upgrades: Metric,
     /// Invalidation messages sent to sharers.
-    pub invalidations: Counter,
+    pub invalidations: Metric,
     /// Dirty writebacks (evictions and downgrades of Modified lines).
-    pub writebacks: Counter,
+    pub writebacks: Metric,
     /// DRAM data reads.
-    pub dram_reads: Counter,
+    pub dram_reads: Metric,
     /// Misses by classified kind (only populated when classification is on).
-    pub miss_cold: Counter,
+    pub miss_cold: Metric,
     /// See [`MemStats::miss_cold`].
-    pub miss_capacity: Counter,
+    pub miss_capacity: Metric,
     /// See [`MemStats::miss_cold`].
-    pub miss_true_sharing: Counter,
+    pub miss_true_sharing: Metric,
     /// See [`MemStats::miss_cold`].
-    pub miss_false_sharing: Counter,
+    pub miss_false_sharing: Metric,
     /// Sharer evictions forced by a full limited directory (DirNB).
-    pub forced_evictions: Counter,
+    pub forced_evictions: Metric,
     /// LimitLESS software traps taken at directories.
-    pub limitless_traps: Counter,
+    pub limitless_traps: Metric,
     /// Fills served cache-to-cache from a Modified owner.
-    pub remote_fills: Counter,
+    pub remote_fills: Metric,
     /// Total memory-access latency accumulated (cycles).
-    pub latency_sum: Counter,
+    pub latency_sum: Metric,
     /// Instruction fetch accesses.
-    pub ifetches: Counter,
+    pub ifetches: Metric,
     /// Instruction fetch misses.
-    pub ifetch_misses: Counter,
+    pub ifetch_misses: Metric,
     /// Largest single access latency seen (cycles; diagnostic).
-    pub max_latency: Counter,
+    pub max_latency: Metric,
     /// Exclusive-state grants on read misses (MESI only).
-    pub exclusive_grants: Counter,
+    pub exclusive_grants: Metric,
     /// Writes satisfied by a silent Exclusive→Modified upgrade (MESI only):
     /// no directory transaction needed.
-    pub silent_upgrades: Counter,
+    pub silent_upgrades: Metric,
 }
 
 impl MemStats {
+    /// Builds stats whose counters are registered in `metrics` under the
+    /// `mem.*` namespace, so snapshots and reports read the same cells.
+    pub fn registered(metrics: &MetricsRegistry) -> Self {
+        MemStats {
+            loads: metrics.counter("mem.loads"),
+            stores: metrics.counter("mem.stores"),
+            l1d_hits: metrics.counter("mem.l1d_hits"),
+            l2_hits: metrics.counter("mem.l2_hits"),
+            misses: metrics.counter("mem.misses"),
+            upgrades: metrics.counter("mem.upgrades"),
+            invalidations: metrics.counter("mem.invalidations"),
+            writebacks: metrics.counter("mem.writebacks"),
+            dram_reads: metrics.counter("mem.dram_reads"),
+            miss_cold: metrics.counter("mem.miss_cold"),
+            miss_capacity: metrics.counter("mem.miss_capacity"),
+            miss_true_sharing: metrics.counter("mem.miss_true_sharing"),
+            miss_false_sharing: metrics.counter("mem.miss_false_sharing"),
+            forced_evictions: metrics.counter("mem.forced_evictions"),
+            limitless_traps: metrics.counter("mem.limitless_traps"),
+            remote_fills: metrics.counter("mem.remote_fills"),
+            latency_sum: metrics.counter("mem.latency_sum"),
+            ifetches: metrics.counter("mem.ifetches"),
+            ifetch_misses: metrics.counter("mem.ifetch_misses"),
+            max_latency: metrics.counter("mem.max_latency"),
+            exclusive_grants: metrics.counter("mem.exclusive_grants"),
+            silent_upgrades: metrics.counter("mem.silent_upgrades"),
+        }
+    }
+
     /// Total data accesses.
     pub fn accesses(&self) -> u64 {
         self.loads.get() + self.stores.get()
@@ -213,14 +243,33 @@ fn apply_rmw(data: &mut [u8], off: usize, old: &mut [u8], f: &mut dyn FnMut(&mut
 #[derive(Debug, Default)]
 pub struct PerTileMemCounters {
     /// Line-segment accesses issued by this tile.
-    pub accesses: Counter,
+    pub accesses: Metric,
     /// Directory transactions (misses + upgrades) by this tile.
-    pub transactions: Counter,
+    pub transactions: Metric,
     /// Transactions whose home tile lives in a different simulated host
     /// process (these cross process boundaries on a real cluster).
-    pub remote_home_transactions: Counter,
+    pub remote_home_transactions: Metric,
     /// Total modeled memory latency charged to this tile (cycles).
-    pub latency_sum: Counter,
+    pub latency_sum: Metric,
+}
+
+impl PerTileMemCounters {
+    /// Builds one counter set per tile, registered as `mem.tile.*` per-tile
+    /// lanes in `metrics`.
+    pub fn registered_lanes(metrics: &MetricsRegistry) -> Vec<Self> {
+        let accesses = metrics.per_tile("mem.tile.accesses");
+        let transactions = metrics.per_tile("mem.tile.transactions");
+        let remote = metrics.per_tile("mem.tile.remote_home_transactions");
+        let latency = metrics.per_tile("mem.tile.latency_sum");
+        (0..metrics.num_tiles())
+            .map(|i| PerTileMemCounters {
+                accesses: accesses[i].clone(),
+                transactions: transactions[i].clone(),
+                remote_home_transactions: remote[i].clone(),
+                latency_sum: latency[i].clone(),
+            })
+            .collect()
+    }
 }
 
 /// The memory subsystem: per-tile cache hierarchies, the distributed
@@ -260,6 +309,9 @@ pub struct MemorySystem {
     per_tile: Vec<PerTileMemCounters>,
     /// Simulated host process of each tile, for locality classification.
     proc_of_tile: Vec<u32>,
+    /// Distribution of per-access modeled latency.
+    latency_hist: Histogram,
+    tracer: Arc<Tracer>,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -273,8 +325,22 @@ impl std::fmt::Debug for MemorySystem {
 }
 
 impl MemorySystem {
-    /// Builds the memory system for a validated configuration.
+    /// Builds the memory system for a validated configuration, with detached
+    /// (unregistered, untraced) observability.
     pub fn new(cfg: &SimConfig, network: Arc<Network>, classify_misses: bool) -> Self {
+        Self::with_obs(cfg, network, classify_misses, &Obs::detached(cfg.target.num_tiles as usize))
+    }
+
+    /// Builds the memory system wired into an observability context: counters
+    /// register under `mem.*`, access latencies feed the `mem.latency_cycles`
+    /// histogram, and protocol activity is traced when `obs.tracer` is on.
+    pub fn with_obs(
+        cfg: &SimConfig,
+        network: Arc<Network>,
+        classify_misses: bool,
+        obs: &Obs,
+    ) -> Self {
+        debug_assert_eq!(obs.metrics.num_tiles(), cfg.target.num_tiles as usize);
         let line_size = cfg.target.coherence_line_size();
         let tiles = (0..cfg.target.num_tiles)
             .map(|_| {
@@ -303,9 +369,11 @@ impl MemorySystem {
             scheme: cfg.target.coherence,
             protocol: cfg.target.protocol,
             classifier: MissClassifier::new(classify_misses, line_size),
-            stats: MemStats::default(),
-            per_tile: (0..cfg.target.num_tiles).map(|_| PerTileMemCounters::default()).collect(),
+            stats: MemStats::registered(&obs.metrics),
+            per_tile: PerTileMemCounters::registered_lanes(&obs.metrics),
             proc_of_tile: (0..cfg.target.num_tiles).map(|t| cfg.process_of_tile(t)).collect(),
+            latency_hist: obs.metrics.histogram("mem.latency_cycles"),
+            tracer: Arc::clone(&obs.tracer),
         }
     }
 
@@ -411,6 +479,12 @@ impl MemorySystem {
             return l1i_lat;
         }
         self.stats.ifetch_misses.incr();
+        self.tracer.emit(tile, _now, || TraceEventKind::MemOpDone {
+            op: "ifetch",
+            addr: addr.0,
+            latency: l1i_lat.0,
+            hit: false,
+        });
         l1i.insert(line, LineState::Shared, None);
         let l2_lat = tm.l2.as_ref().map(|c| c.access_latency()).unwrap_or(Cycles(8));
         l1i_lat + l2_lat
@@ -420,18 +494,27 @@ impl MemorySystem {
         let line = addr.line(self.line_size);
         let off = (addr.0 % self.line_size as u64) as usize;
         let is_write = op.is_write();
+        let op_name = if is_write { "store" } else { "load" };
         if is_write {
             self.stats.stores.incr();
         } else {
             self.stats.loads.incr();
         }
         self.per_tile[tile.index()].accesses.incr();
+        self.tracer.emit(tile, now, || TraceEventKind::MemOpStart { op: op_name, addr: addr.0 });
         // Fast path: local hit with sufficient permission.
         if let Some(lat) = self.try_local_hit(tile, line, off, &mut op) {
             if is_write && self.classifier.enabled() {
                 self.classifier.on_write(tile, line, off as u64, op.len() as u64);
             }
             self.stats.latency_sum.add(lat.0);
+            self.latency_hist.record(lat.0);
+            self.tracer.emit(tile, now, || TraceEventKind::MemOpDone {
+                op: op_name,
+                addr: addr.0,
+                latency: lat.0,
+                hit: true,
+            });
             return lat;
         }
         let lat = self.miss_transaction(tile, now, line, off, &mut op);
@@ -439,10 +522,15 @@ impl MemorySystem {
             self.classifier.on_write(tile, line, off as u64, op.len() as u64);
         }
         self.stats.latency_sum.add(lat.0);
+        self.latency_hist.record(lat.0);
         self.per_tile[tile.index()].latency_sum.add(lat.0);
-        if lat.0 > self.stats.max_latency.get() {
-            self.stats.max_latency.add(lat.0 - self.stats.max_latency.get());
-        }
+        self.stats.max_latency.observe_max(lat.0);
+        self.tracer.emit(tile, now, || TraceEventKind::MemOpDone {
+            op: op_name,
+            addr: addr.0,
+            latency: lat.0,
+            hit: false,
+        });
         lat
     }
 
@@ -595,14 +683,18 @@ impl MemorySystem {
         let t0 = now + lookup_lat;
 
         let mut shard = self.shard_of(line).lock();
-        let entry = shard
-            .entry(line)
-            .or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
+        let entry =
+            shard.entry(line).or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
         debug_assert!(entry.invariants_hold());
 
         // Request travels tile -> home.
         let t_req = self.route(tile, home, CTRL_MSG_BYTES, t0);
         let mut t_home = t_req + DIR_LATENCY;
+        self.tracer.emit(tile, t0, || TraceEventKind::DirLeg {
+            leg: "request",
+            addr: line * self.line_size as u64,
+            home: home.0,
+        });
 
         // LimitLESS: overflowing the hardware pointers traps to software.
         if let CoherenceScheme::Limitless { sharers: hw, trap_cycles } = self.scheme {
@@ -613,6 +705,11 @@ impl MemorySystem {
             if overflowed {
                 self.stats.limitless_traps.incr();
                 t_home += Cycles(trap_cycles);
+                self.tracer.emit(tile, t_home, || TraceEventKind::DirLeg {
+                    leg: "limitless_trap",
+                    addr: line * self.line_size as u64,
+                    home: home.0,
+                });
             }
         }
 
@@ -667,7 +764,8 @@ impl MemorySystem {
                         vt.purge(line);
                         self.classifier.on_departure(victim, line, true);
                         let t_inv = self.route_derived(home, victim, CTRL_MSG_BYTES, t_home);
-                        let t_ack = self.route_derived(victim, home, CTRL_MSG_BYTES, t_inv + Cycles(1));
+                        let t_ack =
+                            self.route_derived(victim, home, CTRL_MSG_BYTES, t_inv + Cycles(1));
                         data_ready = data_ready.max(t_ack);
                     }
                 }
@@ -696,6 +794,11 @@ impl MemorySystem {
                 if was_sharer {
                     // Upgrade: data already resident, permission-only reply.
                     self.stats.upgrades.incr();
+                    self.tracer.emit(tile, t_home, || TraceEventKind::DirLeg {
+                        leg: "upgrade",
+                        addr: line * self.line_size as u64,
+                        home: home.0,
+                    });
                     counted_upgrade = true;
                     resp_bytes = CTRL_MSG_BYTES;
                     data_ready = t_inv_done;
@@ -712,6 +815,11 @@ impl MemorySystem {
                 // downgraded (read) or invalidated (write); home memory is
                 // updated on a dirty transfer.
                 self.stats.remote_fills.incr();
+                self.tracer.emit(tile, t_home, || TraceEventKind::DirLeg {
+                    leg: "remote_fill",
+                    addr: line * self.line_size as u64,
+                    home: home.0,
+                });
                 let (data, was_dirty) = {
                     let mut ot = self.lock_tile(owner);
                     if is_write {
@@ -852,15 +960,19 @@ impl MemorySystem {
         };
         drop(tm);
         self.classifier.on_departure(tile, vline, false);
-        let entry = shard
-            .entry(vline)
-            .or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
+        let entry =
+            shard.entry(vline).or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
         match state {
             LineState::Modified => {
                 debug_assert_eq!(entry.state, DirState::Owned(tile));
                 entry.data = data.expect("coherence cache stores data");
                 entry.state = DirState::Uncached;
                 self.stats.writebacks.incr();
+                self.tracer.emit(tile, now, || TraceEventKind::DirLeg {
+                    leg: "writeback",
+                    addr: vline * self.line_size as u64,
+                    home: home.0,
+                });
                 // Writeback traffic: data to home, then a DRAM write. Off the
                 // requester's critical path, but it loads the network links
                 // and the controller queue.
@@ -915,12 +1027,7 @@ impl MemorySystem {
             let cur = u32::from_le_bytes(window.try_into().expect("4-byte window"));
             window.copy_from_slice(&f(cur).to_le_bytes());
         };
-        let lat = self.access_line(
-            tile,
-            now,
-            addr,
-            LineOp::Rmw { old: &mut old, f: &mut apply },
-        );
+        let lat = self.access_line(tile, now, addr, LineOp::Rmw { old: &mut old, f: &mut apply });
         (u32::from_le_bytes(old), lat)
     }
 
@@ -948,8 +1055,7 @@ impl MemorySystem {
             let cur = u64::from_le_bytes(window.try_into().expect("8-byte window"));
             window.copy_from_slice(&f(cur).to_le_bytes());
         };
-        let lat =
-            self.access_line(tile, now, addr, LineOp::Rmw { old: &mut old, f: &mut apply });
+        let lat = self.access_line(tile, now, addr, LineOp::Rmw { old: &mut old, f: &mut apply });
         (u64::from_le_bytes(old), lat)
     }
 
@@ -991,9 +1097,8 @@ impl MemorySystem {
             let off = (a.0 % ls) as usize;
             let n = ((ls as usize) - off).min(bytes.len() - done);
             let mut shard = self.shard_of(line).lock();
-            let entry = shard
-                .entry(line)
-                .or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
+            let entry =
+                shard.entry(line).or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
             match entry.state {
                 DirState::Owned(owner) => {
                     let mut ot = self.lock_tile(owner);

@@ -39,8 +39,9 @@ pub mod topology;
 
 use std::sync::Arc;
 
-use graphite_base::{Counter, Cycles, GlobalProgress, TileId};
+use graphite_base::{Cycles, GlobalProgress, TileId};
 use graphite_config::{NetworkKind, SimConfig};
+use graphite_trace::{Metric, MetricsRegistry, Obs, TraceEventKind, Tracer};
 
 pub use models::{BasicModel, MeshContentionModel, MeshModel, NetworkModel, RingModel};
 pub use topology::MeshTopology;
@@ -88,18 +89,29 @@ pub enum TrafficClass {
 #[derive(Debug, Default)]
 pub struct ClassStats {
     /// Packets routed.
-    pub packets: Counter,
+    pub packets: Metric,
     /// Sum of hop counts.
-    pub hops: Counter,
+    pub hops: Metric,
     /// Sum of modeled latencies (cycles).
-    pub latency_sum: Counter,
+    pub latency_sum: Metric,
     /// Sum of contention delays (cycles).
-    pub contention_sum: Counter,
+    pub contention_sum: Metric,
     /// Sum of payload bytes.
-    pub bytes: Counter,
+    pub bytes: Metric,
 }
 
 impl ClassStats {
+    /// Builds stats registered in `metrics` under `net.<class>.*`.
+    pub fn registered(metrics: &MetricsRegistry, class: &str) -> Self {
+        ClassStats {
+            packets: metrics.counter(&format!("net.{class}.packets")),
+            hops: metrics.counter(&format!("net.{class}.hops")),
+            latency_sum: metrics.counter(&format!("net.{class}.latency_sum")),
+            contention_sum: metrics.counter(&format!("net.{class}.contention_sum")),
+            bytes: metrics.counter(&format!("net.{class}.bytes")),
+        }
+    }
+
     /// Mean end-to-end latency in cycles, or 0 with no traffic.
     pub fn mean_latency(&self) -> f64 {
         let n = self.packets.get();
@@ -134,6 +146,7 @@ pub struct Network {
     system_stats: ClassStats,
     user_stats: ClassStats,
     memory_stats: ClassStats,
+    tracer: Arc<Tracer>,
 }
 
 impl std::fmt::Debug for Network {
@@ -153,6 +166,13 @@ impl Network {
     /// configuration also uses separate models for application and memory
     /// traffic").
     pub fn new(cfg: &SimConfig, progress: Arc<GlobalProgress>) -> Self {
+        Self::with_obs(cfg, progress, &Obs::detached(cfg.target.num_tiles as usize))
+    }
+
+    /// Like [`Network::new`], but with per-class counters registered under
+    /// `net.*` in `obs.metrics` and packet events traced through
+    /// `obs.tracer`.
+    pub fn with_obs(cfg: &SimConfig, progress: Arc<GlobalProgress>, obs: &Obs) -> Self {
         let make = |kind: NetworkKind| -> Box<dyn NetworkModel> {
             match kind {
                 NetworkKind::Basic => Box::new(BasicModel::new()),
@@ -174,9 +194,10 @@ impl Network {
             user: make(cfg.target.network),
             memory: make(cfg.target.network),
             progress,
-            system_stats: ClassStats::default(),
-            user_stats: ClassStats::default(),
-            memory_stats: ClassStats::default(),
+            system_stats: ClassStats::registered(&obs.metrics, "system"),
+            user_stats: ClassStats::registered(&obs.metrics, "user"),
+            memory_stats: ClassStats::registered(&obs.metrics, "memory"),
+            tracer: Arc::clone(&obs.tracer),
         }
     }
 
@@ -211,6 +232,22 @@ impl Network {
         };
         let d = model.route(p);
         stats.record(p, &d);
+        let class_name = match class {
+            TrafficClass::System => "system",
+            TrafficClass::User => "user",
+            TrafficClass::Memory => "memory",
+        };
+        self.tracer.emit(p.src, p.send_time, || TraceEventKind::PacketSend {
+            class: class_name,
+            dst: p.dst.0,
+            bytes: p.size_bytes as u64,
+        });
+        self.tracer.emit(p.dst, d.arrival, || TraceEventKind::PacketRecv {
+            class: class_name,
+            src: p.src.0,
+            bytes: p.size_bytes as u64,
+            latency: d.latency.0,
+        });
         d
     }
 
@@ -254,8 +291,7 @@ mod tests {
     #[test]
     fn memory_traffic_feeds_progress() {
         let n = net(16, NetworkKind::Mesh);
-        let p =
-            Packet { src: TileId(0), dst: TileId(1), size_bytes: 64, send_time: Cycles(1000) };
+        let p = Packet { src: TileId(0), dst: TileId(1), size_bytes: 64, send_time: Cycles(1000) };
         n.route(TrafficClass::Memory, &p);
         assert_eq!(n.progress().estimate(), Cycles(1000));
     }

@@ -26,8 +26,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use graphite_base::{Clock, Counter, SimRng, TileId};
+use graphite_base::{Clock, SimRng, TileId};
 use graphite_config::SyncModel;
+use graphite_trace::{Metric, MetricsRegistry, Obs, TraceEventKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 
 pub use skew::{SkewSample, SkewSampler};
@@ -36,15 +37,28 @@ pub use skew::{SkewSample, SkewSampler};
 #[derive(Debug, Default)]
 pub struct SyncStats {
     /// Barrier episodes completed (BarrierSync).
-    pub barrier_releases: Counter,
+    pub barrier_releases: Metric,
     /// Times a thread waited at the barrier.
-    pub barrier_waits: Counter,
+    pub barrier_waits: Metric,
     /// P2P random-partner checks performed.
-    pub p2p_checks: Counter,
+    pub p2p_checks: Metric,
     /// P2P checks that resulted in a sleep.
-    pub p2p_sleeps: Counter,
+    pub p2p_sleeps: Metric,
     /// Total wall-clock microseconds slept by P2P.
-    pub p2p_sleep_us: Counter,
+    pub p2p_sleep_us: Metric,
+}
+
+impl SyncStats {
+    /// Builds stats registered in `metrics` under the `sync.*` namespace.
+    pub fn registered(metrics: &MetricsRegistry) -> Self {
+        SyncStats {
+            barrier_releases: metrics.counter("sync.barrier_releases"),
+            barrier_waits: metrics.counter("sync.barrier_waits"),
+            p2p_checks: metrics.counter("sync.p2p_checks"),
+            p2p_sleeps: metrics.counter("sync.p2p_sleeps"),
+            p2p_sleep_us: metrics.counter("sync.p2p_sleep_us"),
+        }
+    }
 }
 
 /// A synchronization model. Object-safe; the simulator holds a
@@ -75,11 +89,23 @@ pub fn build_synchronizer(
     clocks: Arc<Vec<Arc<Clock>>>,
     seed: u64,
 ) -> Arc<dyn Synchronizer> {
+    let obs = Obs::detached(clocks.len());
+    build_synchronizer_obs(model, clocks, seed, &obs)
+}
+
+/// Like [`build_synchronizer`], but with counters registered under `sync.*`
+/// in `obs.metrics` and barrier/P2P activity traced through `obs.tracer`.
+pub fn build_synchronizer_obs(
+    model: SyncModel,
+    clocks: Arc<Vec<Arc<Clock>>>,
+    seed: u64,
+    obs: &Obs,
+) -> Arc<dyn Synchronizer> {
     match model {
-        SyncModel::Lax => Arc::new(LaxSync::new()),
-        SyncModel::LaxBarrier { quantum } => Arc::new(BarrierSync::new(quantum, clocks)),
+        SyncModel::Lax => Arc::new(LaxSync::with_obs(obs)),
+        SyncModel::LaxBarrier { quantum } => Arc::new(BarrierSync::with_obs(quantum, clocks, obs)),
         SyncModel::LaxP2P { slack, check_interval } => {
-            Arc::new(P2PSync::new(slack, check_interval, clocks, seed))
+            Arc::new(P2PSync::with_obs(slack, check_interval, clocks, seed, obs))
         }
     }
 }
@@ -95,6 +121,12 @@ impl LaxSync {
     /// Creates the model.
     pub fn new() -> Self {
         LaxSync { stats: SyncStats::default() }
+    }
+
+    /// Creates the model with its (always-zero) stats registered in
+    /// `obs.metrics`, so reports and exports agree on the model's inactivity.
+    pub fn with_obs(obs: &Obs) -> Self {
+        LaxSync { stats: SyncStats::registered(&obs.metrics) }
     }
 }
 
@@ -134,6 +166,7 @@ pub struct BarrierSync {
     state: Mutex<BarrierState>,
     cv: Condvar,
     stats: SyncStats,
+    tracer: Arc<Tracer>,
 }
 
 impl std::fmt::Debug for BarrierSync {
@@ -154,6 +187,16 @@ impl BarrierSync {
     ///
     /// Panics if `quantum` is zero.
     pub fn new(quantum: u64, clocks: Arc<Vec<Arc<Clock>>>) -> Self {
+        let obs = Obs::detached(clocks.len());
+        Self::with_obs(quantum, clocks, &obs)
+    }
+
+    /// Like [`BarrierSync::new`], with observability wiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_obs(quantum: u64, clocks: Arc<Vec<Arc<Clock>>>, obs: &Obs) -> Self {
         assert!(quantum > 0, "barrier quantum must be positive");
         BarrierSync {
             quantum,
@@ -165,15 +208,20 @@ impl BarrierSync {
                 generation: 0,
             }),
             cv: Condvar::new(),
-            stats: SyncStats::default(),
+            stats: SyncStats::registered(&obs.metrics),
+            tracer: Arc::clone(&obs.tracer),
         }
     }
 
-    fn release_locked(&self, s: &mut BarrierState) {
+    fn release_locked(&self, tile: TileId, s: &mut BarrierState) {
+        let waiters = s.arrived as u64;
         s.generation += 1;
         s.arrived = 0;
         s.target += self.quantum;
         self.stats.barrier_releases.incr();
+        self.tracer.emit(tile, self.clocks[tile.index()].now(), || {
+            TraceEventKind::BarrierRelease { waiters }
+        });
         self.cv.notify_all();
     }
 }
@@ -193,15 +241,19 @@ impl Synchronizer for BarrierSync {
                 // Alone (or under the boundary): advance the target lazily so
                 // a solo thread never self-blocks.
                 while s.active <= 1 && clock.now().0 >= s.target {
-                    self.release_locked(&mut s);
+                    self.release_locked(tile, &mut s);
                 }
                 return;
             }
             s.arrived += 1;
             if s.arrived >= s.active {
-                self.release_locked(&mut s);
+                self.release_locked(tile, &mut s);
             } else {
                 self.stats.barrier_waits.incr();
+                let quantum_target = s.target;
+                self.tracer.emit(tile, clock.now(), || TraceEventKind::BarrierWait {
+                    quantum: quantum_target,
+                });
                 let gen = s.generation;
                 while s.generation == gen {
                     self.cv.wait(&mut s);
@@ -215,12 +267,12 @@ impl Synchronizer for BarrierSync {
         s.active += 1;
     }
 
-    fn deactivate(&self, _tile: TileId) {
+    fn deactivate(&self, tile: TileId) {
         let mut s = self.state.lock();
         debug_assert!(s.active > 0, "deactivate without activate");
         s.active = s.active.saturating_sub(1);
         if s.active > 0 && s.arrived >= s.active {
-            self.release_locked(&mut s);
+            self.release_locked(tile, &mut s);
         }
     }
 
@@ -244,6 +296,7 @@ pub struct P2PSync {
     stats: SyncStats,
     /// Cap on a single sleep to bound the damage of a bad rate estimate.
     max_sleep: Duration,
+    tracer: Arc<Tracer>,
 }
 
 impl std::fmt::Debug for P2PSync {
@@ -263,6 +316,22 @@ impl P2PSync {
     ///
     /// Panics if `check_interval` is zero.
     pub fn new(slack: u64, check_interval: u64, clocks: Arc<Vec<Arc<Clock>>>, seed: u64) -> Self {
+        let obs = Obs::detached(clocks.len());
+        Self::with_obs(slack, check_interval, clocks, seed, &obs)
+    }
+
+    /// Like [`P2PSync::new`], with observability wiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_interval` is zero.
+    pub fn with_obs(
+        slack: u64,
+        check_interval: u64,
+        clocks: Arc<Vec<Arc<Clock>>>,
+        seed: u64,
+        obs: &Obs,
+    ) -> Self {
         assert!(check_interval > 0, "check interval must be positive");
         let n = clocks.len();
         P2PSync {
@@ -273,8 +342,9 @@ impl P2PSync {
             last_check: (0..n).map(|_| AtomicU64::new(0)).collect(),
             rng: Mutex::new(SimRng::new(seed)),
             start: Instant::now(),
-            stats: SyncStats::default(),
+            stats: SyncStats::registered(&obs.metrics),
             max_sleep: Duration::from_millis(20),
+            tracer: Arc::clone(&obs.tracer),
         }
     }
 
@@ -319,6 +389,9 @@ impl Synchronizer for P2PSync {
         }
         self.stats.p2p_checks.incr();
         let theirs = self.clocks[partner].now().0;
+        self.tracer.emit(tile, graphite_base::Cycles(now), || TraceEventKind::P2PCheck {
+            skew: now as i64 - theirs as i64,
+        });
         let c = now.saturating_sub(theirs);
         if c <= self.slack {
             return;
@@ -328,6 +401,9 @@ impl Synchronizer for P2PSync {
         let s = Duration::from_secs_f64(c as f64 / r).min(self.max_sleep);
         self.stats.p2p_sleeps.incr();
         self.stats.p2p_sleep_us.add(s.as_micros() as u64);
+        self.tracer.emit(tile, graphite_base::Cycles(now), || TraceEventKind::P2PSleep {
+            micros: s.as_micros() as u64,
+        });
         std::thread::sleep(s);
     }
 
@@ -346,8 +422,8 @@ impl Synchronizer for P2PSync {
 
 #[cfg(test)]
 mod tests {
-    use graphite_base::Cycles;
     use super::*;
+    use graphite_base::Cycles;
 
     fn clocks(n: usize) -> Arc<Vec<Arc<Clock>>> {
         Arc::new((0..n).map(|_| Arc::new(Clock::new())).collect())

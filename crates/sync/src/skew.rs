@@ -11,7 +11,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use graphite_base::Clock;
+use graphite_base::{Clock, Cycles, TileId};
+use graphite_trace::{Obs, TraceEventKind, Tracer};
 use parking_lot::Mutex;
 
 /// One skew observation.
@@ -65,6 +66,7 @@ pub struct SkewSampler {
     last_values: Mutex<Vec<f64>>,
     started: std::time::Instant,
     stop: Arc<AtomicBool>,
+    tracer: Arc<Tracer>,
 }
 
 impl std::fmt::Debug for SkewSampler {
@@ -79,12 +81,20 @@ impl std::fmt::Debug for SkewSampler {
 impl SkewSampler {
     /// Creates a sampler over the given clocks.
     pub fn new(clocks: Arc<Vec<Arc<Clock>>>) -> Self {
+        let obs = Obs::detached(clocks.len());
+        Self::with_obs(clocks, &obs)
+    }
+
+    /// Like [`SkewSampler::new`], but each sample also emits one
+    /// [`TraceEventKind::ClockSkew`] event per tile through `obs.tracer`.
+    pub fn with_obs(clocks: Arc<Vec<Arc<Clock>>>, obs: &Obs) -> Self {
         SkewSampler {
             clocks,
             samples: Mutex::new(Vec::new()),
             last_values: Mutex::new(Vec::new()),
             started: std::time::Instant::now(),
             stop: Arc::new(AtomicBool::new(false)),
+            tracer: Arc::clone(&obs.tracer),
         }
     }
 
@@ -99,11 +109,18 @@ impl SkewSampler {
         let max_below = values.iter().map(|v| mean - v).fold(0.0f64, f64::max);
         let all_moving = {
             let mut last = self.last_values.lock();
-            let moving = last.len() == values.len()
-                && last.iter().zip(&values).all(|(a, b)| b > a);
+            let moving = last.len() == values.len() && last.iter().zip(&values).all(|(a, b)| b > a);
             *last = values.clone();
             moving
         };
+        if self.tracer.is_enabled() {
+            for (i, v) in values.iter().enumerate() {
+                let skew = (*v - mean) as i64;
+                self.tracer.emit(TileId(i as u32), Cycles(*v as u64), || {
+                    TraceEventKind::ClockSkew { skew }
+                });
+            }
+        }
         self.samples.lock().push(SkewSample {
             wall_ms: self.started.elapsed().as_millis() as u64,
             mean,

@@ -1,0 +1,490 @@
+//! Per-tile metrics registry.
+//!
+//! Subsystems register named counters and histograms once at construction and
+//! then update them on hot paths with plain relaxed atomic operations — no
+//! locks, no allocation, no name lookup. The registry keeps a shared handle to
+//! every registered metric, so a [`MetricsSnapshot`] taken at any time reads
+//! the very same atomics the subsystems increment. Reports built from the
+//! registry therefore cannot drift from the exported `metrics.json`.
+//!
+//! Handles are cheap `Arc` clones. A [`Metric`] created via `Default` (or
+//! [`Metric::new`]) is *detached*: fully functional but invisible to any
+//! registry. That keeps stats structs usable in isolation (unit tests,
+//! standalone subsystem construction) while production wiring goes through
+//! [`MetricsRegistry::counter`] and friends.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::json;
+
+/// A shared, lock-free `u64` counter.
+///
+/// Unlike `graphite_base::stats::Counter`, cloning a `Metric` shares the
+/// underlying cell instead of snapshotting it — a clone held by the registry
+/// observes every increment made through any other clone.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_trace::Metric;
+/// let m = Metric::new();
+/// let alias = m.clone();
+/// m.add(3);
+/// alias.incr();
+/// assert_eq!(m.get(), 4);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Metric(Arc<AtomicU64>);
+
+impl Metric {
+    /// Creates a detached counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raises the value to `n` if `n` is larger (used for high-water marks).
+    #[inline]
+    pub fn observe_max(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value and resets to zero.
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+const HIST_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistInner {
+    /// `buckets[0]` counts zero samples; `buckets[i]` (i ≥ 1) counts samples
+    /// whose bit length is `i`, i.e. values in `[2^(i-1), 2^i - 1]`.
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A shared, lock-free log₂-bucketed histogram of `u64` samples.
+///
+/// Latency distributions in a simulator span orders of magnitude (an L1 hit
+/// is ~1 cycle, a cross-machine DRAM fill is thousands), so fixed-width bins
+/// waste space while power-of-two bins stay informative at every scale.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_trace::Histogram;
+/// let h = Histogram::new();
+/// h.record(0);
+/// h.record(5);
+/// h.record(6);
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 3);
+/// assert_eq!(snap.sum, 11);
+/// // 5 and 6 share the [4, 7] bucket.
+/// assert_eq!(snap.buckets, vec![(0, 1), (7, 2)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Creates a detached histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps on overflow, like the counters it joins).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Captures the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper(i), n))
+            })
+            .collect();
+        HistogramSnapshot { count: self.count(), sum: self.sum(), buckets }
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Point-in-time copy of one [`Histogram`]'s distribution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// `(inclusive_upper_bound, count)` for each non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Entry {
+    Counter(Metric),
+    PerTile(Vec<Metric>),
+    Histogram(Histogram),
+}
+
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter(_) => "counter",
+            Entry::PerTile(_) => "per-tile counter",
+            Entry::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Registry of every named metric a simulation exposes.
+///
+/// Registration is idempotent: asking twice for the same name (with the same
+/// kind) returns handles to the same cells, so independent subsystems may
+/// share a metric. Asking for an existing name with a *different* kind is a
+/// wiring bug and panics.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_trace::MetricsRegistry;
+/// let reg = MetricsRegistry::new(2);
+/// let sends = reg.counter("net.sends");
+/// sends.add(5);
+/// let per_tile = reg.per_tile("mem.accesses");
+/// per_tile[1].incr();
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counters["net.sends"], 5);
+/// assert_eq!(snap.per_tile["mem.accesses"], vec![0, 1]);
+/// ```
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    num_tiles: usize,
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry for a target with `num_tiles` tiles.
+    pub fn new(num_tiles: usize) -> Self {
+        MetricsRegistry { num_tiles, entries: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Number of tiles every per-tile metric is sized for.
+    pub fn num_tiles(&self) -> usize {
+        self.num_tiles
+    }
+
+    /// Returns the global counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Metric {
+        let mut entries = self.entries.lock();
+        match entries.entry(name.to_string()).or_insert_with(|| Entry::Counter(Metric::new())) {
+            Entry::Counter(m) => m.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the per-tile counter lane named `name` (one [`Metric`] per
+    /// tile), registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn per_tile(&self, name: &str) -> Vec<Metric> {
+        let mut entries = self.entries.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::PerTile((0..self.num_tiles).map(|_| Metric::new()).collect()))
+        {
+            Entry::PerTile(v) => v.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut entries = self.entries.lock();
+        match entries.entry(name.to_string()).or_insert_with(|| Entry::Histogram(Histogram::new()))
+        {
+            Entry::Histogram(h) => h.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Captures the current value of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock();
+        let mut snap = MetricsSnapshot {
+            num_tiles: self.num_tiles,
+            counters: BTreeMap::new(),
+            per_tile: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        for (name, entry) in entries.iter() {
+            match entry {
+                Entry::Counter(m) => {
+                    snap.counters.insert(name.clone(), m.get());
+                }
+                Entry::PerTile(v) => {
+                    snap.per_tile.insert(name.clone(), v.iter().map(Metric::get).collect());
+                }
+                Entry::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Point-in-time copy of a whole [`MetricsRegistry`], serializable to the
+/// `metrics.json` schema (`graphite.metrics.v1`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Tile count the per-tile lanes are sized for.
+    pub num_tiles: usize,
+    /// Global counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-tile counter lanes by name (`vec[tile]`).
+    pub per_tile: BTreeMap<String, Vec<u64>>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as one machine-readable JSON document.
+    ///
+    /// Keys are emitted in sorted (BTreeMap) order, so the output is
+    /// deterministic for a given simulation state.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"graphite.metrics.v1\",\n");
+        out.push_str(&format!("  \"num_tiles\": {},\n", self.num_tiles));
+
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json::quote(name)));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"per_tile\": {");
+        for (i, (name, lanes)) in self.per_tile.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let total: u64 = lanes.iter().sum();
+            let tiles: Vec<String> = lanes.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "\n    {}: {{\"total\": {total}, \"tiles\": [{}]}}",
+                json::quote(name),
+                tiles.join(", ")
+            ));
+        }
+        out.push_str(if self.per_tile.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(le, n)| format!("{{\"le\": {le}, \"count\": {n}}}"))
+                .collect();
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"mean\": {:.3}, \"buckets\": [{}]}}",
+                json::quote(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                buckets.join(", ")
+            ));
+        }
+        out.push_str(if self.histograms.is_empty() { "}\n" } else { "\n  }\n" });
+
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_clone_shares_cell() {
+        let m = Metric::new();
+        let alias = m.clone();
+        m.add(10);
+        alias.incr();
+        assert_eq!(m.get(), 11);
+        assert_eq!(alias.take(), 11);
+        assert_eq!(m.get(), 0);
+    }
+
+    #[test]
+    fn metric_observe_max_is_monotonic() {
+        let m = Metric::new();
+        m.observe_max(7);
+        m.observe_max(3);
+        assert_eq!(m.get(), 7);
+        m.observe_max(9);
+        assert_eq!(m.get(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (3, 2), (2047, 1), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn registry_is_idempotent() {
+        let reg = MetricsRegistry::new(4);
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        assert_eq!(b.get(), 2);
+        let lane1 = reg.per_tile("y");
+        let lane2 = reg.per_tile("y");
+        lane1[3].incr();
+        assert_eq!(lane2[3].get(), 1);
+        assert_eq!(lane1.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let reg = MetricsRegistry::new(1);
+        reg.counter("clash");
+        reg.histogram("clash");
+    }
+
+    #[test]
+    fn snapshot_reads_live_values() {
+        let reg = MetricsRegistry::new(2);
+        let c = reg.counter("total");
+        let lane = reg.per_tile("per");
+        let h = reg.histogram("lat");
+        c.add(5);
+        lane[0].add(1);
+        lane[1].add(2);
+        h.record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["total"], 5);
+        assert_eq!(snap.per_tile["per"], vec![1, 2]);
+        assert_eq!(snap.histograms["lat"].count, 1);
+        // Later increments show up in a fresh snapshot.
+        c.incr();
+        assert_eq!(reg.snapshot().counters["total"], 6);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let reg = MetricsRegistry::new(2);
+        reg.counter("a.b").add(1);
+        reg.per_tile("c\"tricky")[1].add(3);
+        reg.histogram("lat").record(9);
+        let doc = reg.snapshot().to_json();
+        json::validate(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert!(doc.contains("\"graphite.metrics.v1\""));
+        assert!(doc.contains("\"total\": 3"));
+    }
+
+    #[test]
+    fn empty_snapshot_json_is_well_formed() {
+        let doc = MetricsRegistry::new(0).snapshot().to_json();
+        json::validate(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+    }
+}

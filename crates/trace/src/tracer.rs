@@ -1,0 +1,417 @@
+//! Structured event tracing with per-tile ring buffers.
+//!
+//! Every traced subsystem calls [`Tracer::emit`] with a closure that builds
+//! the event payload. When tracing is disabled (the default) the call is a
+//! single relaxed atomic load and the closure is never run, so instrumented
+//! hot paths pay one predictable branch. When enabled, events carry a global
+//! sequence number (for a total order across tiles), the emitting tile, and
+//! that tile's local cycle count, and land in a fixed-capacity per-tile ring
+//! that drops its *oldest* entry when full — the tail of a run is what post
+//! mortem debugging wants.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use graphite_base::{Cycles, TileId};
+use parking_lot::Mutex;
+
+use crate::json;
+
+/// The payload of one traced event.
+///
+/// Numeric fields use plain integers (tile indices as `u32`, addresses and
+/// sizes as `u64`) rather than the newtype ids so the enum stays `Copy` and
+/// cheap to build inside `emit` closures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A core began a memory operation (`op` is "load", "store" or "ifetch").
+    MemOpStart { op: &'static str, addr: u64 },
+    /// A memory operation completed with its modeled latency.
+    MemOpDone { op: &'static str, addr: u64, latency: u64, hit: bool },
+    /// One leg of a directory coherence transaction (`leg` names the step,
+    /// e.g. "dram_read", "invalidate", "writeback", "limitless_trap").
+    DirLeg { leg: &'static str, addr: u64, home: u32 },
+    /// A packet entered the interconnect model.
+    PacketSend { class: &'static str, dst: u32, bytes: u64 },
+    /// A packet was delivered, with its modeled end-to-end latency.
+    PacketRecv { class: &'static str, src: u32, bytes: u64, latency: u64 },
+    /// A thread blocked on a futex word.
+    FutexWait { addr: u64 },
+    /// A futex wake released `woken` waiters.
+    FutexWake { addr: u64, woken: u64 },
+    /// A tile reached the lax barrier and waits for the quantum to close.
+    BarrierWait { quantum: u64 },
+    /// The lax barrier released all tiles at the end of a quantum.
+    BarrierRelease { waiters: u64 },
+    /// A point-to-point sync check observed `skew` cycles of lead (positive
+    /// means this tile is ahead of its randomly chosen partner).
+    P2PCheck { skew: i64 },
+    /// A point-to-point sync check decided to sleep.
+    P2PSleep { micros: u64 },
+    /// A clock-skew sample against global progress (positive = ahead).
+    ClockSkew { skew: i64 },
+    /// The MCP spawned a guest thread onto a tile.
+    ThreadSpawn { thread: u32 },
+    /// A guest thread exited.
+    ThreadExit { thread: u32 },
+    /// A modeled system call was issued.
+    Syscall { name: &'static str },
+    /// The guest sent a user-level message.
+    UserMsgSend { dst: u32, bytes: u64 },
+    /// The guest received a user-level message.
+    UserMsgRecv { src: u32, bytes: u64 },
+}
+
+impl TraceEventKind {
+    /// Stable event name used as the JSONL `"event"` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::MemOpStart { .. } => "mem_op_start",
+            TraceEventKind::MemOpDone { .. } => "mem_op_done",
+            TraceEventKind::DirLeg { .. } => "dir_leg",
+            TraceEventKind::PacketSend { .. } => "packet_send",
+            TraceEventKind::PacketRecv { .. } => "packet_recv",
+            TraceEventKind::FutexWait { .. } => "futex_wait",
+            TraceEventKind::FutexWake { .. } => "futex_wake",
+            TraceEventKind::BarrierWait { .. } => "barrier_wait",
+            TraceEventKind::BarrierRelease { .. } => "barrier_release",
+            TraceEventKind::P2PCheck { .. } => "p2p_check",
+            TraceEventKind::P2PSleep { .. } => "p2p_sleep",
+            TraceEventKind::ClockSkew { .. } => "clock_skew",
+            TraceEventKind::ThreadSpawn { .. } => "thread_spawn",
+            TraceEventKind::ThreadExit { .. } => "thread_exit",
+            TraceEventKind::Syscall { .. } => "syscall",
+            TraceEventKind::UserMsgSend { .. } => "user_msg_send",
+            TraceEventKind::UserMsgRecv { .. } => "user_msg_recv",
+        }
+    }
+
+    fn write_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match *self {
+            TraceEventKind::MemOpStart { op, addr } => {
+                let _ = write!(out, ",\"op\":{},\"addr\":{addr}", json::quote(op));
+            }
+            TraceEventKind::MemOpDone { op, addr, latency, hit } => {
+                let _ = write!(
+                    out,
+                    ",\"op\":{},\"addr\":{addr},\"latency\":{latency},\"hit\":{hit}",
+                    json::quote(op)
+                );
+            }
+            TraceEventKind::DirLeg { leg, addr, home } => {
+                let _ =
+                    write!(out, ",\"leg\":{},\"addr\":{addr},\"home\":{home}", json::quote(leg));
+            }
+            TraceEventKind::PacketSend { class, dst, bytes } => {
+                let _ = write!(
+                    out,
+                    ",\"class\":{},\"dst\":{dst},\"bytes\":{bytes}",
+                    json::quote(class)
+                );
+            }
+            TraceEventKind::PacketRecv { class, src, bytes, latency } => {
+                let _ = write!(
+                    out,
+                    ",\"class\":{},\"src\":{src},\"bytes\":{bytes},\"latency\":{latency}",
+                    json::quote(class)
+                );
+            }
+            TraceEventKind::FutexWait { addr } => {
+                let _ = write!(out, ",\"addr\":{addr}");
+            }
+            TraceEventKind::FutexWake { addr, woken } => {
+                let _ = write!(out, ",\"addr\":{addr},\"woken\":{woken}");
+            }
+            TraceEventKind::BarrierWait { quantum } => {
+                let _ = write!(out, ",\"quantum\":{quantum}");
+            }
+            TraceEventKind::BarrierRelease { waiters } => {
+                let _ = write!(out, ",\"waiters\":{waiters}");
+            }
+            TraceEventKind::P2PCheck { skew } | TraceEventKind::ClockSkew { skew } => {
+                let _ = write!(out, ",\"skew\":{skew}");
+            }
+            TraceEventKind::P2PSleep { micros } => {
+                let _ = write!(out, ",\"micros\":{micros}");
+            }
+            TraceEventKind::ThreadSpawn { thread } | TraceEventKind::ThreadExit { thread } => {
+                let _ = write!(out, ",\"thread\":{thread}");
+            }
+            TraceEventKind::Syscall { name } => {
+                let _ = write!(out, ",\"name\":{}", json::quote(name));
+            }
+            TraceEventKind::UserMsgSend { dst, bytes } => {
+                let _ = write!(out, ",\"dst\":{dst},\"bytes\":{bytes}");
+            }
+            TraceEventKind::UserMsgRecv { src, bytes } => {
+                let _ = write!(out, ",\"src\":{src},\"bytes\":{bytes}");
+            }
+        }
+    }
+}
+
+/// One recorded event: global order, origin tile, local time, payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number: a total order across every tile's ring.
+    pub seq: u64,
+    /// Tile that emitted the event.
+    pub tile: TileId,
+    /// The emitting tile's local clock at emission time.
+    pub cycles: Cycles,
+    /// Event payload.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Serializes this event as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"tile\":{},\"cycles\":{},\"event\":\"{}\"",
+            self.seq,
+            self.tile.0,
+            self.cycles.0,
+            self.kind.name()
+        );
+        self.kind.write_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// Serializes events as JSON Lines (one object per line, trailing newline).
+pub fn export_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+}
+
+/// The event tracer: a runtime on/off switch in front of fixed-capacity
+/// per-tile ring buffers.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_base::{Cycles, TileId};
+/// use graphite_trace::{Tracer, TraceEventKind};
+///
+/// let tracer = Tracer::new(2, true, 64);
+/// tracer.emit(TileId(1), Cycles(42), || TraceEventKind::FutexWait { addr: 0x1000 });
+/// let events = tracer.drain();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].tile, TileId(1));
+///
+/// let off = Tracer::new(2, false, 64);
+/// off.emit(TileId(0), Cycles(1), || unreachable!("closure never runs while disabled"));
+/// assert!(off.drain().is_empty());
+/// ```
+pub struct Tracer {
+    enabled: AtomicBool,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    rings: Vec<Mutex<Ring>>,
+}
+
+impl Tracer {
+    /// Creates a tracer with one ring of `capacity` events per tile.
+    ///
+    /// A zero tile count still gets one ring so events from control-plane
+    /// threads always have somewhere to land.
+    pub fn new(num_tiles: usize, enabled: bool, capacity: usize) -> Self {
+        let rings =
+            (0..num_tiles.max(1)).map(|_| Mutex::new(Ring { events: VecDeque::new() })).collect();
+        Tracer {
+            enabled: AtomicBool::new(enabled),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            rings,
+        }
+    }
+
+    /// Whether events are currently being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Ring capacity per tile.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events discarded because a ring was full (drop-oldest policy).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records an event if tracing is enabled.
+    ///
+    /// The closure builds the payload and only runs when tracing is on, so a
+    /// disabled tracer costs one relaxed load and a predictable branch.
+    #[inline]
+    pub fn emit(&self, tile: TileId, now: Cycles, build: impl FnOnce() -> TraceEventKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(tile, now, build());
+    }
+
+    #[cold]
+    fn record(&self, tile: TileId, now: Cycles, kind: TraceEventKind) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = TraceEvent { seq, tile, cycles: now, kind };
+        // Events attributed to out-of-range tiles (e.g. control-plane work
+        // before tile bring-up) fold into ring 0 rather than panicking.
+        let idx = (tile.index()).min(self.rings.len() - 1);
+        let mut ring = self.rings[idx].lock();
+        if ring.events.len() >= self.capacity {
+            ring.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Removes and returns every buffered event, ordered by global sequence.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for ring in &self.rings {
+            all.extend(ring.lock().events.drain(..));
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Drains every buffered event and serializes them as JSON Lines.
+    pub fn drain_jsonl(&self) -> String {
+        export_jsonl(&self.drain())
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.capacity)
+            .field("tiles", &self.rings.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(addr: u64) -> TraceEventKind {
+        TraceEventKind::FutexWait { addr }
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let t = Tracer::new(2, false, 8);
+        t.emit(TileId(0), Cycles(1), || panic!("must not run"));
+        assert!(t.drain().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn runtime_toggle() {
+        let t = Tracer::new(1, false, 8);
+        t.emit(TileId(0), Cycles(1), || ev(1));
+        t.set_enabled(true);
+        t.emit(TileId(0), Cycles(2), || ev(2));
+        t.set_enabled(false);
+        t.emit(TileId(0), Cycles(3), || ev(3));
+        let events = t.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ev(2));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::new(1, true, 3);
+        for i in 0..5 {
+            t.emit(TileId(0), Cycles(i), || ev(i));
+        }
+        assert_eq!(t.dropped(), 2);
+        let events = t.drain();
+        assert_eq!(events.len(), 3);
+        // The oldest two (addr 0, 1) were evicted.
+        assert_eq!(events[0].kind, ev(2));
+        assert_eq!(events[2].kind, ev(4));
+    }
+
+    #[test]
+    fn drain_merges_tiles_in_seq_order() {
+        let t = Tracer::new(3, true, 16);
+        t.emit(TileId(2), Cycles(10), || ev(0));
+        t.emit(TileId(0), Cycles(20), || ev(1));
+        t.emit(TileId(2), Cycles(30), || ev(2));
+        let events = t.drain();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(events[1].tile, TileId(0));
+        // Drain empties the rings.
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_tile_folds_into_last_ring() {
+        let t = Tracer::new(2, true, 4);
+        t.emit(TileId(99), Cycles(1), || ev(7));
+        assert_eq!(t.drain().len(), 1);
+    }
+
+    #[test]
+    fn every_event_kind_serializes_to_valid_json() {
+        let kinds = [
+            TraceEventKind::MemOpStart { op: "load", addr: 0x40 },
+            TraceEventKind::MemOpDone { op: "store", addr: 0x40, latency: 57, hit: false },
+            TraceEventKind::DirLeg { leg: "dram_read", addr: 0x80, home: 3 },
+            TraceEventKind::PacketSend { class: "memory", dst: 2, bytes: 72 },
+            TraceEventKind::PacketRecv { class: "user", src: 1, bytes: 16, latency: 9 },
+            TraceEventKind::FutexWait { addr: 0x1000 },
+            TraceEventKind::FutexWake { addr: 0x1000, woken: 2 },
+            TraceEventKind::BarrierWait { quantum: 1000 },
+            TraceEventKind::BarrierRelease { waiters: 4 },
+            TraceEventKind::P2PCheck { skew: -37 },
+            TraceEventKind::P2PSleep { micros: 120 },
+            TraceEventKind::ClockSkew { skew: 88 },
+            TraceEventKind::ThreadSpawn { thread: 5 },
+            TraceEventKind::ThreadExit { thread: 5 },
+            TraceEventKind::Syscall { name: "open" },
+            TraceEventKind::UserMsgSend { dst: 1, bytes: 8 },
+            TraceEventKind::UserMsgRecv { src: 0, bytes: 8 },
+        ];
+        let t = Tracer::new(1, true, 64);
+        for (i, k) in kinds.iter().enumerate() {
+            t.emit(TileId(0), Cycles(i as u64), || *k);
+        }
+        let jsonl = t.drain_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), kinds.len());
+        for line in &lines {
+            crate::json::validate(line).unwrap_or_else(|e| panic!("{e}\n{line}"));
+            assert!(line.contains("\"seq\":"));
+            assert!(line.contains("\"event\":"));
+        }
+    }
+}

@@ -47,8 +47,9 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
-use graphite_base::{Counter, ProcId, SimError, TileId};
+use graphite_base::{ProcId, SimError, TileId};
 use graphite_config::SimConfig;
+use graphite_trace::{Metric, MetricsRegistry, Obs};
 use parking_lot::RwLock;
 
 /// An addressable entity on the transport fabric.
@@ -104,16 +105,27 @@ pub struct Msg {
 pub struct TransportStats {
     /// Messages whose source and destination live in the same simulated
     /// process.
-    pub intra_process: Counter,
+    pub intra_process: Metric,
     /// Messages crossing processes on the same machine.
-    pub inter_process: Counter,
+    pub inter_process: Metric,
     /// Messages crossing machine boundaries.
-    pub inter_machine: Counter,
+    pub inter_machine: Metric,
     /// Total payload bytes moved.
-    pub bytes: Counter,
+    pub bytes: Metric,
 }
 
 impl TransportStats {
+    /// Builds stats registered in `metrics` under the `transport.*`
+    /// namespace.
+    pub fn registered(metrics: &MetricsRegistry) -> Self {
+        TransportStats {
+            intra_process: metrics.counter("transport.intra_process"),
+            inter_process: metrics.counter("transport.inter_process"),
+            inter_machine: metrics.counter("transport.inter_machine"),
+            bytes: metrics.counter("transport.bytes"),
+        }
+    }
+
     /// Total messages regardless of locality.
     pub fn total_messages(&self) -> u64 {
         self.intra_process.get() + self.inter_process.get() + self.inter_machine.get()
@@ -249,6 +261,16 @@ impl LocalTransport {
             cfg: cfg.clone(),
             senders: RwLock::new(std::collections::HashMap::new()),
             stats: TransportStats::default(),
+        }
+    }
+
+    /// Like [`LocalTransport::new`], with counters registered under
+    /// `transport.*` in `obs.metrics`.
+    pub fn with_obs(cfg: &SimConfig, obs: &Obs) -> Self {
+        LocalTransport {
+            cfg: cfg.clone(),
+            senders: RwLock::new(std::collections::HashMap::new()),
+            stats: TransportStats::registered(&obs.metrics),
         }
     }
 }

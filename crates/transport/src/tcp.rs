@@ -126,6 +126,20 @@ impl TcpTransport {
     ///
     /// Returns [`SimError::TransportClosed`] if a listener cannot be bound.
     pub fn new(cfg: &SimConfig) -> Result<Self, SimError> {
+        Self::build(cfg, TransportStats::default())
+    }
+
+    /// Like [`TcpTransport::new`], with counters registered under
+    /// `transport.*` in `obs.metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] if a listener cannot be bound.
+    pub fn with_obs(cfg: &SimConfig, obs: &graphite_trace::Obs) -> Result<Self, SimError> {
+        Self::build(cfg, TransportStats::registered(&obs.metrics))
+    }
+
+    fn build(cfg: &SimConfig, stats: TransportStats) -> Result<Self, SimError> {
         let senders: Arc<RwLock<HashMap<Endpoint, Sender<Msg>>>> =
             Arc::new(RwLock::new(HashMap::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -146,7 +160,7 @@ impl TcpTransport {
             senders,
             outbound: (0..cfg.num_processes).map(|_| Mutex::new(None)).collect(),
             addrs,
-            stats: TransportStats::default(),
+            stats,
             shutdown,
         })
     }
@@ -240,9 +254,7 @@ impl Transport for TcpTransport {
             *guard = Some(stream);
         }
         let stream = guard.as_mut().expect("stream just connected");
-        stream
-            .write_all(&frame)
-            .map_err(|e| SimError::TransportClosed(format!("write {dst}: {e}")))
+        stream.write_all(&frame).map_err(|e| SimError::TransportClosed(format!("write {dst}: {e}")))
     }
 
     fn stats(&self) -> &TransportStats {

@@ -65,8 +65,8 @@ fn cndf(coeffs: &[f64; 6], x: f64) -> f64 {
     let sign = x < 0.0;
     let x = x.abs();
     let k = 1.0 / (1.0 + coeffs[0] * x);
-    let poly = k
-        * (coeffs[1] + k * (coeffs[2] + k * (coeffs[3] + k * (coeffs[4] + k * coeffs[5]))));
+    let poly =
+        k * (coeffs[1] + k * (coeffs[2] + k * (coeffs[3] + k * (coeffs[4] + k * coeffs[5]))));
     let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
     let v = 1.0 - pdf * poly;
     if sign {
@@ -147,10 +147,7 @@ impl Workload for BlackScholes {
         });
         // fork_join's joins forwarded our clock to the slowest worker's
         // exit, so this delta covers the whole parallel region.
-        self.roi.store(
-            ctx.now().saturating_sub(roi_start).0,
-            std::sync::atomic::Ordering::Relaxed,
-        );
+        self.roi.store(ctx.now().saturating_sub(roi_start).0, std::sync::atomic::Ordering::Relaxed);
         // Verify every price against the host-side formula.
         for (i, o) in host.iter().enumerate() {
             let want = price(&CNDF_COEFFS, o[0], o[1], o[2], o[3], o[4]);
@@ -166,13 +163,13 @@ impl Workload for BlackScholes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphite::{SimConfig, Simulator};
+    use graphite::{Sim, SimConfig};
     use graphite_config::CoherenceScheme;
 
     #[test]
     fn prices_verify_parallel() {
         let cfg = SimConfig::builder().tiles(4).processes(2).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| BlackScholes::small().run(ctx, 4));
+        Sim::builder(cfg).build().unwrap().run(|ctx| BlackScholes::small().run(ctx, 4));
     }
 
     #[test]
@@ -191,9 +188,9 @@ mod tests {
         // the read-only table, forced evictions must occur; full-map none.
         let run = |scheme: CoherenceScheme| {
             let cfg = SimConfig::builder().tiles(4).coherence(scheme).build().unwrap();
-            Simulator::new(cfg)
-                .unwrap()
-                .run(|ctx| BlackScholes { n: 64, sweeps: 2, seed: 1, roi: Default::default() }.run(ctx, 4))
+            Sim::builder(cfg).build().unwrap().run(|ctx| {
+                BlackScholes { n: 64, sweeps: 2, seed: 1, roi: Default::default() }.run(ctx, 4)
+            })
         };
         let full = run(CoherenceScheme::FullMap);
         let limited = run(CoherenceScheme::DirNB { sharers: 2 });

@@ -124,8 +124,8 @@ impl Workload for MatMul {
             // Ring synchronization with neighbours, as in the paper's kernel.
             if threads > 1 {
                 let right = graphite_base::TileId((ctx.tile().0 + 1) % threads);
-                ctx.send_msg(right, &id.to_le_bytes());
-                let _ = ctx.recv_msg();
+                ctx.send_msg(right, &id.to_le_bytes()).expect("send");
+                let _ = ctx.recv_msg().expect("recv");
             }
             bar.wait(ctx);
         });
@@ -357,11 +357,11 @@ impl Workload for Cholesky {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphite::{SimConfig, Simulator};
+    use graphite::{Sim, SimConfig};
 
     fn run(w: &dyn Workload, tiles: u32, threads: u32) -> graphite::SimReport {
         let cfg = SimConfig::builder().tiles(tiles).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| w.run(ctx, threads))
+        Sim::builder(cfg).build().unwrap().run(|ctx| w.run(ctx, threads))
     }
 
     #[test]
@@ -395,7 +395,7 @@ mod tests {
     #[test]
     fn band_partition_covers_everything() {
         for threads in [1u32, 3, 4, 7] {
-            let mut covered = vec![false; 25];
+            let mut covered = [false; 25];
             for id in 0..threads {
                 let (lo, hi) = band(25, threads, id);
                 for r in lo..hi {

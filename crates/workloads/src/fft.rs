@@ -49,7 +49,7 @@ impl Workload for Fft {
         // Store bit-reversed so the in-place DIT passes run in order.
         let bits = n.trailing_zeros();
         for i in 0..n {
-            let r = (i as u64).reverse_bits() >> (64 - bits);
+            let r = i.reverse_bits() >> (64 - bits);
             data.set(ctx, r * 2, host_re[i as usize]);
             data.set(ctx, r * 2 + 1, host_im[i as usize]);
         }
@@ -118,18 +118,18 @@ impl Workload for Fft {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphite::{SimConfig, Simulator};
+    use graphite::{Sim, SimConfig};
 
     #[test]
     fn fft_verifies_single_thread() {
         let cfg = SimConfig::builder().tiles(2).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| Fft::small().run(ctx, 1));
+        Sim::builder(cfg).build().unwrap().run(|ctx| Fft::small().run(ctx, 1));
     }
 
     #[test]
     fn fft_verifies_parallel() {
         let cfg = SimConfig::builder().tiles(4).processes(2).build().unwrap();
-        let r = Simulator::new(cfg).unwrap().run(|ctx| Fft::small().run(ctx, 4));
+        let r = Sim::builder(cfg).build().unwrap().run(|ctx| Fft::small().run(ctx, 4));
         // Stage barriers: log2(64) = 6 stages plus the start barrier.
         assert!(r.ctrl.futex_wakes > 0);
         assert!(r.mem.invalidations > 0, "cross-thread butterflies share lines");

@@ -19,12 +19,12 @@
 //! # Examples
 //!
 //! ```
-//! use graphite::{SimConfig, Simulator};
+//! use graphite::{Sim, SimConfig};
 //! use graphite_workloads::{workload_by_name, Workload};
 //!
 //! let w = workload_by_name("radix").unwrap();
 //! let cfg = SimConfig::builder().tiles(4).build().unwrap();
-//! let report = Simulator::new(cfg).unwrap().run(|ctx| w.run(ctx, 4));
+//! let report = Sim::builder(cfg).build().unwrap().run(|ctx| w.run(ctx, 4));
 //! assert!(report.mem.accesses() > 0);
 //! ```
 
@@ -180,12 +180,12 @@ impl GuestF64s {
 
     /// Loads element `i` (modeled access).
     pub fn get(&self, ctx: &mut Ctx, i: u64) -> f64 {
-        ctx.load_f64(self.idx(i))
+        ctx.load::<f64>(self.idx(i))
     }
 
     /// Stores element `i` (modeled access).
     pub fn set(&self, ctx: &mut Ctx, i: u64, v: f64) {
-        ctx.store_f64(self.idx(i), v);
+        ctx.store::<f64>(self.idx(i), v);
     }
 }
 
@@ -226,12 +226,12 @@ impl GuestU32s {
 
     /// Loads element `i`.
     pub fn get(&self, ctx: &mut Ctx, i: u64) -> u32 {
-        ctx.load_u32(self.idx(i))
+        ctx.load::<u32>(self.idx(i))
     }
 
     /// Stores element `i`.
     pub fn set(&self, ctx: &mut Ctx, i: u64, v: u32) {
-        ctx.store_u32(self.idx(i), v);
+        ctx.store::<u32>(self.idx(i), v);
     }
 }
 
@@ -248,7 +248,7 @@ pub(crate) fn input_f64(seed: u64, i: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphite::{SimConfig, Simulator};
+    use graphite::{Sim, SimConfig};
 
     #[test]
     fn registry_knows_all_names() {
@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn fork_join_runs_all_workers() {
         let cfg = SimConfig::builder().tiles(4).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| {
+        Sim::builder(cfg).build().unwrap().run(|ctx| {
             let flags = GuestU32s::alloc(ctx, 4);
             fork_join(ctx, 4, move |ctx, id| {
                 flags.set(ctx, id as u64, id + 1);
@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn guest_arrays_round_trip() {
         let cfg = SimConfig::builder().tiles(2).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| {
+        Sim::builder(cfg).build().unwrap().run(|ctx| {
             let a = GuestF64s::alloc(ctx, 16);
             assert_eq!(a.len(), 16);
             assert!(!a.is_empty());

@@ -36,25 +36,25 @@ impl Particles {
     }
 
     fn x(&self, ctx: &mut Ctx, i: u64) -> f64 {
-        ctx.load_f64(self.field(i, 0))
+        ctx.load::<f64>(self.field(i, 0))
     }
 
     fn y(&self, ctx: &mut Ctx, i: u64) -> f64 {
-        ctx.load_f64(self.field(i, 1))
+        ctx.load::<f64>(self.field(i, 1))
     }
 
     fn set_pos(&self, ctx: &mut Ctx, i: u64, x: f64, y: f64) {
-        ctx.store_f64(self.field(i, 0), x);
-        ctx.store_f64(self.field(i, 1), y);
+        ctx.store::<f64>(self.field(i, 0), x);
+        ctx.store::<f64>(self.field(i, 1), y);
     }
 
     fn set_force(&self, ctx: &mut Ctx, i: u64, fx: f64, fy: f64) {
-        ctx.store_f64(self.field(i, 2), fx);
-        ctx.store_f64(self.field(i, 3), fy);
+        ctx.store::<f64>(self.field(i, 2), fx);
+        ctx.store::<f64>(self.field(i, 3), fy);
     }
 
     fn force(&self, ctx: &mut Ctx, i: u64) -> (f64, f64) {
-        (ctx.load_f64(self.field(i, 2)), ctx.load_f64(self.field(i, 3)))
+        (ctx.load::<f64>(self.field(i, 2)), ctx.load::<f64>(self.field(i, 3)))
     }
 }
 
@@ -114,7 +114,7 @@ impl Workload for WaterNSquared {
             parts.set_pos(ctx, i as u64, x, y);
         }
         let energy = ctx.malloc(64).expect("heap");
-        ctx.store_f64(energy, 0.0);
+        ctx.store::<f64>(energy, 0.0);
         let lock = GMutex::create(ctx);
         let bar = GBarrier::create(ctx, threads);
         fork_join(ctx, threads, move |ctx, id| {
@@ -142,8 +142,8 @@ impl Workload for WaterNSquared {
             }
             // Global reduction under the application mutex.
             lock.lock(ctx);
-            let e = ctx.load_f64(energy);
-            ctx.store_f64(energy, e + local_e);
+            let e = ctx.load::<f64>(energy);
+            ctx.store::<f64>(energy, e + local_e);
             lock.unlock(ctx);
             bar.wait(ctx);
         });
@@ -170,7 +170,7 @@ impl Workload for WaterNSquared {
                 "force[{i}] = ({gx}, {gy}), want ({fx}, {fy})"
             );
         }
-        let got_e = ctx.load_f64(energy);
+        let got_e = ctx.load::<f64>(energy);
         assert!(
             (got_e - want_e).abs() <= 1e-6 * want_e.abs().max(1.0),
             "energy {got_e}, want {want_e}"
@@ -388,9 +388,9 @@ impl Workload for Barnes {
         }
         for (idx, &(sx, sy, m)) in host_tree.iter().enumerate() {
             let (cx, cy) = if m > 0.0 { (sx / m, sy / m) } else { (0.0, 0.0) };
-            ctx.store_f64(tree.field(idx as u64, 0), cx);
-            ctx.store_f64(tree.field(idx as u64, 1), cy);
-            ctx.store_f64(tree.field(idx as u64, 2), m);
+            ctx.store::<f64>(tree.field(idx as u64, 0), cx);
+            ctx.store::<f64>(tree.field(idx as u64, 1), cy);
+            ctx.store::<f64>(tree.field(idx as u64, 2), m);
         }
         let bar = GBarrier::create(ctx, threads);
         fork_join(ctx, threads, move |ctx, id| {
@@ -419,6 +419,7 @@ impl Workload for Barnes {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bh_force(
     ctx: &mut Ctx,
     tree: &Tree,
@@ -431,12 +432,12 @@ fn bh_force(
     iy: u64,
 ) -> (f64, f64) {
     let node = Tree::node_index(l, ix, iy);
-    let m = ctx.load_f64(tree.field(node, 2));
+    let m = ctx.load::<f64>(tree.field(node, 2));
     if m == 0.0 {
         return (0.0, 0.0);
     }
-    let cx = ctx.load_f64(tree.field(node, 0));
-    let cy = ctx.load_f64(tree.field(node, 1));
+    let cx = ctx.load::<f64>(tree.field(node, 0));
+    let cy = ctx.load::<f64>(tree.field(node, 1));
     let size = 1.0 / (1u64 << l) as f64;
     let dx = cx - x;
     let dy = cy - y;
@@ -456,6 +457,7 @@ fn bh_force(
     (fx, fy)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bh_force_host(
     tree: &[(f64, f64, f64)],
     depth: u32,
@@ -574,17 +576,17 @@ impl Workload for Fmm {
                         m += 1.0;
                     }
                     let (ox, oy) = if m > 0.0 { (sx / m, sy / m) } else { (0.0, 0.0) };
-                    ctx.store_f64(cells_mem.offset(c * 32), ox);
-                    ctx.store_f64(cells_mem.offset(c * 32 + 8), oy);
-                    ctx.store_f64(cells_mem.offset(c * 32 + 16), m);
+                    ctx.store::<f64>(cells_mem.offset(c * 32), ox);
+                    ctx.store::<f64>(cells_mem.offset(c * 32 + 8), oy);
+                    ctx.store::<f64>(cells_mem.offset(c * 32 + 16), m);
                     ctx.execute(Instruction::FpAdd { count: (hi - lo) as u32 * 2 });
                 }
             }
             // Neighbour handshake: tell the next thread our summaries exist.
             if threads > 1 {
                 let right = TileId((ctx.tile().0 + 1) % threads);
-                ctx.send_msg(right, b"m");
-                let _ = ctx.recv_msg();
+                ctx.send_msg(right, b"m").expect("send");
+                let _ = ctx.recv_msg().expect("recv");
             }
             bar.wait(ctx);
             // Phase 2: near-field direct + far-field from summaries.
@@ -616,9 +618,9 @@ impl Workload for Fmm {
                                         fy += py;
                                     }
                                 } else {
-                                    let ox_ = ctx.load_f64(cells_mem.offset(oc * 32));
-                                    let oy_ = ctx.load_f64(cells_mem.offset(oc * 32 + 8));
-                                    let m = ctx.load_f64(cells_mem.offset(oc * 32 + 16));
+                                    let ox_ = ctx.load::<f64>(cells_mem.offset(oc * 32));
+                                    let oy_ = ctx.load::<f64>(cells_mem.offset(oc * 32 + 8));
+                                    let m = ctx.load::<f64>(cells_mem.offset(oc * 32 + 16));
                                     if m > 0.0 {
                                         let (px, py) = pair_force(xi, yi, ox_, oy_);
                                         fx += px * m;
@@ -691,11 +693,11 @@ impl Workload for Fmm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphite::{SimConfig, Simulator};
+    use graphite::{Sim, SimConfig};
 
     fn run(w: &dyn Workload, tiles: u32, threads: u32) -> graphite::SimReport {
         let cfg = SimConfig::builder().tiles(tiles).processes(2.min(tiles)).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| w.run(ctx, threads))
+        Sim::builder(cfg).build().unwrap().run(|ctx| w.run(ctx, threads))
     }
 
     #[test]

@@ -129,18 +129,18 @@ impl Workload for Ocean {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphite::{SimConfig, Simulator};
+    use graphite::{Sim, SimConfig};
 
     #[test]
     fn ocean_cont_verifies() {
         let cfg = SimConfig::builder().tiles(4).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| Ocean::small(true).run(ctx, 4));
+        Sim::builder(cfg).build().unwrap().run(|ctx| Ocean::small(true).run(ctx, 4));
     }
 
     #[test]
     fn ocean_non_cont_verifies() {
         let cfg = SimConfig::builder().tiles(4).processes(2).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| Ocean::small(false).run(ctx, 4));
+        Sim::builder(cfg).build().unwrap().run(|ctx| Ocean::small(false).run(ctx, 4));
     }
 
     #[test]
@@ -149,7 +149,7 @@ mod tests {
         // traffic than the contiguous one (more partition boundaries).
         let run = |contig: bool| {
             let cfg = SimConfig::builder().tiles(4).build().unwrap();
-            Simulator::new(cfg).unwrap().run(move |ctx| Ocean::small(contig).run(ctx, 4))
+            Sim::builder(cfg).build().unwrap().run(move |ctx| Ocean::small(contig).run(ctx, 4))
         };
         let cont = run(true);
         let non = run(false);

@@ -53,9 +53,8 @@ impl Workload for Radix {
         let dst = GuestU32s::alloc(ctx, n);
         // Per-thread, per-bucket counts: hist[t * buckets + b].
         let hist = GuestU32s::alloc(ctx, threads as u64 * buckets);
-        let mut host: Vec<u32> = (0..n)
-            .map(|i| (crate::input_f64(self.seed, i) * u32::MAX as f64) as u32)
-            .collect();
+        let mut host: Vec<u32> =
+            (0..n).map(|i| (crate::input_f64(self.seed, i) * u32::MAX as f64) as u32).collect();
         for (i, &k) in host.iter().enumerate() {
             src.set(ctx, i as u64, k);
         }
@@ -108,7 +107,7 @@ impl Workload for Radix {
         });
         // After an even number of passes the sorted data is in `src`;
         // odd lands in `dst`.
-        let sorted = if passes % 2 == 0 { src } else { dst };
+        let sorted = if passes.is_multiple_of(2) { src } else { dst };
         host.sort_unstable();
         for (i, &want) in host.iter().enumerate() {
             let got = sorted.get(ctx, i as u64);
@@ -120,24 +119,24 @@ impl Workload for Radix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphite::{SimConfig, Simulator};
+    use graphite::{Sim, SimConfig};
 
     #[test]
     fn radix_sorts_single_thread() {
         let cfg = SimConfig::builder().tiles(2).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| Radix::small().run(ctx, 1));
+        Sim::builder(cfg).build().unwrap().run(|ctx| Radix::small().run(ctx, 1));
     }
 
     #[test]
     fn radix_sorts_parallel() {
         let cfg = SimConfig::builder().tiles(4).processes(2).build().unwrap();
-        let r = Simulator::new(cfg).unwrap().run(|ctx| Radix::small().run(ctx, 4));
+        let r = Sim::builder(cfg).build().unwrap().run(|ctx| Radix::small().run(ctx, 4));
         assert!(r.mem.invalidations > 0, "permute phase shares destination lines");
     }
 
     #[test]
     fn radix_with_odd_thread_count() {
         let cfg = SimConfig::builder().tiles(4).build().unwrap();
-        Simulator::new(cfg).unwrap().run(|ctx| Radix::small().run(ctx, 3));
+        Sim::builder(cfg).build().unwrap().run(|ctx| Radix::small().run(ctx, 3));
     }
 }

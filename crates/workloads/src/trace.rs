@@ -8,9 +8,9 @@
 //! workloads use. Architects use exactly this to study memory systems under
 //! controlled access patterns.
 
+use crate::{fork_join, GuestF64s, Workload};
 use graphite::{Ctx, GBarrier};
 use graphite_base::TileId;
-use crate::{fork_join, GuestF64s, Workload};
 
 /// One event of a per-thread trace, in the same vocabulary the live front
 /// end produces.
@@ -45,7 +45,7 @@ pub enum TraceOp {
 /// # Examples
 ///
 /// ```
-/// use graphite::{SimConfig, Simulator};
+/// use graphite::{Sim, SimConfig};
 /// use graphite_workloads::trace::{TraceOp, TraceProgram};
 /// use graphite_workloads::Workload;
 ///
@@ -58,7 +58,7 @@ pub enum TraceOp {
 ///     ],
 /// );
 /// let cfg = SimConfig::builder().tiles(2).build().unwrap();
-/// let report = Simulator::new(cfg).unwrap().run(|ctx| t.run(ctx, 2));
+/// let report = Sim::builder(cfg).build().unwrap().run(|ctx| t.run(ctx, 2));
 /// assert!(report.mem.invalidations > 0);
 /// ```
 #[derive(Debug, Clone)]
@@ -124,8 +124,7 @@ impl TraceProgram {
             .map(|_| {
                 (0..ops_per_thread)
                     .flat_map(|i| {
-                        let op =
-                            if i % 2 == 0 { TraceOp::Load(0) } else { TraceOp::Store(0) };
+                        let op = if i % 2 == 0 { TraceOp::Load(0) } else { TraceOp::Store(0) };
                         [op, TraceOp::Barrier]
                     })
                     .collect()
@@ -158,16 +157,16 @@ impl Workload for TraceProgram {
                 match *op {
                     TraceOp::Load(off) => {
                         debug_assert!(off + 8 <= arena_bytes);
-                        let _ = ctx.load_u64(base.offset(off));
+                        let _ = ctx.load::<u64>(base.offset(off));
                     }
                     TraceOp::Store(off) => {
                         debug_assert!(off + 8 <= arena_bytes);
-                        ctx.store_u64(base.offset(off), off ^ id as u64);
+                        ctx.store::<u64>(base.offset(off), off ^ id as u64);
                     }
                     TraceOp::Alu(c) => ctx.alu(c),
                     TraceOp::Fp(c) => ctx.fp(c),
                     TraceOp::Branch { pc, taken } => ctx.branch(pc, taken),
-                    TraceOp::Send(to) => ctx.send_msg(TileId(to % n), b"t"),
+                    TraceOp::Send(to) => ctx.send_msg(TileId(to % n), b"t").expect("send"),
                     TraceOp::Recv => {
                         let _ = ctx.recv_msg();
                     }
@@ -181,12 +180,12 @@ impl Workload for TraceProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphite::{SimConfig, Simulator};
+    use graphite::{Sim, SimConfig};
 
     fn run(t: TraceProgram, tiles: u32) -> graphite::SimReport {
         let threads = t.threads.len() as u32;
         let cfg = SimConfig::builder().tiles(tiles).build().unwrap();
-        Simulator::new(cfg).unwrap().run(move |ctx| t.run(ctx, threads))
+        Sim::builder(cfg).build().unwrap().run(move |ctx| t.run(ctx, threads))
     }
 
     #[test]
@@ -226,10 +225,7 @@ mod tests {
     fn message_ops_work() {
         let t = TraceProgram::new(
             64,
-            vec![
-                vec![TraceOp::Send(1), TraceOp::Recv],
-                vec![TraceOp::Recv, TraceOp::Send(0)],
-            ],
+            vec![vec![TraceOp::Send(1), TraceOp::Recv], vec![TraceOp::Recv, TraceOp::Send(0)]],
         );
         let r = run(t, 2);
         assert_eq!(r.user_msgs, 2);

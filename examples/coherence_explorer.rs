@@ -10,7 +10,7 @@
 //! This is the kind of design-space sweep Graphite was built for: one
 //! run-time configuration flag per experiment, no code changes.
 
-use graphite::Simulator;
+use graphite::Sim;
 use graphite_config::{presets, CoherenceScheme};
 use graphite_workloads::{BlackScholes, Workload};
 
@@ -28,7 +28,7 @@ fn main() {
     );
     for scheme in schemes {
         let cfg = presets::fig9_coherence_study(TILES, scheme);
-        let sim = Simulator::new(cfg).expect("simulator");
+        let sim = Sim::builder(cfg).build().expect("simulator");
         let report = sim.run(move |ctx| BlackScholes::small().run(ctx, TILES));
         println!(
             "{:<14} {:>14} {:>10} {:>14} {:>14}",

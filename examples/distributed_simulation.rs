@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use graphite::{SimConfig, SimReport, Simulator};
+use graphite::{Sim, SimConfig, SimReport};
 use graphite_config::SyncModel;
 use graphite_workloads::{Fmm, Workload};
 
@@ -26,11 +26,7 @@ fn run(procs: u32, machines: u32, tcp: bool, sync: SyncModel) -> SimReport {
         .build()
         .expect("valid configuration");
     let w = Arc::new(Fmm::small());
-    Simulator::builder(cfg)
-        .tcp_transport(tcp)
-        .build()
-        .expect("simulator")
-        .run(move |ctx| w.run(ctx, 8))
+    Sim::builder(cfg).tcp_transport(tcp).build().expect("simulator").run(move |ctx| w.run(ctx, 8))
 }
 
 fn main() {

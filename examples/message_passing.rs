@@ -12,19 +12,15 @@
 
 use std::sync::Arc;
 
-use graphite::{GuestEntry, SimConfig, Simulator};
+use graphite::{GuestEntry, Sim, SimConfig};
 use graphite_base::TileId;
 
 const RING: u32 = 8;
 const LAPS: u64 = 5;
 
 fn main() {
-    let cfg = SimConfig::builder()
-        .tiles(RING)
-        .processes(2)
-        .build()
-        .expect("valid configuration");
-    let sim = Simulator::new(cfg).expect("simulator");
+    let cfg = SimConfig::builder().tiles(RING).processes(2).build().expect("valid configuration");
+    let sim = Sim::builder(cfg).build().expect("simulator");
 
     let report = sim.run(|ctx| {
         // Workers: receive token, increment, forward.
@@ -32,9 +28,9 @@ fn main() {
             let me = ctx.tile().0;
             let next = TileId((me + 1) % RING);
             for _ in 0..LAPS {
-                let (_, data) = ctx.recv_msg();
+                let (_, data) = ctx.recv_msg().expect("recv");
                 let token = u64::from_le_bytes(data.try_into().expect("8-byte token"));
-                ctx.send_msg(next, &(token + 1).to_le_bytes());
+                ctx.send_msg(next, &(token + 1).to_le_bytes()).expect("send");
             }
         });
         let tids: Vec<_> = (1..RING).map(|_| ctx.spawn(Arc::clone(&entry), 0).unwrap()).collect();
@@ -43,8 +39,8 @@ fn main() {
         let next = TileId(1);
         let mut token = 0u64;
         for lap in 0..LAPS {
-            ctx.send_msg(next, &token.to_le_bytes());
-            let (_, data) = ctx.recv_msg();
+            ctx.send_msg(next, &token.to_le_bytes()).expect("send");
+            let (_, data) = ctx.recv_msg().expect("recv");
             token = u64::from_le_bytes(data.try_into().expect("8-byte token")) + 1;
             ctx.print(&format!("lap {lap}: token = {token}\n"));
         }

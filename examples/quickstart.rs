@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use graphite::{GBarrier, GuestEntry, SimConfig, Simulator};
+use graphite::{GBarrier, GuestEntry, Sim, SimConfig};
 use graphite_memory::Addr;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
         .processes(4) // distribute over 4 simulated host processes
         .build()
         .expect("valid configuration");
-    let sim = Simulator::new(cfg).expect("simulator");
+    let sim = Sim::builder(cfg).build().expect("simulator");
 
     let report = sim.run(|ctx| {
         let n = TILES as u64 * PER_THREAD;
@@ -36,7 +36,7 @@ fn main() {
             let me = ctx.tile().0 as u64;
             for i in 0..PER_THREAD {
                 let idx = me * PER_THREAD + i;
-                ctx.store_u64(data.offset(idx * 8), idx * idx);
+                ctx.store::<u64>(data.offset(idx * 8), idx * idx);
             }
             bar.wait(ctx);
         });
@@ -48,7 +48,7 @@ fn main() {
         // Main reduces everyone's results through the coherent memory.
         let mut sum = 0u64;
         for i in 0..n {
-            sum += ctx.load_u64(data.offset(i * 8));
+            sum += ctx.load::<u64>(data.offset(i * 8));
         }
         let want: u64 = (0..n).map(|i| i * i).sum();
         assert_eq!(sum, want, "the distributed shared memory must be coherent");

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use graphite::{SimConfig, Simulator};
+use graphite::{Sim, SimConfig};
 use graphite_config::TileMapping;
 use graphite_workloads::{workload_by_name, Fmm, Workload};
 
@@ -16,7 +16,7 @@ fn process_count_is_functionally_transparent() {
     for procs in [1u32, 2, 4] {
         let w = workload_by_name("fmm").expect("known");
         let cfg = SimConfig::builder().tiles(4).processes(procs).build().expect("config");
-        let r = Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 4));
+        let r = Sim::builder(cfg).build().expect("simulator").run(move |ctx| w.run(ctx, 4));
         assert!(r.mem.accesses() > 0, "procs={procs}");
     }
 }
@@ -24,9 +24,8 @@ fn process_count_is_functionally_transparent() {
 #[test]
 fn tcp_transport_carries_user_messages() {
     let w: Arc<dyn Workload> = Arc::new(Fmm::small());
-    let cfg =
-        SimConfig::builder().tiles(4).processes(4).machines(2).build().expect("config");
-    let r = Simulator::builder(cfg)
+    let cfg = SimConfig::builder().tiles(4).processes(4).machines(2).build().expect("config");
+    let r = Sim::builder(cfg)
         .tcp_transport(true)
         .build()
         .expect("simulator")
@@ -46,7 +45,7 @@ fn transport_locality_depends_on_mapping() {
             .tile_mapping(mapping)
             .build()
             .expect("config");
-        Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 8))
+        Sim::builder(cfg).build().expect("simulator").run(move |ctx| w.run(ctx, 8))
     };
     // fmm's ring messages go tile i -> i+1. Striped mapping puts ring
     // neighbours in different processes (every hop crosses); packed keeps
@@ -66,7 +65,7 @@ fn remote_home_fraction_grows_with_processes() {
     let run = |procs: u32| {
         let w = workload_by_name("ocean_cont").expect("known");
         let cfg = SimConfig::builder().tiles(8).processes(procs).build().expect("config");
-        Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 8))
+        Sim::builder(cfg).build().expect("simulator").run(move |ctx| w.run(ctx, 8))
     };
     let one = run(1);
     let four = run(4);

@@ -5,12 +5,12 @@
 
 use std::sync::Arc;
 
-use graphite::{SimConfig, Simulator};
+use graphite::{Sim, SimConfig};
 use graphite_workloads::{splash_suite, workload_by_name, Workload};
 
 fn run(w: Arc<dyn Workload>, tiles: u32, procs: u32, threads: u32) -> graphite::SimReport {
     let cfg = SimConfig::builder().tiles(tiles).processes(procs).build().expect("config");
-    Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, threads))
+    Sim::builder(cfg).build().expect("simulator").run(move |ctx| w.run(ctx, threads))
 }
 
 #[test]
@@ -58,10 +58,8 @@ fn report_totals_are_internally_consistent() {
     assert_eq!(r.mem.loads + r.mem.stores, r.mem.accesses());
     let per_tile_txn: u64 = r.per_tile.iter().map(|t| t.mem_transactions).sum();
     assert_eq!(per_tile_txn, r.mem.misses + r.mem.upgrades, "transaction accounting");
-    let classified = r.mem.miss_cold
-        + r.mem.miss_capacity
-        + r.mem.miss_true_sharing
-        + r.mem.miss_false_sharing;
+    let classified =
+        r.mem.miss_cold + r.mem.miss_capacity + r.mem.miss_true_sharing + r.mem.miss_false_sharing;
     assert_eq!(classified, 0, "classification disabled by default");
 }
 
@@ -69,15 +67,13 @@ fn report_totals_are_internally_consistent() {
 fn miss_classification_covers_every_miss_when_enabled() {
     let w = workload_by_name("radix").expect("known");
     let cfg = graphite_config::presets::fig8_miss_characterization(4, 64);
-    let r = Simulator::builder(cfg)
+    let r = Sim::builder(cfg)
         .classify_misses(true)
         .build()
         .expect("simulator")
         .run(move |ctx| w.run(ctx, 4));
-    let classified = r.mem.miss_cold
-        + r.mem.miss_capacity
-        + r.mem.miss_true_sharing
-        + r.mem.miss_false_sharing;
+    let classified =
+        r.mem.miss_cold + r.mem.miss_capacity + r.mem.miss_true_sharing + r.mem.miss_false_sharing;
     assert_eq!(classified, r.mem.misses, "every miss must receive a class");
     assert!(r.mem.miss_cold > 0);
 }
@@ -85,15 +81,15 @@ fn miss_classification_covers_every_miss_when_enabled() {
 #[test]
 fn guest_stdout_and_file_io_work_under_load() {
     let cfg = SimConfig::builder().tiles(2).processes(2).build().expect("config");
-    let r = Simulator::new(cfg).expect("simulator").run(|ctx| {
-        let fd = ctx.sys_open("results.txt");
+    let r = Sim::builder(cfg).build().expect("simulator").run(|ctx| {
+        let fd = ctx.sys_open("results.txt").expect("open");
         let buf = ctx.malloc(64).unwrap();
-        ctx.store_u64(buf, 7);
-        ctx.sys_write(fd, buf, 8);
-        ctx.sys_seek(fd, 0);
-        ctx.sys_read(fd, buf.offset(8), 8);
-        assert_eq!(ctx.load_u64(buf.offset(8)), 7);
-        ctx.sys_close(fd);
+        ctx.store::<u64>(buf, 7);
+        ctx.sys_write(fd, buf, 8).expect("write");
+        ctx.sys_seek(fd, 0).expect("seek");
+        ctx.sys_read(fd, buf.offset(8), 8).expect("read");
+        assert_eq!(ctx.load::<u64>(buf.offset(8)), 7);
+        ctx.sys_close(fd).expect("close");
         ctx.print("done\n");
     });
     assert_eq!(String::from_utf8_lossy(&r.stdout), "done\n");

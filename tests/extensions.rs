@@ -4,15 +4,17 @@
 
 use std::sync::Arc;
 
-use graphite::{CoreKind, SimConfig, Simulator};
+use graphite::{CoreKind, Sim, SimConfig};
 use graphite_config::{CacheProtocol, NetworkKind};
 use graphite_core_model::OooParams;
 use graphite_workloads::{workload_by_name, Workload};
 
-fn run_lu(tweak: impl FnOnce(graphite::SimulatorBuilder) -> graphite::SimulatorBuilder,
-          cfg: SimConfig) -> graphite::SimReport {
+fn run_lu(
+    tweak: impl FnOnce(graphite::SimBuilder) -> graphite::SimBuilder,
+    cfg: SimConfig,
+) -> graphite::SimReport {
     let w = workload_by_name("lu_cont").expect("known");
-    tweak(Simulator::builder(cfg)).build().expect("simulator").run(move |ctx| w.run(ctx, 4))
+    tweak(Sim::builder(cfg)).build().expect("simulator").run(move |ctx| w.run(ctx, 4))
 }
 
 #[test]
@@ -22,10 +24,7 @@ fn out_of_order_core_runs_the_whole_stack_faster() {
     // cycles — "models throughout the system reflect the new core type".
     let cfg = SimConfig::builder().tiles(4).build().expect("config");
     let inorder = run_lu(|b| b, cfg.clone());
-    let ooo = run_lu(
-        |b| b.core_model(CoreKind::OutOfOrder(OooParams::default())),
-        cfg,
-    );
+    let ooo = run_lu(|b| b.core_model(CoreKind::OutOfOrder(OooParams::default())), cfg);
     assert!(
         ooo.simulated_cycles < inorder.simulated_cycles,
         "ooo {} should beat in-order {}",
@@ -47,7 +46,7 @@ fn mesi_runs_every_workload_correctly() {
             .protocol(CacheProtocol::Mesi)
             .build()
             .expect("config");
-        let r = Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 4));
+        let r = Sim::builder(cfg).build().expect("simulator").run(move |ctx| w.run(ctx, 4));
         assert!(r.mem.accesses() > 0, "{name}");
     }
 }
@@ -55,12 +54,8 @@ fn mesi_runs_every_workload_correctly() {
 #[test]
 fn ring_network_is_functionally_transparent() {
     let w: Arc<dyn Workload> = workload_by_name("fft").expect("known");
-    let cfg = SimConfig::builder()
-        .tiles(4)
-        .network(NetworkKind::Ring)
-        .build()
-        .expect("config");
-    let r = Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 4));
+    let cfg = SimConfig::builder().tiles(4).network(NetworkKind::Ring).build().expect("config");
+    let r = Sim::builder(cfg).build().expect("simulator").run(move |ctx| w.run(ctx, 4));
     assert!(r.net_memory.packets > 0);
 }
 
@@ -75,7 +70,7 @@ fn ooo_plus_mesi_plus_ring_compose() {
         .network(NetworkKind::Ring)
         .build()
         .expect("config");
-    let r = Simulator::builder(cfg)
+    let r = Sim::builder(cfg)
         .core_model(CoreKind::OutOfOrder(OooParams::default()))
         .build()
         .expect("simulator")

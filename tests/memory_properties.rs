@@ -34,7 +34,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0u8..4, 0u16..512).prop_map(|(tile, addr)| Op::Read { tile, addr: addr & !7 }),
         (0u8..4, 0u16..512, 0u32..100).prop_map(|(tile, addr, add)| Op::Rmw {
             tile,
-            addr: (addr & !7) | 0, // 8-aligned keeps the u32 in one line
+            addr: (addr & !7), // 8-aligned keeps the u32 in one line
             add
         }),
     ]

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use graphite::{GBarrier, GuestEntry, SimConfig, Simulator};
+use graphite::{GBarrier, GuestEntry, Sim, SimConfig};
 use graphite_memory::Addr;
 use graphite_workloads::{MatMul, Workload};
 
@@ -12,17 +12,17 @@ use graphite_workloads::{MatMul, Workload};
 fn sixty_four_tiles_full_occupancy() {
     const TILES: u32 = 64;
     let cfg = SimConfig::builder().tiles(TILES).processes(8).build().expect("config");
-    let r = Simulator::new(cfg).expect("simulator").run(|ctx| {
+    let r = Sim::builder(cfg).build().expect("simulator").run(|ctx| {
         let counters = ctx.malloc(TILES as u64 * 8).expect("heap");
         let bar = GBarrier::create(ctx, TILES);
         let entry: GuestEntry = Arc::new(move |ctx, arg| {
             let base = Addr(arg);
             let me = ctx.tile().0 as u64;
-            ctx.store_u64(base.offset(me * 8), me + 1);
+            ctx.store::<u64>(base.offset(me * 8), me + 1);
             bar.wait(ctx);
             // Read a neighbour's slot (cross-tile coherence at scale).
             let other = (me + 1) % TILES as u64;
-            assert_eq!(ctx.load_u64(base.offset(other * 8)), other + 1);
+            assert_eq!(ctx.load::<u64>(base.offset(other * 8)), other + 1);
         });
         let tids: Vec<_> =
             (1..TILES).map(|_| ctx.spawn(Arc::clone(&entry), counters.0).expect("tile")).collect();
@@ -42,7 +42,7 @@ fn two_hundred_fifty_six_thread_matmul_verifies() {
     const TILES: u32 = 256;
     let w: Arc<dyn Workload> = Arc::new(MatMul::with_n(32));
     let cfg = SimConfig::builder().tiles(TILES).processes(10).build().expect("config");
-    let r = Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, TILES));
+    let r = Sim::builder(cfg).build().expect("simulator").run(move |ctx| w.run(ctx, TILES));
     assert_eq!(r.ctrl.spawns, 255);
     assert!(r.user_msgs >= TILES as u64, "ring messages from every thread");
 }
@@ -52,15 +52,15 @@ fn deep_spawn_chains_reuse_tiles() {
     // Sequential spawn/join cycles exceed the tile count: tiles must be
     // recycled (threads are long-living but tiles return to the pool).
     let cfg = SimConfig::builder().tiles(2).build().expect("config");
-    let r = Simulator::new(cfg).expect("simulator").run(|ctx| {
+    let r = Sim::builder(cfg).build().expect("simulator").run(|ctx| {
         let slot = ctx.malloc(64).expect("heap");
         for round in 0..20u64 {
             let entry: GuestEntry = Arc::new(move |ctx, arg| {
-                ctx.store_u64(Addr(arg), round);
+                ctx.store::<u64>(Addr(arg), round);
             });
             let t = ctx.spawn(entry, slot.0).expect("tile recycled");
             ctx.join(t);
-            assert_eq!(ctx.load_u64(slot), round);
+            assert_eq!(ctx.load::<u64>(slot), round);
         }
     });
     assert_eq!(r.ctrl.spawns, 20);

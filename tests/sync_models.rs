@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use graphite::{SimConfig, Simulator};
+use graphite::{Sim, SimConfig};
 use graphite_config::SyncModel;
 use graphite_sync::SkewSampler;
 use graphite_workloads::{workload_by_name, Lu, Workload};
@@ -13,7 +13,7 @@ use graphite_workloads::{workload_by_name, Lu, Workload};
 fn run_with(sync: SyncModel) -> graphite::SimReport {
     let w: Arc<dyn Workload> = Arc::new(Lu { n: 24, contiguous: true, seed: 3 });
     let cfg = SimConfig::builder().tiles(4).sync(sync).build().expect("config");
-    Simulator::new(cfg).expect("simulator").run(move |ctx| w.run(ctx, 4))
+    Sim::builder(cfg).build().expect("simulator").run(move |ctx| w.run(ctx, 4))
 }
 
 #[test]
@@ -47,7 +47,7 @@ fn barrier_bounds_skew_during_execution() {
         .sync(SyncModel::LaxBarrier { quantum: 1_000 })
         .build()
         .expect("config");
-    let sim = Simulator::new(cfg).expect("simulator");
+    let sim = Sim::builder(cfg).build().expect("simulator");
     let sampler = Arc::new(SkewSampler::new(sim.clock_handles()));
     let handle = sampler.spawn_periodic(Duration::from_micros(500));
     sim.run(move |ctx| w.run(ctx, 4));
@@ -72,7 +72,7 @@ fn p2p_engages_when_skew_exceeds_slack() {
         .sync(SyncModel::LaxP2P { slack: 10_000, check_interval: 1_000 })
         .build()
         .expect("config");
-    let r = Simulator::new(cfg).expect("simulator").run(|ctx| {
+    let r = Sim::builder(cfg).build().expect("simulator").run(|ctx| {
         let entry_busy: graphite::GuestEntry = Arc::new(|ctx, _| {
             for _ in 0..200 {
                 ctx.alu(10_000);

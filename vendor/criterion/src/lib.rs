@@ -1,0 +1,189 @@
+//! Offline micro-benchmark harness exposing the `criterion` API subset the
+//! workspace uses (`Criterion::bench_function`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`, `black_box`).
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then takes
+//! `sample_size` samples. Every sample runs the closure in a batch sized so
+//! one batch lasts roughly `measurement_time / sample_size`, and records mean
+//! nanoseconds per iteration. The report prints the median, minimum and
+//! maximum across samples — enough fidelity to compare hot-path costs between
+//! revisions, which is all the acceptance checks need.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    /// Iterations per sample batch, chosen during calibration.
+    batch: u64,
+    /// Mean ns/iter per sample, appended by [`Bencher::iter`].
+    samples: Vec<f64>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration timing samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also calibrating the batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        self.batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 100_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / self.batch as f64);
+        }
+    }
+}
+
+/// The benchmark driver. Collects configuration, runs bodies, prints results.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional argv entries filter benchmarks by substring, like the
+        // real criterion CLI (`cargo bench -- <filter>`).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            sample_size: 30,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(900),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total sampling duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Compatibility no-op (the real criterion parses its CLI here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            batch: 1,
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = s[s.len() / 2];
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_ns(s[0]),
+            fmt_ns(median),
+            fmt_ns(s[s.len() - 1])
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a configured
+/// [`Criterion`] factory — both forms of the real macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),*);
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(fmt_ns(10.0).ends_with("ns"));
+        assert!(fmt_ns(10_000.0).ends_with("µs"));
+        assert!(fmt_ns(10_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline shim for the `serde` names Graphite-rs imports.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config types purely as
+//! annotations (no serde-based serialization happens at runtime — JSON output
+//! is hand-rolled in `graphite-trace`). This crate re-exports no-op derive
+//! macros under the expected names so those annotations compile offline.
+
+pub use serde_derive::{Deserialize, Serialize};

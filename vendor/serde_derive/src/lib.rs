@@ -1,0 +1,21 @@
+//! Offline no-op stand-ins for serde's derive macros.
+//!
+//! Graphite-rs only *annotates* types with `#[derive(Serialize, Deserialize)]`
+//! for future wire/config use; nothing in the workspace serializes through
+//! serde at runtime (reports and metrics emit hand-rolled JSON). These derives
+//! therefore expand to nothing, which keeps the annotations compiling without
+//! network access to the real serde.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
