@@ -1,0 +1,279 @@
+//! Self-benchmark of the simulated-memory hot path (`MemorySystem`'s
+//! per-access pipeline): the reproduction's equivalent of the paper's
+//! simulator-performance study (§3.7, Figure 4 / Table 2), but measuring
+//! *this simulator's* throughput on *this host* so every subsequent PR has a
+//! perf trajectory to compare against.
+//!
+//! Three workload families, each at 1 / 4 / 16 tiles with one host thread
+//! per tile:
+//!
+//! * **hit-dominated** — every access an L1D hit in a tile-private working
+//!   set; isolates the lock + counter + fast-path cost per access;
+//! * **miss-dominated** — a cyclic walk over a working set 1.5× the L2, so
+//!   every access is a capacity miss through the directory and DRAM models;
+//! * **dense matmul** — one real workload (`matrix-multiply` through the
+//!   full `Sim` front end) for an end-to-end ops/sec and wall-clock
+//!   slowdown figure.
+//!
+//! Results are appended to `BENCH_hotpath.json` at the repo root (override
+//! with `GRAPHITE_HOTPATH_OUT`). The file keeps one object per run label
+//! (`GRAPHITE_HOTPATH_LABEL`, default `current`); re-running a label
+//! replaces that section and preserves the others, so `baseline` survives
+//! optimization runs. `GRAPHITE_HOTPATH_OPS` caps per-thread hit-path
+//! operations (CI smoke mode); `GRAPHITE_HOTPATH_MATMUL_N` sets the matmul
+//! dimension.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use graphite::SimConfig;
+use graphite_base::{Cycles, GlobalProgress, TileId};
+use graphite_bench::run_workload;
+use graphite_config::presets;
+use graphite_memory::{Addr, MemorySystem};
+use graphite_network::Network;
+use graphite_workloads::{MatMul, Workload};
+
+/// One measured case.
+struct CaseResult {
+    name: String,
+    tiles: u32,
+    /// Guest memory operations performed (line segments).
+    ops: u64,
+    wall_s: f64,
+    /// Million guest memory ops per host second.
+    mops: f64,
+    /// Simulated cycles (0 for raw microworkloads driven at fixed time).
+    sim_cycles: u64,
+    /// Host wall seconds per simulated target second (0 when undefined).
+    slowdown: f64,
+}
+
+impl CaseResult {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"tiles\": {}, \"ops\": {}, \"wall_s\": {:.4}, ",
+                "\"mops_per_s\": {:.4}, \"sim_cycles\": {}, \"slowdown\": {:.2}}}"
+            ),
+            self.tiles, self.ops, self.wall_s, self.mops, self.sim_cycles, self.slowdown
+        )
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn build_mem(tiles: u32, small_l2: bool) -> Arc<MemorySystem> {
+    let mut cfg = presets::paper_default(tiles);
+    if small_l2 {
+        // Shrink the L2 so the miss workload's working set stays small while
+        // still overflowing the cache on every access.
+        if let Some(l2) = cfg.target.l2.as_mut() {
+            l2.size_bytes = 256 * 1024;
+        }
+    }
+    let net = Arc::new(Network::new(&cfg, Arc::new(GlobalProgress::new(tiles as usize))));
+    Arc::new(MemorySystem::new(&cfg, net, false))
+}
+
+/// Runs `per_thread` accesses on every tile concurrently; `addr_of` maps
+/// (tile, iteration) to the address each thread touches. Returns wall time.
+fn drive(
+    mem: &Arc<MemorySystem>,
+    tiles: u32,
+    per_thread: u64,
+    addr_of: impl Fn(u32, u64) -> u64 + Send + Sync + Copy + 'static,
+) -> f64 {
+    let start_gate = Arc::new(Barrier::new(tiles as usize + 1));
+    let handles: Vec<_> = (0..tiles)
+        .map(|t| {
+            let mem = Arc::clone(mem);
+            let gate = Arc::clone(&start_gate);
+            std::thread::spawn(move || {
+                let mut buf = [0u8; 8];
+                gate.wait();
+                for i in 0..per_thread {
+                    let addr = Addr(addr_of(t, i));
+                    if i % 3 == 0 {
+                        mem.write(TileId(t), Cycles(i), addr, &buf);
+                    } else {
+                        mem.read(TileId(t), Cycles(i), addr, &mut buf);
+                    }
+                }
+            })
+        })
+        .collect();
+    start_gate.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Hit-dominated: a 32-line (2 KiB) tile-private set, warmed first, so every
+/// measured access is an L1D (or sole-level) hit.
+fn bench_hits(tiles: u32, per_thread: u64) -> CaseResult {
+    const SET_BYTES: u64 = 32 * 64;
+    let mem = build_mem(tiles, false);
+    let addr_of = move |t: u32, i: u64| ((t as u64) << 24) | ((i * 8) % SET_BYTES);
+    // Warm: write the whole set so subsequent loads and stores both hit.
+    for t in 0..tiles {
+        for i in 0..SET_BYTES / 8 {
+            mem.write(TileId(t), Cycles(0), Addr(addr_of(t, i)), &[0u8; 8]);
+        }
+    }
+    let wall = drive(&mem, tiles, per_thread, addr_of);
+    let ops = tiles as u64 * per_thread;
+    CaseResult {
+        name: format!("hit_{tiles}t"),
+        tiles,
+        ops,
+        wall_s: wall,
+        mops: ops as f64 / wall / 1e6,
+        sim_cycles: 0,
+        slowdown: 0.0,
+    }
+}
+
+/// Miss-dominated: a cyclic sequential walk over 1.5× the (shrunken) L2
+/// capacity — with LRU replacement every access is a capacity miss running
+/// the full directory + DRAM transaction.
+fn bench_misses(tiles: u32, per_thread: u64) -> CaseResult {
+    let mem = build_mem(tiles, true);
+    // 256 KiB L2 = 4096 lines; walk 6144 lines (384 KiB) per tile.
+    const WALK_LINES: u64 = 6144;
+    let addr_of = move |t: u32, i: u64| ((t as u64) << 24) | ((i % WALK_LINES) * 64);
+    let wall = drive(&mem, tiles, per_thread, addr_of);
+    let ops = tiles as u64 * per_thread;
+    CaseResult {
+        name: format!("miss_{tiles}t"),
+        tiles,
+        ops,
+        wall_s: wall,
+        mops: ops as f64 / wall / 1e6,
+        sim_cycles: 0,
+        slowdown: 0.0,
+    }
+}
+
+/// One real workload through the full front end: row-banded dense matmul on
+/// a 16-tile target with 16 guest threads.
+fn bench_matmul(n: u64) -> CaseResult {
+    const TILES: u32 = 16;
+    let w: Arc<dyn Workload> = Arc::new(MatMul::with_n(n));
+    let cfg = SimConfig::builder().tiles(TILES).build().expect("bench config");
+    let clock_ghz = cfg.target.clock_ghz;
+    let t0 = Instant::now();
+    let report = run_workload(cfg, TILES, w, |b| b);
+    let wall = t0.elapsed().as_secs_f64();
+    let ops = report.mem.accesses();
+    let sim_s = report.simulated_cycles.as_secs(clock_ghz);
+    CaseResult {
+        name: format!("matmul_n{n}"),
+        tiles: TILES,
+        ops,
+        wall_s: wall,
+        mops: ops as f64 / wall / 1e6,
+        sim_cycles: report.simulated_cycles.0,
+        slowdown: if sim_s > 0.0 { wall / sim_s } else { 0.0 },
+    }
+}
+
+/// Extracts `"label": { ... }` sections (balanced braces) from a previous
+/// results file so re-running one label preserves the others.
+fn existing_runs(doc: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let Some(runs_at) = doc.find("\"runs\"") else { return out };
+    let bytes = doc.as_bytes();
+    let mut pos = doc[runs_at..].find('{').map(|i| runs_at + i + 1).unwrap_or(doc.len());
+    while pos < bytes.len() {
+        let Some(q0) = doc[pos..].find('"').map(|i| pos + i) else { break };
+        let Some(q1) = doc[q0 + 1..].find('"').map(|i| q0 + 1 + i) else { break };
+        let label = doc[q0 + 1..q1].to_string();
+        let Some(open) = doc[q1..].find('{').map(|i| q1 + i) else { break };
+        let mut depth = 0usize;
+        let mut end = open;
+        for (i, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if end == open {
+            break; // unbalanced; stop rather than emit garbage
+        }
+        out.push((label, doc[open..end].to_string()));
+        pos = end;
+        // The outer "runs" object ends at the next unmatched '}'.
+        if doc[pos..].trim_start().starts_with('}') {
+            break;
+        }
+    }
+    out
+}
+
+fn main() {
+    let per_thread = env_u64("GRAPHITE_HOTPATH_OPS", 1_000_000);
+    let miss_per_thread = (per_thread / 10).max(1_000);
+    let matmul_n = env_u64("GRAPHITE_HOTPATH_MATMUL_N", 48);
+    let label = std::env::var("GRAPHITE_HOTPATH_LABEL").unwrap_or_else(|_| "current".into());
+    let out_path = std::env::var("GRAPHITE_HOTPATH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_hotpath.json", env!("CARGO_MANIFEST_DIR")));
+
+    println!("hot-path self-benchmark: {per_thread} hit ops/thread, {miss_per_thread} miss ops/thread, matmul n={matmul_n}");
+    let mut results = Vec::new();
+    for tiles in [1u32, 4, 16] {
+        let r = bench_hits(tiles, per_thread);
+        println!("  {:<12} {:>8.2} Mops/s  ({:.3}s wall)", r.name, r.mops, r.wall_s);
+        results.push(r);
+    }
+    for tiles in [1u32, 4, 16] {
+        let r = bench_misses(tiles, miss_per_thread);
+        println!("  {:<12} {:>8.2} Mops/s  ({:.3}s wall)", r.name, r.mops, r.wall_s);
+        results.push(r);
+    }
+    let r = bench_matmul(matmul_n);
+    println!(
+        "  {:<12} {:>8.2} Mops/s  ({:.3}s wall, slowdown {:.0}x)",
+        r.name, r.mops, r.wall_s, r.slowdown
+    );
+    results.push(r);
+
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let section = {
+        let cases: Vec<String> =
+            results.iter().map(|r| format!("      \"{}\": {}", r.name, r.to_json())).collect();
+        format!(
+            "{{\n      \"host_threads\": {},\n      \"hit_ops_per_thread\": {},\n{}\n    }}",
+            host_threads,
+            per_thread,
+            cases.join(",\n")
+        )
+    };
+
+    let mut runs: Vec<(String, String)> = std::fs::read_to_string(&out_path)
+        .map(|doc| existing_runs(&doc))
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|(l, _)| *l != label)
+        .collect();
+    runs.push((label.clone(), section));
+    runs.sort_by(|a, b| a.0.cmp(&b.0));
+    let body: Vec<String> = runs.iter().map(|(l, s)| format!("    \"{l}\": {s}")).collect();
+    let doc = format!(
+        "{{\n  \"schema\": \"graphite.bench.hotpath.v1\",\n  \"runs\": {{\n{}\n  }}\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, &doc).expect("write BENCH_hotpath.json");
+    println!("wrote {out_path} (label \"{label}\")");
+}

@@ -81,6 +81,10 @@ pub struct Cache {
     access_latency: Cycles,
     stores_data: bool,
     next_stamp: u64,
+    /// `num_sets - 1` when the set count is a power of two (every realistic
+    /// geometry), letting [`Cache::set_of`] mask instead of divide on the
+    /// per-access hot path; `None` falls back to modulo.
+    set_mask: Option<u64>,
 }
 
 impl Cache {
@@ -95,6 +99,7 @@ impl Cache {
             access_latency: cfg.access_latency,
             stores_data,
             next_stamp: 0,
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
         }
     }
 
@@ -118,8 +123,12 @@ impl Cache {
         self.sets.len() * self.assoc
     }
 
+    #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.sets.len() as u64) as usize,
+        }
     }
 
     /// Looks a line up, refreshing its LRU stamp on hit.

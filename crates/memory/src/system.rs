@@ -29,11 +29,13 @@ use std::sync::Arc;
 use graphite_base::{Cycles, SimRng, TileId};
 use graphite_config::{CacheProtocol, CoherenceScheme, SimConfig};
 use graphite_network::{Network, Packet, TrafficClass};
-use graphite_trace::{Histogram, Metric, MetricsRegistry, Obs, TraceEventKind, Tracer};
+use graphite_trace::{
+    Metric, MetricsRegistry, Obs, ShardedHistogram, ShardedMetric, TraceEventKind, Tracer,
+};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::addr::Addr;
-use crate::cache::{Cache, LineState};
+use crate::cache::{Cache, CacheLine, LineState};
 use crate::directory::{DirEntry, DirState};
 use crate::dram::DramController;
 use crate::missclass::{MissClassifier, MissKind};
@@ -81,83 +83,91 @@ impl TileMem {
 }
 
 /// Aggregate memory-system statistics.
+///
+/// Every counter is a [`ShardedMetric`]: updates land in the *requesting*
+/// tile's cache-padded lane (even counters describing remote effects, such as
+/// `invalidations` — they are incremented on the requester's protocol path),
+/// so concurrent guest threads never write a shared cache line. Readers see
+/// the lane sum via `get()`.
 #[derive(Debug, Default)]
 pub struct MemStats {
     /// Load accesses (per line segment).
-    pub loads: Metric,
+    pub loads: ShardedMetric,
     /// Store accesses (per line segment).
-    pub stores: Metric,
+    pub stores: ShardedMetric,
     /// Hits in the L1D filter.
-    pub l1d_hits: Metric,
+    pub l1d_hits: ShardedMetric,
     /// Hits in the coherence-level cache (L2, or L1D when it is the only
     /// level).
-    pub l2_hits: Metric,
+    pub l2_hits: ShardedMetric,
     /// Misses requiring a directory transaction with data transfer.
-    pub misses: Metric,
+    pub misses: ShardedMetric,
     /// Write-permission upgrades (line present Shared, no data transfer).
-    pub upgrades: Metric,
+    pub upgrades: ShardedMetric,
     /// Invalidation messages sent to sharers.
-    pub invalidations: Metric,
+    pub invalidations: ShardedMetric,
     /// Dirty writebacks (evictions and downgrades of Modified lines).
-    pub writebacks: Metric,
+    pub writebacks: ShardedMetric,
     /// DRAM data reads.
-    pub dram_reads: Metric,
+    pub dram_reads: ShardedMetric,
     /// Misses by classified kind (only populated when classification is on).
-    pub miss_cold: Metric,
+    pub miss_cold: ShardedMetric,
     /// See [`MemStats::miss_cold`].
-    pub miss_capacity: Metric,
+    pub miss_capacity: ShardedMetric,
     /// See [`MemStats::miss_cold`].
-    pub miss_true_sharing: Metric,
+    pub miss_true_sharing: ShardedMetric,
     /// See [`MemStats::miss_cold`].
-    pub miss_false_sharing: Metric,
+    pub miss_false_sharing: ShardedMetric,
     /// Sharer evictions forced by a full limited directory (DirNB).
-    pub forced_evictions: Metric,
+    pub forced_evictions: ShardedMetric,
     /// LimitLESS software traps taken at directories.
-    pub limitless_traps: Metric,
+    pub limitless_traps: ShardedMetric,
     /// Fills served cache-to-cache from a Modified owner.
-    pub remote_fills: Metric,
+    pub remote_fills: ShardedMetric,
     /// Total memory-access latency accumulated (cycles).
-    pub latency_sum: Metric,
+    pub latency_sum: ShardedMetric,
     /// Instruction fetch accesses.
-    pub ifetches: Metric,
+    pub ifetches: ShardedMetric,
     /// Instruction fetch misses.
-    pub ifetch_misses: Metric,
+    pub ifetch_misses: ShardedMetric,
     /// Largest single access latency seen (cycles; diagnostic).
-    pub max_latency: Metric,
+    pub max_latency: ShardedMetric,
     /// Exclusive-state grants on read misses (MESI only).
-    pub exclusive_grants: Metric,
+    pub exclusive_grants: ShardedMetric,
     /// Writes satisfied by a silent Exclusive→Modified upgrade (MESI only):
     /// no directory transaction needed.
-    pub silent_upgrades: Metric,
+    pub silent_upgrades: ShardedMetric,
 }
 
 impl MemStats {
     /// Builds stats whose counters are registered in `metrics` under the
     /// `mem.*` namespace, so snapshots and reports read the same cells.
+    /// Each name still appears as a single scalar in `metrics.json`; the
+    /// lanes are an implementation detail folded at snapshot time.
     pub fn registered(metrics: &MetricsRegistry) -> Self {
         MemStats {
-            loads: metrics.counter("mem.loads"),
-            stores: metrics.counter("mem.stores"),
-            l1d_hits: metrics.counter("mem.l1d_hits"),
-            l2_hits: metrics.counter("mem.l2_hits"),
-            misses: metrics.counter("mem.misses"),
-            upgrades: metrics.counter("mem.upgrades"),
-            invalidations: metrics.counter("mem.invalidations"),
-            writebacks: metrics.counter("mem.writebacks"),
-            dram_reads: metrics.counter("mem.dram_reads"),
-            miss_cold: metrics.counter("mem.miss_cold"),
-            miss_capacity: metrics.counter("mem.miss_capacity"),
-            miss_true_sharing: metrics.counter("mem.miss_true_sharing"),
-            miss_false_sharing: metrics.counter("mem.miss_false_sharing"),
-            forced_evictions: metrics.counter("mem.forced_evictions"),
-            limitless_traps: metrics.counter("mem.limitless_traps"),
-            remote_fills: metrics.counter("mem.remote_fills"),
-            latency_sum: metrics.counter("mem.latency_sum"),
-            ifetches: metrics.counter("mem.ifetches"),
-            ifetch_misses: metrics.counter("mem.ifetch_misses"),
-            max_latency: metrics.counter("mem.max_latency"),
-            exclusive_grants: metrics.counter("mem.exclusive_grants"),
-            silent_upgrades: metrics.counter("mem.silent_upgrades"),
+            loads: metrics.sharded_counter("mem.loads"),
+            stores: metrics.sharded_counter("mem.stores"),
+            l1d_hits: metrics.sharded_counter("mem.l1d_hits"),
+            l2_hits: metrics.sharded_counter("mem.l2_hits"),
+            misses: metrics.sharded_counter("mem.misses"),
+            upgrades: metrics.sharded_counter("mem.upgrades"),
+            invalidations: metrics.sharded_counter("mem.invalidations"),
+            writebacks: metrics.sharded_counter("mem.writebacks"),
+            dram_reads: metrics.sharded_counter("mem.dram_reads"),
+            miss_cold: metrics.sharded_counter("mem.miss_cold"),
+            miss_capacity: metrics.sharded_counter("mem.miss_capacity"),
+            miss_true_sharing: metrics.sharded_counter("mem.miss_true_sharing"),
+            miss_false_sharing: metrics.sharded_counter("mem.miss_false_sharing"),
+            forced_evictions: metrics.sharded_counter("mem.forced_evictions"),
+            limitless_traps: metrics.sharded_counter("mem.limitless_traps"),
+            remote_fills: metrics.sharded_counter("mem.remote_fills"),
+            latency_sum: metrics.sharded_counter("mem.latency_sum"),
+            ifetches: metrics.sharded_counter("mem.ifetches"),
+            ifetch_misses: metrics.sharded_counter("mem.ifetch_misses"),
+            max_latency: metrics.sharded_max("mem.max_latency"),
+            exclusive_grants: metrics.sharded_counter("mem.exclusive_grants"),
+            silent_upgrades: metrics.sharded_counter("mem.silent_upgrades"),
         }
     }
 
@@ -196,12 +206,12 @@ impl MemStats {
         }
     }
 
-    fn record_kind(&self, kind: MissKind) {
+    fn record_kind(&self, lane: usize, kind: MissKind) {
         match kind {
-            MissKind::Cold => self.miss_cold.incr(),
-            MissKind::Capacity => self.miss_capacity.incr(),
-            MissKind::TrueSharing => self.miss_true_sharing.incr(),
-            MissKind::FalseSharing => self.miss_false_sharing.incr(),
+            MissKind::Cold => self.miss_cold.incr_owned(lane),
+            MissKind::Capacity => self.miss_capacity.incr_owned(lane),
+            MissKind::TrueSharing => self.miss_true_sharing.incr_owned(lane),
+            MissKind::FalseSharing => self.miss_false_sharing.incr_owned(lane),
         }
     }
 }
@@ -295,6 +305,11 @@ impl PerTileMemCounters {
 /// ```
 pub struct MemorySystem {
     line_size: u32,
+    /// `log2(line_size)`; the config validates line sizes are powers of two,
+    /// so line/offset extraction is a shift and a mask, never a division.
+    line_shift: u32,
+    /// `line_size - 1`.
+    line_mask: u64,
     num_tiles: u32,
     tiles: Vec<Mutex<TileMem>>,
     shards: Vec<Mutex<HashMap<u64, DirEntry>>>,
@@ -309,8 +324,9 @@ pub struct MemorySystem {
     per_tile: Vec<PerTileMemCounters>,
     /// Simulated host process of each tile, for locality classification.
     proc_of_tile: Vec<u32>,
-    /// Distribution of per-access modeled latency.
-    latency_hist: Histogram,
+    /// Distribution of per-access modeled latency (per-tile lanes, folded at
+    /// snapshot time).
+    latency_hist: ShardedHistogram,
     tracer: Arc<Tracer>,
 }
 
@@ -358,8 +374,11 @@ impl MemorySystem {
         let dram = (0..ncontrollers)
             .map(|_| DramController::new(bytes_per_cycle, cfg.target.dram.access_latency))
             .collect();
+        debug_assert!(line_size.is_power_of_two(), "validated by SimConfig");
         MemorySystem {
             line_size,
+            line_shift: line_size.trailing_zeros(),
+            line_mask: line_size as u64 - 1,
             num_tiles: cfg.target.num_tiles,
             tiles,
             shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
@@ -372,7 +391,7 @@ impl MemorySystem {
             stats: MemStats::registered(&obs.metrics),
             per_tile: PerTileMemCounters::registered_lanes(&obs.metrics),
             proc_of_tile: (0..cfg.target.num_tiles).map(|t| cfg.process_of_tile(t)).collect(),
-            latency_hist: obs.metrics.histogram("mem.latency_cycles"),
+            latency_hist: obs.metrics.sharded_histogram("mem.latency_cycles"),
             tracer: Arc::clone(&obs.tracer),
         }
     }
@@ -411,7 +430,8 @@ impl MemorySystem {
     }
 
     fn shard_of(&self, line: u64) -> &Mutex<HashMap<u64, DirEntry>> {
-        &self.shards[(line % NUM_SHARDS as u64) as usize]
+        // NUM_SHARDS is a power of two; mask instead of divide.
+        &self.shards[(line & (NUM_SHARDS as u64 - 1)) as usize]
     }
 
     /// Routes a protocol leg stamped with a tile's real clock (requests,
@@ -435,13 +455,26 @@ impl MemorySystem {
 
     /// Reads `buf.len()` bytes at `addr` on behalf of `tile`, returning the
     /// modeled latency. Splits accesses that span cache lines.
+    ///
+    /// The dominant case — a `Ctx::load` of an aligned scalar (≤ 8 bytes,
+    /// always within one line) — takes the single-segment path: no splitting
+    /// loop, line and offset computed once by shift/mask.
+    #[inline]
     pub fn read(&self, tile: TileId, now: Cycles, addr: Addr, buf: &mut [u8]) -> Cycles {
+        let len = buf.len();
+        if len > 0 && (addr.0 & self.line_mask) as usize + len <= self.line_size as usize {
+            return self.access_line(tile, now, addr, LineOp::Read(buf));
+        }
+        self.read_multi(tile, now, addr, buf)
+    }
+
+    fn read_multi(&self, tile: TileId, now: Cycles, addr: Addr, buf: &mut [u8]) -> Cycles {
         let mut total = Cycles::ZERO;
-        let ls = self.line_size as u64;
+        let ls = self.line_size as usize;
         let mut done = 0usize;
         while done < buf.len() {
             let a = addr.offset(done as u64);
-            let in_line = (ls - a.0 % ls) as usize;
+            let in_line = ls - (a.0 & self.line_mask) as usize;
             let n = in_line.min(buf.len() - done);
             total += self.access_line(tile, now + total, a, LineOp::Read(&mut buf[done..done + n]));
             done += n;
@@ -450,14 +483,24 @@ impl MemorySystem {
     }
 
     /// Writes `bytes` at `addr` on behalf of `tile`, returning the modeled
-    /// latency. Splits accesses that span cache lines.
+    /// latency. Splits accesses that span cache lines; single-line accesses
+    /// (every aligned `Ctx::store` of ≤ 8 bytes) skip the splitting loop.
+    #[inline]
     pub fn write(&self, tile: TileId, now: Cycles, addr: Addr, bytes: &[u8]) -> Cycles {
+        let len = bytes.len();
+        if len > 0 && (addr.0 & self.line_mask) as usize + len <= self.line_size as usize {
+            return self.access_line(tile, now, addr, LineOp::Write(bytes));
+        }
+        self.write_multi(tile, now, addr, bytes)
+    }
+
+    fn write_multi(&self, tile: TileId, now: Cycles, addr: Addr, bytes: &[u8]) -> Cycles {
         let mut total = Cycles::ZERO;
-        let ls = self.line_size as u64;
+        let ls = self.line_size as usize;
         let mut done = 0usize;
         while done < bytes.len() {
             let a = addr.offset(done as u64);
-            let in_line = (ls - a.0 % ls) as usize;
+            let in_line = ls - (a.0 & self.line_mask) as usize;
             let n = in_line.min(bytes.len() - done);
             total += self.access_line(tile, now + total, a, LineOp::Write(&bytes[done..done + n]));
             done += n;
@@ -466,10 +509,12 @@ impl MemorySystem {
     }
 
     /// Models an instruction fetch through the (tag-only) L1I; misses charge
-    /// the L2 hit latency, assuming code is resident on chip.
-    pub fn ifetch(&self, tile: TileId, _now: Cycles, addr: Addr) -> Cycles {
-        self.stats.ifetches.incr();
-        let mut tm = self.tiles[tile.index()].lock();
+    /// the L2 hit latency, assuming code is resident on chip. Miss latency is
+    /// charged to the tile's `mem.tile.latency_sum` lane like data accesses.
+    pub fn ifetch(&self, tile: TileId, now: Cycles, addr: Addr) -> Cycles {
+        let lane = tile.index();
+        self.stats.ifetches.incr_owned(lane);
+        let mut tm = self.tiles[lane].lock();
         let Some(l1i) = tm.l1i.as_mut() else {
             return Cycles(1);
         };
@@ -478,63 +523,72 @@ impl MemorySystem {
         if l1i.lookup(line).is_some() {
             return l1i_lat;
         }
-        self.stats.ifetch_misses.incr();
-        self.tracer.emit(tile, _now, || TraceEventKind::MemOpDone {
-            op: "ifetch",
-            addr: addr.0,
-            latency: l1i_lat.0,
-            hit: false,
-        });
+        self.stats.ifetch_misses.incr_owned(lane);
         l1i.insert(line, LineState::Shared, None);
         let l2_lat = tm.l2.as_ref().map(|c| c.access_latency()).unwrap_or(Cycles(8));
-        l1i_lat + l2_lat
+        drop(tm);
+        let total = l1i_lat + l2_lat;
+        self.per_tile[lane].latency_sum.add_owned(total.0);
+        self.tracer.emit(tile, now, || TraceEventKind::MemOpDone {
+            op: "ifetch",
+            addr: addr.0,
+            latency: total.0,
+            hit: false,
+        });
+        total
     }
 
     fn access_line(&self, tile: TileId, now: Cycles, addr: Addr, mut op: LineOp) -> Cycles {
-        let line = addr.line(self.line_size);
-        let off = (addr.0 % self.line_size as u64) as usize;
+        let line = addr.0 >> self.line_shift;
+        let off = (addr.0 & self.line_mask) as usize;
+        let lane = tile.index();
         let is_write = op.is_write();
         let op_name = if is_write { "store" } else { "load" };
         if is_write {
-            self.stats.stores.incr();
+            self.stats.stores.incr_owned(lane);
         } else {
-            self.stats.loads.incr();
+            self.stats.loads.incr_owned(lane);
         }
-        self.per_tile[tile.index()].accesses.incr();
-        self.tracer.emit(tile, now, || TraceEventKind::MemOpStart { op: op_name, addr: addr.0 });
-        // Fast path: local hit with sufficient permission.
-        if let Some(lat) = self.try_local_hit(tile, line, off, &mut op) {
-            if is_write && self.classifier.enabled() {
-                self.classifier.on_write(tile, line, off as u64, op.len() as u64);
-            }
-            self.stats.latency_sum.add(lat.0);
-            self.latency_hist.record(lat.0);
+        self.per_tile[lane].accesses.incr_owned();
+        // One tracer gate for both endpoint events; disabled tracing costs a
+        // single predictable branch per access.
+        let tracing = self.tracer.is_enabled();
+        if tracing {
+            self.tracer
+                .emit(tile, now, || TraceEventKind::MemOpStart { op: op_name, addr: addr.0 });
+        }
+        // Fast path: local hit with sufficient permission. Hits and misses
+        // record the same metric set (latency sum, per-tile latency, max,
+        // histogram), so per-tile means cover every access, not just misses.
+        let (lat, hit) = match self.try_local_hit(tile, line, off, &mut op) {
+            Some(lat) => (lat, true),
+            None => (self.miss_transaction(tile, now, line, off, &mut op), false),
+        };
+        if is_write && self.classifier.enabled() {
+            self.classifier.on_write(tile, line, off as u64, op.len() as u64);
+        }
+        self.stats.latency_sum.add_owned(lane, lat.0);
+        self.per_tile[lane].latency_sum.add_owned(lat.0);
+        self.stats.max_latency.observe_max(lane, lat.0);
+        self.latency_hist.record_owned(lane, lat.0);
+        if tracing {
             self.tracer.emit(tile, now, || TraceEventKind::MemOpDone {
                 op: op_name,
                 addr: addr.0,
                 latency: lat.0,
-                hit: true,
+                hit,
             });
-            return lat;
         }
-        let lat = self.miss_transaction(tile, now, line, off, &mut op);
-        if is_write && self.classifier.enabled() {
-            self.classifier.on_write(tile, line, off as u64, op.len() as u64);
-        }
-        self.stats.latency_sum.add(lat.0);
-        self.latency_hist.record(lat.0);
-        self.per_tile[tile.index()].latency_sum.add(lat.0);
-        self.stats.max_latency.observe_max(lat.0);
-        self.tracer.emit(tile, now, || TraceEventKind::MemOpDone {
-            op: op_name,
-            addr: addr.0,
-            latency: lat.0,
-            hit: false,
-        });
         lat
     }
 
     /// Attempts to satisfy the access from the tile's own hierarchy.
+    ///
+    /// This is the straight-line section the tile mutex protects on the hot
+    /// path: one split borrow of the hierarchy (no repeated
+    /// `as_ref().unwrap()` re-probes), a single tag scan per level (`lookup`
+    /// returns the line, so no second `peek_mut` scan to apply the data op),
+    /// and no heap allocation.
     fn try_local_hit(
         &self,
         tile: TileId,
@@ -542,106 +596,110 @@ impl MemorySystem {
         off: usize,
         op: &mut LineOp,
     ) -> Option<Cycles> {
-        let mut tm = self.tiles[tile.index()].lock();
+        let lane = tile.index();
         let is_write = op.is_write();
-        if tm.has_l1_filter() {
-            let l1_lat = tm.l1d.as_ref().unwrap().access_latency();
-            let l2_lat = tm.l2.as_ref().unwrap().access_latency();
-            let l1_state = tm.l1d.as_mut().unwrap().lookup(line).map(|l| l.state);
-            if let Some(state) = l1_state {
-                if !is_write || state.writable() {
-                    if is_write && state == LineState::Exclusive {
-                        self.stats.silent_upgrades.incr();
-                    }
-                    Self::apply_op_l1_writethrough(&mut tm, line, off, op);
-                    self.stats.l1d_hits.incr();
-                    return Some(l1_lat);
+        let mut guard = self.tiles[lane].lock();
+        let tm = &mut *guard;
+        if let (Some(l1d), Some(l2)) = (tm.l1d.as_mut(), tm.l2.as_mut()) {
+            let l1_lat = l1d.access_latency();
+            if let Some(l1_line) = l1d.lookup(line) {
+                let state = l1_line.state;
+                if is_write && !state.writable() {
+                    return None; // upgrade required
                 }
-                return None; // upgrade required
+                if let LineOp::Read(buf) = op {
+                    let data = l1_line.data.as_ref().unwrap();
+                    buf.copy_from_slice(&data[off..off + buf.len()]);
+                } else {
+                    if state == LineState::Exclusive {
+                        self.stats.silent_upgrades.incr_owned(lane);
+                    }
+                    let l2_line = l2.peek_mut(line).expect("inclusion: L1 ⊆ L2");
+                    Self::write_through(l1_line, l2_line, off, op);
+                }
+                self.stats.l1d_hits.incr_owned(lane);
+                return Some(l1_lat);
             }
-            let l2_state = tm.l2.as_mut().unwrap().lookup(line).map(|l| l.state);
-            if let Some(state) = l2_state {
-                if !is_write || state.writable() {
-                    if is_write && state == LineState::Exclusive {
-                        self.stats.silent_upgrades.incr();
-                    }
-                    // Refill L1 from L2 (clean copy; write-through keeps L2
-                    // current, so L1 evictions are silent).
-                    let data = tm.l2.as_mut().unwrap().peek_mut(line).unwrap().data.clone();
-                    let l1 = tm.l1d.as_mut().unwrap();
-                    if l1.peek(line).is_none() {
-                        l1.insert(line, state, data);
-                    }
-                    Self::apply_op_l1_writethrough(&mut tm, line, off, op);
-                    self.stats.l2_hits.incr();
-                    return Some(l1_lat + l2_lat);
-                }
+            let l2_lat = l2.access_latency();
+            let l2_line = l2.lookup(line)?;
+            let state = l2_line.state;
+            if is_write && !state.writable() {
                 return None;
             }
-            None
-        } else {
-            let coh = tm.coh();
-            let lat = coh.access_latency();
-            let state = coh.lookup(line).map(|l| l.state);
-            match state {
-                Some(s) if !is_write || s.writable() => {
-                    if is_write && s == LineState::Exclusive {
-                        self.stats.silent_upgrades.incr();
-                    }
-                    Self::apply_op_single(tm.coh(), line, off, op);
-                    self.stats.l2_hits.incr();
-                    Some(lat)
+            // Apply on the authoritative L2 copy, then refill L1 with the
+            // resulting line (write-through keeps L2 current, so L1
+            // evictions are silent).
+            let fill_state = match op {
+                LineOp::Read(buf) => {
+                    let data = l2_line.data.as_ref().unwrap();
+                    buf.copy_from_slice(&data[off..off + buf.len()]);
+                    state
                 }
-                _ => None,
+                _ => {
+                    if state == LineState::Exclusive {
+                        self.stats.silent_upgrades.incr_owned(lane);
+                    }
+                    l2_line.state = LineState::Modified;
+                    let data = l2_line.data.as_mut().unwrap();
+                    match op {
+                        LineOp::Write(bytes) => data[off..off + bytes.len()].copy_from_slice(bytes),
+                        LineOp::Rmw { old, f } => apply_rmw(data, off, old, *f),
+                        LineOp::Read(_) => unreachable!("handled above"),
+                    }
+                    LineState::Modified
+                }
+            };
+            let data = l2_line.data.clone();
+            debug_assert!(l1d.peek(line).is_none(), "L1 lookup above already missed");
+            l1d.insert(line, fill_state, data);
+            self.stats.l2_hits.incr_owned(lane);
+            Some(l1_lat + l2_lat)
+        } else {
+            let coh = tm.l2.as_mut().or(tm.l1d.as_mut()).expect("validated: some cache level");
+            let lat = coh.access_latency();
+            let entry = coh.lookup(line)?;
+            if is_write && !entry.state.writable() {
+                return None;
             }
-        }
-    }
-
-    /// Applies the data operation to both L1D and L2 copies (write-through):
-    /// the L2 copy is authoritative; writes propagate the resulting window
-    /// into the L1 copy.
-    fn apply_op_l1_writethrough(tm: &mut TileMem, line: u64, off: usize, op: &mut LineOp) {
-        if let LineOp::Read(buf) = op {
-            let l1 = tm.l1d.as_mut().unwrap().peek_mut(line).unwrap();
-            let data = l1.data.as_ref().unwrap();
-            buf.copy_from_slice(&data[off..off + buf.len()]);
-            return;
-        }
-        let n = op.len();
-        let mut result = vec![0u8; n];
-        {
-            let l2 = tm.l2.as_mut().unwrap().peek_mut(line).expect("inclusion: L1 ⊆ L2");
-            debug_assert!(l2.state.writable(), "write-through needs write permission");
-            l2.state = LineState::Modified;
-            let data = l2.data.as_mut().unwrap();
             match op {
-                LineOp::Write(bytes) => data[off..off + n].copy_from_slice(bytes),
-                LineOp::Rmw { old, f } => apply_rmw(data, off, old, *f),
-                LineOp::Read(_) => unreachable!("handled above"),
+                LineOp::Read(buf) => {
+                    let data = entry.data.as_ref().unwrap();
+                    buf.copy_from_slice(&data[off..off + buf.len()]);
+                }
+                LineOp::Write(bytes) => {
+                    if entry.state == LineState::Exclusive {
+                        self.stats.silent_upgrades.incr_owned(lane);
+                    }
+                    entry.state = LineState::Modified;
+                    entry.data.as_mut().unwrap()[off..off + bytes.len()].copy_from_slice(bytes);
+                }
+                LineOp::Rmw { old, f } => {
+                    if entry.state == LineState::Exclusive {
+                        self.stats.silent_upgrades.incr_owned(lane);
+                    }
+                    entry.state = LineState::Modified;
+                    apply_rmw(entry.data.as_mut().unwrap(), off, old, *f);
+                }
             }
-            result.copy_from_slice(&data[off..off + n]);
+            self.stats.l2_hits.incr_owned(lane);
+            Some(lat)
         }
-        let l1 = tm.l1d.as_mut().unwrap().peek_mut(line).unwrap();
-        l1.state = LineState::Modified;
-        l1.data.as_mut().unwrap()[off..off + n].copy_from_slice(&result);
     }
 
-    fn apply_op_single(cache: &mut Cache, line: u64, off: usize, op: &mut LineOp) {
-        let entry = cache.peek_mut(line).expect("resident");
+    /// Applies a write (or RMW) to both copies of a write-through pair: the
+    /// L2 copy is authoritative; the resulting window propagates into L1.
+    fn write_through(l1: &mut CacheLine, l2: &mut CacheLine, off: usize, op: &mut LineOp) {
+        let n = op.len();
+        debug_assert!(l2.state.writable(), "write-through needs write permission");
+        l2.state = LineState::Modified;
+        let l2_data = l2.data.as_mut().unwrap();
         match op {
-            LineOp::Read(buf) => {
-                let data = entry.data.as_ref().unwrap();
-                buf.copy_from_slice(&data[off..off + buf.len()]);
-            }
-            LineOp::Write(bytes) => {
-                entry.state = LineState::Modified;
-                entry.data.as_mut().unwrap()[off..off + bytes.len()].copy_from_slice(bytes);
-            }
-            LineOp::Rmw { old, f } => {
-                entry.state = LineState::Modified;
-                apply_rmw(entry.data.as_mut().unwrap(), off, old, *f);
-            }
+            LineOp::Write(bytes) => l2_data[off..off + n].copy_from_slice(bytes),
+            LineOp::Rmw { old, f } => apply_rmw(l2_data, off, old, *f),
+            LineOp::Read(_) => unreachable!("reads are served from L1"),
         }
+        l1.state = LineState::Modified;
+        l1.data.as_mut().unwrap()[off..off + n].copy_from_slice(&l2_data[off..off + n]);
     }
 
     /// The slow path: evictions, then one directory transaction.
@@ -668,9 +726,9 @@ impl MemorySystem {
         // Phase 2: the directory transaction.
         let home = self.home_of(line);
         let is_write = op.is_write();
-        self.per_tile[tile.index()].transactions.incr();
+        self.per_tile[tile.index()].transactions.incr_owned();
         if self.proc_of_tile[tile.index()] != self.proc_of_tile[home.index()] {
-            self.per_tile[tile.index()].remote_home_transactions.incr();
+            self.per_tile[tile.index()].remote_home_transactions.incr_owned();
         }
         let lookup_lat = {
             let tm = self.tiles[tile.index()].lock();
@@ -703,7 +761,7 @@ impl MemorySystem {
                 _ => false,
             };
             if overflowed {
-                self.stats.limitless_traps.incr();
+                self.stats.limitless_traps.incr_owned(tile.index());
                 t_home += Cycles(trap_cycles);
                 self.tracer.emit(tile, t_home, || TraceEventKind::DirLeg {
                     leg: "limitless_trap",
@@ -727,7 +785,7 @@ impl MemorySystem {
         match (entry.state, is_write) {
             (DirState::Uncached, _) => {
                 let dram_lat = self.controller_of(home).access(est_now, self.line_size);
-                self.stats.dram_reads.incr();
+                self.stats.dram_reads.incr_owned(tile.index());
                 data_ready = t_home + dram_lat;
                 fill_data = Some(entry.data.clone());
                 entry.state = if is_write {
@@ -735,7 +793,7 @@ impl MemorySystem {
                 } else if self.protocol == CacheProtocol::Mesi {
                     // MESI: the sole reader takes the line Exclusive and may
                     // later write it without another directory transaction.
-                    self.stats.exclusive_grants.incr();
+                    self.stats.exclusive_grants.incr_owned(tile.index());
                     fill_state = LineState::Exclusive;
                     DirState::Owned(tile)
                 } else {
@@ -758,8 +816,8 @@ impl MemorySystem {
                             .or_else(|| entry.sharers.iter().find(|&s| s != tile))
                             .expect("non-empty");
                         entry.sharers.remove(victim);
-                        self.stats.forced_evictions.incr();
-                        self.stats.invalidations.incr();
+                        self.stats.forced_evictions.incr_owned(tile.index());
+                        self.stats.invalidations.incr_owned(tile.index());
                         let mut vt = self.lock_tile(victim);
                         vt.purge(line);
                         self.classifier.on_departure(victim, line, true);
@@ -770,7 +828,7 @@ impl MemorySystem {
                     }
                 }
                 let dram_lat = self.controller_of(home).access(est_now, self.line_size);
-                self.stats.dram_reads.incr();
+                self.stats.dram_reads.incr_owned(tile.index());
                 data_ready = data_ready.max(t_home + dram_lat);
                 fill_data = Some(entry.data.clone());
                 entry.sharers.insert(tile);
@@ -781,7 +839,7 @@ impl MemorySystem {
                 let others: Vec<TileId> = entry.sharers.iter().filter(|&s| s != tile).collect();
                 let mut t_inv_done = t_home;
                 for s in &others {
-                    self.stats.invalidations.incr();
+                    self.stats.invalidations.incr_owned(tile.index());
                     let mut st = self.lock_tile(*s);
                     st.purge(line);
                     self.classifier.on_departure(*s, line, true);
@@ -793,7 +851,7 @@ impl MemorySystem {
                 entry.state = DirState::Owned(tile);
                 if was_sharer {
                     // Upgrade: data already resident, permission-only reply.
-                    self.stats.upgrades.incr();
+                    self.stats.upgrades.incr_owned(tile.index());
                     self.tracer.emit(tile, t_home, || TraceEventKind::DirLeg {
                         leg: "upgrade",
                         addr: line * self.line_size as u64,
@@ -804,7 +862,7 @@ impl MemorySystem {
                     data_ready = t_inv_done;
                 } else {
                     let dram_lat = self.controller_of(home).access(est_now, self.line_size);
-                    self.stats.dram_reads.incr();
+                    self.stats.dram_reads.incr_owned(tile.index());
                     data_ready = t_inv_done.max(t_home + dram_lat);
                     fill_data = Some(entry.data.clone());
                 }
@@ -814,7 +872,7 @@ impl MemorySystem {
                 // Forward to owner; owner supplies data (if dirty) and is
                 // downgraded (read) or invalidated (write); home memory is
                 // updated on a dirty transfer.
-                self.stats.remote_fills.incr();
+                self.stats.remote_fills.incr_owned(tile.index());
                 self.tracer.emit(tile, t_home, || TraceEventKind::DirLeg {
                     leg: "remote_fill",
                     addr: line * self.line_size as u64,
@@ -823,7 +881,7 @@ impl MemorySystem {
                 let (data, was_dirty) = {
                     let mut ot = self.lock_tile(owner);
                     if is_write {
-                        self.stats.invalidations.incr();
+                        self.stats.invalidations.incr_owned(tile.index());
                         let (st, data) = ot.purge(line).expect("owner holds the line");
                         self.classifier.on_departure(owner, line, true);
                         (data.expect("coherence cache stores data"), st == LineState::Modified)
@@ -843,7 +901,7 @@ impl MemorySystem {
                     }
                 };
                 if was_dirty {
-                    self.stats.writebacks.incr();
+                    self.stats.writebacks.incr_owned(tile.index());
                     entry.data = data.clone();
                     // Home memory is updated in parallel with the response;
                     // the write occupies the controller off the critical path.
@@ -888,11 +946,11 @@ impl MemorySystem {
                 }
                 Self::apply_write_everywhere(&mut tm, line, off, op);
             } else {
-                self.stats.misses.incr();
+                self.stats.misses.incr_owned(tile.index());
                 if let Some(kind) =
                     self.classifier.classify_fill(tile, line, off as u64, op.len() as u64)
                 {
-                    self.stats.record_kind(kind);
+                    self.stats.record_kind(tile.index(), kind);
                 }
                 let mut data = fill_data.expect("miss path always has data");
                 match op {
@@ -967,7 +1025,7 @@ impl MemorySystem {
                 debug_assert_eq!(entry.state, DirState::Owned(tile));
                 entry.data = data.expect("coherence cache stores data");
                 entry.state = DirState::Uncached;
-                self.stats.writebacks.incr();
+                self.stats.writebacks.incr_owned(tile.index());
                 self.tracer.emit(tile, now, || TraceEventKind::DirLeg {
                     leg: "writeback",
                     addr: vline * self.line_size as u64,

@@ -41,7 +41,7 @@ use std::sync::Arc;
 
 use graphite_base::{Cycles, GlobalProgress, TileId};
 use graphite_config::{NetworkKind, SimConfig};
-use graphite_trace::{Metric, MetricsRegistry, Obs, TraceEventKind, Tracer};
+use graphite_trace::{MetricsRegistry, Obs, ShardedMetric, TraceEventKind, Tracer};
 
 pub use models::{BasicModel, MeshContentionModel, MeshModel, NetworkModel, RingModel};
 pub use topology::MeshTopology;
@@ -86,29 +86,34 @@ pub enum TrafficClass {
 }
 
 /// Per-class traffic statistics.
+///
+/// Counters are sharded per source tile: `route` is on the memory-system hot
+/// path (every protocol leg passes through it), so each update lands in the
+/// sending tile's cache-padded lane rather than a globally shared cell.
 #[derive(Debug, Default)]
 pub struct ClassStats {
     /// Packets routed.
-    pub packets: Metric,
+    pub packets: ShardedMetric,
     /// Sum of hop counts.
-    pub hops: Metric,
+    pub hops: ShardedMetric,
     /// Sum of modeled latencies (cycles).
-    pub latency_sum: Metric,
+    pub latency_sum: ShardedMetric,
     /// Sum of contention delays (cycles).
-    pub contention_sum: Metric,
+    pub contention_sum: ShardedMetric,
     /// Sum of payload bytes.
-    pub bytes: Metric,
+    pub bytes: ShardedMetric,
 }
 
 impl ClassStats {
-    /// Builds stats registered in `metrics` under `net.<class>.*`.
+    /// Builds stats registered in `metrics` under `net.<class>.*`. Each name
+    /// still snapshots as a single scalar; the per-tile lanes are folded.
     pub fn registered(metrics: &MetricsRegistry, class: &str) -> Self {
         ClassStats {
-            packets: metrics.counter(&format!("net.{class}.packets")),
-            hops: metrics.counter(&format!("net.{class}.hops")),
-            latency_sum: metrics.counter(&format!("net.{class}.latency_sum")),
-            contention_sum: metrics.counter(&format!("net.{class}.contention_sum")),
-            bytes: metrics.counter(&format!("net.{class}.bytes")),
+            packets: metrics.sharded_counter(&format!("net.{class}.packets")),
+            hops: metrics.sharded_counter(&format!("net.{class}.hops")),
+            latency_sum: metrics.sharded_counter(&format!("net.{class}.latency_sum")),
+            contention_sum: metrics.sharded_counter(&format!("net.{class}.contention_sum")),
+            bytes: metrics.sharded_counter(&format!("net.{class}.bytes")),
         }
     }
 
@@ -123,11 +128,12 @@ impl ClassStats {
     }
 
     fn record(&self, p: &Packet, d: &Delivery) {
-        self.packets.incr();
-        self.hops.add(d.hops as u64);
-        self.latency_sum.add(d.latency.0);
-        self.contention_sum.add(d.contention.0);
-        self.bytes.add(p.size_bytes as u64);
+        let lane = p.src.index();
+        self.packets.incr(lane);
+        self.hops.add(lane, d.hops as u64);
+        self.latency_sum.add(lane, d.latency.0);
+        self.contention_sum.add(lane, d.contention.0);
+        self.bytes.add(lane, p.size_bytes as u64);
     }
 }
 

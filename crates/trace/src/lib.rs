@@ -44,7 +44,10 @@ pub mod json;
 pub mod metrics;
 pub mod tracer;
 
-pub use metrics::{Histogram, HistogramSnapshot, Metric, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    Histogram, HistogramSnapshot, LaneFold, Metric, MetricsRegistry, MetricsSnapshot,
+    ShardedHistogram, ShardedMetric,
+};
 pub use tracer::{export_jsonl, TraceEvent, TraceEventKind, Tracer};
 
 /// Runtime tracing configuration.

@@ -58,6 +58,22 @@ impl Metric {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds one under the single-writer convention (see [`Metric::add_owned`]).
+    #[inline]
+    pub fn incr_owned(&self) {
+        self.add_owned(1);
+    }
+
+    /// Adds `n` to a counter only ever written by the calling thread: a plain
+    /// load + store instead of a locked read-modify-write. Concurrent readers
+    /// ([`Metric::get`]) stay race-free, but racing *writers* would lose
+    /// increments — use [`Metric::add`] unless this counter is thread-owned.
+    #[inline]
+    pub fn add_owned(&self, n: u64) {
+        let v = self.0.load(Ordering::Relaxed).wrapping_add(n);
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
@@ -76,7 +92,285 @@ impl Metric {
     }
 }
 
+/// How a sharded metric's lanes combine into one reported value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneFold {
+    /// Lanes are partial counts; the metric's value is their sum.
+    Sum,
+    /// Lanes are per-tile high-water marks; the value is their maximum.
+    Max,
+}
+
+/// One cache-padded counter lane. 128-byte alignment keeps adjacent lanes on
+/// separate cache-line *pairs*, defeating the adjacent-line prefetcher that
+/// would otherwise re-create false sharing between neighbouring tiles.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct PaddedLane(AtomicU64);
+
+#[derive(Debug)]
+struct ShardedInner {
+    lanes: Box<[PaddedLane]>,
+    /// `lanes.len() - 1`; lane count is a power of two so any caller-supplied
+    /// lane index folds in with a mask instead of a division.
+    mask: usize,
+    fold: LaneFold,
+}
+
+/// A shared `u64` counter split into cache-padded per-tile lanes.
+///
+/// The contention-free counterpart of [`Metric`]: writers update *their own*
+/// lane (`incr`/`add`/`observe_max` take a lane index, by convention the
+/// requesting tile), so concurrent tiles never touch a shared-writable cache
+/// line. Readers fold the lanes at read time ([`ShardedMetric::get`]), which
+/// is exact — relaxed per-lane loads of values only ever written with
+/// relaxed RMWs — but O(lanes) instead of O(1).
+///
+/// Lane indices out of range fold in with a mask, so a detached counter
+/// (`Default`, one lane) accepts any tile id and still sums correctly.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_trace::ShardedMetric;
+/// let m = ShardedMetric::new(4);
+/// m.add(0, 3);
+/// m.incr(3);
+/// assert_eq!(m.get(), 4);
+/// assert_eq!(m.lane_get(3), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedMetric(Arc<ShardedInner>);
+
+impl Default for ShardedMetric {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl ShardedMetric {
+    /// Creates a detached sum-folded counter with at least `lanes` lanes
+    /// (rounded up to a power of two).
+    pub fn new(lanes: usize) -> Self {
+        Self::with_fold(lanes, LaneFold::Sum)
+    }
+
+    /// Creates a detached counter with an explicit fold.
+    pub fn with_fold(lanes: usize, fold: LaneFold) -> Self {
+        let n = lanes.max(1).next_power_of_two();
+        ShardedMetric(Arc::new(ShardedInner {
+            lanes: (0..n).map(|_| PaddedLane::default()).collect(),
+            mask: n - 1,
+            fold,
+        }))
+    }
+
+    #[inline]
+    fn lane(&self, lane: usize) -> &AtomicU64 {
+        &self.0.lanes[lane & self.0.mask].0
+    }
+
+    /// Adds one to `lane`.
+    #[inline]
+    pub fn incr(&self, lane: usize) {
+        self.add(lane, 1);
+    }
+
+    /// Adds `n` to `lane`.
+    #[inline]
+    pub fn add(&self, lane: usize, n: u64) {
+        self.lane(lane).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to `lane`, which the caller owns (see
+    /// [`ShardedMetric::add_owned`]).
+    #[inline]
+    pub fn incr_owned(&self, lane: usize) {
+        self.add_owned(lane, 1);
+    }
+
+    /// Adds `n` to `lane` under the *single-writer* convention: only one
+    /// thread (the lane's owning tile) ever writes this lane. That makes a
+    /// plain load + store sufficient — no locked read-modify-write, which is
+    /// the bulk of a counter update's cost on the hot path. Concurrent
+    /// `get()`/snapshot readers are still race-free (atomic loads); a second
+    /// *writer* on the same lane would lose increments, so callers that
+    /// cannot guarantee lane ownership must use [`ShardedMetric::add`].
+    #[inline]
+    pub fn add_owned(&self, lane: usize, n: u64) {
+        let cell = self.lane(lane);
+        cell.store(cell.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
+    }
+
+    /// Raises `lane` to `n` if `n` is larger. After warm-up this is a plain
+    /// load on the hot path: the RMW only runs when the mark actually moves.
+    #[inline]
+    pub fn observe_max(&self, lane: usize, n: u64) {
+        let cell = self.lane(lane);
+        if cell.load(Ordering::Relaxed) < n {
+            cell.fetch_max(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The folded value across all lanes (sum or max, per construction).
+    pub fn get(&self) -> u64 {
+        let it = self.0.lanes.iter().map(|l| l.0.load(Ordering::Relaxed));
+        match self.0.fold {
+            LaneFold::Sum => it.fold(0u64, u64::wrapping_add),
+            LaneFold::Max => it.max().unwrap_or(0),
+        }
+    }
+
+    /// Number of lanes (a power of two).
+    pub fn num_lanes(&self) -> usize {
+        self.0.lanes.len()
+    }
+
+    /// Raw value of one lane (for invariant tests and lane-level reporting).
+    pub fn lane_get(&self, lane: usize) -> u64 {
+        self.lane(lane).load(Ordering::Relaxed)
+    }
+
+    /// How the lanes fold.
+    pub fn fold(&self) -> LaneFold {
+        self.0.fold
+    }
+}
+
 const HIST_BUCKETS: usize = 65;
+
+/// One cache-padded histogram lane: log₂ buckets plus a running sum. The
+/// sample count is *not* stored — it is the sum of the bucket counts, derived
+/// at snapshot time — so recording costs two relaxed RMWs, not three.
+#[derive(Debug)]
+#[repr(align(128))]
+struct HistLane {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for HistLane {
+    fn default() -> Self {
+        HistLane { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+#[derive(Debug)]
+struct ShardedHistInner {
+    lanes: Box<[HistLane]>,
+    mask: usize,
+}
+
+/// A log₂-bucketed histogram split into cache-padded per-tile lanes.
+///
+/// The contention-free counterpart of [`Histogram`]: each recording tile
+/// updates only its own lane, and [`ShardedHistogram::snapshot`] folds the
+/// lanes into the same [`HistogramSnapshot`] shape a plain histogram
+/// produces — bucket-for-bucket identical counts, so downstream consumers
+/// (reports, `metrics.json`) cannot tell the two apart.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_trace::ShardedHistogram;
+/// let h = ShardedHistogram::new(4);
+/// h.record(0, 5);
+/// h.record(3, 6);
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 2);
+/// assert_eq!(snap.sum, 11);
+/// assert_eq!(snap.buckets, vec![(7, 2)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedHistogram(Arc<ShardedHistInner>);
+
+impl Default for ShardedHistogram {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl ShardedHistogram {
+    /// Creates a detached sharded histogram with at least `lanes` lanes
+    /// (rounded up to a power of two).
+    pub fn new(lanes: usize) -> Self {
+        let n = lanes.max(1).next_power_of_two();
+        ShardedHistogram(Arc::new(ShardedHistInner {
+            lanes: (0..n).map(|_| HistLane::default()).collect(),
+            mask: n - 1,
+        }))
+    }
+
+    /// Records one sample in `lane` (two relaxed RMWs on that lane only).
+    #[inline]
+    pub fn record(&self, lane: usize, v: u64) {
+        let l = &self.0.lanes[lane & self.0.mask];
+        let idx = (64 - v.leading_zeros()) as usize;
+        l.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        l.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records one sample in a lane the caller owns (single-writer, like
+    /// [`ShardedMetric::add_owned`]): plain loads + stores, no locked RMW.
+    #[inline]
+    pub fn record_owned(&self, lane: usize, v: u64) {
+        let l = &self.0.lanes[lane & self.0.mask];
+        let idx = (64 - v.leading_zeros()) as usize;
+        let b = &l.buckets[idx];
+        b.store(b.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+        l.sum.store(l.sum.load(Ordering::Relaxed).wrapping_add(v), Ordering::Relaxed);
+    }
+
+    /// Number of lanes (a power of two).
+    pub fn num_lanes(&self) -> usize {
+        self.0.lanes.len()
+    }
+
+    /// Samples recorded in one lane (sum of its bucket counts).
+    pub fn lane_count(&self, lane: usize) -> u64 {
+        self.0.lanes[lane & self.0.mask]
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Sum of samples recorded in one lane.
+    pub fn lane_sum(&self, lane: usize) -> u64 {
+        self.0.lanes[lane & self.0.mask].sum.load(Ordering::Relaxed)
+    }
+
+    /// Total samples across all lanes.
+    pub fn count(&self) -> u64 {
+        (0..self.num_lanes()).map(|i| self.lane_count(i)).fold(0u64, u64::wrapping_add)
+    }
+
+    /// Sum of all samples across all lanes.
+    pub fn sum(&self) -> u64 {
+        self.0.lanes.iter().map(|l| l.sum.load(Ordering::Relaxed)).fold(0u64, u64::wrapping_add)
+    }
+
+    /// Folds all lanes into one distribution, shaped exactly like
+    /// [`Histogram::snapshot`].
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut folded = [0u64; HIST_BUCKETS];
+        let mut sum = 0u64;
+        for lane in self.0.lanes.iter() {
+            for (f, b) in folded.iter_mut().zip(lane.buckets.iter()) {
+                *f = f.wrapping_add(b.load(Ordering::Relaxed));
+            }
+            sum = sum.wrapping_add(lane.sum.load(Ordering::Relaxed));
+        }
+        let count = folded.iter().fold(0u64, |a, &n| a.wrapping_add(n));
+        let buckets = folded
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper(i), n))
+            .collect();
+        HistogramSnapshot { count, sum, buckets }
+    }
+}
 
 #[derive(Debug)]
 struct HistInner {
@@ -197,6 +491,8 @@ enum Entry {
     Counter(Metric),
     PerTile(Vec<Metric>),
     Histogram(Histogram),
+    Sharded(ShardedMetric),
+    ShardedHistogram(ShardedHistogram),
 }
 
 impl Entry {
@@ -205,6 +501,11 @@ impl Entry {
             Entry::Counter(_) => "counter",
             Entry::PerTile(_) => "per-tile counter",
             Entry::Histogram(_) => "histogram",
+            Entry::Sharded(m) => match m.fold() {
+                LaneFold::Sum => "sharded counter",
+                LaneFold::Max => "sharded max counter",
+            },
+            Entry::ShardedHistogram(_) => "sharded histogram",
         }
     }
 }
@@ -290,6 +591,62 @@ impl MetricsRegistry {
         }
     }
 
+    /// Returns the sharded (per-tile-lane, sum-folded) counter named `name`,
+    /// registering it on first use with one lane per tile.
+    ///
+    /// Snapshots report the *folded* value under `counters` — the name lives
+    /// in the same namespace and JSON section as [`MetricsRegistry::counter`],
+    /// so moving a hot counter onto lanes does not change the exported schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind
+    /// (including a max-folded sharded counter).
+    pub fn sharded_counter(&self, name: &str) -> ShardedMetric {
+        self.sharded(name, LaneFold::Sum)
+    }
+
+    /// Returns the sharded max-folded counter named `name` (a high-water mark
+    /// tracked per lane, reported as the maximum across lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind
+    /// (including a sum-folded sharded counter).
+    pub fn sharded_max(&self, name: &str) -> ShardedMetric {
+        self.sharded(name, LaneFold::Max)
+    }
+
+    fn sharded(&self, name: &str, fold: LaneFold) -> ShardedMetric {
+        let mut entries = self.entries.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Sharded(ShardedMetric::with_fold(self.num_tiles, fold)))
+        {
+            Entry::Sharded(m) if m.fold() == fold => m.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the sharded histogram named `name`, registering it on first
+    /// use with one lane per tile. Snapshots fold the lanes and report the
+    /// result under `histograms`, indistinguishable from a plain
+    /// [`Histogram`] with the same samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn sharded_histogram(&self, name: &str) -> ShardedHistogram {
+        let mut entries = self.entries.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::ShardedHistogram(ShardedHistogram::new(self.num_tiles)))
+        {
+            Entry::ShardedHistogram(h) => h.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
     /// Captures the current value of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let entries = self.entries.lock();
@@ -308,6 +665,12 @@ impl MetricsRegistry {
                     snap.per_tile.insert(name.clone(), v.iter().map(Metric::get).collect());
                 }
                 Entry::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+                Entry::Sharded(m) => {
+                    snap.counters.insert(name.clone(), m.get());
+                }
+                Entry::ShardedHistogram(h) => {
                     snap.histograms.insert(name.clone(), h.snapshot());
                 }
             }
@@ -427,6 +790,81 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.count, 6);
         assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (3, 2), (2047, 1), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn sharded_metric_folds_lanes() {
+        let m = ShardedMetric::new(3); // rounds up to 4 lanes
+        assert_eq!(m.num_lanes(), 4);
+        m.add(0, 10);
+        m.incr(2);
+        m.incr(6); // masks to lane 2
+        assert_eq!(m.get(), 12);
+        assert_eq!(m.lane_get(2), 2);
+        assert_eq!(m.lane_get(1), 0);
+    }
+
+    #[test]
+    fn sharded_metric_max_fold() {
+        let m = ShardedMetric::with_fold(4, LaneFold::Max);
+        m.observe_max(0, 7);
+        m.observe_max(3, 9);
+        m.observe_max(3, 2);
+        assert_eq!(m.get(), 9);
+        assert_eq!(m.lane_get(0), 7);
+    }
+
+    #[test]
+    fn sharded_metric_default_accepts_any_lane() {
+        let m = ShardedMetric::default();
+        m.incr(0);
+        m.incr(517);
+        assert_eq!(m.get(), 2);
+    }
+
+    #[test]
+    fn sharded_histogram_matches_plain_histogram() {
+        let plain = Histogram::new();
+        let sharded = ShardedHistogram::new(4);
+        for (lane, v) in [(0u64, 0u64), (1, 1), (2, 2), (3, 3), (0, 1024), (1, u64::MAX)] {
+            plain.record(v);
+            sharded.record(lane as usize, v);
+        }
+        assert_eq!(sharded.snapshot(), plain.snapshot());
+        assert_eq!(sharded.count(), 6);
+        assert_eq!(sharded.lane_count(0), 2);
+        assert_eq!(sharded.lane_sum(0), 1024);
+        let lane_total: u64 = (0..sharded.num_lanes()).map(|i| sharded.lane_count(i)).sum();
+        assert_eq!(lane_total, sharded.snapshot().count);
+    }
+
+    #[test]
+    fn registry_sharded_entries_fold_into_snapshot() {
+        let reg = MetricsRegistry::new(4);
+        let c = reg.sharded_counter("mem.ops");
+        let c2 = reg.sharded_counter("mem.ops");
+        c.add(1, 5);
+        c2.add(3, 2);
+        let hwm = reg.sharded_max("mem.peak");
+        hwm.observe_max(0, 11);
+        hwm.observe_max(2, 40);
+        let h = reg.sharded_histogram("mem.lat");
+        h.record(1, 100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["mem.ops"], 7);
+        assert_eq!(snap.counters["mem.peak"], 40);
+        assert_eq!(snap.histograms["mem.lat"].count, 1);
+        assert_eq!(snap.histograms["mem.lat"].sum, 100);
+        let doc = snap.to_json();
+        json::validate(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a sharded counter")]
+    fn registry_rejects_fold_mismatch() {
+        let reg = MetricsRegistry::new(2);
+        reg.sharded_counter("clash");
+        reg.sharded_max("clash");
     }
 
     #[test]
