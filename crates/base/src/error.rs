@@ -22,6 +22,26 @@ pub enum SimError {
     TransportClosed(String),
     /// A guest system-call emulation failed.
     Syscall(String),
+    /// A checkpoint file was written by an incompatible format version.
+    CkptVersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// A checkpoint segment failed its checksum or decoded inconsistently.
+    CkptCorrupted {
+        /// Name of the offending segment (or "manifest").
+        segment: String,
+    },
+    /// A checkpoint file ended before its declared contents.
+    CkptTruncated,
+    /// A checkpoint is missing a segment the restore path requires.
+    CkptMissingSegment(String),
+    /// A checkpoint was requested while the simulation was not quiesced.
+    CkptNotQuiesced(String),
+    /// A checkpoint file could not be read or written.
+    CkptIo(String),
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +57,20 @@ impl fmt::Display for SimError {
             SimError::UnknownThread(tid) => write!(f, "unknown thread {tid}"),
             SimError::TransportClosed(what) => write!(f, "transport closed: {what}"),
             SimError::Syscall(msg) => write!(f, "system call emulation failed: {msg}"),
+            SimError::CkptVersionMismatch { found, expected } => {
+                write!(f, "checkpoint version mismatch: found v{found}, expected v{expected}")
+            }
+            SimError::CkptCorrupted { segment } => {
+                write!(f, "checkpoint corrupted: segment '{segment}'")
+            }
+            SimError::CkptTruncated => write!(f, "checkpoint truncated"),
+            SimError::CkptMissingSegment(name) => {
+                write!(f, "checkpoint missing segment '{name}'")
+            }
+            SimError::CkptNotQuiesced(why) => {
+                write!(f, "checkpoint refused: simulation not quiesced ({why})")
+            }
+            SimError::CkptIo(msg) => write!(f, "checkpoint I/O failed: {msg}"),
         }
     }
 }
@@ -57,6 +91,21 @@ mod tests {
         let e = SimError::AddressFault { addr: 0x10, tile: TileId(2) };
         assert!(e.to_string().contains("0x10"));
         assert!(e.to_string().contains("tile2"));
+    }
+
+    #[test]
+    fn ckpt_display_messages() {
+        assert_eq!(
+            SimError::CkptVersionMismatch { found: 9, expected: 1 }.to_string(),
+            "checkpoint version mismatch: found v9, expected v1"
+        );
+        assert!(SimError::CkptCorrupted { segment: "mem".into() }.to_string().contains("'mem'"));
+        assert_eq!(SimError::CkptTruncated.to_string(), "checkpoint truncated");
+        assert!(SimError::CkptMissingSegment("sync".into()).to_string().contains("'sync'"));
+        assert!(SimError::CkptNotQuiesced("2 threads running".into())
+            .to_string()
+            .contains("not quiesced"));
+        assert!(SimError::CkptIo("no such file".into()).to_string().contains("no such file"));
     }
 
     #[test]

@@ -114,6 +114,35 @@ impl GlobalProgress {
         }
         Cycles(hw)
     }
+
+    /// Exports the estimator's full state as plain words, for checkpointing:
+    /// `[sum, cursor, filled, high_water, slot 0, slot 1, …]`.
+    pub fn export_state(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(4 + self.slots.len());
+        out.push(self.sum.load(Ordering::Relaxed));
+        out.push(self.cursor.load(Ordering::Relaxed));
+        out.push(self.filled.load(Ordering::Relaxed));
+        out.push(self.high_water.load(Ordering::Relaxed));
+        out.extend(self.slots.iter().map(|s| s.load(Ordering::Relaxed)));
+        out
+    }
+
+    /// Restores state captured by [`GlobalProgress::export_state`] into an
+    /// estimator with the same window size. Returns false (leaving the
+    /// estimator untouched) when the word count does not match the window.
+    pub fn import_state(&self, words: &[u64]) -> bool {
+        if words.len() != 4 + self.slots.len() {
+            return false;
+        }
+        self.sum.store(words[0], Ordering::Relaxed);
+        self.cursor.store(words[1], Ordering::Relaxed);
+        self.filled.store(words[2], Ordering::Relaxed);
+        self.high_water.store(words[3], Ordering::Relaxed);
+        for (slot, &w) in self.slots.iter().zip(&words[4..]) {
+            slot.store(w, Ordering::Relaxed);
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +188,24 @@ mod tests {
         gp.observe(Cycles(1_000_000));
         let est = gp.estimate().0;
         assert!(est < 12_000, "outlier over-influenced estimate: {est}");
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let gp = GlobalProgress::new(4);
+        for t in [100u64, 200, 300] {
+            gp.observe(Cycles(t));
+        }
+        let words = gp.export_state();
+        let fresh = GlobalProgress::new(4);
+        assert!(fresh.import_state(&words));
+        assert_eq!(fresh.estimate(), gp.estimate());
+        // Continued observation behaves identically.
+        gp.observe(Cycles(400));
+        fresh.observe(Cycles(400));
+        assert_eq!(fresh.estimate(), gp.estimate());
+        // Wrong window size is rejected.
+        assert!(!GlobalProgress::new(8).import_state(&words));
     }
 
     #[test]

@@ -67,6 +67,12 @@ impl LaxQueue {
         Cycles(self.clock.load(Ordering::Relaxed))
     }
 
+    /// Overwrites the queue clock. Only for checkpoint restore; normal
+    /// operation must go through [`LaxQueue::submit`].
+    pub fn set_clock(&self, t: Cycles) {
+        self.clock.store(t.0, Ordering::Relaxed);
+    }
+
     /// Estimated utilization over the window ending at `now`, assuming the
     /// queue drained continuously: `busy / elapsed`, clamped to `[0, 1]`.
     /// Returns 1.0 when the queue clock is ahead of `now` (saturated).

@@ -30,6 +30,17 @@ impl SimRng {
         SimRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
     }
 
+    /// Rebuilds a generator from a previously captured [`SimRng::state`],
+    /// continuing the stream exactly where the original left off.
+    pub fn from_state(state: u64) -> Self {
+        SimRng { state }
+    }
+
+    /// The raw generator state, for checkpointing.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -78,6 +89,16 @@ mod tests {
         let mut a = SimRng::new(123);
         let mut b = SimRng::new(123);
         for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = SimRng::new(77);
+        a.next_u64();
+        let mut b = SimRng::from_state(a.state());
+        for _ in 0..10 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
     }

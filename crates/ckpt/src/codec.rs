@@ -1,0 +1,239 @@
+//! Little-endian cursor encoders/decoders for segment payloads.
+
+use graphite_base::SimError;
+
+/// An append-only little-endian encoder building one segment payload.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_ckpt::{Dec, Enc};
+/// let mut e = Enc::new();
+/// e.u32(7);
+/// e.bytes(b"abc");
+/// let buf = e.finish();
+/// let mut d = Dec::new(&buf);
+/// assert_eq!(d.u32().unwrap(), 7);
+/// assert_eq!(d.bytes().unwrap(), b"abc");
+/// assert!(d.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string (`u64` length + data).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn words(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &w in v {
+            self.u64(w);
+        }
+    }
+
+    /// The encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A little-endian decoding cursor over one segment payload. Every read is
+/// bounds-checked and returns [`SimError::CkptTruncated`] instead of
+/// panicking when the payload runs out.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SimError> {
+        let end = self.pos.checked_add(n).ok_or(SimError::CkptTruncated)?;
+        if end > self.data.len() {
+            return Err(SimError::CkptTruncated);
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] past the end of the payload.
+    pub fn u8(&mut self) -> Result<u8, SimError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] past the end of the payload.
+    pub fn u32(&mut self) -> Result<u32, SimError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] past the end of the payload.
+    pub fn u64(&mut self) -> Result<u64, SimError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] when the declared length exceeds
+    /// the remaining payload.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SimError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| SimError::CkptTruncated)?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] on exhaustion; invalid UTF-8 is
+    /// reported as a corrupted "string" payload.
+    pub fn str(&mut self) -> Result<&'a str, SimError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| SimError::CkptCorrupted { segment: "string".to_string() })
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] when the declared count exceeds
+    /// the remaining payload.
+    pub fn words(&mut self) -> Result<Vec<u64>, SimError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| SimError::CkptTruncated)?;
+        if n.checked_mul(8).is_none_or(|bytes| self.pos + bytes > self.data.len()) {
+            return Err(SimError::CkptTruncated);
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when the payload is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(0xAB);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 1);
+        e.str("hello");
+        e.words(&[1, 2, 3]);
+        assert!(!e.is_empty());
+        assert_eq!(e.len(), 1 + 4 + 8 + (8 + 5) + (8 + 24));
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.str().unwrap(), "hello");
+        assert_eq!(d.words().unwrap(), vec![1, 2, 3]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let mut e = Enc::new();
+        e.u64(42);
+        let buf = e.finish();
+        let mut d = Dec::new(&buf[..5]);
+        assert_eq!(d.u64().unwrap_err(), SimError::CkptTruncated);
+    }
+
+    #[test]
+    fn oversized_declared_lengths_are_truncation() {
+        // A byte string claiming more data than the payload holds.
+        let mut e = Enc::new();
+        e.u64(1 << 40);
+        let buf = e.finish();
+        assert_eq!(Dec::new(&buf).bytes().unwrap_err(), SimError::CkptTruncated);
+        // A word list claiming a count that would overflow the payload.
+        let mut e = Enc::new();
+        e.u64(u64::MAX / 2);
+        let buf = e.finish();
+        assert_eq!(Dec::new(&buf).words().unwrap_err(), SimError::CkptTruncated);
+    }
+
+    #[test]
+    fn invalid_utf8_is_corruption() {
+        let mut e = Enc::new();
+        e.bytes(&[0xFF, 0xFE]);
+        let buf = e.finish();
+        assert!(matches!(
+            Dec::new(&buf).str().unwrap_err(),
+            SimError::CkptCorrupted { segment } if segment == "string"
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+//! Checkpoint/restore and deterministic replay for the simulator.
+//!
+//! Graphite targets long-running simulations distributed over commodity
+//! hosts (paper §1, §3), where losing a process throws away hours of work.
+//! This crate provides the robustness layer: a versioned, checksummed
+//! on-disk snapshot format (`graphite.ckpt.v1`) that stateful subsystems
+//! serialize themselves into through the [`Checkpointable`] trait, and a
+//! [`ReplayLog`] that records the nondeterministic inputs of a run (guest
+//! RNG draws, LaxP2P partner choices, message-arrival order) so a crashed
+//! or divergent run can be replayed bit-identically for debugging.
+//!
+//! The crate deliberately depends only on `graphite-base`: subsystem crates
+//! (memory, network, sync, core) depend on it to implement their own
+//! serialization, and the `graphite` core crate orchestrates whole-simulation
+//! save/restore on top.
+//!
+//! # File format
+//!
+//! ```text
+//! magic    8 bytes  b"GRAPHCKP"
+//! version  u32 LE   (currently 1)
+//! count    u32 LE   number of segments
+//! directory, per segment:
+//!     name_len u32 LE, name (UTF-8),
+//!     payload_len u64 LE, fnv1a64(payload) u64 LE
+//! payloads, concatenated in directory order
+//! ```
+//!
+//! Every integer in the format (and in segment payloads encoded with
+//! [`Enc`]/[`Dec`]) is little-endian. Readers validate the magic, version,
+//! declared lengths, and per-segment checksums before any payload is
+//! interpreted; malformed inputs surface as typed
+//! [`SimError`](graphite_base::SimError)s, never panics.
+
+mod codec;
+mod format;
+mod replay;
+
+use graphite_base::SimError;
+
+pub use codec::{Dec, Enc};
+pub use format::{fnv1a64, CkptReader, CkptWriter, CKPT_MAGIC, CKPT_VERSION};
+pub use replay::{stream, ReplayLog, ReplayMode};
+
+/// A subsystem whose state can be captured into a checkpoint segment and
+/// later restored into a freshly constructed instance of the same shape.
+///
+/// `restore` takes `&self` because simulator subsystems keep their mutable
+/// state behind interior mutability (atomics, mutexes) so that they can be
+/// shared across tile threads; a restore is just another writer.
+pub trait Checkpointable {
+    /// Stable name of this subsystem's segment inside the checkpoint file.
+    fn segment_name(&self) -> &'static str;
+
+    /// Serializes the subsystem's state.
+    fn save(&self, out: &mut Enc);
+
+    /// Restores state previously captured by [`Checkpointable::save`] into a
+    /// subsystem constructed from the *same configuration*.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptCorrupted`] (or [`SimError::CkptTruncated`])
+    /// when the payload does not decode into a shape this instance accepts.
+    fn restore(&self, data: &mut Dec<'_>) -> Result<(), SimError>;
+}
+
+/// Helper for [`Checkpointable::restore`] implementations: the typed error
+/// for a payload that decodes but does not fit this instance.
+pub fn corrupted(segment: &str) -> SimError {
+    SimError::CkptCorrupted { segment: segment.to_string() }
+}

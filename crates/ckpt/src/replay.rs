@@ -1,0 +1,294 @@
+//! Deterministic record/replay of a run's nondeterministic inputs.
+//!
+//! A lax-synchronized simulation is deterministic *except* for a handful of
+//! inputs: guest-visible RNG draws, LaxP2P random-partner choices, and the
+//! arrival order of user messages at receive points. [`ReplayLog`] records
+//! those as per-stream sequences of `u64`s during a run; a later run in
+//! replay mode consumes the same sequences, pinning every choice and making
+//! the divergent run reproducible for debugging.
+
+use std::collections::BTreeMap;
+
+use graphite_base::SimError;
+use parking_lot::Mutex;
+
+use crate::codec::{Dec, Enc};
+
+/// Well-known replay stream identifiers.
+pub mod stream {
+    /// Guest-visible RNG draws (`Ctx::rand_u64`).
+    pub const GUEST_RNG: u64 = 1;
+    /// LaxP2P random partner choices.
+    pub const P2P_PARTNER: u64 = 2;
+    /// Source tile of each user message accepted by a receiving tile.
+    pub fn msg_arrival(tile: u32) -> u64 {
+        0x1_0000 + tile as u64
+    }
+}
+
+/// What a [`ReplayLog`] does with the values flowing through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Pass-through: nothing recorded, nothing replayed.
+    Off,
+    /// Append every value to its stream.
+    Record,
+    /// Serve recorded values back in order; fall through to the live value
+    /// when a stream runs dry (the log then keeps recording the tail).
+    Replay,
+}
+
+#[derive(Debug, Default)]
+struct Stream {
+    values: Vec<u64>,
+    cursor: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    mode: ReplayMode,
+    streams: BTreeMap<u64, Stream>,
+}
+
+/// A thread-safe log of nondeterministic choices, keyed by stream.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_ckpt::{stream, ReplayLog};
+/// let log = ReplayLog::recording();
+/// assert_eq!(log.record_or_replay_u64(stream::GUEST_RNG, || 7), 7);
+/// let replayed = ReplayLog::replay_from(&log.save_bytes()).unwrap();
+/// // The generator is ignored: the recorded value wins.
+/// assert_eq!(replayed.record_or_replay_u64(stream::GUEST_RNG, || 999), 7);
+/// ```
+#[derive(Debug)]
+pub struct ReplayLog {
+    inner: Mutex<Inner>,
+}
+
+impl ReplayLog {
+    fn with_mode(mode: ReplayMode) -> Self {
+        ReplayLog { inner: Mutex::new(Inner { mode, streams: BTreeMap::new() }) }
+    }
+
+    /// A disabled log: every call is pass-through.
+    pub fn off() -> Self {
+        Self::with_mode(ReplayMode::Off)
+    }
+
+    /// An empty log in record mode.
+    pub fn recording() -> Self {
+        Self::with_mode(ReplayMode::Record)
+    }
+
+    /// Loads serialized log contents, rewinds every stream, and enters
+    /// replay mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error of [`ReplayLog::load`].
+    pub fn replay_from(bytes: &[u8]) -> Result<Self, SimError> {
+        let log = Self::load(&mut Dec::new(bytes))?;
+        {
+            let mut inner = log.inner.lock();
+            inner.mode = ReplayMode::Replay;
+            for s in inner.streams.values_mut() {
+                s.cursor = 0;
+            }
+        }
+        Ok(log)
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> ReplayMode {
+        self.inner.lock().mode
+    }
+
+    /// Routes one nondeterministic `u64` through the log: records `gen()`'s
+    /// value (record mode), serves the next recorded value and ignores
+    /// `gen()` (replay mode, until the stream runs dry), or just returns
+    /// `gen()` (off).
+    pub fn record_or_replay_u64(&self, stream: u64, gen: impl FnOnce() -> u64) -> u64 {
+        let mut inner = self.inner.lock();
+        match inner.mode {
+            ReplayMode::Off => gen(),
+            ReplayMode::Record => {
+                let v = gen();
+                inner.streams.entry(stream).or_default().values.push(v);
+                v
+            }
+            ReplayMode::Replay => {
+                let s = inner.streams.entry(stream).or_default();
+                if s.cursor < s.values.len() {
+                    let v = s.values[s.cursor];
+                    s.cursor += 1;
+                    v
+                } else {
+                    // Ran past the recording: take the live value and keep
+                    // extending the log so a checkpointed resume stays
+                    // replayable.
+                    let v = gen();
+                    s.values.push(v);
+                    s.cursor = s.values.len();
+                    v
+                }
+            }
+        }
+    }
+
+    /// Records a value that was *observed* rather than generated (e.g. the
+    /// source tile of a received message). No-op unless recording.
+    pub fn record_u64(&self, stream: u64, v: u64) {
+        let mut inner = self.inner.lock();
+        if inner.mode == ReplayMode::Record {
+            inner.streams.entry(stream).or_default().values.push(v);
+        }
+    }
+
+    /// In replay mode, the next recorded value of a stream (advancing its
+    /// cursor); `None` when off, recording, or past the end.
+    pub fn replay_u64(&self, stream: u64) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        if inner.mode != ReplayMode::Replay {
+            return None;
+        }
+        let s = inner.streams.get_mut(&stream)?;
+        if s.cursor < s.values.len() {
+            let v = s.values[s.cursor];
+            s.cursor += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Serializes mode, streams, values, and cursors.
+    pub fn save(&self, out: &mut Enc) {
+        let inner = self.inner.lock();
+        out.u8(match inner.mode {
+            ReplayMode::Off => 0,
+            ReplayMode::Record => 1,
+            ReplayMode::Replay => 2,
+        });
+        out.u64(inner.streams.len() as u64);
+        for (&id, s) in &inner.streams {
+            out.u64(id);
+            out.u64(s.cursor as u64);
+            out.words(&s.values);
+        }
+    }
+
+    /// Serializes to a standalone byte buffer.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        self.save(&mut e);
+        e.finish()
+    }
+
+    /// Decodes a log saved with [`ReplayLog::save`], preserving mode and
+    /// cursors (so a checkpointed run resumes mid-stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] or [`SimError::CkptCorrupted`]
+    /// on malformed input.
+    pub fn load(dec: &mut Dec<'_>) -> Result<Self, SimError> {
+        let corrupted = || SimError::CkptCorrupted { segment: "replay".to_string() };
+        let mode = match dec.u8()? {
+            0 => ReplayMode::Off,
+            1 => ReplayMode::Record,
+            2 => ReplayMode::Replay,
+            _ => return Err(corrupted()),
+        };
+        let n = dec.u64()?;
+        let mut streams = BTreeMap::new();
+        for _ in 0..n {
+            let id = dec.u64()?;
+            let cursor = usize::try_from(dec.u64()?).map_err(|_| corrupted())?;
+            let values = dec.words()?;
+            if cursor > values.len() {
+                return Err(corrupted());
+            }
+            streams.insert(id, Stream { values, cursor });
+        }
+        Ok(ReplayLog { inner: Mutex::new(Inner { mode, streams }) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_passthrough() {
+        let log = ReplayLog::off();
+        assert_eq!(log.mode(), ReplayMode::Off);
+        assert_eq!(log.record_or_replay_u64(stream::GUEST_RNG, || 5), 5);
+        assert_eq!(log.replay_u64(stream::GUEST_RNG), None);
+        // Nothing was stored.
+        let reloaded = ReplayLog::load(&mut Dec::new(&log.save_bytes())).unwrap();
+        assert_eq!(reloaded.replay_u64(stream::GUEST_RNG), None);
+    }
+
+    #[test]
+    fn record_then_replay_pins_choices() {
+        let log = ReplayLog::recording();
+        for v in [3u64, 1, 4, 1, 5] {
+            log.record_or_replay_u64(stream::P2P_PARTNER, || v);
+        }
+        log.record_u64(stream::msg_arrival(2), 7);
+        let replayed = ReplayLog::replay_from(&log.save_bytes()).unwrap();
+        assert_eq!(replayed.mode(), ReplayMode::Replay);
+        for v in [3u64, 1, 4, 1, 5] {
+            assert_eq!(replayed.record_or_replay_u64(stream::P2P_PARTNER, || 0), v);
+        }
+        assert_eq!(replayed.replay_u64(stream::msg_arrival(2)), Some(7));
+        assert_eq!(replayed.replay_u64(stream::msg_arrival(2)), None, "stream exhausted");
+    }
+
+    #[test]
+    fn replay_past_end_falls_through_and_extends() {
+        let log = ReplayLog::recording();
+        log.record_or_replay_u64(stream::GUEST_RNG, || 10);
+        let replayed = ReplayLog::replay_from(&log.save_bytes()).unwrap();
+        assert_eq!(replayed.record_or_replay_u64(stream::GUEST_RNG, || 99), 10);
+        assert_eq!(replayed.record_or_replay_u64(stream::GUEST_RNG, || 99), 99, "dry: live value");
+        // The tail was appended, so a re-save replays both.
+        let again = ReplayLog::replay_from(&replayed.save_bytes()).unwrap();
+        assert_eq!(again.record_or_replay_u64(stream::GUEST_RNG, || 0), 10);
+        assert_eq!(again.record_or_replay_u64(stream::GUEST_RNG, || 0), 99);
+    }
+
+    #[test]
+    fn save_preserves_cursor_mid_stream() {
+        let log = ReplayLog::recording();
+        log.record_or_replay_u64(stream::GUEST_RNG, || 1);
+        log.record_or_replay_u64(stream::GUEST_RNG, || 2);
+        let replayed = ReplayLog::replay_from(&log.save_bytes()).unwrap();
+        assert_eq!(replayed.record_or_replay_u64(stream::GUEST_RNG, || 0), 1);
+        // A checkpoint taken here must resume at value 2, not restart.
+        let resumed = ReplayLog::load(&mut Dec::new(&replayed.save_bytes())).unwrap();
+        assert_eq!(resumed.record_or_replay_u64(stream::GUEST_RNG, || 0), 2);
+    }
+
+    #[test]
+    fn malformed_log_is_typed() {
+        assert!(matches!(
+            ReplayLog::load(&mut Dec::new(&[9])).unwrap_err(),
+            SimError::CkptCorrupted { .. }
+        ));
+        assert_eq!(ReplayLog::load(&mut Dec::new(&[])).unwrap_err(), SimError::CkptTruncated);
+        // Cursor beyond the stream length.
+        let mut e = Enc::new();
+        e.u8(1);
+        e.u64(1);
+        e.u64(stream::GUEST_RNG);
+        e.u64(5); // cursor 5
+        e.words(&[1, 2]); // only 2 values
+        assert!(matches!(
+            ReplayLog::load(&mut Dec::new(&e.finish())).unwrap_err(),
+            SimError::CkptCorrupted { .. }
+        ));
+    }
+}

@@ -36,6 +36,21 @@ impl TwoBitPredictor {
         self.counters.len()
     }
 
+    /// The raw counter table (for checkpointing).
+    pub fn counters(&self) -> &[u8] {
+        &self.counters
+    }
+
+    /// Overwrites the counter table. Returns `false` (table untouched) when
+    /// the slice length differs or a value exceeds the 2-bit range.
+    pub fn set_counters(&mut self, values: &[u8]) -> bool {
+        if values.len() != self.counters.len() || values.iter().any(|&v| v > 3) {
+            return false;
+        }
+        self.counters.copy_from_slice(values);
+        true
+    }
+
     fn index(&self, pc: u64) -> usize {
         // Mix the pc so nearby branches spread across the table.
         let h = pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;

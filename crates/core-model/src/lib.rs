@@ -54,6 +54,20 @@ pub trait CoreModel: Send {
 
     /// Statistics so far.
     fn stats(&self) -> &CoreStats;
+
+    /// Appends the model's mutable state (stats, structural occupancy,
+    /// predictor tables) as raw words for a checkpoint. The default saves
+    /// nothing — correct for a stateless model.
+    fn save_state(&self, out: &mut Vec<u64>) {
+        let _ = out;
+    }
+
+    /// Restores state captured by [`CoreModel::save_state`] into a model
+    /// built from the same parameters. Returns `false` when the words do not
+    /// fit this model's shape.
+    fn load_state(&mut self, data: &[u64]) -> bool {
+        data.is_empty()
+    }
 }
 
 /// One dynamic instruction (or batch of identical ones) consumed by the
@@ -213,6 +227,69 @@ impl CoreStats {
             self.mispredicts.get() as f64 / b as f64
         }
     }
+
+    fn all(&self) -> [&Counter; 9] {
+        [
+            &self.instructions,
+            &self.branches,
+            &self.mispredicts,
+            &self.loads,
+            &self.stores,
+            &self.store_stall_cycles,
+            &self.load_cycles,
+            &self.recv_wait_cycles,
+            &self.cycles,
+        ]
+    }
+
+    pub(crate) fn export(&self, out: &mut Vec<u64>) {
+        out.extend(self.all().iter().map(|c| c.get()));
+    }
+
+    pub(crate) fn import(&self, vals: &[u64]) -> bool {
+        let counters = self.all();
+        if vals.len() != counters.len() {
+            return false;
+        }
+        for (c, &v) in counters.iter().zip(vals) {
+            c.take();
+            c.add(v);
+        }
+        true
+    }
+}
+
+/// Words [`CoreStats::export`] appends.
+pub(crate) const STAT_WORDS: usize = 9;
+
+/// Appends a predictor table as `[entries, packed words...]`, eight 2-bit
+/// counters per word.
+pub(crate) fn pack_bpred(counters: &[u8], out: &mut Vec<u64>) {
+    out.push(counters.len() as u64);
+    for chunk in counters.chunks(8) {
+        let mut w = 0u64;
+        for (i, &c) in chunk.iter().enumerate() {
+            w |= (c as u64) << (8 * i);
+        }
+        out.push(w);
+    }
+}
+
+/// Inverse of [`pack_bpred`] given the declared entry count; `None` when the
+/// word count does not match.
+pub(crate) fn unpack_bpred(n: usize, words: &[u64]) -> Option<Vec<u8>> {
+    if words.len() != n.div_ceil(8) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for (i, &w) in words.iter().enumerate() {
+        for b in 0..8 {
+            if i * 8 + b < n {
+                out.push(((w >> (8 * b)) & 0xFF) as u8);
+            }
+        }
+    }
+    Some(out)
 }
 
 /// The store buffer: a bounded FIFO of store completion times. Stores retire
@@ -364,6 +441,33 @@ impl CoreModel for InOrderCore {
     fn stats(&self) -> &CoreStats {
         InOrderCore::stats(self)
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        self.stats.export(out);
+        out.push(self.store_buffer.completions.len() as u64);
+        out.extend(self.store_buffer.completions.iter().map(|c| c.0));
+        pack_bpred(self.bpred.counters(), out);
+    }
+
+    fn load_state(&mut self, data: &[u64]) -> bool {
+        let Some((stats, rest)) = data.split_at_checked(STAT_WORDS) else { return false };
+        let Some((&sb_len, rest)) = rest.split_first() else { return false };
+        let Ok(sb_len) = usize::try_from(sb_len) else { return false };
+        if sb_len > self.store_buffer.capacity {
+            return false;
+        }
+        let Some((sb, rest)) = rest.split_at_checked(sb_len) else { return false };
+        let Some((&bp_n, bp_words)) = rest.split_first() else { return false };
+        let Ok(bp_n) = usize::try_from(bp_n) else { return false };
+        let Some(counters) = unpack_bpred(bp_n, bp_words) else { return false };
+        if !self.bpred.set_counters(&counters) {
+            return false;
+        }
+        self.stats.import(stats);
+        self.store_buffer.completions.clear();
+        self.store_buffer.completions.extend(sb.iter().map(|&c| Cycles(c)));
+        true
+    }
 }
 
 #[cfg(test)]
@@ -460,6 +564,57 @@ mod tests {
     fn generic_cost_passthrough() {
         let mut c = core();
         assert_eq!(c.issue(Cycles(0), &Instruction::Generic { cost: Cycles(42) }), Cycles(42));
+    }
+
+    #[test]
+    fn save_load_state_resumes_identically() {
+        // Drive a model into a nontrivial state: trained predictor, partially
+        // full store buffer, every stat nonzero.
+        let mut a = core();
+        let mut now = Cycles::ZERO;
+        for i in 0..50u64 {
+            now += a.issue(now, &Instruction::Branch { pc: i % 4, taken: i % 3 == 0 });
+            now += a.issue(now, &Instruction::Store { latency: Cycles(40) });
+            now += a.issue(now, &Instruction::Load { latency: Cycles(5) });
+        }
+        now += a.issue(now, &Instruction::Recv { wait: Cycles(7) });
+
+        let mut words = Vec::new();
+        CoreModel::save_state(&a, &mut words);
+        let mut b = core();
+        assert!(b.load_state(&words));
+        assert_eq!(b.stats().instructions.get(), a.stats().instructions.get());
+        assert_eq!(b.stats().cycles.get(), a.stats().cycles.get());
+        assert_eq!(b.store_buffer_occupancy(), a.store_buffer_occupancy());
+
+        // Both copies must now behave identically, instruction for instruction.
+        for i in 0..20u64 {
+            let instr = Instruction::Branch { pc: i % 4, taken: i % 2 == 0 };
+            assert_eq!(a.issue(now, &instr), b.issue(now, &instr));
+            let st = Instruction::Store { latency: Cycles(40) };
+            assert_eq!(a.issue(now, &st), b.issue(now, &st));
+            now += Cycles(3);
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_misshapen_words() {
+        let mut c = core();
+        assert!(!c.load_state(&[]), "too short");
+        assert!(!c.load_state(&[0; 4]), "truncated stats");
+        let mut words = Vec::new();
+        CoreModel::save_state(&core(), &mut words);
+        assert!(!c.load_state(&words[..words.len() - 1]), "missing predictor tail");
+        // A store-buffer occupancy beyond capacity cannot be restored.
+        let mut bad = words.clone();
+        bad[9] = 10_000;
+        assert!(!c.load_state(&bad));
+        // Wrong predictor size (model built with a different table).
+        let small = InOrderCore::new(CoreParams { bpred_entries: 16, ..CoreParams::default() });
+        let mut words_small = Vec::new();
+        CoreModel::save_state(&small, &mut words_small);
+        assert!(!c.load_state(&words_small));
+        assert!(c.load_state(&words), "pristine words still load");
     }
 
     #[test]

@@ -19,7 +19,10 @@ use std::collections::VecDeque;
 
 use graphite_base::Cycles;
 
-use crate::{CoreModel, CoreParams, CoreStats, Instruction, TwoBitPredictor};
+use crate::{
+    pack_bpred, unpack_bpred, CoreModel, CoreParams, CoreStats, Instruction, TwoBitPredictor,
+    STAT_WORDS,
+};
 
 /// Structural parameters of the out-of-order model.
 #[derive(Debug, Clone, PartialEq)]
@@ -196,6 +199,39 @@ impl CoreModel for OooCore {
     fn stats(&self) -> &CoreStats {
         &self.stats
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        self.stats.export(out);
+        out.push(self.window.len() as u64);
+        out.extend(self.window.iter().map(|c| c.0));
+        out.push(self.issue_backlog as u64);
+        pack_bpred(self.bpred.counters(), out);
+    }
+
+    fn load_state(&mut self, data: &[u64]) -> bool {
+        let Some((stats, rest)) = data.split_at_checked(STAT_WORDS) else { return false };
+        let Some((&win_len, rest)) = rest.split_first() else { return false };
+        let Ok(win_len) = usize::try_from(win_len) else { return false };
+        if win_len > self.params.window {
+            return false;
+        }
+        let Some((win, rest)) = rest.split_at_checked(win_len) else { return false };
+        let Some((&backlog, rest)) = rest.split_first() else { return false };
+        if backlog >= self.params.issue_width as u64 {
+            return false;
+        }
+        let Some((&bp_n, bp_words)) = rest.split_first() else { return false };
+        let Ok(bp_n) = usize::try_from(bp_n) else { return false };
+        let Some(counters) = unpack_bpred(bp_n, bp_words) else { return false };
+        if !self.bpred.set_counters(&counters) {
+            return false;
+        }
+        self.stats.import(stats);
+        self.window.clear();
+        self.window.extend(win.iter().map(|&c| Cycles(c)));
+        self.issue_backlog = backlog as u32;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +303,43 @@ mod tests {
         let inorder = run(Box::new(InOrderCore::new(CoreParams::default())));
         let ooo = run(Box::new(OooCore::new(OooParams::default())));
         assert!(ooo.0 * 3 < inorder.0, "OoO should be ≥3x faster on this mix: {ooo} vs {inorder}");
+    }
+
+    #[test]
+    fn save_load_state_resumes_identically() {
+        let mut a = core();
+        let mut now = Cycles::ZERO;
+        for i in 0..30u64 {
+            now += a.issue(now, &Instruction::Load { latency: Cycles(80) });
+            now += a.issue(now, &Instruction::IntAlu { count: 3 });
+            now += a.issue(now, &Instruction::Branch { pc: i % 4, taken: i % 3 == 0 });
+        }
+        let mut words = Vec::new();
+        a.save_state(&mut words);
+        let mut b = core();
+        assert!(b.load_state(&words));
+        assert_eq!(b.stats().cycles.get(), a.stats().cycles.get());
+        assert_eq!(b.window_occupancy(), a.window_occupancy());
+        for i in 0..20u64 {
+            let instr = Instruction::Load { latency: Cycles(80) };
+            assert_eq!(a.issue(now, &instr), b.issue(now, &instr));
+            let br = Instruction::Branch { pc: i % 4, taken: i % 2 == 0 };
+            assert_eq!(a.issue(now, &br), b.issue(now, &br));
+            now += Cycles(2);
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_misshapen_words() {
+        let mut c = core();
+        assert!(!c.load_state(&[0; 3]));
+        let mut words = Vec::new();
+        core().save_state(&mut words);
+        // An over-full window cannot be restored.
+        let mut bad = words.clone();
+        bad[9] = u64::MAX;
+        assert!(!c.load_state(&bad));
+        assert!(c.load_state(&words));
     }
 
     #[test]

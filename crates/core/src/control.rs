@@ -15,14 +15,16 @@
 //! the same thing in every process, so file I/O funnels through the MCP).
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 use graphite_base::{Cycles, SimError, ThreadId, TileId};
+use graphite_ckpt::Enc;
 use graphite_core_model::Instruction;
 use graphite_memory::addr::layout;
 use graphite_memory::{Addr, SegmentAllocator};
-use graphite_trace::{Metric, MetricsRegistry, TraceEventKind};
+use graphite_trace::{MetricsRegistry, ShardedMetric, TraceEventKind};
 use graphite_transport::Mailbox;
 
 use crate::ctx::{Ctx, GuestEntry};
@@ -31,32 +33,41 @@ use crate::SimInner;
 
 /// Counters for control-plane activity, consumed by reports and the host
 /// performance model.
+///
+/// Backed by [`ShardedMetric`] lanes. The MCP is a single service thread, so
+/// every update uses the owned (plain load+store) lane-0 fast path — the
+/// shared metrics cache line never bounces between the MCP and tile threads.
 #[derive(Debug, Default)]
 pub struct ControlStats {
     /// Threads spawned.
-    pub spawns: Metric,
+    pub spawns: ShardedMetric,
     /// Joins completed.
-    pub joins: Metric,
+    pub joins: ShardedMetric,
     /// Futex waits that actually blocked.
-    pub futex_waits: Metric,
+    pub futex_waits: ShardedMetric,
     /// Futex wake calls.
-    pub futex_wakes: Metric,
+    pub futex_wakes: ShardedMetric,
     /// System calls serviced by the MCP (file I/O, memory management).
-    pub syscalls: Metric,
+    pub syscalls: ShardedMetric,
 }
 
 impl ControlStats {
     /// Counters bound to the metrics registry under `ctrl.*`.
     pub fn registered(metrics: &MetricsRegistry) -> Self {
         ControlStats {
-            spawns: metrics.counter("ctrl.spawns"),
-            joins: metrics.counter("ctrl.joins"),
-            futex_waits: metrics.counter("ctrl.futex_waits"),
-            futex_wakes: metrics.counter("ctrl.futex_wakes"),
-            syscalls: metrics.counter("ctrl.syscalls"),
+            spawns: metrics.sharded_counter("ctrl.spawns"),
+            joins: metrics.sharded_counter("ctrl.joins"),
+            futex_waits: metrics.sharded_counter("ctrl.futex_waits"),
+            futex_wakes: metrics.sharded_counter("ctrl.futex_wakes"),
+            syscalls: metrics.sharded_counter("ctrl.syscalls"),
         }
     }
 }
+
+/// Lane used by the MCP service thread for its `ctrl.*` counters. All MCP
+/// updates are serialized by the single service loop, so the owned
+/// (unsynchronized) lane writes are safe.
+const MCP_LANE: usize = 0;
 
 /// Result of a futex wait request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +208,16 @@ pub enum McpRequest {
     },
     /// File-system syscalls.
     File(FileReq),
+    /// Snapshot the quiesced simulation to disk (see `crate::ckpt`).
+    Checkpoint {
+        /// Destination file.
+        path: PathBuf,
+        /// The requesting thread — must be the main thread (0).
+        thread: ThreadId,
+        /// Receives success or [`SimError::CkptNotQuiesced`] /
+        /// [`SimError::CkptIo`].
+        reply: Sender<Result<(), SimError>>,
+    },
     /// Ends the control plane (sent once by [`crate::Simulator::run`]).
     Shutdown,
 }
@@ -231,6 +252,52 @@ struct ThreadRecord {
     joiners: Vec<Sender<Cycles>>,
 }
 
+/// MCP-owned control state parsed from a checkpoint's `ctrl` segment,
+/// stashed on [`SimInner`] by the builder for the MCP thread to consume
+/// before it services its first request (see `crate::ckpt`).
+pub(crate) struct CtrlRestore {
+    /// Per-thread exit times; `None` means the thread was recorded as
+    /// running (only thread 0 may be).
+    pub(crate) threads: Vec<Option<Cycles>>,
+    /// Tiles available for future spawns.
+    pub(crate) free_tiles: Vec<u32>,
+    /// Heap allocator with imported free/live maps.
+    pub(crate) heap: SegmentAllocator,
+    /// Mmap allocator with imported free/live maps.
+    pub(crate) mmap: SegmentAllocator,
+    /// The virtual file system contents and descriptor table.
+    pub(crate) vfs: Vfs,
+}
+
+/// A checkpoint may only capture a quiesced simulation: no guest thread
+/// other than the requester (thread 0) running, no futex waiter parked, no
+/// user message in flight. Returns a human-readable violation, if any.
+fn quiesce_violation(
+    thread: ThreadId,
+    threads: &[ThreadRecord],
+    futexes: &HashMap<u64, VecDeque<Sender<FutexWaitOutcome>>>,
+    inner: &SimInner,
+) -> Option<String> {
+    if thread != ThreadId(0) {
+        return Some(format!("checkpoint requested by thread {}, not the main thread", thread.0));
+    }
+    for (i, rec) in threads.iter().enumerate().skip(1) {
+        if matches!(rec.state, ThreadState::Running) {
+            return Some(format!("thread {i} is still running (join it first)"));
+        }
+    }
+    if !futexes.is_empty() {
+        return Some(format!("{} futex wait queue(s) still hold parked threads", futexes.len()));
+    }
+    for (t, inbox) in inner.inboxes.iter().enumerate() {
+        let inbox = inbox.lock();
+        if !inbox.mailbox.is_empty() || !inbox.stash.is_empty() {
+            return Some(format!("tile {t} has undelivered user messages"));
+        }
+    }
+    None
+}
+
 /// The MCP service loop. Runs on its own host thread; single-threaded
 /// processing makes futex and thread-table updates atomic.
 pub(crate) fn mcp_main(
@@ -248,6 +315,26 @@ pub(crate) fn mcp_main(
         SegmentAllocator::new(layout::MMAP_BASE, layout::MMAP_LIMIT.0 - layout::MMAP_BASE.0);
     let mut vfs = Vfs::new();
 
+    // A resumed simulation replaces the control state the MCP owns as locals
+    // with the state parsed (and validated) from the checkpoint.
+    if let Some(r) = inner.ckpt_restore.lock().take() {
+        free_tiles = r.free_tiles.into_iter().collect();
+        threads = r
+            .threads
+            .into_iter()
+            .map(|exit| ThreadRecord {
+                state: match exit {
+                    None => ThreadState::Running,
+                    Some(t) => ThreadState::Exited(t),
+                },
+                joiners: Vec::new(),
+            })
+            .collect();
+        heap = r.heap;
+        mmap = r.mmap;
+        vfs = r.vfs;
+    }
+
     while let Ok(req) = rx.recv() {
         match req {
             McpRequest::Spawn { entry, arg, parent_time, reply } => {
@@ -257,7 +344,7 @@ pub(crate) fn mcp_main(
                 };
                 let thread = ThreadId(threads.len() as u32);
                 threads.push(ThreadRecord { state: ThreadState::Running, joiners: Vec::new() });
-                inner.ctrl_stats.spawns.incr();
+                inner.ctrl_stats.spawns.incr_owned(MCP_LANE);
                 inner.obs.tracer.emit(TileId(tile), parent_time, || TraceEventKind::ThreadSpawn {
                     thread: thread.0,
                 });
@@ -272,7 +359,7 @@ pub(crate) fn mcp_main(
                 let _ = reply.send(Ok(thread));
             }
             McpRequest::Join { thread, reply } => {
-                inner.ctrl_stats.joins.incr();
+                inner.ctrl_stats.joins.incr_owned(MCP_LANE);
                 match threads.get_mut(thread.index()) {
                     Some(rec) => match rec.state {
                         ThreadState::Exited(t) => {
@@ -308,12 +395,12 @@ pub(crate) fn mcp_main(
                 if u32::from_le_bytes(cur) != expected {
                     let _ = reply.send(FutexWaitOutcome::ValueMismatch);
                 } else {
-                    inner.ctrl_stats.futex_waits.incr();
+                    inner.ctrl_stats.futex_waits.incr_owned(MCP_LANE);
                     futexes.entry(addr.0).or_default().push_back(reply);
                 }
             }
             McpRequest::FutexWake { addr, max, time, reply } => {
-                inner.ctrl_stats.futex_wakes.incr();
+                inner.ctrl_stats.futex_wakes.incr_owned(MCP_LANE);
                 let mut woken = 0u32;
                 if let Some(q) = futexes.get_mut(&addr.0) {
                     while woken < max {
@@ -328,23 +415,23 @@ pub(crate) fn mcp_main(
                 let _ = reply.send(woken);
             }
             McpRequest::Malloc { size, reply } => {
-                inner.ctrl_stats.syscalls.incr();
+                inner.ctrl_stats.syscalls.incr_owned(MCP_LANE);
                 let _ = reply.send(heap.alloc(size));
             }
             McpRequest::Free { addr, reply } => {
-                inner.ctrl_stats.syscalls.incr();
+                inner.ctrl_stats.syscalls.incr_owned(MCP_LANE);
                 let _ = reply.send(heap.free(addr));
             }
             McpRequest::Mmap { size, reply } => {
-                inner.ctrl_stats.syscalls.incr();
+                inner.ctrl_stats.syscalls.incr_owned(MCP_LANE);
                 let _ = reply.send(mmap.alloc(size));
             }
             McpRequest::Munmap { addr, reply } => {
-                inner.ctrl_stats.syscalls.incr();
+                inner.ctrl_stats.syscalls.incr_owned(MCP_LANE);
                 let _ = reply.send(mmap.free(addr));
             }
             McpRequest::File(f) => {
-                inner.ctrl_stats.syscalls.incr();
+                inner.ctrl_stats.syscalls.incr_owned(MCP_LANE);
                 match f {
                     FileReq::Open { path, reply } => {
                         let _ = reply.send(vfs.open(&path));
@@ -367,6 +454,34 @@ pub(crate) fn mcp_main(
                         let _ = reply.send(vfs.seek(fd, pos));
                     }
                 }
+            }
+            McpRequest::Checkpoint { path, thread, reply } => {
+                if let Some(why) = quiesce_violation(thread, &threads, &futexes, &inner) {
+                    let _ = reply.send(Err(SimError::CkptNotQuiesced(why)));
+                    continue;
+                }
+                let mut ctrl = Enc::new();
+                ctrl.u32(threads.len() as u32);
+                for rec in &threads {
+                    match rec.state {
+                        ThreadState::Running => {
+                            ctrl.u8(0);
+                            ctrl.u64(0);
+                        }
+                        ThreadState::Exited(t) => {
+                            ctrl.u8(1);
+                            ctrl.u64(t.0);
+                        }
+                    }
+                }
+                ctrl.u32(free_tiles.len() as u32);
+                for &t in &free_tiles {
+                    ctrl.u32(t);
+                }
+                ctrl.words(&heap.export_state());
+                ctrl.words(&mmap.export_state());
+                vfs.save(&mut ctrl);
+                let _ = reply.send(crate::ckpt::write_checkpoint(&inner, ctrl.finish(), &path));
             }
             McpRequest::Shutdown => break,
         }

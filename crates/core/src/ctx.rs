@@ -47,10 +47,12 @@
 //!   clock reads and [`Ctx::forward_time`] have no failure mode. Best-effort
 //!   conveniences ([`Ctx::print`]) swallow late-shutdown errors.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use crossbeam::channel;
 use graphite_base::{Cycles, SimError, ThreadId, TileId};
+use graphite_ckpt::stream;
 use graphite_core_model::Instruction;
 use graphite_memory::Addr;
 use graphite_network::{Packet, TrafficClass};
@@ -446,7 +448,8 @@ impl Ctx {
             .transport
             .send(Endpoint::Tile(self.tile), Endpoint::Tile(to), MsgClass::User, framed)
             .map_err(|_| SimError::TransportClosed(format!("user message to {to}")))?;
-        self.sim.user_msgs.incr();
+        // Lane = the sending tile: only this tile's thread writes it.
+        self.sim.user_msgs.incr_owned(self.tile.index());
         self.trace(|| TraceEventKind::UserMsgSend { dst: to.0, bytes: payload.len() as u64 });
         self.execute(Instruction::Generic { cost: Cycles(10) });
         Ok(())
@@ -475,6 +478,13 @@ impl Ctx {
     }
 
     fn recv_filtered(&mut self, want: Option<TileId>) -> Result<(TileId, Vec<u8>), SimError> {
+        // Message-arrival order is one of the run's nondeterministic inputs:
+        // in replay mode, the recorded source pins which sender an
+        // unfiltered receive accepts (a dry stream falls back to live
+        // order); in record mode, the accepted source is logged below.
+        let replayed_src =
+            self.sim.replay.replay_u64(stream::msg_arrival(self.tile.0)).map(|v| TileId(v as u32));
+        let want = want.or(replayed_src);
         let (src, arrival, payload) = {
             let mut inbox = self.sim.inboxes[self.tile.index()].lock();
             if let Some(pos) = inbox.stash.iter().position(|(s, _, _)| want.is_none_or(|w| *s == w))
@@ -501,6 +511,7 @@ impl Ctx {
                 }
             }
         };
+        self.sim.replay.record_u64(stream::msg_arrival(self.tile.0), src.0 as u64);
         // The receive pseudo-instruction advances the clock by the blocking
         // wait, landing it at the message's arrival timestamp (§3.1, §3.6.1).
         // Stale timestamps (arrival in the past) wait zero cycles.
@@ -605,6 +616,51 @@ impl Ctx {
             return Err(SimError::Syscall(format!("close(fd={fd}) failed")));
         }
         Ok(())
+    }
+
+    // ---- determinism: guest RNG and checkpointing -----------------------
+
+    /// A guest-visible pseudo-random `u64`. The stream is seeded from the
+    /// configuration seed, survives checkpoint/restore, and routes through
+    /// the record/replay log — so a replayed run draws the recorded values
+    /// regardless of seed. Charges no simulated time (a native `rdrand`
+    /// would, but keeping it model-invisible makes recorded and replayed
+    /// timings identical).
+    pub fn rand_u64(&mut self) -> u64 {
+        self.sim
+            .replay
+            .record_or_replay_u64(stream::GUEST_RNG, || self.sim.guest_rng.lock().next_u64())
+    }
+
+    /// A guest-visible pseudo-random value below `bound` (0 when `bound` is
+    /// 0). Consumes one [`Ctx::rand_u64`] draw.
+    pub fn rand_range(&mut self, bound: u64) -> u64 {
+        let draw = self.rand_u64();
+        if bound == 0 {
+            0
+        } else {
+            draw % bound
+        }
+    }
+
+    /// Snapshots the quiesced simulation to `path` in the `graphite.ckpt.v1`
+    /// format, for a later [`crate::SimBuilder::resume`].
+    ///
+    /// Only the main thread may checkpoint, and only at a quiesce point:
+    /// every spawned thread joined, no futex waiter parked, no user message
+    /// undelivered. The call is model-invisible — it charges no simulated
+    /// time and bumps no counters, so a run that checkpoints reports exactly
+    /// the same metrics as one that does not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptNotQuiesced`] naming the violation,
+    /// [`SimError::CkptIo`] when the file cannot be written, or
+    /// [`SimError::TransportClosed`] if the control plane is gone.
+    pub fn checkpoint(&self, path: impl Into<PathBuf>) -> Result<(), SimError> {
+        let (tx, rx) = channel::bounded(1);
+        self.send_mcp(McpRequest::Checkpoint { path: path.into(), thread: self.thread, reply: tx });
+        rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
     }
 
     /// Writes text to the simulation's captured stdout (fd 1). Best-effort:

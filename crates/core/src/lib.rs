@@ -78,24 +78,28 @@
 //!   same event stream (instructions, memory references, sync events,
 //!   messages, syscalls) into the same back end.
 
+mod ckpt;
 pub mod control;
 pub mod ctx;
 pub mod guest_sync;
 pub mod report;
 pub mod vfs;
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{self, Sender};
-use graphite_base::{Clock, Cycles, GlobalProgress, SimError, ThreadId, TileId};
+use graphite_base::{Clock, Cycles, GlobalProgress, SimError, SimRng, ThreadId, TileId};
+use graphite_ckpt::CkptReader;
+pub use graphite_ckpt::{ReplayLog, ReplayMode};
 pub use graphite_config::{SimConfig, SyncModel};
 use graphite_core_model::{CoreModel, CoreParams, InOrderCore, OooCore, OooParams};
 use graphite_memory::MemorySystem;
 use graphite_network::Network;
-use graphite_sync::{build_synchronizer_obs, Synchronizer};
-use graphite_trace::{Metric, Obs, TraceOptions};
+use graphite_sync::{build_synchronizer_replay, Synchronizer};
 pub use graphite_trace::{MetricsSnapshot, TraceEvent, TraceEventKind};
+use graphite_trace::{Obs, ShardedMetric, TraceOptions};
 use graphite_transport::{Endpoint, LocalTransport, Transport};
 use parking_lot::Mutex;
 
@@ -109,6 +113,9 @@ use control::{lcp_main, mcp_main, ControlStats, LcpCmd, McpRequest, UserInbox};
 pub(crate) const SYSCALL_COST: Cycles = Cycles(300);
 /// Cycles of latency from a futex wake to the waiter resuming.
 pub(crate) const FUTEX_WAKE_LATENCY: Cycles = Cycles(100);
+/// Salt decorrelating the guest-visible RNG stream from the seed's other
+/// consumers (sync-model partner picks, transport backoff jitter).
+const GUEST_RNG_SALT: u64 = 0x4755_4553_545F_524E;
 
 /// Everything shared between guest threads, the MCP and the LCPs.
 pub(crate) struct SimInner {
@@ -122,9 +129,18 @@ pub(crate) struct SimInner {
     pub inboxes: Vec<Mutex<UserInbox>>,
     pub mcp_tx: Sender<McpRequest>,
     pub ctrl_stats: ControlStats,
-    pub user_msgs: Metric,
+    /// User-level messages sent; each tile's thread updates its own lane.
+    pub user_msgs: ShardedMetric,
     /// The simulation's observability spine: metrics registry + tracer.
     pub obs: Obs,
+    /// Record/replay log for the run's nondeterministic inputs; an
+    /// [`ReplayLog::off`] pass-through unless the builder enabled it.
+    pub replay: Arc<ReplayLog>,
+    /// Guest-visible RNG ([`Ctx::rand_u64`]); checkpointed and replayable.
+    pub guest_rng: Mutex<SimRng>,
+    /// Control-plane state parsed from a checkpoint, adopted (and cleared)
+    /// by the MCP thread before it services its first request.
+    pub ckpt_restore: Mutex<Option<control::CtrlRestore>>,
     pub stdout: Mutex<Vec<u8>>,
     pub started: Instant,
     /// Set when any guest thread panicked; surfaced by [`Sim::run`].
@@ -153,6 +169,9 @@ pub struct SimBuilder {
     core_kind: CoreKind,
     tcp_transport: bool,
     trace: TraceOptions,
+    resume: Option<PathBuf>,
+    record: bool,
+    replay_log: Option<Vec<u8>>,
 }
 
 /// Former name of [`SimBuilder`].
@@ -172,7 +191,40 @@ impl SimBuilder {
             core_kind: CoreKind::InOrder(CoreParams::default()),
             tcp_transport: false,
             trace: TraceOptions::default(),
+            resume: None,
+            record: false,
+            replay_log: None,
         }
+    }
+
+    /// Resumes from a checkpoint written by [`Ctx::checkpoint`]. The
+    /// configuration must match the one that wrote the file (tile and
+    /// process counts, seed, sync model, cache line size); [`SimBuilder::build`]
+    /// validates the file and restores every subsystem before any service
+    /// thread starts. The guest `main` passed to [`Sim::run`] is then
+    /// responsible for performing the *remaining* work — the simulated
+    /// machine (clocks, caches, DRAM, metrics, allocators) continues exactly
+    /// where the checkpoint left it.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Records the run's nondeterministic inputs (guest RNG draws, LaxP2P
+    /// partner picks, user-message arrival order) into a replay log,
+    /// exported as [`SimReport::replay_log`].
+    pub fn record(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Replays a log captured by [`SimBuilder::record`]: every recorded
+    /// nondeterministic choice is served back in order, pinning the run to
+    /// the recorded schedule. Streams that run dry fall through to live
+    /// values.
+    pub fn replay(mut self, log: &[u8]) -> Self {
+        self.replay_log = Some(log.to_vec());
+        self
     }
 
     /// Overrides the configuration's synchronization model (Lax /
@@ -227,11 +279,22 @@ impl SimBuilder {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for inconsistent configurations,
-    /// or a transport error if the TCP backend cannot bind.
+    /// a transport error if the TCP backend cannot bind, or — when resuming —
+    /// any of the typed checkpoint errors ([`SimError::CkptIo`],
+    /// [`SimError::CkptCorrupted`], [`SimError::CkptVersionMismatch`],
+    /// [`SimError::CkptTruncated`], [`SimError::CkptMissingSegment`]).
     pub fn build(self) -> Result<Sim, SimError> {
         self.cfg.validate()?;
         let cfg = self.cfg;
         let n = cfg.target.num_tiles as usize;
+
+        // A resume opens and fully validates the checkpoint (magic, version,
+        // checksums) before anything is constructed.
+        let reader = match &self.resume {
+            Some(path) => Some(CkptReader::open(path)?),
+            None => None,
+        };
+
         let obs = Obs::new(n, self.trace);
         let clocks: Arc<Vec<Arc<Clock>>> =
             Arc::new((0..n).map(|_| Arc::new(Clock::new())).collect());
@@ -243,7 +306,29 @@ impl SimBuilder {
             self.classify_misses,
             &obs,
         ));
-        let sync = build_synchronizer_obs(cfg.sync, Arc::clone(&clocks), cfg.seed, &obs);
+        // The replay log must exist before the synchronizer: LaxP2P routes
+        // its partner picks through it.
+        let replay = Arc::new(if let Some(r) = &reader {
+            let log = ckpt::load_replay(r)?;
+            if self.record && log.mode() == ReplayMode::Off {
+                ReplayLog::recording()
+            } else {
+                log
+            }
+        } else if self.record {
+            ReplayLog::recording()
+        } else if let Some(bytes) = &self.replay_log {
+            ReplayLog::replay_from(bytes)?
+        } else {
+            ReplayLog::off()
+        });
+        let sync = build_synchronizer_replay(
+            cfg.sync,
+            Arc::clone(&clocks),
+            cfg.seed,
+            &obs,
+            Arc::clone(&replay),
+        );
         let transport: Arc<dyn Transport> = if self.tcp_transport {
             Arc::new(graphite_transport::tcp::TcpTransport::with_obs(&cfg, &obs)?)
         } else {
@@ -254,7 +339,7 @@ impl SimBuilder {
                 Mutex::new(UserInbox::new(transport.register(Endpoint::Tile(TileId(i as u32)))))
             })
             .collect();
-        let cores = (0..n)
+        let cores: Vec<Mutex<Box<dyn CoreModel>>> = (0..n)
             .map(|_| {
                 let model: Box<dyn CoreModel> = match &self.core_kind {
                     CoreKind::InOrder(p) => Box::new(InOrderCore::new(p.clone())),
@@ -263,6 +348,34 @@ impl SimBuilder {
                 Mutex::new(model)
             })
             .collect();
+
+        // Register the control-plane counters before a potential metrics
+        // restore: MetricsRegistry::restore skips names with no registered
+        // counterpart, so late registration would silently drop them.
+        let ctrl_stats = ControlStats::registered(&obs.metrics);
+        let user_msgs = obs.metrics.sharded_counter("ctrl.user_msgs");
+
+        // Restore the simulated machine into the freshly built subsystems
+        // before any service thread starts, so nothing can observe
+        // half-restored state.
+        let mut guest_rng = SimRng::new(cfg.seed ^ GUEST_RNG_SALT);
+        let mut stdout = Vec::new();
+        let mut ctrl_restore = None;
+        if let Some(r) = &reader {
+            ckpt::apply_restore(
+                r,
+                &cfg,
+                &clocks,
+                &mem,
+                &network,
+                sync.as_ref(),
+                &cores,
+                &obs.metrics,
+            )?;
+            guest_rng = SimRng::from_state(ckpt::load_guest_rng_state(r)?);
+            stdout = ckpt::load_stdout(r)?;
+            ctrl_restore = Some(ckpt::parse_ctrl(r, &cfg)?);
+        }
 
         let (mcp_tx, mcp_rx) = channel::unbounded();
         let inner = Arc::new(SimInner {
@@ -274,10 +387,13 @@ impl SimBuilder {
             transport,
             inboxes,
             mcp_tx: mcp_tx.clone(),
-            ctrl_stats: ControlStats::registered(&obs.metrics),
-            user_msgs: obs.metrics.counter("ctrl.user_msgs"),
+            ctrl_stats,
+            user_msgs,
             obs,
-            stdout: Mutex::new(Vec::new()),
+            replay,
+            guest_rng: Mutex::new(guest_rng),
+            ckpt_restore: Mutex::new(ctrl_restore),
+            stdout: Mutex::new(stdout),
             started: Instant::now(),
             guest_panicked: std::sync::atomic::AtomicBool::new(false),
             cfg,

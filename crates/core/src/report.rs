@@ -193,6 +193,11 @@ pub struct SimReport {
     /// Structured trace events drained from the per-tile rings (empty when
     /// tracing was disabled); serialize with [`SimReport::trace_jsonl`].
     pub trace_events: Vec<TraceEvent>,
+    /// The serialized record/replay log when the run recorded (or replayed)
+    /// its nondeterministic inputs via [`crate::SimBuilder::record`]; feed
+    /// it back through [`crate::SimBuilder::replay`]. `None` when replay was
+    /// off.
+    pub replay_log: Option<Vec<u8>>,
 }
 
 impl SimReport {
@@ -365,6 +370,8 @@ pub(crate) fn build_report(inner: &SimInner) -> SimReport {
         num_processes: inner.cfg.num_processes,
         sync_model: inner.sync.name().to_owned(),
         trace_events: inner.obs.tracer.drain(),
+        replay_log: (inner.replay.mode() != graphite_ckpt::ReplayMode::Off)
+            .then(|| inner.replay.save_bytes()),
         metrics: snap,
     }
 }

@@ -14,6 +14,9 @@
 
 use std::collections::HashMap;
 
+use graphite_base::SimError;
+use graphite_ckpt::{corrupted, Dec, Enc};
+
 /// The MCP-resident file system: named in-memory files plus a global
 /// descriptor table.
 ///
@@ -112,6 +115,63 @@ impl Vfs {
     pub fn file_size(&self, path: &str) -> Option<usize> {
         self.files.get(path).map(Vec::len)
     }
+
+    /// Serializes the file system into a checkpoint segment: files (sorted by
+    /// name for a stable byte stream), then the descriptor table (sorted by
+    /// fd), then the next descriptor number.
+    pub fn save(&self, out: &mut Enc) {
+        let mut names: Vec<&String> = self.files.keys().collect();
+        names.sort();
+        out.u32(names.len() as u32);
+        for name in names {
+            out.str(name);
+            out.bytes(&self.files[name]);
+        }
+        let mut fds: Vec<i32> = self.descriptors.keys().copied().collect();
+        fds.sort_unstable();
+        out.u32(fds.len() as u32);
+        for fd in fds {
+            let (name, offset) = &self.descriptors[&fd];
+            out.u32(fd as u32);
+            out.str(name);
+            out.u64(*offset);
+        }
+        out.u32(self.next_fd as u32);
+    }
+
+    /// Rebuilds a file system from [`Vfs::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] when the stream runs dry and
+    /// [`SimError::CkptCorrupted`] when it decodes but is inconsistent
+    /// (descriptor naming an unknown file, `next_fd` not past a live fd).
+    pub fn restore(d: &mut Dec<'_>) -> Result<Self, SimError> {
+        let mut files = HashMap::new();
+        for _ in 0..d.u32()? {
+            let name = d.str()?.to_owned();
+            let data = d.bytes()?.to_vec();
+            files.insert(name, data);
+        }
+        let mut descriptors = HashMap::new();
+        let n_fds = d.u32()?;
+        let mut max_fd = 2;
+        for _ in 0..n_fds {
+            let fd = d.u32()? as i32;
+            let name = d.str()?.to_owned();
+            let offset = d.u64()?;
+            if fd < 3 || !files.contains_key(&name) {
+                return Err(corrupted("ctrl"));
+            }
+            max_fd = max_fd.max(fd);
+            descriptors.insert(fd, (name, offset));
+        }
+        let next_fd = d.u32()? as i32;
+        if next_fd <= max_fd || descriptors.len() != n_fds as usize {
+            return Err(corrupted("ctrl"));
+        }
+        Ok(Vfs { files, descriptors, next_fd })
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +208,59 @@ mod tests {
         assert_eq!(v.read(99, 4), Vec::<u8>::new());
         assert_eq!(v.write(99, b"x"), 0);
         assert_eq!(v.seek(99, 0), -1);
+    }
+
+    #[test]
+    fn save_restore_roundtrips_files_and_descriptors() {
+        let mut v = Vfs::new();
+        let a = v.open("a");
+        v.write(a, b"alpha");
+        let b = v.open("b");
+        v.write(b, b"beta");
+        v.seek(b, 2);
+        v.close(a);
+
+        let mut enc = Enc::new();
+        v.save(&mut enc);
+        let bytes = enc.finish();
+        let mut r = Vfs::restore(&mut Dec::new(&bytes)).expect("restore");
+        assert_eq!(r.file_size("a"), Some(5));
+        assert_eq!(r.read(b, 10), b"ta");
+        // Fresh descriptors continue past the restored table.
+        assert_eq!(r.open("c"), v.open("c"));
+
+        // Same state re-saves to identical bytes.
+        let mut enc2 = Enc::new();
+        let mut v2 = Vfs::new();
+        let a2 = v2.open("a");
+        v2.write(a2, b"alpha");
+        let b2 = v2.open("b");
+        v2.write(b2, b"beta");
+        v2.seek(b2, 2);
+        v2.close(a2);
+        v2.save(&mut enc2);
+        assert_eq!(bytes, enc2.finish());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_streams() {
+        // Descriptor naming a file that was never saved.
+        let mut enc = Enc::new();
+        enc.u32(0); // no files
+        enc.u32(1); // one descriptor
+        enc.u32(3);
+        enc.str("ghost");
+        enc.u64(0);
+        enc.u32(4);
+        assert!(Vfs::restore(&mut Dec::new(&enc.finish())).is_err());
+
+        // Truncated mid-table.
+        let mut v = Vfs::new();
+        v.open("f");
+        let mut enc = Enc::new();
+        v.save(&mut enc);
+        let bytes = enc.finish();
+        assert!(Vfs::restore(&mut Dec::new(&bytes[..bytes.len() - 2])).is_err());
     }
 
     #[test]

@@ -213,6 +213,53 @@ impl SegmentAllocator {
     pub fn allocation_size(&self, addr: Addr) -> Option<u64> {
         self.live.get(&addr.0).copied()
     }
+
+    /// Checkpoint export: the free and live maps as flat words
+    /// `[free_count, (start, len)*, live_count, (start, len)*]`.
+    pub fn export_state(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(2 + 2 * (self.free.len() + self.live.len()));
+        out.push(self.free.len() as u64);
+        for (&s, &l) in &self.free {
+            out.push(s);
+            out.push(l);
+        }
+        out.push(self.live.len() as u64);
+        for (&s, &l) in &self.live {
+            out.push(s);
+            out.push(l);
+        }
+        out
+    }
+
+    /// Restores the free/live maps from [`SegmentAllocator::export_state`]
+    /// words. Returns `false` (allocator untouched) when the words are
+    /// misshapen or describe blocks outside this allocator's segment.
+    pub fn import_state(&mut self, words: &[u64]) -> bool {
+        let parse = |words: &mut &[u64]| -> Option<BTreeMap<u64, u64>> {
+            let (&n, rest) = words.split_first()?;
+            let n = usize::try_from(n).ok()?;
+            let (pairs, rest) = rest.split_at_checked(n.checked_mul(2)?)?;
+            *words = rest;
+            let mut map = BTreeMap::new();
+            for p in pairs.chunks_exact(2) {
+                let (start, len) = (p[0], p[1]);
+                if start < self.base.0 || start.checked_add(len)? > self.base.0 + self.size {
+                    return None;
+                }
+                map.insert(start, len);
+            }
+            Some(map)
+        };
+        let mut rest = words;
+        let Some(free) = parse(&mut rest) else { return false };
+        let Some(live) = parse(&mut rest) else { return false };
+        if !rest.is_empty() {
+            return false;
+        }
+        self.free = free;
+        self.live = live;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +345,25 @@ mod tests {
         assert_eq!(a.bytes_in_use(), 0);
         // The whole segment is one free block again: a max-size alloc works.
         assert!(a.alloc(256).is_ok());
+    }
+
+    #[test]
+    fn export_import_state_roundtrip() {
+        let mut a = SegmentAllocator::new(Addr(0x1000), 4096);
+        let x = a.alloc(100).unwrap();
+        let y = a.alloc(200).unwrap();
+        a.free(x).unwrap();
+        let words = a.export_state();
+        let mut b = SegmentAllocator::new(Addr(0x1000), 4096);
+        assert!(b.import_state(&words));
+        assert_eq!(b.bytes_in_use(), a.bytes_in_use());
+        assert_eq!(b.allocation_size(y), a.allocation_size(y));
+        // The restored allocator continues exactly like the original.
+        assert_eq!(a.alloc(64).unwrap(), b.alloc(64).unwrap());
+        // Misshapen or out-of-segment words are rejected without mutation.
+        assert!(!b.import_state(&[99]));
+        assert!(!b.import_state(&[1, 0xFFFF_0000, 64, 0]), "block outside segment");
+        assert_eq!(b.bytes_in_use(), a.bytes_in_use());
     }
 
     proptest! {

@@ -5,7 +5,8 @@
 //! completing (paper §3.2 — "this strategy automatically helps verify the
 //! correctness of complex hierarchies and protocols").
 
-use graphite_base::Cycles;
+use graphite_base::{Cycles, SimError};
+use graphite_ckpt::{corrupted, Dec, Enc};
 use graphite_config::CacheConfig;
 
 use crate::addr::Addr;
@@ -229,6 +230,83 @@ impl Cache {
         buf.copy_from_slice(&data[off..off + buf.len()]);
     }
 
+    /// Serializes the full cache contents — tags, states, LRU stamps, and
+    /// (for functional caches) line data — into a checkpoint payload.
+    pub fn save(&self, out: &mut Enc) {
+        out.u64(self.next_stamp);
+        out.u32(self.sets.len() as u32);
+        for set in &self.sets {
+            out.u32(set.len() as u32);
+            for l in set {
+                out.u64(l.line);
+                out.u8(match l.state {
+                    LineState::Shared => 0,
+                    LineState::Exclusive => 1,
+                    LineState::Modified => 2,
+                });
+                out.u64(l.stamp);
+                match &l.data {
+                    Some(d) => {
+                        out.u8(1);
+                        out.bytes(d);
+                    }
+                    None => out.u8(0),
+                }
+            }
+        }
+    }
+
+    /// Restores contents saved by [`Cache::save`] into a cache built from
+    /// the same configuration, replacing whatever is resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed checkpoint error when the payload's geometry (set
+    /// count, associativity, data presence, line size) does not match.
+    pub fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), SimError> {
+        let next_stamp = dec.u64()?;
+        if dec.u32()? as usize != self.sets.len() {
+            return Err(corrupted("cache"));
+        }
+        let mut sets = Vec::with_capacity(self.sets.len());
+        for _ in 0..self.sets.len() {
+            let ways = dec.u32()? as usize;
+            if ways > self.assoc {
+                return Err(corrupted("cache"));
+            }
+            let mut set = Vec::with_capacity(self.assoc);
+            for _ in 0..ways {
+                let line = dec.u64()?;
+                let state = match dec.u8()? {
+                    0 => LineState::Shared,
+                    1 => LineState::Exclusive,
+                    2 => LineState::Modified,
+                    _ => return Err(corrupted("cache")),
+                };
+                let stamp = dec.u64()?;
+                let data = match dec.u8()? {
+                    0 => None,
+                    1 => {
+                        let d = dec.bytes()?;
+                        if d.len() != self.line_size as usize {
+                            return Err(corrupted("cache"));
+                        }
+                        Some(d.to_vec().into_boxed_slice())
+                    }
+                    _ => return Err(corrupted("cache")),
+                };
+                if data.is_some() != self.stores_data {
+                    return Err(corrupted("cache"));
+                }
+                set.push(CacheLine { line, state, data, stamp });
+            }
+            sets.push(set);
+        }
+        self.sets = sets;
+        self.next_stamp = next_stamp;
+        Ok(())
+    }
+
     /// Writes bytes at `addr` into a resident line and marks it Modified.
     ///
     /// # Panics
@@ -361,6 +439,51 @@ mod tests {
         c.insert(7, LineState::Shared, None);
         assert!(c.lookup(7).is_some());
         assert!(c.lookup(7).unwrap().data.is_none());
+    }
+
+    #[test]
+    fn save_restore_preserves_contents_and_lru() {
+        let mut c = cache(256, 2, 64);
+        c.insert(0, LineState::Shared, Some(vec![1; 64].into()));
+        c.insert(2, LineState::Modified, Some(vec![2; 64].into()));
+        c.lookup(0); // 0 becomes MRU
+        let mut e = Enc::new();
+        c.save(&mut e);
+        let buf = e.finish();
+        let mut fresh = cache(256, 2, 64);
+        fresh.restore(&mut Dec::new(&buf)).unwrap();
+        assert_eq!(fresh.resident_lines(), 2);
+        assert_eq!(fresh.peek(2).unwrap().state, LineState::Modified);
+        assert_eq!(fresh.peek(2).unwrap().data.as_ref().unwrap()[0], 2);
+        // LRU order survives: inserting into the full set evicts 2, not 0.
+        let ev = fresh.insert(4, LineState::Shared, Some(vec![0; 64].into())).unwrap();
+        assert_eq!(ev.line, 2);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_geometry() {
+        let mut big = cache(1024, 2, 64);
+        big.insert(0, LineState::Shared, Some(vec![0; 64].into()));
+        let mut e = Enc::new();
+        big.save(&mut e);
+        let buf = e.finish();
+        let mut small = cache(256, 2, 64);
+        assert!(small.restore(&mut Dec::new(&buf)).is_err(), "set count differs");
+        // Tag-only target rejects data-carrying lines.
+        let mut tag_only = Cache::new(
+            &CacheConfig {
+                size_bytes: 1024,
+                associativity: 2,
+                line_size: 64,
+                access_latency: Cycles(1),
+            },
+            false,
+        );
+        assert!(tag_only.restore(&mut Dec::new(&buf)).is_err());
+        // Truncation is typed, not a panic.
+        let mut same = cache(1024, 2, 64);
+        assert!(same.restore(&mut Dec::new(&buf[..buf.len() - 10])).is_err());
+        assert!(same.restore(&mut Dec::new(&buf)).is_ok());
     }
 
     proptest! {

@@ -76,6 +76,21 @@ impl DramController {
             self.queue_delay_sum.get() as f64 / n as f64
         }
     }
+
+    /// Checkpoint export: `[queue_clock, requests, queue_delay_sum]`.
+    pub fn export_state(&self) -> [u64; 3] {
+        [self.queue.clock().0, self.requests.get(), self.queue_delay_sum.get()]
+    }
+
+    /// Overwrites the controller's mutable state with a previously exported
+    /// triple (checkpoint restore).
+    pub fn import_state(&self, s: [u64; 3]) {
+        self.queue.set_clock(Cycles(s[0]));
+        self.requests.take();
+        self.requests.add(s[1]);
+        self.queue_delay_sum.take();
+        self.queue_delay_sum.add(s[2]);
+    }
 }
 
 #[cfg(test)]

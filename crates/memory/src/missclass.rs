@@ -15,7 +15,8 @@
 
 use std::collections::HashMap;
 
-use graphite_base::TileId;
+use graphite_base::{SimError, TileId};
+use graphite_ckpt::{corrupted, Dec, Enc};
 use parking_lot::Mutex;
 
 /// Why a miss happened.
@@ -177,6 +178,73 @@ impl MissClassifier {
             _ => MissKind::Capacity,
         };
         Some(kind)
+    }
+
+    /// Serializes the classification history (checkpoint). Lines and
+    /// departed tiles are emitted in sorted order so identical states always
+    /// produce identical bytes.
+    pub fn save(&self, out: &mut Enc) {
+        out.u8(self.enabled as u8);
+        if !self.enabled {
+            return;
+        }
+        let lines = self.lines.lock();
+        let mut keys: Vec<u64> = lines.keys().copied().collect();
+        keys.sort_unstable();
+        out.u64(keys.len() as u64);
+        for k in keys {
+            let hist = &lines[&k];
+            out.u64(k);
+            out.u32(hist.touched.len() as u32);
+            for t in &hist.touched {
+                out.u32(t.0);
+            }
+            let mut dep: Vec<(TileId, Departed)> =
+                hist.departed.iter().map(|(t, d)| (*t, *d)).collect();
+            dep.sort_unstable_by_key(|(t, _)| t.0);
+            out.u32(dep.len() as u32);
+            for (t, d) in dep {
+                out.u32(t.0);
+                out.u8(d.invalidated as u8);
+                out.u64(d.written_mask);
+            }
+        }
+    }
+
+    /// Restores history captured by [`MissClassifier::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed checkpoint error when the payload's enabled flag does
+    /// not match this classifier or the payload is malformed.
+    pub fn restore(&self, dec: &mut Dec<'_>) -> Result<(), SimError> {
+        let enabled = dec.u8()? != 0;
+        if enabled != self.enabled {
+            return Err(corrupted("missclass"));
+        }
+        if !enabled {
+            return Ok(());
+        }
+        let n = dec.u64()?;
+        let mut map = HashMap::new();
+        for _ in 0..n {
+            let line = dec.u64()?;
+            let mut hist = LineHistory::default();
+            for _ in 0..dec.u32()? {
+                hist.touched.push(TileId(dec.u32()?));
+            }
+            for _ in 0..dec.u32()? {
+                let t = TileId(dec.u32()?);
+                let invalidated = dec.u8()? != 0;
+                let written_mask = dec.u64()?;
+                hist.departed.insert(t, Departed { invalidated, written_mask });
+            }
+            if map.insert(line, hist).is_some() {
+                return Err(corrupted("missclass"));
+            }
+        }
+        *self.lines.lock() = map;
+        Ok(())
     }
 }
 

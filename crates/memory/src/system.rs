@@ -26,7 +26,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use graphite_base::{Cycles, SimRng, TileId};
+use graphite_base::{Cycles, SimError, SimRng, TileId};
+use graphite_ckpt::{corrupted, Checkpointable, Dec, Enc};
 use graphite_config::{CacheProtocol, CoherenceScheme, SimConfig};
 use graphite_network::{Network, Packet, TrafficClass};
 use graphite_trace::{
@@ -36,7 +37,7 @@ use parking_lot::{Mutex, MutexGuard};
 
 use crate::addr::Addr;
 use crate::cache::{Cache, CacheLine, LineState};
-use crate::directory::{DirEntry, DirState};
+use crate::directory::{DirEntry, DirState, SharerSet};
 use crate::dram::DramController;
 use crate::missclass::{MissClassifier, MissKind};
 
@@ -55,6 +56,13 @@ struct TileMem {
     l1i: Option<Cache>,
     l1d: Option<Cache>,
     l2: Option<Cache>,
+    /// Line-sized staging buffer for the miss path. Fills whose bytes come
+    /// from the directory's home copy are staged here (copy + apply the
+    /// access) instead of cloning the home copy into a temporary heap
+    /// allocation per protocol leg; only the cache inserts materialize owned
+    /// boxes. Only this tile's own thread fills its caches, so the buffer
+    /// needs no synchronization beyond the tile lock it lives under.
+    scratch: Box<[u8]>,
 }
 
 impl TileMem {
@@ -249,6 +257,16 @@ fn apply_rmw(data: &mut [u8], off: usize, old: &mut [u8], f: &mut dyn FnMut(&mut
     f(window);
 }
 
+/// Where the bytes for a miss fill come from.
+enum FillSrc {
+    /// The directory's home copy (`DirEntry::data`), still current at fill
+    /// time; staged through the requesting tile's scratch buffer.
+    Home,
+    /// An owner cache supplied the line (cache-to-cache transfer); the box
+    /// is already owned and moves into the coherence-level insert.
+    Owner(Box<[u8]>),
+}
+
 /// Per-requesting-tile counters consumed by the host performance model.
 #[derive(Debug, Default)]
 pub struct PerTileMemCounters {
@@ -364,6 +382,7 @@ impl MemorySystem {
                     l1i: cfg.target.l1i.as_ref().map(|c| Cache::new(c, false)),
                     l1d: cfg.target.l1d.as_ref().map(|c| Cache::new(c, true)),
                     l2: cfg.target.l2.as_ref().map(|c| Cache::new(c, true)),
+                    scratch: vec![0u8; line_size as usize].into(),
                 })
             })
             .collect();
@@ -778,7 +797,7 @@ impl MemorySystem {
         let est_now = self.network.progress().estimate();
         let mut data_ready = t_home;
         let mut fill_state = if is_write { LineState::Modified } else { LineState::Shared };
-        let mut fill_data: Option<Box<[u8]>> = None;
+        let mut fill_src: Option<FillSrc> = None;
         let mut resp_bytes = self.line_size + DATA_HDR_BYTES;
         let mut counted_upgrade = false;
 
@@ -787,7 +806,7 @@ impl MemorySystem {
                 let dram_lat = self.controller_of(home).access(est_now, self.line_size);
                 self.stats.dram_reads.incr_owned(tile.index());
                 data_ready = t_home + dram_lat;
-                fill_data = Some(entry.data.clone());
+                fill_src = Some(FillSrc::Home);
                 entry.state = if is_write {
                     DirState::Owned(tile)
                 } else if self.protocol == CacheProtocol::Mesi {
@@ -830,7 +849,7 @@ impl MemorySystem {
                 let dram_lat = self.controller_of(home).access(est_now, self.line_size);
                 self.stats.dram_reads.incr_owned(tile.index());
                 data_ready = data_ready.max(t_home + dram_lat);
-                fill_data = Some(entry.data.clone());
+                fill_src = Some(FillSrc::Home);
                 entry.sharers.insert(tile);
             }
             (DirState::Shared, true) => {
@@ -864,7 +883,7 @@ impl MemorySystem {
                     let dram_lat = self.controller_of(home).access(est_now, self.line_size);
                     self.stats.dram_reads.incr_owned(tile.index());
                     data_ready = t_inv_done.max(t_home + dram_lat);
-                    fill_data = Some(entry.data.clone());
+                    fill_src = Some(FillSrc::Home);
                 }
             }
             (DirState::Owned(owner), _) => {
@@ -902,7 +921,7 @@ impl MemorySystem {
                 };
                 if was_dirty {
                     self.stats.writebacks.incr_owned(tile.index());
-                    entry.data = data.clone();
+                    entry.data.copy_from_slice(&data);
                     // Home memory is updated in parallel with the response;
                     // the write occupies the controller off the critical path.
                     let _ = self.controller_of(home).access(est_now, self.line_size);
@@ -911,7 +930,7 @@ impl MemorySystem {
                 let xfer = if was_dirty { self.line_size + DATA_HDR_BYTES } else { CTRL_MSG_BYTES };
                 let t_data = self.route_derived(owner, home, xfer, t_fwd + Cycles(2));
                 data_ready = t_data + DIR_LATENCY;
-                fill_data = Some(data);
+                fill_src = Some(FillSrc::Owner(data));
                 if is_write {
                     entry.state = DirState::Owned(tile);
                 } else {
@@ -952,29 +971,42 @@ impl MemorySystem {
                 {
                     self.stats.record_kind(tile.index(), kind);
                 }
-                let mut data = fill_data.expect("miss path always has data");
+                // Stage the fill without intermediate allocations: a
+                // home-copy fill lands in the tile's scratch buffer, an
+                // owner-supplied fill is already an owned box.
+                let tm = &mut *tm;
+                let mut owner_data = match fill_src.expect("miss path always has data") {
+                    FillSrc::Home => {
+                        tm.scratch.copy_from_slice(&entry.data);
+                        None
+                    }
+                    FillSrc::Owner(data) => Some(data),
+                };
+                let staged: &mut [u8] = match owner_data.as_mut() {
+                    Some(data) => data,
+                    None => &mut tm.scratch,
+                };
                 match op {
                     LineOp::Write(bytes) => {
-                        data[off..off + bytes.len()].copy_from_slice(bytes);
+                        staged[off..off + bytes.len()].copy_from_slice(bytes);
                     }
-                    LineOp::Rmw { old, f } => apply_rmw(&mut data, off, old, *f),
-                    LineOp::Read(_) => {}
+                    LineOp::Rmw { old, f } => apply_rmw(staged, off, old, *f),
+                    LineOp::Read(buf) => buf.copy_from_slice(&staged[off..off + buf.len()]),
                 }
-                let has_filter = tm.has_l1_filter();
-                let coh = tm.coh();
+                if tm.l2.is_some() {
+                    if let Some(l1) = tm.l1d.as_mut() {
+                        if l1.peek(line).is_none() {
+                            let bytes: &[u8] = owner_data.as_deref().unwrap_or(&tm.scratch);
+                            // L1 victim needs no writeback (write-through).
+                            l1.insert(line, fill_state, Some(bytes.into()));
+                        }
+                    }
+                }
+                let coh_data = owner_data.unwrap_or_else(|| tm.scratch.clone());
+                let coh = tm.l2.as_mut().or(tm.l1d.as_mut()).expect("some cache level");
                 debug_assert!(coh.peek(line).is_none(), "pre-eviction guaranteed room");
-                let evicted = coh.insert(line, fill_state, Some(data.clone()));
+                let evicted = coh.insert(line, fill_state, Some(coh_data));
                 debug_assert!(evicted.is_none(), "pre-eviction guaranteed room");
-                if has_filter {
-                    let l1 = tm.l1d.as_mut().unwrap();
-                    if l1.peek(line).is_none() {
-                        // L1 victim needs no writeback (write-through).
-                        l1.insert(line, fill_state, Some(data.clone()));
-                    }
-                }
-                if let LineOp::Read(buf) = op {
-                    buf.copy_from_slice(&data[off..off + buf.len()]);
-                }
             }
         }
         drop(shard);
@@ -983,22 +1015,22 @@ impl MemorySystem {
 
     fn apply_write_everywhere(tm: &mut TileMem, line: u64, off: usize, op: &mut LineOp) {
         let n = op.len();
-        let mut result = vec![0u8; n];
-        {
-            let coh = tm.coh();
-            let l = coh.peek_mut(line).expect("upgrade target resident");
-            let data = l.data.as_mut().unwrap();
-            match op {
-                LineOp::Write(bytes) => data[off..off + n].copy_from_slice(bytes),
-                LineOp::Rmw { old, f } => apply_rmw(data, off, old, *f),
-                LineOp::Read(_) => unreachable!("upgrade is always a write"),
-            }
-            result.copy_from_slice(&data[off..off + n]);
+        let TileMem { l1d, l2, scratch, .. } = tm;
+        let coh = l2.as_mut().or(l1d.as_mut()).expect("validated: some cache level exists");
+        let l = coh.peek_mut(line).expect("upgrade target resident");
+        let data = l.data.as_mut().unwrap();
+        match op {
+            LineOp::Write(bytes) => data[off..off + n].copy_from_slice(bytes),
+            LineOp::Rmw { old, f } => apply_rmw(data, off, old, *f),
+            LineOp::Read(_) => unreachable!("upgrade is always a write"),
         }
-        if tm.has_l1_filter() {
-            if let Some(l1) = tm.l1d.as_mut().unwrap().peek_mut(line) {
+        // Propagate the resulting window into the L1 copy via the scratch
+        // buffer (an RMW closure must not be applied twice).
+        scratch[..n].copy_from_slice(&data[off..off + n]);
+        if l2.is_some() {
+            if let Some(l1) = l1d.as_mut().and_then(|c| c.peek_mut(line)) {
                 l1.state = LineState::Modified;
-                l1.data.as_mut().unwrap()[off..off + n].copy_from_slice(&result);
+                l1.data.as_mut().unwrap()[off..off + n].copy_from_slice(&scratch[..n]);
             }
         }
     }
@@ -1287,6 +1319,141 @@ impl MemorySystem {
             }
         }
         now
+    }
+}
+
+/// Checkpointing the memory subsystem captures everything the functional
+/// simulation depends on — every cache array (tags, MSI/MESI state, LRU
+/// stamps, and the application's real bytes), every directory entry (the DRAM
+/// home copies), the DRAM controller queue clocks, and the miss-classifier
+/// history — so that a restored simulation observes identical contents *and*
+/// identical timing.
+///
+/// The system must be quiescent (no in-flight transactions) during both save
+/// and restore; the core orchestrator guarantees this. A failed restore may
+/// leave the system partially overwritten — callers discard the instance on
+/// error.
+impl Checkpointable for MemorySystem {
+    fn segment_name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn save(&self, out: &mut Enc) {
+        out.u32(self.line_size);
+        out.u32(self.num_tiles);
+        for tile in &self.tiles {
+            let tm = tile.lock();
+            for cache in [&tm.l1i, &tm.l1d, &tm.l2] {
+                match cache {
+                    Some(c) => {
+                        out.u8(1);
+                        c.save(out);
+                    }
+                    None => out.u8(0),
+                }
+            }
+        }
+        for shard in &self.shards {
+            let shard = shard.lock();
+            // HashMap iteration order is nondeterministic; sort so identical
+            // states always serialize to identical bytes.
+            let mut lines: Vec<u64> = shard.keys().copied().collect();
+            lines.sort_unstable();
+            out.u32(lines.len() as u32);
+            for line in lines {
+                let e = &shard[&line];
+                out.u64(line);
+                match e.state {
+                    DirState::Uncached => out.u8(0),
+                    DirState::Shared => out.u8(1),
+                    DirState::Owned(t) => {
+                        out.u8(2);
+                        out.u32(t.0);
+                    }
+                }
+                out.u32(e.sharers.count());
+                for s in e.sharers.iter() {
+                    out.u32(s.0);
+                }
+                out.bytes(&e.data);
+            }
+        }
+        out.u32(self.dram.len() as u32);
+        for c in &self.dram {
+            for w in c.export_state() {
+                out.u64(w);
+            }
+        }
+        self.classifier.save(out);
+    }
+
+    fn restore(&self, dec: &mut Dec<'_>) -> Result<(), SimError> {
+        let bad = || corrupted("mem");
+        if dec.u32()? != self.line_size || dec.u32()? != self.num_tiles {
+            return Err(bad());
+        }
+        for tile in &self.tiles {
+            let mut tm = tile.lock();
+            let tm = &mut *tm;
+            for cache in [&mut tm.l1i, &mut tm.l1d, &mut tm.l2] {
+                let present = dec.u8()? != 0;
+                match (present, cache.as_mut()) {
+                    (true, Some(c)) => c.restore(dec)?,
+                    (false, None) => {}
+                    _ => return Err(bad()),
+                }
+            }
+        }
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let n = dec.u32()?;
+            let mut map = HashMap::with_capacity(n as usize);
+            for _ in 0..n {
+                let line = dec.u64()?;
+                if (line & (NUM_SHARDS as u64 - 1)) as usize != idx {
+                    return Err(bad());
+                }
+                let state = match dec.u8()? {
+                    0 => DirState::Uncached,
+                    1 => DirState::Shared,
+                    2 => {
+                        let t = dec.u32()?;
+                        if t >= self.num_tiles {
+                            return Err(bad());
+                        }
+                        DirState::Owned(TileId(t))
+                    }
+                    _ => return Err(bad()),
+                };
+                let mut sharers = SharerSet::new(self.num_tiles);
+                let ns = dec.u32()?;
+                for _ in 0..ns {
+                    let t = dec.u32()?;
+                    if t >= self.num_tiles || !sharers.insert(TileId(t)) {
+                        return Err(bad());
+                    }
+                }
+                let data = dec.bytes()?;
+                if data.len() != self.line_size as usize {
+                    return Err(bad());
+                }
+                let entry = DirEntry { state, sharers, data: data.into() };
+                if !entry.invariants_hold() || map.insert(line, entry).is_some() {
+                    return Err(bad());
+                }
+            }
+            *shard.lock() = map;
+        }
+        if dec.u32()? as usize != self.dram.len() {
+            return Err(bad());
+        }
+        for c in &self.dram {
+            c.import_state([dec.u64()?, dec.u64()?, dec.u64()?]);
+        }
+        self.classifier.restore(dec)?;
+        // Caches and directory were restored independently; check they agree
+        // before letting the protocol run against them.
+        self.verify_coherence_invariants().map_err(|_| bad())?;
+        Ok(())
     }
 }
 
@@ -1719,6 +1886,75 @@ mod tests {
         m.write(TileId(0), Cycles(0), Addr(0x40), &1u64.to_le_bytes());
         assert_eq!(m.stats().silent_upgrades.get(), 0);
         assert_eq!(m.stats().upgrades.get(), 1, "MSI pays the upgrade");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_byte_identical() {
+        let m = system(4);
+        // Deterministic single-threaded storm touching all protocol states.
+        for t in 0..4 {
+            m.random_access_storm(TileId(t), t as u64 + 1, 32 * 64, 500);
+        }
+        let mut enc = Enc::new();
+        m.save(&mut enc);
+        let buf = enc.finish();
+
+        let fresh = system(4);
+        fresh.restore(&mut Dec::new(&buf)).unwrap();
+        fresh.verify_coherence_invariants().unwrap();
+        // Functional contents identical.
+        for line in 0..32u64 {
+            let (mut b1, mut b2) = ([0u8; 64], [0u8; 64]);
+            m.peek_bytes(Addr(line * 64), &mut b1);
+            fresh.peek_bytes(Addr(line * 64), &mut b2);
+            assert_eq!(b1, b2, "line {line} differs after restore");
+        }
+        // Re-saving the restored system reproduces the checkpoint exactly:
+        // cache tags, LRU stamps, directory entries and DRAM queue clocks
+        // all survived the round trip.
+        let mut enc2 = Enc::new();
+        fresh.save(&mut enc2);
+        assert_eq!(buf, enc2.finish(), "re-saved checkpoint differs");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_carries_classifier_history() {
+        let cfg = presets::fig8_miss_characterization(2, 64);
+        let m = system_with(&cfg, true);
+        let a = Addr(0x40);
+        let mut buf8 = [0u8; 8];
+        m.read(TileId(0), Cycles(0), a, &mut buf8);
+        m.write(TileId(1), Cycles(0), a, &1u64.to_le_bytes());
+        let mut enc = Enc::new();
+        m.save(&mut enc);
+        let bytes = enc.finish();
+
+        let fresh = system_with(&cfg, true);
+        fresh.restore(&mut Dec::new(&bytes)).unwrap();
+        // Tile 0 was invalidated by tile 1's write of word 0; its re-read of
+        // word 0 must classify as true sharing in BOTH systems.
+        m.read(TileId(0), Cycles(0), a, &mut buf8);
+        fresh.read(TileId(0), Cycles(0), a, &mut buf8);
+        assert_eq!(m.stats().miss_true_sharing.get(), 1);
+        assert_eq!(fresh.stats().miss_true_sharing.get(), 1);
+    }
+
+    #[test]
+    fn restore_rejects_mismatch_and_truncation() {
+        let m = system(4);
+        m.random_access_storm(TileId(0), 7, 16 * 64, 100);
+        let mut enc = Enc::new();
+        m.save(&mut enc);
+        let buf = enc.finish();
+        // Wrong tile count is a typed corruption, not a panic.
+        let other = system(8);
+        assert!(matches!(other.restore(&mut Dec::new(&buf)), Err(SimError::CkptCorrupted { .. })));
+        // Truncation anywhere is a typed error.
+        let fresh = system(4);
+        assert!(fresh.restore(&mut Dec::new(&buf[..buf.len() / 2])).is_err());
+        // The full payload still restores into another fresh instance.
+        let fresh2 = system(4);
+        fresh2.restore(&mut Dec::new(&buf)).unwrap();
     }
 
     #[test]

@@ -27,6 +27,19 @@ pub trait NetworkModel: Send + Sync {
     /// Computes the delivery timing of one packet, updating any internal
     /// contention state.
     fn route(&self, p: &Packet) -> Delivery;
+
+    /// Checkpoint export of any mutable timing state (link queue clocks).
+    /// Stateless models return an empty vec.
+    fn save_state(&self) -> Vec<u64> {
+        vec![]
+    }
+
+    /// Restores state captured by [`NetworkModel::save_state`]; returns
+    /// `false` when the words do not fit this model. Stateless models accept
+    /// only an empty slice.
+    fn load_state(&self, data: &[u64]) -> bool {
+        data.is_empty()
+    }
 }
 
 /// Zero-delay model used for system messages, which must not affect
@@ -197,6 +210,20 @@ impl NetworkModel for MeshContentionModel {
         }
         let latency = Cycles(hops as u64 * self.cfg.hop_latency.0) + ser + contention;
         Delivery { arrival: p.send_time + latency, latency, contention, hops }
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        self.links.iter().map(|l| l.clock().0).collect()
+    }
+
+    fn load_state(&self, data: &[u64]) -> bool {
+        if data.len() != self.links.len() {
+            return false;
+        }
+        for (link, &clock) in self.links.iter().zip(data) {
+            link.set_clock(Cycles(clock));
+        }
+        true
     }
 }
 

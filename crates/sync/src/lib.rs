@@ -27,36 +27,42 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graphite_base::{Clock, SimRng, TileId};
+use graphite_ckpt::{stream, ReplayLog};
 use graphite_config::SyncModel;
-use graphite_trace::{Metric, MetricsRegistry, Obs, TraceEventKind, Tracer};
+use graphite_trace::{MetricsRegistry, Obs, ShardedMetric, TraceEventKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 
 pub use skew::{SkewSample, SkewSampler};
 
 /// Statistics common to all synchronization models.
+///
+/// Every counter is a [`ShardedMetric`] with one lane per tile:
+/// `on_progress` runs on every tile thread's hot loop, so updates land in
+/// the acting tile's cache-padded lane instead of a shared cell. Each name
+/// still snapshots as a single scalar (`sync.*` in `metrics.json`).
 #[derive(Debug, Default)]
 pub struct SyncStats {
     /// Barrier episodes completed (BarrierSync).
-    pub barrier_releases: Metric,
+    pub barrier_releases: ShardedMetric,
     /// Times a thread waited at the barrier.
-    pub barrier_waits: Metric,
+    pub barrier_waits: ShardedMetric,
     /// P2P random-partner checks performed.
-    pub p2p_checks: Metric,
+    pub p2p_checks: ShardedMetric,
     /// P2P checks that resulted in a sleep.
-    pub p2p_sleeps: Metric,
+    pub p2p_sleeps: ShardedMetric,
     /// Total wall-clock microseconds slept by P2P.
-    pub p2p_sleep_us: Metric,
+    pub p2p_sleep_us: ShardedMetric,
 }
 
 impl SyncStats {
     /// Builds stats registered in `metrics` under the `sync.*` namespace.
     pub fn registered(metrics: &MetricsRegistry) -> Self {
         SyncStats {
-            barrier_releases: metrics.counter("sync.barrier_releases"),
-            barrier_waits: metrics.counter("sync.barrier_waits"),
-            p2p_checks: metrics.counter("sync.p2p_checks"),
-            p2p_sleeps: metrics.counter("sync.p2p_sleeps"),
-            p2p_sleep_us: metrics.counter("sync.p2p_sleep_us"),
+            barrier_releases: metrics.sharded_counter("sync.barrier_releases"),
+            barrier_waits: metrics.sharded_counter("sync.barrier_waits"),
+            p2p_checks: metrics.sharded_counter("sync.p2p_checks"),
+            p2p_sleeps: metrics.sharded_counter("sync.p2p_sleeps"),
+            p2p_sleep_us: metrics.sharded_counter("sync.p2p_sleep_us"),
         }
     }
 }
@@ -80,6 +86,20 @@ pub trait Synchronizer: Send + Sync {
 
     /// Statistics so far.
     fn stats(&self) -> &SyncStats;
+
+    /// Checkpoint export of the model's simulated-state words (barrier
+    /// target/generation, P2P rng and last-check clocks). Activation state is
+    /// *not* saved: threads re-activate as the restored simulation restarts
+    /// them. Stateless models return an empty vec.
+    fn save_state(&self) -> Vec<u64> {
+        vec![]
+    }
+
+    /// Restores words captured by [`Synchronizer::save_state`]; returns
+    /// `false` when they do not fit this model.
+    fn load_state(&self, data: &[u64]) -> bool {
+        data.is_empty()
+    }
 }
 
 /// Builds the configured synchronization model over the simulation's tile
@@ -101,11 +121,24 @@ pub fn build_synchronizer_obs(
     seed: u64,
     obs: &Obs,
 ) -> Arc<dyn Synchronizer> {
+    build_synchronizer_replay(model, clocks, seed, obs, Arc::new(ReplayLog::off()))
+}
+
+/// Like [`build_synchronizer_obs`], additionally threading a [`ReplayLog`]
+/// through the model's nondeterministic choices (the LaxP2P partner pick) so
+/// a recorded run can be replayed bit-identically.
+pub fn build_synchronizer_replay(
+    model: SyncModel,
+    clocks: Arc<Vec<Arc<Clock>>>,
+    seed: u64,
+    obs: &Obs,
+    replay: Arc<ReplayLog>,
+) -> Arc<dyn Synchronizer> {
     match model {
         SyncModel::Lax => Arc::new(LaxSync::with_obs(obs)),
         SyncModel::LaxBarrier { quantum } => Arc::new(BarrierSync::with_obs(quantum, clocks, obs)),
         SyncModel::LaxP2P { slack, check_interval } => {
-            Arc::new(P2PSync::with_obs(slack, check_interval, clocks, seed, obs))
+            Arc::new(P2PSync::with_replay(slack, check_interval, clocks, seed, obs, replay))
         }
     }
 }
@@ -218,7 +251,9 @@ impl BarrierSync {
         s.generation += 1;
         s.arrived = 0;
         s.target += self.quantum;
-        self.stats.barrier_releases.incr();
+        // Lane = the acting tile; lane writes are serialized by the barrier
+        // mutex held here, so the owned (plain load+store) update is safe.
+        self.stats.barrier_releases.incr_owned(tile.index());
         self.tracer.emit(tile, self.clocks[tile.index()].now(), || {
             TraceEventKind::BarrierRelease { waiters }
         });
@@ -249,7 +284,7 @@ impl Synchronizer for BarrierSync {
             if s.arrived >= s.active {
                 self.release_locked(tile, &mut s);
             } else {
-                self.stats.barrier_waits.incr();
+                self.stats.barrier_waits.incr_owned(tile.index());
                 let quantum_target = s.target;
                 self.tracer.emit(tile, clock.now(), || TraceEventKind::BarrierWait {
                     quantum: quantum_target,
@@ -279,6 +314,25 @@ impl Synchronizer for BarrierSync {
     fn stats(&self) -> &SyncStats {
         &self.stats
     }
+
+    /// `[target, generation]`; active/arrived are rebuilt by re-activation.
+    fn save_state(&self) -> Vec<u64> {
+        let s = self.state.lock();
+        vec![s.target, s.generation]
+    }
+
+    fn load_state(&self, data: &[u64]) -> bool {
+        let [target, generation] = *data else {
+            return false;
+        };
+        if target == 0 || !target.is_multiple_of(self.quantum) {
+            return false;
+        }
+        let mut s = self.state.lock();
+        s.target = target;
+        s.generation = generation;
+        true
+    }
 }
 
 /// The paper's point-to-point scheme (LaxP2P, §3.6.3): random pairwise clock
@@ -292,6 +346,8 @@ pub struct P2PSync {
     /// Per-tile clock value at the last check.
     last_check: Vec<AtomicU64>,
     rng: Mutex<SimRng>,
+    /// Record/replay of partner picks; [`ReplayLog::off`] when unused.
+    replay: Arc<ReplayLog>,
     start: Instant,
     stats: SyncStats,
     /// Cap on a single sleep to bound the damage of a bad rate estimate.
@@ -332,6 +388,23 @@ impl P2PSync {
         seed: u64,
         obs: &Obs,
     ) -> Self {
+        Self::with_replay(slack, check_interval, clocks, seed, obs, Arc::new(ReplayLog::off()))
+    }
+
+    /// Like [`P2PSync::with_obs`], routing partner picks through `replay` so
+    /// a recorded run's pairing decisions can be reproduced exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_interval` is zero.
+    pub fn with_replay(
+        slack: u64,
+        check_interval: u64,
+        clocks: Arc<Vec<Arc<Clock>>>,
+        seed: u64,
+        obs: &Obs,
+        replay: Arc<ReplayLog>,
+    ) -> Self {
         assert!(check_interval > 0, "check interval must be positive");
         let n = clocks.len();
         P2PSync {
@@ -341,6 +414,7 @@ impl P2PSync {
             active: (0..n).map(|_| AtomicBool::new(false)).collect(),
             last_check: (0..n).map(|_| AtomicU64::new(0)).collect(),
             rng: Mutex::new(SimRng::new(seed)),
+            replay,
             start: Instant::now(),
             stats: SyncStats::registered(&obs.metrics),
             max_sleep: Duration::from_millis(20),
@@ -378,7 +452,10 @@ impl Synchronizer for P2PSync {
         }
         let partner = {
             let mut rng = self.rng.lock();
-            let mut p = rng.gen_range(n as u64 - 1) as usize;
+            let draw = self
+                .replay
+                .record_or_replay_u64(stream::P2P_PARTNER, || rng.gen_range(n as u64 - 1));
+            let mut p = draw as usize;
             if p >= me {
                 p += 1;
             }
@@ -387,7 +464,9 @@ impl Synchronizer for P2PSync {
         if !self.active[partner].load(Ordering::Relaxed) {
             return;
         }
-        self.stats.p2p_checks.incr();
+        // Lane = the acting tile: only tile `me`'s own thread reaches these
+        // updates, so the owned (plain load+store) variants are safe.
+        self.stats.p2p_checks.incr_owned(me);
         let theirs = self.clocks[partner].now().0;
         self.tracer.emit(tile, graphite_base::Cycles(now), || TraceEventKind::P2PCheck {
             skew: now as i64 - theirs as i64,
@@ -399,8 +478,8 @@ impl Synchronizer for P2PSync {
         // We are ahead by c cycles: sleep s = c / r so the partner catches up.
         let r = self.progress_rate(now);
         let s = Duration::from_secs_f64(c as f64 / r).min(self.max_sleep);
-        self.stats.p2p_sleeps.incr();
-        self.stats.p2p_sleep_us.add(s.as_micros() as u64);
+        self.stats.p2p_sleeps.incr_owned(me);
+        self.stats.p2p_sleep_us.add_owned(me, s.as_micros() as u64);
         self.tracer.emit(tile, graphite_base::Cycles(now), || TraceEventKind::P2PSleep {
             micros: s.as_micros() as u64,
         });
@@ -417,6 +496,26 @@ impl Synchronizer for P2PSync {
 
     fn stats(&self) -> &SyncStats {
         &self.stats
+    }
+
+    /// `[rng_state, last_check[0], .., last_check[n-1]]`.
+    fn save_state(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(1 + self.last_check.len());
+        out.push(self.rng.lock().state());
+        out.extend(self.last_check.iter().map(|c| c.load(Ordering::Relaxed)));
+        out
+    }
+
+    fn load_state(&self, data: &[u64]) -> bool {
+        let Some((&rng_state, checks)) = data.split_first() else { return false };
+        if checks.len() != self.last_check.len() {
+            return false;
+        }
+        *self.rng.lock() = SimRng::from_state(rng_state);
+        for (slot, &v) in self.last_check.iter().zip(checks) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        true
     }
 }
 
@@ -590,5 +689,74 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn barrier_zero_quantum_panics() {
         let _ = BarrierSync::new(0, clocks(1));
+    }
+
+    #[test]
+    fn barrier_state_roundtrips() {
+        let c = clocks(2);
+        let b = BarrierSync::new(100, Arc::clone(&c));
+        b.activate(TileId(0));
+        c[0].advance(Cycles(250));
+        b.on_progress(TileId(0)); // sole thread: lazily releases up to target 300
+        let state = b.save_state();
+
+        let b2 = BarrierSync::new(100, clocks(2));
+        assert!(b2.load_state(&state), "valid state must load");
+        assert_eq!(b2.save_state(), state, "re-save must be identical");
+
+        // Rejections: wrong length, zero target, target off the quantum grid.
+        assert!(!b2.load_state(&[]));
+        assert!(!b2.load_state(&[0, 1]));
+        assert!(!b2.load_state(&[150, 1]));
+    }
+
+    #[test]
+    fn p2p_state_roundtrips() {
+        let c = clocks(3);
+        let p = P2PSync::new(1_000, 1, Arc::clone(&c), 42);
+        for t in 0..3 {
+            p.activate(TileId(t));
+        }
+        c[0].advance(Cycles(500));
+        p.on_progress(TileId(0)); // consumes rng, records last_check
+        let state = p.save_state();
+        assert_eq!(state.len(), 4);
+
+        let p2 = P2PSync::new(1_000, 1, clocks(3), 7);
+        assert!(p2.load_state(&state), "valid state must load");
+        assert_eq!(p2.save_state(), state, "re-save must be identical");
+        assert!(!p2.load_state(&state[..2]), "wrong length must be rejected");
+        assert!(!p2.load_state(&[]), "empty state must be rejected");
+    }
+
+    #[test]
+    fn p2p_replay_pins_partner_choice() {
+        // Record a run's partner draws, then replay them into a model seeded
+        // differently: the replayed model must make the same picks. Only
+        // tiles 0 and 2 are active, so the checks count depends on which
+        // partners get picked.
+        let run = |seed: u64, log: Arc<ReplayLog>| {
+            let obs = Obs::detached(4);
+            let c = clocks(4);
+            let p = P2PSync::with_replay(u64::MAX, 1, Arc::clone(&c), seed, &obs, log);
+            p.activate(TileId(0));
+            p.activate(TileId(2));
+            for _ in 0..8 {
+                c[0].advance(Cycles(10));
+                p.on_progress(TileId(0));
+            }
+            p.stats().p2p_checks.get()
+        };
+
+        let rec = Arc::new(ReplayLog::recording());
+        let checks = run(1, Arc::clone(&rec));
+
+        let log = Arc::new(ReplayLog::replay_from(&rec.save_bytes()).unwrap());
+        // Different seed: the local rng would pick different partners, but
+        // the replay log overrides every draw.
+        let replayed_checks = run(999, Arc::clone(&log));
+        assert_eq!(replayed_checks, checks, "replay must retrace the run");
+        // Every recorded draw was consumed by the replayed run.
+        assert_eq!(log.replay_u64(stream::P2P_PARTNER), None, "log fully consumed");
     }
 }

@@ -17,6 +17,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use graphite_base::SimError;
+use graphite_ckpt::{Dec, Enc};
 use parking_lot::Mutex;
 
 use crate::json;
@@ -235,6 +237,15 @@ impl ShardedMetric {
     pub fn fold(&self) -> LaneFold {
         self.0.fold
     }
+
+    /// Overwrites the lanes with a previously folded value: the whole value
+    /// goes into lane 0, every other lane is zeroed. Correct for both folds
+    /// (a sum of `[v, 0, ..]` and a max of `[v, 0, ..]` are both `v`).
+    fn set_folded(&self, v: u64) {
+        for (i, lane) in self.0.lanes.iter().enumerate() {
+            lane.0.store(if i == 0 { v } else { 0 }, Ordering::Relaxed);
+        }
+    }
 }
 
 const HIST_BUCKETS: usize = 65;
@@ -370,6 +381,19 @@ impl ShardedHistogram {
             .collect();
         HistogramSnapshot { count, sum, buckets }
     }
+
+    /// Overwrites all lanes with a snapshot's distribution, folded into
+    /// lane 0. Returns `false` when a bucket bound is not a valid boundary.
+    fn restore_from(&self, snap: &HistogramSnapshot) -> bool {
+        let Some(buckets) = unpack_buckets(snap) else { return false };
+        for (li, lane) in self.0.lanes.iter().enumerate() {
+            for (cell, &v) in lane.buckets.iter().zip(buckets.iter()) {
+                cell.store(if li == 0 { v } else { 0 }, Ordering::Relaxed);
+            }
+            lane.sum.store(if li == 0 { snap.sum } else { 0 }, Ordering::Relaxed);
+        }
+        true
+    }
 }
 
 #[derive(Debug)]
@@ -453,6 +477,18 @@ impl Histogram {
             .collect();
         HistogramSnapshot { count: self.count(), sum: self.sum(), buckets }
     }
+
+    /// Overwrites the distribution with a snapshot's contents. Returns
+    /// `false` when a bucket bound is not a valid boundary.
+    fn restore_from(&self, snap: &HistogramSnapshot) -> bool {
+        let Some(buckets) = unpack_buckets(snap) else { return false };
+        for (cell, v) in self.0.buckets.iter().zip(buckets) {
+            cell.store(v, Ordering::Relaxed);
+        }
+        self.0.count.store(snap.count, Ordering::Relaxed);
+        self.0.sum.store(snap.sum, Ordering::Relaxed);
+        true
+    }
 }
 
 /// Inclusive upper bound of bucket `i`.
@@ -462,6 +498,29 @@ fn bucket_upper(i: usize) -> u64 {
         64 => u64::MAX,
         _ => (1u64 << i) - 1,
     }
+}
+
+/// Inverse of [`bucket_upper`]: the bucket index whose inclusive upper bound
+/// is `upper`, or `None` for a value that is not a bucket boundary.
+fn bucket_index(upper: u64) -> Option<usize> {
+    match upper {
+        0 => Some(0),
+        u64::MAX => Some(64),
+        u => {
+            let i = (64 - u.leading_zeros()) as usize;
+            (u == (1u64 << i) - 1).then_some(i)
+        }
+    }
+}
+
+/// Expands a snapshot's sparse `(upper, count)` pairs into the dense bucket
+/// array, or `None` when an upper bound is not a valid boundary.
+fn unpack_buckets(snap: &HistogramSnapshot) -> Option<[u64; HIST_BUCKETS]> {
+    let mut buckets = [0u64; HIST_BUCKETS];
+    for &(upper, n) in &snap.buckets {
+        buckets[bucket_index(upper)?] = n;
+    }
+    Some(buckets)
 }
 
 /// Point-in-time copy of one [`Histogram`]'s distribution.
@@ -677,6 +736,62 @@ impl MetricsRegistry {
         }
         snap
     }
+
+    /// Overwrites every registered metric with the values a snapshot holds
+    /// (checkpoint restore). Sharded entries come back folded into lane 0 —
+    /// the reported totals are exact, the per-lane attribution is not
+    /// preserved. Snapshot names with no registered counterpart are skipped,
+    /// so a checkpoint from a run with extra subsystems still restores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptCorrupted`] when the snapshot's tile count or
+    /// a metric's kind/shape does not match this registry.
+    pub fn restore(&self, snap: &MetricsSnapshot) -> Result<(), SimError> {
+        let bad = || SimError::CkptCorrupted { segment: "metrics".to_string() };
+        if snap.num_tiles != self.num_tiles {
+            return Err(bad());
+        }
+        let entries = self.entries.lock();
+        for (name, &v) in &snap.counters {
+            match entries.get(name) {
+                Some(Entry::Counter(m)) => {
+                    m.take();
+                    m.add(v);
+                }
+                Some(Entry::Sharded(m)) => m.set_folded(v),
+                Some(_) => return Err(bad()),
+                None => {}
+            }
+        }
+        for (name, lanes) in &snap.per_tile {
+            match entries.get(name) {
+                Some(Entry::PerTile(v)) => {
+                    if v.len() != lanes.len() {
+                        return Err(bad());
+                    }
+                    for (m, &x) in v.iter().zip(lanes) {
+                        m.take();
+                        m.add(x);
+                    }
+                }
+                Some(_) => return Err(bad()),
+                None => {}
+            }
+        }
+        for (name, h) in &snap.histograms {
+            let ok = match entries.get(name) {
+                Some(Entry::Histogram(hist)) => hist.restore_from(h),
+                Some(Entry::ShardedHistogram(hist)) => hist.restore_from(h),
+                Some(_) => false,
+                None => true,
+            };
+            if !ok {
+                return Err(bad());
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Point-in-time copy of a whole [`MetricsRegistry`], serializable to the
@@ -750,6 +865,66 @@ impl MetricsSnapshot {
 
         out.push('}');
         out
+    }
+
+    /// Serializes the snapshot into a checkpoint segment payload.
+    pub fn encode(&self, out: &mut Enc) {
+        out.u64(self.num_tiles as u64);
+        out.u64(self.counters.len() as u64);
+        for (name, &v) in &self.counters {
+            out.str(name);
+            out.u64(v);
+        }
+        out.u64(self.per_tile.len() as u64);
+        for (name, lanes) in &self.per_tile {
+            out.str(name);
+            out.words(lanes);
+        }
+        out.u64(self.histograms.len() as u64);
+        for (name, h) in &self.histograms {
+            out.str(name);
+            out.u64(h.count);
+            out.u64(h.sum);
+            out.u64(h.buckets.len() as u64);
+            for &(upper, n) in &h.buckets {
+                out.u64(upper);
+                out.u64(n);
+            }
+        }
+    }
+
+    /// Decodes a snapshot serialized with [`MetricsSnapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] or [`SimError::CkptCorrupted`] on
+    /// malformed input.
+    pub fn decode(dec: &mut Dec<'_>) -> Result<Self, SimError> {
+        let bad = || SimError::CkptCorrupted { segment: "metrics".to_string() };
+        let num_tiles = usize::try_from(dec.u64()?).map_err(|_| bad())?;
+        let mut snap = MetricsSnapshot { num_tiles, ..MetricsSnapshot::default() };
+        for _ in 0..dec.u64()? {
+            let name = dec.str()?.to_string();
+            snap.counters.insert(name, dec.u64()?);
+        }
+        for _ in 0..dec.u64()? {
+            let name = dec.str()?.to_string();
+            snap.per_tile.insert(name, dec.words()?);
+        }
+        for _ in 0..dec.u64()? {
+            let name = dec.str()?.to_string();
+            let count = dec.u64()?;
+            let sum = dec.u64()?;
+            let n = dec.u64()?;
+            let mut buckets = Vec::with_capacity(usize::try_from(n).unwrap_or(0).min(HIST_BUCKETS));
+            for _ in 0..n {
+                let upper = dec.u64()?;
+                let cnt = dec.u64()?;
+                buckets.push((upper, cnt));
+            }
+            snap.histograms.insert(name, HistogramSnapshot { count, sum, buckets });
+        }
+        Ok(snap)
     }
 }
 
@@ -924,5 +1099,80 @@ mod tests {
     fn empty_snapshot_json_is_well_formed() {
         let doc = MetricsRegistry::new(0).snapshot().to_json();
         json::validate(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+    }
+
+    /// A registry exercising every metric kind, for restore tests.
+    fn populated_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new(4);
+        reg.counter("plain").add(17);
+        let pt = reg.per_tile("per");
+        pt[1].add(3);
+        pt[3].add(9);
+        reg.histogram("lat").record(0);
+        reg.histogram("lat").record(1000);
+        reg.sharded_counter("hot").add(2, 44);
+        reg.sharded_max("peak").observe_max(1, 31);
+        reg.sharded_histogram("shlat").record(3, 77);
+        reg
+    }
+
+    #[test]
+    fn snapshot_encode_decode_roundtrip() {
+        let snap = populated_registry().snapshot();
+        let mut e = Enc::new();
+        snap.encode(&mut e);
+        let buf = e.finish();
+        let decoded = MetricsSnapshot::decode(&mut Dec::new(&buf)).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.to_json(), snap.to_json());
+        // Truncation stays typed.
+        assert_eq!(
+            MetricsSnapshot::decode(&mut Dec::new(&buf[..buf.len() - 1])).unwrap_err(),
+            SimError::CkptTruncated
+        );
+    }
+
+    #[test]
+    fn registry_restore_reproduces_snapshot_byte_for_byte() {
+        let snap = populated_registry().snapshot();
+        let fresh = populated_registry();
+        // Dirty the fresh registry so restore has to overwrite, not just add.
+        fresh.counter("plain").add(1);
+        fresh.sharded_counter("hot").add(0, 5);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.snapshot(), snap);
+        assert_eq!(fresh.snapshot().to_json(), snap.to_json());
+    }
+
+    #[test]
+    fn registry_restore_skips_unknown_names() {
+        let mut snap = populated_registry().snapshot();
+        snap.counters.insert("from.the.future".to_string(), 99);
+        let fresh = populated_registry();
+        fresh.restore(&snap).unwrap();
+        assert!(!fresh.snapshot().counters.contains_key("from.the.future"));
+    }
+
+    #[test]
+    fn registry_restore_rejects_mismatches() {
+        let reg = populated_registry();
+        let mut wrong_tiles = reg.snapshot();
+        wrong_tiles.num_tiles = 8;
+        assert!(matches!(
+            reg.restore(&wrong_tiles).unwrap_err(),
+            SimError::CkptCorrupted { segment } if segment == "metrics"
+        ));
+        let mut wrong_kind = reg.snapshot();
+        // "lat" is a histogram in the registry; a counter under that name
+        // means the checkpoint came from a different wiring.
+        wrong_kind.counters.insert("lat".to_string(), 1);
+        assert!(reg.restore(&wrong_kind).is_err());
+        let mut wrong_shape = reg.snapshot();
+        wrong_shape.per_tile.get_mut("per").unwrap().push(0);
+        assert!(reg.restore(&wrong_shape).is_err());
+        let mut bad_bucket = reg.snapshot();
+        // 6 is not a power-of-two-minus-one boundary.
+        bad_bucket.histograms.get_mut("lat").unwrap().buckets = vec![(6, 1)];
+        assert!(reg.restore(&bad_bucket).is_err());
     }
 }

@@ -112,6 +112,8 @@ pub struct TransportStats {
     pub inter_machine: Metric,
     /// Total payload bytes moved.
     pub bytes: Metric,
+    /// Socket reconnects after a failed write (TCP backend only).
+    pub reconnects: Metric,
 }
 
 impl TransportStats {
@@ -123,6 +125,7 @@ impl TransportStats {
             inter_process: metrics.counter("transport.inter_process"),
             inter_machine: metrics.counter("transport.inter_machine"),
             bytes: metrics.counter("transport.bytes"),
+            reconnects: metrics.counter("transport.reconnects"),
         }
     }
 

@@ -19,11 +19,45 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Sender};
-use graphite_base::{ProcId, SimError, TileId};
+use graphite_base::{ProcId, SimError, SimRng, TileId};
 use graphite_config::SimConfig;
 use parking_lot::{Mutex, RwLock};
 
 use crate::{Endpoint, Mailbox, Msg, MsgClass, Transport, TransportStats};
+
+/// Maximum connect attempts before a send gives up.
+const MAX_CONNECT_ATTEMPTS: u32 = 8;
+/// Base delay of the exponential backoff between connect attempts.
+const BACKOFF_BASE: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Connects with bounded retries: exponential backoff (`BACKOFF_BASE * 2^n`)
+/// plus uniform jitter drawn from `rng` so competing senders do not retry in
+/// lock-step.
+fn connect_with_backoff(
+    addr: SocketAddr,
+    dst: Endpoint,
+    rng: &Mutex<SimRng>,
+) -> Result<TcpStream, SimError> {
+    let mut last_err = None;
+    for attempt in 0..MAX_CONNECT_ATTEMPTS {
+        if attempt > 0 {
+            let base = BACKOFF_BASE.saturating_mul(1 << (attempt - 1));
+            let jitter_us = rng.lock().gen_range(base.as_micros() as u64 + 1);
+            std::thread::sleep(base + std::time::Duration::from_micros(jitter_us));
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(SimError::TransportClosed(format!(
+        "connect {dst}: giving up after {MAX_CONNECT_ATTEMPTS} attempts: {}",
+        last_err.expect("at least one attempt")
+    )))
+}
 
 fn encode(src: Endpoint, dst: Endpoint, class: MsgClass, payload: &[u8]) -> Vec<u8> {
     fn put_ep(buf: &mut Vec<u8>, e: Endpoint) {
@@ -105,6 +139,8 @@ pub struct TcpTransport {
     /// One lazily-connected outbound stream per destination process.
     outbound: Vec<Mutex<Option<TcpStream>>>,
     addrs: Vec<SocketAddr>,
+    /// Jitter source for connect backoff.
+    rng: Mutex<SimRng>,
     stats: TransportStats,
     shutdown: Arc<AtomicBool>,
 }
@@ -160,6 +196,7 @@ impl TcpTransport {
             senders,
             outbound: (0..cfg.num_processes).map(|_| Mutex::new(None)).collect(),
             addrs,
+            rng: Mutex::new(SimRng::new(cfg.seed ^ 0x7C9_7C9)),
             stats,
             shutdown,
         })
@@ -179,15 +216,34 @@ fn acceptor_loop(
     senders: Arc<RwLock<HashMap<Endpoint, Sender<Msg>>>>,
     shutdown: Arc<AtomicBool>,
 ) {
-    while let Ok((stream, _)) = listener.accept() {
-        if shutdown.load(Ordering::Relaxed) {
-            return;
+    let mut consecutive_errors = 0u32;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                consecutive_errors = 0;
+                let senders = Arc::clone(&senders);
+                std::thread::Builder::new()
+                    .name("graphite-tcp-read".into())
+                    .spawn(move || reader_loop(stream, senders))
+                    .expect("spawn reader");
+            }
+            Err(_) => {
+                // Transient accept failures (EMFILE, ECONNABORTED) should not
+                // kill the listener; back off briefly and retry, bounded so a
+                // hard failure still terminates the thread.
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                consecutive_errors += 1;
+                if consecutive_errors > MAX_CONNECT_ATTEMPTS {
+                    return;
+                }
+                std::thread::sleep(BACKOFF_BASE.saturating_mul(1 << (consecutive_errors - 1)));
+            }
         }
-        let senders = Arc::clone(&senders);
-        std::thread::Builder::new()
-            .name("graphite-tcp-read".into())
-            .spawn(move || reader_loop(stream, senders))
-            .expect("spawn reader");
     }
 }
 
@@ -248,13 +304,22 @@ impl Transport for TcpTransport {
         let frame = encode(src, dst, class, &payload);
         let mut guard = self.outbound[dp as usize].lock();
         if guard.is_none() {
-            let stream = TcpStream::connect(self.addrs[dp as usize])
-                .map_err(|e| SimError::TransportClosed(format!("connect {dst}: {e}")))?;
-            stream.set_nodelay(true).ok();
-            *guard = Some(stream);
+            *guard = Some(connect_with_backoff(self.addrs[dp as usize], dst, &self.rng)?);
         }
         let stream = guard.as_mut().expect("stream just connected");
-        stream.write_all(&frame).map_err(|e| SimError::TransportClosed(format!("write {dst}: {e}")))
+        if stream.write_all(&frame).is_ok() {
+            return Ok(());
+        }
+        // The cached stream died (peer reset, half-closed socket). Drop it,
+        // reconnect with backoff, and retry the frame once.
+        *guard = None;
+        self.stats.reconnects.incr();
+        let mut fresh = connect_with_backoff(self.addrs[dp as usize], dst, &self.rng)?;
+        fresh
+            .write_all(&frame)
+            .map_err(|e| SimError::TransportClosed(format!("write {dst}: {e}")))?;
+        *guard = Some(fresh);
+        Ok(())
     }
 
     fn stats(&self) -> &TransportStats {
@@ -330,6 +395,36 @@ mod tests {
         assert!(mb.try_recv().is_some());
         assert_eq!(hub.stats().intra_process.get(), 1);
         assert_eq!(hub.stats().inter_process.get(), 0);
+    }
+
+    #[test]
+    fn dead_cached_stream_reconnects_and_delivers() {
+        let hub = TcpTransport::new(&cfg(4, 2, 1)).unwrap();
+        let mb = hub.register(Endpoint::Tile(TileId(1)));
+        // Plant a half-dead outbound stream for process 1: connected to the
+        // real listener, then shut down on our side so the next write fails.
+        let dead = TcpStream::connect(hub.addrs[1]).unwrap();
+        dead.shutdown(std::net::Shutdown::Both).unwrap();
+        *hub.outbound[1].lock() = Some(dead);
+
+        hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(1)), MsgClass::User, vec![9])
+            .unwrap();
+        let msg = mb.recv_timeout(Duration::from_secs(5)).unwrap().expect("delivered");
+        assert_eq!(msg.payload.as_ref(), &[9]);
+        assert_eq!(hub.stats().reconnects.get(), 1);
+    }
+
+    #[test]
+    fn connect_backoff_gives_up_with_typed_error() {
+        // Bind then drop a listener: the port is (momentarily) dead, so every
+        // attempt is refused and the bounded backoff must give up.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let rng = Mutex::new(SimRng::new(7));
+        let err = connect_with_backoff(addr, Endpoint::Mcp, &rng).unwrap_err();
+        assert!(matches!(err, SimError::TransportClosed(s) if s.contains("giving up")));
     }
 
     #[test]
