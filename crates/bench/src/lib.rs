@@ -13,8 +13,10 @@
 //!
 //! * `GRAPHITE_OBS_DIR=<dir>` — after each simulation, write
 //!   `<dir>/<NNN>_<label>.metrics.json` (the full metrics registry,
-//!   schema `graphite.metrics.v1`) and, when tracing captured anything,
-//!   `<dir>/<NNN>_<label>.trace.jsonl` (one structured event per line).
+//!   schema `graphite.metrics.v1`) and, when tracing or skew sampling
+//!   captured anything, `<dir>/<NNN>_<label>.trace.jsonl` (one structured
+//!   event per line) plus `<dir>/<NNN>_<label>.perfetto.json` (a Chrome
+//!   `trace_event` timeline for <https://ui.perfetto.dev>).
 //! * `GRAPHITE_TRACE=1` — switch on per-tile event tracing for the run
 //!   (`GRAPHITE_TRACE_CAPACITY=<n>` overrides the per-tile ring size).
 //!
@@ -22,7 +24,7 @@
 //!
 //! * `GRAPHITE_CKPT_DIR=<dir>` — after each workload completes (a natural
 //!   quiesce point: workloads join their threads), write
-//!   `<dir>/<NNN>_<label>.ckpt` in the `graphite.ckpt.v1` format, resumable
+//!   `<dir>/<NNN>_<label>.ckpt` in the `graphite.ckpt.v2` format, resumable
 //!   with `Sim::builder(cfg).resume(path)`.
 //! * `GRAPHITE_CKPT_EVERY=<n>` — for harnesses that call
 //!   [`maybe_checkpoint`] at their own quiesce points, keep only every
@@ -53,8 +55,9 @@ pub fn apply_obs_env(mut b: SimBuilder) -> SimBuilder {
 /// distinct artifact names.
 static EXPORT_SEQ: AtomicU32 = AtomicU32::new(0);
 
-/// Writes `label`'s `metrics.json` (and `trace.jsonl` when events were
-/// captured) under `$GRAPHITE_OBS_DIR`; a no-op when the variable is unset.
+/// Writes `label`'s `metrics.json` (plus `trace.jsonl` and a Perfetto
+/// `perfetto.json` timeline when events or skew samples were captured)
+/// under `$GRAPHITE_OBS_DIR`; a no-op when the variable is unset.
 /// Non-alphanumeric label characters are folded to `_`.
 pub fn export_observability(label: &str, report: &SimReport) {
     let Ok(dir) = std::env::var("GRAPHITE_OBS_DIR") else { return };
@@ -74,6 +77,12 @@ pub fn export_observability(label: &str, report: &SimReport) {
         let trace_path = format!("{dir}/{stem}.trace.jsonl");
         if let Err(e) = std::fs::write(&trace_path, report.trace_jsonl()) {
             eprintln!("warning: could not write {trace_path}: {e}");
+        }
+    }
+    if !report.trace_events.is_empty() || !report.skew_samples.is_empty() {
+        let perfetto_path = format!("{dir}/{stem}.perfetto.json");
+        if let Err(e) = std::fs::write(&perfetto_path, report.perfetto_json()) {
+            eprintln!("warning: could not write {perfetto_path}: {e}");
         }
     }
 }

@@ -62,9 +62,39 @@ impl Enc {
         }
     }
 
+    /// Appends a `u64` as an LEB128 varint (1 byte for values < 128,
+    /// at most 10 bytes).
+    pub fn varint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a `u64` slice as varint count + zigzag-delta varints.
+    ///
+    /// Replay-log streams (message arrival timestamps, partner picks) are
+    /// mostly small or slowly growing, so consecutive differences fit one or
+    /// two bytes where [`Enc::words`] spends eight. Decode with
+    /// [`Dec::delta_words`].
+    pub fn delta_words(&mut self, v: &[u64]) {
+        self.varint(v.len() as u64);
+        let mut prev = 0u64;
+        for &w in v {
+            self.varint(zigzag(w.wrapping_sub(prev) as i64));
+            prev = w;
+        }
+    }
+
     /// The encoded payload.
     pub fn finish(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Bytes written so far, as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Bytes written so far.
@@ -76,6 +106,16 @@ impl Enc {
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
+}
+
+/// Maps signed deltas onto small unsigned varints: 0, −1, 1, −2, … →
+/// 0, 1, 2, 3, … so near-zero differences of either sign stay one byte.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// A little-endian decoding cursor over one segment payload. Every read is
@@ -168,6 +208,52 @@ impl<'a> Dec<'a> {
         (0..n).map(|_| self.u64()).collect()
     }
 
+    /// Reads an LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] on exhaustion and
+    /// [`SimError::CkptCorrupted`] when the encoding runs past 10 bytes or
+    /// overflows a `u64`.
+    pub fn varint(&mut self) -> Result<u64, SimError> {
+        let corrupted = || SimError::CkptCorrupted { segment: "varint".to_string() };
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            let low = (b & 0x7F) as u64;
+            if shift == 63 && low > 1 {
+                return Err(corrupted());
+            }
+            v |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(corrupted())
+    }
+
+    /// Reads a slice written with [`Enc::delta_words`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CkptTruncated`] when the declared count exceeds
+    /// the remaining payload (each element is at least one byte) and
+    /// [`SimError::CkptCorrupted`] on malformed varints.
+    pub fn delta_words(&mut self) -> Result<Vec<u64>, SimError> {
+        let n = self.varint()?;
+        let n = usize::try_from(n).map_err(|_| SimError::CkptTruncated)?;
+        if n > self.remaining() {
+            return Err(SimError::CkptTruncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for _ in 0..n {
+            prev = prev.wrapping_add(unzigzag(self.varint()?) as u64);
+            out.push(prev);
+        }
+        Ok(out)
+    }
+
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.data.len() - self.pos
@@ -224,6 +310,82 @@ mod tests {
         e.u64(u64::MAX / 2);
         let buf = e.finish();
         assert_eq!(Dec::new(&buf).words().unwrap_err(), SimError::CkptTruncated);
+    }
+
+    #[test]
+    fn varint_roundtrips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut e = Enc::new();
+            e.varint(v);
+            let mut d = Dec::new(e.as_slice());
+            assert_eq!(d.varint().unwrap(), v, "value {v}");
+            assert!(d.is_empty());
+        }
+        // Small values are one byte; the worst case is ten.
+        let mut e = Enc::new();
+        e.varint(127);
+        assert_eq!(e.len(), 1);
+        let mut e = Enc::new();
+        e.varint(u64::MAX);
+        assert_eq!(e.len(), 10);
+    }
+
+    #[test]
+    fn overlong_varint_is_corruption() {
+        // Eleven continuation bytes can never be a valid u64.
+        let buf = [0x80u8; 11];
+        assert!(matches!(
+            Dec::new(&buf).varint().unwrap_err(),
+            SimError::CkptCorrupted { segment } if segment == "varint"
+        ));
+        // A tenth byte carrying more than one bit overflows.
+        let mut buf = [0x80u8; 10];
+        buf[9] = 0x02;
+        assert!(matches!(
+            Dec::new(&buf).varint().unwrap_err(),
+            SimError::CkptCorrupted { segment } if segment == "varint"
+        ));
+    }
+
+    #[test]
+    fn delta_words_roundtrips_arrival_order_stream() {
+        // Monotone timestamps, the shape of a message arrival-order stream:
+        // large absolute values, tiny deltas.
+        let stream: Vec<u64> = (0..1000u64).map(|i| 5_000_000_000 + i * 37).collect();
+        let mut e = Enc::new();
+        e.delta_words(&stream);
+        let compressed = e.len();
+        let mut d = Dec::new(e.as_slice());
+        assert_eq!(d.delta_words().unwrap(), stream);
+        assert!(d.is_empty());
+        // words() spends 8 bytes per entry; deltas of 37 fit in one.
+        let mut plain = Enc::new();
+        plain.words(&stream);
+        assert!(compressed * 4 < plain.len(), "{compressed} bytes vs {} plain", plain.len());
+    }
+
+    #[test]
+    fn delta_words_roundtrips_partner_pick_stream() {
+        // Partner picks: small values jumping in both directions.
+        let stream: Vec<u64> = (0..500u64).map(|i| (i * 2_654_435_761) % 64).collect();
+        let mut e = Enc::new();
+        e.delta_words(&stream);
+        let mut d = Dec::new(e.as_slice());
+        assert_eq!(d.delta_words().unwrap(), stream);
+        // Extremes survive the zigzag wraparound.
+        for extreme in [vec![], vec![u64::MAX], vec![u64::MAX, 0, u64::MAX, 1]] {
+            let mut e = Enc::new();
+            e.delta_words(&extreme);
+            assert_eq!(Dec::new(e.as_slice()).delta_words().unwrap(), extreme);
+        }
+    }
+
+    #[test]
+    fn delta_words_declared_count_past_payload_is_truncation() {
+        let mut e = Enc::new();
+        e.varint(1 << 30); // count far beyond the remaining bytes
+        let buf = e.finish();
+        assert_eq!(Dec::new(&buf).delta_words().unwrap_err(), SimError::CkptTruncated);
     }
 
     #[test]

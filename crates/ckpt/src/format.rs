@@ -1,4 +1,4 @@
-//! The `graphite.ckpt.v1` container: magic + version + checksummed segments.
+//! The `graphite.ckpt.v2` container: magic + version + checksummed segments.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -8,8 +8,9 @@ use graphite_base::SimError;
 /// Leading magic bytes of every checkpoint file.
 pub const CKPT_MAGIC: [u8; 8] = *b"GRAPHCKP";
 
-/// Format version this build reads and writes.
-pub const CKPT_VERSION: u32 = 1;
+/// Format version this build reads and writes. v2 switched replay-log
+/// streams to zigzag-delta varint encoding ([`crate::Enc::delta_words`]).
+pub const CKPT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash, the format's segment checksum. Not cryptographic —
 /// it guards against torn writes and bit rot, not adversaries.

@@ -163,7 +163,10 @@ impl ReplayLog {
         }
     }
 
-    /// Serializes mode, streams, values, and cursors.
+    /// Serializes mode, streams, values, and cursors. Stream values are
+    /// zigzag-delta varint encoded ([`Enc::delta_words`]): arrival-order
+    /// timestamps are monotone and partner picks are small, so both shrink
+    /// to a byte or two per entry.
     pub fn save(&self, out: &mut Enc) {
         let inner = self.inner.lock();
         out.u8(match inner.mode {
@@ -171,11 +174,11 @@ impl ReplayLog {
             ReplayMode::Record => 1,
             ReplayMode::Replay => 2,
         });
-        out.u64(inner.streams.len() as u64);
+        out.varint(inner.streams.len() as u64);
         for (&id, s) in &inner.streams {
             out.u64(id);
-            out.u64(s.cursor as u64);
-            out.words(&s.values);
+            out.varint(s.cursor as u64);
+            out.delta_words(&s.values);
         }
     }
 
@@ -201,12 +204,12 @@ impl ReplayLog {
             2 => ReplayMode::Replay,
             _ => return Err(corrupted()),
         };
-        let n = dec.u64()?;
+        let n = dec.varint()?;
         let mut streams = BTreeMap::new();
         for _ in 0..n {
             let id = dec.u64()?;
-            let cursor = usize::try_from(dec.u64()?).map_err(|_| corrupted())?;
-            let values = dec.words()?;
+            let cursor = usize::try_from(dec.varint()?).map_err(|_| corrupted())?;
+            let values = dec.delta_words()?;
             if cursor > values.len() {
                 return Err(corrupted());
             }
@@ -282,10 +285,10 @@ mod tests {
         // Cursor beyond the stream length.
         let mut e = Enc::new();
         e.u8(1);
-        e.u64(1);
+        e.varint(1);
         e.u64(stream::GUEST_RNG);
-        e.u64(5); // cursor 5
-        e.words(&[1, 2]); // only 2 values
+        e.varint(5); // cursor 5
+        e.delta_words(&[1, 2]); // only 2 values
         assert!(matches!(
             ReplayLog::load(&mut Dec::new(&e.finish())).unwrap_err(),
             SimError::CkptCorrupted { .. }

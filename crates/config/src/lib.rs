@@ -288,6 +288,26 @@ pub enum TileMapping {
     Packed,
 }
 
+/// Profiler knobs (the `[profile]` section).
+///
+/// Per-tile CPI attribution is always on (it rides the normal cost
+/// accounting), but the clock-skew sampler spawns a host thread that
+/// periodically reads every tile clock, so it is opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ProfileConfig {
+    /// Enables the periodic clock-skew sampler (paper §6.3 timelines).
+    pub skew_sampling: bool,
+    /// Wall-clock interval between skew samples, in microseconds.
+    pub skew_sample_interval_us: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig { skew_sampling: false, skew_sample_interval_us: 200 }
+    }
+}
+
 /// Complete configuration of one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -307,6 +327,9 @@ pub struct SimConfig {
     pub progress_window: u32,
     /// RNG seed (LaxP2P partner choice, workload inputs).
     pub seed: u64,
+    /// Profiler knobs; absent sections deserialize to the defaults.
+    #[serde(default)]
+    pub profile: ProfileConfig,
 }
 
 impl SimConfig {
@@ -403,6 +426,9 @@ impl SimConfig {
         }
         if self.progress_window == 0 {
             return Err(SimError::InvalidConfig("progress window must be > 0".into()));
+        }
+        if self.profile.skew_sampling && self.profile.skew_sample_interval_us == 0 {
+            return Err(SimError::InvalidConfig("skew sample interval must be > 0".into()));
         }
         Ok(())
     }
@@ -522,6 +548,19 @@ impl SimConfigBuilder {
     /// Selects the tile-to-process mapping policy.
     pub fn tile_mapping(mut self, m: TileMapping) -> Self {
         self.cfg.tile_mapping = m;
+        self
+    }
+
+    /// Enables the clock-skew sampler at the given wall-clock interval.
+    pub fn skew_sampling(mut self, interval_us: u64) -> Self {
+        self.cfg.profile =
+            ProfileConfig { skew_sampling: true, skew_sample_interval_us: interval_us };
+        self
+    }
+
+    /// Replaces the whole profiler section.
+    pub fn profile(mut self, p: ProfileConfig) -> Self {
+        self.cfg.profile = p;
         self
     }
 

@@ -70,6 +70,7 @@ pub fn paper_default(tiles: u32) -> SimConfig {
         sync: SyncModel::Lax,
         progress_window: tiles.max(1),
         seed: 0xC0FFEE,
+        profile: crate::ProfileConfig::default(),
     }
 }
 

@@ -138,6 +138,42 @@ pub enum Instruction {
     Spawn,
 }
 
+/// Broad attribution class of an instruction's cost, used by profiling
+/// layers to build CPI stacks. This is the *static* classification — it says
+/// what kind of work the cycles represent, not where they were spent (a
+/// profiler may refine [`CostClass::Memory`] into local-hit versus remote
+/// time using the memory system's latency split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Instruction execution in the core's functional units.
+    Compute,
+    /// Waiting on the memory hierarchy.
+    Memory,
+    /// Waiting on the interconnect (message receive).
+    Network,
+    /// Thread-lifecycle and system control.
+    Control,
+}
+
+impl Instruction {
+    /// The static [`CostClass`] of this instruction's cycles.
+    pub fn cost_class(&self) -> CostClass {
+        match self {
+            Instruction::IntAlu { .. }
+            | Instruction::IntMul { .. }
+            | Instruction::IntDiv { .. }
+            | Instruction::FpAdd { .. }
+            | Instruction::FpMul { .. }
+            | Instruction::FpDiv { .. }
+            | Instruction::Branch { .. }
+            | Instruction::Generic { .. } => CostClass::Compute,
+            Instruction::Load { .. } | Instruction::Store { .. } => CostClass::Memory,
+            Instruction::Recv { .. } => CostClass::Network,
+            Instruction::Spawn => CostClass::Control,
+        }
+    }
+}
+
 /// Configurable cost table and structural parameters of [`InOrderCore`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreParams {

@@ -531,8 +531,10 @@ fn guest_thread_main(
 ) {
     // Thread creation is a true synchronization event: the child's clock
     // starts at the spawner's time (§3.6.1), then pays the spawn cost via
-    // the spawn pseudo-instruction (§3.1).
+    // the spawn pseudo-instruction (§3.1). The CPI stack mirrors the reset:
+    // the cycles up to `start_time` were spent waiting to exist.
     inner.clocks[tile.index()].reset_to(start_time);
+    inner.cpi.reset_tile(tile, start_time);
     inner.sync.activate(tile);
     // Even if the guest panics, the thread must exit through the MCP —
     // otherwise joiners and barrier peers deadlock and the whole simulation
@@ -544,6 +546,9 @@ fn guest_thread_main(
     }))
     .err();
     let end = inner.clocks[tile.index()].now();
+    // Thread exit: seal the tile's trace batch so everything it emitted is
+    // orderable against later users of the tile.
+    inner.obs.tracer.flush(tile);
     inner.sync.deactivate(tile);
     let _ = inner.mcp_tx.send(McpRequest::ThreadExit { thread, tile, time: end });
     if let Some(p) = panic {

@@ -53,9 +53,10 @@ use std::sync::Arc;
 use crossbeam::channel;
 use graphite_base::{Cycles, SimError, ThreadId, TileId};
 use graphite_ckpt::stream;
-use graphite_core_model::Instruction;
-use graphite_memory::Addr;
+use graphite_core_model::{CostClass, Instruction};
+use graphite_memory::{Addr, MemCost};
 use graphite_network::{Packet, TrafficClass};
+use graphite_prof::CpiClass;
 use graphite_trace::TraceEventKind;
 use graphite_transport::{Endpoint, MsgClass};
 
@@ -155,8 +156,18 @@ impl Ctx {
     /// synchronization primitives to propagate a releaser's timestamp to
     /// participants that did not block in the futex.
     pub fn forward_time(&mut self, t: Cycles) {
-        self.sim.clocks[self.tile.index()].forward_to(t);
+        self.forward_charged(t, CpiClass::SyncWait);
         self.sim.sync.on_progress(self.tile);
+    }
+
+    /// Forwards this tile's clock to `t` and charges the cycles skipped to
+    /// `class` — the attribution twin of every `forward_to` site, keeping
+    /// the CPI stack summing to the clock.
+    fn forward_charged(&mut self, t: Cycles, class: CpiClass) {
+        let clock = &self.sim.clocks[self.tile.index()];
+        let before = clock.now();
+        let after = clock.forward_to(t);
+        self.sim.cpi.add(self.tile, class, after.saturating_sub(before));
     }
 
     /// Emits a trace event stamped with this tile's current time. Compiles
@@ -172,11 +183,47 @@ impl Ctx {
     // ---- instruction stream -------------------------------------------
 
     /// Feeds one instruction (or batch) to this tile's core model and
-    /// advances the local clock by its cost.
+    /// advances the local clock by its cost. The cycles are attributed to
+    /// the instruction's static [`CostClass`]; memory operations issued
+    /// through [`Ctx::load`]/[`Ctx::store`] get the finer hit/remote/network
+    /// split from the memory system instead.
     pub fn execute(&mut self, instr: Instruction) {
+        let class = match instr.cost_class() {
+            CostClass::Compute => CpiClass::Compute,
+            CostClass::Memory => CpiClass::MemL1,
+            CostClass::Network => CpiClass::Network,
+            CostClass::Control => CpiClass::SpawnCtrl,
+        };
+        self.execute_as(instr, class);
+    }
+
+    /// Issues `instr` and charges its whole cost to one CPI class.
+    fn execute_as(&mut self, instr: Instruction, class: CpiClass) {
         let clock = &self.sim.clocks[self.tile.index()];
         let cost = self.sim.cores[self.tile.index()].lock().issue(clock.now(), &instr);
         clock.advance(cost);
+        self.sim.cpi.add(self.tile, class, cost);
+        self.sim.sync.on_progress(self.tile);
+    }
+
+    /// Issues a memory instruction and splits its cost by the memory
+    /// system's latency classification: hits are local L1/L2 time; misses
+    /// split into interconnect legs (network) and directory/remote/DRAM time
+    /// (remote memory). The split is applied proportionally-by-cap to the
+    /// cycles the core model actually charged (a store's cost is its
+    /// store-buffer stall, not the raw latency).
+    fn execute_mem(&mut self, instr: Instruction, mem: MemCost) {
+        let clock = &self.sim.clocks[self.tile.index()];
+        let cost = self.sim.cores[self.tile.index()].lock().issue(clock.now(), &instr);
+        clock.advance(cost);
+        let cpi = &self.sim.cpi;
+        if mem.hit {
+            cpi.add(self.tile, CpiClass::MemL1, cost);
+        } else {
+            let net = mem.network.min(cost);
+            cpi.add(self.tile, CpiClass::Network, net);
+            cpi.add(self.tile, CpiClass::MemRemote, cost.saturating_sub(net));
+        }
         self.sim.sync.on_progress(self.tile);
     }
 
@@ -200,15 +247,15 @@ impl Ctx {
     /// Reads raw bytes from the simulated address space (modeled).
     pub fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
         let now = self.now();
-        let lat = self.sim.mem.read(self.tile, now, addr, buf);
-        self.execute(Instruction::Load { latency: lat });
+        let cost = self.sim.mem.read_classified(self.tile, now, addr, buf);
+        self.execute_mem(Instruction::Load { latency: cost.latency }, cost);
     }
 
     /// Writes raw bytes to the simulated address space (modeled).
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
         let now = self.now();
-        let lat = self.sim.mem.write(self.tile, now, addr, bytes);
-        self.execute(Instruction::Store { latency: lat });
+        let cost = self.sim.mem.write_classified(self.tile, now, addr, bytes);
+        self.execute_mem(Instruction::Store { latency: cost.latency }, cost);
     }
 
     /// Loads a typed value from the simulated address space (modeled).
@@ -268,16 +315,16 @@ impl Ctx {
     /// the previous value.
     pub fn fetch_update_u32<F: FnMut(u32) -> u32>(&mut self, addr: Addr, f: F) -> u32 {
         let now = self.now();
-        let (old, lat) = self.sim.mem.fetch_update_u32(self.tile, now, addr, f);
-        self.execute(Instruction::Generic { cost: lat.max(Cycles(1)) });
+        let (old, cost) = self.sim.mem.fetch_update_u32_classified(self.tile, now, addr, f);
+        self.execute_mem(Instruction::Generic { cost: cost.latency.max(Cycles(1)) }, cost);
         old
     }
 
     /// Atomic read-modify-write of a `u64`; returns the previous value.
     pub fn fetch_update_u64<F: FnMut(u64) -> u64>(&mut self, addr: Addr, f: F) -> u64 {
         let now = self.now();
-        let (old, lat) = self.sim.mem.fetch_update_u64(self.tile, now, addr, f);
-        self.execute(Instruction::Generic { cost: lat.max(Cycles(1)) });
+        let (old, cost) = self.sim.mem.fetch_update_u64_classified(self.tile, now, addr, f);
+        self.execute_mem(Instruction::Generic { cost: cost.latency.max(Cycles(1)) }, cost);
         old
     }
 
@@ -305,7 +352,9 @@ impl Ctx {
     pub fn ifetch(&mut self, pc: Addr) {
         let now = self.now();
         let lat = self.sim.mem.ifetch(self.tile, now, pc);
-        self.execute(Instruction::Generic { cost: lat });
+        // I-fetches never leave the chip in this model (misses fill from
+        // L2), so the whole cost is local-memory time.
+        self.execute_as(Instruction::Generic { cost: lat }, CpiClass::MemL1);
     }
 
     // ---- dynamic memory (intercepted brk/mmap, §3.2.1) ------------------
@@ -316,7 +365,7 @@ impl Ctx {
     ///
     /// Returns [`SimError::Syscall`] when the heap is exhausted.
     pub fn malloc(&mut self, size: u64) -> Result<Addr, SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         self.trace(|| TraceEventKind::Syscall { name: "malloc" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Malloc { size, reply: tx });
@@ -329,7 +378,7 @@ impl Ctx {
     ///
     /// Returns [`SimError::Syscall`] for invalid frees.
     pub fn free(&mut self, addr: Addr) -> Result<(), SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         self.trace(|| TraceEventKind::Syscall { name: "free" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Free { addr, reply: tx });
@@ -342,7 +391,7 @@ impl Ctx {
     ///
     /// Returns [`SimError::Syscall`] when the segment is exhausted.
     pub fn mmap(&mut self, size: u64) -> Result<Addr, SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         self.trace(|| TraceEventKind::Syscall { name: "mmap" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Mmap { size, reply: tx });
@@ -355,7 +404,7 @@ impl Ctx {
     ///
     /// Returns [`SimError::Syscall`] for invalid regions.
     pub fn munmap(&mut self, addr: Addr) -> Result<(), SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         self.trace(|| TraceEventKind::Syscall { name: "munmap" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Munmap { addr, reply: tx });
@@ -371,7 +420,7 @@ impl Ctx {
     /// Returns [`SimError::NoFreeTile`] when every tile already runs a
     /// thread (the paper's limit: threads ≤ tiles).
     pub fn spawn(&mut self, entry: GuestEntry, arg: u64) -> Result<ThreadId, SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Spawn { entry, arg, parent_time: self.now(), reply: tx });
         rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
@@ -380,14 +429,17 @@ impl Ctx {
     /// Blocks until `thread` exits, then forwards this tile's clock to the
     /// exit time (thread join is a true synchronization event, §3.6.1).
     pub fn join(&mut self, thread: ThreadId) {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Join { thread, reply: tx });
+        // About to block: seal this tile's pending trace batch so its events
+        // stay orderable against the joined thread's.
+        self.sim.obs.tracer.flush(self.tile);
         self.sim.sync.deactivate(self.tile);
         let exit_time = rx.recv().unwrap_or(Cycles::ZERO);
         self.sim.sync.activate(self.tile);
-        self.sim.clocks[self.tile.index()].forward_to(exit_time);
-        self.execute(Instruction::Generic { cost: Cycles(1) });
+        self.forward_charged(exit_time, CpiClass::SyncWait);
+        self.execute_as(Instruction::Generic { cost: Cycles(1) }, CpiClass::SpawnCtrl);
     }
 
     // ---- futex emulation (intercepted futex syscall, §3.4) --------------
@@ -395,23 +447,25 @@ impl Ctx {
     /// Emulated `futex(FUTEX_WAIT)`: blocks while the word at `addr` equals
     /// `expected`. On wake, the clock forwards to the waker's time.
     pub fn futex_wait(&mut self, addr: Addr, expected: u32) {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         self.trace(|| TraceEventKind::FutexWait { addr: addr.0 });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::FutexWait { addr, expected, reply: tx });
+        // Seal the pending trace batch before parking this thread.
+        self.sim.obs.tracer.flush(self.tile);
         self.sim.sync.deactivate(self.tile);
         let outcome = rx.recv().unwrap_or(FutexWaitOutcome::ValueMismatch);
         self.sim.sync.activate(self.tile);
         if let FutexWaitOutcome::Woken { waker_time } = outcome {
-            self.sim.clocks[self.tile.index()].forward_to(waker_time + FUTEX_WAKE_LATENCY);
-            self.execute(Instruction::Generic { cost: Cycles(1) });
+            self.forward_charged(waker_time + FUTEX_WAKE_LATENCY, CpiClass::SyncWait);
+            self.execute_as(Instruction::Generic { cost: Cycles(1) }, CpiClass::SpawnCtrl);
         }
     }
 
     /// Emulated `futex(FUTEX_WAKE)`: wakes up to `max` waiters; returns the
     /// number woken.
     pub fn futex_wake(&mut self, addr: Addr, max: u32) -> u32 {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::FutexWake { addr, max, time: self.now(), reply: tx });
         let woken = rx.recv().unwrap_or(0);
@@ -451,7 +505,7 @@ impl Ctx {
         // Lane = the sending tile: only this tile's thread writes it.
         self.sim.user_msgs.incr_owned(self.tile.index());
         self.trace(|| TraceEventKind::UserMsgSend { dst: to.0, bytes: payload.len() as u64 });
-        self.execute(Instruction::Generic { cost: Cycles(10) });
+        self.execute_as(Instruction::Generic { cost: Cycles(10) }, CpiClass::Network);
         Ok(())
     }
 
@@ -485,6 +539,8 @@ impl Ctx {
         let replayed_src =
             self.sim.replay.replay_u64(stream::msg_arrival(self.tile.0)).map(|v| TileId(v as u32));
         let want = want.or(replayed_src);
+        // A receive may block: seal the pending trace batch first.
+        self.sim.obs.tracer.flush(self.tile);
         let (src, arrival, payload) = {
             let mut inbox = self.sim.inboxes[self.tile.index()].lock();
             if let Some(pos) = inbox.stash.iter().position(|(s, _, _)| want.is_none_or(|w| *s == w))
@@ -532,7 +588,7 @@ impl Ctx {
     /// Returns [`SimError::Syscall`] if the VFS rejects the open, or
     /// [`SimError::TransportClosed`] if the MCP is gone.
     pub fn sys_open(&mut self, path: &str) -> Result<i32, SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         self.trace(|| TraceEventKind::Syscall { name: "open" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Open { path: path.to_owned(), reply: tx }));
@@ -553,7 +609,10 @@ impl Ctx {
     /// Returns [`SimError::Syscall`] for a bad descriptor, or
     /// [`SimError::TransportClosed`] if the MCP is gone.
     pub fn sys_write(&mut self, fd: i32, addr: Addr, len: usize) -> Result<usize, SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST + Cycles(len as u64 / 8) });
+        self.execute_as(
+            Instruction::Generic { cost: SYSCALL_COST + Cycles(len as u64 / 8) },
+            CpiClass::SpawnCtrl,
+        );
         self.trace(|| TraceEventKind::Syscall { name: "write" });
         let mut data = vec![0u8; len];
         self.sim.mem.peek_bytes(addr, &mut data);
@@ -573,7 +632,10 @@ impl Ctx {
     ///
     /// Returns [`SimError::TransportClosed`] if the MCP is gone.
     pub fn sys_read(&mut self, fd: i32, addr: Addr, len: usize) -> Result<usize, SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST + Cycles(len as u64 / 8) });
+        self.execute_as(
+            Instruction::Generic { cost: SYSCALL_COST + Cycles(len as u64 / 8) },
+            CpiClass::SpawnCtrl,
+        );
         self.trace(|| TraceEventKind::Syscall { name: "read" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Read { fd, max: len, reply: tx }));
@@ -589,7 +651,7 @@ impl Ctx {
     /// Returns [`SimError::Syscall`] for a bad descriptor, or
     /// [`SimError::TransportClosed`] if the MCP is gone.
     pub fn sys_seek(&mut self, fd: i32, pos: u64) -> Result<u64, SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         self.trace(|| TraceEventKind::Syscall { name: "seek" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Seek { fd, pos, reply: tx }));
@@ -607,7 +669,7 @@ impl Ctx {
     /// Returns [`SimError::Syscall`] for a bad descriptor, or
     /// [`SimError::TransportClosed`] if the MCP is gone.
     pub fn sys_close(&mut self, fd: i32) -> Result<(), SimError> {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         self.trace(|| TraceEventKind::Syscall { name: "close" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Close { fd, reply: tx }));
@@ -666,7 +728,7 @@ impl Ctx {
     /// Writes text to the simulation's captured stdout (fd 1). Best-effort:
     /// output during control-plane shutdown is silently dropped.
     pub fn print(&mut self, text: &str) {
-        self.execute(Instruction::Generic { cost: SYSCALL_COST });
+        self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         self.trace(|| TraceEventKind::Syscall { name: "print" });
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::File(FileReq::Write {

@@ -97,7 +97,8 @@ pub use graphite_config::{SimConfig, SyncModel};
 use graphite_core_model::{CoreModel, CoreParams, InOrderCore, OooCore, OooParams};
 use graphite_memory::MemorySystem;
 use graphite_network::Network;
-use graphite_sync::{build_synchronizer_replay, Synchronizer};
+pub use graphite_prof::{validate_chrome_trace, ChromeTraceSummary, CpiClass, CpiStack};
+use graphite_sync::{build_synchronizer_replay, SkewSampler, Synchronizer};
 pub use graphite_trace::{MetricsSnapshot, TraceEvent, TraceEventKind};
 use graphite_trace::{Obs, ShardedMetric, TraceOptions};
 use graphite_transport::{Endpoint, LocalTransport, Transport};
@@ -133,6 +134,9 @@ pub(crate) struct SimInner {
     pub user_msgs: ShardedMetric,
     /// The simulation's observability spine: metrics registry + tracer.
     pub obs: Obs,
+    /// Per-tile cycle attribution: every clock advance is charged to one
+    /// [`CpiClass`], so the classes sum to each tile's final clock.
+    pub cpi: CpiStack,
     /// Record/replay log for the run's nondeterministic inputs; an
     /// [`ReplayLog::off`] pass-through unless the builder enabled it.
     pub replay: Arc<ReplayLog>,
@@ -354,6 +358,7 @@ impl SimBuilder {
         // counterpart, so late registration would silently drop them.
         let ctrl_stats = ControlStats::registered(&obs.metrics);
         let user_msgs = obs.metrics.sharded_counter("ctrl.user_msgs");
+        let cpi = CpiStack::registered(&obs.metrics);
 
         // Restore the simulated machine into the freshly built subsystems
         // before any service thread starts, so nothing can observe
@@ -375,6 +380,17 @@ impl SimBuilder {
             guest_rng = SimRng::from_state(ckpt::load_guest_rng_state(r)?);
             stdout = ckpt::load_stdout(r)?;
             ctrl_restore = Some(ckpt::parse_ctrl(r, &cfg)?);
+            // Checkpoints written before CPI accounting existed restore
+            // clocks but no `prof.cpi.*` lanes; re-seed the shortfall as
+            // sync-wait so the stacks keep summing to each tile's clock.
+            for (i, clock) in clocks.iter().enumerate() {
+                let tile = TileId(i as u32);
+                let have = cpi.total(tile);
+                let now = clock.now().0;
+                if have < now {
+                    cpi.add(tile, CpiClass::SyncWait, Cycles(now - have));
+                }
+            }
         }
 
         let (mcp_tx, mcp_rx) = channel::unbounded();
@@ -390,6 +406,7 @@ impl SimBuilder {
             ctrl_stats,
             user_msgs,
             obs,
+            cpi,
             replay,
             guest_rng: Mutex::new(guest_rng),
             ckpt_restore: Mutex::new(ctrl_restore),
@@ -474,6 +491,12 @@ impl Sim {
         F: FnOnce(&mut Ctx),
     {
         let inner = Arc::clone(&self.inner);
+        let profile = inner.cfg.profile;
+        let sampler = Arc::new(SkewSampler::with_obs(Arc::clone(&inner.clocks), &inner.obs));
+        let sampler_thread = profile.skew_sampling.then(|| {
+            sampler
+                .spawn_periodic(std::time::Duration::from_micros(profile.skew_sample_interval_us))
+        });
         inner.sync.activate(TileId(0));
         let mut ctx = Ctx::new(Arc::clone(&inner), TileId(0), ThreadId(0));
         main_fn(&mut ctx);
@@ -495,7 +518,16 @@ impl Sim {
             !inner.guest_panicked.load(std::sync::atomic::Ordering::Relaxed),
             "a guest thread panicked during the simulation"
         );
-        report::build_report(&inner)
+        if let Some(h) = sampler_thread {
+            sampler.stop();
+            let _ = h.join();
+            // A final sample so even runs shorter than the period get one
+            // timeline point covering the finished clocks.
+            sampler.sample();
+        }
+        let mut report = report::build_report(&inner);
+        report.skew_samples = sampler.samples();
+        report
     }
 }
 
@@ -843,5 +875,115 @@ mod tests {
             assert_eq!(ctx.load::<u32>(a), 4_000);
         });
         assert!(r.simulated_cycles > Cycles::ZERO);
+    }
+
+    /// A workload exercising every CPI class: compute, hits, misses,
+    /// messaging, spawn/join and futex forwarding.
+    fn mixed_workload(ctx: &mut Ctx) {
+        let a = ctx.malloc(4096).unwrap();
+        ctx.alu(500);
+        for i in 0..32u64 {
+            ctx.store(a.offset(i * 64), i);
+        }
+        for i in 0..32u64 {
+            let _ = ctx.load::<u64>(a.offset(i * 64));
+        }
+        let entry: GuestEntry = Arc::new(move |ctx, arg| {
+            ctx.alu(2_000);
+            let _ = ctx.fetch_update_u32(Addr(arg), |v| v + 1);
+            let (_, data) = ctx.recv_msg().unwrap();
+            assert_eq!(data, b"go");
+        });
+        let t = ctx.spawn(entry, a.0).unwrap();
+        ctx.alu(10_000);
+        ctx.send_msg(TileId(1), b"go").unwrap();
+        ctx.join(t);
+    }
+
+    #[test]
+    fn cpi_classes_sum_to_tile_clock_under_every_sync_model() {
+        for sync in [
+            SyncModel::Lax,
+            SyncModel::LaxBarrier { quantum: 1_000 },
+            SyncModel::LaxP2P { slack: 10_000, check_interval: 1_000 },
+        ] {
+            let cfg = SimConfig::builder().tiles(2).processes(1).sync(sync).build().unwrap();
+            let r = Sim::builder(cfg).build().unwrap().run(mixed_workload);
+            let stacks = r.cpi_stacks();
+            assert_eq!(stacks.len(), CpiClass::ALL.len());
+            for (i, &clock) in r.per_tile_cycles.iter().enumerate() {
+                let total: u64 = stacks.iter().map(|(_, lanes)| lanes[i]).sum();
+                assert_eq!(
+                    total, clock.0,
+                    "tile {i} under {sync:?}: CPI classes sum to {total}, clock is {}",
+                    clock.0
+                );
+            }
+            // The workload makes every class non-empty somewhere.
+            for (name, lanes) in &stacks {
+                assert!(
+                    lanes.iter().sum::<u64>() > 0,
+                    "class {name} empty under {sync:?}: {stacks:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skew_sampler_records_timeline_under_every_sync_model() {
+        for sync in [
+            SyncModel::Lax,
+            SyncModel::LaxBarrier { quantum: 1_000 },
+            SyncModel::LaxP2P { slack: 10_000, check_interval: 1_000 },
+        ] {
+            let cfg = SimConfig::builder()
+                .tiles(2)
+                .processes(1)
+                .sync(sync)
+                .skew_sampling(50)
+                .build()
+                .unwrap();
+            let r = Sim::builder(cfg).build().unwrap().run(mixed_workload);
+            assert!(!r.skew_samples.is_empty(), "no skew samples under {sync:?}");
+            for s in &r.skew_samples {
+                assert_eq!(s.clocks.len(), 2);
+                assert!(s.min <= s.max);
+                assert_eq!(s.deltas_vs_max().len(), 2);
+            }
+            // The final sample sees the finished clocks.
+            let last = r.skew_samples.last().unwrap();
+            assert_eq!(Cycles(last.max), r.simulated_cycles, "under {sync:?}");
+        }
+    }
+
+    #[test]
+    fn perfetto_export_has_one_thread_track_per_tile() {
+        let cfg = SimConfig::builder().tiles(2).processes(1).skew_sampling(100).build().unwrap();
+        let s = Sim::builder(cfg).tracing(true).trace_capacity(4096).build().unwrap();
+        let r = s.run(mixed_workload);
+        let doc = r.perfetto_json();
+        let summary = graphite_prof::validate_chrome_trace(&doc)
+            .unwrap_or_else(|e| panic!("bad Perfetto JSON: {e}"));
+        assert!(summary.thread_tracks >= 2, "{summary:?}");
+        assert!(summary.covers_tiles(2), "not every tile has events: {summary:?}");
+        assert!(summary.counter_events > 0, "skew/CPI counters missing: {summary:?}");
+    }
+
+    #[test]
+    fn trace_ring_overflow_is_counted_and_reported() {
+        let s = Sim::builder(cfg(2, 1)).tracing(true).trace_capacity(16).build().unwrap();
+        let r = s.run(|ctx| {
+            let a = ctx.malloc(4096).unwrap();
+            for i in 0..512u64 {
+                ctx.store(a.offset((i % 64) * 64), i);
+            }
+        });
+        let dropped: u64 = r.trace_dropped.iter().sum();
+        assert!(dropped > 0, "tiny ring must overflow");
+        assert_eq!(r.metrics.counters["trace.dropped"], dropped);
+        assert_eq!(r.metrics.per_tile["trace.tile.dropped"].iter().sum::<u64>(), dropped);
+        // What was kept is still well-formed and in sequence order.
+        let seqs: Vec<u64> = r.trace_events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] <= w[1]));
     }
 }

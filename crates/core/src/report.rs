@@ -5,6 +5,8 @@ use std::fmt;
 use std::time::Duration;
 
 use graphite_base::Cycles;
+use graphite_prof::{chrome_trace_json, CpiStack};
+use graphite_sync::SkewSample;
 use graphite_trace::{export_jsonl, MetricsSnapshot, TraceEvent};
 
 use crate::SimInner;
@@ -193,6 +195,12 @@ pub struct SimReport {
     /// Structured trace events drained from the per-tile rings (empty when
     /// tracing was disabled); serialize with [`SimReport::trace_jsonl`].
     pub trace_events: Vec<TraceEvent>,
+    /// Events discarded per tile because a trace ring wrapped; mirrored into
+    /// the `trace.tile.dropped` metric lanes.
+    pub trace_dropped: Vec<u64>,
+    /// Clock-skew timeline recorded by the periodic sampler (empty unless
+    /// `[profile] skew_sampling` was enabled).
+    pub skew_samples: Vec<SkewSample>,
     /// The serialized record/replay log when the run recorded (or replayed)
     /// its nondeterministic inputs via [`crate::SimBuilder::record`]; feed
     /// it back through [`crate::SimBuilder::replay`]. `None` when replay was
@@ -216,6 +224,25 @@ impl SimReport {
     /// global sequence order.
     pub fn trace_jsonl(&self) -> String {
         export_jsonl(&self.trace_events)
+    }
+
+    /// Per-tile CPI stacks: one `(class name, per-tile cycles)` row per
+    /// [`graphite_prof::CpiClass`], read out of the metrics snapshot. The
+    /// classes of one tile sum to that tile's final clock.
+    pub fn cpi_stacks(&self) -> Vec<(&'static str, Vec<u64>)> {
+        CpiStack::from_snapshot(&self.metrics).unwrap_or_default()
+    }
+
+    /// The whole run as a Chrome `trace_event` JSON document for
+    /// [ui.perfetto.dev](https://ui.perfetto.dev): one thread track per
+    /// tile, counter tracks for clock skew and the CPI classes.
+    pub fn perfetto_json(&self) -> String {
+        chrome_trace_json(
+            &self.trace_events,
+            &self.skew_samples,
+            &self.metrics,
+            self.num_tiles as usize,
+        )
     }
 }
 
@@ -281,6 +308,18 @@ pub(crate) fn build_report(inner: &SimInner) -> SimReport {
         cycle_lanes[i].take();
         cycle_lanes[i].add(s.cycles.get());
     }
+
+    // Ring-wrap losses live inside the tracer; mirror them the same way so
+    // `trace.dropped` appears in metrics.json next to everything else.
+    let trace_dropped = inner.obs.tracer.dropped_per_tile();
+    let drop_lanes = inner.obs.metrics.per_tile("trace.tile.dropped");
+    for (lane, &d) in drop_lanes.iter().zip(&trace_dropped) {
+        lane.take();
+        lane.add(d);
+    }
+    let drop_total = inner.obs.metrics.counter("trace.dropped");
+    drop_total.take();
+    drop_total.add(trace_dropped.iter().sum());
 
     let snap = inner.obs.metrics.snapshot();
     let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
@@ -370,6 +409,8 @@ pub(crate) fn build_report(inner: &SimInner) -> SimReport {
         num_processes: inner.cfg.num_processes,
         sync_model: inner.sync.name().to_owned(),
         trace_events: inner.obs.tracer.drain(),
+        trace_dropped,
+        skew_samples: Vec::new(),
         replay_log: (inner.replay.mode() != graphite_ckpt::ReplayMode::Off)
             .then(|| inner.replay.save_bytes()),
         metrics: snap,

@@ -50,6 +50,47 @@ const DATA_HDR_BYTES: u32 = 8;
 /// Number of directory lock shards.
 const NUM_SHARDS: usize = 256;
 
+/// How one modeled memory access spent its latency — the memory system's
+/// contribution to per-tile cycle attribution (CPI stacks).
+///
+/// For a hit, the whole latency is local hierarchy time. For a miss,
+/// `network` isolates the interconnect legs on the requester's critical path
+/// (request to home, response back); the remainder is directory, remote
+/// cache, and DRAM time. Always `network <= latency`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemCost {
+    /// Total modeled latency of the access.
+    pub latency: Cycles,
+    /// True when every line segment was satisfied from the tile's own
+    /// hierarchy (no directory transaction).
+    pub hit: bool,
+    /// Cycles of the latency spent on interconnect legs (zero for hits).
+    pub network: Cycles,
+}
+
+impl MemCost {
+    fn hit(latency: Cycles) -> Self {
+        MemCost { latency, hit: true, network: Cycles::ZERO }
+    }
+
+    fn miss(latency: Cycles, network: Cycles) -> Self {
+        MemCost { latency, hit: false, network: network.min(latency) }
+    }
+
+    /// Accumulates a per-segment cost into a multi-segment total: latencies
+    /// and network shares add; the whole access only counts as a hit when
+    /// every segment hit.
+    fn fold(&mut self, seg: MemCost) {
+        self.latency += seg.latency;
+        self.network += seg.network;
+        self.hit &= seg.hit;
+    }
+
+    fn folded_start() -> Self {
+        MemCost { latency: Cycles::ZERO, hit: true, network: Cycles::ZERO }
+    }
+}
+
 /// Per-tile cache hierarchy.
 #[derive(Debug)]
 struct TileMem {
@@ -480,6 +521,19 @@ impl MemorySystem {
     /// loop, line and offset computed once by shift/mask.
     #[inline]
     pub fn read(&self, tile: TileId, now: Cycles, addr: Addr, buf: &mut [u8]) -> Cycles {
+        self.read_classified(tile, now, addr, buf).latency
+    }
+
+    /// Like [`MemorySystem::read`], but also reports how the latency splits
+    /// between local hierarchy and interconnect time (for CPI attribution).
+    #[inline]
+    pub fn read_classified(
+        &self,
+        tile: TileId,
+        now: Cycles,
+        addr: Addr,
+        buf: &mut [u8],
+    ) -> MemCost {
         let len = buf.len();
         if len > 0 && (addr.0 & self.line_mask) as usize + len <= self.line_size as usize {
             return self.access_line(tile, now, addr, LineOp::Read(buf));
@@ -487,15 +541,20 @@ impl MemorySystem {
         self.read_multi(tile, now, addr, buf)
     }
 
-    fn read_multi(&self, tile: TileId, now: Cycles, addr: Addr, buf: &mut [u8]) -> Cycles {
-        let mut total = Cycles::ZERO;
+    fn read_multi(&self, tile: TileId, now: Cycles, addr: Addr, buf: &mut [u8]) -> MemCost {
+        let mut total = MemCost::folded_start();
         let ls = self.line_size as usize;
         let mut done = 0usize;
         while done < buf.len() {
             let a = addr.offset(done as u64);
             let in_line = ls - (a.0 & self.line_mask) as usize;
             let n = in_line.min(buf.len() - done);
-            total += self.access_line(tile, now + total, a, LineOp::Read(&mut buf[done..done + n]));
+            total.fold(self.access_line(
+                tile,
+                now + total.latency,
+                a,
+                LineOp::Read(&mut buf[done..done + n]),
+            ));
             done += n;
         }
         total
@@ -506,6 +565,13 @@ impl MemorySystem {
     /// (every aligned `Ctx::store` of ≤ 8 bytes) skip the splitting loop.
     #[inline]
     pub fn write(&self, tile: TileId, now: Cycles, addr: Addr, bytes: &[u8]) -> Cycles {
+        self.write_classified(tile, now, addr, bytes).latency
+    }
+
+    /// Like [`MemorySystem::write`], but also reports how the latency splits
+    /// between local hierarchy and interconnect time (for CPI attribution).
+    #[inline]
+    pub fn write_classified(&self, tile: TileId, now: Cycles, addr: Addr, bytes: &[u8]) -> MemCost {
         let len = bytes.len();
         if len > 0 && (addr.0 & self.line_mask) as usize + len <= self.line_size as usize {
             return self.access_line(tile, now, addr, LineOp::Write(bytes));
@@ -513,15 +579,20 @@ impl MemorySystem {
         self.write_multi(tile, now, addr, bytes)
     }
 
-    fn write_multi(&self, tile: TileId, now: Cycles, addr: Addr, bytes: &[u8]) -> Cycles {
-        let mut total = Cycles::ZERO;
+    fn write_multi(&self, tile: TileId, now: Cycles, addr: Addr, bytes: &[u8]) -> MemCost {
+        let mut total = MemCost::folded_start();
         let ls = self.line_size as usize;
         let mut done = 0usize;
         while done < bytes.len() {
             let a = addr.offset(done as u64);
             let in_line = ls - (a.0 & self.line_mask) as usize;
             let n = in_line.min(bytes.len() - done);
-            total += self.access_line(tile, now + total, a, LineOp::Write(&bytes[done..done + n]));
+            total.fold(self.access_line(
+                tile,
+                now + total.latency,
+                a,
+                LineOp::Write(&bytes[done..done + n]),
+            ));
             done += n;
         }
         total
@@ -557,7 +628,7 @@ impl MemorySystem {
         total
     }
 
-    fn access_line(&self, tile: TileId, now: Cycles, addr: Addr, mut op: LineOp) -> Cycles {
+    fn access_line(&self, tile: TileId, now: Cycles, addr: Addr, mut op: LineOp) -> MemCost {
         let line = addr.0 >> self.line_shift;
         let off = (addr.0 & self.line_mask) as usize;
         let lane = tile.index();
@@ -572,33 +643,57 @@ impl MemorySystem {
         // One tracer gate for both endpoint events; disabled tracing costs a
         // single predictable branch per access.
         let tracing = self.tracer.is_enabled();
-        if tracing {
-            self.tracer
-                .emit(tile, now, || TraceEventKind::MemOpStart { op: op_name, addr: addr.0 });
-        }
         // Fast path: local hit with sufficient permission. Hits and misses
         // record the same metric set (latency sum, per-tile latency, max,
         // histogram), so per-tile means cover every access, not just misses.
-        let (lat, hit) = match self.try_local_hit(tile, line, off, &mut op) {
-            Some(lat) => (lat, true),
-            None => (self.miss_transaction(tile, now, line, off, &mut op), false),
+        // Hits emit their start/done pair under one tracer-lane acquisition;
+        // misses keep separate endpoint events so directory legs traced
+        // during the transaction land between them.
+        let cost = match self.try_local_hit(tile, line, off, &mut op) {
+            Some(lat) => {
+                if tracing {
+                    self.tracer.emit_pair(tile, now, || {
+                        (
+                            TraceEventKind::MemOpStart { op: op_name, addr: addr.0 },
+                            TraceEventKind::MemOpDone {
+                                op: op_name,
+                                addr: addr.0,
+                                latency: lat.0,
+                                hit: true,
+                            },
+                        )
+                    });
+                }
+                MemCost::hit(lat)
+            }
+            None => {
+                if tracing {
+                    self.tracer.emit(tile, now, || TraceEventKind::MemOpStart {
+                        op: op_name,
+                        addr: addr.0,
+                    });
+                }
+                let (lat, net) = self.miss_transaction(tile, now, line, off, &mut op);
+                if tracing {
+                    self.tracer.emit(tile, now, || TraceEventKind::MemOpDone {
+                        op: op_name,
+                        addr: addr.0,
+                        latency: lat.0,
+                        hit: false,
+                    });
+                }
+                MemCost::miss(lat, net)
+            }
         };
         if is_write && self.classifier.enabled() {
             self.classifier.on_write(tile, line, off as u64, op.len() as u64);
         }
+        let lat = cost.latency;
         self.stats.latency_sum.add_owned(lane, lat.0);
         self.per_tile[lane].latency_sum.add_owned(lat.0);
         self.stats.max_latency.observe_max(lane, lat.0);
         self.latency_hist.record_owned(lane, lat.0);
-        if tracing {
-            self.tracer.emit(tile, now, || TraceEventKind::MemOpDone {
-                op: op_name,
-                addr: addr.0,
-                latency: lat.0,
-                hit,
-            });
-        }
-        lat
+        cost
     }
 
     /// Attempts to satisfy the access from the tile's own hierarchy.
@@ -721,7 +816,10 @@ impl MemorySystem {
         l1.data.as_mut().unwrap()[off..off + n].copy_from_slice(&l2_data[off..off + n]);
     }
 
-    /// The slow path: evictions, then one directory transaction.
+    /// The slow path: evictions, then one directory transaction. Returns the
+    /// total latency and the share spent on interconnect legs of the
+    /// requester's critical path (request out, response back) — the memory
+    /// system's input to CPI attribution.
     fn miss_transaction(
         &self,
         tile: TileId,
@@ -729,7 +827,7 @@ impl MemorySystem {
         line: u64,
         off: usize,
         op: &mut LineOp,
-    ) -> Cycles {
+    ) -> (Cycles, Cycles) {
         // Phase 1: make room in the coherence cache. Only this tile's thread
         // adds lines to its cache, so freed ways stay free.
         loop {
@@ -1010,7 +1108,9 @@ impl MemorySystem {
             }
         }
         drop(shard);
-        t_resp.saturating_sub(now).max(lookup_lat)
+        let latency = t_resp.saturating_sub(now).max(lookup_lat);
+        let network = t_req.saturating_sub(t0) + t_resp.saturating_sub(data_ready);
+        (latency, network)
     }
 
     fn apply_write_everywhere(tm: &mut TileMem, line: u64, off: usize, op: &mut LineOp) {
@@ -1098,13 +1198,27 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if the access crosses a cache-line boundary.
-    pub fn fetch_update_u32<F>(
+    pub fn fetch_update_u32<F>(&self, tile: TileId, now: Cycles, addr: Addr, f: F) -> (u32, Cycles)
+    where
+        F: FnMut(u32) -> u32,
+    {
+        let (old, cost) = self.fetch_update_u32_classified(tile, now, addr, f);
+        (old, cost.latency)
+    }
+
+    /// Like [`MemorySystem::fetch_update_u32`], but reports the latency split
+    /// (for CPI attribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a cache-line boundary.
+    pub fn fetch_update_u32_classified<F>(
         &self,
         tile: TileId,
         now: Cycles,
         addr: Addr,
         mut f: F,
-    ) -> (u32, Cycles)
+    ) -> (u32, MemCost)
     where
         F: FnMut(u32) -> u32,
     {
@@ -1117,8 +1231,8 @@ impl MemorySystem {
             let cur = u32::from_le_bytes(window.try_into().expect("4-byte window"));
             window.copy_from_slice(&f(cur).to_le_bytes());
         };
-        let lat = self.access_line(tile, now, addr, LineOp::Rmw { old: &mut old, f: &mut apply });
-        (u32::from_le_bytes(old), lat)
+        let cost = self.access_line(tile, now, addr, LineOp::Rmw { old: &mut old, f: &mut apply });
+        (u32::from_le_bytes(old), cost)
     }
 
     /// 64-bit variant of [`MemorySystem::fetch_update_u32`].
@@ -1126,13 +1240,27 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if the access crosses a cache-line boundary.
-    pub fn fetch_update_u64<F>(
+    pub fn fetch_update_u64<F>(&self, tile: TileId, now: Cycles, addr: Addr, f: F) -> (u64, Cycles)
+    where
+        F: FnMut(u64) -> u64,
+    {
+        let (old, cost) = self.fetch_update_u64_classified(tile, now, addr, f);
+        (old, cost.latency)
+    }
+
+    /// Like [`MemorySystem::fetch_update_u64`], but reports the latency split
+    /// (for CPI attribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a cache-line boundary.
+    pub fn fetch_update_u64_classified<F>(
         &self,
         tile: TileId,
         now: Cycles,
         addr: Addr,
         mut f: F,
-    ) -> (u64, Cycles)
+    ) -> (u64, MemCost)
     where
         F: FnMut(u64) -> u64,
     {
@@ -1145,8 +1273,8 @@ impl MemorySystem {
             let cur = u64::from_le_bytes(window.try_into().expect("8-byte window"));
             window.copy_from_slice(&f(cur).to_le_bytes());
         };
-        let lat = self.access_line(tile, now, addr, LineOp::Rmw { old: &mut old, f: &mut apply });
-        (u64::from_le_bytes(old), lat)
+        let cost = self.access_line(tile, now, addr, LineOp::Rmw { old: &mut old, f: &mut apply });
+        (u64::from_le_bytes(old), cost)
     }
 
     /// Functional read bypassing all timing (used by the MCP for syscall

@@ -1,0 +1,28 @@
+//! Profiling and attribution layer for Graphite-rs (paper §6).
+//!
+//! The paper's evaluation hinges on what the simulator reports about itself:
+//! where simulated cycles go (§6.2), how far tile clocks drift under lax
+//! synchronization (§6.3), and what the simulator costs to run (§6.1). This
+//! crate turns the raw observability layer (`graphite-trace`) into those
+//! answers:
+//!
+//! * [`CpiStack`] — per-tile cycle accounting. Every simulated cycle a tile's
+//!   clock advances is attributed to one of six [`CpiClass`]es (compute,
+//!   L1-hit memory, remote memory, network, synchronization wait,
+//!   spawn/control). The classes sum to the tile's final clock, so the stack
+//!   is a complete CPI breakdown, not a sampling estimate.
+//! * [`perfetto`] — a Chrome `trace_event` / Perfetto exporter that renders
+//!   tracer rings, skew samples, and CPI stacks as a timeline loadable in
+//!   [ui.perfetto.dev](https://ui.perfetto.dev): one thread track per tile,
+//!   counter tracks for clock skew and CPI classes.
+//!
+//! Cycle attribution lives in the simulator's chokepoints (the guest-thread
+//! context and the memory system), which charge the [`CpiStack`] as they
+//! advance clocks; this crate only defines the accounting structure and the
+//! exporters over it.
+
+pub mod cpi;
+pub mod perfetto;
+
+pub use cpi::{CpiClass, CpiStack};
+pub use perfetto::{chrome_trace_json, validate_chrome_trace, ChromeTraceSummary};

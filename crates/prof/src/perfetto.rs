@@ -1,0 +1,453 @@
+//! Chrome `trace_event` / Perfetto exporter.
+//!
+//! Renders a drained tracer stream, skew samples, and a metrics snapshot as
+//! one JSON document in the Chrome trace-event format, loadable in
+//! `ui.perfetto.dev` or `chrome://tracing`:
+//!
+//! * one **thread track per tile** (`pid` 0, `tid` = tile index), named via
+//!   `"M"` metadata events;
+//! * memory operations and packet deliveries as **complete events**
+//!   (`ph:"X"`) whose duration is the modeled latency;
+//! * every other trace event as a **thread-scoped instant** (`ph:"i"`);
+//! * clock skew and final CPI stacks as **counter tracks** (`ph:"C"`).
+//!
+//! Timestamps are simulated cycles written into the format's microsecond
+//! field — the UI's time axis therefore reads in cycles, not wall time.
+//!
+//! The workspace builds offline (no serde_json), so the document is built
+//! with [`graphite_trace::json::quote`] and checked by
+//! [`validate_chrome_trace`], a strict validator the CI smoke job uses to
+//! prove a run produced a loadable trace with at least one event per tile.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use graphite_sync::SkewSample;
+use graphite_trace::json;
+use graphite_trace::{MetricsSnapshot, TraceEvent, TraceEventKind};
+
+use crate::cpi::CpiStack;
+
+/// Serializes trace events, skew samples, and CPI stacks (if present in
+/// `snapshot`) into one Chrome trace-event JSON document.
+///
+/// Any of the three inputs may be empty; metadata tracks for `num_tiles`
+/// tiles are always emitted so the timeline shape is stable.
+pub fn chrome_trace_json(
+    events: &[TraceEvent],
+    skew: &[SkewSample],
+    snapshot: &MetricsSnapshot,
+    num_tiles: usize,
+) -> String {
+    let mut out = String::with_capacity(256 + events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, obj: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(obj);
+    };
+
+    push(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"graphite-sim\"}}",
+    );
+    for i in 0..num_tiles.max(1) {
+        push(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{i},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"tile {i}\"}}}}"
+            ),
+        );
+    }
+
+    for ev in events {
+        let tid = ev.tile.0;
+        let ts = ev.cycles.0;
+        // `to_json()` is already a complete JSON object carrying every
+        // payload field — reuse it verbatim as the event's args.
+        let args = ev.to_json();
+        match ev.kind {
+            TraceEventKind::MemOpDone { op, latency, .. } => {
+                let start = ts.saturating_sub(latency);
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{start},\
+                         \"dur\":{latency},\"name\":{},\"args\":{args}}}",
+                        json::quote(&format!("mem:{op}"))
+                    ),
+                );
+            }
+            TraceEventKind::PacketRecv { class, latency, .. } => {
+                let start = ts.saturating_sub(latency);
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{start},\
+                         \"dur\":{latency},\"name\":{},\"args\":{args}}}",
+                        json::quote(&format!("net:{class}"))
+                    ),
+                );
+            }
+            TraceEventKind::ClockSkew { skew } => {
+                // The tracer's own skew samples become a per-tile counter
+                // series (cycles ahead of the mean; may be negative).
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                         \"name\":{},\"args\":{{\"cycles_vs_mean\":{skew}}}}}",
+                        json::quote(&format!("clock_skew.tile{tid}"))
+                    ),
+                );
+            }
+            _ => {
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\
+                         \"ts\":{ts},\"name\":{},\"args\":{args}}}",
+                        json::quote(ev.kind.name())
+                    ),
+                );
+            }
+        }
+    }
+
+    // Skew-sampler timelines: one counter series per tile, timestamped at
+    // the sample's approximate global cycle count, valued as the tile's lag
+    // behind the fastest clock (0 = leading tile).
+    for s in skew {
+        let ts = s.mean as u64;
+        for (i, d) in s.deltas_vs_max().iter().enumerate() {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"tid\":{i},\"ts\":{ts},\
+                     \"name\":{},\"args\":{{\"cycles_behind_max\":{d}}}}}",
+                    json::quote(&format!("skew.tile{i}"))
+                ),
+            );
+        }
+    }
+
+    // Final CPI stacks: one stacked counter event per tile at its end-of-run
+    // clock (the classes sum to the tile's total cycles).
+    if let Some(rows) = CpiStack::from_snapshot(snapshot) {
+        for tile in 0..num_tiles {
+            let mut args = String::from("{");
+            let mut total = 0u64;
+            for (name, values) in &rows {
+                let v = values.get(tile).copied().unwrap_or(0);
+                total += v;
+                let _ = write!(args, "\"{name}\":{v},");
+            }
+            if args.ends_with(',') {
+                args.pop();
+            }
+            args.push('}');
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"tid\":{tile},\"ts\":{total},\
+                     \"name\":{},\"args\":{args}}}",
+                    json::quote(&format!("cpi.tile{tile}"))
+                ),
+            );
+        }
+    }
+
+    out.push_str("\n]}");
+    out
+}
+
+/// What [`validate_chrome_trace`] learned about a trace document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChromeTraceSummary {
+    /// All entries in `traceEvents`, metadata included.
+    pub total_events: usize,
+    /// Number of `thread_name` metadata entries (thread tracks).
+    pub thread_tracks: usize,
+    /// Number of counter (`ph:"C"`) events.
+    pub counter_events: usize,
+    /// Timeline events (`ph:"X"` or `ph:"i"`) per `tid`.
+    pub events_per_tid: BTreeMap<u64, usize>,
+}
+
+impl ChromeTraceSummary {
+    /// True when every tile in `0..num_tiles` has at least one timeline
+    /// event on its thread track — the CI smoke criterion.
+    pub fn covers_tiles(&self, num_tiles: usize) -> bool {
+        (0..num_tiles as u64).all(|t| self.events_per_tid.get(&t).copied().unwrap_or(0) > 0)
+    }
+}
+
+/// Validates a Chrome trace-event document: strict JSON syntax (via
+/// [`graphite_trace::json::validate`]) plus the structural rules the
+/// trace UIs rely on (a `traceEvents` array; every event carries `ph` and
+/// `pid`; timeline events carry `ts`; `"X"` events carry `dur`).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found.
+pub fn validate_chrome_trace(doc: &str) -> Result<ChromeTraceSummary, String> {
+    json::validate(doc)?;
+    let key =
+        doc.find("\"traceEvents\"").ok_or_else(|| "missing \"traceEvents\" key".to_string())?;
+    let rel = doc[key..].find('[').ok_or_else(|| "\"traceEvents\" is not an array".to_string())?;
+    let body = &doc[key + rel + 1..];
+
+    let mut summary = ChromeTraceSummary::default();
+    for obj in split_top_level_objects(body)? {
+        summary.total_events += 1;
+        let fields = top_level_fields(obj);
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v.as_str());
+        let ph = get("ph")
+            .map(|v| v.trim_matches('"'))
+            .ok_or_else(|| format!("event without \"ph\": {obj}"))?;
+        if get("pid").is_none() {
+            return Err(format!("event without \"pid\": {obj}"));
+        }
+        let tid = get("tid").and_then(|v| v.parse::<u64>().ok());
+        match ph {
+            "M" => {
+                if get("name").map(|n| n.trim_matches('"')) == Some("thread_name") {
+                    summary.thread_tracks += 1;
+                }
+            }
+            "C" => {
+                if get("ts").is_none() {
+                    return Err(format!("counter event without \"ts\": {obj}"));
+                }
+                summary.counter_events += 1;
+            }
+            "X" | "i" => {
+                if get("ts").is_none() {
+                    return Err(format!("timeline event without \"ts\": {obj}"));
+                }
+                if ph == "X" && get("dur").is_none() {
+                    return Err(format!("complete event without \"dur\": {obj}"));
+                }
+                let tid = tid.ok_or_else(|| format!("timeline event without \"tid\": {obj}"))?;
+                *summary.events_per_tid.entry(tid).or_insert(0) += 1;
+            }
+            other => return Err(format!("unsupported event phase {other:?}: {obj}")),
+        }
+    }
+    Ok(summary)
+}
+
+/// Splits the body of a (syntactically valid) JSON array into its top-level
+/// object elements; `body` starts just past the `[`.
+fn split_top_level_objects(body: &str) -> Result<Vec<&str>, String> {
+    let bytes = body.as_bytes();
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    objects.push(&body[start..=i]);
+                }
+            }
+            b']' if depth == 0 => return Ok(objects),
+            _ => {}
+        }
+    }
+    Err("unterminated traceEvents array".to_string())
+}
+
+/// Extracts `(key, raw value)` pairs at the top level of one JSON object
+/// that has already passed syntax validation.
+fn top_level_fields(obj: &str) -> Vec<(String, String)> {
+    let bytes = obj.as_bytes();
+    let mut fields = Vec::new();
+    let mut i = 1; // past '{'
+    while i < bytes.len() {
+        // Find the next key.
+        while i < bytes.len() && bytes[i] != b'"' && bytes[i] != b'}' {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] == b'}' {
+            break;
+        }
+        let (key, after) = read_string(bytes, i);
+        i = after;
+        while i < bytes.len() && bytes[i] != b':' {
+            i += 1;
+        }
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        // Capture the raw value up to the next top-level ',' or '}'.
+        let vstart = i;
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => {
+                    let (_, after) = read_string(bytes, i);
+                    i = after;
+                    continue;
+                }
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' if depth > 0 => depth -= 1,
+                b'}' | b',' if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push((key, obj[vstart..i].trim().to_string()));
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Reads the JSON string starting at `bytes[at] == b'"'`; returns its
+/// unescaped-enough content (escapes left as-is, quotes stripped) and the
+/// index just past the closing quote.
+fn read_string(bytes: &[u8], at: usize) -> (String, usize) {
+    let mut i = at + 1;
+    let mut escaped = false;
+    while i < bytes.len() {
+        if escaped {
+            escaped = false;
+        } else if bytes[i] == b'\\' {
+            escaped = true;
+        } else if bytes[i] == b'"' {
+            break;
+        }
+        i += 1;
+    }
+    (String::from_utf8_lossy(&bytes[at + 1..i]).into_owned(), i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpi::{CpiClass, CpiStack};
+    use graphite_base::{Cycles, TileId};
+    use graphite_trace::{MetricsRegistry, Tracer};
+
+    fn sample(clocks: Vec<u64>) -> SkewSample {
+        let min = clocks.iter().copied().min().unwrap();
+        let max = clocks.iter().copied().max().unwrap();
+        let mean = clocks.iter().sum::<u64>() as f64 / clocks.len() as f64;
+        SkewSample {
+            wall_ms: 1,
+            mean,
+            min,
+            max,
+            max_above: max as f64 - mean,
+            max_below: mean - min as f64,
+            all_moving: true,
+            clocks,
+        }
+    }
+
+    fn empty_snapshot() -> MetricsSnapshot {
+        MetricsRegistry::new(1).snapshot()
+    }
+
+    #[test]
+    fn empty_inputs_still_produce_a_valid_document_with_tracks() {
+        let doc = chrome_trace_json(&[], &[], &empty_snapshot(), 4);
+        let summary = validate_chrome_trace(&doc).expect("valid");
+        assert_eq!(summary.thread_tracks, 4);
+        assert_eq!(summary.counter_events, 0);
+        assert!(!summary.covers_tiles(1));
+    }
+
+    #[test]
+    fn tracer_events_land_on_their_tile_tracks() {
+        let t = Tracer::new(2, true, 64);
+        t.emit(TileId(0), Cycles(10), || TraceEventKind::MemOpStart { op: "load", addr: 0x40 });
+        t.emit(TileId(0), Cycles(30), || TraceEventKind::MemOpDone {
+            op: "load",
+            addr: 0x40,
+            latency: 20,
+            hit: false,
+        });
+        t.emit(TileId(1), Cycles(5), || TraceEventKind::Syscall { name: "brk" });
+        let events = t.drain();
+        let doc = chrome_trace_json(&events, &[], &empty_snapshot(), 2);
+        let summary = validate_chrome_trace(&doc).expect("valid");
+        assert_eq!(summary.thread_tracks, 2);
+        assert!(summary.covers_tiles(2));
+        assert_eq!(summary.events_per_tid[&0], 2);
+        assert_eq!(summary.events_per_tid[&1], 1);
+        // The miss renders as a complete event spanning its latency.
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":10,\"dur\":20"));
+        assert!(doc.contains("\"name\":\"mem:load\""));
+    }
+
+    #[test]
+    fn skew_samples_become_per_tile_counters() {
+        let doc = chrome_trace_json(
+            &[],
+            &[sample(vec![100, 140]), sample(vec![200, 210])],
+            &empty_snapshot(),
+            2,
+        );
+        let summary = validate_chrome_trace(&doc).expect("valid");
+        assert_eq!(summary.counter_events, 4);
+        assert!(doc.contains("\"name\":\"skew.tile0\""));
+        assert!(doc.contains("{\"cycles_behind_max\":40}"));
+        assert!(doc.contains("{\"cycles_behind_max\":0}"));
+    }
+
+    #[test]
+    fn cpi_stacks_become_stacked_counters() {
+        let reg = MetricsRegistry::new(2);
+        let cpi = CpiStack::registered(&reg);
+        cpi.add(TileId(0), CpiClass::Compute, Cycles(60));
+        cpi.add(TileId(0), CpiClass::MemL1, Cycles(40));
+        let doc = chrome_trace_json(&[], &[], &reg.snapshot(), 2);
+        let summary = validate_chrome_trace(&doc).expect("valid");
+        assert_eq!(summary.counter_events, 2);
+        assert!(doc.contains("\"name\":\"cpi.tile0\""));
+        assert!(doc.contains("\"compute\":60"));
+        // Counter timestamp is the tile's total accounted cycles.
+        assert!(doc.contains("\"ts\":100,\"name\":\"cpi.tile0\""));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(validate_chrome_trace("{\"traceEvents\":[").is_err());
+        assert!(validate_chrome_trace("{\"events\":[]}").is_err());
+        // Syntactically valid but missing required fields.
+        let doc = "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":3}]}";
+        let err = validate_chrome_trace(doc).unwrap_err();
+        assert!(err.contains("dur"), "{err}");
+    }
+}

@@ -16,12 +16,16 @@ use graphite_trace::{Obs, TraceEventKind, Tracer};
 use parking_lot::Mutex;
 
 /// One skew observation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SkewSample {
     /// Wall-clock milliseconds since sampling began.
     pub wall_ms: u64,
     /// Mean of all sampled clocks ("approximate global cycle count").
     pub mean: f64,
+    /// Smallest sampled clock (cycles).
+    pub min: u64,
+    /// Largest sampled clock (cycles).
+    pub max: u64,
     /// Largest positive deviation from the mean (cycles).
     pub max_above: f64,
     /// Largest negative deviation from the mean (cycles, non-negative
@@ -33,12 +37,26 @@ pub struct SkewSample {
     /// against frozen clocks, which says nothing about the synchronization
     /// model; filter on this flag for model comparisons.
     pub all_moving: bool,
+    /// Raw per-tile clock values at sample time, indexed by tile.
+    pub clocks: Vec<u64>,
 }
 
 impl SkewSample {
     /// Total spread (max above + max below).
     pub fn spread(&self) -> f64 {
         self.max_above + self.max_below
+    }
+
+    /// Per-tile deltas against the slowest clock in this sample
+    /// (non-negative; 0 marks the laggard tile).
+    pub fn deltas_vs_min(&self) -> Vec<u64> {
+        self.clocks.iter().map(|&c| c - self.min).collect()
+    }
+
+    /// Per-tile deltas against the fastest clock in this sample
+    /// (non-negative; 0 marks the leading tile).
+    pub fn deltas_vs_max(&self) -> Vec<u64> {
+        self.clocks.iter().map(|&c| self.max - c).collect()
     }
 }
 
@@ -100,10 +118,13 @@ impl SkewSampler {
 
     /// Takes one sample now.
     pub fn sample(&self) {
-        let values: Vec<f64> = self.clocks.iter().map(|c| c.now().0 as f64).collect();
-        if values.is_empty() {
+        let raw: Vec<u64> = self.clocks.iter().map(|c| c.now().0).collect();
+        if raw.is_empty() {
             return;
         }
+        let values: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        let min = raw.iter().copied().min().unwrap_or(0);
+        let max = raw.iter().copied().max().unwrap_or(0);
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let max_above = values.iter().map(|v| v - mean).fold(0.0f64, f64::max);
         let max_below = values.iter().map(|v| mean - v).fold(0.0f64, f64::max);
@@ -124,9 +145,12 @@ impl SkewSampler {
         self.samples.lock().push(SkewSample {
             wall_ms: self.started.elapsed().as_millis() as u64,
             mean,
+            min,
+            max,
             max_above,
             max_below,
             all_moving,
+            clocks: raw,
         });
     }
 

@@ -1,19 +1,31 @@
-//! Structured event tracing with per-tile ring buffers.
+//! Structured event tracing with batched per-tile ring buffers.
 //!
 //! Every traced subsystem calls [`Tracer::emit`] with a closure that builds
 //! the event payload. When tracing is disabled (the default) the call is a
 //! single relaxed atomic load and the closure is never run, so instrumented
-//! hot paths pay one predictable branch. When enabled, events carry a global
-//! sequence number (for a total order across tiles), the emitting tile, and
-//! that tile's local cycle count, and land in a fixed-capacity per-tile ring
-//! that drops its *oldest* entry when full — the tail of a run is what post
-//! mortem debugging wants.
+//! hot paths pay one predictable branch. When enabled, the event lands
+//! directly in the emitting tile's fixed-capacity ring under a per-tile
+//! spinlock that only the owning tile's thread normally touches, so the
+//! enabled path is one uncontended atomic swap plus a buffer push — no
+//! global sequence allocation per event.
+//!
+//! Sequence numbers are instead allocated in *batches*: each lane seals a
+//! block of [`Tracer::batch`] events with one global `fetch_add`, recording
+//! only an (ordinal range → first seq) mark; [`Tracer::drain`] resolves each
+//! event's sequence number from the marks. Events are therefore totally
+//! ordered *within* a tile (emission order) but only batch-granular *across*
+//! tiles. Simulator sync points (barriers, futex waits, thread exit) call
+//! [`Tracer::flush`] to seal the current block, so cross-tile interleavings
+//! stay accurate at synchronization granularity. Rings drop their *oldest*
+//! entries when full — the tail of a run is what post-mortem debugging
+//! wants — and drops are counted per tile ([`Tracer::dropped_per_tile`])
+//! with a one-time warning line on first overflow.
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use graphite_base::{Cycles, TileId};
-use parking_lot::Mutex;
 
 use crate::json;
 
@@ -154,7 +166,9 @@ impl TraceEventKind {
 /// One recorded event: global order, origin tile, local time, payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// Global sequence number: a total order across every tile's ring.
+    /// Global sequence number: unique and ascending; allocated in per-tile
+    /// batches, so the cross-tile order is batch-granular (see module docs).
+    /// Gaps mark events lost to ring overflow.
     pub seq: u64,
     /// Tile that emitted the event.
     pub tile: TileId,
@@ -193,12 +207,134 @@ pub fn export_jsonl(events: &[TraceEvent]) -> String {
     out
 }
 
-struct Ring {
-    events: VecDeque<TraceEvent>,
+/// A sealed sequence block: ordinals `[start, upto)` of this lane map to
+/// sequence numbers `[seq0, seq0 + (upto - start))`.
+#[derive(Debug, Clone, Copy)]
+struct SeqMark {
+    start: u64,
+    upto: u64,
+    seq0: u64,
 }
 
-/// The event tracer: a runtime on/off switch in front of fixed-capacity
-/// per-tile ring buffers.
+/// One tile's ring state, guarded by the lane spinlock. Events are stored
+/// without sequence numbers; `pushed`/`evicted` are monotone ordinals
+/// (`evicted` is the ordinal of the ring's front element) and `marks` holds
+/// the sealed sequence blocks that `drain` resolves against.
+struct LaneInner {
+    ring: VecDeque<(TileId, Cycles, TraceEventKind)>,
+    pushed: u64,
+    evicted: u64,
+    marked_upto: u64,
+    marks: VecDeque<SeqMark>,
+    dropped: u64,
+}
+
+impl LaneInner {
+    /// Drop-oldest push. Returns true when events were evicted.
+    ///
+    /// Eviction happens in chunks of `evict_chunk` so a ring running at
+    /// capacity pays the counter/prune bookkeeping once per chunk rather
+    /// than on every push; the ring then holds between
+    /// `capacity - evict_chunk + 1` and `capacity` events.
+    #[inline]
+    fn push(
+        &mut self,
+        capacity: usize,
+        evict_chunk: usize,
+        tile: TileId,
+        now: Cycles,
+        kind: TraceEventKind,
+    ) -> bool {
+        let mut evicted = false;
+        if self.ring.len() >= capacity {
+            let chunk = evict_chunk.min(self.ring.len());
+            self.ring.drain(..chunk);
+            self.evicted += chunk as u64;
+            self.dropped += chunk as u64;
+            evicted = true;
+            // Marks whose range is fully below the ring front can never be
+            // referenced again.
+            while let Some(m) = self.marks.front() {
+                if m.upto <= self.evicted {
+                    self.marks.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.ring.push_back((tile, now, kind));
+        self.pushed += 1;
+        evicted
+    }
+}
+
+/// A per-tile lane: a spinlock in front of the ring state. The lock is
+/// normally uncontended — only the owning tile's thread emits into it — so
+/// the fast path is one atomic swap and a release store.
+struct Lane {
+    locked: AtomicBool,
+    inner: UnsafeCell<LaneInner>,
+}
+
+// SAFETY: `inner` is only accessed through `Lane::lock`, which provides
+// mutual exclusion via the `locked` spinlock (acquire on entry, release on
+// exit), so `&mut LaneInner` never aliases across threads.
+unsafe impl Sync for Lane {}
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            locked: AtomicBool::new(false),
+            inner: UnsafeCell::new(LaneInner {
+                ring: VecDeque::new(),
+                pushed: 0,
+                evicted: 0,
+                marked_upto: 0,
+                marks: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    #[inline]
+    fn lock(&self) -> LaneGuard<'_> {
+        while self.locked.swap(true, Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        LaneGuard { lane: self }
+    }
+}
+
+struct LaneGuard<'a> {
+    lane: &'a Lane,
+}
+
+impl std::ops::Deref for LaneGuard<'_> {
+    type Target = LaneInner;
+    #[inline]
+    fn deref(&self) -> &LaneInner {
+        // SAFETY: the guard holds the lane spinlock.
+        unsafe { &*self.lane.inner.get() }
+    }
+}
+
+impl std::ops::DerefMut for LaneGuard<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut LaneInner {
+        // SAFETY: the guard holds the lane spinlock.
+        unsafe { &mut *self.lane.inner.get() }
+    }
+}
+
+impl Drop for LaneGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lane.locked.store(false, Ordering::Release);
+    }
+}
+
+/// The event tracer: a runtime on/off switch in front of per-tile rings
+/// with batched global sequencing.
 ///
 /// # Examples
 ///
@@ -219,25 +355,38 @@ struct Ring {
 pub struct Tracer {
     enabled: AtomicBool,
     capacity: usize,
+    /// Events per sealed sequence block.
+    batch: usize,
+    /// Oldest events evicted per overflow (amortizes full-ring bookkeeping).
+    evict_chunk: usize,
     seq: AtomicU64,
-    dropped: AtomicU64,
-    rings: Vec<Mutex<Ring>>,
+    /// One-shot latch for the first-overflow warning line.
+    drop_warned: AtomicBool,
+    lanes: Vec<Lane>,
 }
 
 impl Tracer {
+    /// Default number of events per sealed sequence block: how many events a
+    /// tile records before taking one global-sequence allocation.
+    pub const DEFAULT_BATCH: usize = 64;
+
     /// Creates a tracer with one ring of `capacity` events per tile.
     ///
-    /// A zero tile count still gets one ring so events from control-plane
+    /// A zero tile count still gets one lane so events from control-plane
     /// threads always have somewhere to land.
     pub fn new(num_tiles: usize, enabled: bool, capacity: usize) -> Self {
-        let rings =
-            (0..num_tiles.max(1)).map(|_| Mutex::new(Ring { events: VecDeque::new() })).collect();
+        let capacity = capacity.max(1);
+        let lanes = (0..num_tiles.max(1)).map(|_| Lane::new()).collect();
         Tracer {
             enabled: AtomicBool::new(enabled),
-            capacity: capacity.max(1),
+            capacity,
+            batch: Self::DEFAULT_BATCH.min(capacity),
+            // Rings smaller than 8 evict exactly one event (precise
+            // semantics for tiny test rings); larger rings evict in chunks.
+            evict_chunk: (capacity / 8).clamp(1, Self::DEFAULT_BATCH),
             seq: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            rings,
+            drop_warned: AtomicBool::new(false),
+            lanes,
         }
     }
 
@@ -247,7 +396,8 @@ impl Tracer {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Turns recording on or off at runtime.
+    /// Turns recording on or off at runtime. Already-recorded events stay
+    /// buffered either way; disabling loses nothing.
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
     }
@@ -257,43 +407,169 @@ impl Tracer {
         self.capacity
     }
 
-    /// Events discarded because a ring was full (drop-oldest policy).
+    /// Events per sealed sequence block (the batching granularity of the
+    /// cross-tile event order).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Events discarded because a ring was full (drop-oldest policy), summed
+    /// over tiles.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.lanes.iter().map(|l| l.lock().dropped).sum()
+    }
+
+    /// Per-tile dropped-event counts (drop-oldest evictions per ring).
+    pub fn dropped_per_tile(&self) -> Vec<u64> {
+        self.lanes.iter().map(|l| l.lock().dropped).collect()
     }
 
     /// Records an event if tracing is enabled.
     ///
     /// The closure builds the payload and only runs when tracing is on, so a
-    /// disabled tracer costs one relaxed load and a predictable branch.
+    /// disabled tracer costs one relaxed load and a predictable branch. When
+    /// on, the event goes straight into the emitting tile's ring under the
+    /// lane spinlock — normally uncontended, since only the owning tile's
+    /// thread emits there.
     #[inline]
     pub fn emit(&self, tile: TileId, now: Cycles, build: impl FnOnce() -> TraceEventKind) {
         if !self.is_enabled() {
             return;
         }
-        self.record(tile, now, build());
+        self.stage(tile, now, build());
+    }
+
+    /// Records two events carrying the same timestamp under one lane-lock
+    /// acquisition — the memory system's hot path uses this for its
+    /// start/done pairs on cache hits.
+    #[inline]
+    pub fn emit_pair(
+        &self,
+        tile: TileId,
+        now: Cycles,
+        build: impl FnOnce() -> (TraceEventKind, TraceEventKind),
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let (first, second) = build();
+        let idx = self.lane_index(tile);
+        let dropped = {
+            let mut g = self.lanes[idx].lock();
+            let d0 = g.push(self.capacity, self.evict_chunk, tile, now, first);
+            let d1 = g.push(self.capacity, self.evict_chunk, tile, now, second);
+            self.seal_if_due(&mut g);
+            d0 || d1
+        };
+        if dropped {
+            self.warn_once(idx);
+        }
+    }
+
+    #[inline]
+    fn lane_index(&self, tile: TileId) -> usize {
+        // Events attributed to out-of-range tiles (e.g. control-plane work
+        // before tile bring-up) fold into the last lane rather than panicking.
+        (tile.index()).min(self.lanes.len() - 1)
+    }
+
+    fn stage(&self, tile: TileId, now: Cycles, kind: TraceEventKind) {
+        let idx = self.lane_index(tile);
+        let dropped = {
+            let mut g = self.lanes[idx].lock();
+            let d = g.push(self.capacity, self.evict_chunk, tile, now, kind);
+            self.seal_if_due(&mut g);
+            d
+        };
+        if dropped {
+            self.warn_once(idx);
+        }
+    }
+
+    /// Seals the lane's unmarked tail into a sequence block once it reaches
+    /// the batch size: one global `fetch_add` for the whole block.
+    #[inline]
+    fn seal_if_due(&self, g: &mut LaneGuard<'_>) {
+        if g.pushed - g.marked_upto >= self.batch as u64 {
+            self.seal(g);
+        }
+    }
+
+    fn seal(&self, g: &mut LaneGuard<'_>) {
+        let n = g.pushed - g.marked_upto;
+        if n == 0 {
+            return;
+        }
+        let seq0 = self.seq.fetch_add(n, Ordering::Relaxed);
+        let start = g.marked_upto;
+        let upto = g.pushed;
+        g.marks.push_back(SeqMark { start, upto, seq0 });
+        g.marked_upto = upto;
     }
 
     #[cold]
-    fn record(&self, tile: TileId, now: Cycles, kind: TraceEventKind) {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let event = TraceEvent { seq, tile, cycles: now, kind };
-        // Events attributed to out-of-range tiles (e.g. control-plane work
-        // before tile bring-up) fold into ring 0 rather than panicking.
-        let idx = (tile.index()).min(self.rings.len() - 1);
-        let mut ring = self.rings[idx].lock();
-        if ring.events.len() >= self.capacity {
-            ring.events.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+    fn warn_once(&self, idx: usize) {
+        if !self.drop_warned.load(Ordering::Relaxed)
+            && !self.drop_warned.swap(true, Ordering::Relaxed)
+        {
+            eprintln!(
+                "graphite-trace: trace ring full on tile {idx}; dropping oldest events \
+                 (capacity {} per tile; raise TraceOptions::capacity or \
+                 GRAPHITE_TRACE_CAPACITY)",
+                self.capacity
+            );
         }
-        ring.events.push_back(event);
+    }
+
+    /// Seals one tile's current sequence block.
+    ///
+    /// The simulator calls this at natural synchronization points — barrier
+    /// waits, futex blocks, thread exit — so the cross-tile event order in a
+    /// drained trace is accurate at synchronization granularity without
+    /// paying per-event global sequencing on the hot path.
+    pub fn flush(&self, tile: TileId) {
+        let idx = self.lane_index(tile);
+        let mut g = self.lanes[idx].lock();
+        self.seal(&mut g);
+    }
+
+    /// Seals every tile's current sequence block.
+    pub fn flush_all(&self) {
+        for lane in &self.lanes {
+            let mut g = lane.lock();
+            self.seal(&mut g);
+        }
     }
 
     /// Removes and returns every buffered event, ordered by global sequence.
     pub fn drain(&self) -> Vec<TraceEvent> {
         let mut all = Vec::new();
-        for ring in &self.rings {
-            all.extend(ring.lock().events.drain(..));
+        for lane in &self.lanes {
+            let mut g = lane.lock();
+            self.seal(&mut g);
+            let evicted = g.evicted;
+            let mut marks = g.marks.iter().copied();
+            let mut cur = marks.next();
+            for (j, &(tile, cycles, kind)) in g.ring.iter().enumerate() {
+                let ordinal = evicted + j as u64;
+                while let Some(m) = cur {
+                    if ordinal >= m.upto {
+                        cur = marks.next();
+                    } else {
+                        all.push(TraceEvent {
+                            seq: m.seq0 + (ordinal - m.start),
+                            tile,
+                            cycles,
+                            kind,
+                        });
+                        break;
+                    }
+                }
+            }
+            let pushed = g.pushed;
+            g.ring.clear();
+            g.marks.clear();
+            g.evicted = pushed;
         }
         all.sort_by_key(|e| e.seq);
         all
@@ -310,8 +586,8 @@ impl std::fmt::Debug for Tracer {
         f.debug_struct("Tracer")
             .field("enabled", &self.is_enabled())
             .field("capacity", &self.capacity)
-            .field("tiles", &self.rings.len())
-            .field("dropped", &self.dropped())
+            .field("batch", &self.batch)
+            .field("tiles", &self.lanes.len())
             .finish()
     }
 }
@@ -360,17 +636,115 @@ mod tests {
     }
 
     #[test]
-    fn drain_merges_tiles_in_seq_order() {
+    fn drain_yields_unique_ascending_seqs_and_per_tile_order() {
+        // Sequence numbers are allocated per sealed batch, so the total
+        // order across tiles is batch-granular — but within one tile events
+        // keep emission order, and seqs are globally unique and ascending
+        // after the drain sort.
         let t = Tracer::new(3, true, 16);
         t.emit(TileId(2), Cycles(10), || ev(0));
         t.emit(TileId(0), Cycles(20), || ev(1));
         t.emit(TileId(2), Cycles(30), || ev(2));
         let events = t.drain();
+        assert_eq!(events.len(), 3);
         let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
-        assert_eq!(seqs, vec![0, 1, 2]);
-        assert_eq!(events[1].tile, TileId(0));
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seqs not strictly ascending: {seqs:?}");
+        let tile2: Vec<TraceEventKind> =
+            events.iter().filter(|e| e.tile == TileId(2)).map(|e| e.kind).collect();
+        assert_eq!(tile2, vec![ev(0), ev(2)], "per-tile emission order must survive");
         // Drain empties the rings.
         assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn batch_boundary_seals_seq_blocks_automatically() {
+        let t = Tracer::new(1, true, 1024);
+        assert_eq!(t.batch(), Tracer::DEFAULT_BATCH);
+        for i in 0..(Tracer::DEFAULT_BATCH as u64 * 2 + 5) {
+            t.emit(TileId(0), Cycles(i), || ev(i));
+        }
+        // Two full batches sealed; 5 events still unsealed; drain gets all.
+        let events = t.drain();
+        assert_eq!(events.len(), Tracer::DEFAULT_BATCH * 2 + 5);
+        let addrs: Vec<u64> = events
+            .iter()
+            .map(|e| match e.kind {
+                TraceEventKind::FutexWait { addr } => addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        let want: Vec<u64> = (0..addrs.len() as u64).collect();
+        assert_eq!(addrs, want, "single-tile emission order must be exact");
+    }
+
+    #[test]
+    fn emit_pair_records_both_events_in_order() {
+        let t = Tracer::new(2, true, 64);
+        t.emit_pair(TileId(1), Cycles(5), || {
+            (
+                TraceEventKind::MemOpStart { op: "load", addr: 0x40 },
+                TraceEventKind::MemOpDone { op: "load", addr: 0x40, latency: 2, hit: true },
+            )
+        });
+        let events = t.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind.name(), "mem_op_start");
+        assert_eq!(events[1].kind.name(), "mem_op_done");
+        assert!(events[0].seq < events[1].seq);
+        assert_eq!(events[0].cycles, Cycles(5));
+        assert_eq!(events[1].tile, TileId(1));
+
+        let off = Tracer::new(2, false, 64);
+        off.emit_pair(TileId(0), Cycles(1), || unreachable!("closure gated off"));
+        assert!(off.drain().is_empty());
+    }
+
+    #[test]
+    fn explicit_flush_seals_and_preserves_events() {
+        let t = Tracer::new(2, true, 64);
+        t.emit(TileId(1), Cycles(1), || ev(1));
+        t.flush(TileId(1));
+        t.flush(TileId(0)); // empty lane: a no-op
+        t.emit(TileId(1), Cycles(2), || ev(2));
+        t.flush_all();
+        let events = t.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].tile, TileId(1));
+        assert!(events[0].seq < events[1].seq);
+    }
+
+    #[test]
+    fn dropped_is_counted_per_tile() {
+        let t = Tracer::new(2, true, 2);
+        for i in 0..6 {
+            t.emit(TileId(1), Cycles(i), || ev(i));
+        }
+        t.emit(TileId(0), Cycles(0), || ev(100));
+        assert_eq!(t.dropped_per_tile(), vec![0, 4]);
+        assert_eq!(t.dropped(), 4);
+    }
+
+    #[test]
+    fn overflow_leaves_seq_gaps_but_keeps_order() {
+        // Capacity 4 with 10 emits: the survivors are the last four, their
+        // seqs ascend, and drops show up as gaps rather than reordering.
+        let t = Tracer::new(1, true, 4);
+        for i in 0..10 {
+            t.emit(TileId(0), Cycles(i), || ev(i));
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 4);
+        let addrs: Vec<u64> = events
+            .iter()
+            .map(|e| match e.kind {
+                TraceEventKind::FutexWait { addr } => addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![6, 7, 8, 9]);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(t.dropped(), 6);
     }
 
     #[test]
@@ -412,6 +786,42 @@ mod tests {
             crate::json::validate(line).unwrap_or_else(|e| panic!("{e}\n{line}"));
             assert!(line.contains("\"seq\":"));
             assert!(line.contains("\"event\":"));
+        }
+    }
+
+    #[test]
+    fn concurrent_emitters_keep_seqs_unique() {
+        let t = std::sync::Arc::new(Tracer::new(4, true, 1 << 14));
+        let mut handles = Vec::new();
+        for tile in 0..4u32 {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    t.emit(TileId(tile), Cycles(i), || ev(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 8000);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        let len_before = seqs.len();
+        seqs.dedup();
+        assert_eq!(seqs.len(), len_before, "duplicate seq numbers");
+        // Per-tile emission order must be intact.
+        for tile in 0..4u32 {
+            let addrs: Vec<u64> = events
+                .iter()
+                .filter(|e| e.tile == TileId(tile))
+                .map(|e| match e.kind {
+                    TraceEventKind::FutexWait { addr } => addr,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let want: Vec<u64> = (0..2000).collect();
+            assert_eq!(addrs, want);
         }
     }
 }

@@ -1,0 +1,96 @@
+//! Microbenchmark for the tracer emit hot path (ignored by default; run with
+//! `cargo test -p graphite-trace --release --test emit_micro -- --ignored --nocapture`).
+
+use graphite_base::{Cycles, TileId};
+use graphite_trace::{TraceEventKind, Tracer};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn emit_cost() {
+    const N: u64 = 4_000_000;
+    let t = Tracer::new(1, true, 4096);
+    let t0 = Instant::now();
+    for i in 0..N {
+        t.emit(TileId(0), Cycles(i), || TraceEventKind::MemOpStart { op: "load", addr: i });
+    }
+    let per = t0.elapsed().as_nanos() as f64 / N as f64;
+    println!("emit enabled: {per:.1} ns/event");
+
+    let off = Tracer::new(1, false, 4096);
+    let t0 = Instant::now();
+    for i in 0..N {
+        off.emit(TileId(0), Cycles(i), || TraceEventKind::MemOpStart { op: "load", addr: i });
+    }
+    let per = t0.elapsed().as_nanos() as f64 / N as f64;
+    println!("emit disabled: {per:.1} ns/event");
+}
+
+#[test]
+#[ignore]
+fn component_costs() {
+    const N: u64 = 4_000_000;
+    // Floor: std mutex + staged push, cleared every 64 (no second buffer).
+    let m = std::sync::Mutex::new(Vec::<(u32, u64, u64, u64, u64)>::with_capacity(64));
+    let t0 = Instant::now();
+    for i in 0..N {
+        let mut g = m.lock().unwrap();
+        g.push((0, i, i, i, 0));
+        if g.len() >= 64 {
+            g.clear();
+        }
+    }
+    println!("mutex+push floor: {:.1} ns/event", t0.elapsed().as_nanos() as f64 / N as f64);
+
+    // Same without the lock.
+    let mut v = Vec::<(u32, u64, u64, u64, u64)>::with_capacity(64);
+    let t0 = Instant::now();
+    for i in 0..N {
+        v.push((0, i, i, i, 0));
+        if v.len() >= 64 {
+            v.clear();
+        }
+    }
+    std::hint::black_box(&v);
+    println!("bare push floor: {:.1} ns/event", t0.elapsed().as_nanos() as f64 / N as f64);
+}
+
+#[test]
+#[ignore]
+fn spinlock_floor() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const N: u64 = 4_000_000;
+    let flag = AtomicBool::new(false);
+    let mut v = Vec::<(u32, u64, u64, u64, u64)>::with_capacity(64);
+    let t0 = Instant::now();
+    for i in 0..N {
+        while flag.swap(true, Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        v.push((0, i, i, i, 0));
+        if v.len() >= 64 {
+            v.clear();
+        }
+        flag.store(false, Ordering::Release);
+    }
+    std::hint::black_box(&v);
+    println!("spinlock+push floor: {:.1} ns/event", t0.elapsed().as_nanos() as f64 / N as f64);
+}
+
+#[test]
+#[ignore]
+fn emit_pair_cost() {
+    const N: u64 = 4_000_000;
+    let t = Tracer::new(1, true, 4096);
+    let t0 = Instant::now();
+    for i in 0..N {
+        t.emit_pair(TileId(0), Cycles(i), || {
+            (
+                TraceEventKind::MemOpStart { op: "load", addr: i },
+                TraceEventKind::MemOpDone { op: "load", addr: i, latency: 2, hit: true },
+            )
+        });
+    }
+    let per = t0.elapsed().as_nanos() as f64 / N as f64;
+    println!("emit_pair enabled: {per:.1} ns/pair");
+}

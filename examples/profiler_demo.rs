@@ -1,0 +1,107 @@
+//! Profiler walkthrough: CPI stacks, clock-skew timeline, Perfetto export.
+//!
+//! ```text
+//! cargo run --release -p graphite-examples --example profiler_demo
+//! ```
+//!
+//! Runs the paper's LaxP2P synchronization setup (§3.6.3) with tracing and
+//! skew sampling on, then shows the three profiler artifacts:
+//!
+//! * per-tile CPI stacks — every simulated cycle attributed to compute,
+//!   L1 hits, remote memory, network, sync waits or spawn/control, summing
+//!   exactly to each tile's final clock;
+//! * the clock-skew timeline the periodic sampler recorded (§6.3);
+//! * a Chrome `trace_event` JSON written to `profiler_demo.perfetto.json`
+//!   (or `$GRAPHITE_OBS_DIR/profiler_demo.perfetto.json`), loadable at
+//!   <https://ui.perfetto.dev>.
+
+use std::sync::Arc;
+
+use graphite::{GuestEntry, Sim, SimConfig, SyncModel};
+use graphite_memory::Addr;
+
+fn main() {
+    const TILES: u32 = 8;
+    const PER_THREAD: u64 = 256;
+
+    let cfg = SimConfig::builder()
+        .tiles(TILES)
+        .sync(SyncModel::LaxP2P { slack: 100_000, check_interval: 10_000 })
+        .skew_sampling(100) // sample every 100 µs of wall-clock
+        .build()
+        .expect("valid configuration");
+    let sim = Sim::builder(cfg).tracing(true).trace_capacity(8192).build().expect("simulator");
+
+    let report = sim.run(|ctx| {
+        let data = ctx.malloc(TILES as u64 * PER_THREAD * 8).expect("simulated heap");
+        let entry: GuestEntry = Arc::new(move |ctx, arg| {
+            let base = Addr(arg);
+            let me = ctx.tile().0 as u64;
+            // Deliberately unbalanced compute so the tiles drift apart and
+            // the skew timeline has something to show.
+            ctx.alu(5_000 * (me as u32 + 1));
+            for i in 0..PER_THREAD {
+                let idx = me * PER_THREAD + i;
+                ctx.store::<u64>(base.offset(idx * 8), idx);
+            }
+            let mut sum = 0u64;
+            for i in 0..PER_THREAD {
+                sum += ctx.load::<u64>(base.offset((me * PER_THREAD + i) * 8));
+            }
+            std::hint::black_box(sum);
+        });
+        let tids: Vec<_> =
+            (1..TILES).map(|_| ctx.spawn(Arc::clone(&entry), data.0).expect("free tile")).collect();
+        entry(ctx, data.0);
+        for t in tids {
+            ctx.join(t);
+        }
+    });
+
+    println!("{report}\n");
+
+    // 1. CPI stacks: where did every tile's cycles go?
+    let stacks = report.cpi_stacks();
+    print!("{:>6}", "tile");
+    for (name, _) in &stacks {
+        print!("{name:>12}");
+    }
+    println!("{:>12}", "clock");
+    for t in 0..TILES as usize {
+        print!("{t:>6}");
+        let mut total = 0u64;
+        for (_, lanes) in &stacks {
+            print!("{:>12}", lanes[t]);
+            total += lanes[t];
+        }
+        println!("{:>12}", report.per_tile_cycles[t].0);
+        assert_eq!(total, report.per_tile_cycles[t].0, "CPI classes must sum to the clock");
+    }
+
+    // 2. The skew timeline the sampler recorded while the run progressed.
+    println!("\nclock-skew timeline ({} samples):", report.skew_samples.len());
+    for s in report.skew_samples.iter().rev().take(5).rev() {
+        println!(
+            "  t={:>6}ms mean={:>12.0} spread={:>10.0} (min {} / max {})",
+            s.wall_ms,
+            s.mean,
+            s.spread(),
+            s.min,
+            s.max
+        );
+    }
+
+    // 3. The Perfetto timeline: validate it, then write it next to us.
+    let doc = report.perfetto_json();
+    let summary = graphite::validate_chrome_trace(&doc).expect("well-formed Perfetto JSON");
+    assert!(summary.covers_tiles(TILES as usize), "every tile must have events: {summary:?}");
+    let dir = std::env::var("GRAPHITE_OBS_DIR").unwrap_or_else(|_| ".".into());
+    let _ = std::fs::create_dir_all(&dir);
+    let path = format!("{dir}/profiler_demo.perfetto.json");
+    std::fs::write(&path, &doc).expect("write trace");
+    println!(
+        "\nwrote {path} ({} events, {} tile tracks, {} counter events)",
+        summary.total_events, summary.thread_tracks, summary.counter_events
+    );
+    println!("open it at https://ui.perfetto.dev");
+}
