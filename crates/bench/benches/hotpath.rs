@@ -148,7 +148,7 @@ fn bench_hits_traced(tiles: u32, per_thread: u64) -> CaseResult {
     let capacity = env_u64("GRAPHITE_HOTPATH_TRACE_CAP", 4096) as usize;
     let cfg = presets::paper_default(tiles);
     let net = Arc::new(Network::new(&cfg, Arc::new(GlobalProgress::new(tiles as usize))));
-    let obs = Obs::new(tiles as usize, TraceOptions { enabled: true, capacity });
+    let obs = Obs::new(tiles as usize, TraceOptions { enabled: true, capacity, flows: false });
     let mem = Arc::new(MemorySystem::with_obs(&cfg, net, false, &obs));
     let addr_of = move |t: u32, i: u64| ((t as u64) << 24) | ((i * 8) % SET_BYTES);
     for t in 0..tiles {
@@ -160,6 +160,36 @@ fn bench_hits_traced(tiles: u32, per_thread: u64) -> CaseResult {
     let ops = tiles as u64 * per_thread;
     CaseResult {
         name: format!("hit_{tiles}t_traced"),
+        tiles,
+        ops,
+        wall_s: wall,
+        mops: ops as f64 / wall / 1e6,
+        sim_cycles: 0,
+        slowdown: 0.0,
+    }
+}
+
+/// Same hit-dominated workload with tracing *and* causal flow spans enabled:
+/// `hit_16t_flows / hit_16t_traced` is the marginal cost of the flow gate on
+/// a path that never mints a flow (hits stay local), and
+/// `hit_16t_flows / hit_16t` the total enabled-observability overhead.
+fn bench_hits_flows(tiles: u32, per_thread: u64) -> CaseResult {
+    const SET_BYTES: u64 = 32 * 64;
+    let capacity = env_u64("GRAPHITE_HOTPATH_TRACE_CAP", 4096) as usize;
+    let cfg = presets::paper_default(tiles);
+    let net = Arc::new(Network::new(&cfg, Arc::new(GlobalProgress::new(tiles as usize))));
+    let obs = Obs::new(tiles as usize, TraceOptions { enabled: true, capacity, flows: true });
+    let mem = Arc::new(MemorySystem::with_obs(&cfg, net, false, &obs));
+    let addr_of = move |t: u32, i: u64| ((t as u64) << 24) | ((i * 8) % SET_BYTES);
+    for t in 0..tiles {
+        for i in 0..SET_BYTES / 8 {
+            mem.write(TileId(t), Cycles(0), Addr(addr_of(t, i)), &[0u8; 8]);
+        }
+    }
+    let wall = drive(&mem, tiles, per_thread, addr_of);
+    let ops = tiles as u64 * per_thread;
+    CaseResult {
+        name: format!("hit_{tiles}t_flows"),
         tiles,
         ops,
         wall_s: wall,
@@ -269,6 +299,9 @@ fn main() {
         results.push(r);
     }
     let r = bench_hits_traced(16, per_thread);
+    println!("  {:<12} {:>8.2} Mops/s  ({:.3}s wall)", r.name, r.mops, r.wall_s);
+    results.push(r);
+    let r = bench_hits_flows(16, per_thread);
     println!("  {:<12} {:>8.2} Mops/s  ({:.3}s wall)", r.name, r.mops, r.wall_s);
     results.push(r);
     for tiles in [1u32, 4, 16] {

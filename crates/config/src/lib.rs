@@ -308,6 +308,19 @@ impl Default for ProfileConfig {
     }
 }
 
+/// Tracing knobs (the `[trace]` section).
+///
+/// Causal flow tracing stamps every network-borne message with a flow ID and
+/// records span events (send, hop, directory service, reply) so the profiler
+/// can decompose remote-access latency. It is off by default because each
+/// traced miss emits several events into the per-tile rings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct TraceConfig {
+    /// Enables causal flow tracing (implies event tracing itself is on).
+    pub flows: bool,
+}
+
 /// Complete configuration of one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -330,6 +343,9 @@ pub struct SimConfig {
     /// Profiler knobs; absent sections deserialize to the defaults.
     #[serde(default)]
     pub profile: ProfileConfig,
+    /// Tracing knobs; absent sections deserialize to the defaults.
+    #[serde(default)]
+    pub trace: TraceConfig,
 }
 
 impl SimConfig {
@@ -564,6 +580,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enables or disables causal flow tracing (`[trace] flows`).
+    pub fn flows(mut self, on: bool) -> Self {
+        self.cfg.trace.flows = on;
+        self
+    }
+
     /// Finalizes and validates the configuration.
     ///
     /// # Errors
@@ -722,5 +744,13 @@ mod tests {
         };
         assert_eq!(c.num_lines(), 512);
         assert_eq!(c.num_sets(), 64);
+    }
+
+    #[test]
+    fn flow_tracing_defaults_off_and_builder_enables() {
+        let cfg = SimConfig::builder().build().unwrap();
+        assert!(!cfg.trace.flows);
+        let cfg = SimConfig::builder().flows(true).build().unwrap();
+        assert!(cfg.trace.flows);
     }
 }

@@ -271,6 +271,10 @@ pub(crate) fn apply_restore(
     }
 
     let snap = MetricsSnapshot::decode(&mut Dec::new(r.segment("metrics")?))?;
+    // Per-link flit counters are registered lazily on first traffic, so a
+    // fresh build has none; re-create the ones the checkpoint knows about
+    // before the restore pass (it skips unregistered names).
+    network.preregister_links(&snap);
     metrics.restore(&snap)?;
     Ok(())
 }

@@ -486,6 +486,11 @@ pub(crate) fn mcp_main(
             McpRequest::Shutdown => break,
         }
     }
+    // Cross-process telemetry collection (paper §3.5: the MCP is the single
+    // simulation-wide control point): seal every tile's pending trace batch
+    // so each simulated process's events — including flow spans — land in
+    // the rings before the merged report drains them.
+    inner.obs.tracer.flush_all();
     // Wake anything still parked so worker threads can exit, then stop LCPs.
     for (_, q) in futexes.drain() {
         for w in q {
@@ -562,7 +567,8 @@ fn guest_thread_main(
 #[derive(Debug)]
 pub struct UserInbox {
     pub(crate) mailbox: Mailbox,
-    pub(crate) stash: VecDeque<(TileId, Cycles, Vec<u8>)>,
+    /// Stashed messages: (sender, modeled arrival, causal flow ID, payload).
+    pub(crate) stash: VecDeque<(TileId, Cycles, u64, Vec<u8>)>,
 }
 
 impl UserInbox {

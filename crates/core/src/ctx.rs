@@ -484,9 +484,20 @@ impl Ctx {
     /// destination tile has shut down.
     pub fn send_msg(&mut self, to: TileId, payload: &[u8]) -> Result<(), SimError> {
         let now = self.now();
+        // Mint a causal flow ID so the message's network leg and its eventual
+        // receive can be stitched back together by the flow analyzer.
+        let tracer = &self.sim.obs.tracer;
+        let flow = if tracer.flows_enabled() { tracer.next_flow_id() } else { 0 };
+        if flow != 0 {
+            tracer.emit(self.tile, now, || TraceEventKind::FlowSend {
+                flow,
+                dst: to.0,
+                kind: "user_msg",
+            });
+        }
         // Price the message on the user network model; the timestamp it
         // carries is its modeled arrival time.
-        let delivery = self.sim.network.route(
+        let delivery = self.sim.network.route_flow(
             TrafficClass::User,
             &Packet {
                 src: self.tile,
@@ -494,13 +505,14 @@ impl Ctx {
                 size_bytes: payload.len() as u32 + 8,
                 send_time: now,
             },
+            flow,
         );
         let mut framed = Vec::with_capacity(8 + payload.len());
         framed.extend_from_slice(&delivery.arrival.0.to_le_bytes());
         framed.extend_from_slice(payload);
         self.sim
             .transport
-            .send(Endpoint::Tile(self.tile), Endpoint::Tile(to), MsgClass::User, framed)
+            .send_flow(Endpoint::Tile(self.tile), Endpoint::Tile(to), MsgClass::User, framed, flow)
             .map_err(|_| SimError::TransportClosed(format!("user message to {to}")))?;
         // Lane = the sending tile: only this tile's thread writes it.
         self.sim.user_msgs.incr_owned(self.tile.index());
@@ -541,9 +553,10 @@ impl Ctx {
         let want = want.or(replayed_src);
         // A receive may block: seal the pending trace batch first.
         self.sim.obs.tracer.flush(self.tile);
-        let (src, arrival, payload) = {
+        let (src, arrival, flow, payload) = {
             let mut inbox = self.sim.inboxes[self.tile.index()].lock();
-            if let Some(pos) = inbox.stash.iter().position(|(s, _, _)| want.is_none_or(|w| *s == w))
+            if let Some(pos) =
+                inbox.stash.iter().position(|(s, _, _, _)| want.is_none_or(|w| *s == w))
             {
                 inbox.stash.remove(pos).expect("position just found")
             } else {
@@ -561,9 +574,9 @@ impl Ctx {
                     ));
                     let data = msg.payload[8..].to_vec();
                     if want.is_none_or(|w| src == w) {
-                        break (src, arrival, data);
+                        break (src, arrival, msg.flow, data);
                     }
-                    inbox.stash.push_back((src, arrival, data));
+                    inbox.stash.push_back((src, arrival, msg.flow, data));
                 }
             }
         };
@@ -575,6 +588,14 @@ impl Ctx {
         let wait = arrival.saturating_sub(now);
         self.execute(Instruction::Recv { wait });
         self.trace(|| TraceEventKind::UserMsgRecv { src: src.0, bytes: payload.len() as u64 });
+        if flow != 0 && self.sim.obs.tracer.flows_enabled() {
+            // Closes the flow at its causal end (the modeled arrival);
+            // `latency` records how long the receiver sat blocked on it.
+            self.sim
+                .obs
+                .tracer
+                .emit(self.tile, arrival, || TraceEventKind::FlowReply { flow, latency: wait.0 });
+        }
         Ok((src, payload))
     }
 

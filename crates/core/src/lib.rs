@@ -97,7 +97,10 @@ pub use graphite_config::{SimConfig, SyncModel};
 use graphite_core_model::{CoreModel, CoreParams, InOrderCore, OooCore, OooParams};
 use graphite_memory::MemorySystem;
 use graphite_network::Network;
-pub use graphite_prof::{validate_chrome_trace, ChromeTraceSummary, CpiClass, CpiStack};
+pub use graphite_prof::{
+    analyze_flows, validate_chrome_trace, ChromeTraceSummary, CpiClass, CpiStack, Flow,
+    FlowAnalysis, FlowSegments,
+};
 use graphite_sync::{build_synchronizer_replay, SkewSampler, Synchronizer};
 pub use graphite_trace::{MetricsSnapshot, TraceEvent, TraceEventKind};
 use graphite_trace::{Obs, ShardedMetric, TraceOptions};
@@ -106,7 +109,7 @@ use parking_lot::Mutex;
 
 pub use ctx::{Ctx, GuestEntry, GuestValue};
 pub use guest_sync::{GBarrier, GCondvar, GMutex};
-pub use report::SimReport;
+pub use report::{LinkUtilization, SimReport};
 
 use control::{lcp_main, mcp_main, ControlStats, LcpCmd, McpRequest, UserInbox};
 
@@ -278,6 +281,17 @@ impl SimBuilder {
         self
     }
 
+    /// Switches causal flow tracing on or off (off by default; also settable
+    /// via `[trace] flows = true` in the configuration). Enabling flows
+    /// implies [`SimBuilder::tracing`], since flow spans are trace events.
+    pub fn flows(mut self, on: bool) -> Self {
+        self.trace.flows = on;
+        if on {
+            self.trace.enabled = true;
+        }
+        self
+    }
+
     /// Builds the simulator, spawning the MCP and LCP service threads.
     ///
     /// # Errors
@@ -291,6 +305,11 @@ impl SimBuilder {
         self.cfg.validate()?;
         let cfg = self.cfg;
         let n = cfg.target.num_tiles as usize;
+        let mut trace = self.trace;
+        if cfg.trace.flows {
+            trace.flows = true;
+            trace.enabled = true;
+        }
 
         // A resume opens and fully validates the checkpoint (magic, version,
         // checksums) before anything is constructed.
@@ -299,7 +318,7 @@ impl SimBuilder {
             None => None,
         };
 
-        let obs = Obs::new(n, self.trace);
+        let obs = Obs::new(n, trace);
         let clocks: Arc<Vec<Arc<Clock>>> =
             Arc::new((0..n).map(|_| Arc::new(Clock::new())).collect());
         let progress = Arc::new(GlobalProgress::new(cfg.progress_window as usize));

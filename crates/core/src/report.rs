@@ -5,7 +5,7 @@ use std::fmt;
 use std::time::Duration;
 
 use graphite_base::Cycles;
-use graphite_prof::{chrome_trace_json, CpiStack};
+use graphite_prof::{analyze_flows, chrome_trace_json, CpiStack, FlowAnalysis};
 use graphite_sync::SkewSample;
 use graphite_trace::{export_jsonl, MetricsSnapshot, TraceEvent};
 
@@ -129,6 +129,17 @@ pub struct SyncReport {
     pub p2p_sleep_us: u64,
 }
 
+/// Flit count observed on one directed mesh link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkUtilization {
+    /// Source tile of the directed link.
+    pub from: u32,
+    /// Destination tile (a mesh neighbor of `from`).
+    pub to: u32,
+    /// Flits that crossed the link (all non-system traffic classes).
+    pub flits: u64,
+}
+
 /// Per-tile counters for the host performance model.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TileReport {
@@ -187,6 +198,9 @@ pub struct SimReport {
     pub num_tiles: u32,
     /// Number of simulated host processes.
     pub num_processes: u32,
+    /// The simulated host process that owned each tile (`vec[tile]`), so
+    /// the merged report can be partitioned back per process.
+    pub tile_process: Vec<u32>,
     /// The synchronization model's name.
     pub sync_model: String,
     /// The full metrics-registry snapshot the typed fields above are views
@@ -235,14 +249,63 @@ impl SimReport {
 
     /// The whole run as a Chrome `trace_event` JSON document for
     /// [ui.perfetto.dev](https://ui.perfetto.dev): one thread track per
-    /// tile, counter tracks for clock skew and the CPI classes.
+    /// tile, counter tracks for clock skew and the CPI classes, flow
+    /// arrows linking the send/receive ends of every traced network hop
+    /// (cross-process hops included — the merged timeline is one
+    /// simulation), and per-tile ring-drop counts as metadata.
     pub fn perfetto_json(&self) -> String {
         chrome_trace_json(
             &self.trace_events,
             &self.skew_samples,
             &self.metrics,
             self.num_tiles as usize,
+            &self.trace_dropped,
         )
+    }
+
+    /// Reassembles the causal flow spans in [`SimReport::trace_events`]
+    /// into per-flow trees with latency decompositions (empty unless the
+    /// run enabled flow tracing via [`crate::SimBuilder::flows`]).
+    pub fn flow_analysis(&self) -> FlowAnalysis {
+        analyze_flows(&self.trace_events)
+    }
+
+    /// The `n` busiest directed mesh links by flit count, busiest first
+    /// (ties broken by link endpoints for determinism). Reads the
+    /// `net.link.<from>.<to>.flits` counters; links no packet crossed are
+    /// never registered and never appear.
+    pub fn hottest_links(&self, n: usize) -> Vec<LinkUtilization> {
+        let mut links: Vec<LinkUtilization> = self
+            .metrics
+            .counters
+            .iter()
+            .filter_map(|(name, &flits)| {
+                let ends = name.strip_prefix("net.link.")?.strip_suffix(".flits")?;
+                let (from, to) = ends.split_once('.')?;
+                if flits == 0 {
+                    return None;
+                }
+                Some(LinkUtilization { from: from.parse().ok()?, to: to.parse().ok()?, flits })
+            })
+            .collect();
+        links.sort_by_key(|l| (std::cmp::Reverse(l.flits), l.from, l.to));
+        links.truncate(n);
+        links
+    }
+
+    /// Trace events attributed to each simulated host process (the count
+    /// of events whose emitting tile that process owned) — the quick
+    /// check that a multi-process run's merged report really carries
+    /// telemetry from every process.
+    pub fn events_per_process(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_processes.max(1) as usize];
+        for ev in &self.trace_events {
+            let p = self.tile_process.get(ev.tile.index()).copied().unwrap_or(0) as usize;
+            if let Some(c) = counts.get_mut(p) {
+                *c += 1;
+            }
+        }
+        counts
     }
 }
 
@@ -284,7 +347,15 @@ impl fmt::Display for SimReport {
             self.transport.intra_process,
             self.transport.inter_process,
             self.transport.inter_machine
-        )
+        )?;
+        let hottest = self.hottest_links(10);
+        if !hottest.is_empty() {
+            write!(f, "\nhottest links (flits):")?;
+            for l in hottest {
+                write!(f, " {}->{}:{}", l.from, l.to, l.flits)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -407,6 +478,9 @@ pub(crate) fn build_report(inner: &SimInner) -> SimReport {
         stdout: inner.stdout.lock().clone(),
         num_tiles: inner.cfg.target.num_tiles,
         num_processes: inner.cfg.num_processes,
+        tile_process: (0..inner.cfg.target.num_tiles)
+            .map(|t| inner.cfg.process_of_tile(t))
+            .collect(),
         sync_model: inner.sync.name().to_owned(),
         trace_events: inner.obs.tracer.drain(),
         trace_dropped,

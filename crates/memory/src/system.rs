@@ -497,18 +497,36 @@ impl MemorySystem {
     /// Routes a protocol leg stamped with a tile's real clock (requests,
     /// writebacks); feeds the global-progress window.
     fn route(&self, src: TileId, dst: TileId, bytes: u32, t: Cycles) -> Cycles {
+        self.route_flow(src, dst, bytes, t, 0)
+    }
+
+    /// Like [`MemorySystem::route`], attributing the leg to a causal flow.
+    fn route_flow(&self, src: TileId, dst: TileId, bytes: u32, t: Cycles, flow: u64) -> Cycles {
         self.network
-            .route(TrafficClass::Memory, &Packet { src, dst, size_bytes: bytes, send_time: t })
+            .route_flow(
+                TrafficClass::Memory,
+                &Packet { src, dst, size_bytes: bytes, send_time: t },
+                flow,
+            )
             .arrival
     }
 
     /// Routes a protocol leg stamped with a derived model time (forwards,
     /// invalidations, acks, responses); must not feed the progress window.
-    fn route_derived(&self, src: TileId, dst: TileId, bytes: u32, t: Cycles) -> Cycles {
+    /// The leg is attributed to causal flow `flow` (0 = untracked).
+    fn route_derived_flow(
+        &self,
+        src: TileId,
+        dst: TileId,
+        bytes: u32,
+        t: Cycles,
+        flow: u64,
+    ) -> Cycles {
         self.network
-            .route_unobserved(
+            .route_unobserved_flow(
                 TrafficClass::Memory,
                 &Packet { src, dst, size_bytes: bytes, send_time: t },
+                flow,
             )
             .arrival
     }
@@ -857,13 +875,25 @@ impl MemorySystem {
         };
         let t0 = now + lookup_lat;
 
+        // Mint a causal flow ID for this transaction; every protocol leg it
+        // generates carries the ID, so the profiler can reassemble the whole
+        // remote access as one span tree. Flow 0 means tracing is off.
+        let flow = if self.tracer.flows_enabled() { self.tracer.next_flow_id() } else { 0 };
+        if flow != 0 {
+            self.tracer.emit(tile, now, || TraceEventKind::FlowSend {
+                flow,
+                dst: home.0,
+                kind: "mem_miss",
+            });
+        }
+
         let mut shard = self.shard_of(line).lock();
         let entry =
             shard.entry(line).or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
         debug_assert!(entry.invariants_hold());
 
         // Request travels tile -> home.
-        let t_req = self.route(tile, home, CTRL_MSG_BYTES, t0);
+        let t_req = self.route_flow(tile, home, CTRL_MSG_BYTES, t0, flow);
         let mut t_home = t_req + DIR_LATENCY;
         self.tracer.emit(tile, t0, || TraceEventKind::DirLeg {
             leg: "request",
@@ -938,9 +968,15 @@ impl MemorySystem {
                         let mut vt = self.lock_tile(victim);
                         vt.purge(line);
                         self.classifier.on_departure(victim, line, true);
-                        let t_inv = self.route_derived(home, victim, CTRL_MSG_BYTES, t_home);
-                        let t_ack =
-                            self.route_derived(victim, home, CTRL_MSG_BYTES, t_inv + Cycles(1));
+                        let t_inv =
+                            self.route_derived_flow(home, victim, CTRL_MSG_BYTES, t_home, flow);
+                        let t_ack = self.route_derived_flow(
+                            victim,
+                            home,
+                            CTRL_MSG_BYTES,
+                            t_inv + Cycles(1),
+                            flow,
+                        );
                         data_ready = data_ready.max(t_ack);
                     }
                 }
@@ -960,8 +996,9 @@ impl MemorySystem {
                     let mut st = self.lock_tile(*s);
                     st.purge(line);
                     self.classifier.on_departure(*s, line, true);
-                    let t_inv = self.route_derived(home, *s, CTRL_MSG_BYTES, t_home);
-                    let t_ack = self.route_derived(*s, home, CTRL_MSG_BYTES, t_inv + Cycles(1));
+                    let t_inv = self.route_derived_flow(home, *s, CTRL_MSG_BYTES, t_home, flow);
+                    let t_ack =
+                        self.route_derived_flow(*s, home, CTRL_MSG_BYTES, t_inv + Cycles(1), flow);
                     t_inv_done = t_inv_done.max(t_ack);
                 }
                 entry.sharers.clear();
@@ -1024,9 +1061,9 @@ impl MemorySystem {
                     // the write occupies the controller off the critical path.
                     let _ = self.controller_of(home).access(est_now, self.line_size);
                 }
-                let t_fwd = self.route_derived(home, owner, CTRL_MSG_BYTES, t_home);
+                let t_fwd = self.route_derived_flow(home, owner, CTRL_MSG_BYTES, t_home, flow);
                 let xfer = if was_dirty { self.line_size + DATA_HDR_BYTES } else { CTRL_MSG_BYTES };
-                let t_data = self.route_derived(owner, home, xfer, t_fwd + Cycles(2));
+                let t_data = self.route_derived_flow(owner, home, xfer, t_fwd + Cycles(2), flow);
                 data_ready = t_data + DIR_LATENCY;
                 fill_src = Some(FillSrc::Owner(data));
                 if is_write {
@@ -1041,8 +1078,20 @@ impl MemorySystem {
         }
         debug_assert!(entry.invariants_hold());
 
+        if flow != 0 {
+            // The directory-service span: starts when the request arrived at
+            // the home tile, ends when the data (or permission) is ready to
+            // ship back.
+            let ready = data_ready;
+            self.tracer.emit(home, t_req, || TraceEventKind::FlowService {
+                flow,
+                home: home.0,
+                ready: ready.0,
+            });
+        }
+
         // Response travels home -> tile; fill and apply the operation.
-        let t_resp = self.route_derived(home, tile, resp_bytes, data_ready);
+        let t_resp = self.route_derived_flow(home, tile, resp_bytes, data_ready, flow);
         {
             let mut tm = self.tiles[tile.index()].lock();
             if counted_upgrade {
@@ -1110,6 +1159,10 @@ impl MemorySystem {
         drop(shard);
         let latency = t_resp.saturating_sub(now).max(lookup_lat);
         let network = t_req.saturating_sub(t0) + t_resp.saturating_sub(data_ready);
+        if flow != 0 {
+            self.tracer
+                .emit(tile, t_resp, || TraceEventKind::FlowReply { flow, latency: latency.0 });
+        }
         (latency, network)
     }
 

@@ -37,12 +37,14 @@
 pub mod models;
 pub mod topology;
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use graphite_base::{Cycles, GlobalProgress, SimError, TileId};
 use graphite_ckpt::{corrupted, Checkpointable, Dec, Enc};
 use graphite_config::{NetworkKind, SimConfig};
-use graphite_trace::{MetricsRegistry, Obs, ShardedMetric, TraceEventKind, Tracer};
+use graphite_trace::{
+    MetricsRegistry, MetricsSnapshot, Obs, ShardedMetric, TraceEventKind, Tracer,
+};
 
 pub use models::{BasicModel, MeshContentionModel, MeshModel, NetworkModel, RingModel};
 pub use topology::MeshTopology;
@@ -154,6 +156,16 @@ pub struct Network {
     user_stats: ClassStats,
     memory_stats: ClassStats,
     tracer: Arc<Tracer>,
+    /// Mesh geometry for per-link utilization accounting; independent of the
+    /// timing model so a heatmap exists even under [`BasicModel`].
+    topo: MeshTopology,
+    /// Link width in bytes, for flit conversion.
+    link_width: u32,
+    metrics: Arc<MetricsRegistry>,
+    /// Per-link flit counters (`net.link.<from>.<to>.flits`), indexed by
+    /// [`MeshTopology::link_index`] and registered lazily the first time a
+    /// route crosses the link, so idle links never appear in snapshots.
+    link_flits: Box<[OnceLock<ShardedMetric>]>,
 }
 
 impl std::fmt::Debug for Network {
@@ -196,6 +208,7 @@ impl Network {
                 )),
             }
         };
+        let topo = MeshTopology::new(cfg.target.num_tiles);
         Network {
             system: Box::new(BasicModel::new()),
             user: make(cfg.target.network),
@@ -205,6 +218,10 @@ impl Network {
             user_stats: ClassStats::registered(&obs.metrics, "user"),
             memory_stats: ClassStats::registered(&obs.metrics, "memory"),
             tracer: Arc::clone(&obs.tracer),
+            topo,
+            link_width: cfg.target.mesh.link_width_bytes.max(1),
+            metrics: Arc::clone(&obs.metrics),
+            link_flits: (0..topo.num_link_slots()).map(|_| OnceLock::new()).collect(),
         }
     }
 
@@ -220,18 +237,31 @@ impl Network {
     /// are computed against, and the estimate ratchets away from real
     /// progress.
     pub fn route(&self, class: TrafficClass, p: &Packet) -> Delivery {
+        self.route_flow(class, p, 0)
+    }
+
+    /// Like [`Network::route`], carrying the causal flow ID of the message
+    /// this packet times. A non-zero `flow` (with flow tracing on) emits a
+    /// [`TraceEventKind::FlowHop`] span for the leg.
+    pub fn route_flow(&self, class: TrafficClass, p: &Packet, flow: u64) -> Delivery {
         // System traffic must not influence results, so it also skips the
         // progress window.
         if class != TrafficClass::System {
             self.progress.observe(p.send_time);
         }
-        self.route_unobserved(class, p)
+        self.route_unobserved_flow(class, p, flow)
     }
 
     /// Routes a packet without feeding the global-progress window; for
     /// protocol legs whose timestamps are derived model times rather than
     /// tile clocks. Contention state and statistics still update.
     pub fn route_unobserved(&self, class: TrafficClass, p: &Packet) -> Delivery {
+        self.route_unobserved_flow(class, p, 0)
+    }
+
+    /// Flow-carrying variant of [`Network::route_unobserved`]; see
+    /// [`Network::route_flow`] for the flow semantics.
+    pub fn route_unobserved_flow(&self, class: TrafficClass, p: &Packet, flow: u64) -> Delivery {
         let (model, stats) = match class {
             TrafficClass::System => (&self.system, &self.system_stats),
             TrafficClass::User => (&self.user, &self.user_stats),
@@ -239,6 +269,9 @@ impl Network {
         };
         let d = model.route(p);
         stats.record(p, &d);
+        if class != TrafficClass::System {
+            self.record_links(p);
+        }
         let class_name = match class {
             TrafficClass::System => "system",
             TrafficClass::User => "user",
@@ -255,7 +288,59 @@ impl Network {
             bytes: p.size_bytes as u64,
             latency: d.latency.0,
         });
+        if flow != 0 && self.tracer.flows_enabled() {
+            self.tracer.emit(p.src, p.send_time, || TraceEventKind::FlowHop {
+                flow,
+                src: p.src.0,
+                dst: p.dst.0,
+                arrival: d.arrival.0,
+            });
+        }
         d
+    }
+
+    /// Charges one packet's flits to every directed mesh link its XY route
+    /// crosses. Lanes are per source tile, so concurrent requesters sharing
+    /// a link do not contend on a counter cell.
+    fn record_links(&self, p: &Packet) {
+        if p.src == p.dst {
+            return;
+        }
+        let flits = (p.size_bytes.div_ceil(self.link_width)).max(1) as u64;
+        let lane = p.src.index();
+        for link in self.topo.xy_links(p.src, p.dst) {
+            let slot = self.topo.link_index(link);
+            let counter = self.link_flits[slot].get_or_init(|| {
+                self.metrics.sharded_counter(&format!(
+                    "net.link.{}.{}.flits",
+                    link.from.0,
+                    self.topo.link_dst(link).0
+                ))
+            });
+            counter.add(lane, flits);
+        }
+    }
+
+    /// Re-creates the lazily registered `net.link.<from>.<to>.flits`
+    /// counters named in a checkpoint's metrics snapshot, so a subsequent
+    /// [`MetricsRegistry::restore`] finds them registered and restores
+    /// their values (restore skips unknown names). Names that do not
+    /// describe a mesh-adjacent pair of this topology are ignored.
+    pub fn preregister_links(&self, snap: &MetricsSnapshot) {
+        for name in snap.counters.keys() {
+            let Some(ends) = name.strip_prefix("net.link.").and_then(|s| s.strip_suffix(".flits"))
+            else {
+                continue;
+            };
+            let Some((from, to)) = ends.split_once('.') else { continue };
+            let (Ok(from), Ok(to)) = (from.parse::<u32>(), to.parse::<u32>()) else { continue };
+            // A link counter only ever names a single mesh hop, so the XY
+            // route from `from` to `to` is exactly that link.
+            let mut links = self.topo.xy_links(TileId(from), TileId(to));
+            let (Some(link), None) = (links.next(), links.next()) else { continue };
+            let slot = self.topo.link_index(link);
+            self.link_flits[slot].get_or_init(|| self.metrics.sharded_counter(name));
+        }
     }
 
     /// Statistics for one traffic class.
@@ -367,6 +452,55 @@ mod tests {
     fn mean_latency_zero_when_idle() {
         let n = net(4, NetworkKind::Mesh);
         assert_eq!(n.stats(TrafficClass::User).mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn per_link_flit_counters_follow_xy_route() {
+        let cfg = paper_default(16);
+        let obs = Obs::detached(16);
+        let n = Network::with_obs(&cfg, Arc::new(GlobalProgress::new(16)), &obs);
+        // 64 bytes over 8-byte links = 8 flits; route 0 -> (east) 1 -> (south) 5.
+        let p = Packet { src: TileId(0), dst: TileId(5), size_bytes: 64, send_time: Cycles(0) };
+        n.route(TrafficClass::Memory, &p);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counters["net.link.0.1.flits"], 8);
+        assert_eq!(snap.counters["net.link.1.5.flits"], 8);
+        // Idle links are never registered, and system traffic rides no links.
+        assert!(!snap.counters.contains_key("net.link.1.2.flits"));
+        n.route(TrafficClass::System, &p);
+        assert_eq!(obs.metrics.snapshot().counters["net.link.0.1.flits"], 8);
+    }
+
+    #[test]
+    fn route_flow_emits_flow_hop_only_when_tracked() {
+        use graphite_trace::TraceOptions;
+        let cfg = paper_default(16);
+        let obs = Obs::new(16, TraceOptions { enabled: true, capacity: 64, flows: true });
+        let n = Network::with_obs(&cfg, Arc::new(GlobalProgress::new(16)), &obs);
+        let p = Packet { src: TileId(0), dst: TileId(3), size_bytes: 8, send_time: Cycles(10) };
+        let d = n.route_flow(TrafficClass::Memory, &p, 7);
+        let hops: Vec<_> = obs
+            .tracer
+            .drain()
+            .into_iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::FlowHop { .. }))
+            .collect();
+        assert_eq!(hops.len(), 1);
+        match hops[0].kind {
+            TraceEventKind::FlowHop { flow, src, dst, arrival } => {
+                assert_eq!((flow, src, dst, arrival), (7, 0, 3, d.arrival.0));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(hops[0].tile, TileId(0));
+        assert_eq!(hops[0].cycles, Cycles(10));
+        // Flow 0 means untracked: no span even with flow tracing on.
+        n.route_flow(TrafficClass::Memory, &p, 0);
+        assert!(!obs
+            .tracer
+            .drain()
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::FlowHop { .. })));
     }
 
     #[test]

@@ -95,29 +95,53 @@ impl MeshTopology {
 
     /// The sequence of directed links an XY-routed packet traverses.
     pub fn xy_route(&self, src: TileId, dst: TileId) -> Vec<Link> {
-        let (sx, sy) = self.coords(src);
+        self.xy_links(src, dst).collect()
+    }
+
+    /// Iterates the directed links of the XY route without allocating — for
+    /// per-packet accounting on hot paths.
+    pub fn xy_links(&self, src: TileId, dst: TileId) -> impl Iterator<Item = Link> + '_ {
+        let (mut x, mut y) = self.coords(src);
         let (dx, dy) = self.coords(dst);
-        let mut links = Vec::with_capacity(self.hops(src, dst) as usize);
-        let (mut x, mut y) = (sx, sy);
-        while x != dx {
-            let dir = if dx > x { Direction::East } else { Direction::West };
-            links.push(Link { from: self.tile_at(x, y), dir });
-            if dx > x {
-                x += 1;
+        std::iter::from_fn(move || {
+            if x != dx {
+                let dir = if dx > x { Direction::East } else { Direction::West };
+                let link = Link { from: self.tile_at(x, y), dir };
+                if dx > x {
+                    x += 1;
+                } else {
+                    x -= 1;
+                }
+                Some(link)
+            } else if y != dy {
+                let dir = if dy > y { Direction::South } else { Direction::North };
+                let link = Link { from: self.tile_at(x, y), dir };
+                if dy > y {
+                    y += 1;
+                } else {
+                    y -= 1;
+                }
+                Some(link)
             } else {
-                x -= 1;
+                None
             }
+        })
+    }
+
+    /// The switch position a directed link arrives at.
+    ///
+    /// # Panics
+    ///
+    /// Overflows (debug) or wraps (release) on a link that leaves the grid;
+    /// XY routes never produce one.
+    pub fn link_dst(&self, link: Link) -> TileId {
+        let (x, y) = self.coords(link.from);
+        match link.dir {
+            Direction::East => self.tile_at(x + 1, y),
+            Direction::West => self.tile_at(x - 1, y),
+            Direction::South => self.tile_at(x, y + 1),
+            Direction::North => self.tile_at(x, y - 1),
         }
-        while y != dy {
-            let dir = if dy > y { Direction::South } else { Direction::North };
-            links.push(Link { from: self.tile_at(x, y), dir });
-            if dy > y {
-                y += 1;
-            } else {
-                y -= 1;
-            }
-        }
-        links
     }
 
     /// Grid height (rows). The last row may be partially populated with
@@ -207,6 +231,16 @@ mod tests {
                 assert!(seen.insert(idx), "duplicate link index {idx}");
             }
         }
+    }
+
+    #[test]
+    fn link_dst_chains_route_to_destination() {
+        let m = MeshTopology::new(16);
+        let route = m.xy_route(TileId(0), TileId(10));
+        for pair in route.windows(2) {
+            assert_eq!(m.link_dst(pair[0]), pair[1].from, "links must chain");
+        }
+        assert_eq!(m.link_dst(*route.last().unwrap()), TileId(10));
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Causal flow analysis: span trees reassembled from `Flow*` trace events.
+//!
+//! The tracer records four span kinds per tracked message flow (see
+//! `graphite-trace`): `FlowSend` at injection, one `FlowHop` per
+//! network/transport leg, `FlowService` while the directory (home tile)
+//! holds the request, and `FlowReply` when the flow completes back at its
+//! origin. [`analyze_flows`] groups a drained event stream by flow ID and
+//! reassembles each group into a [`Flow`], decomposing a complete remote
+//! memory access into four segments that **sum exactly to the access's
+//! modeled `MemCost` latency**:
+//!
+//! * `queue` — time at the requester before injection (cache lookup and
+//!   any clamp residual);
+//! * `link` — the request packet's flight tile → home;
+//! * `service` — the directory's occupancy: DRAM, invalidation round
+//!   trips, owner forwards, however long until the reply is ready;
+//! * `reply` — the response packet's flight home → tile.
+//!
+//! Protocol legs that are neither the request nor the final response
+//! (invalidations, acks, owner forwards) are *detail hops*: they are
+//! counted in [`Flow::hops`] and covered by the `service` segment (the
+//! directory cannot reply before they finish) but are not split out.
+//!
+//! Trace rings drop their oldest events under pressure, so a flow's spans
+//! may be partially missing. A flow whose chain cannot be fully
+//! reassembled — or whose segments do not reconcile with its reported
+//! latency — is marked [`Flow::complete`]` = false` and gets **no**
+//! segment decomposition: the analyzer never attributes latency it cannot
+//! prove.
+
+use std::collections::BTreeMap;
+
+use graphite_trace::{TraceEvent, TraceEventKind};
+
+/// The four-way latency decomposition of a complete memory flow, in
+/// cycles. The fields sum exactly to the access's modeled latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowSegments {
+    /// Requester-side time before injection (cache lookup + clamp).
+    pub queue: u64,
+    /// Request-packet flight, requester → home.
+    pub link: u64,
+    /// Directory occupancy at the home tile until the reply is ready.
+    pub service: u64,
+    /// Response-packet flight, home → requester.
+    pub reply: u64,
+}
+
+impl FlowSegments {
+    /// Sum of all four segments (equals the flow's latency by
+    /// construction).
+    pub fn total(&self) -> u64 {
+        self.queue + self.link + self.service + self.reply
+    }
+}
+
+/// One reassembled message flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// The flow ID minted at injection (nonzero).
+    pub id: u64,
+    /// The flow class from `FlowSend` ("mem_miss", "user_msg"); `None`
+    /// when the send span was lost to ring overflow.
+    pub kind: Option<&'static str>,
+    /// Tile that injected the flow.
+    pub requester: Option<u32>,
+    /// The home/destination tile (from `FlowService` when present,
+    /// otherwise the `FlowSend` destination).
+    pub home: Option<u32>,
+    /// Earliest cycle seen for this flow (injection time when the send
+    /// span survived).
+    pub start: u64,
+    /// Latest cycle seen for this flow (completion time when the reply
+    /// span survived).
+    pub end: u64,
+    /// End-to-end latency reported by `FlowReply`: for memory flows the
+    /// access's exact `MemCost` latency, for user messages the receiver's
+    /// blocked wait.
+    pub latency: Option<u64>,
+    /// Number of network hops recorded (request, response, and any
+    /// invalidation/forward detail legs).
+    pub hops: usize,
+    /// True when the causal chain is fully present and self-consistent;
+    /// false means spans were dropped (ring overflow) or irreconcilable,
+    /// and [`Flow::segments`] is withheld.
+    pub complete: bool,
+    /// The latency decomposition; `Some` only for complete memory flows.
+    pub segments: Option<FlowSegments>,
+}
+
+impl Flow {
+    /// Wall-clock (simulated) span of the flow's observed events.
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// The latency to rank this flow by: the reported end-to-end latency
+    /// when the reply span survived, otherwise the observed event span.
+    pub fn effective_latency(&self) -> u64 {
+        self.latency.unwrap_or_else(|| self.duration())
+    }
+
+    /// Renders the flow as a multi-line latency waterfall:
+    ///
+    /// ```text
+    /// flow #7 mem_miss tile 0 -> home 5: 240 cy, 4 hops
+    ///   queue     12 cy |##                              |
+    ///   link      40 cy |#####                           |
+    ///   service  150 cy |####################            |
+    ///   reply     38 cy |#####                           |
+    /// ```
+    ///
+    /// Incomplete flows render a single line tagged `[incomplete]` and no
+    /// bars — their latency cannot be attributed to segments.
+    pub fn waterfall(&self) -> String {
+        use std::fmt::Write;
+        const BAR: u64 = 32;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "flow #{} {} tile {} -> home {}: {} cy, {} hop{}",
+            self.id,
+            self.kind.unwrap_or("?"),
+            self.requester.map_or_else(|| "?".into(), |t| t.to_string()),
+            self.home.map_or_else(|| "?".into(), |t| t.to_string()),
+            self.effective_latency(),
+            self.hops,
+            if self.hops == 1 { "" } else { "s" },
+        );
+        if !self.complete {
+            out.push_str(" [incomplete]");
+            return out;
+        }
+        let Some(seg) = self.segments else {
+            return out;
+        };
+        let total = seg.total().max(1);
+        for (name, v) in [
+            ("queue", seg.queue),
+            ("link", seg.link),
+            ("service", seg.service),
+            ("reply", seg.reply),
+        ] {
+            let filled = (v * BAR).div_ceil(total).min(BAR) as usize;
+            let _ = write!(
+                out,
+                "\n  {name:<8}{v:>6} cy |{}{}|",
+                "#".repeat(filled),
+                " ".repeat(BAR as usize - filled)
+            );
+        }
+        out
+    }
+}
+
+/// Everything [`analyze_flows`] reassembled from one event stream.
+#[derive(Debug, Clone, Default)]
+pub struct FlowAnalysis {
+    /// All observed flows, ordered by flow ID.
+    pub flows: Vec<Flow>,
+}
+
+impl FlowAnalysis {
+    /// Number of flows whose full causal chain was reassembled.
+    pub fn complete_count(&self) -> usize {
+        self.flows.iter().filter(|f| f.complete).count()
+    }
+
+    /// Number of flows with missing or irreconcilable spans.
+    pub fn incomplete_count(&self) -> usize {
+        self.flows.len() - self.complete_count()
+    }
+
+    /// The `n` slowest flows by [`Flow::effective_latency`], slowest
+    /// first (ties broken by flow ID for determinism).
+    pub fn slowest(&self, n: usize) -> Vec<&Flow> {
+        let mut ranked: Vec<&Flow> = self.flows.iter().collect();
+        ranked.sort_by_key(|f| (std::cmp::Reverse(f.effective_latency()), f.id));
+        ranked.truncate(n);
+        ranked
+    }
+}
+
+/// Per-flow accumulator while scanning the event stream.
+#[derive(Default)]
+struct RawFlow {
+    kind: Option<&'static str>,
+    requester: Option<u32>,
+    send_dst: Option<u32>,
+    send_at: Option<u64>,
+    /// (cycles at home, ready) from `FlowService`.
+    service: Option<(u64, u64)>,
+    service_home: Option<u32>,
+    /// (cycles, latency) from `FlowReply`.
+    reply: Option<(u64, u64)>,
+    /// (cycles, src, dst, arrival) per `FlowHop`.
+    hops: Vec<(u64, u32, u32, u64)>,
+}
+
+/// Groups a drained trace-event stream by flow ID and reassembles each
+/// group into a [`Flow`]. Non-flow events are ignored, so the whole
+/// `SimReport::trace_events` stream can be passed directly.
+pub fn analyze_flows(events: &[TraceEvent]) -> FlowAnalysis {
+    let mut raw: BTreeMap<u64, RawFlow> = BTreeMap::new();
+    for ev in events {
+        match ev.kind {
+            TraceEventKind::FlowSend { flow, dst, kind } => {
+                let r = raw.entry(flow).or_default();
+                r.kind = Some(kind);
+                r.requester = Some(ev.tile.0);
+                r.send_dst = Some(dst);
+                r.send_at = Some(ev.cycles.0);
+            }
+            TraceEventKind::FlowHop { flow, src, dst, arrival } => {
+                raw.entry(flow).or_default().hops.push((ev.cycles.0, src, dst, arrival));
+            }
+            TraceEventKind::FlowService { flow, home, ready } => {
+                let r = raw.entry(flow).or_default();
+                r.service = Some((ev.cycles.0, ready));
+                r.service_home = Some(home);
+            }
+            TraceEventKind::FlowReply { flow, latency } => {
+                raw.entry(flow).or_default().reply = Some((ev.cycles.0, latency));
+            }
+            _ => {}
+        }
+    }
+
+    let flows = raw.into_iter().map(|(id, r)| assemble(id, r)).collect();
+    FlowAnalysis { flows }
+}
+
+fn assemble(id: u64, mut r: RawFlow) -> Flow {
+    // Hop emission order across tiles is only batch-granular; (send time,
+    // arrival) is the causal order.
+    r.hops.sort_unstable_by_key(|&(cycles, _, _, arrival)| (cycles, arrival));
+
+    let mut start = u64::MAX;
+    let mut end = 0u64;
+    let mut span = |at: u64| {
+        start = start.min(at);
+        end = end.max(at);
+    };
+    if let Some(at) = r.send_at {
+        span(at);
+    }
+    for &(cycles, _, _, arrival) in &r.hops {
+        span(cycles);
+        span(arrival);
+    }
+    if let Some((at, ready)) = r.service {
+        span(at);
+        span(ready);
+    }
+    if let Some((at, _)) = r.reply {
+        span(at);
+    }
+    if start == u64::MAX {
+        start = 0;
+    }
+
+    // The request leg is the first hop the requester itself injected; the
+    // final response is the last hop that lands back on the requester.
+    // Detail legs (invalidations, acks, owner forwards) never match either
+    // signature — the requester is not a sharer or owner of the line it is
+    // missing on.
+    let req_hop = r.requester.and_then(|t| r.hops.iter().find(|h| h.1 == t).copied());
+    let reply_hop = r.requester.and_then(|t| r.hops.iter().rev().find(|h| h.2 == t).copied());
+
+    let mut complete = false;
+    let mut segments = None;
+    match r.kind {
+        Some("mem_miss") => {
+            if let (
+                Some((_, latency)),
+                Some((svc_at, ready)),
+                Some((req_at, _, _, req_arr)),
+                Some((rep_at, _, _, rep_arr)),
+            ) = (r.reply, r.service, req_hop, reply_hop)
+            {
+                let link = req_arr.saturating_sub(req_at);
+                let service = ready.saturating_sub(svc_at);
+                let reply = rep_arr.saturating_sub(rep_at);
+                let modeled = link + service + reply;
+                // The segments must reconcile: anything the modeled legs
+                // leave unexplained is requester-side queue time, and the
+                // legs can never exceed the reported latency. If they do,
+                // spans were lost and a surviving hop was mistaken for the
+                // request or response — refuse to decompose.
+                if modeled <= latency {
+                    complete = true;
+                    segments =
+                        Some(FlowSegments { queue: latency - modeled, link, service, reply });
+                }
+            }
+        }
+        Some(_) => {
+            // User messages (and future flow classes) need injection, at
+            // least one hop, and the receive-side reply span.
+            complete = r.send_at.is_some() && r.reply.is_some() && !r.hops.is_empty();
+        }
+        None => {}
+    }
+
+    Flow {
+        id,
+        kind: r.kind,
+        requester: r.requester,
+        home: r.service_home.or(r.send_dst),
+        start,
+        end,
+        latency: r.reply.map(|(_, l)| l),
+        hops: r.hops.len(),
+        complete,
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_base::{Cycles, TileId};
+
+    fn ev(seq: u64, tile: u32, cycles: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { seq, tile: TileId(tile), cycles: Cycles(cycles), kind }
+    }
+
+    /// A clean remote read: send at 100, request hop 102→140, service
+    /// 140→290 (ready), reply hop 290→330, reply latency 230 (= 330-100).
+    fn mem_flow(flow: u64) -> Vec<TraceEvent> {
+        vec![
+            ev(0, 0, 100, TraceEventKind::FlowSend { flow, dst: 5, kind: "mem_miss" }),
+            ev(1, 0, 102, TraceEventKind::FlowHop { flow, src: 0, dst: 5, arrival: 140 }),
+            ev(2, 5, 140, TraceEventKind::FlowService { flow, home: 5, ready: 290 }),
+            ev(3, 5, 290, TraceEventKind::FlowHop { flow, src: 5, dst: 0, arrival: 330 }),
+            ev(4, 0, 330, TraceEventKind::FlowReply { flow, latency: 230 }),
+        ]
+    }
+
+    #[test]
+    fn complete_mem_flow_decomposes_exactly() {
+        let a = analyze_flows(&mem_flow(7));
+        assert_eq!(a.flows.len(), 1);
+        let f = &a.flows[0];
+        assert_eq!(f.id, 7);
+        assert_eq!(f.kind, Some("mem_miss"));
+        assert_eq!(f.requester, Some(0));
+        assert_eq!(f.home, Some(5));
+        assert!(f.complete);
+        assert_eq!(f.latency, Some(230));
+        let seg = f.segments.expect("complete flow decomposes");
+        assert_eq!(seg.link, 38);
+        assert_eq!(seg.service, 150);
+        assert_eq!(seg.reply, 40);
+        // The residual is requester-side queue time: 230 - 38 - 150 - 40.
+        assert_eq!(seg.queue, 2);
+        assert_eq!(seg.total(), 230, "segments must sum exactly to the latency");
+        assert_eq!((f.start, f.end), (100, 330));
+    }
+
+    #[test]
+    fn detail_hops_are_counted_but_not_split_out() {
+        let mut events = mem_flow(3);
+        // An invalidation round trip home→sharer→home inside the service
+        // window must not disturb the decomposition.
+        events.push(ev(
+            5,
+            5,
+            150,
+            TraceEventKind::FlowHop { flow: 3, src: 5, dst: 2, arrival: 180 },
+        ));
+        events.push(ev(
+            6,
+            2,
+            181,
+            TraceEventKind::FlowHop { flow: 3, src: 2, dst: 5, arrival: 210 },
+        ));
+        let a = analyze_flows(&events);
+        let f = &a.flows[0];
+        assert!(f.complete);
+        assert_eq!(f.hops, 4);
+        assert_eq!(f.segments.unwrap().total(), 230);
+    }
+
+    #[test]
+    fn missing_spans_mark_the_flow_incomplete() {
+        for drop_idx in 0..5 {
+            let mut events = mem_flow(9);
+            events.remove(drop_idx);
+            let a = analyze_flows(&events);
+            let f = &a.flows[0];
+            assert!(!f.complete, "dropping span {drop_idx} must mark the flow incomplete");
+            assert!(f.segments.is_none(), "no decomposition without the full chain");
+        }
+    }
+
+    #[test]
+    fn irreconcilable_latency_is_never_attributed() {
+        let mut events = mem_flow(4);
+        // Corrupt the reported latency below what the legs require.
+        events[4] = ev(4, 0, 330, TraceEventKind::FlowReply { flow: 4, latency: 50 });
+        let a = analyze_flows(&events);
+        let f = &a.flows[0];
+        assert!(!f.complete);
+        assert!(f.segments.is_none());
+        assert_eq!(f.latency, Some(50));
+    }
+
+    #[test]
+    fn user_msg_flows_complete_without_segments() {
+        let events = vec![
+            ev(0, 1, 10, TraceEventKind::FlowSend { flow: 2, dst: 3, kind: "user_msg" }),
+            ev(1, 1, 10, TraceEventKind::FlowHop { flow: 2, src: 1, dst: 3, arrival: 60 }),
+            ev(2, 3, 60, TraceEventKind::FlowReply { flow: 2, latency: 25 }),
+        ];
+        let a = analyze_flows(&events);
+        let f = &a.flows[0];
+        assert!(f.complete);
+        assert_eq!(f.kind, Some("user_msg"));
+        assert!(f.segments.is_none());
+        assert_eq!(f.latency, Some(25), "user-msg latency is the receiver's blocked wait");
+        assert_eq!(f.duration(), 50, "duration spans injection to arrival");
+    }
+
+    #[test]
+    fn slowest_ranks_by_latency_then_id() {
+        let mut events = mem_flow(1);
+        let mut slow = mem_flow(2);
+        // Stretch flow 2's service window so its latency is larger.
+        slow[2] = ev(2, 5, 140, TraceEventKind::FlowService { flow: 2, home: 5, ready: 500 });
+        slow[3] = ev(3, 5, 500, TraceEventKind::FlowHop { flow: 2, src: 5, dst: 0, arrival: 540 });
+        slow[4] = ev(4, 0, 540, TraceEventKind::FlowReply { flow: 2, latency: 440 });
+        events.extend(slow);
+        let a = analyze_flows(&events);
+        assert_eq!(a.flows.len(), 2);
+        assert_eq!(a.complete_count(), 2);
+        let ranked = a.slowest(5);
+        assert_eq!(ranked[0].id, 2);
+        assert_eq!(ranked[1].id, 1);
+        assert_eq!(a.slowest(1).len(), 1);
+    }
+
+    #[test]
+    fn waterfall_renders_segments_and_flags_incomplete() {
+        let a = analyze_flows(&mem_flow(7));
+        let w = a.flows[0].waterfall();
+        assert!(w.starts_with("flow #7 mem_miss tile 0 -> home 5: 230 cy"));
+        for name in ["queue", "link", "service", "reply"] {
+            assert!(w.contains(name), "missing segment {name} in:\n{w}");
+        }
+        assert!(w.contains("service    150 cy"), "{w}");
+
+        let mut events = mem_flow(8);
+        events.remove(2); // lose the service span
+        let w = analyze_flows(&events).flows[0].waterfall();
+        assert!(w.contains("[incomplete]"), "{w}");
+        assert!(!w.contains('|'), "incomplete flows must not draw bars: {w}");
+    }
+}

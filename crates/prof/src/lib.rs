@@ -14,7 +14,12 @@
 //! * [`perfetto`] — a Chrome `trace_event` / Perfetto exporter that renders
 //!   tracer rings, skew samples, and CPI stacks as a timeline loadable in
 //!   [ui.perfetto.dev](https://ui.perfetto.dev): one thread track per tile,
-//!   counter tracks for clock skew and CPI classes.
+//!   counter tracks for clock skew and CPI classes, and flow arrows linking
+//!   the send/receive ends of every traced network hop.
+//! * [`flow`] — the causal flow analyzer: reassembles `Flow*` span events
+//!   into per-flow trees and decomposes each remote memory access into
+//!   queue / link / directory-service / reply segments that sum exactly to
+//!   the access's modeled latency.
 //!
 //! Cycle attribution lives in the simulator's chokepoints (the guest-thread
 //! context and the memory system), which charge the [`CpiStack`] as they
@@ -22,7 +27,9 @@
 //! exporters over it.
 
 pub mod cpi;
+pub mod flow;
 pub mod perfetto;
 
 pub use cpi::{CpiClass, CpiStack};
+pub use flow::{analyze_flows, Flow, FlowAnalysis, FlowSegments};
 pub use perfetto::{chrome_trace_json, validate_chrome_trace, ChromeTraceSummary};

@@ -8,6 +8,13 @@
 //!   `"M"` metadata events;
 //! * memory operations and packet deliveries as **complete events**
 //!   (`ph:"X"`) whose duration is the modeled latency;
+//! * causal flow hops ([`TraceEventKind::FlowHop`]) as **flow arrows**: a
+//!   `ph:"s"` start on the sender's track at injection paired with a
+//!   `ph:"f"` finish on the receiver's track at arrival, bound by the flow
+//!   ID — cross-process hops therefore draw an arrow between the two tiles'
+//!   tracks in the merged timeline;
+//! * per-tile trace-ring drop counts as `"M"` metadata (`trace_dropped`),
+//!   so a timeline with missing spans says where they were lost;
 //! * every other trace event as a **thread-scoped instant** (`ph:"i"`);
 //! * clock skew and final CPI stacks as **counter tracks** (`ph:"C"`).
 //!
@@ -31,13 +38,17 @@ use crate::cpi::CpiStack;
 /// Serializes trace events, skew samples, and CPI stacks (if present in
 /// `snapshot`) into one Chrome trace-event JSON document.
 ///
-/// Any of the three inputs may be empty; metadata tracks for `num_tiles`
-/// tiles are always emitted so the timeline shape is stable.
+/// Any of the inputs may be empty; metadata tracks for `num_tiles` tiles
+/// are always emitted so the timeline shape is stable. `dropped` is the
+/// per-tile count of events lost to trace-ring wrap-around; nonzero tiles
+/// get a `trace_dropped` metadata entry so incomplete flows in the
+/// timeline can be traced back to where their spans were discarded.
 pub fn chrome_trace_json(
     events: &[TraceEvent],
     skew: &[SkewSample],
     snapshot: &MetricsSnapshot,
     num_tiles: usize,
+    dropped: &[u64],
 ) -> String {
     let mut out = String::with_capacity(256 + events.len() * 160);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
@@ -64,6 +75,17 @@ pub fn chrome_trace_json(
                  \"args\":{{\"name\":\"tile {i}\"}}}}"
             ),
         );
+    }
+    for (i, &d) in dropped.iter().enumerate() {
+        if d > 0 {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{i},\"name\":\"trace_dropped\",\
+                     \"args\":{{\"dropped\":{d}}}}}"
+                ),
+            );
+        }
     }
 
     for ev in events {
@@ -92,6 +114,26 @@ pub fn chrome_trace_json(
                         "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{start},\
                          \"dur\":{latency},\"name\":{},\"args\":{args}}}",
                         json::quote(&format!("net:{class}"))
+                    ),
+                );
+            }
+            TraceEventKind::FlowHop { flow, src, dst, arrival } => {
+                // A network hop becomes a flow arrow from the sender's track
+                // at injection time to the receiver's track at arrival; the
+                // flow ID binds the two ends, so every hop of one causal
+                // flow chains into a single arrow sequence in the UI.
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"s\",\"cat\":\"flow\",\"name\":\"flow\",\
+                         \"id\":{flow},\"pid\":0,\"tid\":{src},\"ts\":{ts}}}"
+                    ),
+                );
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\",\"name\":\"flow\",\
+                         \"id\":{flow},\"pid\":0,\"tid\":{dst},\"ts\":{arrival}}}"
                     ),
                 );
             }
@@ -176,6 +218,9 @@ pub struct ChromeTraceSummary {
     pub thread_tracks: usize,
     /// Number of counter (`ph:"C"`) events.
     pub counter_events: usize,
+    /// Number of flow-arrow events (`ph:"s"` starts plus `ph:"f"`
+    /// finishes); a well-formed export has an even count.
+    pub flow_events: usize,
     /// Timeline events (`ph:"X"` or `ph:"i"`) per `tid`.
     pub events_per_tid: BTreeMap<u64, usize>,
 }
@@ -191,7 +236,8 @@ impl ChromeTraceSummary {
 /// Validates a Chrome trace-event document: strict JSON syntax (via
 /// [`graphite_trace::json::validate`]) plus the structural rules the
 /// trace UIs rely on (a `traceEvents` array; every event carries `ph` and
-/// `pid`; timeline events carry `ts`; `"X"` events carry `dur`).
+/// `pid`; timeline events carry `ts`; `"X"` events carry `dur`; flow
+/// arrows `"s"`/`"f"` carry `ts`, `tid`, and a binding `id`).
 ///
 /// # Errors
 ///
@@ -226,6 +272,18 @@ pub fn validate_chrome_trace(doc: &str) -> Result<ChromeTraceSummary, String> {
                     return Err(format!("counter event without \"ts\": {obj}"));
                 }
                 summary.counter_events += 1;
+            }
+            "s" | "f" => {
+                if get("ts").is_none() {
+                    return Err(format!("flow event without \"ts\": {obj}"));
+                }
+                if tid.is_none() {
+                    return Err(format!("flow event without \"tid\": {obj}"));
+                }
+                if get("id").is_none() {
+                    return Err(format!("flow event without \"id\": {obj}"));
+                }
+                summary.flow_events += 1;
             }
             "X" | "i" => {
                 if get("ts").is_none() {
@@ -380,10 +438,11 @@ mod tests {
 
     #[test]
     fn empty_inputs_still_produce_a_valid_document_with_tracks() {
-        let doc = chrome_trace_json(&[], &[], &empty_snapshot(), 4);
+        let doc = chrome_trace_json(&[], &[], &empty_snapshot(), 4, &[]);
         let summary = validate_chrome_trace(&doc).expect("valid");
         assert_eq!(summary.thread_tracks, 4);
         assert_eq!(summary.counter_events, 0);
+        assert_eq!(summary.flow_events, 0);
         assert!(!summary.covers_tiles(1));
     }
 
@@ -399,7 +458,7 @@ mod tests {
         });
         t.emit(TileId(1), Cycles(5), || TraceEventKind::Syscall { name: "brk" });
         let events = t.drain();
-        let doc = chrome_trace_json(&events, &[], &empty_snapshot(), 2);
+        let doc = chrome_trace_json(&events, &[], &empty_snapshot(), 2, &[]);
         let summary = validate_chrome_trace(&doc).expect("valid");
         assert_eq!(summary.thread_tracks, 2);
         assert!(summary.covers_tiles(2));
@@ -418,6 +477,7 @@ mod tests {
             &[sample(vec![100, 140]), sample(vec![200, 210])],
             &empty_snapshot(),
             2,
+            &[],
         );
         let summary = validate_chrome_trace(&doc).expect("valid");
         assert_eq!(summary.counter_events, 4);
@@ -432,13 +492,66 @@ mod tests {
         let cpi = CpiStack::registered(&reg);
         cpi.add(TileId(0), CpiClass::Compute, Cycles(60));
         cpi.add(TileId(0), CpiClass::MemL1, Cycles(40));
-        let doc = chrome_trace_json(&[], &[], &reg.snapshot(), 2);
+        let doc = chrome_trace_json(&[], &[], &reg.snapshot(), 2, &[]);
         let summary = validate_chrome_trace(&doc).expect("valid");
         assert_eq!(summary.counter_events, 2);
         assert!(doc.contains("\"name\":\"cpi.tile0\""));
         assert!(doc.contains("\"compute\":60"));
         // Counter timestamp is the tile's total accounted cycles.
         assert!(doc.contains("\"ts\":100,\"name\":\"cpi.tile0\""));
+    }
+
+    #[test]
+    fn flow_hops_become_bound_arrow_pairs() {
+        let t = Tracer::new(4, true, 64);
+        t.set_flows(true);
+        t.emit(TileId(0), Cycles(10), || TraceEventKind::FlowSend {
+            flow: 7,
+            dst: 3,
+            kind: "mem_miss",
+        });
+        t.emit(TileId(0), Cycles(12), || TraceEventKind::FlowHop {
+            flow: 7,
+            src: 0,
+            dst: 3,
+            arrival: 40,
+        });
+        t.emit(TileId(3), Cycles(40), || TraceEventKind::FlowHop {
+            flow: 7,
+            src: 3,
+            dst: 0,
+            arrival: 70,
+        });
+        let events = t.drain();
+        let doc = chrome_trace_json(&events, &[], &empty_snapshot(), 4, &[]);
+        let summary = validate_chrome_trace(&doc).expect("valid");
+        // Two hops render as two start/finish arrow pairs.
+        assert_eq!(summary.flow_events, 4);
+        // Request hop: starts on tile 0 at injection, lands on tile 3 at
+        // its modeled arrival.
+        assert!(doc.contains("\"ph\":\"s\",\"cat\":\"flow\",\"name\":\"flow\",\"id\":7,\"pid\":0,\"tid\":0,\"ts\":12"));
+        assert!(doc.contains(
+            "\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\",\"name\":\"flow\",\"id\":7,\"pid\":0,\"tid\":3,\"ts\":40"
+        ));
+        // The FlowSend itself stays an instant on the sender's track.
+        assert!(doc.contains("\"name\":\"flow_send\""));
+    }
+
+    #[test]
+    fn dropped_counts_surface_as_metadata() {
+        let doc = chrome_trace_json(&[], &[], &empty_snapshot(), 4, &[0, 3, 0, 9]);
+        validate_chrome_trace(&doc).expect("valid");
+        assert!(doc.contains("\"tid\":1,\"name\":\"trace_dropped\",\"args\":{\"dropped\":3}"));
+        assert!(doc.contains("\"tid\":3,\"name\":\"trace_dropped\",\"args\":{\"dropped\":9}"));
+        // Tiles that lost nothing stay out of the metadata.
+        assert!(!doc.contains("\"tid\":0,\"name\":\"trace_dropped\""));
+    }
+
+    #[test]
+    fn flow_events_missing_id_are_rejected() {
+        let doc = "{\"traceEvents\":[{\"ph\":\"s\",\"pid\":0,\"tid\":1,\"ts\":3}]}";
+        let err = validate_chrome_trace(doc).unwrap_err();
+        assert!(err.contains("id"), "{err}");
     }
 
     #[test]

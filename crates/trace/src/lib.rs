@@ -27,7 +27,7 @@
 //! use graphite_base::{Cycles, TileId};
 //! use graphite_trace::{Obs, TraceEventKind, TraceOptions};
 //!
-//! let obs = Obs::new(4, TraceOptions { enabled: true, capacity: 1024 });
+//! let obs = Obs::new(4, TraceOptions { enabled: true, capacity: 1024, flows: false });
 //! let misses = obs.metrics.counter("mem.misses");
 //! misses.incr();
 //! obs.tracer.emit(TileId(2), Cycles(100), || TraceEventKind::MemOpStart {
@@ -57,11 +57,14 @@ pub struct TraceOptions {
     pub enabled: bool,
     /// Ring-buffer capacity per tile, in events.
     pub capacity: usize,
+    /// Whether causal flow spans (Flow* events) are recorded; only takes
+    /// effect when `enabled` is also set.
+    pub flows: bool,
 }
 
 impl Default for TraceOptions {
     fn default() -> Self {
-        TraceOptions { enabled: false, capacity: 4096 }
+        TraceOptions { enabled: false, capacity: 4096, flows: false }
     }
 }
 
@@ -78,10 +81,9 @@ pub struct Obs {
 impl Obs {
     /// Creates an observability context for `num_tiles` tiles.
     pub fn new(num_tiles: usize, trace: TraceOptions) -> Self {
-        Obs {
-            metrics: Arc::new(MetricsRegistry::new(num_tiles)),
-            tracer: Arc::new(Tracer::new(num_tiles, trace.enabled, trace.capacity)),
-        }
+        let tracer = Tracer::new(num_tiles, trace.enabled, trace.capacity);
+        tracer.set_flows(trace.flows);
+        Obs { metrics: Arc::new(MetricsRegistry::new(num_tiles)), tracer: Arc::new(tracer) }
     }
 
     /// A context with tracing off — the default for subsystems constructed
@@ -98,7 +100,7 @@ mod tests {
 
     #[test]
     fn obs_clone_shares_registry_and_tracer() {
-        let obs = Obs::new(2, TraceOptions { enabled: true, capacity: 8 });
+        let obs = Obs::new(2, TraceOptions { enabled: true, capacity: 8, flows: false });
         let alias = obs.clone();
         obs.metrics.counter("x").add(3);
         assert_eq!(alias.metrics.counter("x").get(), 3);

@@ -72,6 +72,20 @@ pub enum TraceEventKind {
     UserMsgSend { dst: u32, bytes: u64 },
     /// The guest received a user-level message.
     UserMsgRecv { src: u32, bytes: u64 },
+    /// A flow was injected into the network: the first causal span of a
+    /// message flow (`kind` names the flow class, e.g. "mem_miss" or
+    /// "user_msg"). Emitted on the requesting tile at injection time.
+    FlowSend { flow: u64, dst: u32, kind: &'static str },
+    /// One transport/network hop of a flow: the packet left `src` at this
+    /// event's timestamp and reaches `dst` at `arrival`.
+    FlowHop { flow: u64, src: u32, dst: u32, arrival: u64 },
+    /// The directory (home tile) serviced a flow's request: processing began
+    /// at this event's timestamp and the reply data was ready at `ready`.
+    FlowService { flow: u64, home: u32, ready: u64 },
+    /// The flow completed back at its origin with the given end-to-end
+    /// latency (for memory flows this is exactly the access's `MemCost`
+    /// latency).
+    FlowReply { flow: u64, latency: u64 },
 }
 
 impl TraceEventKind {
@@ -95,6 +109,10 @@ impl TraceEventKind {
             TraceEventKind::Syscall { .. } => "syscall",
             TraceEventKind::UserMsgSend { .. } => "user_msg_send",
             TraceEventKind::UserMsgRecv { .. } => "user_msg_recv",
+            TraceEventKind::FlowSend { .. } => "flow_send",
+            TraceEventKind::FlowHop { .. } => "flow_hop",
+            TraceEventKind::FlowService { .. } => "flow_service",
+            TraceEventKind::FlowReply { .. } => "flow_reply",
         }
     }
 
@@ -158,6 +176,22 @@ impl TraceEventKind {
             }
             TraceEventKind::UserMsgRecv { src, bytes } => {
                 let _ = write!(out, ",\"src\":{src},\"bytes\":{bytes}");
+            }
+            TraceEventKind::FlowSend { flow, dst, kind } => {
+                let _ =
+                    write!(out, ",\"flow\":{flow},\"dst\":{dst},\"kind\":{}", json::quote(kind));
+            }
+            TraceEventKind::FlowHop { flow, src, dst, arrival } => {
+                let _ = write!(
+                    out,
+                    ",\"flow\":{flow},\"src\":{src},\"dst\":{dst},\"arrival\":{arrival}"
+                );
+            }
+            TraceEventKind::FlowService { flow, home, ready } => {
+                let _ = write!(out, ",\"flow\":{flow},\"home\":{home},\"ready\":{ready}");
+            }
+            TraceEventKind::FlowReply { flow, latency } => {
+                let _ = write!(out, ",\"flow\":{flow},\"latency\":{latency}");
             }
         }
     }
@@ -354,6 +388,11 @@ impl Drop for LaneGuard<'_> {
 /// ```
 pub struct Tracer {
     enabled: AtomicBool,
+    /// Whether causal flow spans (Flow* events) are recorded; gated
+    /// separately from `enabled` so ordinary tracing stays unchanged.
+    flows: AtomicBool,
+    /// Next flow ID to mint; flow 0 means "untracked".
+    next_flow: AtomicU64,
     capacity: usize,
     /// Events per sealed sequence block.
     batch: usize,
@@ -379,6 +418,8 @@ impl Tracer {
         let lanes = (0..num_tiles.max(1)).map(|_| Lane::new()).collect();
         Tracer {
             enabled: AtomicBool::new(enabled),
+            flows: AtomicBool::new(false),
+            next_flow: AtomicU64::new(1),
             capacity,
             batch: Self::DEFAULT_BATCH.min(capacity),
             // Rings smaller than 8 evict exactly one event (precise
@@ -400,6 +441,26 @@ impl Tracer {
     /// buffered either way; disabling loses nothing.
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether causal flow spans are recorded: both the tracer and the flow
+    /// gate must be on. One relaxed load short-circuits the common
+    /// everything-off case, so untraced hot paths still pay a single branch.
+    #[inline]
+    pub fn flows_enabled(&self) -> bool {
+        self.is_enabled() && self.flows.load(Ordering::Relaxed)
+    }
+
+    /// Turns flow-span recording on or off (off by default).
+    pub fn set_flows(&self, on: bool) {
+        self.flows.store(on, Ordering::Relaxed);
+    }
+
+    /// Mints a fresh nonzero flow ID. IDs are process-global and strictly
+    /// increasing; flow 0 is reserved to mean "untracked message".
+    #[inline]
+    pub fn next_flow_id(&self) -> u64 {
+        self.next_flow.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Ring capacity per tile.
@@ -774,6 +835,10 @@ mod tests {
             TraceEventKind::Syscall { name: "open" },
             TraceEventKind::UserMsgSend { dst: 1, bytes: 8 },
             TraceEventKind::UserMsgRecv { src: 0, bytes: 8 },
+            TraceEventKind::FlowSend { flow: 7, dst: 3, kind: "mem_miss" },
+            TraceEventKind::FlowHop { flow: 7, src: 0, dst: 3, arrival: 120 },
+            TraceEventKind::FlowService { flow: 7, home: 3, ready: 180 },
+            TraceEventKind::FlowReply { flow: 7, latency: 240 },
         ];
         let t = Tracer::new(1, true, 64);
         for (i, k) in kinds.iter().enumerate() {
@@ -787,6 +852,20 @@ mod tests {
             assert!(line.contains("\"seq\":"));
             assert!(line.contains("\"event\":"));
         }
+    }
+
+    #[test]
+    fn flow_ids_are_unique_and_gated() {
+        let t = Tracer::new(1, true, 8);
+        assert!(!t.flows_enabled(), "flows default off");
+        let a = t.next_flow_id();
+        let b = t.next_flow_id();
+        assert!(a >= 1, "flow 0 is reserved for untracked messages");
+        assert!(b > a, "flow IDs must be strictly increasing");
+        t.set_flows(true);
+        assert!(t.flows_enabled());
+        t.set_enabled(false);
+        assert!(!t.flows_enabled(), "flow spans require the tracer itself on");
     }
 
     #[test]

@@ -96,6 +96,10 @@ pub struct Msg {
     pub dst: Endpoint,
     /// Traffic class.
     pub class: MsgClass,
+    /// Causal flow ID minted at injection; 0 means the message is not part
+    /// of a tracked flow. Preserved verbatim across every hop, including the
+    /// TCP wire format.
+    pub flow: u64,
     /// Opaque payload owned by the higher layer.
     pub payload: Bytes,
 }
@@ -196,7 +200,8 @@ pub trait Transport: Send + Sync {
     /// receiving half.
     fn register(&self, endpoint: Endpoint) -> Mailbox;
 
-    /// Sends a message from `src` to `dst`.
+    /// Sends a message from `src` to `dst`, not attached to any tracked
+    /// flow (flow 0). Equivalent to `send_flow(src, dst, class, payload, 0)`.
     ///
     /// # Errors
     ///
@@ -208,6 +213,25 @@ pub trait Transport: Send + Sync {
         dst: Endpoint,
         class: MsgClass,
         payload: Vec<u8>,
+    ) -> Result<(), SimError> {
+        self.send_flow(src, dst, class, payload, 0)
+    }
+
+    /// Sends a message carrying a causal flow ID; the receiver observes it
+    /// as [`Msg::flow`]. Backends must preserve the ID across every hop
+    /// (channel and wire alike).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransportClosed`] if `dst` was never registered or
+    /// its mailbox has been dropped.
+    fn send_flow(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        class: MsgClass,
+        payload: Vec<u8>,
+        flow: u64,
     ) -> Result<(), SimError>;
 
     /// Traffic counters.
@@ -285,12 +309,13 @@ impl Transport for LocalTransport {
         Mailbox { endpoint, rx }
     }
 
-    fn send(
+    fn send_flow(
         &self,
         src: Endpoint,
         dst: Endpoint,
         class: MsgClass,
         payload: Vec<u8>,
+        flow: u64,
     ) -> Result<(), SimError> {
         let tx = {
             let map = self.senders.read();
@@ -302,7 +327,7 @@ impl Transport for LocalTransport {
             Locality::InterMachine => self.stats.inter_machine.incr(),
         }
         self.stats.bytes.add(payload.len() as u64);
-        let msg = Msg { src, dst, class, payload: Bytes::from(payload) };
+        let msg = Msg { src, dst, class, flow, payload: Bytes::from(payload) };
         tx.send(msg).map_err(|_| SimError::TransportClosed(dst.to_string()))
     }
 
@@ -336,6 +361,18 @@ mod tests {
         assert_eq!(m.src, Endpoint::Mcp);
         assert_eq!(m.class, MsgClass::System);
         assert_eq!(m.payload.as_ref(), &[1, 2, 3]);
+        assert_eq!(m.flow, 0); // plain send is flow-untracked
+    }
+
+    #[test]
+    fn flow_id_round_trips_local() {
+        let hub = LocalTransport::new(&cfg(4, 1, 1));
+        let mb = hub.register(Endpoint::Tile(TileId(3)));
+        for flow in [1u64, 42, u64::MAX] {
+            hub.send_flow(Endpoint::Mcp, Endpoint::Tile(TileId(3)), MsgClass::Memory, vec![], flow)
+                .unwrap();
+            assert_eq!(mb.recv().unwrap().flow, flow);
+        }
     }
 
     #[test]

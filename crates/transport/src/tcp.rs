@@ -9,7 +9,9 @@
 //! through memory, exactly as shared-memory delivery does in Graphite.
 //!
 //! The framing is a length-prefixed binary header:
-//! `len:u32 | src:(tag u8, id u32) | dst:(tag u8, id u32) | class:u8 | payload`.
+//! `len:u32 | src:(tag u8, id u32) | dst:(tag u8, id u32) | class:u8 |
+//! flow:u64 | payload`. The flow word carries the causal flow ID end-to-end
+//! so cross-process hops stay attributable to the flow that caused them.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -59,7 +61,7 @@ fn connect_with_backoff(
     )))
 }
 
-fn encode(src: Endpoint, dst: Endpoint, class: MsgClass, payload: &[u8]) -> Vec<u8> {
+fn encode(src: Endpoint, dst: Endpoint, class: MsgClass, flow: u64, payload: &[u8]) -> Vec<u8> {
     fn put_ep(buf: &mut Vec<u8>, e: Endpoint) {
         match e {
             Endpoint::Tile(TileId(i)) => {
@@ -76,7 +78,7 @@ fn encode(src: Endpoint, dst: Endpoint, class: MsgClass, payload: &[u8]) -> Vec<
             }
         }
     }
-    let body_len = 5 + 5 + 1 + payload.len();
+    let body_len = 5 + 5 + 1 + 8 + payload.len();
     let mut buf = Vec::with_capacity(4 + body_len);
     buf.extend_from_slice(&(body_len as u32).to_le_bytes());
     put_ep(&mut buf, src);
@@ -86,6 +88,7 @@ fn encode(src: Endpoint, dst: Endpoint, class: MsgClass, payload: &[u8]) -> Vec<
         MsgClass::User => 1,
         MsgClass::Memory => 2,
     });
+    buf.extend_from_slice(&flow.to_le_bytes());
     buf.extend_from_slice(payload);
     buf
 }
@@ -100,7 +103,7 @@ fn decode(body: &[u8]) -> Option<Msg> {
             _ => return None,
         })
     }
-    if body.len() < 11 {
+    if body.len() < 19 {
         return None;
     }
     let src = get_ep(&body[0..5])?;
@@ -111,7 +114,8 @@ fn decode(body: &[u8]) -> Option<Msg> {
         2 => MsgClass::Memory,
         _ => return None,
     };
-    Some(Msg { src, dst, class, payload: Bytes::copy_from_slice(&body[11..]) })
+    let flow = u64::from_le_bytes(body[11..19].try_into().ok()?);
+    Some(Msg { src, dst, class, flow, payload: Bytes::copy_from_slice(&body[19..]) })
 }
 
 /// A transport whose inter-process hops travel over real loopback TCP
@@ -274,12 +278,13 @@ impl Transport for TcpTransport {
         Mailbox { endpoint, rx }
     }
 
-    fn send(
+    fn send_flow(
         &self,
         src: Endpoint,
         dst: Endpoint,
         class: MsgClass,
         payload: Vec<u8>,
+        flow: u64,
     ) -> Result<(), SimError> {
         let (sp, dp) = (self.proc_of(src), self.proc_of(dst));
         self.stats.bytes.add(payload.len() as u64);
@@ -293,7 +298,7 @@ impl Transport for TcpTransport {
                 .get(&dst)
                 .cloned()
                 .ok_or_else(|| SimError::TransportClosed(dst.to_string()))?;
-            let msg = Msg { src, dst, class, payload: Bytes::from(payload) };
+            let msg = Msg { src, dst, class, flow, payload: Bytes::from(payload) };
             return tx.send(msg).map_err(|_| SimError::TransportClosed(dst.to_string()));
         }
         if self.cfg.machine_of_process(sp) == self.cfg.machine_of_process(dp) {
@@ -301,7 +306,7 @@ impl Transport for TcpTransport {
         } else {
             self.stats.inter_machine.incr();
         }
-        let frame = encode(src, dst, class, &payload);
+        let frame = encode(src, dst, class, flow, &payload);
         let mut guard = self.outbound[dp as usize].lock();
         if guard.is_none() {
             *guard = Some(connect_with_backoff(self.addrs[dp as usize], dst, &self.rng)?);
@@ -357,13 +362,16 @@ mod tests {
             (Endpoint::Lcp(ProcId(0)), Endpoint::Tile(TileId(1000))),
         ] {
             for class in [MsgClass::System, MsgClass::User, MsgClass::Memory] {
-                let frame = encode(src, dst, class, b"payload!");
-                let body = &frame[4..];
-                let msg = decode(body).unwrap();
-                assert_eq!(msg.src, src);
-                assert_eq!(msg.dst, dst);
-                assert_eq!(msg.class, class);
-                assert_eq!(msg.payload.as_ref(), b"payload!");
+                for flow in [0u64, 1, u64::MAX] {
+                    let frame = encode(src, dst, class, flow, b"payload!");
+                    let body = &frame[4..];
+                    let msg = decode(body).unwrap();
+                    assert_eq!(msg.src, src);
+                    assert_eq!(msg.dst, dst);
+                    assert_eq!(msg.class, class);
+                    assert_eq!(msg.flow, flow);
+                    assert_eq!(msg.payload.as_ref(), b"payload!");
+                }
             }
         }
     }
@@ -371,17 +379,25 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert!(decode(&[]).is_none());
-        assert!(decode(&[9; 11]).is_none());
+        assert!(decode(&[0; 11]).is_none()); // too short for the flow word
+        assert!(decode(&[9; 19]).is_none());
     }
 
     #[test]
     fn cross_process_message_travels_socket() {
         let hub = TcpTransport::new(&cfg(4, 2, 1)).unwrap();
         let mb = hub.register(Endpoint::Tile(TileId(1)));
-        hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(1)), MsgClass::Memory, vec![42])
-            .unwrap();
+        hub.send_flow(
+            Endpoint::Tile(TileId(0)),
+            Endpoint::Tile(TileId(1)),
+            MsgClass::Memory,
+            vec![42],
+            777,
+        )
+        .unwrap();
         let msg = mb.recv_timeout(Duration::from_secs(5)).unwrap().expect("delivered");
         assert_eq!(msg.payload.as_ref(), &[42]);
+        assert_eq!(msg.flow, 777);
         assert_eq!(hub.stats().inter_process.get(), 1);
     }
 
@@ -390,9 +406,16 @@ mod tests {
         let hub = TcpTransport::new(&cfg(4, 2, 1)).unwrap();
         let mb = hub.register(Endpoint::Tile(TileId(2)));
         // tiles 0 and 2 both map to process 0.
-        hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(2)), MsgClass::User, vec![1])
-            .unwrap();
-        assert!(mb.try_recv().is_some());
+        hub.send_flow(
+            Endpoint::Tile(TileId(0)),
+            Endpoint::Tile(TileId(2)),
+            MsgClass::User,
+            vec![1],
+            5,
+        )
+        .unwrap();
+        let msg = mb.try_recv().expect("delivered");
+        assert_eq!(msg.flow, 5);
         assert_eq!(hub.stats().intra_process.get(), 1);
         assert_eq!(hub.stats().inter_process.get(), 0);
     }
@@ -407,10 +430,17 @@ mod tests {
         dead.shutdown(std::net::Shutdown::Both).unwrap();
         *hub.outbound[1].lock() = Some(dead);
 
-        hub.send(Endpoint::Tile(TileId(0)), Endpoint::Tile(TileId(1)), MsgClass::User, vec![9])
-            .unwrap();
+        hub.send_flow(
+            Endpoint::Tile(TileId(0)),
+            Endpoint::Tile(TileId(1)),
+            MsgClass::User,
+            vec![9],
+            31,
+        )
+        .unwrap();
         let msg = mb.recv_timeout(Duration::from_secs(5)).unwrap().expect("delivered");
         assert_eq!(msg.payload.as_ref(), &[9]);
+        assert_eq!(msg.flow, 31);
         assert_eq!(hub.stats().reconnects.get(), 1);
     }
 

@@ -1,0 +1,178 @@
+//! Causal message-flow tracing integration: every directory transaction
+//! minted as a flow reassembles into a complete span chain whose segment
+//! decomposition sums exactly to the access's modeled `MemCost` latency,
+//! under every synchronization model; a two-process TCP run produces one
+//! merged report carrying spans from every simulated process and a
+//! Perfetto document with validated cross-tile flow arrows.
+
+use std::sync::Arc;
+
+use graphite::{validate_chrome_trace, GuestEntry, Sim, SimConfig, SimReport};
+use graphite_config::SyncModel;
+use graphite_memory::Addr;
+
+const LINES: u64 = 48;
+const STRIDE: u64 = 1024; // > line size, so every access touches a new line
+
+/// Loads then stores a strided region: loads take cold misses with homes
+/// striped over every tile, stores upgrade — both transaction kinds mint
+/// flows.
+fn miss_workload(ctx: &mut graphite::Ctx, base: u64, lines: u64) {
+    for i in 0..lines {
+        let a = Addr(base + i * STRIDE);
+        let v: u64 = ctx.load(a);
+        ctx.store::<u64>(a, v + 1);
+    }
+}
+
+fn run_flows(sync: SyncModel, tiles: u32, processes: u32, tcp: bool) -> SimReport {
+    let cfg = SimConfig::builder()
+        .tiles(tiles)
+        .processes(processes)
+        .machines(processes.min(2))
+        .sync(sync)
+        .build()
+        .expect("config");
+    Sim::builder(cfg)
+        .flows(true)
+        .trace_capacity(1 << 16)
+        .tcp_transport(tcp)
+        .build()
+        .expect("simulator")
+        .run(move |ctx| {
+            let base = ctx.malloc(2 * LINES * STRIDE).expect("heap");
+            let lo = base.0;
+            let entry: GuestEntry = Arc::new(move |ctx, arg| {
+                miss_workload(ctx, arg, LINES);
+            });
+            let t = ctx.spawn(Arc::clone(&entry), lo + LINES * STRIDE).expect("free tile");
+            miss_workload(ctx, lo, LINES);
+            ctx.join(t);
+        })
+}
+
+/// Every memory flow in a drained report must reassemble completely, and
+/// its queue/link/service/reply segments must sum exactly to the latency
+/// the memory system charged the access.
+fn assert_flows_exact(r: &SimReport, label: &str) {
+    let analysis = r.flow_analysis();
+    let mem_flows: Vec<_> = analysis.flows.iter().filter(|f| f.kind == Some("mem_miss")).collect();
+    assert!(!mem_flows.is_empty(), "{label}: no memory flows traced");
+
+    // One flow per directory transaction: nothing minted twice, nothing
+    // lost (capacity was ample, so no ring overflow).
+    let transactions: u64 = r.per_tile.iter().map(|t| t.mem_transactions).sum();
+    assert_eq!(mem_flows.len() as u64, transactions, "{label}: one flow per transaction");
+    assert_eq!(r.trace_dropped.iter().sum::<u64>(), 0, "{label}: no ring overflow expected");
+
+    let mut max_latency = 0;
+    for f in &mem_flows {
+        assert!(f.complete, "{label}: flow #{} has an incomplete span chain: {f:?}", f.id);
+        let seg = f.segments.expect("complete memory flows decompose");
+        let latency = f.latency.expect("complete flows carry the reply latency");
+        assert_eq!(
+            seg.total(),
+            latency,
+            "{label}: flow #{} segments {seg:?} must sum exactly to its MemCost latency",
+            f.id
+        );
+        assert!(f.hops >= 2, "{label}: a remote access takes a request and a response hop");
+        max_latency = max_latency.max(latency);
+    }
+    // The slowest flow IS the memory system's slowest access: the reply
+    // span records the exact per-access `MemCost` latency, and every
+    // access slower than a hit is a tracked transaction.
+    assert_eq!(
+        max_latency, r.mem.max_latency,
+        "{label}: the slowest flow must pin the reported max access latency"
+    );
+}
+
+#[test]
+fn span_trees_complete_under_all_sync_models() {
+    for sync in [
+        SyncModel::Lax,
+        SyncModel::LaxP2P { slack: 5_000, check_interval: 500 },
+        SyncModel::LaxBarrier { quantum: 1_000 },
+    ] {
+        let r = run_flows(sync, 4, 1, false);
+        assert_flows_exact(&r, &format!("{sync:?}"));
+    }
+}
+
+#[test]
+fn two_process_tcp_run_merges_into_one_observable_simulation() {
+    let r = run_flows(SyncModel::Lax, 4, 2, true);
+
+    // The merged report carries telemetry from every simulated process.
+    let per_proc = r.events_per_process();
+    assert_eq!(per_proc.len(), 2);
+    for (p, &count) in per_proc.iter().enumerate() {
+        assert!(count > 0, "merged report must carry spans from process {p}: {per_proc:?}");
+    }
+
+    // Every flow still reassembles exactly across the process boundary.
+    assert_flows_exact(&r, "2-process tcp");
+
+    // The single Perfetto timeline contains validated flow arrows.
+    let doc = r.perfetto_json();
+    let summary = validate_chrome_trace(&doc).expect("merged timeline must validate");
+    assert!(summary.flow_events > 0, "flow arrows missing from the merged timeline");
+    assert_eq!(summary.flow_events % 2, 0, "arrows come as start/finish pairs");
+    assert_eq!(summary.thread_tracks, 4);
+}
+
+#[test]
+fn link_heatmap_follows_traffic() {
+    let r = run_flows(SyncModel::Lax, 4, 1, false);
+    let hottest = r.hottest_links(10);
+    assert!(!hottest.is_empty(), "strided misses must cross mesh links");
+    assert!(hottest.windows(2).all(|w| w[0].flits >= w[1].flits), "sorted busiest-first");
+    let total: u64 = hottest.iter().map(|l| l.flits).sum();
+    assert!(total > 0);
+    // Directed links connect mesh neighbours only (2x2 mesh: distance 1).
+    for l in &hottest {
+        let (fx, fy) = (l.from % 2, l.from / 2);
+        let (tx, ty) = (l.to % 2, l.to / 2);
+        assert_eq!(fx.abs_diff(tx) + fy.abs_diff(ty), 1, "{l:?} must be a mesh hop");
+    }
+}
+
+#[test]
+fn user_message_flows_reassemble() {
+    let cfg = SimConfig::builder().tiles(2).build().expect("config");
+    let r = Sim::builder(cfg).flows(true).trace_capacity(1 << 12).build().expect("simulator").run(
+        |ctx| {
+            let entry: GuestEntry = Arc::new(|ctx, _| {
+                let (_, msg) = ctx.recv_msg().expect("message");
+                assert_eq!(msg, b"ping");
+            });
+            let t = ctx.spawn(entry, 0).expect("free tile");
+            ctx.send_msg(graphite_base::TileId(1), b"ping").expect("send");
+            ctx.join(t);
+        },
+    );
+    let analysis = r.flow_analysis();
+    let user: Vec<_> = analysis.flows.iter().filter(|f| f.kind == Some("user_msg")).collect();
+    assert_eq!(user.len(), 1, "one user message, one flow");
+    assert!(user[0].complete, "send, hop and receive spans must all be present");
+    assert!(user[0].hops >= 1);
+}
+
+#[test]
+fn flow_tracing_is_off_by_default() {
+    let cfg = SimConfig::builder().tiles(4).build().expect("config");
+    let r = Sim::builder(cfg)
+        .tracing(true) // ordinary tracing on, flows NOT requested
+        .trace_capacity(1 << 14)
+        .build()
+        .expect("simulator")
+        .run(|ctx| {
+            let base = ctx.malloc(LINES * STRIDE).expect("heap");
+            miss_workload(ctx, base.0, LINES);
+        });
+    assert!(!r.trace_events.is_empty(), "ordinary tracing still records");
+    assert!(r.flow_analysis().flows.is_empty(), "no flow spans unless opted in");
+    let summary = validate_chrome_trace(&r.perfetto_json()).expect("valid");
+    assert_eq!(summary.flow_events, 0);
+}
