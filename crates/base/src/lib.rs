@@ -24,6 +24,7 @@
 //! assert_eq!(t.to_string(), "tile3");
 //! ```
 
+pub mod blocker;
 pub mod error;
 pub mod ids;
 pub mod progress;
@@ -32,6 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use blocker::{Blocker, InlineBlocker};
 pub use error::SimError;
 pub use ids::{MachineId, ProcId, ThreadId, TileId};
 pub use progress::GlobalProgress;

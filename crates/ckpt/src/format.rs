@@ -1,4 +1,4 @@
-//! The `graphite.ckpt.v2` container: magic + version + checksummed segments.
+//! The `graphite.ckpt.v3` container: magic + version + checksummed segments.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -10,7 +10,7 @@ pub const CKPT_MAGIC: [u8; 8] = *b"GRAPHCKP";
 
 /// Format version this build reads and writes. v2 switched replay-log
 /// streams to zigzag-delta varint encoding ([`crate::Enc::delta_words`]).
-pub const CKPT_VERSION: u32 = 2;
+pub const CKPT_VERSION: u32 = 3;
 
 /// FNV-1a 64-bit hash, the format's segment checksum. Not cryptographic —
 /// it guards against torn writes and bit rot, not adversaries.

@@ -321,6 +321,20 @@ pub struct TraceConfig {
     pub flows: bool,
 }
 
+/// Guest-execution scheduler knobs (the `[scheduler]` section).
+///
+/// Guest contexts are multiplexed M:N onto a fixed pool of host execution
+/// slots; blocking operations (joins, futex waits, sync-model quanta) yield
+/// the slot cooperatively. `workers >= tiles` degenerates to thread-per-tile
+/// execution: no context ever waits for a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(default)]
+pub struct SchedulerConfig {
+    /// Number of host execution slots guest contexts multiplex over.
+    /// `0` (the default) means auto: `min(host parallelism, tiles)`.
+    pub workers: u32,
+}
+
 /// Complete configuration of one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -346,6 +360,9 @@ pub struct SimConfig {
     /// Tracing knobs; absent sections deserialize to the defaults.
     #[serde(default)]
     pub trace: TraceConfig,
+    /// Guest-scheduler knobs; absent sections deserialize to the defaults.
+    #[serde(default)]
+    pub scheduler: SchedulerConfig,
 }
 
 impl SimConfig {
@@ -586,6 +603,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the guest-scheduler worker count (`[scheduler] workers`);
+    /// `0` selects the auto default `min(host parallelism, tiles)`.
+    pub fn workers(mut self, n: u32) -> Self {
+        self.cfg.scheduler.workers = n;
+        self
+    }
+
     /// Finalizes and validates the configuration.
     ///
     /// # Errors
@@ -744,6 +768,24 @@ mod tests {
         };
         assert_eq!(c.num_lines(), 512);
         assert_eq!(c.num_sets(), 64);
+    }
+
+    #[test]
+    fn scheduler_defaults_to_auto_and_builder_overrides() {
+        let cfg = SimConfig::builder().build().unwrap();
+        assert_eq!(cfg.scheduler.workers, 0, "default is auto");
+        let cfg = SimConfig::builder().workers(4).build().unwrap();
+        assert_eq!(cfg.scheduler.workers, 4);
+    }
+
+    #[test]
+    fn scheduler_workers_survive_presets() {
+        // Presets carry the default (auto) scheduler section; tuning it does
+        // not disturb validation.
+        let cfg = presets::paper_default(1024);
+        assert_eq!(cfg.scheduler, SchedulerConfig::default());
+        let cfg = SimConfig::builder().tiles(1024).workers(8).build().unwrap();
+        assert_eq!(cfg.scheduler.workers, 8);
     }
 
     #[test]

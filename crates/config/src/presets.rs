@@ -72,6 +72,7 @@ pub fn paper_default(tiles: u32) -> SimConfig {
         seed: 0xC0FFEE,
         profile: crate::ProfileConfig::default(),
         trace: crate::TraceConfig::default(),
+        scheduler: crate::SchedulerConfig::default(),
     }
 }
 

@@ -12,7 +12,7 @@
 //! resumed run re-enters the workload driver, which sees identical simulated
 //! state and therefore makes identical progress.
 //!
-//! Segment map of a `graphite.ckpt.v1` file written here:
+//! Segment map of a `graphite.ckpt.v3` file written here:
 //!
 //! | segment   | contents                                                  |
 //! |-----------|-----------------------------------------------------------|
@@ -168,10 +168,11 @@ pub(crate) fn parse_ctrl(r: &CkptReader, cfg: &SimConfig) -> Result<CtrlRestore,
     for i in 0..n_threads {
         let tag = d.u8()?;
         let exit = d.u64()?;
+        let value = d.u64()?;
         // Quiesce guarantees: only thread 0 may be running in a checkpoint.
         match tag {
             0 if i == 0 => threads.push(None),
-            1 if i > 0 => threads.push(Some(Cycles(exit))),
+            1 if i > 0 => threads.push(Some((Cycles(exit), value))),
             _ => return Err(bad()),
         }
     }

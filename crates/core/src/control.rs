@@ -142,12 +142,13 @@ pub enum McpRequest {
         /// Receives the new thread id, or [`SimError::NoFreeTile`].
         reply: Sender<Result<ThreadId, SimError>>,
     },
-    /// Wait for a thread to exit; replies with its exit time.
+    /// Wait for a thread to exit; replies with its exit time and exit value.
     Join {
         /// Thread to join.
         thread: ThreadId,
-        /// Receives the exit time.
-        reply: Sender<Cycles>,
+        /// Receives `(exit time, exit value)`, or
+        /// [`SimError::UnknownThread`] for a never-spawned id.
+        reply: Sender<Result<(Cycles, u64), SimError>>,
     },
     /// A guest thread finished.
     ThreadExit {
@@ -157,6 +158,8 @@ pub enum McpRequest {
         tile: TileId,
         /// Its final clock.
         time: Cycles,
+        /// Its pthread-style exit value (see `Ctx::set_exit_value`).
+        value: u64,
     },
     /// Emulated `futex(FUTEX_WAIT)` (paper §3.4).
     FutexWait {
@@ -237,6 +240,11 @@ pub enum LcpCmd {
         /// Starting clock (the spawner's time).
         start_time: Cycles,
     },
+    /// A lazily-created carrier thread reporting in for reaping: the
+    /// scheduler start closure runs on whatever thread granted the slot, so
+    /// it mails the [`JoinHandle`](std::thread::JoinHandle) back to the LCP
+    /// that owns this process's guest threads.
+    Reap(std::thread::JoinHandle<()>),
     /// Join all worker threads and exit.
     Shutdown,
 }
@@ -244,21 +252,21 @@ pub enum LcpCmd {
 #[derive(Debug)]
 enum ThreadState {
     Running,
-    Exited(Cycles),
+    Exited(Cycles, u64),
 }
 
 struct ThreadRecord {
     state: ThreadState,
-    joiners: Vec<Sender<Cycles>>,
+    joiners: Vec<Sender<Result<(Cycles, u64), SimError>>>,
 }
 
 /// MCP-owned control state parsed from a checkpoint's `ctrl` segment,
 /// stashed on [`SimInner`] by the builder for the MCP thread to consume
 /// before it services its first request (see `crate::ckpt`).
 pub(crate) struct CtrlRestore {
-    /// Per-thread exit times; `None` means the thread was recorded as
-    /// running (only thread 0 may be).
-    pub(crate) threads: Vec<Option<Cycles>>,
+    /// Per-thread `(exit time, exit value)`; `None` means the thread was
+    /// recorded as running (only thread 0 may be).
+    pub(crate) threads: Vec<Option<(Cycles, u64)>>,
     /// Tiles available for future spawns.
     pub(crate) free_tiles: Vec<u32>,
     /// Heap allocator with imported free/live maps.
@@ -325,7 +333,7 @@ pub(crate) fn mcp_main(
             .map(|exit| ThreadRecord {
                 state: match exit {
                     None => ThreadState::Running,
-                    Some(t) => ThreadState::Exited(t),
+                    Some((t, v)) => ThreadState::Exited(t, v),
                 },
                 joiners: Vec::new(),
             })
@@ -362,27 +370,27 @@ pub(crate) fn mcp_main(
                 inner.ctrl_stats.joins.incr_owned(MCP_LANE);
                 match threads.get_mut(thread.index()) {
                     Some(rec) => match rec.state {
-                        ThreadState::Exited(t) => {
-                            let _ = reply.send(t);
+                        ThreadState::Exited(t, v) => {
+                            let _ = reply.send(Ok((t, v)));
                         }
                         ThreadState::Running => rec.joiners.push(reply),
                     },
                     None => {
                         // Unknown thread: reply immediately so the caller is
                         // not stranded (join of a never-spawned id).
-                        let _ = reply.send(Cycles::ZERO);
+                        let _ = reply.send(Err(SimError::UnknownThread(thread)));
                     }
                 }
             }
-            McpRequest::ThreadExit { thread, tile, time } => {
+            McpRequest::ThreadExit { thread, tile, time, value } => {
                 inner
                     .obs
                     .tracer
                     .emit(tile, time, || TraceEventKind::ThreadExit { thread: thread.0 });
                 if let Some(rec) = threads.get_mut(thread.index()) {
-                    rec.state = ThreadState::Exited(time);
+                    rec.state = ThreadState::Exited(time, value);
                     for j in rec.joiners.drain(..) {
-                        let _ = j.send(time);
+                        let _ = j.send(Ok((time, value)));
                     }
                 }
                 if tile.0 != 0 {
@@ -467,10 +475,12 @@ pub(crate) fn mcp_main(
                         ThreadState::Running => {
                             ctrl.u8(0);
                             ctrl.u64(0);
+                            ctrl.u64(0);
                         }
-                        ThreadState::Exited(t) => {
+                        ThreadState::Exited(t, v) => {
                             ctrl.u8(1);
                             ctrl.u64(t.0);
+                            ctrl.u64(v);
                         }
                     }
                 }
@@ -505,19 +515,43 @@ pub(crate) fn mcp_main(
 /// The LCP service loop: spawns this process's guest threads (paper §3.5:
 /// "the MCP forwards the spawn request to the LCP on the machine that holds
 /// the chosen tile") and reaps them at shutdown.
-pub(crate) fn lcp_main(inner: Arc<SimInner>, rx: Receiver<LcpCmd>) {
+pub(crate) fn lcp_main(inner: Arc<SimInner>, rx: Receiver<LcpCmd>, tx: Sender<LcpCmd>) {
     let mut workers = Vec::new();
-    while let Ok(cmd) = rx.recv() {
+    let mut submitted = 0usize;
+    let mut reaped = 0usize;
+    let mut shutdown = false;
+    // Spawns are *submitted* to the M:N scheduler, which defers carrier
+    // creation until the context is first granted an execution slot; every
+    // submitted context eventually starts (slot releases always hand off to
+    // the run-queue first), so at shutdown this loop drains until each
+    // carrier has reported in for reaping.
+    while !(shutdown && reaped == submitted) {
+        let Ok(cmd) = rx.recv() else { break };
         match cmd {
             LcpCmd::Spawn { tile, thread, entry, arg, start_time } => {
+                submitted += 1;
                 let inner2 = Arc::clone(&inner);
-                let handle = std::thread::Builder::new()
-                    .name(format!("graphite-{tile}"))
-                    .spawn(move || guest_thread_main(inner2, tile, thread, entry, arg, start_time))
-                    .expect("spawn guest thread");
+                let reap_tx = tx.clone();
+                inner.sched.submit(
+                    tile,
+                    Box::new(move || {
+                        let sched = Arc::clone(&inner2.sched);
+                        sched.carrier_started(tile);
+                        let handle = std::thread::Builder::new()
+                            .name(format!("graphite-{tile}"))
+                            .spawn(move || {
+                                guest_thread_main(inner2, tile, thread, entry, arg, start_time)
+                            })
+                            .expect("spawn guest thread");
+                        let _ = reap_tx.send(LcpCmd::Reap(handle));
+                    }),
+                );
+            }
+            LcpCmd::Reap(handle) => {
+                reaped += 1;
                 workers.push(handle);
             }
-            LcpCmd::Shutdown => break,
+            LcpCmd::Shutdown => shutdown = true,
         }
     }
     for w in workers {
@@ -540,14 +574,19 @@ fn guest_thread_main(
     // the cycles up to `start_time` were spent waiting to exist.
     inner.clocks[tile.index()].reset_to(start_time);
     inner.cpi.reset_tile(tile, start_time);
+    // This thread exists because the M:N scheduler granted the context an
+    // execution slot (lazy carrier creation): it starts *owning* the slot,
+    // so no attach here — becoming sync-active is the first act.
     inner.sync.activate(tile);
     // Even if the guest panics, the thread must exit through the MCP —
     // otherwise joiners and barrier peers deadlock and the whole simulation
     // hangs instead of reporting the failure.
+    let mut exit_value = 0u64;
     let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut ctx = Ctx::new(Arc::clone(&inner), tile, thread);
         ctx.execute(Instruction::Spawn);
         entry(&mut ctx, arg);
+        exit_value = ctx.take_exit_value();
     }))
     .err();
     let end = inner.clocks[tile.index()].now();
@@ -555,7 +594,12 @@ fn guest_thread_main(
     // orderable against later users of the tile.
     inner.obs.tracer.flush(tile);
     inner.sync.deactivate(tile);
-    let _ = inner.mcp_tx.send(McpRequest::ThreadExit { thread, tile, time: end });
+    let _ =
+        inner.mcp_tx.send(McpRequest::ThreadExit { thread, tile, time: end, value: exit_value });
+    // Hand the execution slot on — even on the panic path, or the pool
+    // leaks a slot and the simulation wedges.
+    inner.sched.detach(tile);
+    inner.sched.carrier_exited();
     if let Some(p) = panic {
         inner.guest_panicked.store(true, std::sync::atomic::Ordering::Relaxed);
         std::panic::resume_unwind(p);

@@ -11,7 +11,7 @@
 //! |---------------------------|-------------------------------------------|
 //! | memory reference          | [`Ctx::load`], [`Ctx::store`], …          |
 //! | instruction stream        | [`Ctx::execute`], [`Ctx::alu`], …         |
-//! | `pthread_create`/`join`   | [`Ctx::spawn`], [`Ctx::join`]             |
+//! | `pthread_create`/`join`   | [`Ctx::spawn`], [`GuestHandle::join`]     |
 //! | `futex` syscall           | [`Ctx::futex_wait`], [`Ctx::futex_wake`]  |
 //! | `brk`/`mmap`/`munmap`     | [`Ctx::malloc`], [`Ctx::mmap`], …         |
 //! | file-I/O syscalls         | [`Ctx::sys_open`], [`Ctx::sys_read`], …   |
@@ -20,8 +20,12 @@
 //! Typed guest memory access goes through the generic [`Ctx::load`] /
 //! [`Ctx::store`] pair, parameterized over the sealed [`GuestValue`] trait
 //! (the plain-old-data types `u8`, `u16`, `u32`, `u64`, `i64`, `f32`, `f64`
-//! with a fixed little-endian guest representation). The older
-//! `load_u64`-style accessors remain as deprecated forwarders.
+//! with a fixed little-endian guest representation).
+//!
+//! Every blocking operation (join, futex wait, message receive) yields the
+//! tile's execution slot to the M:N guest scheduler
+//! ([`crate::GuestScheduler`]) for the duration of the wait, so a blocked
+//! context never occupies a host core.
 //!
 //! ## Panics versus errors
 //!
@@ -51,7 +55,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use crossbeam::channel;
-use graphite_base::{Cycles, SimError, ThreadId, TileId};
+use graphite_base::{Blocker, Cycles, SimError, ThreadId, TileId};
 use graphite_ckpt::stream;
 use graphite_core_model::{CostClass, Instruction};
 use graphite_memory::{Addr, MemCost};
@@ -112,12 +116,61 @@ macro_rules! guest_value {
 
 guest_value!(u8, u16, u32, u64, i64, f32, f64);
 
+/// A handle to a spawned guest thread, returned by [`Ctx::spawn`] — the
+/// analogue of a `pthread_t`. Joining consumes the handle, so a thread
+/// cannot be joined twice.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use graphite::{GuestEntry, Sim, SimConfig};
+///
+/// let cfg = SimConfig::builder().tiles(2).build().unwrap();
+/// Sim::builder(cfg).build().unwrap().run(|ctx| {
+///     let entry: GuestEntry = Arc::new(|ctx, arg| {
+///         ctx.alu(100);
+///         ctx.set_exit_value(arg * 2); // pthread_exit-style return value
+///     });
+///     let child = ctx.spawn(entry, 21).unwrap();
+///     assert_eq!(child.join(ctx).unwrap(), 42);
+/// });
+/// ```
+#[derive(Debug)]
+#[must_use = "a spawned guest thread must be joined"]
+pub struct GuestHandle {
+    thread: ThreadId,
+}
+
+impl GuestHandle {
+    /// The spawned thread's id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Blocks until the thread exits, forwards the joiner's clock to the
+    /// exit time (thread join is a true synchronization event, §3.6.1) and
+    /// returns the value the thread set with [`Ctx::set_exit_value`]
+    /// (0 if it never did). The wait yields the joiner's execution slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownThread`] if the control plane has no
+    /// record of the thread, or [`SimError::TransportClosed`] if the MCP is
+    /// gone.
+    pub fn join(self, ctx: &mut Ctx) -> Result<u64, SimError> {
+        ctx.join_thread(self.thread)
+    }
+}
+
 /// The execution context of one guest thread, bound to one target tile for
 /// the thread's lifetime (paper §3.5: threads are long-living).
 pub struct Ctx {
     sim: Arc<SimInner>,
     tile: TileId,
     thread: ThreadId,
+    /// The pthread-style exit value handed to the joiner.
+    exit_value: u64,
 }
 
 impl std::fmt::Debug for Ctx {
@@ -128,7 +181,20 @@ impl std::fmt::Debug for Ctx {
 
 impl Ctx {
     pub(crate) fn new(sim: Arc<SimInner>, tile: TileId, thread: ThreadId) -> Self {
-        Ctx { sim, tile, thread }
+        Ctx { sim, tile, thread, exit_value: 0 }
+    }
+
+    /// Sets this thread's exit value, returned to the joiner by
+    /// [`GuestHandle::join`] — the analogue of `pthread_exit(value)`. The
+    /// last value set before the entry function returns wins; threads that
+    /// never call it exit with 0.
+    pub fn set_exit_value(&mut self, value: u64) {
+        self.exit_value = value;
+    }
+
+    /// The exit value recorded so far (consumed at thread exit).
+    pub(crate) fn take_exit_value(&self) -> u64 {
+        self.exit_value
     }
 
     /// The tile this thread runs on.
@@ -275,42 +341,6 @@ impl Ctx {
         self.write_bytes(addr, &b[..T::SIZE]);
     }
 
-    /// Loads a little-endian `u64`.
-    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::load::<u64>` instead")]
-    pub fn load_u64(&mut self, addr: Addr) -> u64 {
-        self.load(addr)
-    }
-
-    /// Stores a little-endian `u64`.
-    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::store::<u64>` instead")]
-    pub fn store_u64(&mut self, addr: Addr, v: u64) {
-        self.store(addr, v);
-    }
-
-    /// Loads a little-endian `u32`.
-    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::load::<u32>` instead")]
-    pub fn load_u32(&mut self, addr: Addr) -> u32 {
-        self.load(addr)
-    }
-
-    /// Stores a little-endian `u32`.
-    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::store::<u32>` instead")]
-    pub fn store_u32(&mut self, addr: Addr, v: u32) {
-        self.store(addr, v);
-    }
-
-    /// Loads an `f64`.
-    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::load::<f64>` instead")]
-    pub fn load_f64(&mut self, addr: Addr) -> f64 {
-        self.load(addr)
-    }
-
-    /// Stores an `f64`.
-    #[deprecated(since = "0.2.0", note = "use the generic `Ctx::store::<f64>` instead")]
-    pub fn store_f64(&mut self, addr: Addr, v: f64) {
-        self.store(addr, v);
-    }
-
     /// Atomic read-modify-write of a `u32` (a locked instruction); returns
     /// the previous value.
     pub fn fetch_update_u32<F: FnMut(u32) -> u32>(&mut self, addr: Addr, f: F) -> u32 {
@@ -413,22 +443,25 @@ impl Ctx {
 
     // ---- threading (intercepted pthread spawn/join, §3.5) ---------------
 
-    /// Spawns a guest thread on a free tile chosen by the MCP.
+    /// Spawns a guest thread on a free tile chosen by the MCP and returns a
+    /// [`GuestHandle`] for joining it (see the handle's docs for a full
+    /// example).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::NoFreeTile`] when every tile already runs a
     /// thread (the paper's limit: threads ≤ tiles).
-    pub fn spawn(&mut self, entry: GuestEntry, arg: u64) -> Result<ThreadId, SimError> {
+    pub fn spawn(&mut self, entry: GuestEntry, arg: u64) -> Result<GuestHandle, SimError> {
         self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Spawn { entry, arg, parent_time: self.now(), reply: tx });
-        rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
+        let thread = rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))??;
+        Ok(GuestHandle { thread })
     }
 
     /// Blocks until `thread` exits, then forwards this tile's clock to the
     /// exit time (thread join is a true synchronization event, §3.6.1).
-    pub fn join(&mut self, thread: ThreadId) {
+    fn join_thread(&mut self, thread: ThreadId) -> Result<u64, SimError> {
         self.execute_as(Instruction::Generic { cost: SYSCALL_COST }, CpiClass::SpawnCtrl);
         let (tx, rx) = channel::bounded(1);
         self.send_mcp(McpRequest::Join { thread, reply: tx });
@@ -436,10 +469,16 @@ impl Ctx {
         // stay orderable against the joined thread's.
         self.sim.obs.tracer.flush(self.tile);
         self.sim.sync.deactivate(self.tile);
-        let exit_time = rx.recv().unwrap_or(Cycles::ZERO);
+        // Yield the execution slot while blocked: the join wait is a
+        // cooperative scheduling point under the M:N guest scheduler.
+        let mut got = None;
+        self.sim.sched.blocking(self.tile, &mut || got = rx.recv().ok());
         self.sim.sync.activate(self.tile);
+        let (exit_time, value) =
+            got.unwrap_or_else(|| Err(SimError::TransportClosed("mcp".into())))?;
         self.forward_charged(exit_time, CpiClass::SyncWait);
         self.execute_as(Instruction::Generic { cost: Cycles(1) }, CpiClass::SpawnCtrl);
+        Ok(value)
     }
 
     // ---- futex emulation (intercepted futex syscall, §3.4) --------------
@@ -454,7 +493,10 @@ impl Ctx {
         // Seal the pending trace batch before parking this thread.
         self.sim.obs.tracer.flush(self.tile);
         self.sim.sync.deactivate(self.tile);
-        let outcome = rx.recv().unwrap_or(FutexWaitOutcome::ValueMismatch);
+        // The futex wait yields this tile's execution slot until the reply.
+        let mut got = None;
+        self.sim.sched.blocking(self.tile, &mut || got = rx.recv().ok());
+        let outcome = got.unwrap_or(FutexWaitOutcome::ValueMismatch);
         self.sim.sync.activate(self.tile);
         if let FutexWaitOutcome::Woken { waker_time } = outcome {
             self.forward_charged(waker_time + FUTEX_WAKE_LATENCY, CpiClass::SyncWait);
@@ -562,7 +604,11 @@ impl Ctx {
             } else {
                 loop {
                     self.sim.sync.deactivate(self.tile);
-                    let msg = inbox.mailbox.recv();
+                    // A blocking receive is a scheduling point: give up the
+                    // execution slot until a message lands in the mailbox.
+                    let mut got = None;
+                    self.sim.sched.blocking(self.tile, &mut || got = Some(inbox.mailbox.recv()));
+                    let msg = got.expect("blocking closure always runs");
                     self.sim.sync.activate(self.tile);
                     let msg =
                         msg.map_err(|_| SimError::TransportClosed("user message receive".into()))?;
@@ -726,7 +772,7 @@ impl Ctx {
         }
     }
 
-    /// Snapshots the quiesced simulation to `path` in the `graphite.ckpt.v1`
+    /// Snapshots the quiesced simulation to `path` in the `graphite.ckpt.v3`
     /// format, for a later [`crate::SimBuilder::resume`].
     ///
     /// Only the main thread may checkpoint, and only at a quiesce point:

@@ -114,7 +114,7 @@ impl GMutex {
 ///     let tids: Vec<_> = (0..3).map(|_| ctx.spawn(entry.clone(), 0).unwrap()).collect();
 ///     bar.wait(ctx);
 ///     for t in tids {
-///         ctx.join(t);
+///         t.join(ctx).unwrap();
 ///     }
 /// });
 /// assert!(report.ctrl.futex_wakes > 0);
@@ -255,7 +255,7 @@ mod tests {
                 m.unlock(ctx);
             }
             for t in tids {
-                ctx.join(t);
+                t.join(ctx).unwrap();
             }
             assert_eq!(ctx.load::<u64>(counter), 800);
         });
@@ -284,7 +284,7 @@ mod tests {
                 (0..3).map(|_| ctx.spawn(Arc::clone(&entry), flags.0).unwrap()).collect();
             entry(ctx, flags.0);
             for t in tids {
-                ctx.join(t);
+                t.join(ctx).unwrap();
             }
         });
     }
@@ -299,7 +299,7 @@ mod tests {
             let t = ctx.spawn(entry, 0).unwrap();
             ctx.alu(300_000); // main is far ahead when it arrives
             bar.wait(ctx);
-            ctx.join(t);
+            t.join(ctx).unwrap();
         });
         // The child was woken by main's barrier release: its clock must have
         // been forwarded to ~main's time.
@@ -329,7 +329,7 @@ mod tests {
             ctx.store::<u32>(ready, 1);
             cv.broadcast(ctx);
             m.unlock(ctx);
-            ctx.join(t);
+            t.join(ctx).unwrap();
         });
     }
 

@@ -25,10 +25,12 @@
 //!             let a = Addr(arg);
 //!             let v: u64 = ctx.load(a);
 //!             ctx.store(a, v + 1);
+//!             ctx.set_exit_value(v + 1); // returned to the joiner
 //!         }),
 //!         buf.0,
 //!     ).unwrap();
-//!     ctx.join(child);
+//!     let exit = child.join(ctx).unwrap();
+//!     assert_eq!(exit, 42);
 //!     assert_eq!(ctx.load::<u64>(buf), 42);
 //! });
 //! assert!(report.simulated_cycles.0 > 0);
@@ -83,6 +85,7 @@ pub mod control;
 pub mod ctx;
 pub mod guest_sync;
 pub mod report;
+pub mod sched;
 pub mod vfs;
 
 use std::path::PathBuf;
@@ -101,15 +104,16 @@ pub use graphite_prof::{
     analyze_flows, validate_chrome_trace, ChromeTraceSummary, CpiClass, CpiStack, Flow,
     FlowAnalysis, FlowSegments,
 };
-use graphite_sync::{build_synchronizer_replay, SkewSampler, Synchronizer};
+use graphite_sync::{build_synchronizer_sched, SkewSampler, Synchronizer};
 pub use graphite_trace::{MetricsSnapshot, TraceEvent, TraceEventKind};
 use graphite_trace::{Obs, ShardedMetric, TraceOptions};
 use graphite_transport::{Endpoint, LocalTransport, Transport};
 use parking_lot::Mutex;
 
-pub use ctx::{Ctx, GuestEntry, GuestValue};
+pub use ctx::{Ctx, GuestEntry, GuestHandle, GuestValue};
 pub use guest_sync::{GBarrier, GCondvar, GMutex};
-pub use report::{LinkUtilization, SimReport};
+pub use report::{LinkUtilization, SchedReport, SimReport};
+pub use sched::{GuestScheduler, SchedStats};
 
 use control::{lcp_main, mcp_main, ControlStats, LcpCmd, McpRequest, UserInbox};
 
@@ -129,6 +133,9 @@ pub(crate) struct SimInner {
     pub mem: Arc<MemorySystem>,
     pub network: Arc<Network>,
     pub sync: Arc<dyn Synchronizer>,
+    /// The M:N guest scheduler gating contexts onto execution slots; every
+    /// guest blocking point yields through it.
+    pub sched: Arc<sched::GuestScheduler>,
     pub transport: Arc<dyn Transport>,
     pub inboxes: Vec<Mutex<UserInbox>>,
     pub mcp_tx: Sender<McpRequest>,
@@ -179,15 +186,8 @@ pub struct SimBuilder {
     resume: Option<PathBuf>,
     record: bool,
     replay_log: Option<Vec<u8>>,
+    workers: Option<u32>,
 }
-
-/// Former name of [`SimBuilder`].
-#[deprecated(since = "0.2.0", note = "renamed to `SimBuilder`")]
-pub type SimulatorBuilder = SimBuilder;
-
-/// Former name of [`Sim`].
-#[deprecated(since = "0.2.0", note = "renamed to `Sim`; construct via `Sim::builder`")]
-pub type Simulator = Sim;
 
 impl SimBuilder {
     /// Starts from a configuration (validated at [`SimBuilder::build`]).
@@ -201,7 +201,18 @@ impl SimBuilder {
             resume: None,
             record: false,
             replay_log: None,
+            workers: None,
         }
+    }
+
+    /// Overrides the guest-scheduler worker count (`[scheduler] workers` in
+    /// the configuration): how many guest contexts may execute concurrently
+    /// on the host. `0` selects the auto default
+    /// `min(host parallelism, tiles)`; `workers >= tiles` is exact
+    /// thread-per-tile behaviour.
+    pub fn workers(mut self, n: u32) -> Self {
+        self.workers = Some(n);
+        self
     }
 
     /// Resumes from a checkpoint written by [`Ctx::checkpoint`]. The
@@ -345,12 +356,18 @@ impl SimBuilder {
         } else {
             ReplayLog::off()
         });
-        let sync = build_synchronizer_replay(
+        // The scheduler exists before the synchronizer: barrier waits and
+        // P2P sleeps park through it so waiting tiles release their
+        // execution slots.
+        let workers = self.workers.unwrap_or(cfg.scheduler.workers);
+        let sched = sched::GuestScheduler::new(workers, cfg.target.num_tiles, &obs);
+        let sync = build_synchronizer_sched(
             cfg.sync,
             Arc::clone(&clocks),
             cfg.seed,
             &obs,
             Arc::clone(&replay),
+            Arc::clone(&sched) as Arc<dyn graphite_base::Blocker>,
         );
         let transport: Arc<dyn Transport> = if self.tcp_transport {
             Arc::new(graphite_transport::tcp::TcpTransport::with_obs(&cfg, &obs)?)
@@ -419,6 +436,7 @@ impl SimBuilder {
             mem,
             network,
             sync,
+            sched,
             transport,
             inboxes,
             mcp_tx: mcp_tx.clone(),
@@ -440,12 +458,12 @@ impl SimBuilder {
         let mut lcp_handles = Vec::new();
         for p in 0..inner.cfg.num_processes {
             let (tx, rx) = channel::unbounded::<LcpCmd>();
-            lcp_txs.push(tx);
+            lcp_txs.push(tx.clone());
             let inner2 = Arc::clone(&inner);
             lcp_handles.push(
                 std::thread::Builder::new()
                     .name(format!("graphite-lcp{p}"))
-                    .spawn(move || lcp_main(inner2, rx))
+                    .spawn(move || lcp_main(inner2, rx, tx))
                     .expect("spawn LCP"),
             );
         }
@@ -516,16 +534,20 @@ impl Sim {
             sampler
                 .spawn_periodic(std::time::Duration::from_micros(profile.skew_sample_interval_us))
         });
+        inner.sched.attach(TileId(0));
         inner.sync.activate(TileId(0));
         let mut ctx = Ctx::new(Arc::clone(&inner), TileId(0), ThreadId(0));
         main_fn(&mut ctx);
         let end_time = inner.clocks[0].now();
+        let exit_value = ctx.take_exit_value();
         inner.sync.deactivate(TileId(0));
         let _ = inner.mcp_tx.send(McpRequest::ThreadExit {
             thread: ThreadId(0),
             tile: TileId(0),
             time: end_time,
+            value: exit_value,
         });
+        inner.sched.detach(TileId(0));
         let _ = inner.mcp_tx.send(McpRequest::Shutdown);
         if let Some(h) = self.mcp_handle.take() {
             let _ = h.join();
@@ -614,20 +636,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_accessors_still_work() {
-        sim(1, 1).run(|ctx| {
-            let a = ctx.malloc(32).unwrap();
-            ctx.store_u64(a, 7);
-            assert_eq!(ctx.load_u64(a), 7);
-            ctx.store_u32(a.offset(8), 9);
-            assert_eq!(ctx.load_u32(a.offset(8)), 9);
-            ctx.store_f64(a.offset(16), 1.5);
-            assert_eq!(ctx.load_f64(a.offset(16)), 1.5);
-        });
-    }
-
-    #[test]
     fn spawn_join_across_processes() {
         let r = sim(4, 2).run(|ctx| {
             let a = ctx.malloc(256).unwrap();
@@ -643,7 +651,7 @@ mod tests {
                 tids.push(ctx.spawn(Arc::clone(&entry), a.offset(i * 8).0).unwrap());
             }
             for t in tids {
-                ctx.join(t);
+                t.join(ctx).unwrap();
             }
             // Every spawned thread wrote a tile id in 1..4 into its slot.
             for i in 0..3u64 {
@@ -667,7 +675,7 @@ mod tests {
             assert!(matches!(ctx.spawn(Arc::clone(&entry), 0), Err(SimError::NoFreeTile)));
             ctx.store(Addr(0x9000), 1u32);
             ctx.futex_wake(Addr(0x9000), u32::MAX);
-            ctx.join(t1);
+            t1.join(ctx).unwrap();
         });
     }
 
@@ -677,7 +685,7 @@ mod tests {
             ctx.alu(50_000); // parent advances before spawning
             let entry: GuestEntry = Arc::new(|_ctx, _| {});
             let t = ctx.spawn(entry, 0).unwrap();
-            ctx.join(t);
+            t.join(ctx).unwrap();
         });
         // The child tile's clock must be at least the parent's pre-spawn time.
         assert!(r.per_tile_cycles[1] >= Cycles(50_000), "{:?}", r.per_tile_cycles);
@@ -685,7 +693,9 @@ mod tests {
 
     #[test]
     fn futex_wake_forwards_waiter_clock() {
-        let r = sim(2, 1).run(|ctx| {
+        // Two slots: the raw wall-clock sleep below must not starve the
+        // child of its slot before it parks in the futex.
+        let r = Sim::builder(cfg(2, 1)).workers(2).build().unwrap().run(|ctx| {
             let f = ctx.malloc(64).unwrap();
             let entry: GuestEntry = Arc::new(move |ctx, arg| {
                 let f = Addr(arg);
@@ -698,7 +708,7 @@ mod tests {
             ctx.alu(200_000); // main runs far ahead in simulated time
             ctx.store(f, 1u32);
             ctx.futex_wake(f, 1);
-            ctx.join(t);
+            t.join(ctx).unwrap();
         });
         // The woken child was forwarded to (at least near) the waker's time.
         assert!(
@@ -724,7 +734,7 @@ mod tests {
             let (from, data) = ctx.recv_msg().unwrap();
             assert_eq!(from, TileId(1));
             assert_eq!(data, b"pong");
-            ctx.join(t);
+            t.join(ctx).unwrap();
         });
         assert_eq!(r.user_msgs, 2);
     }
@@ -738,7 +748,7 @@ mod tests {
             let t = ctx.spawn(entry, 0).unwrap();
             ctx.alu(500_000);
             ctx.send_msg(TileId(1), b"late").unwrap();
-            ctx.join(t);
+            t.join(ctx).unwrap();
         });
         assert!(r.per_tile_cycles[1] >= Cycles(500_000));
     }
@@ -760,7 +770,7 @@ mod tests {
                 ctx.sys_close(fd).unwrap();
             });
             let t = ctx.spawn(entry, buf.0).unwrap();
-            ctx.join(t);
+            t.join(ctx).unwrap();
             assert_eq!(ctx.load::<u64>(buf.offset(16)), 0x1122334455667788);
         });
         assert!(r.ctrl.syscalls >= 6);
@@ -840,7 +850,7 @@ mod tests {
             });
             let t = ctx.spawn(entry, 0).unwrap();
             ctx.send_msg(TileId(1), b"hi").unwrap();
-            ctx.join(t);
+            t.join(ctx).unwrap();
         });
         assert!(!r.trace_events.is_empty(), "tracing on must capture events");
         // Spawn, exit, syscall, memory and messaging events all show up.
@@ -889,7 +899,7 @@ mod tests {
                 ctx.fetch_update_u32(a, |v| v + 1);
             }
             for t in tids {
-                ctx.join(t);
+                t.join(ctx).unwrap();
             }
             assert_eq!(ctx.load::<u32>(a), 4_000);
         });
@@ -916,7 +926,7 @@ mod tests {
         let t = ctx.spawn(entry, a.0).unwrap();
         ctx.alu(10_000);
         ctx.send_msg(TileId(1), b"go").unwrap();
-        ctx.join(t);
+        t.join(ctx).unwrap();
     }
 
     #[test]

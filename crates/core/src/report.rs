@@ -103,7 +103,30 @@ pub struct CtrlReport {
     pub syscalls: u64,
 }
 
-/// Snapshot of transport-layer locality counters.
+/// Snapshot of the M:N guest scheduler's counters (`sched.*`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedReport {
+    /// Cooperative slot releases at blocking points (join, futex wait,
+    /// message receive, P2P sleep).
+    pub yields: u64,
+    /// Times a context queued for a slot because none was free.
+    pub parks: u64,
+    /// Slot handoffs directly to a queued context.
+    pub handoffs: u64,
+    /// Handoffs served from another worker lane's run-queue.
+    pub steals: u64,
+    /// Cumulative run-queue depth sampled at each enqueue
+    /// (`runq_depth / parks` = mean depth seen by a parking context).
+    pub runq_depth: u64,
+    /// Carrier threads created. Creation is lazy — a spawned context gets
+    /// its host thread at its first slot grant — so this equals the number
+    /// of guest threads that actually started.
+    pub threads_spawned: u64,
+    /// Peak simultaneously-live carrier threads (excludes the driver
+    /// thread): bounded by the pool width plus contexts blocked
+    /// mid-execution, not by the tile count.
+    pub threads_peak: u64,
+}
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TransportReport {
     /// Messages within one simulated process.
@@ -190,6 +213,8 @@ pub struct SimReport {
     pub transport: TransportReport,
     /// Synchronization-model snapshot.
     pub sync: SyncReport,
+    /// M:N guest-scheduler snapshot.
+    pub sched: SchedReport,
     /// User-level messages sent.
     pub user_msgs: u64,
     /// Captured guest stdout.
@@ -473,6 +498,15 @@ pub(crate) fn build_report(inner: &SimInner) -> SimReport {
             p2p_checks: c("sync.p2p_checks"),
             p2p_sleeps: c("sync.p2p_sleeps"),
             p2p_sleep_us: c("sync.p2p_sleep_us"),
+        },
+        sched: SchedReport {
+            yields: c("sched.yields"),
+            parks: c("sched.parks"),
+            handoffs: c("sched.handoffs"),
+            steals: c("sched.steals"),
+            runq_depth: c("sched.runq_depth"),
+            threads_spawned: c("sched.threads_spawned"),
+            threads_peak: c("sched.threads_peak"),
         },
         user_msgs: c("ctrl.user_msgs"),
         stdout: inner.stdout.lock().clone(),

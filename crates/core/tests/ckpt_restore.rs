@@ -126,7 +126,7 @@ fn checkpoint_requires_quiesce() {
         assert!(matches!(err, SimError::CkptNotQuiesced(_)), "got {err:?}");
         ctx.store(f, 1u32);
         ctx.futex_wake(f, u32::MAX);
-        ctx.join(t);
+        t.join(ctx).unwrap();
         // Fully joined: the same request now succeeds.
         ctx.checkpoint(&p).unwrap();
     });
@@ -145,7 +145,7 @@ fn checkpoint_refused_for_worker_threads() {
             assert!(matches!(err, SimError::CkptNotQuiesced(_)), "got {err:?}");
         });
         let t = ctx.spawn(entry, 0).unwrap();
-        ctx.join(t);
+        t.join(ctx).unwrap();
     });
     assert!(!path.exists());
 }
@@ -218,7 +218,7 @@ fn replay_workload(ctx: &mut Ctx) {
     // in general; record/replay pins it.
     let (from, _) = ctx.recv_msg().unwrap();
     acc = acc.wrapping_mul(31).wrapping_add(from.0 as u64);
-    ctx.join(a);
+    a.join(ctx).unwrap();
     ctx.print(&format!("acc {acc}\n"));
 }
 

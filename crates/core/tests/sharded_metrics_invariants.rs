@@ -70,7 +70,10 @@ fn sharded_lanes_fold_exactly_under_contention() {
 
 fn run_workload(sync: SyncModel) -> SimReport {
     let cfg = SimConfig::builder().tiles(TILES).processes(2).sync(sync).build().unwrap();
-    Sim::builder(cfg).build().unwrap().run(|ctx| {
+    // Full-width worker pool (thread-per-tile baseline): the sharing probes
+    // below only generate invalidations when guest threads actually
+    // interleave with the main thread's stores.
+    Sim::builder(cfg).workers(TILES).build().unwrap().run(|ctx| {
         let base = ctx.malloc(64 * 1024).unwrap();
         let shared = ctx.malloc(256).unwrap();
         let entry: GuestEntry = Arc::new(move |ctx, region| {
@@ -92,7 +95,7 @@ fn run_workload(sync: SyncModel) -> SimReport {
             ctx.store(shared, i);
         }
         for t in tids {
-            ctx.join(t);
+            t.join(ctx).unwrap();
         }
     })
 }

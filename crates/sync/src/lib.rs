@@ -26,11 +26,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use graphite_base::{Clock, SimRng, TileId};
+use graphite_base::{Blocker, Clock, InlineBlocker, SimRng, TileId};
 use graphite_ckpt::{stream, ReplayLog};
 use graphite_config::SyncModel;
 use graphite_trace::{MetricsRegistry, Obs, ShardedMetric, TraceEventKind, Tracer};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 pub use skew::{SkewSample, SkewSampler};
 
@@ -134,12 +134,37 @@ pub fn build_synchronizer_replay(
     obs: &Obs,
     replay: Arc<ReplayLog>,
 ) -> Arc<dyn Synchronizer> {
+    let tiles = clocks.len() as u32;
+    build_synchronizer_sched(model, clocks, seed, obs, replay, Arc::new(InlineBlocker::new(tiles)))
+}
+
+/// Like [`build_synchronizer_replay`], additionally threading a [`Blocker`]
+/// through the models' blocking points (barrier waits, P2P sleeps) so an M:N
+/// guest scheduler can reclaim the execution slot while a tile waits. The
+/// other builders default to [`InlineBlocker`], which blocks in place
+/// (thread-per-tile semantics).
+pub fn build_synchronizer_sched(
+    model: SyncModel,
+    clocks: Arc<Vec<Arc<Clock>>>,
+    seed: u64,
+    obs: &Obs,
+    replay: Arc<ReplayLog>,
+    blocker: Arc<dyn Blocker>,
+) -> Arc<dyn Synchronizer> {
     match model {
         SyncModel::Lax => Arc::new(LaxSync::with_obs(obs)),
-        SyncModel::LaxBarrier { quantum } => Arc::new(BarrierSync::with_obs(quantum, clocks, obs)),
-        SyncModel::LaxP2P { slack, check_interval } => {
-            Arc::new(P2PSync::with_replay(slack, check_interval, clocks, seed, obs, replay))
+        SyncModel::LaxBarrier { quantum } => {
+            Arc::new(BarrierSync::with_blocker(quantum, clocks, obs, blocker))
         }
+        SyncModel::LaxP2P { slack, check_interval } => Arc::new(P2PSync::with_blocker(
+            slack,
+            check_interval,
+            clocks,
+            seed,
+            obs,
+            replay,
+            blocker,
+        )),
     }
 }
 
@@ -187,8 +212,12 @@ struct BarrierState {
     arrived: usize,
     /// The boundary (in cycles) every active thread must reach.
     target: u64,
-    /// Release generation; waiting threads watch for it to change.
+    /// Release generation (a release counter, checkpointed).
     generation: u64,
+    /// The tiles parked at the current boundary; the release unparks each
+    /// one by name, so a guest scheduler requeues exactly the contexts that
+    /// became runnable instead of waking a thundering herd.
+    waiters: Vec<TileId>,
 }
 
 /// Quanta-based barrier synchronization (LaxBarrier, §3.6.2): "all active
@@ -197,7 +226,7 @@ pub struct BarrierSync {
     quantum: u64,
     clocks: Arc<Vec<Arc<Clock>>>,
     state: Mutex<BarrierState>,
-    cv: Condvar,
+    blocker: Arc<dyn Blocker>,
     stats: SyncStats,
     tracer: Arc<Tracer>,
 }
@@ -230,6 +259,22 @@ impl BarrierSync {
     ///
     /// Panics if `quantum` is zero.
     pub fn with_obs(quantum: u64, clocks: Arc<Vec<Arc<Clock>>>, obs: &Obs) -> Self {
+        let tiles = clocks.len() as u32;
+        Self::with_blocker(quantum, clocks, obs, Arc::new(InlineBlocker::new(tiles)))
+    }
+
+    /// Like [`BarrierSync::with_obs`], parking waiters through `blocker` so
+    /// an M:N guest scheduler can reclaim their execution slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_blocker(
+        quantum: u64,
+        clocks: Arc<Vec<Arc<Clock>>>,
+        obs: &Obs,
+        blocker: Arc<dyn Blocker>,
+    ) -> Self {
         assert!(quantum > 0, "barrier quantum must be positive");
         BarrierSync {
             quantum,
@@ -239,8 +284,9 @@ impl BarrierSync {
                 arrived: 0,
                 target: quantum,
                 generation: 0,
+                waiters: Vec::new(),
             }),
-            cv: Condvar::new(),
+            blocker,
             stats: SyncStats::registered(&obs.metrics),
             tracer: Arc::clone(&obs.tracer),
         }
@@ -257,7 +303,12 @@ impl BarrierSync {
         self.tracer.emit(tile, self.clocks[tile.index()].now(), || {
             TraceEventKind::BarrierRelease { waiters }
         });
-        self.cv.notify_all();
+        // Wake exactly the recorded waiters ([`Blocker::unpark`] never
+        // blocks, so holding the state lock here is safe); each consumes its
+        // token and requeues for an execution slot.
+        for w in std::mem::take(&mut s.waiters) {
+            self.blocker.unpark(w);
+        }
     }
 }
 
@@ -268,10 +319,10 @@ impl Synchronizer for BarrierSync {
 
     fn on_progress(&self, tile: TileId) {
         let clock = &self.clocks[tile.index()];
-        let mut s = self.state.lock();
         // A long memory stall can cross several quanta in one advance; wait
         // out each boundary in turn.
         loop {
+            let mut s = self.state.lock();
             if clock.now().0 < s.target || s.active <= 1 {
                 // Alone (or under the boundary): advance the target lazily so
                 // a solo thread never self-blocks.
@@ -289,10 +340,11 @@ impl Synchronizer for BarrierSync {
                 self.tracer.emit(tile, clock.now(), || TraceEventKind::BarrierWait {
                     quantum: quantum_target,
                 });
-                let gen = s.generation;
-                while s.generation == gen {
-                    self.cv.wait(&mut s);
-                }
+                s.waiters.push(tile);
+                drop(s);
+                // Park outside the state lock; an early release between the
+                // drop and the park just banks the unpark token.
+                self.blocker.park(tile);
             }
         }
     }
@@ -348,6 +400,7 @@ pub struct P2PSync {
     rng: Mutex<SimRng>,
     /// Record/replay of partner picks; [`ReplayLog::off`] when unused.
     replay: Arc<ReplayLog>,
+    blocker: Arc<dyn Blocker>,
     start: Instant,
     stats: SyncStats,
     /// Cap on a single sleep to bound the damage of a bad rate estimate.
@@ -405,6 +458,35 @@ impl P2PSync {
         obs: &Obs,
         replay: Arc<ReplayLog>,
     ) -> Self {
+        let tiles = clocks.len() as u32;
+        Self::with_blocker(
+            slack,
+            check_interval,
+            clocks,
+            seed,
+            obs,
+            replay,
+            Arc::new(InlineBlocker::new(tiles)),
+        )
+    }
+
+    /// Like [`P2PSync::with_replay`], running catch-up sleeps through
+    /// `blocker` so an M:N guest scheduler can reclaim the sleeper's
+    /// execution slot for a tile that is behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_interval` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_blocker(
+        slack: u64,
+        check_interval: u64,
+        clocks: Arc<Vec<Arc<Clock>>>,
+        seed: u64,
+        obs: &Obs,
+        replay: Arc<ReplayLog>,
+        blocker: Arc<dyn Blocker>,
+    ) -> Self {
         assert!(check_interval > 0, "check interval must be positive");
         let n = clocks.len();
         P2PSync {
@@ -415,6 +497,7 @@ impl P2PSync {
             last_check: (0..n).map(|_| AtomicU64::new(0)).collect(),
             rng: Mutex::new(SimRng::new(seed)),
             replay,
+            blocker,
             start: Instant::now(),
             stats: SyncStats::registered(&obs.metrics),
             max_sleep: Duration::from_millis(20),
@@ -483,7 +566,10 @@ impl Synchronizer for P2PSync {
         self.tracer.emit(tile, graphite_base::Cycles(now), || TraceEventKind::P2PSleep {
             micros: s.as_micros() as u64,
         });
-        std::thread::sleep(s);
+        // Sleep outside the execution slot: the whole point of the sleep is
+        // to let tiles that are behind run, which under an M:N scheduler
+        // requires handing them the slot.
+        self.blocker.blocking(tile, &mut || std::thread::sleep(s));
     }
 
     fn activate(&self, tile: TileId) {

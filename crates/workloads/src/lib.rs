@@ -130,7 +130,7 @@ where
     }
     work(ctx, 0);
     for t in tids {
-        ctx.join(t);
+        t.join(ctx).unwrap();
     }
 }
 

@@ -65,7 +65,7 @@ fn main() {
             (1..TILES).map(|_| ctx.spawn(Arc::clone(&entry), data.0).expect("free tile")).collect();
         entry(ctx, data.0);
         for t in tids {
-            ctx.join(t);
+            t.join(ctx).unwrap();
         }
     });
 

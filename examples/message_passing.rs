@@ -46,7 +46,7 @@ fn main() {
         }
         assert_eq!(token, LAPS * RING as u64, "one increment per hop");
         for t in tids {
-            ctx.join(t);
+            t.join(ctx).unwrap();
         }
     });
 

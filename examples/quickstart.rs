@@ -55,7 +55,7 @@ fn main() {
         ctx.print(&format!("checksum OK: {sum}\n"));
 
         for t in tids {
-            ctx.join(t);
+            t.join(ctx).unwrap();
         }
     });
 

@@ -47,7 +47,7 @@ fn run_flows(sync: SyncModel, tiles: u32, processes: u32, tcp: bool) -> SimRepor
             });
             let t = ctx.spawn(Arc::clone(&entry), lo + LINES * STRIDE).expect("free tile");
             miss_workload(ctx, lo, LINES);
-            ctx.join(t);
+            t.join(ctx).unwrap();
         })
 }
 
@@ -149,7 +149,7 @@ fn user_message_flows_reassemble() {
             });
             let t = ctx.spawn(entry, 0).expect("free tile");
             ctx.send_msg(graphite_base::TileId(1), b"ping").expect("send");
-            ctx.join(t);
+            t.join(ctx).unwrap();
         },
     );
     let analysis = r.flow_analysis();

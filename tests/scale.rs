@@ -28,7 +28,7 @@ fn sixty_four_tiles_full_occupancy() {
             (1..TILES).map(|_| ctx.spawn(Arc::clone(&entry), counters.0).expect("tile")).collect();
         entry(ctx, counters.0);
         for t in tids {
-            ctx.join(t);
+            t.join(ctx).unwrap();
         }
     });
     assert_eq!(r.ctrl.spawns, 63);
@@ -59,7 +59,7 @@ fn deep_spawn_chains_reuse_tiles() {
                 ctx.store::<u64>(Addr(arg), round);
             });
             let t = ctx.spawn(entry, slot.0).expect("tile recycled");
-            ctx.join(t);
+            t.join(ctx).unwrap();
             assert_eq!(ctx.load::<u64>(slot), round);
         }
     });

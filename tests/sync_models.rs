@@ -72,7 +72,9 @@ fn p2p_engages_when_skew_exceeds_slack() {
         .sync(SyncModel::LaxP2P { slack: 10_000, check_interval: 1_000 })
         .build()
         .expect("config");
-    let r = Sim::builder(cfg).build().expect("simulator").run(|ctx| {
+    // Full-width worker pool: the skew only builds if the busy and idle
+    // workers really run concurrently in wall-clock time.
+    let r = Sim::builder(cfg).workers(3).build().expect("simulator").run(|ctx| {
         let entry_busy: graphite::GuestEntry = Arc::new(|ctx, _| {
             for _ in 0..200 {
                 ctx.alu(10_000);
@@ -88,8 +90,8 @@ fn p2p_engages_when_skew_exceeds_slack() {
         });
         let a = ctx.spawn(entry_busy, 0).expect("tile");
         let b = ctx.spawn(entry_idle, 0).expect("tile");
-        ctx.join(a);
-        ctx.join(b);
+        a.join(ctx).unwrap();
+        b.join(ctx).unwrap();
     });
     assert!(r.sync.p2p_checks > 0, "checks must happen");
     assert!(r.sync.p2p_sleeps > 0, "the leader must be put to sleep");
