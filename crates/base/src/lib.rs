@@ -26,18 +26,22 @@
 
 pub mod blocker;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod progress;
 pub mod queue;
 pub mod rng;
+pub mod seqlock;
 pub mod stats;
 pub mod time;
 
 pub use blocker::{Blocker, InlineBlocker};
 pub use error::SimError;
+pub use hash::{FxBuildHasher, FxHasher};
 pub use ids::{MachineId, ProcId, ThreadId, TileId};
 pub use progress::GlobalProgress;
 pub use queue::LaxQueue;
 pub use rng::SimRng;
+pub use seqlock::SeqCount;
 pub use stats::{Counter, RunStats};
 pub use time::{Clock, Cycles};

@@ -81,10 +81,9 @@ impl GlobalProgress {
         let n = self.slots.len() as u64;
         let at = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
         let old = self.slots[at as usize].swap(t.0, Ordering::Relaxed);
-        // sum += new - old, done as two atomics; transient inconsistency only
-        // perturbs the approximation, never memory safety.
-        self.sum.fetch_add(t.0, Ordering::Relaxed);
-        self.sum.fetch_sub(old, Ordering::Relaxed);
+        // sum += new - old as a single wrapping delta; transient inconsistency
+        // only perturbs the approximation, never memory safety.
+        self.sum.fetch_add(t.0.wrapping_sub(old), Ordering::Relaxed);
         let filled = self.filled.load(Ordering::Relaxed);
         if filled < n {
             self.filled.fetch_add(1, Ordering::Relaxed);

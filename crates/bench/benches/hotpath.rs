@@ -21,7 +21,16 @@
 //! replaces that section and preserves the others, so `baseline` survives
 //! optimization runs. `GRAPHITE_HOTPATH_OPS` caps per-thread hit-path
 //! operations (CI smoke mode); `GRAPHITE_HOTPATH_MATMUL_N` sets the matmul
-//! dimension.
+//! dimension. `GRAPHITE_HOTPATH_CASES` (comma-separated name prefixes)
+//! restricts which cases run, and `GRAPHITE_HOTPATH_BUDGET_S` makes the
+//! binary exit non-zero when total wall time exceeds the budget (CI smoke).
+//!
+//! Microbench rows drive each tile thread on its own accumulated clock
+//! (`now += latency`), so they report real simulated cycles and a real
+//! wall/simulated slowdown, not placeholders. The `miss_*_nomshr` rows
+//! re-run the miss walk with the pipelined miss path disabled
+//! (`mshr_entries = 1`, `dir_batch = 0`, `read_probe = false`) for a
+//! like-for-like before/after within one binary.
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -66,27 +75,40 @@ fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-fn build_mem(tiles: u32, small_l2: bool) -> Arc<MemorySystem> {
+/// Builds the memory system for the microbenches. `pipelined: false` turns
+/// the new miss-path machinery off (one outstanding miss per tile, no
+/// request combining, no lock-free probe) for before/after comparison rows.
+fn build_mem(tiles: u32, small_l2: bool, pipelined: bool) -> (Arc<MemorySystem>, f64) {
     let mut cfg = presets::paper_default(tiles);
     if small_l2 {
         // Shrink the L2 so the miss workload's working set stays small while
-        // still overflowing the cache on every access.
+        // still overflowing the cache on every access. Drop associativity to
+        // 16 so the set count stays a power of two (mask-indexed sets).
         if let Some(l2) = cfg.target.l2.as_mut() {
             l2.size_bytes = 256 * 1024;
+            l2.associativity = 16;
         }
     }
+    if !pipelined {
+        cfg.memory.mshr_entries = 1;
+        cfg.memory.dir_batch = 0;
+        cfg.memory.read_probe = false;
+    }
+    let clock_ghz = cfg.target.clock_ghz;
     let net = Arc::new(Network::new(&cfg, Arc::new(GlobalProgress::new(tiles as usize))));
-    Arc::new(MemorySystem::new(&cfg, net, false))
+    (Arc::new(MemorySystem::new(&cfg, net, false)), clock_ghz)
 }
 
 /// Runs `per_thread` accesses on every tile concurrently; `addr_of` maps
-/// (tile, iteration) to the address each thread touches. Returns wall time.
+/// (tile, iteration) to the address each thread touches. Each thread
+/// advances its own clock by the modeled latency of every access. Returns
+/// (wall seconds, simulated cycles = slowest thread's final clock).
 fn drive(
     mem: &Arc<MemorySystem>,
     tiles: u32,
     per_thread: u64,
     addr_of: impl Fn(u32, u64) -> u64 + Send + Sync + Copy + 'static,
-) -> f64 {
+) -> (f64, u64) {
     let start_gate = Arc::new(Barrier::new(tiles as usize + 1));
     let handles: Vec<_> = (0..tiles)
         .map(|t| {
@@ -94,31 +116,48 @@ fn drive(
             let gate = Arc::clone(&start_gate);
             std::thread::spawn(move || {
                 let mut buf = [0u8; 8];
+                let mut now = Cycles::ZERO;
                 gate.wait();
                 for i in 0..per_thread {
                     let addr = Addr(addr_of(t, i));
                     if i % 3 == 0 {
-                        mem.write(TileId(t), Cycles(i), addr, &buf);
+                        now += mem.write(TileId(t), now, addr, &buf);
                     } else {
-                        mem.read(TileId(t), Cycles(i), addr, &mut buf);
+                        now += mem.read(TileId(t), now, addr, &mut buf);
                     }
                 }
+                now.0
             })
         })
         .collect();
     start_gate.wait();
     let t0 = Instant::now();
+    let mut sim_cycles = 0u64;
     for h in handles {
-        h.join().expect("bench thread");
+        sim_cycles = sim_cycles.max(h.join().expect("bench thread"));
     }
-    t0.elapsed().as_secs_f64()
+    (t0.elapsed().as_secs_f64(), sim_cycles)
+}
+
+/// Assembles a microbench row with real simulated cycles and slowdown.
+fn micro_result(name: String, tiles: u32, ops: u64, wall: f64, sim: u64, ghz: f64) -> CaseResult {
+    let sim_s = Cycles(sim).as_secs(ghz);
+    CaseResult {
+        name,
+        tiles,
+        ops,
+        wall_s: wall,
+        mops: ops as f64 / wall / 1e6,
+        sim_cycles: sim,
+        slowdown: if sim_s > 0.0 { wall / sim_s } else { 0.0 },
+    }
 }
 
 /// Hit-dominated: a 32-line (2 KiB) tile-private set, warmed first, so every
 /// measured access is an L1D (or sole-level) hit.
 fn bench_hits(tiles: u32, per_thread: u64) -> CaseResult {
     const SET_BYTES: u64 = 32 * 64;
-    let mem = build_mem(tiles, false);
+    let (mem, ghz) = build_mem(tiles, false, true);
     let addr_of = move |t: u32, i: u64| ((t as u64) << 24) | ((i * 8) % SET_BYTES);
     // Warm: write the whole set so subsequent loads and stores both hit.
     for t in 0..tiles {
@@ -126,17 +165,9 @@ fn bench_hits(tiles: u32, per_thread: u64) -> CaseResult {
             mem.write(TileId(t), Cycles(0), Addr(addr_of(t, i)), &[0u8; 8]);
         }
     }
-    let wall = drive(&mem, tiles, per_thread, addr_of);
+    let (wall, sim) = drive(&mem, tiles, per_thread, addr_of);
     let ops = tiles as u64 * per_thread;
-    CaseResult {
-        name: format!("hit_{tiles}t"),
-        tiles,
-        ops,
-        wall_s: wall,
-        mops: ops as f64 / wall / 1e6,
-        sim_cycles: 0,
-        slowdown: 0.0,
-    }
+    micro_result(format!("hit_{tiles}t"), tiles, ops, wall, sim, ghz)
 }
 
 /// Same hit-dominated workload with per-tile event tracing enabled: every
@@ -147,6 +178,7 @@ fn bench_hits_traced(tiles: u32, per_thread: u64) -> CaseResult {
     const SET_BYTES: u64 = 32 * 64;
     let capacity = env_u64("GRAPHITE_HOTPATH_TRACE_CAP", 4096) as usize;
     let cfg = presets::paper_default(tiles);
+    let ghz = cfg.target.clock_ghz;
     let net = Arc::new(Network::new(&cfg, Arc::new(GlobalProgress::new(tiles as usize))));
     let obs = Obs::new(tiles as usize, TraceOptions { enabled: true, capacity, flows: false });
     let mem = Arc::new(MemorySystem::with_obs(&cfg, net, false, &obs));
@@ -156,17 +188,9 @@ fn bench_hits_traced(tiles: u32, per_thread: u64) -> CaseResult {
             mem.write(TileId(t), Cycles(0), Addr(addr_of(t, i)), &[0u8; 8]);
         }
     }
-    let wall = drive(&mem, tiles, per_thread, addr_of);
+    let (wall, sim) = drive(&mem, tiles, per_thread, addr_of);
     let ops = tiles as u64 * per_thread;
-    CaseResult {
-        name: format!("hit_{tiles}t_traced"),
-        tiles,
-        ops,
-        wall_s: wall,
-        mops: ops as f64 / wall / 1e6,
-        sim_cycles: 0,
-        slowdown: 0.0,
-    }
+    micro_result(format!("hit_{tiles}t_traced"), tiles, ops, wall, sim, ghz)
 }
 
 /// Same hit-dominated workload with tracing *and* causal flow spans enabled:
@@ -177,6 +201,7 @@ fn bench_hits_flows(tiles: u32, per_thread: u64) -> CaseResult {
     const SET_BYTES: u64 = 32 * 64;
     let capacity = env_u64("GRAPHITE_HOTPATH_TRACE_CAP", 4096) as usize;
     let cfg = presets::paper_default(tiles);
+    let ghz = cfg.target.clock_ghz;
     let net = Arc::new(Network::new(&cfg, Arc::new(GlobalProgress::new(tiles as usize))));
     let obs = Obs::new(tiles as usize, TraceOptions { enabled: true, capacity, flows: true });
     let mem = Arc::new(MemorySystem::with_obs(&cfg, net, false, &obs));
@@ -186,38 +211,23 @@ fn bench_hits_flows(tiles: u32, per_thread: u64) -> CaseResult {
             mem.write(TileId(t), Cycles(0), Addr(addr_of(t, i)), &[0u8; 8]);
         }
     }
-    let wall = drive(&mem, tiles, per_thread, addr_of);
+    let (wall, sim) = drive(&mem, tiles, per_thread, addr_of);
     let ops = tiles as u64 * per_thread;
-    CaseResult {
-        name: format!("hit_{tiles}t_flows"),
-        tiles,
-        ops,
-        wall_s: wall,
-        mops: ops as f64 / wall / 1e6,
-        sim_cycles: 0,
-        slowdown: 0.0,
-    }
+    micro_result(format!("hit_{tiles}t_flows"), tiles, ops, wall, sim, ghz)
 }
 
 /// Miss-dominated: a cyclic sequential walk over 1.5× the (shrunken) L2
 /// capacity — with LRU replacement every access is a capacity miss running
 /// the full directory + DRAM transaction.
-fn bench_misses(tiles: u32, per_thread: u64) -> CaseResult {
-    let mem = build_mem(tiles, true);
+fn bench_misses(tiles: u32, per_thread: u64, pipelined: bool) -> CaseResult {
+    let (mem, ghz) = build_mem(tiles, true, pipelined);
     // 256 KiB L2 = 4096 lines; walk 6144 lines (384 KiB) per tile.
     const WALK_LINES: u64 = 6144;
     let addr_of = move |t: u32, i: u64| ((t as u64) << 24) | ((i % WALK_LINES) * 64);
-    let wall = drive(&mem, tiles, per_thread, addr_of);
+    let (wall, sim) = drive(&mem, tiles, per_thread, addr_of);
     let ops = tiles as u64 * per_thread;
-    CaseResult {
-        name: format!("miss_{tiles}t"),
-        tiles,
-        ops,
-        wall_s: wall,
-        mops: ops as f64 / wall / 1e6,
-        sim_cycles: 0,
-        slowdown: 0.0,
-    }
+    let suffix = if pipelined { "" } else { "_nomshr" };
+    micro_result(format!("miss_{tiles}t{suffix}"), tiles, ops, wall, sim, ghz)
 }
 
 /// One real workload through the full front end: row-banded dense matmul on
@@ -284,37 +294,53 @@ fn existing_runs(doc: &str) -> Vec<(String, String)> {
 }
 
 fn main() {
+    let bench_t0 = Instant::now();
     let per_thread = env_u64("GRAPHITE_HOTPATH_OPS", 1_000_000);
     let miss_per_thread = (per_thread / 10).max(1_000);
     let matmul_n = env_u64("GRAPHITE_HOTPATH_MATMUL_N", 48);
     let label = std::env::var("GRAPHITE_HOTPATH_LABEL").unwrap_or_else(|_| "current".into());
     let out_path = std::env::var("GRAPHITE_HOTPATH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_hotpath.json", env!("CARGO_MANIFEST_DIR")));
+    let case_filter = std::env::var("GRAPHITE_HOTPATH_CASES").ok();
+    let wants = |name: &str| {
+        case_filter.as_deref().is_none_or(|f| {
+            f.split(',').any(|p| !p.trim().is_empty() && name.starts_with(p.trim()))
+        })
+    };
 
     println!("hot-path self-benchmark: {per_thread} hit ops/thread, {miss_per_thread} miss ops/thread, matmul n={matmul_n}");
     let mut results = Vec::new();
-    for tiles in [1u32, 4, 16] {
-        let r = bench_hits(tiles, per_thread);
-        println!("  {:<12} {:>8.2} Mops/s  ({:.3}s wall)", r.name, r.mops, r.wall_s);
+    let push = |r: CaseResult, results: &mut Vec<CaseResult>| {
+        println!(
+            "  {:<16} {:>8.2} Mops/s  ({:.3}s wall, {} sim cycles, slowdown {:.1}x)",
+            r.name, r.mops, r.wall_s, r.sim_cycles, r.slowdown
+        );
         results.push(r);
-    }
-    let r = bench_hits_traced(16, per_thread);
-    println!("  {:<12} {:>8.2} Mops/s  ({:.3}s wall)", r.name, r.mops, r.wall_s);
-    results.push(r);
-    let r = bench_hits_flows(16, per_thread);
-    println!("  {:<12} {:>8.2} Mops/s  ({:.3}s wall)", r.name, r.mops, r.wall_s);
-    results.push(r);
+    };
     for tiles in [1u32, 4, 16] {
-        let r = bench_misses(tiles, miss_per_thread);
-        println!("  {:<12} {:>8.2} Mops/s  ({:.3}s wall)", r.name, r.mops, r.wall_s);
-        results.push(r);
+        if wants(&format!("hit_{tiles}t")) {
+            push(bench_hits(tiles, per_thread), &mut results);
+        }
     }
-    let r = bench_matmul(matmul_n);
-    println!(
-        "  {:<12} {:>8.2} Mops/s  ({:.3}s wall, slowdown {:.0}x)",
-        r.name, r.mops, r.wall_s, r.slowdown
-    );
-    results.push(r);
+    if wants("hit_16t_traced") {
+        push(bench_hits_traced(16, per_thread), &mut results);
+    }
+    if wants("hit_16t_flows") {
+        push(bench_hits_flows(16, per_thread), &mut results);
+    }
+    for tiles in [1u32, 4, 16] {
+        if wants(&format!("miss_{tiles}t")) {
+            push(bench_misses(tiles, miss_per_thread, true), &mut results);
+        }
+    }
+    for tiles in [1u32, 16] {
+        if wants(&format!("miss_{tiles}t_nomshr")) {
+            push(bench_misses(tiles, miss_per_thread, false), &mut results);
+        }
+    }
+    if wants(&format!("matmul_n{matmul_n}")) {
+        push(bench_matmul(matmul_n), &mut results);
+    }
 
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let section = {
@@ -343,4 +369,18 @@ fn main() {
     );
     std::fs::write(&out_path, &doc).expect("write BENCH_hotpath.json");
     println!("wrote {out_path} (label \"{label}\")");
+
+    // CI smoke budget: fail loudly when the selected cases blow their
+    // wall-clock allowance (a miss-path perf regression shows up here long
+    // before it shows up in review).
+    if let Ok(budget) = std::env::var("GRAPHITE_HOTPATH_BUDGET_S") {
+        if let Ok(budget_s) = budget.parse::<f64>() {
+            let total = bench_t0.elapsed().as_secs_f64();
+            if total > budget_s {
+                eprintln!("hotpath bench exceeded budget: {total:.1}s > {budget_s:.1}s");
+                std::process::exit(1);
+            }
+            println!("within budget: {total:.1}s <= {budget_s:.1}s");
+        }
+    }
 }

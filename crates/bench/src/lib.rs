@@ -24,7 +24,7 @@
 //!
 //! * `GRAPHITE_CKPT_DIR=<dir>` — after each workload completes (a natural
 //!   quiesce point: workloads join their threads), write
-//!   `<dir>/<NNN>_<label>.ckpt` in the `graphite.ckpt.v3` format, resumable
+//!   `<dir>/<NNN>_<label>.ckpt` in the `graphite.ckpt.v4` format, resumable
 //!   with `Sim::builder(cfg).resume(path)`.
 //! * `GRAPHITE_CKPT_EVERY=<n>` — for harnesses that call
 //!   [`maybe_checkpoint`] at their own quiesce points, keep only every

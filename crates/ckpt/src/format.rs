@@ -1,4 +1,4 @@
-//! The `graphite.ckpt.v3` container: magic + version + checksummed segments.
+//! The `graphite.ckpt.v4` container: magic + version + checksummed segments.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -9,8 +9,9 @@ use graphite_base::SimError;
 pub const CKPT_MAGIC: [u8; 8] = *b"GRAPHCKP";
 
 /// Format version this build reads and writes. v2 switched replay-log
-/// streams to zigzag-delta varint encoding ([`crate::Enc::delta_words`]).
-pub const CKPT_VERSION: u32 = 3;
+/// streams to zigzag-delta varint encoding ([`crate::Enc::delta_words`]);
+/// v4 made the memory directory a single shard-count-independent stream.
+pub const CKPT_VERSION: u32 = 4;
 
 /// FNV-1a 64-bit hash, the format's segment checksum. Not cryptographic —
 /// it guards against torn writes and bit rot, not adversaries.

@@ -3,7 +3,7 @@
 //! Graphite targets long-running simulations distributed over commodity
 //! hosts (paper §1, §3), where losing a process throws away hours of work.
 //! This crate provides the robustness layer: a versioned, checksummed
-//! on-disk snapshot format (`graphite.ckpt.v3`) that stateful subsystems
+//! on-disk snapshot format (`graphite.ckpt.v4`) that stateful subsystems
 //! serialize themselves into through the [`Checkpointable`] trait, and a
 //! [`ReplayLog`] that records the nondeterministic inputs of a run (guest
 //! RNG draws, LaxP2P partner choices, message-arrival order) so a crashed

@@ -73,6 +73,7 @@ pub fn paper_default(tiles: u32) -> SimConfig {
         profile: crate::ProfileConfig::default(),
         trace: crate::TraceConfig::default(),
         scheduler: crate::SchedulerConfig::default(),
+        memory: crate::MemoryConfig::default(),
     }
 }
 

@@ -12,7 +12,7 @@
 //! resumed run re-enters the workload driver, which sees identical simulated
 //! state and therefore makes identical progress.
 //!
-//! Segment map of a `graphite.ckpt.v3` file written here:
+//! Segment map of a `graphite.ckpt.v4` file written here:
 //!
 //! | segment   | contents                                                  |
 //! |-----------|-----------------------------------------------------------|

@@ -772,7 +772,7 @@ impl Ctx {
         }
     }
 
-    /// Snapshots the quiesced simulation to `path` in the `graphite.ckpt.v3`
+    /// Snapshots the quiesced simulation to `path` in the `graphite.ckpt.v4`
     /// format, for a later [`crate::SimBuilder::resume`].
     ///
     /// Only the main thread may checkpoint, and only at a quiesce point:

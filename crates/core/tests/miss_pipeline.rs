@@ -1,0 +1,167 @@
+//! Equivalence tests for the pipelined miss path.
+//!
+//! The MSHR table, batched directory service, and lock-free read probe are
+//! host-side mechanisms: they change how fast the simulator runs, never what
+//! it computes. These tests pin that contract — simulated cycles, guest
+//! output, and every modeled memory counter must be bit-identical whether
+//! the pipeline knobs are on or off, under every synchronization model, and
+//! across a checkpoint/restore that *changes the knobs mid-run*.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use graphite::{Ctx, Sim, SimConfig, SimReport, SyncModel};
+use graphite_memory::addr::layout;
+use graphite_memory::Addr;
+
+/// 384 lines x 64 B = 24 KiB working set against a 16 KiB (256-line) L2: the
+/// stride-7 cyclic walk revisits lines long after eviction, so steady-state
+/// passes stream through capacity misses, evictions, and dirty writebacks.
+const SLOTS: u64 = 384;
+const N: u64 = 400; // steps before the checkpoint
+const M: u64 = 300; // steps after the checkpoint
+
+/// `pipelined = false` pins the configuration the pipelined miss path
+/// replaced: one MSHR entry per tile, no batched directory service, no
+/// lock-free read probe.
+fn cfg(seed: u64, pipelined: bool) -> SimConfig {
+    let mut b = SimConfig::builder().tiles(2).processes(1).seed(seed);
+    if !pipelined {
+        b = b.mshr_entries(1).dir_batch(0).read_probe(false);
+    }
+    let mut cfg = b.build().unwrap();
+    if let Some(l2) = cfg.target.l2.as_mut() {
+        l2.size_bytes = 16 * 1024;
+        l2.associativity = 4;
+    }
+    cfg
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("graphite-miss-pipeline-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+/// A cache-hostile deterministic workload: strided read-modify-writes over a
+/// working set three times the L2, so the miss path (including evictions and
+/// writebacks) runs constantly.
+fn run_steps(ctx: &mut Ctx, lo: u64, hi: u64) {
+    for i in lo..hi {
+        let slot = (i * 7) % SLOTS;
+        let a = Addr(layout::STATIC_BASE.0 + slot * 64);
+        let v: u64 = ctx.load(a);
+        ctx.store(a, v.wrapping_add(i | 1));
+        if i % 100 == 0 {
+            ctx.print(&format!("step {i}\n"));
+        }
+    }
+}
+
+/// The modeled-behaviour fingerprint of a run: everything in the metrics
+/// snapshot except the host-side pipeline diagnostics (`mem.mshr.*`,
+/// `mem.dir.batch.*`, `mem.probe_hits`), which legitimately differ when the
+/// knobs differ.
+fn modeled_counters(r: &SimReport) -> BTreeMap<String, u64> {
+    r.metrics
+        .counters
+        .iter()
+        .filter(|(k, _)| {
+            !k.starts_with("mem.mshr.")
+                && !k.starts_with("mem.dir.batch.")
+                && *k != "mem.probe_hits"
+        })
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+fn timing_invariance_for(sync: SyncModel, name: &str) {
+    let pipelined = Sim::builder(cfg(7, true)).sync_model(sync).build().unwrap().run(|ctx| {
+        run_steps(ctx, 0, N + M);
+    });
+    let unpipelined = Sim::builder(cfg(7, false)).sync_model(sync).build().unwrap().run(|ctx| {
+        run_steps(ctx, 0, N + M);
+    });
+
+    assert_eq!(
+        pipelined.simulated_cycles, unpipelined.simulated_cycles,
+        "{name}: pipeline knobs changed the simulated clock"
+    );
+    assert_eq!(pipelined.stdout, unpipelined.stdout, "{name}: guest output diverged");
+    assert_eq!(
+        modeled_counters(&pipelined),
+        modeled_counters(&unpipelined),
+        "{name}: pipeline knobs changed modeled counters"
+    );
+    // The workload must actually exercise the miss path for the comparison
+    // to mean anything.
+    assert!(
+        pipelined.metrics.counters["mem.misses"] > (N + M) * 3 / 4,
+        "{name}: workload failed to generate steady misses"
+    );
+}
+
+#[test]
+fn timing_invariance_lax() {
+    timing_invariance_for(SyncModel::Lax, "lax");
+}
+
+#[test]
+fn timing_invariance_lax_barrier() {
+    timing_invariance_for(SyncModel::LaxBarrier { quantum: 1_000 }, "barrier");
+}
+
+#[test]
+fn timing_invariance_lax_p2p() {
+    timing_invariance_for(SyncModel::LaxP2P { slack: 100_000, check_interval: 500 }, "p2p");
+}
+
+fn restore_equivalence_for(sync: SyncModel, name: &str) {
+    let path = tmp(&format!("miss-eq-{name}.ckpt"));
+
+    // Golden: uninterrupted, default (pipelined) configuration.
+    let golden = Sim::builder(cfg(11, true)).sync_model(sync).build().unwrap().run(|ctx| {
+        run_steps(ctx, 0, N + M);
+    });
+
+    // Interrupted: checkpoint mid-run under the pipelined configuration...
+    let p = path.clone();
+    Sim::builder(cfg(11, true)).sync_model(sync).build().unwrap().run(move |ctx| {
+        run_steps(ctx, 0, N);
+        ctx.checkpoint(&p).expect("checkpoint at a quiesce point");
+    });
+
+    // ...and resume with the pipeline OFF and a different directory shard
+    // count. The v4 checkpoint serializes the directory as one
+    // shard-count-independent stream, and the knobs are host-side only, so
+    // the resumed run must land exactly where the golden run does.
+    let mut resume_cfg = cfg(11, false);
+    resume_cfg.memory.dir_shards = 8;
+    let resumed =
+        Sim::builder(resume_cfg).sync_model(sync).resume(&path).build().unwrap().run(|ctx| {
+            run_steps(ctx, N, N + M);
+        });
+
+    assert_eq!(golden.simulated_cycles, resumed.simulated_cycles, "{name}: clock diverged");
+    assert_eq!(golden.stdout, resumed.stdout, "{name}: stdout diverged");
+    assert_eq!(
+        modeled_counters(&golden),
+        modeled_counters(&resumed),
+        "{name}: modeled counters diverged across a knob-changing restore"
+    );
+}
+
+#[test]
+fn restore_equivalence_across_knobs_lax() {
+    restore_equivalence_for(SyncModel::Lax, "lax");
+}
+
+#[test]
+fn restore_equivalence_across_knobs_lax_barrier() {
+    restore_equivalence_for(SyncModel::LaxBarrier { quantum: 1_000 }, "barrier");
+}
+
+#[test]
+fn restore_equivalence_across_knobs_lax_p2p() {
+    restore_equivalence_for(SyncModel::LaxP2P { slack: 100_000, check_interval: 500 }, "p2p");
+}

@@ -5,7 +5,9 @@
 //! completing (paper §3.2 — "this strategy automatically helps verify the
 //! correctness of complex hierarchies and protocols").
 
-use graphite_base::{Cycles, SimError};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use graphite_base::{Cycles, SeqCount, SimError};
 use graphite_ckpt::{corrupted, Dec, Enc};
 use graphite_config::CacheConfig;
 
@@ -31,7 +33,7 @@ impl LineState {
 }
 
 /// A resident cache line.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CacheLine {
     /// Line index (address / line size).
     pub line: u64,
@@ -39,8 +41,35 @@ pub struct CacheLine {
     pub state: LineState,
     /// The line's bytes; `None` for tag-only caches (L1I).
     pub data: Option<Box<[u8]>>,
-    /// LRU stamp (monotone per cache).
-    stamp: u64,
+    /// Mirror of `data`'s buffer address (null when `None`), readable
+    /// atomically by the lock-free probe — `Option<Box<[u8]>>` is a fat
+    /// pointer with unspecified layout and cannot be read racily.
+    data_ptr: AtomicPtr<u8>,
+    /// LRU stamp (monotone per cache); atomic so the lock-free read probe
+    /// can refresh recency without the tile mutex.
+    stamp: AtomicU64,
+}
+
+impl CacheLine {
+    fn new(line: u64, state: LineState, data: Option<Box<[u8]>>, stamp: u64) -> Self {
+        let ptr = data.as_ref().map_or(std::ptr::null_mut(), |d| d.as_ptr() as *mut u8);
+        CacheLine { line, state, data, data_ptr: AtomicPtr::new(ptr), stamp: AtomicU64::new(stamp) }
+    }
+
+    /// Replaces the line's data buffer. Every reassignment of `data` must go
+    /// through here so the probe's pointer mirror stays in sync; in-place
+    /// writes to the existing buffer don't move it and need no update.
+    pub fn set_data(&mut self, data: Option<Box<[u8]>>) {
+        let ptr = data.as_ref().map_or(std::ptr::null_mut(), |d| d.as_ptr() as *mut u8);
+        self.data = data;
+        self.data_ptr.store(ptr, Ordering::Release);
+    }
+}
+
+impl Clone for CacheLine {
+    fn clone(&self) -> Self {
+        CacheLine::new(self.line, self.state, self.data.clone(), self.stamp.load(Ordering::Relaxed))
+    }
 }
 
 /// A line pushed out by [`Cache::insert`].
@@ -81,7 +110,7 @@ pub struct Cache {
     line_size: u32,
     access_latency: Cycles,
     stores_data: bool,
-    next_stamp: u64,
+    next_stamp: AtomicU64,
     /// `num_sets - 1` when the set count is a power of two (every realistic
     /// geometry), letting [`Cache::set_of`] mask instead of divide on the
     /// per-access hot path; `None` falls back to modulo.
@@ -99,7 +128,7 @@ impl Cache {
             line_size: cfg.line_size,
             access_latency: cfg.access_latency,
             stores_data,
-            next_stamp: 0,
+            next_stamp: AtomicU64::new(0),
             set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
         }
     }
@@ -134,13 +163,10 @@ impl Cache {
 
     /// Looks a line up, refreshing its LRU stamp on hit.
     pub fn lookup(&mut self, line: u64) -> Option<&mut CacheLine> {
-        let stamp = {
-            self.next_stamp += 1;
-            self.next_stamp
-        };
+        let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
         let set = self.set_of(line);
         let entry = self.sets[set].iter_mut().find(|l| l.line == line)?;
-        entry.stamp = stamp;
+        entry.stamp.store(stamp, Ordering::Relaxed);
         Some(entry)
     }
 
@@ -168,7 +194,7 @@ impl Cache {
         if self.sets[set].len() < self.assoc {
             return None;
         }
-        self.sets[set].iter().min_by_key(|l| l.stamp)
+        self.sets[set].iter().min_by_key(|l| l.stamp.load(Ordering::Relaxed))
     }
 
     /// Inserts a line, returning the LRU victim if the set was full.
@@ -184,8 +210,7 @@ impl Cache {
         data: Option<Box<[u8]>>,
     ) -> Option<Evicted> {
         debug_assert!(data.is_some() == self.stores_data, "data presence must match cache kind");
-        self.next_stamp += 1;
-        let stamp = self.next_stamp;
+        let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
         let set = self.set_of(line);
         assert!(
             !self.sets[set].iter().any(|l| l.line == line),
@@ -195,7 +220,7 @@ impl Cache {
             let victim_idx = self.sets[set]
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, l)| l.stamp)
+                .min_by_key(|(_, l)| l.stamp.load(Ordering::Relaxed))
                 .map(|(i, _)| i)
                 .expect("full set has a victim");
             let v = self.sets[set].swap_remove(victim_idx);
@@ -203,7 +228,7 @@ impl Cache {
         } else {
             None
         };
-        self.sets[set].push(CacheLine { line, state, data, stamp });
+        self.sets[set].push(CacheLine::new(line, state, data, stamp));
         evicted
     }
 
@@ -230,10 +255,73 @@ impl Cache {
         buf.copy_from_slice(&data[off..off + buf.len()]);
     }
 
+    /// Seqlock-validated lock-free read: if `line` is resident, copies
+    /// `buf.len()` bytes starting at byte `off` of the line into `buf` and
+    /// refreshes the line's LRU stamp, all without taking the tile lock.
+    /// Returns `false` on a miss, a tag-only line, or when a concurrent
+    /// mutation raced the copy — callers fall back to the locked path, so a
+    /// `false` is never wrong, only slow.
+    ///
+    /// # Safety
+    ///
+    /// `cache` must point to a live `Cache` whose owner upholds the seqlock
+    /// protocol around `seq`: every mutation of this cache (insert, remove,
+    /// restore, in-place data writes) happens inside a
+    /// `begin_write`/`end_write` section of the same `SeqCount`. Line data
+    /// boxes must never be deallocated while probes can run (the memory
+    /// system recycles them through a free pool), so a stale `data_ptr` reads
+    /// garbage-but-allocated bytes that validation then rejects. Set vectors
+    /// are built `with_capacity(assoc)` and never grow past it, so their
+    /// buffers never reallocate.
+    pub unsafe fn probe_read(
+        cache: *const Cache,
+        seq: &SeqCount,
+        line: u64,
+        off: usize,
+        buf: &mut [u8],
+    ) -> bool {
+        let Some(snap) = seq.read_begin() else { return false };
+        let c = &*cache;
+        if !c.stores_data {
+            return false;
+        }
+        debug_assert!(off + buf.len() <= c.line_size as usize, "access crosses line boundary");
+        let set_idx = match c.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % c.sets.len() as u64) as usize,
+        };
+        let set = c.sets.get_unchecked(set_idx);
+        // `len` may be momentarily stale against a racing insert/remove;
+        // capping at `assoc` keeps the scan inside the (never-reallocated)
+        // buffer and validation rejects anything torn.
+        let n = set.len().min(c.assoc);
+        let base = set.as_ptr();
+        for i in 0..n {
+            let cl = base.add(i);
+            if std::ptr::read_volatile(std::ptr::addr_of!((*cl).line)) != line {
+                continue;
+            }
+            let dp = (*cl).data_ptr.load(Ordering::Acquire);
+            if dp.is_null() {
+                return false;
+            }
+            std::ptr::copy_nonoverlapping(dp.add(off), buf.as_mut_ptr(), buf.len());
+            if !seq.read_validate(snap) {
+                return false;
+            }
+            // Validated hit: refresh recency exactly as the locked lookup
+            // would have.
+            let stamp = c.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
+            (*cl).stamp.store(stamp, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
     /// Serializes the full cache contents — tags, states, LRU stamps, and
     /// (for functional caches) line data — into a checkpoint payload.
     pub fn save(&self, out: &mut Enc) {
-        out.u64(self.next_stamp);
+        out.u64(self.next_stamp.load(Ordering::Relaxed));
         out.u32(self.sets.len() as u32);
         for set in &self.sets {
             out.u32(set.len() as u32);
@@ -244,7 +332,7 @@ impl Cache {
                     LineState::Exclusive => 1,
                     LineState::Modified => 2,
                 });
-                out.u64(l.stamp);
+                out.u64(l.stamp.load(Ordering::Relaxed));
                 match &l.data {
                     Some(d) => {
                         out.u8(1);
@@ -298,12 +386,12 @@ impl Cache {
                 if data.is_some() != self.stores_data {
                     return Err(corrupted("cache"));
                 }
-                set.push(CacheLine { line, state, data, stamp });
+                set.push(CacheLine::new(line, state, data, stamp));
             }
             sets.push(set);
         }
         self.sets = sets;
-        self.next_stamp = next_stamp;
+        self.next_stamp.store(next_stamp, Ordering::Relaxed);
         Ok(())
     }
 
@@ -484,6 +572,55 @@ mod tests {
         let mut same = cache(1024, 2, 64);
         assert!(same.restore(&mut Dec::new(&buf[..buf.len() - 10])).is_err());
         assert!(same.restore(&mut Dec::new(&buf)).is_ok());
+    }
+
+    #[test]
+    fn probe_read_hits_and_respects_seqlock() {
+        let mut c = cache(256, 2, 64);
+        let seq = SeqCount::new();
+        c.insert(1, LineState::Shared, Some(vec![5u8; 64].into()));
+        c.write_bytes(Addr(64 + 8), &99u64.to_le_bytes());
+        let mut buf = [0u8; 8];
+        // Hit: reads the written bytes without the (absent) tile lock.
+        assert!(unsafe { Cache::probe_read(&c, &seq, 1, 8, &mut buf) });
+        assert_eq!(u64::from_le_bytes(buf), 99);
+        // Miss: absent line.
+        assert!(!unsafe { Cache::probe_read(&c, &seq, 3, 8, &mut buf) });
+        // Writer in progress: probe must decline.
+        seq.begin_write();
+        assert!(!unsafe { Cache::probe_read(&c, &seq, 1, 8, &mut buf) });
+        seq.end_write();
+        assert!(unsafe { Cache::probe_read(&c, &seq, 1, 8, &mut buf) });
+    }
+
+    #[test]
+    fn probe_read_refreshes_lru() {
+        let mut c = cache(256, 2, 64);
+        let seq = SeqCount::new();
+        c.insert(0, LineState::Shared, Some(vec![0; 64].into()));
+        c.insert(2, LineState::Shared, Some(vec![0; 64].into()));
+        let mut buf = [0u8; 1];
+        // Probe touches 0, making 2 the LRU victim.
+        assert!(unsafe { Cache::probe_read(&c, &seq, 0, 0, &mut buf) });
+        let ev = c.insert(4, LineState::Shared, Some(vec![0; 64].into())).unwrap();
+        assert_eq!(ev.line, 2, "probe hit must refresh LRU like a locked lookup");
+    }
+
+    #[test]
+    fn probe_read_declines_tag_only_cache() {
+        let mut c = Cache::new(
+            &CacheConfig {
+                size_bytes: 1024,
+                associativity: 4,
+                line_size: 64,
+                access_latency: Cycles(1),
+            },
+            false,
+        );
+        let seq = SeqCount::new();
+        c.insert(7, LineState::Shared, None);
+        let mut buf = [0u8; 1];
+        assert!(!unsafe { Cache::probe_read(&c, &seq, 7, 0, &mut buf) });
     }
 
     proptest! {

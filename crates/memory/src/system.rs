@@ -10,23 +10,44 @@
 //! ## Concurrency design
 //!
 //! Guest threads perform transactions directly against shared protocol state
-//! ("remote access with modeled message timing"). Lock ordering is strict
-//! and deadlock-free:
+//! ("remote access with modeled message timing"). The miss path is a
+//! pipeline, not a lock-step RPC:
 //!
-//! 1. at most one **directory shard** lock is held at a time;
-//! 2. **tile cache** locks are only acquired while holding a shard lock (or
-//!    alone, for the local hit fast path), always in ascending tile order;
-//! 3. evictions run as *separate* transactions before a fill, so a fill
-//!    never needs two shard locks.
+//! * **MSHRs are the top-level per-line resource.** A miss registers the
+//!   line in the [`MshrTable`](crate::mshr::MshrTable); at most one
+//!   transaction per line is in flight. Losers wait *without registering*,
+//!   then re-probe their own cache and retry — a secondary miss from the
+//!   same tile usually resolves as a local hit (coalescing). A thread holds
+//!   at most one MSHR entry at a time: evictions complete (as their own
+//!   MSHR-scoped transactions) before the fill's entry is acquired, and
+//!   MSHR waiters sleep holding nothing, so no cycle can form.
+//! * **Directory shard maps are brief leaf locks.** A transaction resolves
+//!   its `DirEntry` to a stable `Box` pointer under a short map-lock
+//!   critical section and then works on the entry lock-free — the MSHR
+//!   already guarantees per-line exclusivity. Contended resolutions are
+//!   *batched*: a thread that finds the map lock busy queues its request,
+//!   and whichever thread holds the lock retires the queue under the one
+//!   acquisition (flat combining).
+//! * **Tile cache locks are leaves**, taken one at a time, never while a
+//!   map lock is held. Read hits can skip the tile lock entirely via a
+//!   seqlock-validated probe ([`Cache::probe_read`]): writers bump the
+//!   tile's [`SeqCount`] around every structural or data mutation, and line
+//!   data boxes are recycled through a per-tile pool instead of being freed,
+//!   so a racing probe reads stale-but-allocated bytes that validation then
+//!   rejects.
 //!
-//! A tile's cache only ever gains lines through its own thread; remote
-//! transactions can only remove or downgrade lines. This makes the
-//! pre-eviction + fill sequence race-free without holding locks across both.
+//! A tile's cache only ever gains lines through its own thread(s); remote
+//! transactions can only remove or downgrade lines. Concurrent threads *of
+//! the same tile* are supported for races on the same line (the MSHR
+//! coalesces them); like the lock-step design this replaces, simultaneous
+//! same-tile fills of distinct lines in one cache set remain outside the
+//! model's contract.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use graphite_base::{Cycles, SimError, SimRng, TileId};
+use graphite_base::{Cycles, FxBuildHasher, SeqCount, SimError, SimRng, TileId};
 use graphite_ckpt::{corrupted, Checkpointable, Dec, Enc};
 use graphite_config::{CacheProtocol, CoherenceScheme, SimConfig};
 use graphite_network::{Network, Packet, TrafficClass};
@@ -40,6 +61,7 @@ use crate::cache::{Cache, CacheLine, LineState};
 use crate::directory::{DirEntry, DirState, SharerSet};
 use crate::dram::DramController;
 use crate::missclass::{MissClassifier, MissKind};
+use crate::mshr::{MshrTable, MshrWait};
 
 /// Directory processing latency per request (cycles).
 const DIR_LATENCY: Cycles = Cycles(10);
@@ -47,8 +69,6 @@ const DIR_LATENCY: Cycles = Cycles(10);
 const CTRL_MSG_BYTES: u32 = 8;
 /// Header bytes added to a data-carrying packet.
 const DATA_HDR_BYTES: u32 = 8;
-/// Number of directory lock shards.
-const NUM_SHARDS: usize = 256;
 
 /// How one modeled memory access spent its latency — the memory system's
 /// contribution to per-tile cycle attribution (CPI stacks).
@@ -97,13 +117,18 @@ struct TileMem {
     l1i: Option<Cache>,
     l1d: Option<Cache>,
     l2: Option<Cache>,
-    /// Line-sized staging buffer for the miss path. Fills whose bytes come
-    /// from the directory's home copy are staged here (copy + apply the
-    /// access) instead of cloning the home copy into a temporary heap
-    /// allocation per protocol leg; only the cache inserts materialize owned
-    /// boxes. Only this tile's own thread fills its caches, so the buffer
-    /// needs no synchronization beyond the tile lock it lives under.
+    /// Line-sized staging buffer for upgrade-path write propagation. Only
+    /// this tile's own thread fills its caches, so the buffer needs no
+    /// synchronization beyond the tile lock it lives under.
     scratch: Box<[u8]>,
+    /// Free pool of line-sized data boxes. The miss path stages fills here
+    /// and every box freed by a purge/eviction/refill is recycled, so the
+    /// steady-state miss path allocates nothing — and, critically for the
+    /// lock-free probe, a line's data buffer is never deallocated while the
+    /// simulation runs (a stale probe pointer reads garbage from a live
+    /// allocation, which seqlock validation rejects; it never reads freed
+    /// memory).
+    pool: Vec<Box<[u8]>>,
 }
 
 impl TileMem {
@@ -122,12 +147,28 @@ impl TileMem {
     }
 
     /// Removes a line from every level, returning the coherence-level line
-    /// state and data if it was resident.
+    /// state and data if it was resident. The L1 copy's buffer goes back to
+    /// the pool (never freed — see [`TileMem::pool`]).
     fn purge(&mut self, line: u64) -> Option<(LineState, Option<Box<[u8]>>)> {
         if self.has_l1_filter() {
-            self.l1d.as_mut().unwrap().remove(line);
+            if let Some(l1) = self.l1d.as_mut().unwrap().remove(line) {
+                if let Some(d) = l1.data {
+                    self.pool.push(d);
+                }
+            }
         }
         self.coh().remove(line).map(|l| (l.state, l.data))
+    }
+
+    /// Takes a line-sized buffer from the pool (or allocates the pool's
+    /// first-ever box for this slot).
+    fn pool_take(&mut self) -> Box<[u8]> {
+        self.pool.pop().unwrap_or_else(|| vec![0u8; self.scratch.len()].into())
+    }
+
+    fn recycle(&mut self, buf: Box<[u8]>) {
+        debug_assert_eq!(buf.len(), self.scratch.len());
+        self.pool.push(buf);
     }
 }
 
@@ -186,6 +227,24 @@ pub struct MemStats {
     /// Writes satisfied by a silent Exclusive→Modified upgrade (MESI only):
     /// no directory transaction needed.
     pub silent_upgrades: ShardedMetric,
+    /// Secondary misses coalesced onto an in-flight MSHR entry of the same
+    /// tile (the waiter re-probed and hit instead of re-running the
+    /// transaction).
+    pub mshr_coalesced: ShardedMetric,
+    /// Misses that waited for a *different* tile's in-flight transaction on
+    /// the same line before proceeding.
+    pub mshr_conflict_waits: ShardedMetric,
+    /// Miss registrations that stalled because the tile was at its
+    /// `mshr_entries` outstanding cap.
+    pub mshr_stall_full: ShardedMetric,
+    /// Directory shard-map lock acquisitions on the batched path.
+    pub dir_batch_acquisitions: ShardedMetric,
+    /// Queued directory requests retired under someone else's shard-map
+    /// acquisition (flat combining). `requests_combined / acquisitions`
+    /// measures how much the batching collapses lock traffic.
+    pub dir_batch_combined: ShardedMetric,
+    /// Read hits served by the lock-free seqlock probe (no tile lock).
+    pub probe_hits: ShardedMetric,
 }
 
 impl MemStats {
@@ -217,6 +276,12 @@ impl MemStats {
             max_latency: metrics.sharded_max("mem.max_latency"),
             exclusive_grants: metrics.sharded_counter("mem.exclusive_grants"),
             silent_upgrades: metrics.sharded_counter("mem.silent_upgrades"),
+            mshr_coalesced: metrics.sharded_counter("mem.mshr.coalesced"),
+            mshr_conflict_waits: metrics.sharded_counter("mem.mshr.conflict_waits"),
+            mshr_stall_full: metrics.sharded_counter("mem.mshr.stall_full"),
+            dir_batch_acquisitions: metrics.sharded_counter("mem.dir.batch.acquisitions"),
+            dir_batch_combined: metrics.sharded_counter("mem.dir.batch.requests_combined"),
+            probe_hits: metrics.sharded_counter("mem.probe_hits"),
         }
     }
 
@@ -301,12 +366,64 @@ fn apply_rmw(data: &mut [u8], off: usize, old: &mut [u8], f: &mut dyn FnMut(&mut
 /// Where the bytes for a miss fill come from.
 enum FillSrc {
     /// The directory's home copy (`DirEntry::data`), still current at fill
-    /// time; staged through the requesting tile's scratch buffer.
+    /// time (the MSHR keeps the entry stable); copied into the fill buffer
+    /// at fill time.
     Home,
-    /// An owner cache supplied the line (cache-to-cache transfer); the box
-    /// is already owned and moves into the coherence-level insert.
-    Owner(Box<[u8]>),
+    /// An owner cache already staged the line into the fill buffer
+    /// (cache-to-cache transfer).
+    Staged,
 }
+
+/// A queued directory-entry resolution: whichever thread holds the shard's
+/// map lock stores the resolved entry pointer into `slot`. The slot lives on
+/// the waiting thread's stack; the enqueuer never returns until the slot is
+/// filled, and every store happens while the map lock is held, so the slot
+/// cannot dangle.
+struct PendingDirReq {
+    line: u64,
+    slot: *const AtomicPtr<DirEntry>,
+}
+
+// Safety: the raw slot pointer is only dereferenced under the shard's map
+// lock while the owning thread is provably parked in `dir_entry_batched`.
+unsafe impl Send for PendingDirReq {}
+
+/// One directory shard: the entry map plus the flat-combining queue for
+/// contended resolutions. Entries are boxed so their addresses survive map
+/// rehashes; an entry, once inserted, is never removed while the simulation
+/// runs.
+struct DirShard {
+    map: Mutex<HashMap<u64, Box<DirEntry>, FxBuildHasher>>,
+    pending: Mutex<Vec<PendingDirReq>>,
+    /// Cheap hint so the uncontended path can skip locking `pending`.
+    pending_count: AtomicUsize,
+}
+
+impl DirShard {
+    fn new() -> Self {
+        DirShard {
+            map: Mutex::new(HashMap::default()),
+            pending: Mutex::new(Vec::new()),
+            pending_count: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Raw pointer to a tile's front data cache for the lock-free read probe,
+/// with the latency/attribution a locked hit would have produced.
+struct ProbeTarget {
+    cache: *const Cache,
+    lat: Cycles,
+    /// Whether a probe hit counts as an L1D hit (L1 filter present) or a
+    /// coherence-level hit (single-level hierarchy).
+    is_l1: bool,
+}
+
+// Safety: the pointer targets a `Cache` inside `MemorySystem::tiles`, whose
+// heap allocation lives exactly as long as the `MemorySystem`; all racy
+// access goes through `Cache::probe_read`'s seqlock protocol.
+unsafe impl Send for ProbeTarget {}
+unsafe impl Sync for ProbeTarget {}
 
 /// Per-requesting-tile counters consumed by the host performance model.
 #[derive(Debug, Default)]
@@ -371,7 +488,27 @@ pub struct MemorySystem {
     line_mask: u64,
     num_tiles: u32,
     tiles: Vec<Mutex<TileMem>>,
-    shards: Vec<Mutex<HashMap<u64, DirEntry>>>,
+    shards: Vec<DirShard>,
+    /// `log2(shards.len())`; the config validates the count is a power of
+    /// two, so shard selection is a multiply and a shift.
+    shard_bits: u32,
+    /// In-flight miss registry (per-line exclusivity + coalescing).
+    mshr: MshrTable,
+    /// `[memory] mshr_entries`; 0 records same-tile waits as conflicts
+    /// rather than coalesced secondaries.
+    mshr_entries: u32,
+    /// Max queued directory resolutions retired per map-lock acquisition.
+    dir_batch: u32,
+    /// `[memory] read_probe`: gate for the lock-free read-hit fast path.
+    read_probe: bool,
+    /// Per-tile seqlock counters; bumped (under the tile lock) around every
+    /// structural or data mutation of that tile's caches.
+    tile_seq: Vec<SeqCount>,
+    probes: Vec<ProbeTarget>,
+    /// The tag-lookup latency charged before a miss leaves the tile
+    /// (L1-filter + coherence-level access latencies — config constants, so
+    /// the miss path doesn't take the tile lock just to read them).
+    miss_lookup_lat: Cycles,
     dram: Vec<DramController>,
     per_tile_dram: bool,
     network: Arc<Network>,
@@ -417,16 +554,40 @@ impl MemorySystem {
     ) -> Self {
         debug_assert_eq!(obs.metrics.num_tiles(), cfg.target.num_tiles as usize);
         let line_size = cfg.target.coherence_line_size();
-        let tiles = (0..cfg.target.num_tiles)
+        let tiles: Vec<Mutex<TileMem>> = (0..cfg.target.num_tiles)
             .map(|_| {
                 Mutex::new(TileMem {
                     l1i: cfg.target.l1i.as_ref().map(|c| Cache::new(c, false)),
                     l1d: cfg.target.l1d.as_ref().map(|c| Cache::new(c, true)),
                     l2: cfg.target.l2.as_ref().map(|c| Cache::new(c, true)),
                     scratch: vec![0u8; line_size as usize].into(),
+                    pool: Vec::new(),
                 })
             })
             .collect();
+        // Probe targets point into `tiles`' heap buffer, which never moves
+        // again (the Vec is only ever moved wholesale into the struct).
+        let probes: Vec<ProbeTarget> = tiles
+            .iter()
+            .map(|t| {
+                let tm = t.lock();
+                if tm.has_l1_filter() {
+                    let c = tm.l1d.as_ref().unwrap();
+                    ProbeTarget { cache: c as *const Cache, lat: c.access_latency(), is_l1: true }
+                } else {
+                    let c = tm.coh_ref();
+                    ProbeTarget { cache: c as *const Cache, lat: c.access_latency(), is_l1: false }
+                }
+            })
+            .collect();
+        let miss_lookup_lat = {
+            let tm = tiles[0].lock();
+            let mut l = tm.coh_ref().access_latency();
+            if tm.has_l1_filter() {
+                l += tm.l1d.as_ref().unwrap().access_latency();
+            }
+            l
+        };
         let ncontrollers =
             if cfg.target.dram.per_tile_controllers { cfg.target.num_tiles } else { 1 };
         let bytes_per_cycle =
@@ -440,8 +601,16 @@ impl MemorySystem {
             line_shift: line_size.trailing_zeros(),
             line_mask: line_size as u64 - 1,
             num_tiles: cfg.target.num_tiles,
+            shards: (0..cfg.memory.dir_shards).map(|_| DirShard::new()).collect(),
+            shard_bits: cfg.memory.dir_shards.trailing_zeros(),
+            mshr: MshrTable::new(cfg.target.num_tiles as usize, cfg.memory.mshr_entries),
+            mshr_entries: cfg.memory.mshr_entries,
+            dir_batch: cfg.memory.dir_batch,
+            read_probe: cfg.memory.read_probe,
+            tile_seq: (0..cfg.target.num_tiles).map(|_| SeqCount::new()).collect(),
+            probes,
+            miss_lookup_lat,
             tiles,
-            shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             dram,
             per_tile_dram: cfg.target.dram.per_tile_controllers,
             network,
@@ -489,9 +658,130 @@ impl MemorySystem {
         }
     }
 
-    fn shard_of(&self, line: u64) -> &Mutex<HashMap<u64, DirEntry>> {
-        // NUM_SHARDS is a power of two; mask instead of divide.
-        &self.shards[(line & (NUM_SHARDS as u64 - 1)) as usize]
+    fn shard_index(&self, line: u64) -> usize {
+        // Golden-ratio multiply, top bits select: sequential / aligned line
+        // indices (the common access pattern) decorrelate across shards
+        // instead of convoying onto one. shard_bits == 0 (one shard) shifts
+        // by 64, which is UB — special-case it.
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    fn shard_of(&self, line: u64) -> &DirShard {
+        &self.shards[self.shard_index(line)]
+    }
+
+    /// Get-or-insert under an already-held map lock, returning the entry's
+    /// stable address (entries are boxed and never removed).
+    fn entry_ptr(
+        map: &mut HashMap<u64, Box<DirEntry>, FxBuildHasher>,
+        line: u64,
+        num_tiles: u32,
+        line_size: u32,
+    ) -> *mut DirEntry {
+        let boxed =
+            map.entry(line).or_insert_with(|| Box::new(DirEntry::new(num_tiles, line_size)));
+        &mut **boxed as *mut DirEntry
+    }
+
+    /// Retires up to `dir_batch` queued resolutions under the caller's map
+    /// lock (flat combining). Every slot store happens while the map lock is
+    /// held, so queued stack slots cannot dangle.
+    fn drain_pending(
+        &self,
+        shard: &DirShard,
+        map: &mut HashMap<u64, Box<DirEntry>, FxBuildHasher>,
+        lane: usize,
+    ) {
+        if shard.pending_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let reqs: Vec<PendingDirReq> = {
+            let mut pending = shard.pending.lock();
+            let n = pending.len().min(self.dir_batch as usize);
+            shard.pending_count.fetch_sub(n, Ordering::Release);
+            pending.drain(..n).collect()
+        };
+        if reqs.is_empty() {
+            return;
+        }
+        self.stats.dir_batch_combined.add_owned(lane, reqs.len() as u64);
+        for r in reqs {
+            let p = Self::entry_ptr(map, r.line, self.num_tiles, self.line_size);
+            unsafe { (*r.slot).store(p, Ordering::Release) };
+        }
+    }
+
+    /// Resolves the directory entry for `line` to a stable pointer, batching
+    /// under contention. The caller must already hold per-line exclusivity
+    /// (an MSHR entry, or system quiescence) before mutating the entry.
+    fn dir_entry_batched(&self, line: u64, lane: usize) -> *mut DirEntry {
+        let shard = self.shard_of(line);
+        if self.dir_batch == 0 {
+            // Combining disabled: plain blocking acquisition.
+            let mut map = shard.map.lock();
+            return Self::entry_ptr(&mut map, line, self.num_tiles, self.line_size);
+        }
+        if let Some(mut map) = shard.map.try_lock() {
+            self.stats.dir_batch_acquisitions.incr_owned(lane);
+            let p = Self::entry_ptr(&mut map, line, self.num_tiles, self.line_size);
+            self.drain_pending(shard, &mut map, lane);
+            return p;
+        }
+        // Contended: queue the request; whoever holds the lock serves it.
+        // We may not return while the slot is unfilled — the holder owns a
+        // raw pointer to it.
+        let slot = AtomicPtr::new(std::ptr::null_mut());
+        {
+            let mut pending = shard.pending.lock();
+            pending.push(PendingDirReq { line, slot: &slot });
+            shard.pending_count.fetch_add(1, Ordering::Release);
+        }
+        loop {
+            let p = slot.load(Ordering::Acquire);
+            if !p.is_null() {
+                return p;
+            }
+            if let Some(mut map) = shard.map.try_lock() {
+                // Lock freed before anyone served us: serve the queue
+                // ourselves (our own request is still in it).
+                self.stats.dir_batch_acquisitions.incr_owned(lane);
+                self.drain_pending(shard, &mut map, lane);
+                let p = slot.load(Ordering::Acquire);
+                if !p.is_null() {
+                    return p;
+                }
+                // Bounded batch left our request queued; resolve directly.
+                // (The queue may still hold our slot — serve it too so no
+                // raw pointer outlives this frame.)
+                loop {
+                    self.drain_pending(shard, &mut map, lane);
+                    let p = slot.load(Ordering::Acquire);
+                    if !p.is_null() {
+                        return p;
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Plain blocking directory lookup that never inserts, for the
+    /// functional peek path — peeking absent memory must not grow the
+    /// directory (it would change checkpoint bytes).
+    fn dir_entry_get(&self, line: u64) -> Option<*mut DirEntry> {
+        let mut map = self.shard_of(line).map.lock();
+        map.get_mut(&line).map(|b| &mut **b as *mut DirEntry)
+    }
+
+    /// Plain blocking get-or-insert without batching or stats attribution,
+    /// for the functional poke path.
+    fn dir_entry_plain(&self, line: u64) -> *mut DirEntry {
+        let mut map = self.shard_of(line).map.lock();
+        Self::entry_ptr(&mut map, line, self.num_tiles, self.line_size)
     }
 
     /// Routes a protocol leg stamped with a tile's real clock (requests,
@@ -661,6 +951,41 @@ impl MemorySystem {
         // One tracer gate for both endpoint events; disabled tracing costs a
         // single predictable branch per access.
         let tracing = self.tracer.is_enabled();
+        // Lock-free read-hit probe: a seqlock-validated scan of the front
+        // data cache. Counters, latency, and LRU effect are identical to the
+        // locked read-hit path; `false` only ever means "take the slow path".
+        if self.read_probe && !is_write {
+            if let LineOp::Read(buf) = &mut op {
+                let pt = &self.probes[lane];
+                if unsafe { Cache::probe_read(pt.cache, &self.tile_seq[lane], line, off, buf) } {
+                    self.stats.probe_hits.incr_owned(lane);
+                    if pt.is_l1 {
+                        self.stats.l1d_hits.incr_owned(lane);
+                    } else {
+                        self.stats.l2_hits.incr_owned(lane);
+                    }
+                    if tracing {
+                        self.tracer.emit_pair(tile, now, || {
+                            (
+                                TraceEventKind::MemOpStart { op: op_name, addr: addr.0 },
+                                TraceEventKind::MemOpDone {
+                                    op: op_name,
+                                    addr: addr.0,
+                                    latency: pt.lat.0,
+                                    hit: true,
+                                },
+                            )
+                        });
+                    }
+                    let lat = pt.lat;
+                    self.stats.latency_sum.add_owned(lane, lat.0);
+                    self.per_tile[lane].latency_sum.add_owned(lat.0);
+                    self.stats.max_latency.observe_max(lane, lat.0);
+                    self.latency_hist.record_owned(lane, lat.0);
+                    return MemCost::hit(lat);
+                }
+            }
+        }
         // Fast path: local hit with sufficient permission. Hits and misses
         // record the same metric set (latency sum, per-tile latency, max,
         // histogram), so per-tile means cover every access, not just misses.
@@ -730,9 +1055,10 @@ impl MemorySystem {
     ) -> Option<Cycles> {
         let lane = tile.index();
         let is_write = op.is_write();
+        let seq = &self.tile_seq[lane];
         let mut guard = self.tiles[lane].lock();
-        let tm = &mut *guard;
-        if let (Some(l1d), Some(l2)) = (tm.l1d.as_mut(), tm.l2.as_mut()) {
+        let TileMem { l1d, l2, pool, .. } = &mut *guard;
+        if let (Some(l1d), Some(l2)) = (l1d.as_mut(), l2.as_mut()) {
             let l1_lat = l1d.access_latency();
             if let Some(l1_line) = l1d.lookup(line) {
                 let state = l1_line.state;
@@ -747,7 +1073,9 @@ impl MemorySystem {
                         self.stats.silent_upgrades.incr_owned(lane);
                     }
                     let l2_line = l2.peek_mut(line).expect("inclusion: L1 ⊆ L2");
+                    seq.begin_write();
                     Self::write_through(l1_line, l2_line, off, op);
+                    seq.end_write();
                 }
                 self.stats.l1d_hits.incr_owned(lane);
                 return Some(l1_lat);
@@ -760,7 +1088,9 @@ impl MemorySystem {
             }
             // Apply on the authoritative L2 copy, then refill L1 with the
             // resulting line (write-through keeps L2 current, so L1
-            // evictions are silent).
+            // evictions are silent). The refill mutates L1 structurally, so
+            // the whole block is one probe-excluding write section.
+            seq.begin_write();
             let fill_state = match op {
                 LineOp::Read(buf) => {
                     let data = l2_line.data.as_ref().unwrap();
@@ -781,13 +1111,19 @@ impl MemorySystem {
                     LineState::Modified
                 }
             };
-            let data = l2_line.data.clone();
+            let mut bx = pool.pop().unwrap_or_else(|| vec![0u8; self.line_size as usize].into());
+            bx.copy_from_slice(l2_line.data.as_deref().unwrap());
             debug_assert!(l1d.peek(line).is_none(), "L1 lookup above already missed");
-            l1d.insert(line, fill_state, data);
+            if let Some(ev) = l1d.insert(line, fill_state, Some(bx)) {
+                if let Some(d) = ev.data {
+                    pool.push(d); // never free a probe-visible buffer
+                }
+            }
+            seq.end_write();
             self.stats.l2_hits.incr_owned(lane);
             Some(l1_lat + l2_lat)
         } else {
-            let coh = tm.l2.as_mut().or(tm.l1d.as_mut()).expect("validated: some cache level");
+            let coh = l2.as_mut().or(l1d.as_mut()).expect("validated: some cache level");
             let lat = coh.access_latency();
             let entry = coh.lookup(line)?;
             if is_write && !entry.state.writable() {
@@ -802,15 +1138,19 @@ impl MemorySystem {
                     if entry.state == LineState::Exclusive {
                         self.stats.silent_upgrades.incr_owned(lane);
                     }
+                    seq.begin_write();
                     entry.state = LineState::Modified;
                     entry.data.as_mut().unwrap()[off..off + bytes.len()].copy_from_slice(bytes);
+                    seq.end_write();
                 }
                 LineOp::Rmw { old, f } => {
                     if entry.state == LineState::Exclusive {
                         self.stats.silent_upgrades.incr_owned(lane);
                     }
+                    seq.begin_write();
                     entry.state = LineState::Modified;
                     apply_rmw(entry.data.as_mut().unwrap(), off, old, *f);
+                    seq.end_write();
                 }
             }
             self.stats.l2_hits.incr_owned(lane);
@@ -846,33 +1186,104 @@ impl MemorySystem {
         off: usize,
         op: &mut LineOp,
     ) -> (Cycles, Cycles) {
-        // Phase 1: make room in the coherence cache. Only this tile's thread
-        // adds lines to its cache, so freed ways stay free.
+        let lane = tile.index();
+        let mut first_attempt = true;
         loop {
-            let victim = {
-                let mut tm = self.tiles[tile.index()].lock();
-                tm.coh().pending_victim(line).map(|l| l.line)
-            };
-            match victim {
-                None => break,
-                Some(vline) => self.evict_line(tile, now, vline),
+            if !first_attempt {
+                // We waited out someone else's transaction on this line (or
+                // lost a race and released); their fill usually turned our
+                // miss into a local hit.
+                if let Some(lat) = self.try_local_hit(tile, line, off, op) {
+                    return (lat, Cycles::ZERO);
+                }
             }
+            first_attempt = false;
+            // Phase 1: make room in the coherence cache. Each eviction is
+            // its own MSHR-scoped transaction, run *before* this line's
+            // registration — holding two in-flight entries at once could
+            // deadlock (tile A fills X evicting Y while tile B fills Y
+            // evicting X).
+            loop {
+                let victim = {
+                    let mut tm = self.tiles[lane].lock();
+                    tm.coh().pending_victim(line).map(|l| l.line)
+                };
+                match victim {
+                    None => break,
+                    Some(vline) => self.evict_line(tile, now, vline),
+                }
+            }
+            // Phase 2: register the miss. A secondary miss on a line already
+            // in flight blocks here (without inserting) and retries; the
+            // retry's local probe coalesces it onto the finished fill.
+            let guard = match self.mshr.try_acquire_or_wait(line, tile) {
+                Ok(g) => g,
+                Err(MshrWait::SameTile) if self.mshr_entries > 0 => {
+                    self.stats.mshr_coalesced.incr_owned(lane);
+                    continue;
+                }
+                Err(_) => {
+                    self.stats.mshr_conflict_waits.incr_owned(lane);
+                    continue;
+                }
+            };
+            if guard.stalled() {
+                self.stats.mshr_stall_full.incr_owned(lane);
+            }
+            // Safety: we hold the line's MSHR entry, so no other transaction
+            // can touch this directory entry until the guard drops.
+            let entry = unsafe { &mut *self.dir_entry_batched(line, lane) };
+            // A same-tile sibling may have filled the line between our probe
+            // and the registration; while we hold the MSHR the directory is
+            // stable ground truth, so release and retry — the re-probe hits.
+            let already_ours = match entry.state {
+                DirState::Owned(o) => o == tile,
+                DirState::Shared => !op.is_write() && entry.sharers.contains(tile),
+                DirState::Uncached => false,
+            };
+            // A sibling fill may also have consumed the way Phase 1 freed.
+            let fill_buf = if already_ours {
+                None
+            } else {
+                let mut tm = self.tiles[lane].lock();
+                if tm.coh().pending_victim(line).is_some() {
+                    None
+                } else {
+                    Some(tm.pool_take())
+                }
+            };
+            let Some(fill_buf) = fill_buf else {
+                drop(guard);
+                continue;
+            };
+            let result = self.run_directory_transaction(tile, now, line, off, op, entry, fill_buf);
+            drop(guard);
+            return result;
         }
-        // Phase 2: the directory transaction.
+    }
+
+    /// Runs one directory transaction for a registered miss. The caller
+    /// holds the line's MSHR entry (granting exclusive use of `entry`) and
+    /// has guaranteed room in the requester's coherence cache. `fill_buf`
+    /// stages the line's bytes; the upgrade path returns it to the pool.
+    #[allow(clippy::too_many_arguments)]
+    fn run_directory_transaction(
+        &self,
+        tile: TileId,
+        now: Cycles,
+        line: u64,
+        off: usize,
+        op: &mut LineOp,
+        entry: &mut DirEntry,
+        mut fill_buf: Box<[u8]>,
+    ) -> (Cycles, Cycles) {
         let home = self.home_of(line);
         let is_write = op.is_write();
         self.per_tile[tile.index()].transactions.incr_owned();
         if self.proc_of_tile[tile.index()] != self.proc_of_tile[home.index()] {
             self.per_tile[tile.index()].remote_home_transactions.incr_owned();
         }
-        let lookup_lat = {
-            let tm = self.tiles[tile.index()].lock();
-            let mut l = tm.coh_ref().access_latency();
-            if tm.has_l1_filter() {
-                l += tm.l1d.as_ref().unwrap().access_latency();
-            }
-            l
-        };
+        let lookup_lat = self.miss_lookup_lat;
         let t0 = now + lookup_lat;
 
         // Mint a causal flow ID for this transaction; every protocol leg it
@@ -887,9 +1298,6 @@ impl MemorySystem {
             });
         }
 
-        let mut shard = self.shard_of(line).lock();
-        let entry =
-            shard.entry(line).or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
         debug_assert!(entry.invariants_hold());
 
         // Request travels tile -> home.
@@ -965,8 +1373,15 @@ impl MemorySystem {
                         entry.sharers.remove(victim);
                         self.stats.forced_evictions.incr_owned(tile.index());
                         self.stats.invalidations.incr_owned(tile.index());
-                        let mut vt = self.lock_tile(victim);
-                        vt.purge(line);
+                        {
+                            let mut vt = self.lock_tile(victim);
+                            let seq = &self.tile_seq[victim.index()];
+                            seq.begin_write();
+                            if let Some((_, Some(d))) = vt.purge(line) {
+                                vt.recycle(d);
+                            }
+                            seq.end_write();
+                        }
                         self.classifier.on_departure(victim, line, true);
                         let t_inv =
                             self.route_derived_flow(home, victim, CTRL_MSG_BYTES, t_home, flow);
@@ -993,8 +1408,15 @@ impl MemorySystem {
                 let mut t_inv_done = t_home;
                 for s in &others {
                     self.stats.invalidations.incr_owned(tile.index());
-                    let mut st = self.lock_tile(*s);
-                    st.purge(line);
+                    {
+                        let mut st = self.lock_tile(*s);
+                        let seq = &self.tile_seq[s.index()];
+                        seq.begin_write();
+                        if let Some((_, Some(d))) = st.purge(line) {
+                            st.recycle(d);
+                        }
+                        seq.end_write();
+                    }
                     self.classifier.on_departure(*s, line, true);
                     let t_inv = self.route_derived_flow(home, *s, CTRL_MSG_BYTES, t_home, flow);
                     let t_ack =
@@ -1022,41 +1444,51 @@ impl MemorySystem {
                 }
             }
             (DirState::Owned(owner), _) => {
-                assert_ne!(owner, tile, "owner must not miss on its own line");
+                debug_assert_ne!(owner, tile, "caller filters same-tile ownership");
                 // Forward to owner; owner supplies data (if dirty) and is
                 // downgraded (read) or invalidated (write); home memory is
-                // updated on a dirty transfer.
+                // updated on a dirty transfer. The owner's bytes are staged
+                // directly into the requester's fill buffer at owner-lock
+                // time, so the fill block needs no second copy.
                 self.stats.remote_fills.incr_owned(tile.index());
                 self.tracer.emit(tile, t_home, || TraceEventKind::DirLeg {
                     leg: "remote_fill",
                     addr: line * self.line_size as u64,
                     home: home.0,
                 });
-                let (data, was_dirty) = {
+                let was_dirty = {
                     let mut ot = self.lock_tile(owner);
                     if is_write {
                         self.stats.invalidations.incr_owned(tile.index());
+                        let seq = &self.tile_seq[owner.index()];
+                        seq.begin_write();
                         let (st, data) = ot.purge(line).expect("owner holds the line");
+                        let data = data.expect("coherence cache stores data");
+                        fill_buf.copy_from_slice(&data);
+                        ot.recycle(data);
+                        seq.end_write();
                         self.classifier.on_departure(owner, line, true);
-                        (data.expect("coherence cache stores data"), st == LineState::Modified)
+                        st == LineState::Modified
                     } else {
-                        // Downgrade owner to Shared at every level.
+                        // Downgrade owner to Shared at every level. State
+                        // changes leave data bytes and placement intact, so
+                        // no probe-excluding write section is needed.
                         let coh = ot.coh();
                         let l = coh.peek_mut(line).expect("owner holds the line");
                         let was_dirty = l.state == LineState::Modified;
                         l.state = LineState::Shared;
-                        let data = l.data.clone().expect("coherence cache stores data");
+                        fill_buf.copy_from_slice(l.data.as_deref().expect("coh stores data"));
                         if ot.has_l1_filter() {
                             if let Some(l1) = ot.l1d.as_mut().unwrap().peek_mut(line) {
                                 l1.state = LineState::Shared;
                             }
                         }
-                        (data, was_dirty)
+                        was_dirty
                     }
                 };
                 if was_dirty {
                     self.stats.writebacks.incr_owned(tile.index());
-                    entry.data.copy_from_slice(&data);
+                    entry.data.copy_from_slice(&fill_buf);
                     // Home memory is updated in parallel with the response;
                     // the write occupies the controller off the critical path.
                     let _ = self.controller_of(home).access(est_now, self.line_size);
@@ -1065,7 +1497,7 @@ impl MemorySystem {
                 let xfer = if was_dirty { self.line_size + DATA_HDR_BYTES } else { CTRL_MSG_BYTES };
                 let t_data = self.route_derived_flow(owner, home, xfer, t_fwd + Cycles(2), flow);
                 data_ready = t_data + DIR_LATENCY;
-                fill_src = Some(FillSrc::Owner(data));
+                fill_src = Some(FillSrc::Staged);
                 if is_write {
                     entry.state = DirState::Owned(tile);
                 } else {
@@ -1094,16 +1526,18 @@ impl MemorySystem {
         let t_resp = self.route_derived_flow(home, tile, resp_bytes, data_ready, flow);
         {
             let mut tm = self.tiles[tile.index()].lock();
+            let seq = &self.tile_seq[tile.index()];
             if counted_upgrade {
                 // Permission upgrade: set Modified at every level.
+                seq.begin_write();
                 let coh = tm.coh();
                 if let Some(l) = coh.peek_mut(line) {
                     l.state = LineState::Modified;
                 } else {
                     // Raced with an invalidation after the directory decided;
-                    // cannot happen because we hold the shard lock from the
-                    // decision to here.
-                    unreachable!("upgraded line vanished while shard lock held");
+                    // cannot happen because we hold the line's MSHR entry
+                    // from the decision to here.
+                    unreachable!("upgraded line vanished while MSHR entry held");
                 }
                 if tm.has_l1_filter() {
                     if let Some(l1) = tm.l1d.as_mut().unwrap().peek_mut(line) {
@@ -1111,6 +1545,8 @@ impl MemorySystem {
                     }
                 }
                 Self::apply_write_everywhere(&mut tm, line, off, op);
+                seq.end_write();
+                tm.recycle(fill_buf);
             } else {
                 self.stats.misses.incr_owned(tile.index());
                 if let Some(kind) =
@@ -1119,44 +1555,44 @@ impl MemorySystem {
                     self.stats.record_kind(tile.index(), kind);
                 }
                 // Stage the fill without intermediate allocations: a
-                // home-copy fill lands in the tile's scratch buffer, an
-                // owner-supplied fill is already an owned box.
-                let tm = &mut *tm;
-                let mut owner_data = match fill_src.expect("miss path always has data") {
-                    FillSrc::Home => {
-                        tm.scratch.copy_from_slice(&entry.data);
-                        None
-                    }
-                    FillSrc::Owner(data) => Some(data),
-                };
-                let staged: &mut [u8] = match owner_data.as_mut() {
-                    Some(data) => data,
-                    None => &mut tm.scratch,
-                };
+                // home-copy fill copies into the pooled fill buffer here; an
+                // owner-supplied fill was staged into it at owner-lock time.
+                match fill_src.expect("miss path always has data") {
+                    FillSrc::Home => fill_buf.copy_from_slice(&entry.data),
+                    FillSrc::Staged => {}
+                }
                 match op {
                     LineOp::Write(bytes) => {
-                        staged[off..off + bytes.len()].copy_from_slice(bytes);
+                        fill_buf[off..off + bytes.len()].copy_from_slice(bytes);
                     }
-                    LineOp::Rmw { old, f } => apply_rmw(staged, off, old, *f),
-                    LineOp::Read(buf) => buf.copy_from_slice(&staged[off..off + buf.len()]),
+                    LineOp::Rmw { old, f } => apply_rmw(&mut fill_buf, off, old, *f),
+                    LineOp::Read(buf) => buf.copy_from_slice(&fill_buf[off..off + buf.len()]),
                 }
-                if tm.l2.is_some() {
-                    if let Some(l1) = tm.l1d.as_mut() {
+                let TileMem { l1d, l2, pool, .. } = &mut *tm;
+                seq.begin_write();
+                if l2.is_some() {
+                    if let Some(l1) = l1d.as_mut() {
                         if l1.peek(line).is_none() {
-                            let bytes: &[u8] = owner_data.as_deref().unwrap_or(&tm.scratch);
+                            let mut bx = pool
+                                .pop()
+                                .unwrap_or_else(|| vec![0u8; self.line_size as usize].into());
+                            bx.copy_from_slice(&fill_buf);
                             // L1 victim needs no writeback (write-through).
-                            l1.insert(line, fill_state, Some(bytes.into()));
+                            if let Some(ev) = l1.insert(line, fill_state, Some(bx)) {
+                                if let Some(d) = ev.data {
+                                    pool.push(d);
+                                }
+                            }
                         }
                     }
                 }
-                let coh_data = owner_data.unwrap_or_else(|| tm.scratch.clone());
-                let coh = tm.l2.as_mut().or(tm.l1d.as_mut()).expect("some cache level");
-                debug_assert!(coh.peek(line).is_none(), "pre-eviction guaranteed room");
-                let evicted = coh.insert(line, fill_state, Some(coh_data));
-                debug_assert!(evicted.is_none(), "pre-eviction guaranteed room");
+                let coh = l2.as_mut().or(l1d.as_mut()).expect("some cache level");
+                debug_assert!(coh.peek(line).is_none(), "room guaranteed at registration");
+                let evicted = coh.insert(line, fill_state, Some(fill_buf));
+                assert!(evicted.is_none(), "miss fill found no room (unsupported same-tile race)");
+                seq.end_write();
             }
         }
-        drop(shard);
         let latency = t_resp.saturating_sub(now).max(lookup_lat);
         let network = t_req.saturating_sub(t0) + t_resp.saturating_sub(data_ready);
         if flow != 0 {
@@ -1193,24 +1629,35 @@ impl MemorySystem {
     }
 
     /// Evicts `vline` from `tile`'s hierarchy as its own directory
-    /// transaction (writeback if dirty, sharer removal otherwise).
+    /// transaction (writeback if dirty, sharer removal otherwise). Waits out
+    /// any in-flight transaction on the victim line, then owns it for the
+    /// duration via an MSHR service entry.
     fn evict_line(&self, tile: TileId, now: Cycles, vline: u64) {
-        let home = self.home_of(vline);
-        let mut shard = self.shard_of(vline).lock();
-        let mut tm = self.tiles[tile.index()].lock();
-        let Some((state, data)) = tm.purge(vline) else {
-            return; // invalidated concurrently before we got here
+        let lane = tile.index();
+        let guard = self.mshr.acquire_service(vline);
+        let (state, data) = {
+            let mut tm = self.tiles[lane].lock();
+            let seq = &self.tile_seq[lane];
+            seq.begin_write();
+            let purged = tm.purge(vline);
+            seq.end_write();
+            match purged {
+                Some(p) => p,
+                None => return, // invalidated while we waited for the entry
+            }
         };
-        drop(tm);
         self.classifier.on_departure(tile, vline, false);
-        let entry =
-            shard.entry(vline).or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
-        match state {
+        let home = self.home_of(vline);
+        // Safety: the MSHR service entry grants exclusive use of the
+        // directory entry until `guard` drops.
+        let entry = unsafe { &mut *self.dir_entry_batched(vline, lane) };
+        let leftover = match state {
             LineState::Modified => {
                 debug_assert_eq!(entry.state, DirState::Owned(tile));
-                entry.data = data.expect("coherence cache stores data");
+                let d = data.expect("coherence cache stores data");
+                entry.data.copy_from_slice(&d);
                 entry.state = DirState::Uncached;
-                self.stats.writebacks.incr_owned(tile.index());
+                self.stats.writebacks.incr_owned(lane);
                 self.tracer.emit(tile, now, || TraceEventKind::DirLeg {
                     leg: "writeback",
                     addr: vline * self.line_size as u64,
@@ -1222,12 +1669,14 @@ impl MemorySystem {
                 let _ = self.route(tile, home, self.line_size + DATA_HDR_BYTES, now);
                 let est = self.network.progress().estimate();
                 let _ = self.controller_of(home).access(est, self.line_size);
+                Some(d)
             }
             LineState::Exclusive => {
                 // Clean sole copy: notify the directory, no data transfer.
                 debug_assert_eq!(entry.state, DirState::Owned(tile));
                 entry.state = DirState::Uncached;
                 let _ = self.route(tile, home, CTRL_MSG_BYTES, now);
+                data
             }
             LineState::Shared => {
                 // Notify the directory so the sharer set stays exact.
@@ -1236,9 +1685,14 @@ impl MemorySystem {
                     entry.state = DirState::Uncached;
                 }
                 let _ = self.route(tile, home, CTRL_MSG_BYTES, now);
+                data
             }
-        }
+        };
         debug_assert!(entry.invariants_hold());
+        if let Some(d) = leftover {
+            self.tiles[lane].lock().recycle(d);
+        }
+        drop(guard);
     }
 
     /// Atomically reads a little-endian `u32` at `addr` and replaces it with
@@ -1340,16 +1794,22 @@ impl MemorySystem {
             let line = a.line(self.line_size);
             let off = (a.0 % ls) as usize;
             let n = ((ls as usize) - off).min(buf.len() - done);
-            let shard = self.shard_of(line).lock();
-            match shard.get(&line) {
-                Some(entry) => match entry.state {
+            // Wait out any in-flight transaction on this line, then hold the
+            // entry so the owner/home copy cannot move mid-read.
+            let _svc = self.mshr.acquire_service(line);
+            match self.dir_entry_get(line) {
+                // Safety: the MSHR service entry grants exclusive use.
+                Some(p) => match unsafe { &*p }.state {
                     DirState::Owned(owner) => {
                         let mut ot = self.lock_tile(owner);
                         let l = ot.coh().peek_mut(line).expect("owner holds line");
                         let data = l.data.as_ref().unwrap();
                         buf[done..done + n].copy_from_slice(&data[off..off + n]);
                     }
-                    _ => buf[done..done + n].copy_from_slice(&entry.data[off..off + n]),
+                    _ => {
+                        let entry = unsafe { &*p };
+                        buf[done..done + n].copy_from_slice(&entry.data[off..off + n]);
+                    }
                 },
                 None => buf[done..done + n].fill(0),
             }
@@ -1367,12 +1827,16 @@ impl MemorySystem {
             let line = a.line(self.line_size);
             let off = (a.0 % ls) as usize;
             let n = ((ls as usize) - off).min(bytes.len() - done);
-            let mut shard = self.shard_of(line).lock();
-            let entry =
-                shard.entry(line).or_insert_with(|| DirEntry::new(self.num_tiles, self.line_size));
+            // Hold the line's MSHR entry so no transaction moves copies
+            // around while we patch every cached copy in place.
+            let _svc = self.mshr.acquire_service(line);
+            // Safety: the MSHR service entry grants exclusive use.
+            let entry = unsafe { &mut *self.dir_entry_plain(line) };
             match entry.state {
                 DirState::Owned(owner) => {
                     let mut ot = self.lock_tile(owner);
+                    let seq = &self.tile_seq[owner.index()];
+                    seq.begin_write();
                     let has_filter = ot.has_l1_filter();
                     if has_filter {
                         if let Some(l1) = ot.l1d.as_mut().unwrap().peek_mut(line) {
@@ -1382,6 +1846,7 @@ impl MemorySystem {
                     }
                     let l = ot.coh().peek_mut(line).expect("owner holds line");
                     l.data.as_mut().unwrap()[off..off + n].copy_from_slice(&bytes[done..done + n]);
+                    seq.end_write();
                     // Keep the home copy current too: an Exclusive owner
                     // evicts silently without a writeback.
                     entry.data[off..off + n].copy_from_slice(&bytes[done..done + n]);
@@ -1390,6 +1855,8 @@ impl MemorySystem {
                     entry.data[off..off + n].copy_from_slice(&bytes[done..done + n]);
                     for s in entry.sharers.iter().collect::<Vec<_>>() {
                         let mut st = self.lock_tile(s);
+                        let seq = &self.tile_seq[s.index()];
+                        seq.begin_write();
                         let has_filter = st.has_l1_filter();
                         if has_filter {
                             if let Some(l1) = st.l1d.as_mut().unwrap().peek_mut(line) {
@@ -1401,6 +1868,7 @@ impl MemorySystem {
                             l.data.as_mut().unwrap()[off..off + n]
                                 .copy_from_slice(&bytes[done..done + n]);
                         }
+                        seq.end_write();
                     }
                 }
                 DirState::Uncached => {
@@ -1420,7 +1888,7 @@ impl MemorySystem {
     /// Returns a description of the first violated invariant.
     pub fn verify_coherence_invariants(&self) -> Result<(), String> {
         for shard in &self.shards {
-            let shard = shard.lock();
+            let shard = shard.map.lock();
             for (&line, entry) in shard.iter() {
                 if !entry.invariants_hold() {
                     return Err(format!("line {line}: directory invariants violated"));
@@ -1534,31 +2002,33 @@ impl Checkpointable for MemorySystem {
                 }
             }
         }
-        for shard in &self.shards {
-            let shard = shard.lock();
-            // HashMap iteration order is nondeterministic; sort so identical
-            // states always serialize to identical bytes.
-            let mut lines: Vec<u64> = shard.keys().copied().collect();
-            lines.sort_unstable();
-            out.u32(lines.len() as u32);
-            for line in lines {
-                let e = &shard[&line];
-                out.u64(line);
-                match e.state {
-                    DirState::Uncached => out.u8(0),
-                    DirState::Shared => out.u8(1),
-                    DirState::Owned(t) => {
-                        out.u8(2);
-                        out.u32(t.0);
-                    }
+        // The directory serializes as ONE globally line-sorted stream so the
+        // bytes are independent of the configured shard count (and of the
+        // shard hash): a checkpoint taken with 256 shards restores into a
+        // system configured with 16, and identical states always serialize
+        // to identical bytes regardless of HashMap iteration order.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.map.lock()).collect();
+        let mut lines: Vec<(u64, &DirEntry)> =
+            guards.iter().flat_map(|g| g.iter().map(|(&l, e)| (l, &**e))).collect();
+        lines.sort_unstable_by_key(|(l, _)| *l);
+        out.u32(lines.len() as u32);
+        for (line, e) in lines {
+            out.u64(line);
+            match e.state {
+                DirState::Uncached => out.u8(0),
+                DirState::Shared => out.u8(1),
+                DirState::Owned(t) => {
+                    out.u8(2);
+                    out.u32(t.0);
                 }
-                out.u32(e.sharers.count());
-                for s in e.sharers.iter() {
-                    out.u32(s.0);
-                }
-                out.bytes(&e.data);
             }
+            out.u32(e.sharers.count());
+            for s in e.sharers.iter() {
+                out.u32(s.0);
+            }
+            out.bytes(&e.data);
         }
+        drop(guards);
         out.u32(self.dram.len() as u32);
         for c in &self.dram {
             for w in c.export_state() {
@@ -1585,44 +2055,51 @@ impl Checkpointable for MemorySystem {
                 }
             }
         }
-        for (idx, shard) in self.shards.iter().enumerate() {
-            let n = dec.u32()?;
-            let mut map = HashMap::with_capacity(n as usize);
-            for _ in 0..n {
-                let line = dec.u64()?;
-                if (line & (NUM_SHARDS as u64 - 1)) as usize != idx {
-                    return Err(bad());
-                }
-                let state = match dec.u8()? {
-                    0 => DirState::Uncached,
-                    1 => DirState::Shared,
-                    2 => {
-                        let t = dec.u32()?;
-                        if t >= self.num_tiles {
-                            return Err(bad());
-                        }
-                        DirState::Owned(TileId(t))
-                    }
-                    _ => return Err(bad()),
-                };
-                let mut sharers = SharerSet::new(self.num_tiles);
-                let ns = dec.u32()?;
-                for _ in 0..ns {
+        // The directory stream is shard-count-independent (see `save`): one
+        // strictly line-ordered sequence, redistributed across however many
+        // shards this instance is configured with. The system is quiescent,
+        // so dropping the old boxed entries here is safe (no probe can hold
+        // a stale pointer into them).
+        let n = dec.u32()?;
+        for shard in &self.shards {
+            shard.map.lock().clear();
+        }
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let line = dec.u64()?;
+            if prev.is_some_and(|p| p >= line) {
+                return Err(bad()); // not strictly increasing
+            }
+            prev = Some(line);
+            let state = match dec.u8()? {
+                0 => DirState::Uncached,
+                1 => DirState::Shared,
+                2 => {
                     let t = dec.u32()?;
-                    if t >= self.num_tiles || !sharers.insert(TileId(t)) {
+                    if t >= self.num_tiles {
                         return Err(bad());
                     }
+                    DirState::Owned(TileId(t))
                 }
-                let data = dec.bytes()?;
-                if data.len() != self.line_size as usize {
-                    return Err(bad());
-                }
-                let entry = DirEntry { state, sharers, data: data.into() };
-                if !entry.invariants_hold() || map.insert(line, entry).is_some() {
+                _ => return Err(bad()),
+            };
+            let mut sharers = SharerSet::new(self.num_tiles);
+            let ns = dec.u32()?;
+            for _ in 0..ns {
+                let t = dec.u32()?;
+                if t >= self.num_tiles || !sharers.insert(TileId(t)) {
                     return Err(bad());
                 }
             }
-            *shard.lock() = map;
+            let data = dec.bytes()?;
+            if data.len() != self.line_size as usize {
+                return Err(bad());
+            }
+            let entry = DirEntry { state, sharers, data: data.into() };
+            if !entry.invariants_hold() {
+                return Err(bad());
+            }
+            self.shard_of(line).map.lock().insert(line, Box::new(entry));
         }
         if dec.u32()? as usize != self.dram.len() {
             return Err(bad());
@@ -1656,6 +2133,162 @@ mod tests {
             Arc::new(GlobalProgress::new(cfg.target.num_tiles as usize)),
         ));
         MemorySystem::new(cfg, net, classify)
+    }
+
+    #[test]
+    #[ignore = "host-perf breakdown, run by hand with --release --nocapture"]
+    fn profile_miss_path_breakdown() {
+        use std::time::Instant;
+        let mut cfg = presets::paper_default(1);
+        if let Some(l2) = cfg.target.l2.as_mut() {
+            l2.size_bytes = 256 * 1024;
+            l2.associativity = 16;
+        }
+        let m = system_with(&cfg, false);
+        const N: u64 = 200_000;
+        let ns = |t0: Instant| t0.elapsed().as_nanos() as f64 / N as f64;
+
+        let t0 = Instant::now();
+        for i in 0..N {
+            drop(m.mshr.try_acquire_or_wait(i % 6144, TileId(0)).unwrap());
+        }
+        println!("mshr acquire+release: {:.0} ns", ns(t0));
+
+        let t0 = Instant::now();
+        for i in 0..N {
+            drop(m.mshr.acquire_service(i % 6144));
+        }
+        println!("mshr service pair:    {:.0} ns", ns(t0));
+
+        let t0 = Instant::now();
+        for i in 0..N {
+            let _ = m.dir_entry_batched(i % 6144, 0);
+        }
+        println!("dir_entry_batched:    {:.0} ns", ns(t0));
+
+        let t0 = Instant::now();
+        for _ in 0..N {
+            let _ = m.network.progress().estimate();
+        }
+        println!("progress estimate:    {:.0} ns", ns(t0));
+
+        let t0 = Instant::now();
+        for i in 0..N {
+            let _ = m.route(TileId(0), TileId(0), CTRL_MSG_BYTES, Cycles(i));
+        }
+        println!("route:                {:.0} ns", ns(t0));
+
+        let t0 = Instant::now();
+        for i in 0..N {
+            let _ = m.controller_of(TileId(0)).access(Cycles(i), 64);
+        }
+        println!("dram access:          {:.0} ns", ns(t0));
+
+        let mut buf = [0u8; 8];
+        let mut now = Cycles::ZERO;
+        let t0 = Instant::now();
+        for i in 0..N {
+            now += m.read(TileId(0), now, Addr((i % 6144) * 64), &mut buf);
+        }
+        println!("full miss access:     {:.0} ns", ns(t0));
+
+        // 16-tile flavor: remote homes, longer XY routes, link counters.
+        let mut cfg16 = presets::paper_default(16);
+        if let Some(l2) = cfg16.target.l2.as_mut() {
+            l2.size_bytes = 256 * 1024;
+            l2.associativity = 16;
+        }
+        let m = system_with(&cfg16, false);
+        let t0 = Instant::now();
+        for i in 0..N {
+            let _ = m.route(TileId(0), TileId((i % 16) as u32), CTRL_MSG_BYTES, Cycles(i));
+        }
+        println!("route 16t remote:     {:.0} ns", ns(t0));
+
+        let t0 = Instant::now();
+        for i in 0..N {
+            now += m.read(TileId(0), now, Addr((i % 6144) * 64), &mut buf);
+        }
+        println!("full miss 16t:        {:.0} ns", ns(t0));
+    }
+
+    /// Two host threads of the *same tile* racing on the same line: the MSHR
+    /// coalesces the secondary miss, so however the race lands, each line
+    /// costs exactly one directory transaction — `mem.misses` and the
+    /// classified-miss counters must never double-count.
+    #[test]
+    fn coalesced_secondary_misses_count_once() {
+        use std::sync::Barrier;
+        let cfg = presets::paper_default(4);
+        let m = Arc::new(system_with(&cfg, true));
+        const LINES: u64 = 300;
+        let barrier = Arc::new(Barrier::new(2));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let (m, barrier) = (Arc::clone(&m), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 8];
+                    let mut now = Cycles::ZERO;
+                    for l in 0..LINES {
+                        // Both threads release together, maximizing the
+                        // window where the second miss finds the first in
+                        // flight and coalesces.
+                        barrier.wait();
+                        now += m.read(TileId(1), now, Addr(l * 64), &mut buf);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = m.stats();
+        assert_eq!(s.misses.get(), LINES, "secondary misses must coalesce, not re-run");
+        let classified = s.miss_cold.get()
+            + s.miss_capacity.get()
+            + s.miss_true_sharing.get()
+            + s.miss_false_sharing.get();
+        assert_eq!(classified, s.misses.get(), "each fill classified exactly once");
+        // Same-tile waiters are coalesced secondaries, never cross-tile
+        // conflicts.
+        assert_eq!(s.mshr_conflict_waits.get(), 0);
+        m.verify_coherence_invariants().unwrap();
+    }
+
+    /// Two *different* tiles racing on one line: each needs its own copy, so
+    /// per line there are exactly two misses — the MSHR serializes the
+    /// transactions but must not lose or duplicate either.
+    #[test]
+    fn cross_tile_races_keep_exact_miss_counts() {
+        use std::sync::Barrier;
+        let cfg = presets::paper_default(4);
+        let m = Arc::new(system_with(&cfg, true));
+        const LINES: u64 = 300;
+        let barrier = Arc::new(Barrier::new(2));
+        let threads: Vec<_> = (0..2u32)
+            .map(|t| {
+                let (m, barrier) = (Arc::clone(&m), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 8];
+                    let mut now = Cycles::ZERO;
+                    for l in 0..LINES {
+                        barrier.wait();
+                        now += m.read(TileId(t), now, Addr(l * 64), &mut buf);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = m.stats();
+        assert_eq!(s.misses.get(), 2 * LINES, "each tile fills its own copy exactly once");
+        let classified = s.miss_cold.get()
+            + s.miss_capacity.get()
+            + s.miss_true_sharing.get()
+            + s.miss_false_sharing.get();
+        assert_eq!(classified, s.misses.get());
+        m.verify_coherence_invariants().unwrap();
     }
 
     #[test]
