@@ -25,6 +25,11 @@
 //! `GRAPHITE_SCALE_OUT`). `GRAPHITE_SCALE_TILES` (comma list) and
 //! `GRAPHITE_SCALE_ROUNDS` shrink the study for CI smoke runs;
 //! `GRAPHITE_SCALE_SKIP_BASELINE=1` runs only the scheduled mode.
+//! `GRAPHITE_SCALE_CASES` (comma-separated `study_tiles` name prefixes, e.g.
+//! `barrier_64,lax_rtc`) restricts which cases run, and
+//! `GRAPHITE_SCALE_BUDGET_S` makes the binary exit non-zero when total wall
+//! time exceeds the budget — same contract as the hotpath bench, so CI can
+//! catch a scheduler perf regression as a red job instead of a slow one.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -134,6 +139,12 @@ fn main() {
     let out_path = std::env::var("GRAPHITE_SCALE_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_scale.json", env!("CARGO_MANIFEST_DIR")));
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // `GRAPHITE_SCALE_CASES=barrier_64,lax_rtc` runs only cases whose
+    // `study_tiles` name starts with one of the prefixes.
+    let case_filter: Vec<String> = std::env::var("GRAPHITE_SCALE_CASES")
+        .map(|v| v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect())
+        .unwrap_or_default();
+    let bench_t0 = Instant::now();
 
     println!("scale study: tiles {sizes:?}, {rounds} compute rounds, host threads {host}");
     type StudyFn = fn(u32, Option<u32>, u32) -> (f64, SimReport);
@@ -142,6 +153,12 @@ fn main() {
     let mut cases = Vec::new();
     for &(study, run) in &studies {
         for &tiles in &sizes {
+            let name = format!("{study}_{tiles}");
+            if !case_filter.is_empty() && !case_filter.iter().any(|p| name.starts_with(p.as_str()))
+            {
+                println!("  {name}: skipped by GRAPHITE_SCALE_CASES");
+                continue;
+            }
             let pool = host.min(tiles as usize);
             let (wall, report) = run(tiles, None, rounds);
             let sched = Mode { wall, report };
@@ -205,4 +222,17 @@ fn main() {
     );
     std::fs::write(&out_path, &doc).expect("write BENCH_scale.json");
     println!("wrote {out_path}");
+
+    // Fail the run (and the CI job driving it) when the study blew its
+    // wall-clock budget — a scheduler perf regression becomes a red job.
+    if let Ok(budget) = std::env::var("GRAPHITE_SCALE_BUDGET_S") {
+        if let Ok(budget_s) = budget.parse::<f64>() {
+            let total = bench_t0.elapsed().as_secs_f64();
+            if total > budget_s {
+                eprintln!("scale bench exceeded budget: {total:.1}s > {budget_s:.1}s");
+                std::process::exit(1);
+            }
+            println!("within budget: {total:.1}s <= {budget_s:.1}s");
+        }
+    }
 }

@@ -355,6 +355,80 @@ impl Default for MemoryConfig {
     }
 }
 
+/// Checkpoint knobs (the `[ckpt]` section).
+///
+/// Periodic auto-checkpointing takes a system-driven snapshot every
+/// `auto_quanta` LaxBarrier quanta — at the first cooperative safepoint
+/// (`Ctx::ckpt_poll`) after the boundary, so resume re-enters the driver at
+/// a point it can reconstruct. Off by default; requires the LaxBarrier
+/// synchronization model (quanta are its clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(default)]
+pub struct CkptConfig {
+    /// Take an automatic checkpoint every N LaxBarrier quanta; `0` (the
+    /// default) disables periodic auto-checkpointing.
+    pub auto_quanta: u64,
+}
+
+/// Job-service knobs (the `[serve]` section, read by `graphite-serve`).
+///
+/// This section configures the multi-tenant simulation service: how many
+/// simulation workers drain the fair-share queue, the wall-clock scheduling
+/// quantum after which a running job is preempted via checkpoint, queue
+/// admission bounds, and the graceful-shutdown drain window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ServeConfig {
+    /// Number of simulation workers draining the job queue.
+    pub workers: u32,
+    /// Wall-clock scheduling quantum in milliseconds; a job running longer
+    /// is checkpointed at its next safepoint and re-queued. `0` disables
+    /// preemption (run-to-completion FIFO per tenant).
+    pub quantum_ms: u64,
+    /// Maximum queued (not yet running) jobs; submissions beyond this are
+    /// rejected with 429.
+    pub queue_depth: u32,
+    /// Maximum accepted HTTP request body, in bytes (413 beyond it).
+    pub max_body_bytes: u64,
+    /// Graceful-shutdown drain window in milliseconds: how long SIGINT or
+    /// SIGTERM waits for running jobs to park at a checkpoint before the
+    /// process exits anyway.
+    pub drain_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            quantum_ms: 250,
+            queue_depth: 1024,
+            max_body_bytes: 1 << 20,
+            drain_ms: 5_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero workers, a zero queue
+    /// depth, or a zero body cap.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.workers == 0 {
+            return Err(SimError::InvalidConfig("serve.workers must be > 0".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(SimError::InvalidConfig("serve.queue_depth must be > 0".into()));
+        }
+        if self.max_body_bytes == 0 {
+            return Err(SimError::InvalidConfig("serve.max_body_bytes must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
 /// Guest-execution scheduler knobs (the `[scheduler]` section).
 ///
 /// Guest contexts are multiplexed M:N onto a fixed pool of host execution
@@ -401,6 +475,9 @@ pub struct SimConfig {
     /// the defaults.
     #[serde(default)]
     pub memory: MemoryConfig,
+    /// Checkpoint knobs; absent sections deserialize to the defaults.
+    #[serde(default)]
+    pub ckpt: CkptConfig,
 }
 
 impl SimConfig {
@@ -500,6 +577,11 @@ impl SimConfig {
         }
         if self.profile.skew_sampling && self.profile.skew_sample_interval_us == 0 {
             return Err(SimError::InvalidConfig("skew sample interval must be > 0".into()));
+        }
+        if self.ckpt.auto_quanta > 0 && !matches!(self.sync, SyncModel::LaxBarrier { .. }) {
+            return Err(SimError::InvalidConfig(
+                "ckpt.auto_quanta requires the LaxBarrier sync model".into(),
+            ));
         }
         if !self.memory.dir_shards.is_power_of_two() {
             return Err(SimError::InvalidConfig(format!(
@@ -682,6 +764,13 @@ impl SimConfigBuilder {
     /// (`[memory] read_probe`).
     pub fn read_probe(mut self, on: bool) -> Self {
         self.cfg.memory.read_probe = on;
+        self
+    }
+
+    /// Takes an automatic checkpoint every N LaxBarrier quanta
+    /// (`[ckpt] auto_quanta`); `0` disables periodic auto-checkpointing.
+    pub fn auto_ckpt_quanta(mut self, n: u64) -> Self {
+        self.cfg.ckpt.auto_quanta = n;
         self
     }
 
@@ -890,6 +979,41 @@ mod tests {
         assert_eq!(cfg.memory.mshr_entries, 0);
         assert_eq!(cfg.memory.dir_batch, 0);
         assert!(!cfg.memory.read_probe);
+    }
+
+    #[test]
+    fn auto_ckpt_defaults_off_and_requires_laxbarrier() {
+        let cfg = SimConfig::builder().build().unwrap();
+        assert_eq!(cfg.ckpt.auto_quanta, 0, "auto-checkpointing is off by default");
+        // Valid only under LaxBarrier: quanta are that model's clock.
+        let cfg = SimConfig::builder()
+            .sync(SyncModel::LaxBarrier { quantum: 1_000 })
+            .auto_ckpt_quanta(8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.ckpt.auto_quanta, 8);
+        assert!(SimConfig::builder().auto_ckpt_quanta(8).build().is_err(), "Lax rejected");
+        assert!(SimConfig::builder()
+            .sync(SyncModel::LaxP2P { slack: 1_000, check_interval: 100 })
+            .auto_ckpt_quanta(8)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn serve_section_defaults_and_validation() {
+        let s = ServeConfig::default();
+        assert_eq!(s.workers, 2);
+        assert_eq!(s.quantum_ms, 250);
+        assert_eq!(s.queue_depth, 1024);
+        assert_eq!(s.max_body_bytes, 1 << 20);
+        assert_eq!(s.drain_ms, 5_000);
+        s.validate().unwrap();
+        assert!(ServeConfig { workers: 0, ..s }.validate().is_err());
+        assert!(ServeConfig { queue_depth: 0, ..s }.validate().is_err());
+        assert!(ServeConfig { max_body_bytes: 0, ..s }.validate().is_err());
+        // quantum_ms = 0 is legal: preemption off.
+        ServeConfig { quantum_ms: 0, ..s }.validate().unwrap();
     }
 
     #[test]

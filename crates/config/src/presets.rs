@@ -74,6 +74,7 @@ pub fn paper_default(tiles: u32) -> SimConfig {
         trace: crate::TraceConfig::default(),
         scheduler: crate::SchedulerConfig::default(),
         memory: crate::MemoryConfig::default(),
+        ckpt: crate::CkptConfig::default(),
     }
 }
 

@@ -792,6 +792,62 @@ impl Ctx {
         rx.recv().map_err(|_| SimError::TransportClosed("mcp".into()))?
     }
 
+    /// A cooperative checkpoint safepoint: services any armed external
+    /// [`crate::CkptRequest`] and the periodic auto-checkpoint schedule
+    /// (`[ckpt] auto_quanta`).
+    ///
+    /// Drivers call this **between units of work they can resume from** —
+    /// a checkpoint is only correct at a point the driver re-entering after
+    /// [`crate::SimBuilder::resume`] can reconstruct (typically by keeping a
+    /// progress cursor in simulated memory via [`Ctx::poke_bytes`]).
+    ///
+    /// Returns `true` when an external preemption request was serviced: the
+    /// checkpoint is on disk and the driver should wind down so the
+    /// simulation can be resumed later. Auto checkpoints return `false` (the
+    /// driver keeps running). The call is model-invisible apart from the
+    /// `ckpt.auto.taken` counter: no simulated time, no modeled state.
+    ///
+    /// Only thread 0 services requests (checkpoints need a quiesced
+    /// simulation, which requires every other thread to have exited); calls
+    /// from other threads return `false`. A safepoint reached while spawned
+    /// threads are still alive leaves the request armed and retries at the
+    /// next poll.
+    pub fn ckpt_poll(&mut self) -> bool {
+        if self.thread != ThreadId(0) {
+            return false;
+        }
+        let hook = &self.sim.ckpt_hook;
+        if let Some(req) = &hook.request {
+            if let Some(path) = req.pending_path() {
+                match self.checkpoint(&path) {
+                    Ok(()) => {
+                        req.complete();
+                        return true;
+                    }
+                    // Not quiesced: stay armed, retry at a later safepoint.
+                    Err(SimError::CkptNotQuiesced(_)) => {}
+                    Err(e) => req.fail(e.to_string()),
+                }
+            }
+        }
+        if hook.auto_due(self.now().0) {
+            let now = self.now().0;
+            match self.checkpoint(hook.next_auto_path()) {
+                Ok(()) => hook.auto_done(now),
+                Err(SimError::CkptNotQuiesced(_)) => {}
+                Err(_) => hook.auto_failed(now),
+            }
+        }
+        false
+    }
+
+    /// Whether an external checkpoint request is armed and waiting for the
+    /// next [`Ctx::ckpt_poll`] safepoint. Cheap enough for inner loops that
+    /// want to poll only when it matters.
+    pub fn preempt_pending(&self) -> bool {
+        self.sim.ckpt_hook.request.as_ref().is_some_and(|r| r.armed())
+    }
+
     /// Writes text to the simulation's captured stdout (fd 1). Best-effort:
     /// output during control-plane shutdown is silently dropped.
     pub fn print(&mut self, text: &str) {

@@ -84,6 +84,7 @@ mod ckpt;
 pub mod control;
 pub mod ctx;
 pub mod guest_sync;
+pub mod preempt;
 pub mod report;
 pub mod sched;
 pub mod vfs;
@@ -112,6 +113,7 @@ use parking_lot::Mutex;
 
 pub use ctx::{Ctx, GuestEntry, GuestHandle, GuestValue};
 pub use guest_sync::{GBarrier, GCondvar, GMutex};
+pub use preempt::CkptRequest;
 pub use report::{LinkUtilization, SchedReport, SimReport};
 pub use sched::{GuestScheduler, SchedStats};
 
@@ -156,6 +158,10 @@ pub(crate) struct SimInner {
     /// by the MCP thread before it services its first request.
     pub ckpt_restore: Mutex<Option<control::CtrlRestore>>,
     pub stdout: Mutex<Vec<u8>>,
+    /// System-driven checkpoint state: the external preemption request and
+    /// the periodic auto-checkpoint schedule, serviced at
+    /// [`Ctx::ckpt_poll`] safepoints.
+    pub ckpt_hook: preempt::CkptHook,
     pub started: Instant,
     /// Set when any guest thread panicked; surfaced by [`Sim::run`].
     pub guest_panicked: std::sync::atomic::AtomicBool,
@@ -187,6 +193,8 @@ pub struct SimBuilder {
     record: bool,
     replay_log: Option<Vec<u8>>,
     workers: Option<u32>,
+    ckpt_request: Option<preempt::CkptRequest>,
+    auto_ckpt_dir: Option<PathBuf>,
 }
 
 impl SimBuilder {
@@ -202,7 +210,27 @@ impl SimBuilder {
             record: false,
             replay_log: None,
             workers: None,
+            ckpt_request: None,
+            auto_ckpt_dir: None,
         }
+    }
+
+    /// Attaches an external checkpoint-request handle: any host thread may
+    /// arm it ([`CkptRequest::request`]) and the guest services it at its
+    /// next [`Ctx::ckpt_poll`] safepoint, returning `true` there so the
+    /// driver winds down. This is the preemption seam job schedulers build
+    /// on.
+    pub fn ckpt_request(mut self, req: preempt::CkptRequest) -> Self {
+        self.ckpt_request = Some(req);
+        self
+    }
+
+    /// Directory for periodic auto-checkpoints (`[ckpt] auto_quanta`);
+    /// created at build time. Defaults to a seed-derived directory under the
+    /// system temp dir.
+    pub fn auto_ckpt_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.auto_ckpt_dir = Some(dir.into());
+        self
     }
 
     /// Overrides the guest-scheduler worker count (`[scheduler] workers` in
@@ -394,6 +422,7 @@ impl SimBuilder {
         // counterpart, so late registration would silently drop them.
         let ctrl_stats = ControlStats::registered(&obs.metrics);
         let user_msgs = obs.metrics.sharded_counter("ctrl.user_msgs");
+        let auto_taken = obs.metrics.counter("ckpt.auto.taken");
         let cpi = CpiStack::registered(&obs.metrics);
 
         // Restore the simulated machine into the freshly built subsystems
@@ -429,6 +458,37 @@ impl SimBuilder {
             }
         }
 
+        // System-driven checkpoint schedule. The auto-checkpoint boundary
+        // counter starts at the (possibly restored) clock's quantum index so
+        // a resumed run waits a full `auto_quanta` before its next snapshot.
+        let quantum = match cfg.sync {
+            SyncModel::LaxBarrier { quantum } => quantum,
+            _ => 0,
+        };
+        let auto_dir = if cfg.ckpt.auto_quanta > 0 {
+            let dir = self.auto_ckpt_dir.unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("graphite-auto-{:016x}", cfg.seed))
+            });
+            std::fs::create_dir_all(&dir).map_err(|e| {
+                SimError::CkptIo(format!("auto-checkpoint dir {}: {e}", dir.display()))
+            })?;
+            Some(dir)
+        } else {
+            None
+        };
+        let ckpt_hook = preempt::CkptHook {
+            request: self.ckpt_request,
+            auto_quanta: cfg.ckpt.auto_quanta,
+            quantum,
+            auto_dir,
+            last_auto_q: std::sync::atomic::AtomicU64::new(
+                clocks[0].now().0.checked_div(quantum).unwrap_or(0),
+            ),
+            auto_seq: std::sync::atomic::AtomicU64::new(0),
+            auto_taken,
+            auto_errors: std::sync::atomic::AtomicU64::new(0),
+        };
+
         let (mcp_tx, mcp_rx) = channel::unbounded();
         let inner = Arc::new(SimInner {
             clocks,
@@ -448,6 +508,7 @@ impl SimBuilder {
             guest_rng: Mutex::new(guest_rng),
             ckpt_restore: Mutex::new(ctrl_restore),
             stdout: Mutex::new(stdout),
+            ckpt_hook,
             started: Instant::now(),
             guest_panicked: std::sync::atomic::AtomicBool::new(false),
             cfg,

@@ -1,0 +1,254 @@
+//! System-driven checkpoints: the cooperative preemption seam.
+//!
+//! A checkpoint can only be taken at a **quiesce point** (only the main
+//! thread running, nothing in flight), and — just as importantly — can only
+//! be *resumed* from a point the workload driver can reconstruct: resume
+//! re-enters the driver, so a snapshot taken mid-iteration would replay the
+//! half-done iteration and diverge. Both constraints meet in one place:
+//! [`crate::Ctx::ckpt_poll`], an explicit safepoint the driver calls between
+//! units of work.
+//!
+//! Two kinds of system-driven snapshot are serviced there:
+//!
+//! * **External preemption** ([`CkptRequest`]): an outside thread (a job
+//!   scheduler such as `graphite-serve`) arms a request with a target path;
+//!   the next safepoint writes the checkpoint and `ckpt_poll` returns `true`
+//!   so the driver winds down. The serviced count and any terminal error are
+//!   readable from the handle. The whole path is host-side only — no
+//!   simulated time, no registry counters — so a preempted-and-resumed run
+//!   reports bit-identical simulated results.
+//! * **Periodic auto-checkpoint** (`[ckpt] auto_quanta = N`): under the
+//!   LaxBarrier synchronization model, a snapshot is written at the first
+//!   safepoint after every N barrier quanta, counted by `ckpt.auto.taken`.
+//!
+//! A safepoint where the simulation is *not* quiesced (spawned threads still
+//! alive) leaves the request armed and retries at the next poll.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use graphite_trace::Metric;
+use parking_lot::Mutex;
+
+/// A cloneable handle for requesting a checkpoint of a running simulation
+/// from outside the guest.
+///
+/// Attach one with [`crate::SimBuilder::ckpt_request`]; arm it with
+/// [`CkptRequest::request`] from any host thread. The simulation services
+/// the request at the guest's next [`crate::Ctx::ckpt_poll`] safepoint.
+///
+/// # Examples
+///
+/// ```no_run
+/// use graphite::{CkptRequest, Sim, SimConfig};
+///
+/// let req = CkptRequest::new();
+/// let cfg = SimConfig::builder().tiles(1).build().unwrap();
+/// let sim = Sim::builder(cfg).ckpt_request(req.clone()).build().unwrap();
+/// req.request("/tmp/job.ckpt"); // typically from a scheduler thread
+/// let report = sim.run(|ctx| {
+///     for _ in 0..1_000 {
+///         ctx.alu(100);
+///         if ctx.ckpt_poll() {
+///             return; // preempted: checkpoint written, wind down
+///         }
+///     }
+/// });
+/// assert_eq!(req.taken(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct CkptRequest {
+    inner: Arc<ReqInner>,
+}
+
+#[derive(Default)]
+struct ReqInner {
+    /// Path armed for the next safepoint; `None` when idle.
+    armed: Mutex<Option<PathBuf>>,
+    /// Checkpoints successfully written for this handle.
+    taken: AtomicU64,
+    /// Terminal failure of the most recent attempt (I/O errors; a
+    /// not-quiesced safepoint is not terminal — it retries).
+    error: Mutex<Option<String>>,
+}
+
+impl CkptRequest {
+    /// Creates an idle request handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the request: the next [`crate::Ctx::ckpt_poll`] safepoint writes
+    /// a checkpoint to `path` and reports preemption to the driver. Re-arming
+    /// before service replaces the pending path.
+    pub fn request(&self, path: impl Into<PathBuf>) {
+        *self.inner.error.lock() = None;
+        *self.inner.armed.lock() = Some(path.into());
+    }
+
+    /// Disarms a pending request (no-op when idle).
+    pub fn cancel(&self) {
+        *self.inner.armed.lock() = None;
+    }
+
+    /// Whether a request is armed and not yet serviced.
+    pub fn armed(&self) -> bool {
+        self.inner.armed.lock().is_some()
+    }
+
+    /// Number of checkpoints successfully written for this handle.
+    pub fn taken(&self) -> u64 {
+        self.inner.taken.load(Ordering::Acquire)
+    }
+
+    /// The terminal error of the most recent attempt, if it failed.
+    pub fn last_error(&self) -> Option<String> {
+        self.inner.error.lock().clone()
+    }
+
+    pub(crate) fn pending_path(&self) -> Option<PathBuf> {
+        self.inner.armed.lock().clone()
+    }
+
+    pub(crate) fn complete(&self) {
+        *self.inner.armed.lock() = None;
+        self.inner.taken.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn fail(&self, err: String) {
+        *self.inner.armed.lock() = None;
+        *self.inner.error.lock() = Some(err);
+    }
+}
+
+impl std::fmt::Debug for CkptRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CkptRequest")
+            .field("armed", &self.armed())
+            .field("taken", &self.taken())
+            .finish()
+    }
+}
+
+/// Per-simulation state backing [`crate::Ctx::ckpt_poll`]: the optional
+/// external request handle plus the periodic auto-checkpoint schedule.
+pub(crate) struct CkptHook {
+    /// External preemption handle, if the builder attached one.
+    pub request: Option<CkptRequest>,
+    /// `[ckpt] auto_quanta`: auto-checkpoint every N barrier quanta
+    /// (0 = off).
+    pub auto_quanta: u64,
+    /// The LaxBarrier quantum in cycles (0 under other sync models).
+    pub quantum: u64,
+    /// Directory auto-checkpoints are written into.
+    pub auto_dir: Option<PathBuf>,
+    /// Barrier-quantum index as of the last auto checkpoint (or resume).
+    pub last_auto_q: AtomicU64,
+    /// Sequence number for auto-checkpoint file names.
+    pub auto_seq: AtomicU64,
+    /// `ckpt.auto.taken`: auto checkpoints successfully written.
+    pub auto_taken: Metric,
+    /// Auto-checkpoint attempts that failed terminally (I/O).
+    pub auto_errors: AtomicU64,
+}
+
+impl CkptHook {
+    #[cfg(test)]
+    pub(crate) fn disabled(auto_taken: Metric) -> Self {
+        CkptHook {
+            request: None,
+            auto_quanta: 0,
+            quantum: 0,
+            auto_dir: None,
+            last_auto_q: AtomicU64::new(0),
+            auto_seq: AtomicU64::new(0),
+            auto_taken,
+            auto_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the clock crossing `now` cycles means an auto checkpoint is
+    /// due at this safepoint.
+    pub(crate) fn auto_due(&self, now: u64) -> bool {
+        if self.auto_quanta == 0 || self.quantum == 0 {
+            return false;
+        }
+        let q = now / self.quantum;
+        q.saturating_sub(self.last_auto_q.load(Ordering::Acquire)) >= self.auto_quanta
+    }
+
+    /// The file path for the next auto checkpoint.
+    pub(crate) fn next_auto_path(&self) -> PathBuf {
+        let seq = self.auto_seq.fetch_add(1, Ordering::AcqRel);
+        self.auto_dir
+            .as_deref()
+            .unwrap_or_else(|| Path::new("."))
+            .join(format!("auto-{seq:06}.ckpt"))
+    }
+
+    /// Records a successful auto checkpoint at quantum index `now/quantum`.
+    pub(crate) fn auto_done(&self, now: u64) {
+        self.last_auto_q.store(now / self.quantum, Ordering::Release);
+        self.auto_taken.incr();
+    }
+
+    /// Records a terminal auto-checkpoint failure, skipping this boundary so
+    /// the failure does not retry at every subsequent safepoint.
+    pub(crate) fn auto_failed(&self, now: u64) {
+        self.last_auto_q.store(now / self.quantum, Ordering::Release);
+        self.auto_errors.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_arms_and_cancels() {
+        let r = CkptRequest::new();
+        assert!(!r.armed());
+        r.request("/tmp/x.ckpt");
+        assert!(r.armed());
+        assert_eq!(r.pending_path().unwrap(), PathBuf::from("/tmp/x.ckpt"));
+        r.cancel();
+        assert!(!r.armed());
+        assert_eq!(r.taken(), 0);
+    }
+
+    #[test]
+    fn complete_and_fail_disarm() {
+        let r = CkptRequest::new();
+        r.request("a");
+        r.complete();
+        assert!(!r.armed());
+        assert_eq!(r.taken(), 1);
+        assert!(r.last_error().is_none());
+        r.request("b");
+        r.fail("disk full".into());
+        assert!(!r.armed());
+        assert_eq!(r.taken(), 1);
+        assert_eq!(r.last_error().unwrap(), "disk full");
+        // Re-arming clears the stale error.
+        r.request("c");
+        assert!(r.last_error().is_none());
+    }
+
+    #[test]
+    fn auto_schedule_tracks_quantum_boundaries() {
+        let h = CkptHook { auto_quanta: 4, quantum: 1_000, ..CkptHook::disabled(Metric::new()) };
+        assert!(!h.auto_due(3_999));
+        assert!(h.auto_due(4_000));
+        h.auto_done(4_500);
+        assert!(!h.auto_due(7_999));
+        assert!(h.auto_due(8_000));
+        assert_eq!(h.auto_taken.get(), 1);
+    }
+
+    #[test]
+    fn disabled_hook_is_never_due() {
+        let h = CkptHook::disabled(Metric::new());
+        assert!(!h.auto_due(u64::MAX));
+    }
+}

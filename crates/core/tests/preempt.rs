@@ -1,0 +1,209 @@
+//! System-driven checkpoint tests: the cooperative preemption seam
+//! (`CkptRequest` + `Ctx::ckpt_poll`), periodic auto-checkpoints
+//! (`[ckpt] auto_quanta`), and concurrent resume of distinct checkpoints —
+//! the assumptions a multi-tenant job scheduler builds on.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use graphite::{CkptRequest, Ctx, Sim, SimConfig, SyncModel};
+use graphite_memory::addr::layout;
+use graphite_memory::Addr;
+
+const SLOTS: u64 = 64;
+const TOTAL: u64 = 400;
+/// Progress cursor, kept in simulated DRAM via unmodeled peek/poke so the
+/// bookkeeping itself never perturbs modeled state: a preempted-and-resumed
+/// run charges exactly the cycles of an uninterrupted one.
+const CURSOR: Addr = Addr(layout::STATIC_BASE.0 + 4096);
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig::builder().tiles(2).processes(1).seed(seed).build().unwrap()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("graphite-preempt-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn cursor(ctx: &Ctx) -> u64 {
+    let mut b = [0u8; 8];
+    ctx.peek_bytes(CURSOR, &mut b);
+    u64::from_le_bytes(b)
+}
+
+/// One deterministic modeled step (RNG draw, dependent RMW, data-dependent
+/// ALU burst) — identical whether the run is interrupted or not.
+fn step(ctx: &mut Ctx, i: u64) {
+    let r = ctx.rand_u64();
+    let a = Addr(layout::STATIC_BASE.0 + (i % SLOTS) * 8);
+    let v: u64 = ctx.load(a);
+    ctx.store(a, v.wrapping_add(r | 1));
+    ctx.alu((r % 7) as u32 + 1);
+    if i.is_multiple_of(100) {
+        ctx.print(&format!("step {i}\n"));
+    }
+}
+
+/// A preemption-aware driver: resumes from the cursor, polls the checkpoint
+/// safepoint after every step, and winds down when preempted.
+fn resumable_driver(ctx: &mut Ctx) {
+    for i in cursor(ctx)..TOTAL {
+        step(ctx, i);
+        ctx.poke_bytes(CURSOR, &(i + 1).to_le_bytes());
+        if ctx.ckpt_poll() {
+            return;
+        }
+    }
+}
+
+#[test]
+fn preempted_resume_is_bit_identical_to_uninterrupted_run() {
+    let golden = Sim::builder(cfg(11)).build().unwrap().run(resumable_driver);
+
+    // Armed before the run: the very first safepoint preempts.
+    let path = tmp("preempt-first.ckpt");
+    let req = CkptRequest::new();
+    req.request(&path);
+    let preempted =
+        Sim::builder(cfg(11)).ckpt_request(req.clone()).build().unwrap().run(resumable_driver);
+    assert_eq!(req.taken(), 1, "request serviced exactly once");
+    assert!(!req.armed());
+    assert!(req.last_error().is_none());
+    assert!(preempted.simulated_cycles < golden.simulated_cycles, "preempted run stopped early");
+
+    let resumed = Sim::builder(cfg(11)).resume(&path).build().unwrap().run(resumable_driver);
+    assert_eq!(golden.simulated_cycles, resumed.simulated_cycles, "clock diverged");
+    assert_eq!(golden.stdout, resumed.stdout, "stdout diverged");
+    assert_eq!(golden.metrics_json(), resumed.metrics_json(), "metrics diverged");
+}
+
+#[test]
+fn preemption_armed_mid_run_from_another_host_thread() {
+    let golden = Sim::builder(cfg(13)).build().unwrap().run(resumable_driver);
+
+    let path = tmp("preempt-mid.ckpt");
+    let req = CkptRequest::new();
+    let sim = Sim::builder(cfg(13)).ckpt_request(req.clone()).build().unwrap();
+    let arm = {
+        let req = req.clone();
+        let path = path.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            req.request(path);
+        })
+    };
+    let first = sim.run(resumable_driver);
+    arm.join().unwrap();
+
+    // The arm may have landed mid-run (preempting it) or after completion;
+    // either way a chain of resumes finishes the remaining work and the
+    // final report matches the golden run bit-for-bit.
+    let mut final_report = first;
+    let mut hops = 0;
+    while req.taken() > hops {
+        hops = req.taken();
+        final_report = Sim::builder(cfg(13)).resume(&path).build().unwrap().run(resumable_driver);
+    }
+    assert_eq!(golden.simulated_cycles, final_report.simulated_cycles);
+    assert_eq!(golden.metrics_json(), final_report.metrics_json());
+}
+
+#[test]
+fn ckpt_poll_noops_without_request_or_auto_schedule() {
+    let plain = Sim::builder(cfg(17)).build().unwrap().run(|ctx| {
+        for i in 0..50 {
+            step(ctx, i);
+            assert!(!ctx.ckpt_poll(), "nothing armed: poll must be a no-op");
+            assert!(!ctx.preempt_pending());
+        }
+    });
+    assert_eq!(plain.metrics.counters["ckpt.auto.taken"], 0);
+}
+
+#[test]
+fn auto_checkpoint_every_n_quanta_counts_and_resumes() {
+    let sync = SyncModel::LaxBarrier { quantum: 200 };
+    let auto_dir = tmp("auto-dir");
+    let _ = std::fs::remove_dir_all(&auto_dir);
+
+    let base = || {
+        SimConfig::builder()
+            .tiles(2)
+            .processes(1)
+            .seed(19)
+            .sync(sync)
+            .auto_ckpt_quanta(4)
+            .build()
+            .unwrap()
+    };
+    let golden_cfg =
+        SimConfig::builder().tiles(2).processes(1).seed(19).sync(sync).build().unwrap();
+    let golden = Sim::builder(golden_cfg).build().unwrap().run(resumable_driver);
+
+    let auto_run =
+        Sim::builder(base()).auto_ckpt_dir(&auto_dir).build().unwrap().run(resumable_driver);
+    let taken = auto_run.metrics.counters["ckpt.auto.taken"];
+    assert!(taken >= 2, "expected several auto checkpoints, got {taken}");
+    // Auto-checkpointing is model-invisible: same simulated time and stdout.
+    assert_eq!(golden.simulated_cycles, auto_run.simulated_cycles);
+    assert_eq!(golden.stdout, auto_run.stdout);
+
+    // Every snapshot is a valid park point: resuming the newest one finishes
+    // the remaining work and lands on the same final clock.
+    let mut autos: Vec<_> = std::fs::read_dir(&auto_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .collect();
+    autos.sort();
+    assert_eq!(autos.len() as u64, taken, "one file per counted checkpoint");
+    let resumed = Sim::builder(base())
+        .auto_ckpt_dir(&auto_dir)
+        .resume(autos.last().unwrap())
+        .build()
+        .unwrap()
+        .run(resumable_driver);
+    assert_eq!(golden.simulated_cycles, resumed.simulated_cycles);
+    assert_eq!(golden.stdout, resumed.stdout);
+}
+
+#[test]
+fn concurrent_resume_of_distinct_checkpoints_does_not_interfere() {
+    // Park the same workload twice at different depths…
+    let park = |at: u64, path: PathBuf| {
+        Sim::builder(cfg(23)).build().unwrap().run(move |ctx| {
+            for i in 0..at {
+                step(ctx, i);
+                ctx.poke_bytes(CURSOR, &(i + 1).to_le_bytes());
+            }
+            ctx.checkpoint(&path).expect("checkpoint at a quiesce point");
+        });
+    };
+    let (pa, pb) = (tmp("conc-a.ckpt"), tmp("conc-b.ckpt"));
+    park(TOTAL / 4, pa.clone());
+    park(TOTAL / 2, pb.clone());
+
+    let golden = Sim::builder(cfg(23)).build().unwrap().run(resumable_driver);
+    let golden = Arc::new(golden);
+
+    // …then resume both in parallel host threads. The simulations share the
+    // host process but no state: each must independently reproduce the
+    // golden run bit-for-bit.
+    let threads: Vec<_> = [pa, pb]
+        .into_iter()
+        .map(|p| {
+            let golden = Arc::clone(&golden);
+            std::thread::spawn(move || {
+                let r = Sim::builder(cfg(23)).resume(&p).build().unwrap().run(resumable_driver);
+                assert_eq!(golden.simulated_cycles, r.simulated_cycles);
+                assert_eq!(golden.stdout, r.stdout);
+                assert_eq!(golden.metrics_json(), r.metrics_json());
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("concurrent resume thread");
+    }
+}

@@ -1,0 +1,244 @@
+//! The fair-share work queue: per-tenant FIFO lanes scheduled by minimum
+//! *virtual runtime* — the wall-clock milliseconds of simulation each tenant
+//! has consumed. Dispatch always picks the non-empty tenant that has run
+//! least, so a tenant submitting one long job cannot head-of-line-block
+//! tenants submitting many short ones. A tenant first seen (or returning)
+//! joins at the current minimum vruntime, so newcomers get their share
+//! immediately without starving incumbents.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-tenant lane state.
+#[derive(Debug, Default)]
+struct Lane {
+    /// Milliseconds of simulation-worker time charged to this tenant.
+    vruntime_ms: u64,
+    /// Job IDs, FIFO within the tenant.
+    jobs: VecDeque<u64>,
+}
+
+/// The fair-share queue. Not internally synchronized — the service holds it
+/// inside its state mutex.
+#[derive(Debug)]
+pub struct FairQueue {
+    /// `BTreeMap` for deterministic iteration (ties broken by tenant name).
+    lanes: BTreeMap<String, Lane>,
+    queued: usize,
+    capacity: usize,
+}
+
+impl FairQueue {
+    /// An empty queue admitting at most `capacity` queued jobs.
+    pub fn new(capacity: usize) -> FairQueue {
+        FairQueue { lanes: BTreeMap::new(), queued: 0, capacity }
+    }
+
+    /// Queued (not running) jobs.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Enqueues a job at the tail of its tenant's lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when the queue is at capacity (the caller replies
+    /// `429 Too Many Requests`).
+    #[allow(clippy::result_unit_err)]
+    pub fn push(&mut self, tenant: &str, job: u64) -> Result<(), ()> {
+        if self.queued >= self.capacity {
+            return Err(());
+        }
+        // A lane first seen (or that drained and fell behind) starts at the
+        // current minimum vruntime: fair immediately, no starvation of
+        // incumbents, no credit for time not spent.
+        let floor = self.min_vruntime();
+        let lane = self.lanes.entry(tenant.to_owned()).or_default();
+        lane.vruntime_ms = lane.vruntime_ms.max(floor);
+        lane.jobs.push_back(job);
+        self.queued += 1;
+        Ok(())
+    }
+
+    /// Dispatches the head job of the least-served non-empty tenant.
+    pub fn pop(&mut self) -> Option<(String, u64)> {
+        let tenant = self
+            .lanes
+            .iter()
+            .filter(|(_, l)| !l.jobs.is_empty())
+            .min_by_key(|(name, l)| (l.vruntime_ms, name.as_str().to_owned()))
+            .map(|(name, _)| name.clone())?;
+        let lane = self.lanes.get_mut(&tenant).expect("lane just found");
+        let job = lane.jobs.pop_front().expect("non-empty lane");
+        self.queued -= 1;
+        Some((tenant, job))
+    }
+
+    /// Returns a preempted job to the *front* of its tenant's lane —
+    /// preemption must never cost a job its FIFO position. Ignores capacity:
+    /// the job already held a queue slot before it was dispatched.
+    pub fn requeue(&mut self, tenant: &str, job: u64) {
+        let floor = self.min_vruntime();
+        let lane = self.lanes.entry(tenant.to_owned()).or_default();
+        lane.vruntime_ms = lane.vruntime_ms.max(floor);
+        lane.jobs.push_front(job);
+        self.queued += 1;
+    }
+
+    /// Appends a job to the tail of its lane ignoring capacity (restoring a
+    /// persisted queue, which may exceed a shrunken `queue_depth`).
+    pub fn requeue_back(&mut self, tenant: &str, job: u64) {
+        let floor = self.min_vruntime();
+        let lane = self.lanes.entry(tenant.to_owned()).or_default();
+        lane.vruntime_ms = lane.vruntime_ms.max(floor);
+        lane.jobs.push_back(job);
+        self.queued += 1;
+    }
+
+    /// Charges `ms` of worker wall-clock to a tenant (on job completion or
+    /// preemption).
+    pub fn charge(&mut self, tenant: &str, ms: u64) {
+        let floor = self.min_vruntime();
+        let lane = self.lanes.entry(tenant.to_owned()).or_default();
+        lane.vruntime_ms = lane.vruntime_ms.max(floor).saturating_add(ms);
+    }
+
+    /// Removes a specific queued job (cancellation); returns whether it was
+    /// found.
+    pub fn remove(&mut self, tenant: &str, job: u64) -> bool {
+        if let Some(lane) = self.lanes.get_mut(tenant) {
+            if let Some(pos) = lane.jobs.iter().position(|&j| j == job) {
+                lane.jobs.remove(pos);
+                self.queued -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `(tenant, vruntime_ms, queued)` rows for `GET /stats`.
+    pub fn tenants(&self) -> Vec<(String, u64, usize)> {
+        self.lanes.iter().map(|(name, l)| (name.clone(), l.vruntime_ms, l.jobs.len())).collect()
+    }
+
+    /// Queued job IDs in dispatch order (used to persist the queue across a
+    /// restart): repeatedly simulates `pop` without charging runtime.
+    pub fn drain_order(&mut self) -> Vec<(String, u64)> {
+        let mut order = Vec::with_capacity(self.queued);
+        while let Some(entry) = self.pop() {
+            order.push(entry);
+        }
+        order
+    }
+
+    fn min_vruntime(&self) -> u64 {
+        self.lanes.values().map(|l| l.vruntime_ms).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_a_single_tenant() {
+        let mut q = FairQueue::new(16);
+        for j in 0..5 {
+            q.push("a", j).unwrap();
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, j)| j)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn least_served_tenant_dispatches_first() {
+        let mut q = FairQueue::new(16);
+        q.push("a", 1).unwrap();
+        q.push("b", 2).unwrap();
+        q.charge("a", 100); // a has consumed 100ms, b nothing
+        assert_eq!(q.pop().unwrap(), ("b".into(), 2));
+        assert_eq!(q.pop().unwrap(), ("a".into(), 1));
+    }
+
+    #[test]
+    fn equal_charges_interleave_tenants() {
+        // One tenant floods 6 jobs, another submits 3 behind them; with
+        // equal per-job charges the schedule must alternate rather than
+        // drain the flood first.
+        let mut q = FairQueue::new(16);
+        for j in 0..6 {
+            q.push("flood", j).unwrap();
+        }
+        for j in 10..13 {
+            q.push("light", j).unwrap();
+        }
+        let mut schedule = Vec::new();
+        while let Some((tenant, job)) = q.pop() {
+            q.charge(&tenant, 10);
+            schedule.push((tenant, job));
+        }
+        let light_positions: Vec<usize> = schedule
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _))| t == "light")
+            .map(|(i, _)| i)
+            .collect();
+        // All three light jobs dispatch within the first six slots instead
+        // of waiting behind the whole flood.
+        assert!(
+            *light_positions.last().unwrap() < 6,
+            "light tenant starved: schedule {schedule:?}"
+        );
+        // FIFO preserved inside each lane.
+        let light_jobs: Vec<u64> =
+            schedule.iter().filter(|(t, _)| t == "light").map(|(_, j)| *j).collect();
+        assert_eq!(light_jobs, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn late_joiner_enters_at_current_minimum() {
+        let mut q = FairQueue::new(16);
+        q.push("old", 1).unwrap();
+        q.charge("old", 1_000);
+        // The newcomer joins at min vruntime (= old's 1000), not 0 — one
+        // pop each, not an unbounded catch-up burst.
+        q.push("new", 2).unwrap();
+        q.push("old", 3).unwrap();
+        let (first, _) = q.pop().unwrap();
+        q.charge(&first, 10);
+        let (second, _) = q.pop().unwrap();
+        assert_ne!(first, second, "both tenants get a turn");
+    }
+
+    #[test]
+    fn capacity_rejects_and_remove_cancels() {
+        let mut q = FairQueue::new(2);
+        q.push("a", 1).unwrap();
+        q.push("a", 2).unwrap();
+        assert!(q.push("a", 3).is_err(), "over capacity");
+        assert!(q.remove("a", 1));
+        assert!(!q.remove("a", 99));
+        assert_eq!(q.len(), 1);
+        q.push("a", 3).unwrap();
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn drain_order_matches_dispatch_order() {
+        let mut q = FairQueue::new(16);
+        q.push("a", 1).unwrap();
+        q.push("b", 2).unwrap();
+        q.push("a", 3).unwrap();
+        q.charge("a", 5);
+        let order = q.drain_order();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], ("b".into(), 2), "least-served first");
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! The HTTP front end: an accept loop handing keep-alive connections to a
+//! small pool of connection threads, routing requests onto the [`Service`].
+//!
+//! Routes:
+//!
+//! | Method   | Path                | Purpose                                |
+//! |----------|---------------------|----------------------------------------|
+//! | `POST`   | `/jobs`             | Submit a job → `202 {"id": n}`         |
+//! | `GET`    | `/jobs`             | List all jobs                          |
+//! | `GET`    | `/jobs/:id`         | One job's state/preemptions/latency    |
+//! | `GET`    | `/jobs/:id/metrics` | Completed job's `metrics.json`         |
+//! | `GET`    | `/jobs/:id/trace`   | Completed job's Perfetto trace         |
+//! | `GET`    | `/jobs/:id/flows`   | Completed job's flow analysis          |
+//! | `DELETE` | `/jobs/:id`         | Cancel (or forget a finished job)      |
+//! | `GET`    | `/healthz`          | Liveness                               |
+//! | `GET`    | `/stats`            | Queue/worker/preemption counters       |
+//! | `POST`   | `/shutdown`         | Drain and exit                         |
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::http::{read_request, write_response, ParseError, Request};
+use crate::job::JobSpec;
+use crate::json::{obj, Json};
+use crate::service::{Service, SubmitError};
+
+/// Binds `addr` and serves requests until `POST /shutdown` (or
+/// [`Service::drain`] from a signal handler) flips the service to shutdown.
+///
+/// # Errors
+///
+/// Socket bind/configure failures.
+pub fn serve(svc: Arc<Service>, addr: &str) -> std::io::Result<()> {
+    serve_on(svc, TcpListener::bind(addr)?)
+}
+
+/// [`serve`] over a pre-bound listener (lets tests bind port 0 and read the
+/// assigned port back before serving).
+///
+/// # Errors
+///
+/// Socket configure/accept failures.
+pub fn serve_on(svc: Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    eprintln!("[serve] listening on {}", listener.local_addr()?);
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !svc.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let svc = Arc::clone(&svc);
+                conns.push(std::thread::spawn(move || handle_connection(&svc, stream)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+fn handle_connection(svc: &Service, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    loop {
+        let req = match read_request(&mut reader, svc_max_body(svc)) {
+            Ok(r) => r,
+            Err(ParseError::Eof) => return,
+            Err(ParseError::TooLarge) => {
+                let body = err_body("request body too large");
+                let _ = write_response(&mut stream, 413, "application/json", body.as_bytes(), true);
+                return;
+            }
+            Err(ParseError::Bad(msg)) => {
+                let body = err_body(&msg);
+                let _ = write_response(&mut stream, 400, "application/json", body.as_bytes(), true);
+                return;
+            }
+        };
+        let close = req.close || svc.is_shutdown();
+        let (status, content_type, body) = route(svc, &req);
+        if write_response(&mut stream, status, content_type, body.as_bytes(), close).is_err()
+            || close
+        {
+            return;
+        }
+    }
+}
+
+fn svc_max_body(svc: &Service) -> u64 {
+    svc.config().max_body_bytes
+}
+
+fn err_body(msg: &str) -> String {
+    obj([("error", msg.into())]).encode()
+}
+
+/// Dispatches one request; returns `(status, content-type, body)`.
+fn route(svc: &Service, req: &Request) -> (u16, &'static str, String) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit(svc, &req.body),
+        ("GET", ["jobs"]) => (200, "application/json", svc.jobs_json().encode()),
+        ("GET", ["jobs", id]) => match parse_id(id) {
+            Some(id) => match svc.job_json(id) {
+                Some(j) => (200, "application/json", j.encode()),
+                None => (404, "application/json", err_body("no such job")),
+            },
+            None => (400, "application/json", err_body("bad job id")),
+        },
+        ("GET", ["jobs", id, which @ ("metrics" | "trace" | "flows")]) => match parse_id(id) {
+            Some(id) => artifact(svc, id, which),
+            None => (400, "application/json", err_body("bad job id")),
+        },
+        ("DELETE", ["jobs", id]) => match parse_id(id) {
+            Some(id) if svc.cancel(id) => (204, "application/json", String::new()),
+            Some(_) => (404, "application/json", err_body("no such job")),
+            None => (400, "application/json", err_body("bad job id")),
+        },
+        ("GET", ["healthz"]) => (200, "application/json", obj([("ok", true.into())]).encode()),
+        ("GET", ["stats"]) => (200, "application/json", svc.stats_json().encode()),
+        ("POST", ["shutdown"]) => {
+            // Checkpoint running jobs and persist the queue, then reply; the
+            // accept loop exits once the service reports shutdown.
+            svc.drain();
+            (202, "application/json", obj([("draining", true.into())]).encode())
+        }
+        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["stats"]) | (_, ["shutdown"]) => {
+            (405, "application/json", err_body("method not allowed"))
+        }
+        _ => (404, "application/json", err_body("no such route")),
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+fn submit(svc: &Service, body: &[u8]) -> (u16, &'static str, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, "application/json", err_body("body is not UTF-8")),
+    };
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return (400, "application/json", err_body(&format!("bad JSON: {e}"))),
+    };
+    let spec = match JobSpec::from_json(&doc) {
+        Ok(s) => s,
+        Err(e) => return (400, "application/json", err_body(&e)),
+    };
+    match svc.submit(spec) {
+        Ok(id) => (202, "application/json", obj([("id", id.into())]).encode()),
+        Err(SubmitError::QueueFull) => (429, "application/json", err_body("queue full")),
+        Err(SubmitError::Draining) => (503, "application/json", err_body("draining")),
+    }
+}
+
+fn artifact(svc: &Service, id: u64, which: &str) -> (u16, &'static str, String) {
+    match svc.artifact(id, which) {
+        Ok(Some(doc)) => (200, "application/json", doc),
+        Ok(None) => (404, "application/json", err_body("artifact not captured (tracing off?)")),
+        Err(Some(state)) => {
+            (409, "application/json", err_body(&format!("job is {state}, not completed")))
+        }
+        Err(None) => (404, "application/json", err_body("no such job")),
+    }
+}

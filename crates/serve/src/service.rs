@@ -1,0 +1,667 @@
+//! The job service: a bounded pool of simulation workers fed from the
+//! fair-share queue, plus a preemptor thread that checkpoint-preempts
+//! long-running jobs at their next guest quiesce point.
+//!
+//! # Preemption protocol
+//!
+//! Each dispatched slice gets a fresh [`CkptRequest`]. The preemptor arms it
+//! once the slice has run longer than `serve.quantum_ms` *and* other work is
+//! queued; the guest parks itself at the next [`Ctx::ckpt_poll`] safepoint.
+//! The worker then observes `req.taken() > 0`, records the park file, and
+//! re-enqueues the job at the *front* of its tenant's lane — preemption must
+//! never cost a job its FIFO position. A later slice resumes with
+//! `Sim::builder(cfg).resume(path)`; because checkpoints only land between
+//! driver iterations, the final report is bit-identical to an uninterrupted
+//! run no matter how many times the job was sliced.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphite::{CkptRequest, SimReport};
+use graphite_config::ServeConfig;
+use parking_lot::{Condvar, Mutex};
+
+use crate::job::{Artifacts, Job, JobSpec, JobState};
+use crate::json::{obj, Json};
+use crate::queue::FairQueue;
+
+/// Why a submission was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The service is draining for shutdown — reply `503`.
+    Draining,
+    /// The fair-share queue is at `serve.queue_depth` — reply `429`.
+    QueueFull,
+}
+
+/// A job slice currently on a worker.
+struct Running {
+    slice_started: Instant,
+    req: CkptRequest,
+    /// Where the preemptor (or canceler) asked the slice to park.
+    ckpt_path: Option<PathBuf>,
+}
+
+struct State {
+    jobs: HashMap<u64, Job>,
+    queue: FairQueue,
+    running: HashMap<u64, Running>,
+    next_id: u64,
+    draining: bool,
+}
+
+/// The shared service. Cheap to clone handles via [`Arc`].
+pub struct Service {
+    cfg: ServeConfig,
+    data_dir: PathBuf,
+    state: Mutex<State>,
+    /// Signaled when work is queued or a slice finishes.
+    work: Condvar,
+    shutdown: AtomicBool,
+    /// Lifetime counters for `GET /stats`.
+    completed: AtomicU64,
+    preempted: AtomicU64,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Boots the service: restores any queue persisted by a previous drain,
+    /// then spawns `cfg.workers` simulation workers and the preemptor.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating `data_dir` or reading a corrupt persisted queue.
+    pub fn start(cfg: ServeConfig, data_dir: impl Into<PathBuf>) -> std::io::Result<Arc<Service>> {
+        let data_dir = data_dir.into();
+        std::fs::create_dir_all(data_dir.join("jobs"))?;
+        let mut state = State {
+            jobs: HashMap::new(),
+            queue: FairQueue::new(cfg.queue_depth as usize),
+            running: HashMap::new(),
+            next_id: 1,
+            draining: false,
+        };
+        let restored = restore_queue(&data_dir, &mut state)?;
+        let svc = Arc::new(Service {
+            cfg,
+            data_dir,
+            state: Mutex::new(state),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            completed: AtomicU64::new(0),
+            preempted: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        if restored > 0 {
+            eprintln!("[serve] restored {restored} queued job(s) from previous run");
+        }
+        let mut handles = Vec::new();
+        for w in 0..cfg.workers {
+            let s = Arc::clone(&svc);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || s.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let s = Arc::clone(&svc);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("serve-preemptor".into())
+                    .spawn(move || s.preemptor_loop())
+                    .expect("spawn preemptor"),
+            );
+        }
+        *svc.workers.lock() = handles;
+        Ok(svc)
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Accepts a job into the fair-share queue and returns its ID.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Draining`] during shutdown, [`SubmitError::QueueFull`]
+    /// at capacity.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let mut st = self.state.lock();
+        if st.draining || self.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::Draining);
+        }
+        let id = st.next_id;
+        let tenant = spec.tenant.clone();
+        if st.queue.push(&tenant, id).is_err() {
+            return Err(SubmitError::QueueFull);
+        }
+        st.next_id += 1;
+        st.jobs.insert(id, Job::new(id, spec));
+        drop(st);
+        self.work.notify_one();
+        Ok(id)
+    }
+
+    /// The job summary, if the ID exists.
+    pub fn job_json(&self, id: u64) -> Option<Json> {
+        self.state.lock().jobs.get(&id).map(Job::to_json)
+    }
+
+    /// Summaries of every known job, newest first.
+    pub fn jobs_json(&self) -> Json {
+        let st = self.state.lock();
+        let mut ids: Vec<u64> = st.jobs.keys().copied().collect();
+        ids.sort_unstable_by(|a, b| b.cmp(a));
+        Json::Arr(ids.iter().map(|id| st.jobs[id].to_json()).collect())
+    }
+
+    /// Terminal state + named artifact of a finished job.
+    ///
+    /// # Errors
+    ///
+    /// `Err(None)` when the ID is unknown (404); `Err(Some(state))` when the
+    /// job has not completed (409 with its current state).
+    #[allow(clippy::result_large_err)]
+    pub fn artifact(&self, id: u64, which: &str) -> Result<Option<String>, Option<String>> {
+        let st = self.state.lock();
+        let job = st.jobs.get(&id).ok_or(None)?;
+        match (&job.artifacts, job.state) {
+            (Some(a), JobState::Completed) => Ok(match which {
+                "metrics" => Some(a.metrics_json.clone()),
+                "trace" => a.perfetto_json.clone(),
+                "flows" => a.flows_json.clone(),
+                _ => None,
+            }),
+            _ => Err(Some(job.state.name().to_owned())),
+        }
+    }
+
+    /// Cancels a queued or running job; removes the record of a finished one.
+    ///
+    /// Returns `false` when the ID is unknown.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut st = self.state.lock();
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return false;
+        };
+        match job.state {
+            JobState::Queued => {
+                job.state = JobState::Canceled;
+                job.finished = Some(Instant::now());
+                if let Some(p) = job.ckpt.take() {
+                    let _ = std::fs::remove_file(p);
+                }
+                let tenant = job.spec.tenant.clone();
+                st.queue.remove(&tenant, id);
+            }
+            JobState::Running => {
+                job.cancel_requested = true;
+                // Ask the slice to park at its next safepoint so the worker
+                // frees up without waiting for the job to finish.
+                if let Some(run) = st.running.get_mut(&id) {
+                    if !run.req.armed() {
+                        let path = self.ckpt_path(id, u64::MAX);
+                        run.req.request(&path);
+                        run.ckpt_path = Some(path);
+                    }
+                }
+            }
+            _ => {
+                // Terminal: DELETE removes the record and its artifacts.
+                if let Some(p) = st.jobs.remove(&id).and_then(|j| j.ckpt) {
+                    let _ = std::fs::remove_file(p);
+                }
+            }
+        }
+        true
+    }
+
+    /// The `GET /stats` document.
+    pub fn stats_json(&self) -> Json {
+        let st = self.state.lock();
+        let mut by_state = [0u64; 5];
+        for j in st.jobs.values() {
+            by_state[j.state as usize] += 1;
+        }
+        let tenants = Json::Arr(
+            st.queue
+                .tenants()
+                .into_iter()
+                .map(|(name, vrt, queued)| {
+                    obj([
+                        ("tenant", name.into()),
+                        ("vruntime_ms", vrt.into()),
+                        ("queued", (queued as u64).into()),
+                    ])
+                })
+                .collect(),
+        );
+        obj([
+            ("workers", (self.cfg.workers as u64).into()),
+            ("quantum_ms", self.cfg.quantum_ms.into()),
+            ("queued", (st.queue.len() as u64).into()),
+            ("running", (st.running.len() as u64).into()),
+            ("queued_state", by_state[JobState::Queued as usize].into()),
+            ("completed", self.completed.load(Ordering::Relaxed).into()),
+            ("preemptions", self.preempted.load(Ordering::Relaxed).into()),
+            ("draining", st.draining.into()),
+            ("tenants", tenants),
+        ])
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop admitting, checkpoint every running slice,
+    /// wait up to `serve.drain_ms` for workers to park them, then persist the
+    /// queue so a restarted server resumes where this one left off.
+    pub fn drain(&self) {
+        {
+            let mut st = self.state.lock();
+            if st.draining {
+                return;
+            }
+            st.draining = true;
+            let State { running, jobs, .. } = &mut *st;
+            for (&id, run) in running.iter_mut() {
+                if !run.req.armed() {
+                    let path = self.ckpt_path(id, jobs[&id].preemptions + 1);
+                    run.req.request(&path);
+                    run.ckpt_path = Some(path);
+                }
+            }
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.drain_ms);
+        {
+            let mut st = self.state.lock();
+            while !st.running.is_empty() && Instant::now() < deadline {
+                self.work.wait_for(&mut st, Duration::from_millis(20));
+            }
+            if !st.running.is_empty() {
+                eprintln!(
+                    "[serve] drain timeout: {} slice(s) still running after {}ms",
+                    st.running.len(),
+                    self.cfg.drain_ms
+                );
+            }
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.work.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Err(e) = self.persist_queue() {
+            eprintln!("[serve] failed to persist queue: {e}");
+        }
+    }
+
+    fn ckpt_path(&self, id: u64, slice: u64) -> PathBuf {
+        self.data_dir.join("jobs").join(format!("{id}-{slice}.ckpt"))
+    }
+
+    /// Serializes the still-queued jobs (in dispatch order) to
+    /// `data_dir/queue.json`.
+    fn persist_queue(&self) -> std::io::Result<()> {
+        let mut st = self.state.lock();
+        let order = st.queue.drain_order();
+        let next_id = st.next_id;
+        let entries: Vec<Json> = order
+            .iter()
+            .filter_map(|(_, id)| st.jobs.get(id))
+            .map(|job| {
+                let mut m = vec![
+                    ("id".to_owned(), Json::from(job.id)),
+                    ("spec".to_owned(), job.spec.to_json()),
+                    ("preemptions".to_owned(), job.preemptions.into()),
+                ];
+                if let Some(p) = &job.ckpt {
+                    m.push(("ckpt".to_owned(), p.display().to_string().into()));
+                }
+                Json::Obj(m)
+            })
+            .collect();
+        drop(st);
+        let doc = obj([("next_id", next_id.into()), ("jobs", Json::Arr(entries))]);
+        std::fs::write(self.data_dir.join("queue.json"), doc.encode())
+    }
+
+    fn worker_loop(self: &Arc<Service>) {
+        loop {
+            let dispatched = {
+                let mut st = self.state.lock();
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if st.draining {
+                        // No new dispatches while draining; running slices
+                        // finish on their own.
+                        self.work.wait_for(&mut st, Duration::from_millis(20));
+                        continue;
+                    }
+                    if let Some((tenant, id)) = st.queue.pop() {
+                        let job = st.jobs.get_mut(&id).expect("queued job exists");
+                        job.state = JobState::Running;
+                        job.started.get_or_insert_with(Instant::now);
+                        let spec = job.spec.clone();
+                        let resume = job.ckpt.clone();
+                        let req = CkptRequest::new();
+                        st.running.insert(
+                            id,
+                            Running {
+                                slice_started: Instant::now(),
+                                req: req.clone(),
+                                ckpt_path: None,
+                            },
+                        );
+                        break (id, tenant, spec, resume, req);
+                    }
+                    self.work.wait_for(&mut st, Duration::from_millis(100));
+                }
+            };
+            self.run_slice(dispatched);
+        }
+    }
+
+    fn run_slice(
+        &self,
+        (id, tenant, spec, resume, req): (u64, String, JobSpec, Option<PathBuf>, CkptRequest),
+    ) {
+        let t0 = Instant::now();
+        let result = run_job(&spec, resume.as_deref(), &req);
+        let slice_ms = (t0.elapsed().as_millis() as u64).max(1);
+
+        let mut st = self.state.lock();
+        let slice = st.running.remove(&id).expect("slice was registered");
+        st.queue.charge(&tenant, slice_ms);
+        let job = st.jobs.get_mut(&id).expect("running job exists");
+        let preempted = req.taken() > 0;
+        if job.cancel_requested {
+            job.state = JobState::Canceled;
+            job.finished = Some(Instant::now());
+            for p in [job.ckpt.take(), slice.ckpt_path].into_iter().flatten() {
+                let _ = std::fs::remove_file(p);
+            }
+        } else if preempted {
+            job.preemptions += 1;
+            self.preempted.fetch_add(1, Ordering::Relaxed);
+            let parked = slice.ckpt_path.expect("preempted slice has a park path");
+            if let Some(old) = job.ckpt.replace(parked) {
+                let _ = std::fs::remove_file(old);
+            }
+            job.state = JobState::Queued;
+            st.queue.requeue(&tenant, id);
+        } else {
+            match result {
+                Ok(report) => {
+                    job.artifacts = Some(capture(&spec, &report));
+                    job.state = JobState::Completed;
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    job.error = Some(e);
+                    job.state = JobState::Failed;
+                }
+            }
+            job.finished = Some(Instant::now());
+            if let Some(old) = job.ckpt.take() {
+                let _ = std::fs::remove_file(old);
+            }
+        }
+        drop(st);
+        self.work.notify_all();
+    }
+
+    /// Arms preemption on any slice that has outrun the quantum while other
+    /// work waits. `serve.quantum_ms = 0` disables preemption entirely.
+    fn preemptor_loop(self: &Arc<Service>) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+            if self.cfg.quantum_ms == 0 {
+                continue;
+            }
+            let mut st = self.state.lock();
+            if st.queue.is_empty() {
+                continue;
+            }
+            let quantum = Duration::from_millis(self.cfg.quantum_ms);
+            let mut to_arm = Vec::new();
+            for (&id, run) in st.running.iter() {
+                if !run.req.armed() && run.slice_started.elapsed() >= quantum {
+                    to_arm.push(id);
+                }
+            }
+            for id in to_arm {
+                let slice = st.jobs[&id].preemptions + 1;
+                let path = self.ckpt_path(id, slice);
+                let run = st.running.get_mut(&id).expect("slice present");
+                run.req.request(&path);
+                run.ckpt_path = Some(path);
+            }
+        }
+    }
+}
+
+/// Builds and runs one slice of a job, catching guest panics.
+fn run_job(spec: &JobSpec, resume: Option<&Path>, req: &CkptRequest) -> Result<SimReport, String> {
+    let mut builder = crate::workload::build_sim(spec)
+        .map_err(|e| format!("config: {e}"))?
+        .ckpt_request(req.clone());
+    if let Some(path) = resume {
+        builder = builder.resume(path);
+    }
+    let sim = builder.build().map_err(|e| format!("build: {e}"))?;
+    let spec = spec.clone();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        sim.run(move |ctx| crate::workload::run(&spec, ctx))
+    }))
+    .map_err(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_else(|| "guest panicked".into());
+        format!("panic: {msg}")
+    })
+}
+
+/// Extracts the artifacts the API serves from a finished run.
+fn capture(spec: &JobSpec, report: &SimReport) -> Artifacts {
+    let (perfetto_json, flows_json) = if spec.trace {
+        let fa = report.flow_analysis();
+        let slowest = Json::Arr(
+            fa.slowest(5)
+                .into_iter()
+                .map(|f| {
+                    obj([
+                        ("id", f.id.into()),
+                        ("kind", f.kind.map_or(Json::Null, Json::from)),
+                        ("duration", f.duration().into()),
+                    ])
+                })
+                .collect(),
+        );
+        let flows = obj([
+            ("complete", (fa.complete_count() as u64).into()),
+            ("incomplete", (fa.incomplete_count() as u64).into()),
+            ("slowest", slowest),
+        ]);
+        (Some(report.perfetto_json()), Some(flows.encode()))
+    } else {
+        (None, None)
+    };
+    Artifacts {
+        sim_cycles: report.simulated_cycles.0,
+        metrics_json: report.metrics_json(),
+        perfetto_json,
+        flows_json,
+        stdout: String::from_utf8_lossy(&report.stdout).into_owned(),
+    }
+}
+
+/// Loads `data_dir/queue.json` (written by a draining server) into fresh
+/// state, then removes the file. Returns how many jobs were restored.
+fn restore_queue(data_dir: &Path, state: &mut State) -> std::io::Result<usize> {
+    let path = data_dir.join("queue.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+    let doc = Json::parse(&text).map_err(|e| bad(format!("queue.json: {e}")))?;
+    state.next_id = doc
+        .get("next_id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("queue.json: missing next_id".into()))?
+        .max(1);
+    let jobs = doc.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut restored = 0;
+    for entry in jobs {
+        let id = entry
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("queue.json: job missing id".into()))?;
+        let spec = JobSpec::from_json(
+            entry.get("spec").ok_or_else(|| bad(format!("queue.json: job {id} missing spec")))?,
+        )
+        .map_err(|e| bad(format!("queue.json: job {id}: {e}")))?;
+        let mut job = Job::new(id, spec);
+        job.preemptions = entry.get("preemptions").and_then(Json::as_u64).unwrap_or(0);
+        job.ckpt = entry.get("ckpt").and_then(Json::as_str).map(PathBuf::from);
+        // File order is dispatch order; plain pushes reproduce it.
+        state.queue.requeue_back(&job.spec.tenant, id);
+        state.jobs.insert(id, job);
+        restored += 1;
+    }
+    let _ = std::fs::remove_file(&path);
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg(workers: u32, quantum_ms: u64) -> ServeConfig {
+        ServeConfig {
+            workers,
+            quantum_ms,
+            queue_depth: 64,
+            max_body_bytes: 1 << 20,
+            drain_ms: 10_000,
+        }
+    }
+
+    fn spec(tenant: &str, iters: u64) -> JobSpec {
+        JobSpec {
+            tenant: tenant.into(),
+            workload: "spin".into(),
+            iters,
+            work: 50,
+            tiles: 2,
+            seed: 1,
+            trace: false,
+        }
+    }
+
+    fn wait_terminal(svc: &Service, id: u64, timeout: Duration) -> JobState {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let st = svc.state.lock().jobs[&id].state;
+            if matches!(st, JobState::Completed | JobState::Failed | JobState::Canceled) {
+                return st;
+            }
+            assert!(Instant::now() < deadline, "job {id} stuck in {st:?}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn submits_run_to_completion_and_serve_artifacts() {
+        let dir = std::env::temp_dir().join("graphite-serve-svc-basic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = Service::start(test_cfg(2, 0), &dir).unwrap();
+        let id = svc.submit(spec("acme", 200)).unwrap();
+        assert_eq!(wait_terminal(&svc, id, Duration::from_secs(30)), JobState::Completed);
+        let metrics = svc.artifact(id, "metrics").unwrap().unwrap();
+        assert!(metrics.contains("sim_cycles") || metrics.contains('{'));
+        assert!(svc.artifact(id, "trace").unwrap().is_none(), "tracing was off");
+        assert!(svc.artifact(999, "metrics").is_err());
+        svc.drain();
+    }
+
+    #[test]
+    fn cancel_queued_job_never_runs() {
+        let dir = std::env::temp_dir().join("graphite-serve-svc-cancel");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Single worker busy on a long job; the second job sits queued.
+        let svc = Service::start(test_cfg(1, 0), &dir).unwrap();
+        let long = svc.submit(spec("a", 300_000)).unwrap();
+        let victim = svc.submit(spec("b", 100)).unwrap();
+        assert!(svc.cancel(victim));
+        assert_eq!(svc.state.lock().jobs[&victim].state, JobState::Canceled);
+        assert!(svc.cancel(long), "cancel the running job too");
+        assert_eq!(wait_terminal(&svc, long, Duration::from_secs(30)), JobState::Canceled);
+        svc.drain();
+    }
+
+    #[test]
+    fn drain_persists_queue_and_restart_restores_it() {
+        let dir = std::env::temp_dir().join("graphite-serve-svc-restart");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (running, queued1, queued2);
+        {
+            let svc = Service::start(test_cfg(1, 0), &dir).unwrap();
+            running = svc.submit(spec("a", 50_000_000)).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+            queued1 = svc.submit(spec("b", 50)).unwrap();
+            queued2 = svc.submit(spec("a", 60)).unwrap();
+            svc.drain();
+            let persisted = std::fs::read_to_string(dir.join("queue.json")).unwrap();
+            let doc = Json::parse(&persisted).unwrap();
+            let entries = doc.get("jobs").and_then(Json::as_arr).unwrap().to_vec();
+            let ids: Vec<u64> =
+                entries.iter().map(|j| j.get("id").unwrap().as_u64().unwrap()).collect();
+            assert!(ids.contains(&queued1) && ids.contains(&queued2), "queued jobs persisted");
+            // The running job was checkpoint-parked by the drain and is
+            // persisted with its park file for the next server to resume.
+            let parked = entries.iter().find(|j| j.get("id").unwrap().as_u64() == Some(running));
+            assert!(
+                parked.and_then(|j| j.get("ckpt")).is_some(),
+                "drained running job persisted with its checkpoint: {persisted}"
+            );
+        }
+        // A fresh server picks the queue back up and runs it dry.
+        let svc = Service::start(test_cfg(2, 0), &dir).unwrap();
+        assert_eq!(svc.state.lock().jobs.len(), 3, "all three jobs restored");
+        assert!(svc.state.lock().jobs[&running].ckpt.is_some(), "park file carried over");
+        for id in [queued1, queued2] {
+            assert_eq!(wait_terminal(&svc, id, Duration::from_secs(30)), JobState::Completed);
+        }
+        // The long job is mid-flight from its checkpoint; cancel it rather
+        // than simulate 50M iterations to the end.
+        assert!(svc.cancel(running));
+        assert_eq!(wait_terminal(&svc, running, Duration::from_secs(30)), JobState::Canceled);
+        assert!(!dir.join("queue.json").exists(), "consumed on restore");
+        svc.drain();
+    }
+
+    #[test]
+    fn draining_service_rejects_submissions() {
+        let dir = std::env::temp_dir().join("graphite-serve-svc-drainrej");
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = Service::start(test_cfg(1, 0), &dir).unwrap();
+        svc.drain();
+        assert_eq!(svc.submit(spec("a", 10)).unwrap_err(), SubmitError::Draining);
+    }
+}

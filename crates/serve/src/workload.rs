@@ -1,0 +1,150 @@
+//! Resumable workload drivers for service jobs.
+//!
+//! Every driver follows the preemption protocol: it keeps a progress cursor
+//! in simulated DRAM (via the unmodeled [`Ctx::peek_bytes`] /
+//! [`Ctx::poke_bytes`] pair, so the bookkeeping never perturbs modeled
+//! state), performs one iteration of modeled work, advances the cursor, and
+//! calls [`Ctx::ckpt_poll`]. When the scheduler preempts the job, the
+//! checkpoint lands *between* iterations — a resumed run re-enters the
+//! driver, reads the cursor back out of restored DRAM, and continues with
+//! the remaining iterations. The final report is bit-identical to an
+//! uninterrupted run.
+
+use graphite::{Ctx, Sim, SimBuilder, SimConfig};
+use graphite_memory::addr::layout;
+use graphite_memory::Addr;
+
+use crate::job::JobSpec;
+
+/// Workload names accepted in a [`JobSpec`].
+pub const KNOWN: &[&str] = &["spin", "memstream", "mixed"];
+
+/// Progress cursor slot (unmodeled bookkeeping, zero on a fresh machine).
+const CURSOR: Addr = layout::STATIC_BASE;
+/// Start of the modeled working set.
+const DATA: Addr = Addr(layout::STATIC_BASE.0 + 4096);
+
+/// The simulation configuration a job runs under.
+///
+/// # Errors
+///
+/// Propagates configuration validation failures (e.g. an out-of-range tile
+/// count that slipped past spec validation).
+pub fn build_config(spec: &JobSpec) -> Result<SimConfig, graphite_base::SimError> {
+    SimConfig::builder().tiles(spec.tiles).processes(1).seed(spec.seed).build()
+}
+
+/// A ready-to-run builder for a job: config, tracing, and one worker slot
+/// (service workloads are single-threaded guests; the host parallelism comes
+/// from running many jobs, not many tiles).
+///
+/// # Errors
+///
+/// Propagates [`build_config`] failures.
+pub fn build_sim(spec: &JobSpec) -> Result<SimBuilder, graphite_base::SimError> {
+    Ok(Sim::builder(build_config(spec)?).tracing(spec.trace).workers(1))
+}
+
+fn cursor(ctx: &Ctx) -> u64 {
+    let mut b = [0u8; 8];
+    ctx.peek_bytes(CURSOR, &mut b);
+    u64::from_le_bytes(b)
+}
+
+/// Runs the named workload from its cursor to `spec.iters`, polling the
+/// checkpoint safepoint after every iteration. Returns early when preempted.
+pub fn run(spec: &JobSpec, ctx: &mut Ctx) {
+    let work = spec.work;
+    let step: fn(&mut Ctx, u64, u64) = match spec.workload.as_str() {
+        "spin" => step_spin,
+        "memstream" => step_memstream,
+        _ => step_mixed,
+    };
+    for i in cursor(ctx)..spec.iters {
+        step(ctx, i, work);
+        ctx.poke_bytes(CURSOR, &(i + 1).to_le_bytes());
+        if ctx.ckpt_poll() {
+            return;
+        }
+    }
+}
+
+/// Pure compute: one ALU burst per iteration.
+fn step_spin(ctx: &mut Ctx, _i: u64, work: u64) {
+    ctx.alu(work as u32);
+}
+
+/// Streaming memory: walk `work` line-spaced slots, read-modify-write each.
+fn step_memstream(ctx: &mut Ctx, i: u64, work: u64) {
+    for s in 0..work.min(256) {
+        let a = Addr(DATA.0 + ((i + s) % 512) * 64);
+        let v: u64 = ctx.load(a);
+        ctx.store(a, v.wrapping_add(i | 1));
+    }
+}
+
+/// A mixed kernel: RNG-dependent RMW plus a data-dependent ALU burst.
+fn step_mixed(ctx: &mut Ctx, i: u64, work: u64) {
+    let r = ctx.rand_u64();
+    let a = Addr(DATA.0 + (r % 256) * 64);
+    let v: u64 = ctx.load(a);
+    ctx.store(a, v.wrapping_add(r | 1));
+    ctx.alu(((r % work.max(1)) + 1) as u32);
+    let _ = i;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite::CkptRequest;
+
+    fn spec(workload: &str, iters: u64) -> JobSpec {
+        JobSpec {
+            tenant: "t".into(),
+            workload: workload.into(),
+            iters,
+            work: 20,
+            tiles: 2,
+            seed: 7,
+            trace: false,
+        }
+    }
+
+    #[test]
+    fn every_workload_is_deterministic() {
+        for w in KNOWN {
+            let s = spec(w, 100);
+            let a = build_sim(&s).unwrap().build().unwrap().run(|ctx| run(&s, ctx));
+            let b = build_sim(&s).unwrap().build().unwrap().run(|ctx| run(&s, ctx));
+            assert!(a.simulated_cycles.0 > 0);
+            assert_eq!(a.simulated_cycles, b.simulated_cycles, "{w} not deterministic");
+            assert_eq!(a.metrics_json(), b.metrics_json(), "{w} metrics not deterministic");
+        }
+    }
+
+    #[test]
+    fn every_workload_preempts_and_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join("graphite-serve-workload-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        for w in KNOWN {
+            let s = spec(w, 120);
+            let golden = build_sim(&s).unwrap().build().unwrap().run(|ctx| run(&s, ctx));
+
+            let path = dir.join(format!("{w}.ckpt"));
+            let req = CkptRequest::new();
+            req.request(&path);
+            build_sim(&s)
+                .unwrap()
+                .ckpt_request(req.clone())
+                .build()
+                .unwrap()
+                .run(|ctx| run(&s, ctx));
+            assert_eq!(req.taken(), 1, "{w} must park at the first safepoint");
+
+            let resumed =
+                build_sim(&s).unwrap().resume(&path).build().unwrap().run(|ctx| run(&s, ctx));
+            assert_eq!(golden.simulated_cycles, resumed.simulated_cycles, "{w} diverged");
+            assert_eq!(golden.metrics_json(), resumed.metrics_json(), "{w} metrics diverged");
+        }
+    }
+}

@@ -92,6 +92,15 @@ impl Condvar {
         guard.inner = Some(self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
     }
 
+    /// Blocks until notified or `timeout` elapses; re-acquires the lock
+    /// before returning. Returns `true` when the wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let g = guard.inner.take().expect("guard holds the lock");
+        let (g, res) = self.0.wait_timeout(g, timeout).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+        res.timed_out()
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
