@@ -370,12 +370,53 @@ pub struct CkptConfig {
     pub auto_quanta: u64,
 }
 
+/// Verbosity threshold for the job service's structured JSONL log
+/// (`[serve] log_level`). Levels are ordered: a record is written when its
+/// level is at or below the configured threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[serde(rename_all = "lowercase")]
+pub enum LogLevel {
+    /// Failures only (persist errors, failed jobs).
+    Error,
+    /// Failures plus degraded-operation warnings (drain timeouts).
+    Warn,
+    /// HTTP access records and job state transitions (the default).
+    #[default]
+    Info,
+    /// Everything, including per-slice scheduling detail.
+    Debug,
+}
+
+impl LogLevel {
+    /// Lowercase wire/config name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+
+    /// Parses a config/CLI name (case-insensitive).
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
 /// Job-service knobs (the `[serve]` section, read by `graphite-serve`).
 ///
 /// This section configures the multi-tenant simulation service: how many
 /// simulation workers drain the fair-share queue, the wall-clock scheduling
 /// quantum after which a running job is preempted via checkpoint, queue
-/// admission bounds, and the graceful-shutdown drain window.
+/// admission bounds, the graceful-shutdown drain window, and the
+/// observability layer (telemetry recording, structured-log verbosity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(default)]
 pub struct ServeConfig {
@@ -392,8 +433,14 @@ pub struct ServeConfig {
     pub max_body_bytes: u64,
     /// Graceful-shutdown drain window in milliseconds: how long SIGINT or
     /// SIGTERM waits for running jobs to park at a checkpoint before the
-    /// process exits anyway.
+    /// process exits anyway. Also the `Retry-After` hint on drain 503s.
     pub drain_ms: u64,
+    /// Whether the service records telemetry (per-tenant latency histograms,
+    /// preemption-cost accounting, `GET /metrics`). On by default; turning
+    /// it off removes the recording cost for overhead measurements.
+    pub telemetry: bool,
+    /// Structured-log verbosity for `DATA_DIR/serve.log.jsonl`.
+    pub log_level: LogLevel,
 }
 
 impl Default for ServeConfig {
@@ -404,6 +451,8 @@ impl Default for ServeConfig {
             queue_depth: 1024,
             max_body_bytes: 1 << 20,
             drain_ms: 5_000,
+            telemetry: true,
+            log_level: LogLevel::Info,
         }
     }
 }
@@ -1008,12 +1057,26 @@ mod tests {
         assert_eq!(s.queue_depth, 1024);
         assert_eq!(s.max_body_bytes, 1 << 20);
         assert_eq!(s.drain_ms, 5_000);
+        assert!(s.telemetry, "telemetry defaults on");
+        assert_eq!(s.log_level, LogLevel::Info);
         s.validate().unwrap();
         assert!(ServeConfig { workers: 0, ..s }.validate().is_err());
         assert!(ServeConfig { queue_depth: 0, ..s }.validate().is_err());
         assert!(ServeConfig { max_body_bytes: 0, ..s }.validate().is_err());
         // quantum_ms = 0 is legal: preemption off.
         ServeConfig { quantum_ms: 0, ..s }.validate().unwrap();
+    }
+
+    #[test]
+    fn log_levels_order_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Warn);
+        assert!(LogLevel::Warn < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+        for l in [LogLevel::Error, LogLevel::Warn, LogLevel::Info, LogLevel::Debug] {
+            assert_eq!(LogLevel::parse(l.as_str()), Some(l), "round-trip {l:?}");
+        }
+        assert_eq!(LogLevel::parse("WARNING"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("verbose"), None);
     }
 
     #[test]

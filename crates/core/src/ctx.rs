@@ -819,8 +819,15 @@ impl Ctx {
         let hook = &self.sim.ckpt_hook;
         if let Some(req) = &hook.request {
             if let Some(path) = req.pending_path() {
+                let t0 = std::time::Instant::now();
                 match self.checkpoint(&path) {
                     Ok(()) => {
+                        // Host-side bookkeeping only: the serialize time and
+                        // park-file size feed scheduler preemption-cost
+                        // accounting, never simulated state.
+                        let nanos = t0.elapsed().as_nanos() as u64;
+                        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                        req.record_cost(nanos, bytes);
                         req.complete();
                         return true;
                     }

@@ -68,6 +68,12 @@ struct ReqInner {
     armed: Mutex<Option<PathBuf>>,
     /// Checkpoints successfully written for this handle.
     taken: AtomicU64,
+    /// Wall-clock nanoseconds the most recent serviced park spent
+    /// serializing the checkpoint (schedulers charge this as preemption
+    /// cost).
+    last_park_nanos: AtomicU64,
+    /// Size in bytes of the most recently written park file.
+    last_park_bytes: AtomicU64,
     /// Terminal failure of the most recent attempt (I/O errors; a
     /// not-quiesced safepoint is not terminal — it retries).
     error: Mutex<Option<String>>,
@@ -107,8 +113,29 @@ impl CkptRequest {
         self.inner.error.lock().clone()
     }
 
+    /// What the most recent serviced park cost: `(serialize wall-time,
+    /// checkpoint bytes written)`. `None` until a checkpoint has been taken
+    /// through this handle. Schedulers use this to account preemption cost
+    /// per park/resume cycle.
+    pub fn last_park_cost(&self) -> Option<(std::time::Duration, u64)> {
+        if self.taken() == 0 {
+            return None;
+        }
+        Some((
+            std::time::Duration::from_nanos(self.inner.last_park_nanos.load(Ordering::Acquire)),
+            self.inner.last_park_bytes.load(Ordering::Acquire),
+        ))
+    }
+
     pub(crate) fn pending_path(&self) -> Option<PathBuf> {
         self.inner.armed.lock().clone()
+    }
+
+    /// Records the serialize cost of the park being serviced; called just
+    /// before [`CkptRequest::complete`] so `taken()` publishes it.
+    pub(crate) fn record_cost(&self, nanos: u64, bytes: u64) {
+        self.inner.last_park_nanos.store(nanos, Ordering::Release);
+        self.inner.last_park_bytes.store(bytes, Ordering::Release);
     }
 
     pub(crate) fn complete(&self) {
@@ -233,6 +260,18 @@ mod tests {
         // Re-arming clears the stale error.
         r.request("c");
         assert!(r.last_error().is_none());
+    }
+
+    #[test]
+    fn park_cost_publishes_with_completion() {
+        let r = CkptRequest::new();
+        assert!(r.last_park_cost().is_none(), "no cost before any park");
+        r.request("a");
+        r.record_cost(1_500, 4096);
+        r.complete();
+        let (dur, bytes) = r.last_park_cost().unwrap();
+        assert_eq!(dur.as_nanos(), 1_500);
+        assert_eq!(bytes, 4096);
     }
 
     #[test]

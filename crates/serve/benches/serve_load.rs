@@ -109,7 +109,12 @@ fn percentiles(mut latencies: Vec<f64>) -> Percentiles {
     }
 }
 
-fn boot(workers: u32, quantum_ms: u64, dir: &str) -> (Arc<Service>, std::net::SocketAddr) {
+fn boot(
+    workers: u32,
+    quantum_ms: u64,
+    telemetry: bool,
+    dir: &str,
+) -> (Arc<Service>, std::net::SocketAddr) {
     let data_dir = std::env::temp_dir().join(dir);
     let _ = std::fs::remove_dir_all(&data_dir);
     let cfg = ServeConfig {
@@ -118,6 +123,8 @@ fn boot(workers: u32, quantum_ms: u64, dir: &str) -> (Arc<Service>, std::net::So
         queue_depth: 4096,
         max_body_bytes: 1 << 20,
         drain_ms: 10_000,
+        telemetry,
+        log_level: graphite_config::LogLevel::Error,
     };
     let svc = Service::start(cfg, &data_dir).expect("start service");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -130,9 +137,16 @@ fn boot(workers: u32, quantum_ms: u64, dir: &str) -> (Arc<Service>, std::net::So
 }
 
 /// Phase A: throughput — `jobs` small jobs from 3 tenants submitted by 6
-/// concurrent HTTP clients.
-fn throughput(jobs: u64, workers: u32, short_iters: u64) -> (f64, f64, Percentiles) {
-    let (svc, addr) = boot(workers, 25, "graphite-serve-bench-tput");
+/// concurrent HTTP clients. Also the telemetry-overhead probe: the same
+/// batch runs with telemetry on (default) or off (`--no-telemetry`).
+fn throughput(
+    jobs: u64,
+    workers: u32,
+    short_iters: u64,
+    telemetry: bool,
+    dir: &str,
+) -> (f64, f64, Percentiles) {
+    let (svc, addr) = boot(workers, 25, telemetry, dir);
     let t0 = Instant::now();
     let submitters: Vec<_> = (0..6u64)
         .map(|c| {
@@ -165,7 +179,7 @@ fn fairness(
     long_iters: u64,
     dir: &str,
 ) -> (Percentiles, u64, u64) {
-    let (svc, addr) = boot(workers, quantum_ms, dir);
+    let (svc, addr) = boot(workers, quantum_ms, true, dir);
     // One long job per worker saturates the pool...
     let long_ids: Vec<u64> =
         (0..workers as u64).map(|w| submit(addr, "heavy", long_iters, 1 + w)).collect();
@@ -200,11 +214,37 @@ fn main() {
     let t0 = Instant::now();
 
     println!("serve load: {jobs} jobs, {workers} workers, short={short_iters} long={long_iters}");
-    let (tput_wall, jobs_per_s, tput) = throughput(jobs, workers, short_iters);
+    // A warm-up batch absorbs first-run effects (page cache, allocator,
+    // thread spawn); the on/off comparison then alternates configurations and
+    // takes each one's median of three runs — single 2-second runs swing by
+    // ±20%, far above any real telemetry cost.
+    let _ = throughput((jobs / 4).max(12), workers, short_iters, true, "graphite-serve-bench-warm");
+    let mut on_runs = Vec::new();
+    let mut off_runs = Vec::new();
+    for i in 0..3u32 {
+        let dir = format!("graphite-serve-bench-tput-{i}");
+        on_runs.push(throughput(jobs, workers, short_iters, true, &dir));
+        let dir = format!("graphite-serve-bench-tput-raw-{i}");
+        off_runs.push(throughput(jobs, workers, short_iters, false, &dir));
+    }
+    let median = |mut runs: Vec<(f64, f64, Percentiles)>| {
+        runs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        runs.swap_remove(runs.len() / 2)
+    };
+    let (tput_wall, jobs_per_s, tput) = median(on_runs);
     println!(
         "  throughput: {jobs} jobs in {tput_wall:.2}s = {jobs_per_s:.1} jobs/s, \
          p50 {:.0}ms p90 {:.0}ms p99 {:.0}ms",
         tput.p50, tput.p90, tput.p99
+    );
+
+    // Telemetry overhead: the identical batch with recording disabled.
+    let (_, raw_jobs_per_s, raw) = median(off_runs);
+    let overhead_pct = (raw_jobs_per_s / jobs_per_s - 1.0) * 100.0;
+    println!(
+        "  telemetry off: {raw_jobs_per_s:.1} jobs/s, p99 {:.0}ms \
+         (telemetry overhead {overhead_pct:+.1}% jobs/s)",
+        raw.p99
     );
 
     let shorts = (jobs / 8).max(8);
@@ -236,6 +276,9 @@ fn main() {
             "  \"long_iters\": {long_iters},\n",
             "  \"throughput\": {{\"jobs\": {jobs}, \"wall_s\": {wall:.2}, ",
             "\"jobs_per_s\": {jps:.1}, \"latency\": {tp}}},\n",
+            "  \"telemetry_overhead\": {{\"jobs_per_s_on\": {jps:.1}, ",
+            "\"jobs_per_s_off\": {rjps:.1}, \"p99_ms_on\": {tp99:.1}, ",
+            "\"p99_ms_off\": {rp99:.1}, \"overhead_pct\": {ovh:.1}}},\n",
             "  \"fairness\": {{\n",
             "    \"short_jobs\": {shorts},\n",
             "    \"preemption_on\": {{\"quantum_ms\": 25, \"short_latency\": {onp}, ",
@@ -251,6 +294,10 @@ fn main() {
         jobs = jobs,
         wall = tput_wall,
         jps = jobs_per_s,
+        rjps = raw_jobs_per_s,
+        tp99 = tput.p99,
+        rp99 = raw.p99,
+        ovh = overhead_pct,
         tp = pct_json(&tput),
         shorts = shorts,
         onp = pct_json(&on),

@@ -99,10 +99,13 @@ pub fn read_request(
 }
 
 /// Writes one response with a JSON (or other) body and flushes.
+/// `extra_headers` are emitted verbatim after the standard ones (used for
+/// `Retry-After` on drain responses).
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
+    extra_headers: &[(&str, String)],
     body: &[u8],
     close: bool,
 ) -> std::io::Result<()> {
@@ -120,10 +123,17 @@ pub fn write_response(
         _ => "Internal Server Error",
     };
     let connection = if close { "close" } else { "keep-alive" };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()

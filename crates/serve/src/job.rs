@@ -110,6 +110,36 @@ impl JobState {
     }
 }
 
+/// Cumulative preemption-cost ledger for one job: what its checkpoint
+/// park/resume cycles cost in wall-time and storage, summed over every
+/// preemption. Exposed (as milliseconds) in `GET /jobs/:id`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreemptCost {
+    /// Microseconds spent serializing park files at safepoints.
+    pub serialize_us: u64,
+    /// Park-file bytes written.
+    pub ckpt_bytes: u64,
+    /// Microseconds spent rebuilding the simulation from park files.
+    pub restore_us: u64,
+    /// Microseconds spent waiting between requeue and redispatch.
+    pub requeue_gap_us: u64,
+    /// Times the job was resumed from a park file.
+    pub resumes: u64,
+}
+
+impl PreemptCost {
+    /// The cost breakdown for `GET /jobs/:id` (durations in milliseconds).
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("serialize_ms", (self.serialize_us as f64 / 1e3).into()),
+            ("ckpt_bytes", self.ckpt_bytes.into()),
+            ("restore_ms", (self.restore_us as f64 / 1e3).into()),
+            ("requeue_gap_ms", (self.requeue_gap_us as f64 / 1e3).into()),
+            ("resumes", self.resumes.into()),
+        ])
+    }
+}
+
 /// Artifacts captured from a completed run.
 #[derive(Debug, Clone, Default)]
 pub struct Artifacts {
@@ -133,11 +163,20 @@ pub struct Job {
     pub spec: JobSpec,
     pub state: JobState,
     pub submitted: Instant,
+    /// When the job last entered the queue (submit, restore, or requeue
+    /// after preemption) — the anchor for the current queue-wait interval.
+    pub last_queued: Instant,
     /// First dispatch onto a worker.
     pub started: Option<Instant>,
     pub finished: Option<Instant>,
+    /// Total time spent waiting in the queue across all visits, µs.
+    pub queue_wait_us: u64,
+    /// Total worker time across all slices, µs.
+    pub run_us: u64,
     /// Times the scheduler checkpoint-preempted this job.
     pub preemptions: u64,
+    /// What those preemptions cost.
+    pub cost: PreemptCost,
     /// Park file to resume from (set while preempted).
     pub ckpt: Option<PathBuf>,
     /// Set when `DELETE` raced a running job; the worker finalizes it as
@@ -154,9 +193,13 @@ impl Job {
             spec,
             state: JobState::Queued,
             submitted: Instant::now(),
+            last_queued: Instant::now(),
             started: None,
             finished: None,
+            queue_wait_us: 0,
+            run_us: 0,
             preemptions: 0,
+            cost: PreemptCost::default(),
             ckpt: None,
             cancel_requested: false,
             artifacts: None,
@@ -176,6 +219,9 @@ impl Job {
             ("state".to_owned(), self.state.name().into()),
             ("spec".to_owned(), self.spec.to_json()),
             ("preemptions".to_owned(), self.preemptions.into()),
+            ("queue_wait_ms".to_owned(), (self.queue_wait_us as f64 / 1e3).into()),
+            ("run_ms".to_owned(), (self.run_us as f64 / 1e3).into()),
+            ("preempt_cost".to_owned(), self.cost.to_json()),
         ];
         if let Some(l) = self.latency() {
             members.push(("latency_ms".to_owned(), (l.as_secs_f64() * 1e3).into()));
@@ -214,6 +260,29 @@ mod tests {
             let v = Json::parse(bad).unwrap();
             assert!(JobSpec::from_json(&v).is_err(), "{bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn job_json_carries_lifecycle_and_cost_breakdown() {
+        let v = Json::parse(r#"{"tenant":"acme"}"#).unwrap();
+        let mut job = Job::new(7, JobSpec::from_json(&v).unwrap());
+        job.queue_wait_us = 2_500;
+        job.run_us = 10_000;
+        job.preemptions = 2;
+        job.cost = PreemptCost {
+            serialize_us: 800,
+            ckpt_bytes: 4096,
+            restore_us: 1_200,
+            requeue_gap_us: 3_000,
+            resumes: 2,
+        };
+        let j = job.to_json();
+        assert_eq!(j.get("queue_wait_ms").unwrap().as_f64(), Some(2.5));
+        assert_eq!(j.get("run_ms").unwrap().as_f64(), Some(10.0));
+        let cost = j.get("preempt_cost").unwrap();
+        assert_eq!(cost.get("ckpt_bytes").unwrap().as_u64(), Some(4096));
+        assert_eq!(cost.get("resumes").unwrap().as_u64(), Some(2));
+        assert_eq!(cost.get("serialize_ms").unwrap().as_f64(), Some(0.8));
     }
 
     #[test]

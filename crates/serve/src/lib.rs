@@ -12,13 +12,17 @@
 pub mod http;
 pub mod job;
 pub mod json;
+pub mod log;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod telemetry;
 pub mod workload;
 
-pub use job::{Job, JobSpec, JobState};
+pub use job::{Job, JobSpec, JobState, PreemptCost};
 pub use json::Json;
+pub use log::Logger;
 pub use queue::FairQueue;
 pub use server::serve;
 pub use service::{Service, SubmitError};
+pub use telemetry::{LiveStats, Telemetry};

@@ -1,0 +1,134 @@
+//! Structured service logging: one JSON object per line, leveled, written to
+//! `DATA_DIR/serve.log.jsonl`.
+//!
+//! Every record carries `ts_ms` (Unix milliseconds), `level`, and `event`
+//! (dotted, e.g. `job.dispatch`, `http.access`), plus event-specific fields.
+//! The `[serve] log_level` knob sets the verbosity threshold; `warn` and
+//! `error` records are additionally echoed to stderr so an operator watching
+//! the terminal still sees trouble without tailing the log file.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use graphite_config::LogLevel;
+use parking_lot::Mutex;
+
+use crate::json::Json;
+
+/// The service logger. Cheap to share behind the service's `Arc`; writes are
+/// serialized by an internal mutex so concurrent connection threads never
+/// interleave partial lines.
+#[derive(Debug)]
+pub struct Logger {
+    level: LogLevel,
+    sink: Option<Mutex<File>>,
+}
+
+impl Logger {
+    /// Opens (appending) the JSONL sink at `path` with the given threshold.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or opening the file.
+    pub fn to_file(path: &Path, level: LogLevel) -> std::io::Result<Logger> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Logger { level, sink: Some(Mutex::new(file)) })
+    }
+
+    /// A logger with no sink: records are dropped (warn/error still echo to
+    /// stderr). Used by unit tests and the bench harness.
+    pub fn disabled() -> Logger {
+        Logger { level: LogLevel::Error, sink: None }
+    }
+
+    /// The configured verbosity threshold.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Whether a record at `level` would be written — lets callers skip
+    /// building expensive field sets for suppressed records.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.level
+    }
+
+    /// Writes one record: `{"ts_ms":…,"level":…,"event":…,<fields>}`.
+    pub fn log(&self, level: LogLevel, event: &str, fields: &[(&str, Json)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts_ms =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+        let mut members = vec![
+            ("ts_ms".to_owned(), Json::from(ts_ms)),
+            ("level".to_owned(), level.as_str().into()),
+            ("event".to_owned(), event.into()),
+        ];
+        members.extend(fields.iter().map(|(k, v)| ((*k).to_owned(), v.clone())));
+        let line = Json::Obj(members).encode();
+        if level <= LogLevel::Warn {
+            eprintln!("[serve] {line}");
+        }
+        if let Some(sink) = &self.sink {
+            let _ = writeln!(sink.lock(), "{line}");
+        }
+    }
+
+    /// An `error`-level record.
+    pub fn error(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(LogLevel::Error, event, fields);
+    }
+
+    /// A `warn`-level record.
+    pub fn warn(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(LogLevel::Warn, event, fields);
+    }
+
+    /// An `info`-level record.
+    pub fn info(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(LogLevel::Info, event, fields);
+    }
+
+    /// A `debug`-level record.
+    pub fn debug(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(LogLevel::Debug, event, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_leveled_jsonl_records() {
+        let dir = std::env::temp_dir().join("graphite-serve-log-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.log.jsonl");
+        let log = Logger::to_file(&path, LogLevel::Info).unwrap();
+        log.info("job.submit", &[("id", 3u64.into()), ("tenant", "acme".into())]);
+        log.debug("job.dispatch", &[("id", 3u64.into())]); // below threshold
+        log.error("queue.persist_failed", &[("error", "disk full".into())]);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "debug suppressed at info threshold: {text}");
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").unwrap().as_str().unwrap(), "job.submit");
+        assert_eq!(first.get("level").unwrap().as_str().unwrap(), "info");
+        assert_eq!(first.get("tenant").unwrap().as_str().unwrap(), "acme");
+        assert!(first.get("ts_ms").unwrap().as_u64().unwrap() > 0);
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("level").unwrap().as_str().unwrap(), "error");
+    }
+
+    #[test]
+    fn disabled_logger_drops_records() {
+        let log = Logger::disabled();
+        assert!(!log.enabled(LogLevel::Info));
+        assert!(log.enabled(LogLevel::Error));
+        log.info("nope", &[]); // must not panic with no sink
+    }
+}

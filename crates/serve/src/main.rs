@@ -3,7 +3,7 @@
 //! ```text
 //! graphite-serve [--addr 127.0.0.1:8080] [--data-dir DIR]
 //!                [--workers N] [--quantum-ms MS] [--queue-depth N]
-//!                [--drain-ms MS]
+//!                [--drain-ms MS] [--log-level LEVEL] [--no-telemetry]
 //! ```
 //!
 //! SIGINT/SIGTERM trigger a graceful drain: running jobs are checkpointed at
@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use graphite_config::ServeConfig;
+use graphite_config::{LogLevel, ServeConfig};
 use graphite_serve::{serve, Service};
 
 /// Set by the signal handler; the watcher thread turns it into a drain.
@@ -40,7 +40,8 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: graphite-serve [--addr HOST:PORT] [--data-dir DIR] [--workers N] \
-         [--quantum-ms MS] [--queue-depth N] [--drain-ms MS]"
+         [--quantum-ms MS] [--queue-depth N] [--drain-ms MS] \
+         [--log-level error|warn|info|debug] [--no-telemetry]"
     );
     std::process::exit(2)
 }
@@ -65,6 +66,10 @@ fn main() {
                 cfg.queue_depth = value("--queue-depth").parse().unwrap_or_else(|_| usage());
             }
             "--drain-ms" => cfg.drain_ms = value("--drain-ms").parse().unwrap_or_else(|_| usage()),
+            "--log-level" => {
+                cfg.log_level = LogLevel::parse(&value("--log-level")).unwrap_or_else(|| usage());
+            }
+            "--no-telemetry" => cfg.telemetry = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -92,10 +97,8 @@ fn main() {
             .name("serve-signal-watch".into())
             .spawn(move || loop {
                 if SIGNALED.load(Ordering::SeqCst) {
-                    eprintln!(
-                        "[serve] signal received; draining ({}ms cap)",
-                        svc.config().drain_ms
-                    );
+                    svc.logger()
+                        .info("serve.signal", &[("drain_ms", svc.config().drain_ms.into())]);
                     svc.drain();
                     return;
                 }
@@ -104,9 +107,10 @@ fn main() {
             .expect("spawn signal watcher");
     }
 
+    let svc_at_exit = Arc::clone(&svc);
     if let Err(e) = serve(svc, &addr) {
-        eprintln!("server error: {e}");
+        svc_at_exit.logger().error("serve.error", &[("error", e.to_string().into())]);
         std::process::exit(1);
     }
-    eprintln!("[serve] drained; queue persisted under {data_dir}");
+    svc_at_exit.logger().info("serve.exit", &[("data_dir", data_dir.as_str().into())]);
 }

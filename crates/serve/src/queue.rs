@@ -76,6 +76,7 @@ impl FairQueue {
         let lane = self.lanes.get_mut(&tenant).expect("lane just found");
         let job = lane.jobs.pop_front().expect("non-empty lane");
         self.queued -= 1;
+        self.gc();
         Some((tenant, job))
     }
 
@@ -106,6 +107,7 @@ impl FairQueue {
         let floor = self.min_vruntime();
         let lane = self.lanes.entry(tenant.to_owned()).or_default();
         lane.vruntime_ms = lane.vruntime_ms.max(floor).saturating_add(ms);
+        self.gc();
     }
 
     /// Removes a specific queued job (cancellation); returns whether it was
@@ -115,6 +117,7 @@ impl FairQueue {
             if let Some(pos) = lane.jobs.iter().position(|&j| j == job) {
                 lane.jobs.remove(pos);
                 self.queued -= 1;
+                self.gc();
                 return true;
             }
         }
@@ -138,6 +141,32 @@ impl FairQueue {
 
     fn min_vruntime(&self) -> u64 {
         self.lanes.values().map(|l| l.vruntime_ms).min().unwrap_or(0)
+    }
+
+    /// Drops lanes that carry no scheduling information, so the lane map —
+    /// and the floor [`FairQueue::min_vruntime`] computes from it — tracks
+    /// *live* tenants rather than everyone ever seen.
+    ///
+    /// An empty lane at or below the minimum vruntime of the remaining
+    /// non-empty lanes is information-free: a brand-new lane would be floored
+    /// to that same minimum on its next `push`, so keeping it changes no
+    /// schedule. An empty lane *above* the floor is a debtor (it just ran, or
+    /// was preempted mid-charge) and keeps its debt until the floor catches
+    /// up. When nothing is queued at all, every lane goes — the fairness race
+    /// restarts fresh, which is exactly what a newcomer would see anyway.
+    fn gc(&mut self) {
+        if self.queued == 0 {
+            self.lanes.clear();
+            return;
+        }
+        let floor = self
+            .lanes
+            .values()
+            .filter(|l| !l.jobs.is_empty())
+            .map(|l| l.vruntime_ms)
+            .min()
+            .expect("queued > 0 implies a non-empty lane");
+        self.lanes.retain(|_, l| !l.jobs.is_empty() || l.vruntime_ms > floor);
     }
 }
 
@@ -227,6 +256,64 @@ mod tests {
         q.push("a", 3).unwrap();
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn preempted_job_requeues_at_lane_front() {
+        let mut q = FairQueue::new(16);
+        q.push("a", 1).unwrap();
+        q.push("a", 2).unwrap();
+        let (tenant, job) = q.pop().unwrap();
+        assert_eq!(job, 1);
+        q.charge(&tenant, 50);
+        // Preempted: job 1 returns to the *front*, still ahead of job 2.
+        q.requeue(&tenant, 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn newcomer_lane_joins_at_current_min_vruntime() {
+        let mut q = FairQueue::new(16);
+        q.push("old", 1).unwrap();
+        q.charge("old", 1_000);
+        q.push("new", 2).unwrap();
+        let rows = q.tenants();
+        let row = rows.iter().find(|r| r.0 == "new").unwrap();
+        assert_eq!(row.1, 1_000, "newcomer floored at the incumbent's vruntime: {rows:?}");
+    }
+
+    #[test]
+    fn idle_lanes_are_garbage_collected() {
+        let mut q = FairQueue::new(16);
+        q.push("a", 1).unwrap();
+        q.push("b", 2).unwrap();
+        q.charge("b", 100); // b ahead of a
+        let (tenant, _) = q.pop().unwrap();
+        assert_eq!(tenant, "a", "least-served dispatches first");
+        // a's now-empty lane sits at the floor — information-free, gone.
+        let names: Vec<String> = q.tenants().into_iter().map(|r| r.0).collect();
+        assert_eq!(names, vec!["b".to_owned()], "empty lane at the floor removed");
+        q.pop().unwrap();
+        assert!(q.tenants().is_empty(), "fully idle queue keeps no lanes");
+        // A debtor lane (empty but ahead of the floor) survives until the
+        // floor catches up.
+        q.push("c", 3).unwrap();
+        q.charge("d", 500);
+        assert!(q.tenants().iter().any(|r| r.0 == "d"), "debtor lane kept: {:?}", q.tenants());
+    }
+
+    #[test]
+    fn queue_depth_rejection_keeps_state_consistent() {
+        let mut q = FairQueue::new(1);
+        q.push("a", 1).unwrap();
+        assert!(q.push("b", 2).is_err(), "capacity bounds all tenants together");
+        assert_eq!(q.len(), 1);
+        // The rejected push must not have created a ghost lane for b.
+        assert_eq!(q.tenants().len(), 1, "{:?}", q.tenants());
+        assert_eq!(q.pop().unwrap(), ("a".into(), 1));
+        q.push("b", 2).unwrap();
+        assert_eq!(q.pop().unwrap(), ("b".into(), 2));
     }
 
     #[test]

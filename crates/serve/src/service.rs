@@ -26,7 +26,9 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::job::{Artifacts, Job, JobSpec, JobState};
 use crate::json::{obj, Json};
+use crate::log::Logger;
 use crate::queue::FairQueue;
+use crate::telemetry::{LiveStats, Telemetry};
 
 /// Why a submission was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -43,6 +45,24 @@ struct Running {
     req: CkptRequest,
     /// Where the preemptor (or canceler) asked the slice to park.
     ckpt_path: Option<PathBuf>,
+}
+
+/// Everything a worker carries out of the dispatch critical section.
+struct Dispatch {
+    id: u64,
+    tenant: String,
+    spec: JobSpec,
+    resume: Option<PathBuf>,
+    req: CkptRequest,
+}
+
+/// What a finished slice amounted to, captured under the state lock and
+/// reported to telemetry/logging after it is released.
+enum SliceOutcome {
+    /// The job reached a terminal state: `(state, e2e, total run, error)`.
+    Terminal(JobState, Duration, Duration, Option<String>),
+    /// The slice was checkpoint-parked and the job requeued.
+    Parked { serialize: Duration, bytes: u64 },
 }
 
 struct State {
@@ -65,6 +85,11 @@ pub struct Service {
     completed: AtomicU64,
     preempted: AtomicU64,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Latency histograms, preemption-cost counters, HTTP counters.
+    telemetry: Telemetry,
+    /// Structured JSONL event log (`data_dir/serve.log.jsonl`).
+    logger: Logger,
+    started: Instant,
 }
 
 impl Service {
@@ -77,6 +102,8 @@ impl Service {
     pub fn start(cfg: ServeConfig, data_dir: impl Into<PathBuf>) -> std::io::Result<Arc<Service>> {
         let data_dir = data_dir.into();
         std::fs::create_dir_all(data_dir.join("jobs"))?;
+        let logger = Logger::to_file(&data_dir.join("serve.log.jsonl"), cfg.log_level)?;
+        let telemetry = Telemetry::new(cfg.telemetry);
         let mut state = State {
             jobs: HashMap::new(),
             queue: FairQueue::new(cfg.queue_depth as usize),
@@ -85,6 +112,12 @@ impl Service {
             draining: false,
         };
         let restored = restore_queue(&data_dir, &mut state)?;
+        // Restored jobs count as submissions of this process so per-tenant
+        // queue depths and submit counters line up from the first scrape.
+        for job in state.jobs.values() {
+            telemetry.record_submit(&job.spec.tenant);
+        }
+        telemetry.set_levels(state.queue.len() as u64, 0);
         let svc = Arc::new(Service {
             cfg,
             data_dir,
@@ -94,9 +127,21 @@ impl Service {
             completed: AtomicU64::new(0),
             preempted: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
+            telemetry,
+            logger,
+            started: Instant::now(),
         });
+        svc.logger.info(
+            "serve.start",
+            &[
+                ("workers", u64::from(cfg.workers).into()),
+                ("quantum_ms", cfg.quantum_ms.into()),
+                ("queue_depth", u64::from(cfg.queue_depth).into()),
+                ("telemetry", cfg.telemetry.into()),
+            ],
+        );
         if restored > 0 {
-            eprintln!("[serve] restored {restored} queued job(s) from previous run");
+            svc.logger.info("queue.restore", &[("jobs", (restored as u64).into())]);
         }
         let mut handles = Vec::new();
         for w in 0..cfg.workers {
@@ -126,6 +171,27 @@ impl Service {
         &self.cfg
     }
 
+    /// The telemetry surface (HTTP layer records request metrics here).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The structured event log (HTTP layer writes access records here).
+    pub fn logger(&self) -> &Logger {
+        &self.logger
+    }
+
+    /// Whether the service is refusing new work while it drains.
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().draining
+    }
+
+    /// The `Retry-After` value (seconds, at least 1) advertised on drain
+    /// rejections: how long a full drain is allowed to take.
+    pub fn retry_after_secs(&self) -> u64 {
+        self.cfg.drain_ms.div_ceil(1000).max(1)
+    }
+
     /// Accepts a job into the fair-share queue and returns its ID.
     ///
     /// # Errors
@@ -143,8 +209,23 @@ impl Service {
             return Err(SubmitError::QueueFull);
         }
         st.next_id += 1;
+        let workload = spec.workload.clone();
+        let iters = spec.iters;
         st.jobs.insert(id, Job::new(id, spec));
+        let depth = st.queue.len() as u64;
+        let running = st.running.len() as u64;
         drop(st);
+        self.telemetry.record_submit(&tenant);
+        self.telemetry.set_levels(depth, running);
+        self.logger.info(
+            "job.submit",
+            &[
+                ("id", id.into()),
+                ("tenant", tenant.into()),
+                ("workload", workload.into()),
+                ("iters", iters.into()),
+            ],
+        );
         self.work.notify_one();
         Ok(id)
     }
@@ -187,40 +268,106 @@ impl Service {
     ///
     /// Returns `false` when the ID is unknown.
     pub fn cancel(&self, id: u64) -> bool {
-        let mut st = self.state.lock();
-        let Some(job) = st.jobs.get_mut(&id) else {
-            return false;
-        };
-        match job.state {
-            JobState::Queued => {
-                job.state = JobState::Canceled;
-                job.finished = Some(Instant::now());
-                if let Some(p) = job.ckpt.take() {
-                    let _ = std::fs::remove_file(p);
-                }
-                let tenant = job.spec.tenant.clone();
-                st.queue.remove(&tenant, id);
-            }
-            JobState::Running => {
-                job.cancel_requested = true;
-                // Ask the slice to park at its next safepoint so the worker
-                // frees up without waiting for the job to finish.
-                if let Some(run) = st.running.get_mut(&id) {
-                    if !run.req.armed() {
-                        let path = self.ckpt_path(id, u64::MAX);
-                        run.req.request(&path);
-                        run.ckpt_path = Some(path);
+        enum Act {
+            Canceled { tenant: String, e2e: Duration, run: Duration, depth: u64, running: u64 },
+            ParkRequested,
+            Removed,
+        }
+        let act;
+        {
+            let mut st = self.state.lock();
+            let Some(job) = st.jobs.get_mut(&id) else {
+                return false;
+            };
+            match job.state {
+                JobState::Queued => {
+                    job.state = JobState::Canceled;
+                    job.finished = Some(Instant::now());
+                    job.queue_wait_us += job.last_queued.elapsed().as_micros() as u64;
+                    if let Some(p) = job.ckpt.take() {
+                        let _ = std::fs::remove_file(p);
                     }
+                    let tenant = job.spec.tenant.clone();
+                    let e2e = job.latency().unwrap_or_default();
+                    let run = Duration::from_micros(job.run_us);
+                    st.queue.remove(&tenant, id);
+                    act = Act::Canceled {
+                        tenant,
+                        e2e,
+                        run,
+                        depth: st.queue.len() as u64,
+                        running: st.running.len() as u64,
+                    };
                 }
-            }
-            _ => {
-                // Terminal: DELETE removes the record and its artifacts.
-                if let Some(p) = st.jobs.remove(&id).and_then(|j| j.ckpt) {
-                    let _ = std::fs::remove_file(p);
+                JobState::Running => {
+                    job.cancel_requested = true;
+                    // Ask the slice to park at its next safepoint so the
+                    // worker frees up without waiting for the job to finish.
+                    if let Some(run) = st.running.get_mut(&id) {
+                        if !run.req.armed() {
+                            let path = self.ckpt_path(id, u64::MAX);
+                            run.req.request(&path);
+                            run.ckpt_path = Some(path);
+                        }
+                    }
+                    act = Act::ParkRequested;
+                }
+                _ => {
+                    // Terminal: DELETE removes the record and its artifacts.
+                    if let Some(p) = st.jobs.remove(&id).and_then(|j| j.ckpt) {
+                        let _ = std::fs::remove_file(p);
+                    }
+                    act = Act::Removed;
                 }
             }
         }
+        match act {
+            Act::Canceled { tenant, e2e, run, depth, running } => {
+                self.telemetry.record_terminal(&tenant, JobState::Canceled, e2e, run);
+                self.telemetry.set_levels(depth, running);
+                self.logger
+                    .info("job.cancel", &[("id", id.into()), ("tenant", tenant.as_str().into())]);
+            }
+            Act::ParkRequested => {
+                self.logger.info("job.cancel_requested", &[("id", id.into())]);
+            }
+            Act::Removed => {
+                self.logger.debug("job.forget", &[("id", id.into())]);
+            }
+        }
         true
+    }
+
+    /// Live queue/slice ages and levels, sampled under the state lock.
+    fn live_stats(&self) -> LiveStats {
+        let st = self.state.lock();
+        let oldest_queued_age_ms = st
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .map(|j| j.last_queued.elapsed().as_millis() as u64)
+            .max()
+            .unwrap_or(0);
+        let running_slice_age_ms = st
+            .running
+            .values()
+            .map(|r| r.slice_started.elapsed().as_millis() as u64)
+            .max()
+            .unwrap_or(0);
+        LiveStats {
+            queued: st.queue.len() as u64,
+            running: st.running.len() as u64,
+            oldest_queued_age_ms,
+            running_slice_age_ms,
+            draining: st.draining,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// The `GET /metrics` Prometheus text exposition.
+    pub fn metrics_text(&self) -> String {
+        let live = self.live_stats();
+        self.telemetry.prometheus(&live)
     }
 
     /// The `GET /stats` document.
@@ -230,6 +377,19 @@ impl Service {
         for j in st.jobs.values() {
             by_state[j.state as usize] += 1;
         }
+        let oldest_queued_age_ms = st
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .map(|j| j.last_queued.elapsed().as_millis() as u64)
+            .max()
+            .unwrap_or(0);
+        let running_slice_age_ms = st
+            .running
+            .values()
+            .map(|r| r.slice_started.elapsed().as_millis() as u64)
+            .max()
+            .unwrap_or(0);
         let tenants = Json::Arr(
             st.queue
                 .tenants()
@@ -243,17 +403,46 @@ impl Service {
                 })
                 .collect(),
         );
-        obj([
-            ("workers", (self.cfg.workers as u64).into()),
-            ("quantum_ms", self.cfg.quantum_ms.into()),
-            ("queued", (st.queue.len() as u64).into()),
-            ("running", (st.running.len() as u64).into()),
-            ("queued_state", by_state[JobState::Queued as usize].into()),
-            ("completed", self.completed.load(Ordering::Relaxed).into()),
-            ("preemptions", self.preempted.load(Ordering::Relaxed).into()),
-            ("draining", st.draining.into()),
-            ("tenants", tenants),
-        ])
+        let queued = st.queue.len() as u64;
+        let running = st.running.len() as u64;
+        let draining = st.draining;
+        drop(st);
+        let states = obj([
+            ("queued", by_state[JobState::Queued as usize].into()),
+            ("running", by_state[JobState::Running as usize].into()),
+            ("completed", by_state[JobState::Completed as usize].into()),
+            ("failed", by_state[JobState::Failed as usize].into()),
+            ("canceled", by_state[JobState::Canceled as usize].into()),
+        ]);
+        let queue = obj([
+            ("depth", queued.into()),
+            ("oldest_age_ms", oldest_queued_age_ms.into()),
+            ("running_slice_age_ms", running_slice_age_ms.into()),
+        ]);
+        let mut members = vec![
+            ("workers".to_owned(), Json::from(u64::from(self.cfg.workers))),
+            ("quantum_ms".to_owned(), self.cfg.quantum_ms.into()),
+            ("uptime_ms".to_owned(), (self.started.elapsed().as_millis() as u64).into()),
+            ("queued".to_owned(), queued.into()),
+            ("running".to_owned(), running.into()),
+            ("queued_state".to_owned(), by_state[JobState::Queued as usize].into()),
+            ("jobs".to_owned(), states),
+            ("completed".to_owned(), self.completed.load(Ordering::Relaxed).into()),
+            ("preemptions".to_owned(), self.preempted.load(Ordering::Relaxed).into()),
+            ("draining".to_owned(), draining.into()),
+            ("queue".to_owned(), queue),
+            ("tenants".to_owned(), tenants),
+        ];
+        if let Some(latency) = self.telemetry.latency_json() {
+            members.push(("latency".to_owned(), latency));
+        }
+        if let Some(preempt) = self.telemetry.preempt_json() {
+            members.push(("preempt_cost".to_owned(), preempt));
+        }
+        if let Some(per_tenant) = self.telemetry.tenants_json() {
+            members.push(("tenant_latency".to_owned(), per_tenant));
+        }
+        Json::Obj(members)
     }
 
     /// Whether shutdown has been requested.
@@ -271,6 +460,13 @@ impl Service {
                 return;
             }
             st.draining = true;
+            self.logger.info(
+                "drain.start",
+                &[
+                    ("queued", (st.queue.len() as u64).into()),
+                    ("running", (st.running.len() as u64).into()),
+                ],
+            );
             let State { running, jobs, .. } = &mut *st;
             for (&id, run) in running.iter_mut() {
                 if !run.req.armed() {
@@ -287,10 +483,12 @@ impl Service {
                 self.work.wait_for(&mut st, Duration::from_millis(20));
             }
             if !st.running.is_empty() {
-                eprintln!(
-                    "[serve] drain timeout: {} slice(s) still running after {}ms",
-                    st.running.len(),
-                    self.cfg.drain_ms
+                self.logger.warn(
+                    "drain.timeout",
+                    &[
+                        ("still_running", (st.running.len() as u64).into()),
+                        ("drain_ms", self.cfg.drain_ms.into()),
+                    ],
                 );
             }
         }
@@ -300,8 +498,13 @@ impl Service {
         for h in handles {
             let _ = h.join();
         }
-        if let Err(e) = self.persist_queue() {
-            eprintln!("[serve] failed to persist queue: {e}");
+        match self.persist_queue() {
+            Ok(persisted) => {
+                self.logger.info("drain.done", &[("persisted", (persisted as u64).into())]);
+            }
+            Err(e) => {
+                self.logger.error("queue.persist_failed", &[("error", e.to_string().into())]);
+            }
         }
     }
 
@@ -310,8 +513,8 @@ impl Service {
     }
 
     /// Serializes the still-queued jobs (in dispatch order) to
-    /// `data_dir/queue.json`.
-    fn persist_queue(&self) -> std::io::Result<()> {
+    /// `data_dir/queue.json`; returns how many were persisted.
+    fn persist_queue(&self) -> std::io::Result<usize> {
         let mut st = self.state.lock();
         let order = st.queue.drain_order();
         let next_id = st.next_id;
@@ -331,8 +534,10 @@ impl Service {
             })
             .collect();
         drop(st);
+        let persisted = entries.len();
         let doc = obj([("next_id", next_id.into()), ("jobs", Json::Arr(entries))]);
-        std::fs::write(self.data_dir.join("queue.json"), doc.encode())
+        std::fs::write(self.data_dir.join("queue.json"), doc.encode())?;
+        Ok(persisted)
     }
 
     fn worker_loop(self: &Arc<Service>) {
@@ -353,6 +558,12 @@ impl Service {
                         let job = st.jobs.get_mut(&id).expect("queued job exists");
                         job.state = JobState::Running;
                         job.started.get_or_insert_with(Instant::now);
+                        let wait = job.last_queued.elapsed();
+                        job.queue_wait_us += wait.as_micros() as u64;
+                        let resumed = job.ckpt.is_some();
+                        if resumed {
+                            job.cost.requeue_gap_us += wait.as_micros() as u64;
+                        }
                         let spec = job.spec.clone();
                         let resume = job.ckpt.clone();
                         let req = CkptRequest::new();
@@ -364,61 +575,144 @@ impl Service {
                                 ckpt_path: None,
                             },
                         );
-                        break (id, tenant, spec, resume, req);
+                        let depth = st.queue.len() as u64;
+                        let running = st.running.len() as u64;
+                        break (
+                            Dispatch { id, tenant, spec, resume, req },
+                            wait,
+                            resumed,
+                            depth,
+                            running,
+                        );
                     }
                     self.work.wait_for(&mut st, Duration::from_millis(100));
                 }
             };
-            self.run_slice(dispatched);
+            let (d, wait, resumed, depth, running) = dispatched;
+            self.telemetry.record_dispatch(&d.tenant, wait, resumed);
+            self.telemetry.set_levels(depth, running);
+            self.logger.debug(
+                "job.dispatch",
+                &[
+                    ("id", d.id.into()),
+                    ("tenant", d.tenant.as_str().into()),
+                    ("wait_ms", (wait.as_secs_f64() * 1e3).into()),
+                    ("resumed", resumed.into()),
+                ],
+            );
+            self.run_slice(d);
         }
     }
 
-    fn run_slice(
-        &self,
-        (id, tenant, spec, resume, req): (u64, String, JobSpec, Option<PathBuf>, CkptRequest),
-    ) {
+    fn run_slice(&self, d: Dispatch) {
+        let Dispatch { id, tenant, spec, resume, req } = d;
         let t0 = Instant::now();
-        let result = run_job(&spec, resume.as_deref(), &req);
-        let slice_ms = (t0.elapsed().as_millis() as u64).max(1);
+        let (result, restore) = run_job(&spec, resume.as_deref(), &req);
+        let slice = t0.elapsed();
+        let slice_ms = (slice.as_millis() as u64).max(1);
+        if let Some(rt) = restore {
+            self.telemetry.record_restore(&tenant, rt);
+        }
 
         let mut st = self.state.lock();
-        let slice = st.running.remove(&id).expect("slice was registered");
+        let run_entry = st.running.remove(&id).expect("slice was registered");
         st.queue.charge(&tenant, slice_ms);
         let job = st.jobs.get_mut(&id).expect("running job exists");
+        job.run_us += slice.as_micros() as u64;
+        if let Some(rt) = restore {
+            job.cost.restore_us += rt.as_micros() as u64;
+            job.cost.resumes += 1;
+        }
         let preempted = req.taken() > 0;
+        let outcome;
         if job.cancel_requested {
             job.state = JobState::Canceled;
             job.finished = Some(Instant::now());
-            for p in [job.ckpt.take(), slice.ckpt_path].into_iter().flatten() {
+            for p in [job.ckpt.take(), run_entry.ckpt_path].into_iter().flatten() {
                 let _ = std::fs::remove_file(p);
             }
+            outcome = SliceOutcome::Terminal(
+                JobState::Canceled,
+                job.latency().unwrap_or_default(),
+                Duration::from_micros(job.run_us),
+                None,
+            );
         } else if preempted {
             job.preemptions += 1;
             self.preempted.fetch_add(1, Ordering::Relaxed);
-            let parked = slice.ckpt_path.expect("preempted slice has a park path");
+            let (serialize, bytes) = req.last_park_cost().unwrap_or((Duration::ZERO, 0));
+            job.cost.serialize_us += serialize.as_micros() as u64;
+            job.cost.ckpt_bytes += bytes;
+            let parked = run_entry.ckpt_path.expect("preempted slice has a park path");
             if let Some(old) = job.ckpt.replace(parked) {
                 let _ = std::fs::remove_file(old);
             }
             job.state = JobState::Queued;
+            job.last_queued = Instant::now();
             st.queue.requeue(&tenant, id);
+            outcome = SliceOutcome::Parked { serialize, bytes };
         } else {
-            match result {
+            let error = match result {
                 Ok(report) => {
                     job.artifacts = Some(capture(&spec, &report));
                     job.state = JobState::Completed;
                     self.completed.fetch_add(1, Ordering::Relaxed);
+                    None
                 }
                 Err(e) => {
-                    job.error = Some(e);
+                    job.error = Some(e.clone());
                     job.state = JobState::Failed;
+                    Some(e)
                 }
-            }
+            };
             job.finished = Some(Instant::now());
             if let Some(old) = job.ckpt.take() {
                 let _ = std::fs::remove_file(old);
             }
+            outcome = SliceOutcome::Terminal(
+                job.state,
+                job.latency().unwrap_or_default(),
+                Duration::from_micros(job.run_us),
+                error,
+            );
         }
+        let depth = st.queue.len() as u64;
+        let running = st.running.len() as u64;
         drop(st);
+
+        let overrun = (preempted && self.cfg.quantum_ms > 0)
+            .then(|| slice.saturating_sub(Duration::from_millis(self.cfg.quantum_ms)));
+        self.telemetry.record_slice(slice, overrun);
+        self.telemetry.set_levels(depth, running);
+        match outcome {
+            SliceOutcome::Parked { serialize, bytes } => {
+                self.telemetry.record_park(&tenant, serialize, bytes);
+                self.logger.info(
+                    "job.preempt",
+                    &[
+                        ("id", id.into()),
+                        ("tenant", tenant.as_str().into()),
+                        ("slice_ms", (slice.as_secs_f64() * 1e3).into()),
+                        ("serialize_ms", (serialize.as_secs_f64() * 1e3).into()),
+                        ("ckpt_bytes", bytes.into()),
+                    ],
+                );
+            }
+            SliceOutcome::Terminal(state, e2e, run_total, error) => {
+                self.telemetry.record_terminal(&tenant, state, e2e, run_total);
+                let mut fields = vec![
+                    ("id", Json::from(id)),
+                    ("tenant", tenant.as_str().into()),
+                    ("state", state.name().into()),
+                    ("e2e_ms", (e2e.as_secs_f64() * 1e3).into()),
+                    ("run_ms", (run_total.as_secs_f64() * 1e3).into()),
+                ];
+                if let Some(e) = error {
+                    fields.push(("error", e.into()));
+                }
+                self.logger.info("job.terminal", &fields);
+            }
+        }
         self.work.notify_all();
     }
 
@@ -441,28 +735,47 @@ impl Service {
                     to_arm.push(id);
                 }
             }
+            let mut armed = Vec::with_capacity(to_arm.len());
             for id in to_arm {
                 let slice = st.jobs[&id].preemptions + 1;
                 let path = self.ckpt_path(id, slice);
                 let run = st.running.get_mut(&id).expect("slice present");
                 run.req.request(&path);
                 run.ckpt_path = Some(path);
+                armed.push(id);
+            }
+            drop(st);
+            for id in armed {
+                self.logger.debug("job.preempt_arm", &[("id", id.into())]);
             }
         }
     }
 }
 
-/// Builds and runs one slice of a job, catching guest panics.
-fn run_job(spec: &JobSpec, resume: Option<&Path>, req: &CkptRequest) -> Result<SimReport, String> {
-    let mut builder = crate::workload::build_sim(spec)
-        .map_err(|e| format!("config: {e}"))?
-        .ckpt_request(req.clone());
+/// Builds and runs one slice of a job, catching guest panics. The second
+/// return is the restore time when the slice resumed from a park file — the
+/// "unpark" half of preemption cost.
+fn run_job(
+    spec: &JobSpec,
+    resume: Option<&Path>,
+    req: &CkptRequest,
+) -> (Result<SimReport, String>, Option<Duration>) {
+    let mut builder = match crate::workload::build_sim(spec) {
+        Ok(b) => b.ckpt_request(req.clone()),
+        Err(e) => return (Err(format!("config: {e}")), None),
+    };
+    let resuming = resume.is_some();
     if let Some(path) = resume {
         builder = builder.resume(path);
     }
-    let sim = builder.build().map_err(|e| format!("build: {e}"))?;
+    let t0 = Instant::now();
+    let sim = match builder.build() {
+        Ok(s) => s,
+        Err(e) => return (Err(format!("build: {e}")), None),
+    };
+    let restore = resuming.then(|| t0.elapsed());
     let spec = spec.clone();
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         sim.run(move |ctx| crate::workload::run(&spec, ctx))
     }))
     .map_err(|p| {
@@ -472,7 +785,8 @@ fn run_job(spec: &JobSpec, resume: Option<&Path>, req: &CkptRequest) -> Result<S
             .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_owned()))
             .unwrap_or_else(|| "guest panicked".into());
         format!("panic: {msg}")
-    })
+    });
+    (result, restore)
 }
 
 /// Extracts the artifacts the API serves from a finished run.
@@ -559,6 +873,8 @@ mod tests {
             queue_depth: 64,
             max_body_bytes: 1 << 20,
             drain_ms: 10_000,
+            telemetry: true,
+            log_level: graphite_config::LogLevel::Debug,
         }
     }
 
@@ -653,6 +969,58 @@ mod tests {
         assert!(svc.cancel(running));
         assert_eq!(wait_terminal(&svc, running, Duration::from_secs(30)), JobState::Canceled);
         assert!(!dir.join("queue.json").exists(), "consumed on restore");
+        svc.drain();
+    }
+
+    #[test]
+    fn preemption_cost_is_accounted_per_job_and_in_stats() {
+        let dir = std::env::temp_dir().join("graphite-serve-svc-cost");
+        let _ = std::fs::remove_dir_all(&dir);
+        // One worker, 25ms quantum: the long job must be parked at least once
+        // to let the short jobs through, then resumed to completion.
+        let svc = Service::start(test_cfg(1, 25), &dir).unwrap();
+        let long = svc.submit(spec("slow", 100_000)).unwrap();
+        let mut shorts = Vec::new();
+        for _ in 0..3 {
+            shorts.push(svc.submit(spec("fast", 100)).unwrap());
+        }
+        for id in shorts {
+            assert_eq!(wait_terminal(&svc, id, Duration::from_secs(60)), JobState::Completed);
+        }
+        assert_eq!(wait_terminal(&svc, long, Duration::from_secs(120)), JobState::Completed);
+        {
+            let st = svc.state.lock();
+            let job = &st.jobs[&long];
+            assert!(job.preemptions >= 1, "long job was never preempted");
+            assert!(job.cost.ckpt_bytes > 0, "park file bytes accounted");
+            assert!(job.cost.serialize_us > 0, "serialize time accounted");
+            assert_eq!(job.cost.resumes, job.preemptions, "every park was resumed");
+            assert!(job.cost.restore_us > 0, "restore time accounted");
+            assert!(job.run_us > 0 && job.queue_wait_us > 0, "lifecycle stamped");
+        }
+        let stats = svc.stats_json();
+        assert!(stats.get("uptime_ms").unwrap().as_u64().unwrap() > 0);
+        let jobs = stats.get("jobs").unwrap();
+        assert_eq!(jobs.get("completed").unwrap().as_u64(), Some(4));
+        assert_eq!(jobs.get("failed").unwrap().as_u64(), Some(0));
+        let cost = stats.get("preempt_cost").unwrap();
+        assert!(cost.get("parks").unwrap().as_u64().unwrap() >= 1);
+        assert!(cost.get("ckpt_bytes_total").unwrap().as_u64().unwrap() > 0);
+        assert!(cost.get("serialize_ms_total").unwrap().as_f64().unwrap() > 0.0);
+        let lat = stats.get("latency").unwrap();
+        assert_eq!(lat.get("e2e").unwrap().get("count").unwrap().as_u64(), Some(4));
+        let per = stats.get("tenant_latency").unwrap();
+        assert!(per.get("slow").unwrap().get("preemptions").unwrap().as_u64().unwrap() >= 1);
+        // The job detail document carries the same breakdown.
+        let detail = svc.job_json(long).unwrap();
+        assert!(detail.get("preemptions").unwrap().as_u64().unwrap() >= 1);
+        let jc = detail.get("preempt_cost").unwrap();
+        assert!(jc.get("ckpt_bytes").unwrap().as_u64().unwrap() > 0);
+        assert!(jc.get("resumes").unwrap().as_u64().unwrap() >= 1);
+        // The structured log captured the preemption and terminal events.
+        let log = std::fs::read_to_string(dir.join("serve.log.jsonl")).unwrap();
+        assert!(log.lines().any(|l| l.contains("\"event\":\"job.preempt\"")), "{log}");
+        assert!(log.lines().any(|l| l.contains("\"event\":\"job.terminal\"")), "{log}");
         svc.drain();
     }
 

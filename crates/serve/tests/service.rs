@@ -15,7 +15,15 @@ use graphite_config::ServeConfig;
 use graphite_serve::{server, workload, JobSpec, Json, Service};
 
 fn cfg(workers: u32, quantum_ms: u64) -> ServeConfig {
-    ServeConfig { workers, quantum_ms, queue_depth: 256, max_body_bytes: 1 << 20, drain_ms: 10_000 }
+    ServeConfig {
+        workers,
+        quantum_ms,
+        queue_depth: 256,
+        max_body_bytes: 1 << 20,
+        drain_ms: 10_000,
+        telemetry: true,
+        log_level: graphite_config::LogLevel::Info,
+    }
 }
 
 fn spec(tenant: &str, workload: &str, iters: u64, seed: u64) -> JobSpec {
@@ -185,7 +193,7 @@ fn http_api_round_trip() {
     let client = Client { addr };
 
     let (status, body) = client.request("GET", "/healthz", "");
-    assert_eq!((status, body.as_str()), (200, r#"{"ok":true}"#));
+    assert_eq!((status, body.as_str()), (200, r#"{"ok":true,"status":"ok"}"#));
 
     // Submit a traced job and poll it to completion.
     let (status, body) = client.request(

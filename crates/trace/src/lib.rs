@@ -40,12 +40,14 @@
 
 use std::sync::Arc;
 
+pub mod expo;
 pub mod json;
 pub mod metrics;
 pub mod tracer;
 
+pub use expo::PromText;
 pub use metrics::{
-    Histogram, HistogramSnapshot, LaneFold, Metric, MetricsRegistry, MetricsSnapshot,
+    Gauge, Histogram, HistogramSnapshot, LaneFold, Metric, MetricsRegistry, MetricsSnapshot,
     ShardedHistogram, ShardedMetric,
 };
 pub use tracer::{export_jsonl, TraceEvent, TraceEventKind, Tracer};

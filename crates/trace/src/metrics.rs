@@ -94,6 +94,74 @@ impl Metric {
     }
 }
 
+/// A shared, lock-free `u64` gauge: a level that moves both ways (queue
+/// depth, in-flight slices), unlike the monotone [`Metric`].
+///
+/// Snapshots report gauges under `counters` — same namespace, same JSON
+/// section — so registering one does not change the exported `metrics.json`
+/// schema; the set-vs-accumulate semantic lives in the handle alone.
+///
+/// # Examples
+///
+/// ```
+/// use graphite_trace::Gauge;
+/// let g = Gauge::new();
+/// g.set(7);
+/// g.incr();
+/// g.sub(3);
+/// assert_eq!(g.get(), 5);
+/// g.sub(100); // saturates at zero rather than wrapping
+/// assert_eq!(g.get(), 0);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a detached gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Lowers the level by one (saturating at zero).
+    #[inline]
+    pub fn decr(&self) {
+        self.sub(1);
+    }
+
+    /// Raises the level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`, saturating at zero — a racy decrement must
+    /// never wrap a depth gauge to 2^64.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// How a sharded metric's lanes combine into one reported value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LaneFold {
@@ -543,11 +611,31 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Inclusive upper bound of the bucket holding the `q`-quantile sample
+    /// (0 when empty). Log₂ buckets bound the answer from above: the true
+    /// quantile lies in `(upper/2, upper]`, which is plenty for p50/p95/p99
+    /// summaries over latency distributions spanning orders of magnitude.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return upper;
+            }
+        }
+        self.buckets.last().map_or(0, |b| b.0)
+    }
 }
 
 #[derive(Debug)]
 enum Entry {
     Counter(Metric),
+    Gauge(Gauge),
     PerTile(Vec<Metric>),
     Histogram(Histogram),
     Sharded(ShardedMetric),
@@ -558,6 +646,7 @@ impl Entry {
     fn kind(&self) -> &'static str {
         match self {
             Entry::Counter(_) => "counter",
+            Entry::Gauge(_) => "gauge",
             Entry::PerTile(_) => "per-tile counter",
             Entry::Histogram(_) => "histogram",
             Entry::Sharded(m) => match m.fold() {
@@ -615,6 +704,21 @@ impl MetricsRegistry {
         let mut entries = self.entries.lock();
         match entries.entry(name.to_string()).or_insert_with(|| Entry::Counter(Metric::new())) {
             Entry::Counter(m) => m.clone(),
+            other => panic!("metric '{name}' already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it on first use. Snapshots
+    /// report the level under `counters` (see [`Gauge`]), so gauges join the
+    /// existing namespace and exported schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut entries = self.entries.lock();
+        match entries.entry(name.to_string()).or_insert_with(|| Entry::Gauge(Gauge::new())) {
+            Entry::Gauge(g) => g.clone(),
             other => panic!("metric '{name}' already registered as a {}", other.kind()),
         }
     }
@@ -720,6 +824,9 @@ impl MetricsRegistry {
                 Entry::Counter(m) => {
                     snap.counters.insert(name.clone(), m.get());
                 }
+                Entry::Gauge(g) => {
+                    snap.counters.insert(name.clone(), g.get());
+                }
                 Entry::PerTile(v) => {
                     snap.per_tile.insert(name.clone(), v.iter().map(Metric::get).collect());
                 }
@@ -759,6 +866,7 @@ impl MetricsRegistry {
                     m.take();
                     m.add(v);
                 }
+                Some(Entry::Gauge(g)) => g.set(v),
                 Some(Entry::Sharded(m)) => m.set_folded(v),
                 Some(_) => return Err(bad()),
                 None => {}
@@ -951,6 +1059,54 @@ mod tests {
         assert_eq!(m.get(), 7);
         m.observe_max(9);
         assert_eq!(m.get(), 9);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_snapshots_as_counter() {
+        let reg = MetricsRegistry::new(1);
+        let g = reg.gauge("serve.queue.depth");
+        g.add(5);
+        g.decr();
+        assert_eq!(g.get(), 4);
+        g.set(2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub saturates");
+        g.set(3);
+        assert_eq!(reg.snapshot().counters["serve.queue.depth"], 3);
+        // Registration is idempotent but kind-checked.
+        assert_eq!(reg.gauge("serve.queue.depth").get(), 3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.counter("serve.queue.depth")
+        }));
+        assert!(r.is_err(), "re-registering a gauge as a counter must panic");
+    }
+
+    #[test]
+    fn gauge_restores_from_snapshot() {
+        let reg = MetricsRegistry::new(1);
+        reg.gauge("g").set(42);
+        let snap = reg.snapshot();
+        reg.gauge("g").set(7);
+        reg.restore(&snap).unwrap();
+        assert_eq!(reg.gauge("g").get(), 42);
+    }
+
+    #[test]
+    fn histogram_quantiles_return_bucket_uppers() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0, "empty histogram");
+        for _ in 0..90 {
+            h.record(3); // bucket [2, 3]
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512, 1023]
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), 3);
+        assert_eq!(snap.quantile(0.5), 3);
+        assert_eq!(snap.quantile(0.90), 3);
+        assert_eq!(snap.quantile(0.95), 1023);
+        assert_eq!(snap.quantile(1.0), 1023);
     }
 
     #[test]
