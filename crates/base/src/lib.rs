@@ -27,6 +27,7 @@
 pub mod blocker;
 pub mod error;
 pub mod hash;
+pub mod hostprof;
 pub mod ids;
 pub mod progress;
 pub mod queue;
@@ -38,6 +39,7 @@ pub mod time;
 pub use blocker::{Blocker, InlineBlocker};
 pub use error::SimError;
 pub use hash::{FxBuildHasher, FxHasher};
+pub use hostprof::{HostEvent, HostProf, HostProfSnapshot, HostSpan, HostStage, StageSnap};
 pub use ids::{MachineId, ProcId, ThreadId, TileId};
 pub use progress::GlobalProgress;
 pub use queue::LaxQueue;

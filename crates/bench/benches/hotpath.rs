@@ -36,7 +36,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use graphite::SimConfig;
-use graphite_base::{Cycles, GlobalProgress, TileId};
+use graphite_base::{Cycles, GlobalProgress, HostProf, TileId};
 use graphite_bench::run_workload;
 use graphite_config::presets;
 use graphite_memory::{Addr, MemorySystem};
@@ -57,16 +57,22 @@ struct CaseResult {
     sim_cycles: u64,
     /// Host wall seconds per simulated target second (0 when undefined).
     slowdown: f64,
+    /// Optional case-specific JSON object spliced in as `"detail"`.
+    extra: Option<String>,
 }
 
 impl CaseResult {
     fn to_json(&self) -> String {
+        let detail = match &self.extra {
+            Some(d) => format!(", \"detail\": {d}"),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"tiles\": {}, \"ops\": {}, \"wall_s\": {:.4}, ",
-                "\"mops_per_s\": {:.4}, \"sim_cycles\": {}, \"slowdown\": {:.2}}}"
+                "\"mops_per_s\": {:.4}, \"sim_cycles\": {}, \"slowdown\": {:.2}{}}}"
             ),
-            self.tiles, self.ops, self.wall_s, self.mops, self.sim_cycles, self.slowdown
+            self.tiles, self.ops, self.wall_s, self.mops, self.sim_cycles, self.slowdown, detail
         )
     }
 }
@@ -150,6 +156,7 @@ fn micro_result(name: String, tiles: u32, ops: u64, wall: f64, sim: u64, ghz: f6
         mops: ops as f64 / wall / 1e6,
         sim_cycles: sim,
         slowdown: if sim_s > 0.0 { wall / sim_s } else { 0.0 },
+        extra: None,
     }
 }
 
@@ -250,7 +257,98 @@ fn bench_matmul(n: u64) -> CaseResult {
         mops: ops as f64 / wall / 1e6,
         sim_cycles: report.simulated_cycles.0,
         slowdown: if sim_s > 0.0 { wall / sim_s } else { 0.0 },
+        extra: None,
     }
+}
+
+/// Builds the miss-walk memory system with a host profiler attached (`None`
+/// = profiling compiled in but disabled, the production default).
+fn build_mem_prof(tiles: u32, prof: &Arc<HostProf>) -> (Arc<MemorySystem>, f64) {
+    let mut cfg = presets::paper_default(tiles);
+    if let Some(l2) = cfg.target.l2.as_mut() {
+        l2.size_bytes = 256 * 1024;
+        l2.associativity = 16;
+    }
+    let clock_ghz = cfg.target.clock_ghz;
+    let net = Arc::new(Network::new(&cfg, Arc::new(GlobalProgress::new(tiles as usize))));
+    let obs = Obs::new(tiles as usize, TraceOptions::default()).with_hostprof(Arc::clone(prof));
+    (Arc::new(MemorySystem::with_obs(&cfg, net, false, &obs)), clock_ghz)
+}
+
+const WALK_LINES: u64 = 6144;
+
+fn miss_addr(t: u32, i: u64) -> u64 {
+    ((t as u64) << 24) | ((i % WALK_LINES) * 64)
+}
+
+/// Miss walk with the host profiler *on* at the default 1-in-64 sampling:
+/// the per-stage breakdown and the attribution ratio land in the JSON so
+/// every label records where miss-path host time went.
+fn bench_misses_hostprof(tiles: u32, per_thread: u64) -> CaseResult {
+    let sample = 64; // HostProfConfig::default().sample
+    let prof = HostProf::new(sample, 0); // counters only, no timeline buffer
+    let (mem, ghz) = build_mem_prof(tiles, &prof);
+    let (wall, sim) = drive(&mem, tiles, per_thread, miss_addr);
+    let ops = tiles as u64 * per_thread;
+    let snap = prof.snapshot();
+    let mut stages: Vec<_> = snap.stages.iter().filter(|s| s.timed > 0).collect();
+    stages.sort_by(|a, b| b.est_self_ns().total_cmp(&a.est_self_ns()));
+    let rows: Vec<String> = stages
+        .iter()
+        .take(8)
+        .map(|s| {
+            format!(
+                "\"{}\": {{\"count\": {}, \"self_ns_per_op\": {:.0}}}",
+                s.stage.name(),
+                s.count,
+                s.self_ns_per_op()
+            )
+        })
+        .collect();
+    let attribution = snap.miss_attribution().unwrap_or(0.0);
+    let extra = format!(
+        "{{\"sample\": {sample}, \"miss_attribution\": {attribution:.3}, \"stages\": {{{}}}}}",
+        rows.join(", ")
+    );
+    let mut r = micro_result(format!("miss_{tiles}t_hostprof"), tiles, ops, wall, sim, ghz);
+    r.extra = Some(extra);
+    r
+}
+
+/// On/off overhead of the profiler on the miss walk: alternating
+/// enabled/disabled runs (interleaved so thermal and allocator drift hits
+/// both arms equally), medians of each arm, overhead = on/off − 1. The
+/// acceptance bar is "within noise" at the default sampling interval.
+fn bench_hostprof_overhead(tiles: u32, per_thread: u64) -> CaseResult {
+    const ROUNDS: usize = 3;
+    let mut on_walls = Vec::with_capacity(ROUNDS);
+    let mut off_walls = Vec::with_capacity(ROUNDS);
+    let mut sim = 0u64;
+    let mut ghz = 1.0;
+    for _ in 0..ROUNDS {
+        let prof = HostProf::new(64, 0);
+        let (mem, g) = build_mem_prof(tiles, &prof);
+        let (w_on, s) = drive(&mem, tiles, per_thread, miss_addr);
+        on_walls.push(w_on);
+        let (mem, _) = build_mem_prof(tiles, &HostProf::disabled());
+        let (w_off, _) = drive(&mem, tiles, per_thread, miss_addr);
+        off_walls.push(w_off);
+        sim = s;
+        ghz = g;
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let on = median(&mut on_walls);
+    let off = median(&mut off_walls);
+    let overhead = on / off - 1.0;
+    let ops = tiles as u64 * per_thread;
+    let mut r = micro_result(format!("hostprof_overhead_{tiles}t"), tiles, ops, on, sim, ghz);
+    r.extra = Some(format!(
+        "{{\"on_wall_s\": {on:.4}, \"off_wall_s\": {off:.4}, \"overhead_frac\": {overhead:.4}}}"
+    ));
+    r
 }
 
 /// Extracts `"label": { ... }` sections (balanced braces) from a previous
@@ -337,6 +435,12 @@ fn main() {
         if wants(&format!("miss_{tiles}t_nomshr")) {
             push(bench_misses(tiles, miss_per_thread, false), &mut results);
         }
+    }
+    if wants("miss_1t_hostprof") {
+        push(bench_misses_hostprof(1, miss_per_thread), &mut results);
+    }
+    if wants("hostprof_overhead_1t") {
+        push(bench_hostprof_overhead(1, miss_per_thread), &mut results);
     }
     if wants(&format!("matmul_n{matmul_n}")) {
         push(bench_matmul(matmul_n), &mut results);

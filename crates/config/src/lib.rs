@@ -370,6 +370,32 @@ pub struct CkptConfig {
     pub auto_quanta: u64,
 }
 
+/// Host-cost profiler knobs (the `[hostprof]` section).
+///
+/// `hostprof` attributes *host* wall-clock time (not simulated cycles) to
+/// named scheduler and miss-path stages via sampled scoped timers
+/// (`graphite_base::hostprof`). Off by default: when disabled every
+/// instrumentation point is a single relaxed atomic load. Purely
+/// observational — no setting changes modeled timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct HostProfConfig {
+    /// Enables host-cost attribution.
+    pub enabled: bool,
+    /// Sampling interval: 1-in-N outermost spans read the monotonic clock
+    /// (occurrence counts stay exact). `1` times everything.
+    pub sample: u32,
+    /// Maximum sampled spans retained for the Perfetto host-thread tracks;
+    /// further samples still accumulate totals but drop the timeline event.
+    pub max_events: u32,
+}
+
+impl Default for HostProfConfig {
+    fn default() -> Self {
+        HostProfConfig { enabled: false, sample: 64, max_events: 16_384 }
+    }
+}
+
 /// Verbosity threshold for the job service's structured JSONL log
 /// (`[serve] log_level`). Levels are ordered: a record is written when its
 /// level is at or below the configured threshold.
@@ -441,6 +467,15 @@ pub struct ServeConfig {
     pub telemetry: bool,
     /// Structured-log verbosity for `DATA_DIR/serve.log.jsonl`.
     pub log_level: LogLevel,
+    /// Size-based log rotation threshold in bytes: when a write would push
+    /// `serve.log.jsonl` past this size it is renamed to `serve.log.jsonl.1`
+    /// (replacing any previous `.1`) and a fresh file is started. `0`
+    /// disables rotation.
+    pub log_max_bytes: u64,
+    /// Enables host-cost attribution across the service's jobs: one shared
+    /// profiler (sampling per `[hostprof]`) feeds `host.*` gauges in
+    /// `GET /metrics`.
+    pub hostprof: bool,
 }
 
 impl Default for ServeConfig {
@@ -453,6 +488,8 @@ impl Default for ServeConfig {
             drain_ms: 5_000,
             telemetry: true,
             log_level: LogLevel::Info,
+            log_max_bytes: 64 << 20,
+            hostprof: false,
         }
     }
 }
@@ -527,6 +564,10 @@ pub struct SimConfig {
     /// Checkpoint knobs; absent sections deserialize to the defaults.
     #[serde(default)]
     pub ckpt: CkptConfig,
+    /// Host-cost profiler knobs; absent sections deserialize to the
+    /// defaults.
+    #[serde(default)]
+    pub hostprof: HostProfConfig,
 }
 
 impl SimConfig {
@@ -631,6 +672,9 @@ impl SimConfig {
             return Err(SimError::InvalidConfig(
                 "ckpt.auto_quanta requires the LaxBarrier sync model".into(),
             ));
+        }
+        if self.hostprof.sample == 0 {
+            return Err(SimError::InvalidConfig("hostprof.sample must be > 0".into()));
         }
         if !self.memory.dir_shards.is_power_of_two() {
             return Err(SimError::InvalidConfig(format!(
@@ -820,6 +864,26 @@ impl SimConfigBuilder {
     /// (`[ckpt] auto_quanta`); `0` disables periodic auto-checkpointing.
     pub fn auto_ckpt_quanta(mut self, n: u64) -> Self {
         self.cfg.ckpt.auto_quanta = n;
+        self
+    }
+
+    /// Enables or disables host-cost attribution (`[hostprof] enabled`).
+    pub fn hostprof(mut self, on: bool) -> Self {
+        self.cfg.hostprof.enabled = on;
+        self
+    }
+
+    /// Sets the host-profiler sampling interval (`[hostprof] sample`):
+    /// 1-in-N outermost spans are timed. Must be > 0.
+    pub fn hostprof_sample(mut self, n: u32) -> Self {
+        self.cfg.hostprof.sample = n;
+        self
+    }
+
+    /// Caps the sampled spans retained for timeline export
+    /// (`[hostprof] max_events`).
+    pub fn hostprof_max_events(mut self, n: u32) -> Self {
+        self.cfg.hostprof.max_events = n;
         self
     }
 
@@ -1059,6 +1123,8 @@ mod tests {
         assert_eq!(s.drain_ms, 5_000);
         assert!(s.telemetry, "telemetry defaults on");
         assert_eq!(s.log_level, LogLevel::Info);
+        assert_eq!(s.log_max_bytes, 64 << 20);
+        assert!(!s.hostprof, "host profiling defaults off in the service");
         s.validate().unwrap();
         assert!(ServeConfig { workers: 0, ..s }.validate().is_err());
         assert!(ServeConfig { queue_depth: 0, ..s }.validate().is_err());
@@ -1077,6 +1143,24 @@ mod tests {
         }
         assert_eq!(LogLevel::parse("WARNING"), Some(LogLevel::Warn));
         assert_eq!(LogLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn hostprof_section_defaults_and_knobs() {
+        let cfg = SimConfig::builder().build().unwrap();
+        assert!(!cfg.hostprof.enabled, "host profiling defaults off");
+        assert_eq!(cfg.hostprof.sample, 64);
+        assert_eq!(cfg.hostprof.max_events, 16_384);
+        let cfg = SimConfig::builder()
+            .hostprof(true)
+            .hostprof_sample(8)
+            .hostprof_max_events(128)
+            .build()
+            .unwrap();
+        assert!(cfg.hostprof.enabled);
+        assert_eq!(cfg.hostprof.sample, 8);
+        assert_eq!(cfg.hostprof.max_events, 128);
+        assert!(SimConfig::builder().hostprof_sample(0).build().is_err(), "sample 0 rejected");
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub fn paper_default(tiles: u32) -> SimConfig {
         scheduler: crate::SchedulerConfig::default(),
         memory: crate::MemoryConfig::default(),
         ckpt: crate::CkptConfig::default(),
+        hostprof: crate::HostProfConfig::default(),
     }
 }
 

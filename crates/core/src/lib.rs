@@ -195,6 +195,7 @@ pub struct SimBuilder {
     workers: Option<u32>,
     ckpt_request: Option<preempt::CkptRequest>,
     auto_ckpt_dir: Option<PathBuf>,
+    hostprof: Option<Arc<graphite_base::HostProf>>,
 }
 
 impl SimBuilder {
@@ -212,7 +213,17 @@ impl SimBuilder {
             workers: None,
             ckpt_request: None,
             auto_ckpt_dir: None,
+            hostprof: None,
         }
+    }
+
+    /// Shares an externally owned host-cost profiler with this simulation
+    /// instead of the config-driven one — the serve path passes one profiler
+    /// to every job so `host.*` gauges aggregate service-wide. Overrides the
+    /// `[hostprof]` section.
+    pub fn hostprof_shared(mut self, prof: Arc<graphite_base::HostProf>) -> Self {
+        self.hostprof = Some(prof);
+        self
     }
 
     /// Attaches an external checkpoint-request handle: any host thread may
@@ -357,7 +368,13 @@ impl SimBuilder {
             None => None,
         };
 
-        let obs = Obs::new(n, trace);
+        let obs = Obs::new(n, trace).with_hostprof(match self.hostprof {
+            Some(shared) => shared,
+            None if cfg.hostprof.enabled => {
+                graphite_base::HostProf::new(cfg.hostprof.sample, cfg.hostprof.max_events as usize)
+            }
+            None => graphite_base::HostProf::disabled(),
+        });
         let clocks: Arc<Vec<Arc<Clock>>> =
             Arc::new((0..n).map(|_| Arc::new(Clock::new())).collect());
         let progress = Arc::new(GlobalProgress::new(cfg.progress_window as usize));

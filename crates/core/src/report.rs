@@ -4,8 +4,10 @@
 use std::fmt;
 use std::time::Duration;
 
-use graphite_base::Cycles;
-use graphite_prof::{analyze_flows, chrome_trace_json, CpiStack, FlowAnalysis};
+use graphite_base::{Cycles, HostProfSnapshot};
+use graphite_prof::{
+    analyze_flows, chrome_trace_json_with_host, CpiStack, FlowAnalysis, HostProfile,
+};
 use graphite_sync::SkewSample;
 use graphite_trace::{export_jsonl, MetricsSnapshot, TraceEvent};
 
@@ -245,6 +247,11 @@ pub struct SimReport {
     /// it back through [`crate::SimBuilder::replay`]. `None` when replay was
     /// off.
     pub replay_log: Option<Vec<u8>>,
+    /// Sampled host-cost profile (`None` unless `[hostprof]` was enabled);
+    /// fold into tables with [`SimReport::host_profile`]. Its per-stage
+    /// aggregates are also mirrored into `host.*` gauges in
+    /// [`SimReport::metrics`].
+    pub host: Option<HostProfSnapshot>,
 }
 
 impl SimReport {
@@ -279,13 +286,22 @@ impl SimReport {
     /// (cross-process hops included — the merged timeline is one
     /// simulation), and per-tile ring-drop counts as metadata.
     pub fn perfetto_json(&self) -> String {
-        chrome_trace_json(
+        chrome_trace_json_with_host(
             &self.trace_events,
             &self.skew_samples,
             &self.metrics,
             self.num_tiles as usize,
             &self.trace_dropped,
+            self.host.as_ref(),
         )
+    }
+
+    /// The host-cost attribution profile: per-stage ns/op tables, worker
+    /// utilization, and lock-contention rankings folded from
+    /// [`SimReport::host`]. `None` unless the run enabled `[hostprof]`.
+    pub fn host_profile(&self) -> Option<HostProfile> {
+        let workers = self.metrics.counters.get("host.sched.workers").copied().unwrap_or(1);
+        self.host.as_ref().and_then(|h| HostProfile::from_snapshot(h, workers))
     }
 
     /// Reassembles the causal flow spans in [`SimReport::trace_events`]
@@ -417,6 +433,29 @@ pub(crate) fn build_report(inner: &SimInner) -> SimReport {
     drop_total.take();
     drop_total.add(trace_dropped.iter().sum());
 
+    // Host-cost profile: snapshot the sampled timers and mirror the
+    // per-stage aggregates into `host.*` gauges so metrics.json (and the
+    // serve exposition built from it) carries the same numbers as the
+    // typed snapshot.
+    let host = if inner.obs.hostprof.is_enabled() {
+        let h = inner.obs.hostprof.snapshot();
+        let g = |name: &str, v: u64| inner.obs.metrics.gauge(name).set(v);
+        g("host.wall_ns", h.wall_ns);
+        g("host.sample", h.sample as u64);
+        g("host.events_dropped", h.dropped_events);
+        g("host.sched.workers", inner.sched.workers() as u64);
+        for s in h.stages.iter().filter(|s| s.count > 0) {
+            g(&format!("host.{}.count", s.stage.name()), s.count);
+            g(&format!("host.{}.timed", s.stage.name()), s.timed);
+            g(&format!("host.{}.self_ns", s.stage.name()), s.self_ns);
+            g(&format!("host.{}.total_ns", s.stage.name()), s.total_ns);
+            g(&format!("host.{}.est_self_ns", s.stage.name()), s.est_self_ns() as u64);
+        }
+        Some(h)
+    } else {
+        None
+    };
+
     let snap = inner.obs.metrics.snapshot();
     let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
     let lanes =
@@ -521,6 +560,7 @@ pub(crate) fn build_report(inner: &SimInner) -> SimReport {
         skew_samples: Vec::new(),
         replay_log: (inner.replay.mode() != graphite_ckpt::ReplayMode::Off)
             .then(|| inner.replay.save_bytes()),
+        host,
         metrics: snap,
     }
 }

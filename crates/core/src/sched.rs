@@ -39,7 +39,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use graphite_base::{Blocker, TileId};
+use graphite_base::{Blocker, HostProf, HostStage, TileId};
 use graphite_trace::{MetricsRegistry, Obs, ShardedMetric};
 use parking_lot::{Condvar, Mutex};
 
@@ -133,6 +133,11 @@ pub struct GuestScheduler {
     /// [`Self::carrier_exited`].
     live_carriers: AtomicU64,
     stats: SchedStats,
+    /// Host-cost profiler (`host.sched.*` stages). Disabled by default.
+    prof: Arc<HostProf>,
+    /// Per-context slot-occupancy start (ns since the profiler epoch, 0 =
+    /// not holding a slot); feeds the `sched.slot_run` busy accounting.
+    run_start: Vec<AtomicU64>,
 }
 
 impl std::fmt::Debug for GuestScheduler {
@@ -169,7 +174,28 @@ impl GuestScheduler {
             starts: (0..tiles).map(|_| Mutex::new(None)).collect(),
             live_carriers: AtomicU64::new(0),
             stats: SchedStats::registered(&obs.metrics),
+            prof: Arc::clone(&obs.hostprof),
+            run_start: (0..tiles).map(|_| AtomicU64::new(0)).collect(),
         })
+    }
+
+    /// Stamps `tile` as holding a slot from now (host profiling only).
+    #[inline]
+    fn note_slot_acquired(&self, tile: TileId) {
+        if self.prof.is_enabled() {
+            self.run_start[tile.index()].store(self.prof.now_ns(), Ordering::Relaxed);
+        }
+    }
+
+    /// Closes `tile`'s slot-occupancy interval into `sched.slot_run`.
+    #[inline]
+    fn note_slot_released(&self, tile: TileId) {
+        if self.prof.is_enabled() {
+            let start = self.run_start[tile.index()].swap(0, Ordering::Relaxed);
+            if start != 0 {
+                self.prof.record(HostStage::SchedSlotRun, start, self.prof.now_ns());
+            }
+        }
     }
 
     /// The effective slot count for a `[scheduler] workers` setting:
@@ -207,6 +233,8 @@ impl GuestScheduler {
             if s.free > 0 {
                 s.free -= 1;
                 drop(s);
+                self.note_slot_acquired(tile);
+                let _sp = self.prof.span(HostStage::SchedSpawn);
                 start();
                 return;
             }
@@ -239,6 +267,8 @@ impl GuestScheduler {
             let mut s = self.state.lock();
             if s.free > 0 {
                 s.free -= 1;
+                drop(s);
+                self.note_slot_acquired(tile);
                 return;
             }
             s.runqs[me as usize % self.workers].push_back(me);
@@ -246,24 +276,31 @@ impl GuestScheduler {
             self.stats.parks.incr_owned(tile.index());
             self.stats.runq_depth.add_owned(tile.index(), s.queued as u64);
         }
-        let p = &self.parkers[tile.index()];
-        let mut t = p.lock.lock();
-        while !t.slot {
-            p.cv.wait(&mut t);
+        {
+            let _w = self.prof.span(HostStage::SchedSlotWait);
+            let p = &self.parkers[tile.index()];
+            let mut t = p.lock.lock();
+            while !t.slot {
+                p.cv.wait(&mut t);
+            }
+            t.slot = false;
         }
-        t.slot = false;
+        self.note_slot_acquired(tile);
     }
 
     /// Releases `tile`'s execution slot, handing it directly to a queued
     /// context if any: the departing context's own worker lane first, then a
     /// steal scan over the other lanes.
     pub fn detach(&self, tile: TileId) {
+        self.note_slot_released(tile);
+        let _h = self.prof.span(HostStage::SchedHandoff);
         let next = {
             let mut s = self.state.lock();
             let lane = tile.0 as usize % self.workers;
             let mut stolen = false;
             let mut next = s.runqs[lane].pop_front();
             if next.is_none() {
+                let _st = self.prof.span(HostStage::SchedSteal);
                 for off in 1..self.workers {
                     if let Some(t) = s.runqs[(lane + off) % self.workers].pop_front() {
                         next = Some(t);
@@ -293,6 +330,8 @@ impl GuestScheduler {
             // slot token for the parked thread.
             let start = self.starts[t as usize].lock().take();
             if let Some(start) = start {
+                self.note_slot_acquired(TileId(t));
+                let _sp = self.prof.span(HostStage::SchedSpawn);
                 start();
                 return;
             }
@@ -339,27 +378,34 @@ impl Blocker for GuestScheduler {
 
     fn park(&self, tile: TileId) {
         self.detach(tile);
-        let p = &self.parkers[tile.index()];
-        let mut t = p.lock.lock();
-        if t.unpark {
-            // Banked unpark (release beat us here): reacquire normally.
+        {
+            let _w = self.prof.span(HostStage::SchedPark);
+            let p = &self.parkers[tile.index()];
+            let mut t = p.lock.lock();
+            if t.unpark {
+                // Banked unpark (release beat us here): reacquire normally.
+                t.unpark = false;
+                drop(t);
+                drop(_w);
+                self.attach(tile);
+                return;
+            }
+            // Advertise the fused path: the unparker re-queues this context
+            // for a slot itself, so this thread sleeps through the release
+            // and wakes exactly once — when both the unpark and a slot token
+            // are in.
+            t.slot_parked = true;
+            while !(t.unpark && t.slot) {
+                p.cv.wait(&mut t);
+            }
             t.unpark = false;
-            drop(t);
-            self.attach(tile);
-            return;
+            t.slot = false;
         }
-        // Advertise the fused path: the unparker re-queues this context for
-        // a slot itself, so this thread sleeps through the release and wakes
-        // exactly once — when both the unpark and a slot token are in.
-        t.slot_parked = true;
-        while !(t.unpark && t.slot) {
-            p.cv.wait(&mut t);
-        }
-        t.unpark = false;
-        t.slot = false;
+        self.note_slot_acquired(tile);
     }
 
     fn unpark(&self, tile: TileId) {
+        let _u = self.prof.span(HostStage::SchedUnpark);
         let p = &self.parkers[tile.index()];
         let mut t = p.lock.lock();
         t.unpark = true;

@@ -47,7 +47,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use graphite_base::{Cycles, FxBuildHasher, SeqCount, SimError, SimRng, TileId};
+use graphite_base::{
+    Cycles, FxBuildHasher, HostProf, HostStage, SeqCount, SimError, SimRng, TileId,
+};
 use graphite_ckpt::{corrupted, Checkpointable, Dec, Enc};
 use graphite_config::{CacheProtocol, CoherenceScheme, SimConfig};
 use graphite_network::{Network, Packet, TrafficClass};
@@ -524,6 +526,9 @@ pub struct MemorySystem {
     /// snapshot time).
     latency_hist: ShardedHistogram,
     tracer: Arc<Tracer>,
+    /// Host-cost profiler (`host.mem.*` stages). Disabled by default: every
+    /// instrumentation point on the miss path is then one atomic load.
+    hostprof: Arc<HostProf>,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -622,6 +627,7 @@ impl MemorySystem {
             proc_of_tile: (0..cfg.target.num_tiles).map(|t| cfg.process_of_tile(t)).collect(),
             latency_hist: obs.metrics.sharded_histogram("mem.latency_cycles"),
             tracer: Arc::clone(&obs.tracer),
+            hostprof: Arc::clone(&obs.hostprof),
         }
     }
 
@@ -656,6 +662,13 @@ impl MemorySystem {
         } else {
             &self.dram[0]
         }
+    }
+
+    /// One modeled DRAM access at `home`'s controller, attributed to the
+    /// `host.mem.dram` stage.
+    fn dram_access(&self, home: TileId, est_now: Cycles) -> Cycles {
+        let _hp = self.hostprof.span(HostStage::DramModel);
+        self.controller_of(home).access(est_now, self.line_size)
     }
 
     fn shard_index(&self, line: u64) -> usize {
@@ -699,6 +712,7 @@ impl MemorySystem {
         if shard.pending_count.load(Ordering::Acquire) == 0 {
             return;
         }
+        let _hp = self.hostprof.span(HostStage::BatchDrain);
         let reqs: Vec<PendingDirReq> = {
             let mut pending = shard.pending.lock();
             let n = pending.len().min(self.dir_batch as usize);
@@ -719,10 +733,14 @@ impl MemorySystem {
     /// under contention. The caller must already hold per-line exclusivity
     /// (an MSHR entry, or system quiescence) before mutating the entry.
     fn dir_entry_batched(&self, line: u64, lane: usize) -> *mut DirEntry {
+        let _hp = self.hostprof.span(HostStage::DirLookup);
         let shard = self.shard_of(line);
         if self.dir_batch == 0 {
             // Combining disabled: plain blocking acquisition.
-            let mut map = shard.map.lock();
+            let mut map = {
+                let _l = self.hostprof.span(HostStage::DirLockWait);
+                shard.map.lock()
+            };
             return Self::entry_ptr(&mut map, line, self.num_tiles, self.line_size);
         }
         if let Some(mut map) = shard.map.try_lock() {
@@ -733,7 +751,9 @@ impl MemorySystem {
         }
         // Contended: queue the request; whoever holds the lock serves it.
         // We may not return while the slot is unfilled — the holder owns a
-        // raw pointer to it.
+        // raw pointer to it. The wait (spin + possible self-service) counts
+        // as directory lock-wait time.
+        let _l = self.hostprof.span(HostStage::DirLockWait);
         let slot = AtomicPtr::new(std::ptr::null_mut());
         {
             let mut pending = shard.pending.lock();
@@ -792,6 +812,7 @@ impl MemorySystem {
 
     /// Like [`MemorySystem::route`], attributing the leg to a causal flow.
     fn route_flow(&self, src: TileId, dst: TileId, bytes: u32, t: Cycles, flow: u64) -> Cycles {
+        let _hp = self.hostprof.span(HostStage::NetModel);
         self.network
             .route_flow(
                 TrafficClass::Memory,
@@ -812,6 +833,7 @@ impl MemorySystem {
         t: Cycles,
         flow: u64,
     ) -> Cycles {
+        let _hp = self.hostprof.span(HostStage::NetModel);
         self.network
             .route_unobserved_flow(
                 TrafficClass::Memory,
@@ -912,7 +934,10 @@ impl MemorySystem {
     pub fn ifetch(&self, tile: TileId, now: Cycles, addr: Addr) -> Cycles {
         let lane = tile.index();
         self.stats.ifetches.incr_owned(lane);
-        let mut tm = self.tiles[lane].lock();
+        let mut tm = {
+            let _l = self.hostprof.span(HostStage::TileLockWait);
+            self.tiles[lane].lock()
+        };
         let Some(l1i) = tm.l1i.as_mut() else {
             return Cycles(1);
         };
@@ -992,7 +1017,11 @@ impl MemorySystem {
         // Hits emit their start/done pair under one tracer-lane acquisition;
         // misses keep separate endpoint events so directory legs traced
         // during the transaction land between them.
-        let cost = match self.try_local_hit(tile, line, off, &mut op) {
+        let probed = {
+            let _hp = self.hostprof.span(HostStage::LocalProbe);
+            self.try_local_hit(tile, line, off, &mut op)
+        };
+        let cost = match probed {
             Some(lat) => {
                 if tracing {
                     self.tracer.emit_pair(tile, now, || {
@@ -1056,7 +1085,10 @@ impl MemorySystem {
         let lane = tile.index();
         let is_write = op.is_write();
         let seq = &self.tile_seq[lane];
-        let mut guard = self.tiles[lane].lock();
+        let mut guard = {
+            let _l = self.hostprof.span(HostStage::TileLockWait);
+            self.tiles[lane].lock()
+        };
         let TileMem { l1d, l2, pool, .. } = &mut *guard;
         if let (Some(l1d), Some(l2)) = (l1d.as_mut(), l2.as_mut()) {
             let l1_lat = l1d.access_latency();
@@ -1186,6 +1218,7 @@ impl MemorySystem {
         off: usize,
         op: &mut LineOp,
     ) -> (Cycles, Cycles) {
+        let _miss = self.hostprof.span(HostStage::MissTotal);
         let lane = tile.index();
         let mut first_attempt = true;
         loop {
@@ -1193,7 +1226,11 @@ impl MemorySystem {
                 // We waited out someone else's transaction on this line (or
                 // lost a race and released); their fill usually turned our
                 // miss into a local hit.
-                if let Some(lat) = self.try_local_hit(tile, line, off, op) {
+                let retry_hit = {
+                    let _hp = self.hostprof.span(HostStage::LocalProbe);
+                    self.try_local_hit(tile, line, off, op)
+                };
+                if let Some(lat) = retry_hit {
                     return (lat, Cycles::ZERO);
                 }
             }
@@ -1203,20 +1240,30 @@ impl MemorySystem {
             // registration — holding two in-flight entries at once could
             // deadlock (tile A fills X evicting Y while tile B fills Y
             // evicting X).
-            loop {
-                let victim = {
-                    let mut tm = self.tiles[lane].lock();
-                    tm.coh().pending_victim(line).map(|l| l.line)
-                };
-                match victim {
-                    None => break,
-                    Some(vline) => self.evict_line(tile, now, vline),
+            {
+                let _hp = self.hostprof.span(HostStage::LruScan);
+                loop {
+                    let victim = {
+                        let mut tm = {
+                            let _l = self.hostprof.span(HostStage::TileLockWait);
+                            self.tiles[lane].lock()
+                        };
+                        tm.coh().pending_victim(line).map(|l| l.line)
+                    };
+                    match victim {
+                        None => break,
+                        Some(vline) => self.evict_line(tile, now, vline),
+                    }
                 }
             }
             // Phase 2: register the miss. A secondary miss on a line already
             // in flight blocks here (without inserting) and retries; the
             // retry's local probe coalesces it onto the finished fill.
-            let guard = match self.mshr.try_acquire_or_wait(line, tile) {
+            let acquired = {
+                let _hp = self.hostprof.span(HostStage::MshrProbe);
+                self.mshr.try_acquire_or_wait(line, tile)
+            };
+            let guard = match acquired {
                 Ok(g) => g,
                 Err(MshrWait::SameTile) if self.mshr_entries > 0 => {
                     self.stats.mshr_coalesced.incr_owned(lane);
@@ -1242,10 +1289,15 @@ impl MemorySystem {
                 DirState::Uncached => false,
             };
             // A sibling fill may also have consumed the way Phase 1 freed.
+            // Staging the fill buffer is part of the fill's host cost.
             let fill_buf = if already_ours {
                 None
             } else {
-                let mut tm = self.tiles[lane].lock();
+                let _hp = self.hostprof.span(HostStage::MissFill);
+                let mut tm = {
+                    let _l = self.hostprof.span(HostStage::TileLockWait);
+                    self.tiles[lane].lock()
+                };
                 if tm.coh().pending_victim(line).is_some() {
                     None
                 } else {
@@ -1256,8 +1308,15 @@ impl MemorySystem {
                 drop(guard);
                 continue;
             };
-            let result = self.run_directory_transaction(tile, now, line, off, op, entry, fill_buf);
-            drop(guard);
+            let result = {
+                let _hp = self.hostprof.span(HostStage::DirTxn);
+                self.run_directory_transaction(tile, now, line, off, op, entry, fill_buf)
+            };
+            {
+                // Releasing the entry wakes coalesced waiters — MSHR work.
+                let _hp = self.hostprof.span(HostStage::MshrProbe);
+                drop(guard);
+            }
             return result;
         }
     }
@@ -1339,7 +1398,7 @@ impl MemorySystem {
 
         match (entry.state, is_write) {
             (DirState::Uncached, _) => {
-                let dram_lat = self.controller_of(home).access(est_now, self.line_size);
+                let dram_lat = self.dram_access(home, est_now);
                 self.stats.dram_reads.incr_owned(tile.index());
                 data_ready = t_home + dram_lat;
                 fill_src = Some(FillSrc::Home);
@@ -1395,7 +1454,7 @@ impl MemorySystem {
                         data_ready = data_ready.max(t_ack);
                     }
                 }
-                let dram_lat = self.controller_of(home).access(est_now, self.line_size);
+                let dram_lat = self.dram_access(home, est_now);
                 self.stats.dram_reads.incr_owned(tile.index());
                 data_ready = data_ready.max(t_home + dram_lat);
                 fill_src = Some(FillSrc::Home);
@@ -1437,7 +1496,7 @@ impl MemorySystem {
                     resp_bytes = CTRL_MSG_BYTES;
                     data_ready = t_inv_done;
                 } else {
-                    let dram_lat = self.controller_of(home).access(est_now, self.line_size);
+                    let dram_lat = self.dram_access(home, est_now);
                     self.stats.dram_reads.incr_owned(tile.index());
                     data_ready = t_inv_done.max(t_home + dram_lat);
                     fill_src = Some(FillSrc::Home);
@@ -1491,7 +1550,7 @@ impl MemorySystem {
                     entry.data.copy_from_slice(&fill_buf);
                     // Home memory is updated in parallel with the response;
                     // the write occupies the controller off the critical path.
-                    let _ = self.controller_of(home).access(est_now, self.line_size);
+                    let _ = self.dram_access(home, est_now);
                 }
                 let t_fwd = self.route_derived_flow(home, owner, CTRL_MSG_BYTES, t_home, flow);
                 let xfer = if was_dirty { self.line_size + DATA_HDR_BYTES } else { CTRL_MSG_BYTES };
@@ -1525,7 +1584,11 @@ impl MemorySystem {
         // Response travels home -> tile; fill and apply the operation.
         let t_resp = self.route_derived_flow(home, tile, resp_bytes, data_ready, flow);
         {
-            let mut tm = self.tiles[tile.index()].lock();
+            let _fill = self.hostprof.span(HostStage::MissFill);
+            let mut tm = {
+                let _l = self.hostprof.span(HostStage::TileLockWait);
+                self.tiles[tile.index()].lock()
+            };
             let seq = &self.tile_seq[tile.index()];
             if counted_upgrade {
                 // Permission upgrade: set Modified at every level.
@@ -1625,6 +1688,7 @@ impl MemorySystem {
     }
 
     fn lock_tile(&self, t: TileId) -> MutexGuard<'_, TileMem> {
+        let _hp = self.hostprof.span(HostStage::TileLockWait);
         self.tiles[t.index()].lock()
     }
 
@@ -1634,9 +1698,15 @@ impl MemorySystem {
     /// duration via an MSHR service entry.
     fn evict_line(&self, tile: TileId, now: Cycles, vline: u64) {
         let lane = tile.index();
-        let guard = self.mshr.acquire_service(vline);
+        let guard = {
+            let _hp = self.hostprof.span(HostStage::MshrProbe);
+            self.mshr.acquire_service(vline)
+        };
         let (state, data) = {
-            let mut tm = self.tiles[lane].lock();
+            let mut tm = {
+                let _l = self.hostprof.span(HostStage::TileLockWait);
+                self.tiles[lane].lock()
+            };
             let seq = &self.tile_seq[lane];
             seq.begin_write();
             let purged = tm.purge(vline);
@@ -1668,7 +1738,7 @@ impl MemorySystem {
                 // and the controller queue.
                 let _ = self.route(tile, home, self.line_size + DATA_HDR_BYTES, now);
                 let est = self.network.progress().estimate();
-                let _ = self.controller_of(home).access(est, self.line_size);
+                let _ = self.dram_access(home, est);
                 Some(d)
             }
             LineState::Exclusive => {
@@ -1690,7 +1760,7 @@ impl MemorySystem {
         };
         debug_assert!(entry.invariants_hold());
         if let Some(d) = leftover {
-            self.tiles[lane].lock().recycle(d);
+            self.lock_tile(tile).recycle(d);
         }
         drop(guard);
     }

@@ -20,6 +20,10 @@
 //!   into per-flow trees and decomposes each remote memory access into
 //!   queue / link / directory-service / reply segments that sum exactly to
 //!   the access's modeled latency.
+//! * [`hostprof`] — host-cost attribution: folds a sampled
+//!   [`graphite_base::HostProfSnapshot`] into per-stage ns/op tables,
+//!   worker-pool utilization, and lock-contention rankings, answering where
+//!   the *host's* wall time went while the simulation produced its cycles.
 //!
 //! Cycle attribution lives in the simulator's chokepoints (the guest-thread
 //! context and the memory system), which charge the [`CpiStack`] as they
@@ -28,8 +32,12 @@
 
 pub mod cpi;
 pub mod flow;
+pub mod hostprof;
 pub mod perfetto;
 
 pub use cpi::{CpiClass, CpiStack};
 pub use flow::{analyze_flows, Flow, FlowAnalysis, FlowSegments};
-pub use perfetto::{chrome_trace_json, validate_chrome_trace, ChromeTraceSummary};
+pub use hostprof::{HostProfile, HostStageRow, WorkerUtilization};
+pub use perfetto::{
+    chrome_trace_json, chrome_trace_json_with_host, validate_chrome_trace, ChromeTraceSummary,
+};

@@ -29,6 +29,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
+use graphite_base::HostProfSnapshot;
 use graphite_sync::SkewSample;
 use graphite_trace::json;
 use graphite_trace::{MetricsSnapshot, TraceEvent, TraceEventKind};
@@ -49,6 +50,24 @@ pub fn chrome_trace_json(
     snapshot: &MetricsSnapshot,
     num_tiles: usize,
     dropped: &[u64],
+) -> String {
+    chrome_trace_json_with_host(events, skew, snapshot, num_tiles, dropped, None)
+}
+
+/// Like [`chrome_trace_json`], additionally rendering a sampled host-cost
+/// profile as a second process (`pid` 1, `graphite-host`): one thread track
+/// per registered host thread (carrier workers, the driver), and each
+/// sampled span as a complete event whose timestamp/duration are real
+/// nanoseconds written into the microsecond field — the simulated-time
+/// (`pid` 0) and host-time (`pid` 1) axes are different units and are kept
+/// in separate processes for that reason.
+pub fn chrome_trace_json_with_host(
+    events: &[TraceEvent],
+    skew: &[SkewSample],
+    snapshot: &MetricsSnapshot,
+    num_tiles: usize,
+    dropped: &[u64],
+    host: Option<&HostProfSnapshot>,
 ) -> String {
     let mut out = String::with_capacity(256 + events.len() * 160);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
@@ -200,6 +219,52 @@ pub fn chrome_trace_json(
                     "{{\"ph\":\"C\",\"pid\":0,\"tid\":{tile},\"ts\":{total},\
                      \"name\":{},\"args\":{args}}}",
                     json::quote(&format!("cpi.tile{tile}"))
+                ),
+            );
+        }
+    }
+
+    // Host-cost tracks: real time on a separate process so the cycle axis
+    // of pid 0 is never mixed with nanoseconds.
+    if let Some(h) = host.filter(|h| h.enabled && !h.events.is_empty()) {
+        push(
+            &mut out,
+            "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"graphite-host\"}}",
+        );
+        for (i, name) in h.threads.iter().enumerate() {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{i},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":{}}}}}",
+                    json::quote(name)
+                ),
+            );
+        }
+        if h.dropped_events > 0 {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"host_events_dropped\",\
+                     \"args\":{{\"dropped\":{}}}}}",
+                    h.dropped_events
+                ),
+            );
+        }
+        for ev in &h.events {
+            // Nanoseconds into the microsecond field with fractional part,
+            // so sub-microsecond spans keep their width.
+            let ts = ev.start_ns as f64 / 1000.0;
+            let dur = ev.dur_ns as f64 / 1000.0;
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{ts:.3},\
+                     \"dur\":{dur:.3},\"name\":{},\"args\":{{\"sample\":{}}}}}",
+                    ev.tid,
+                    json::quote(&format!("host:{}", ev.stage.name())),
+                    h.sample
                 ),
             );
         }

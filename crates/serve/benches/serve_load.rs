@@ -125,6 +125,8 @@ fn boot(
         drain_ms: 10_000,
         telemetry,
         log_level: graphite_config::LogLevel::Error,
+        log_max_bytes: 0,
+        hostprof: false,
     };
     let svc = Service::start(cfg, &data_dir).expect("start service");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");

@@ -6,10 +6,16 @@
 //! The `[serve] log_level` knob sets the verbosity threshold; `warn` and
 //! `error` records are additionally echoed to stderr so an operator watching
 //! the terminal still sees trouble without tailing the log file.
+//!
+//! The sink rotates by size: when a record would push the file past
+//! `[serve] log_max_bytes`, the current file is renamed to `<path>.1`
+//! (replacing any previous `.1`) and a fresh file is started — one
+//! generation of history, bounded total footprint, no external logrotate
+//! dependency. `log_max_bytes = 0` disables rotation.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use graphite_config::LogLevel;
@@ -17,30 +23,60 @@ use parking_lot::Mutex;
 
 use crate::json::Json;
 
+/// The open sink plus what rotation needs: the path (to rename and reopen)
+/// and a running byte count (so the size check costs no `metadata` call).
+#[derive(Debug)]
+struct Sink {
+    file: File,
+    path: PathBuf,
+    written: u64,
+}
+
 /// The service logger. Cheap to share behind the service's `Arc`; writes are
 /// serialized by an internal mutex so concurrent connection threads never
 /// interleave partial lines.
 #[derive(Debug)]
 pub struct Logger {
     level: LogLevel,
-    sink: Option<Mutex<File>>,
+    max_bytes: u64,
+    sink: Option<Mutex<Sink>>,
 }
 
 impl Logger {
-    /// Opens (appending) the JSONL sink at `path` with the given threshold.
+    /// Opens (appending) the JSONL sink at `path` with the given threshold
+    /// and no size-based rotation.
     ///
     /// # Errors
     ///
     /// I/O errors creating or opening the file.
     pub fn to_file(path: &Path, level: LogLevel) -> std::io::Result<Logger> {
+        Self::to_file_rotating(path, level, 0)
+    }
+
+    /// Like [`Logger::to_file`], rotating the sink to `<path>.1` whenever a
+    /// record would push it past `max_bytes` (0 = never rotate).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or opening the file.
+    pub fn to_file_rotating(
+        path: &Path,
+        level: LogLevel,
+        max_bytes: u64,
+    ) -> std::io::Result<Logger> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Logger { level, sink: Some(Mutex::new(file)) })
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(Logger {
+            level,
+            max_bytes,
+            sink: Some(Mutex::new(Sink { file, path: path.to_owned(), written })),
+        })
     }
 
     /// A logger with no sink: records are dropped (warn/error still echo to
     /// stderr). Used by unit tests and the bench harness.
     pub fn disabled() -> Logger {
-        Logger { level: LogLevel::Error, sink: None }
+        Logger { level: LogLevel::Error, max_bytes: 0, sink: None }
     }
 
     /// The configured verbosity threshold.
@@ -72,7 +108,35 @@ impl Logger {
             eprintln!("[serve] {line}");
         }
         if let Some(sink) = &self.sink {
-            let _ = writeln!(sink.lock(), "{line}");
+            let mut s = sink.lock();
+            let record_len = line.len() as u64 + 1;
+            if self.max_bytes > 0 && s.written > 0 && s.written + record_len > self.max_bytes {
+                self.rotate(&mut s);
+            }
+            if writeln!(s.file, "{line}").is_ok() {
+                s.written += record_len;
+            }
+        }
+    }
+
+    /// Renames the current file to `<path>.1` (replacing any previous
+    /// generation) and starts a fresh one. On any failure the current sink is
+    /// kept — losing rotation is better than losing the log.
+    fn rotate(&self, s: &mut Sink) {
+        let mut old = s.path.clone().into_os_string();
+        old.push(".1");
+        if std::fs::rename(&s.path, &old).is_err() {
+            return;
+        }
+        match OpenOptions::new().create(true).append(true).open(&s.path) {
+            Ok(f) => {
+                s.file = f;
+                s.written = 0;
+            }
+            Err(_) => {
+                // Roll back so records keep landing somewhere.
+                let _ = std::fs::rename(&old, &s.path);
+            }
         }
     }
 
@@ -130,5 +194,66 @@ mod tests {
         assert!(!log.enabled(LogLevel::Info));
         assert!(log.enabled(LogLevel::Error));
         log.info("nope", &[]); // must not panic with no sink
+    }
+
+    #[test]
+    fn rotates_to_dot_one_at_the_size_limit() {
+        let dir = std::env::temp_dir().join("graphite-serve-log-rotate");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.log.jsonl");
+        let rotated = dir.join("serve.log.jsonl.1");
+        // ~100-byte records against a 256-byte cap: every few records roll
+        // the file over.
+        let log = Logger::to_file_rotating(&path, LogLevel::Info, 256).unwrap();
+        for i in 0..20u64 {
+            log.info("tick", &[("seq", i.into()), ("pad", "xxxxxxxxxxxxxxxxxxxxxxxx".into())]);
+        }
+        assert!(rotated.exists(), "rotation produced a .1 generation");
+        assert!(std::fs::metadata(&path).unwrap().len() <= 256, "live file within the cap");
+        assert!(std::fs::metadata(&rotated).unwrap().len() <= 256, "old generation within cap");
+        // Every line in both generations is intact JSON (no torn records),
+        // and the newest record is in the live file.
+        let live = std::fs::read_to_string(&path).unwrap();
+        let old = std::fs::read_to_string(&rotated).unwrap();
+        for line in live.lines().chain(old.lines()) {
+            Json::parse(line).unwrap();
+        }
+        assert!(live.lines().any(|l| l.contains("\"seq\":19")), "{live}");
+    }
+
+    #[test]
+    fn reopened_log_counts_existing_bytes_toward_the_cap() {
+        let dir = std::env::temp_dir().join("graphite-serve-log-reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.log.jsonl");
+        {
+            let log = Logger::to_file_rotating(&path, LogLevel::Info, 200).unwrap();
+            log.info("first", &[("pad", "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".into())]);
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        assert!(before > 0);
+        // A fresh Logger on the same path inherits the size and rotates when
+        // the cap is crossed — restarts do not reset the budget.
+        let log = Logger::to_file_rotating(&path, LogLevel::Info, 200).unwrap();
+        for _ in 0..3 {
+            log.info("more", &[("pad", "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb".into())]);
+        }
+        assert!(dir.join("serve.log.jsonl.1").exists());
+    }
+
+    #[test]
+    fn zero_max_bytes_never_rotates() {
+        let dir = std::env::temp_dir().join("graphite-serve-log-norotate");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.log.jsonl");
+        let log = Logger::to_file_rotating(&path, LogLevel::Info, 0).unwrap();
+        for i in 0..50u64 {
+            log.info("tick", &[("seq", i.into())]);
+        }
+        assert!(!dir.join("serve.log.jsonl.1").exists());
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 50);
     }
 }

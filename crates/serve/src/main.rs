@@ -3,7 +3,8 @@
 //! ```text
 //! graphite-serve [--addr 127.0.0.1:8080] [--data-dir DIR]
 //!                [--workers N] [--quantum-ms MS] [--queue-depth N]
-//!                [--drain-ms MS] [--log-level LEVEL] [--no-telemetry]
+//!                [--drain-ms MS] [--log-level LEVEL] [--log-max-bytes N]
+//!                [--no-telemetry] [--hostprof]
 //! ```
 //!
 //! SIGINT/SIGTERM trigger a graceful drain: running jobs are checkpointed at
@@ -41,7 +42,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: graphite-serve [--addr HOST:PORT] [--data-dir DIR] [--workers N] \
          [--quantum-ms MS] [--queue-depth N] [--drain-ms MS] \
-         [--log-level error|warn|info|debug] [--no-telemetry]"
+         [--log-level error|warn|info|debug] [--log-max-bytes N] \
+         [--no-telemetry] [--hostprof]"
     );
     std::process::exit(2)
 }
@@ -69,7 +71,11 @@ fn main() {
             "--log-level" => {
                 cfg.log_level = LogLevel::parse(&value("--log-level")).unwrap_or_else(|| usage());
             }
+            "--log-max-bytes" => {
+                cfg.log_max_bytes = value("--log-max-bytes").parse().unwrap_or_else(|_| usage());
+            }
             "--no-telemetry" => cfg.telemetry = false,
+            "--hostprof" => cfg.hostprof = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");

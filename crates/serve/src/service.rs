@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graphite::{CkptRequest, SimReport};
+use graphite_base::HostProf;
 use graphite_config::ServeConfig;
 use parking_lot::{Condvar, Mutex};
 
@@ -89,6 +90,11 @@ pub struct Service {
     telemetry: Telemetry,
     /// Structured JSONL event log (`data_dir/serve.log.jsonl`).
     logger: Logger,
+    /// Shared host-cost profiler. Enabled by `[serve] hostprof`; every job
+    /// slice attaches to it, so `host.*` stage costs aggregate across the
+    /// whole service and surface on `GET /metrics`. Disabled = every
+    /// instrumentation point in the simulator is one relaxed atomic load.
+    hostprof: Arc<HostProf>,
     started: Instant,
 }
 
@@ -102,8 +108,18 @@ impl Service {
     pub fn start(cfg: ServeConfig, data_dir: impl Into<PathBuf>) -> std::io::Result<Arc<Service>> {
         let data_dir = data_dir.into();
         std::fs::create_dir_all(data_dir.join("jobs"))?;
-        let logger = Logger::to_file(&data_dir.join("serve.log.jsonl"), cfg.log_level)?;
+        let logger = Logger::to_file_rotating(
+            &data_dir.join("serve.log.jsonl"),
+            cfg.log_level,
+            cfg.log_max_bytes,
+        )?;
         let telemetry = Telemetry::new(cfg.telemetry);
+        let hostprof = if cfg.hostprof {
+            let hp = graphite_config::HostProfConfig::default();
+            HostProf::new(hp.sample, hp.max_events as usize)
+        } else {
+            HostProf::disabled()
+        };
         let mut state = State {
             jobs: HashMap::new(),
             queue: FairQueue::new(cfg.queue_depth as usize),
@@ -129,6 +145,7 @@ impl Service {
             workers: Mutex::new(Vec::new()),
             telemetry,
             logger,
+            hostprof,
             started: Instant::now(),
         });
         svc.logger.info(
@@ -138,6 +155,7 @@ impl Service {
                 ("quantum_ms", cfg.quantum_ms.into()),
                 ("queue_depth", u64::from(cfg.queue_depth).into()),
                 ("telemetry", cfg.telemetry.into()),
+                ("hostprof", cfg.hostprof.into()),
             ],
         );
         if restored > 0 {
@@ -364,10 +382,16 @@ impl Service {
         }
     }
 
-    /// The `GET /metrics` Prometheus text exposition.
+    /// The `GET /metrics` Prometheus text exposition. When `[serve] hostprof`
+    /// is on, a `graphite_host_*` section follows the service metrics with
+    /// per-stage host-cost attribution aggregated over every job slice.
     pub fn metrics_text(&self) -> String {
         let live = self.live_stats();
-        self.telemetry.prometheus(&live)
+        let mut text = self.telemetry.prometheus(&live);
+        if self.hostprof.is_enabled() {
+            text.push_str(&crate::telemetry::host_prometheus(&self.hostprof.snapshot()));
+        }
+        text
     }
 
     /// The `GET /stats` document.
@@ -607,7 +631,7 @@ impl Service {
     fn run_slice(&self, d: Dispatch) {
         let Dispatch { id, tenant, spec, resume, req } = d;
         let t0 = Instant::now();
-        let (result, restore) = run_job(&spec, resume.as_deref(), &req);
+        let (result, restore) = run_job(&spec, resume.as_deref(), &req, &self.hostprof);
         let slice = t0.elapsed();
         let slice_ms = (slice.as_millis() as u64).max(1);
         if let Some(rt) = restore {
@@ -759,11 +783,15 @@ fn run_job(
     spec: &JobSpec,
     resume: Option<&Path>,
     req: &CkptRequest,
+    prof: &Arc<HostProf>,
 ) -> (Result<SimReport, String>, Option<Duration>) {
     let mut builder = match crate::workload::build_sim(spec) {
         Ok(b) => b.ckpt_request(req.clone()),
         Err(e) => return (Err(format!("config: {e}")), None),
     };
+    if prof.is_enabled() {
+        builder = builder.hostprof_shared(Arc::clone(prof));
+    }
     let resuming = resume.is_some();
     if let Some(path) = resume {
         builder = builder.resume(path);
@@ -875,6 +903,8 @@ mod tests {
             drain_ms: 10_000,
             telemetry: true,
             log_level: graphite_config::LogLevel::Debug,
+            log_max_bytes: 0,
+            hostprof: false,
         }
     }
 
@@ -1021,6 +1051,33 @@ mod tests {
         let log = std::fs::read_to_string(dir.join("serve.log.jsonl")).unwrap();
         assert!(log.lines().any(|l| l.contains("\"event\":\"job.preempt\"")), "{log}");
         assert!(log.lines().any(|l| l.contains("\"event\":\"job.terminal\"")), "{log}");
+        svc.drain();
+    }
+
+    #[test]
+    fn hostprof_service_exports_host_stage_metrics() {
+        let dir = std::env::temp_dir().join("graphite-serve-svc-hostprof");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig { hostprof: true, ..test_cfg(1, 0) };
+        let svc = Service::start(cfg, &dir).unwrap();
+        let before = svc.metrics_text();
+        assert!(before.contains("graphite_host_wall_ns"), "host section present from boot");
+        let id = svc.submit(spec("acme", 500)).unwrap();
+        assert_eq!(wait_terminal(&svc, id, Duration::from_secs(30)), JobState::Completed);
+        let text = svc.metrics_text();
+        graphite_trace::expo::validate(&text).unwrap();
+        // The slice ran through the guest scheduler, so scheduler stages must
+        // have accumulated ops in the shared profiler.
+        assert!(text.contains("graphite_host_stage_ops_total{stage=\"sched.slot_run\"}"), "{text}");
+        svc.drain();
+    }
+
+    #[test]
+    fn unprofiled_service_omits_host_section() {
+        let dir = std::env::temp_dir().join("graphite-serve-svc-nohostprof");
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = Service::start(test_cfg(1, 0), &dir).unwrap();
+        assert!(!svc.metrics_text().contains("graphite_host_"), "hostprof defaults off");
         svc.drain();
     }
 

@@ -414,6 +414,49 @@ impl Telemetry {
     }
 }
 
+/// Renders the shared host-cost profiler snapshot as a `graphite_host_*`
+/// section: one sample per active stage, labeled `stage="sched.steal"` etc.
+/// Appended to `/metrics` after the service families when `[serve] hostprof`
+/// is on — concatenation is safe because the family names are disjoint.
+pub fn host_prometheus(h: &graphite_base::HostProfSnapshot) -> String {
+    let mut doc = PromText::new();
+    doc.family("graphite_host_wall_ns", "gauge", "Wall time covered by the host profiler.");
+    doc.sample("graphite_host_wall_ns", &[], h.wall_ns);
+    doc.family("graphite_host_sample_interval", "gauge", {
+        "1-in-N sampling interval for span timing (counts are exact)."
+    });
+    doc.sample("graphite_host_sample_interval", &[], u64::from(h.sample));
+    doc.family("graphite_host_events_dropped", "gauge", {
+        "Host timeline events dropped at the ring capacity."
+    });
+    doc.sample("graphite_host_events_dropped", &[], h.dropped_events);
+    let live: Vec<_> = h.stages.iter().filter(|s| s.count > 0).collect();
+    doc.family("graphite_host_stage_ops_total", "counter", "Operations entering each host stage.");
+    for s in &live {
+        doc.sample("graphite_host_stage_ops_total", &[("stage", s.stage.name())], s.count);
+    }
+    doc.family("graphite_host_stage_timed_total", "counter", {
+        "Sampled (clock-timed) operations per host stage."
+    });
+    for s in &live {
+        doc.sample("graphite_host_stage_timed_total", &[("stage", s.stage.name())], s.timed);
+    }
+    doc.family("graphite_host_stage_self_ns_total", "counter", {
+        "Sampled self nanoseconds per host stage (children excluded)."
+    });
+    for s in &live {
+        doc.sample("graphite_host_stage_self_ns_total", &[("stage", s.stage.name())], s.self_ns);
+    }
+    doc.family("graphite_host_stage_est_self_ns", "gauge", {
+        "Estimated total self nanoseconds per host stage (sampled x interval)."
+    });
+    for s in &live {
+        let est = s.est_self_ns() as u64;
+        doc.sample("graphite_host_stage_est_self_ns", &[("stage", s.stage.name())], est);
+    }
+    doc.finish()
+}
+
 /// Summarizes a microsecond histogram as milliseconds for `/stats`.
 fn hist_summary_json(h: HistogramSnapshot) -> Json {
     let q = |p: f64| Json::from(h.quantile(p) as f64 / 1e3);
@@ -489,6 +532,59 @@ mod tests {
         assert!(t.latency_json().is_none());
         assert!(t.preempt_json().is_none());
         assert!(t.tenants_json().is_none());
+    }
+
+    #[test]
+    fn hostile_tenant_names_render_escaped_and_valid() {
+        // The HTTP layer validates tenants to [A-Za-z0-9_-], but telemetry
+        // must stay injection-safe on its own: quotes, backslashes, and
+        // newlines in a tenant name may not break the exposition or let two
+        // tenants collide into one series.
+        let t = Telemetry::new(true);
+        let evil = r#"evil"ten\ant"#;
+        let evil_nl = "two\nlines";
+        t.record_submit(evil);
+        t.record_submit(evil_nl);
+        t.record_terminal(evil, JobState::Completed, Duration::from_millis(3), {
+            Duration::from_millis(2)
+        });
+        let text = t.prometheus(&LiveStats::default());
+        expo::validate(&text).unwrap();
+        assert!(text.contains(r#"tenant="evil\"ten\\ant""#), "quote and backslash escaped: {text}");
+        assert!(text.contains(r#"tenant="two\nlines""#), "newline escaped: {text}");
+        // Distinct hostile tenants stay distinct series.
+        let submitted: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("graphite_serve_jobs_submitted_total{"))
+            .collect();
+        assert_eq!(submitted.len(), 2, "{text}");
+    }
+
+    #[test]
+    fn host_section_is_valid_and_stage_labeled() {
+        use graphite_base::{HostProf, HostStage};
+        let p = HostProf::new(1, 64);
+        p.register_thread("test");
+        {
+            let _miss = p.span(HostStage::MissTotal);
+            let _dir = p.span(HostStage::DirLookup);
+        }
+        p.record(HostStage::SchedSlotRun, 0, 500);
+        let text = host_prometheus(&p.snapshot());
+        expo::validate(&text).unwrap();
+        assert!(text.contains("graphite_host_sample_interval 1"), "{text}");
+        assert!(
+            text.contains("graphite_host_stage_ops_total{stage=\"mem.miss_total\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphite_host_stage_ops_total{stage=\"sched.slot_run\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphite_host_stage_self_ns_total{stage=\"mem.dir_lookup\""),
+            "{text}"
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@ fn cfg(workers: u32, quantum_ms: u64) -> ServeConfig {
         drain_ms: 10_000,
         telemetry: true,
         log_level: graphite_config::LogLevel::Info,
+        log_max_bytes: 0,
+        hostprof: false,
     }
 }
 

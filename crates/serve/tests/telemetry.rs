@@ -151,6 +151,8 @@ fn telemetry_surfaces_cover_a_preempted_run() {
         drain_ms: 5_000,
         telemetry: true,
         log_level: LogLevel::Debug,
+        log_max_bytes: 0,
+        hostprof: false,
     };
     let svc = Service::start(cfg, &dir).unwrap();
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();

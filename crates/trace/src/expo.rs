@@ -55,6 +55,20 @@ pub fn escape_label(v: &str) -> String {
     out
 }
 
+/// Escapes `# HELP` text: `\` → `\\`, newline → `\n` (the format's comment
+/// escaping; quotes are legal in help text and stay as-is).
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 fn label_block(labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return String::new();
@@ -90,7 +104,7 @@ impl PromText {
         if !self.typed.insert(name.to_owned()) {
             return;
         }
-        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
         let _ = writeln!(self.out, "# TYPE {name} {kind}");
     }
 
@@ -139,6 +153,16 @@ fn valid_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
+/// Label names use a narrower charset than metric names: no colon.
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
 /// One parsed sample line.
 struct Sample {
     name: String,
@@ -157,7 +181,7 @@ fn parse_labels(s: &str, line_no: usize) -> Result<Vec<(String, String)>, String
         }
         let eq = rest.find('=').ok_or_else(|| err("label without '='"))?;
         let key = rest[..eq].trim().to_owned();
-        if !valid_name(&key) {
+        if !valid_label_name(&key) {
             return Err(err(&format!("bad label name {key:?}")));
         }
         rest = rest[eq + 1..].strip_prefix('"').ok_or_else(|| err("label value not quoted"))?;
@@ -177,6 +201,11 @@ fn parse_labels(s: &str, line_no: usize) -> Result<Vec<(String, String)>, String
         };
         labels.push((key, value));
         rest = &rest[close + 1..];
+        // Only a separator (or the block end) may follow the closing quote;
+        // trailing junk means an unescaped quote ended the value early.
+        if !rest.is_empty() && !rest.starts_with(',') {
+            return Err(err("expected ',' after label value (unescaped '\"'?)"));
+        }
     }
 }
 
@@ -214,12 +243,13 @@ fn parse_sample(line: &str, line_no: usize) -> Result<Sample, String> {
 }
 
 /// Canonical key for a label set (order-independent), optionally dropping
-/// `le` so all of a histogram's bucket series group together.
+/// `le` so all of a histogram's bucket series group together. Length-prefixed
+/// so crafted values containing the separators cannot collide.
 fn label_key(labels: &[(String, String)], drop_le: bool) -> String {
     let mut pairs: Vec<&(String, String)> =
         labels.iter().filter(|(k, _)| !(drop_le && k == "le")).collect();
     pairs.sort();
-    pairs.iter().map(|(k, v)| format!("{k}={v};")).collect()
+    pairs.iter().map(|(k, v)| format!("{}:{k}={}:{v};", k.len(), v.len())).collect()
 }
 
 /// Per-(histogram family, label set) accumulation for the invariant checks.
@@ -430,5 +460,48 @@ mod tests {
         doc.family("c", "counter", "c");
         doc.sample("c", &[("t", "a\"b\\c\nd")], 1);
         validate(&doc.finish()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_unescaped_label_values() {
+        // A raw '"' inside a value ends it early and leaves junk before the
+        // next separator.
+        let bad = "# TYPE c counter\nc{t=\"a\"b\"} 1\n";
+        assert!(validate(bad).unwrap_err().contains("after label value"));
+        // A raw newline splits the sample line: the value never terminates.
+        let bad = "# TYPE c counter\nc{t=\"a\nb\"} 1\n";
+        assert!(validate(bad).is_err());
+        // A dangling backslash at end of value.
+        let bad = "# TYPE c counter\nc{t=\"a\\\"} 1\n";
+        assert!(validate(bad).is_err());
+        // Unknown escape sequences are not silently accepted.
+        let bad = "# TYPE c counter\nc{t=\"a\\t\"} 1\n";
+        assert!(validate(bad).unwrap_err().contains("bad escape"));
+    }
+
+    #[test]
+    fn validator_rejects_colons_in_label_names() {
+        // Metric names may contain ':', label names may not.
+        validate("# TYPE a:b counter\na:b 1\n").unwrap();
+        let bad = "# TYPE c counter\nc{t:x=\"a\"} 1\n";
+        assert!(validate(bad).unwrap_err().contains("bad label name"));
+    }
+
+    #[test]
+    fn crafted_label_values_do_not_collide_as_duplicates() {
+        // Same flattened text under naive "k=v;" joining, distinct label
+        // sets: must both be accepted, not flagged as duplicates.
+        let doc = "# TYPE c counter\nc{a=\"x;b=y\"} 1\nc{a=\"x\",b=\"y\"} 2\n";
+        validate(doc).unwrap();
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let mut doc = PromText::new();
+        doc.family("c", "counter", "line one\nwith \\ backslash");
+        doc.sample("c", &[], 1);
+        let text = doc.finish();
+        assert!(text.contains("# HELP c line one\\nwith \\\\ backslash"), "{text}");
+        validate(&text).unwrap();
     }
 }

@@ -40,6 +40,8 @@
 
 use std::sync::Arc;
 
+use graphite_base::HostProf;
+
 pub mod expo;
 pub mod json;
 pub mod metrics;
@@ -78,14 +80,31 @@ pub struct Obs {
     pub metrics: Arc<MetricsRegistry>,
     /// Structured event tracer for this simulation.
     pub tracer: Arc<Tracer>,
+    /// Host-side cost profiler (`host.*` namespace). Disabled by default;
+    /// instrumentation points cost one atomic load until it is enabled via
+    /// [`Obs::with_hostprof`].
+    pub hostprof: Arc<HostProf>,
 }
 
 impl Obs {
-    /// Creates an observability context for `num_tiles` tiles.
+    /// Creates an observability context for `num_tiles` tiles. Host
+    /// profiling starts disabled.
     pub fn new(num_tiles: usize, trace: TraceOptions) -> Self {
         let tracer = Tracer::new(num_tiles, trace.enabled, trace.capacity);
         tracer.set_flows(trace.flows);
-        Obs { metrics: Arc::new(MetricsRegistry::new(num_tiles)), tracer: Arc::new(tracer) }
+        Obs {
+            metrics: Arc::new(MetricsRegistry::new(num_tiles)),
+            tracer: Arc::new(tracer),
+            hostprof: HostProf::disabled(),
+        }
+    }
+
+    /// Replaces the host profiler — pass [`HostProf::new`] to turn host-cost
+    /// attribution on, or share one profiler across several sims (the serve
+    /// path aggregates all jobs into one `host.*` exposition).
+    pub fn with_hostprof(mut self, hostprof: Arc<HostProf>) -> Self {
+        self.hostprof = hostprof;
+        self
     }
 
     /// A context with tracing off — the default for subsystems constructed

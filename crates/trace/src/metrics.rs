@@ -1331,4 +1331,53 @@ mod tests {
         bad_bucket.histograms.get_mut("lat").unwrap().buckets = vec![(6, 1)];
         assert!(reg.restore(&bad_bucket).is_err());
     }
+
+    #[test]
+    fn quantile_of_empty_snapshot_is_zero() {
+        let empty = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_returns_its_bound_for_every_q() {
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.record(9); // all five land in the (7, 15] bucket
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(15, 5)]);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 15, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_clamp_to_first_and_last_samples() {
+        let h = Histogram::new();
+        h.record(1); // bucket (.., 1]
+        h.record(100); // bucket (63, 127]
+        h.record(5000); // bucket (4095, 8191]
+        let snap = h.snapshot();
+        // q=0 clamps the rank to the first sample, not "before" it.
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(-3.0), 1, "q is clamped into [0, 1]");
+        // q=1 is the maximum sample's bucket.
+        assert_eq!(snap.quantile(1.0), 8191);
+        assert_eq!(snap.quantile(7.0), 8191, "q is clamped into [0, 1]");
+        // Interior quantile: rank ceil(0.5*3)=2 → the middle bucket.
+        assert_eq!(snap.quantile(0.5), 127);
+    }
+
+    #[test]
+    fn quantile_reaches_the_open_top_bucket() {
+        let h = Histogram::new();
+        h.record(2);
+        h.record(u64::MAX); // the open +Inf bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 3);
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+    }
 }
